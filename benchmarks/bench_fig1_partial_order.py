@@ -1,0 +1,70 @@
+"""FIG1 — Figure 1 + Proposition 1: the four parametric problems.
+
+Reproduces the paper's Figure 1 as a machine-checked object: the partial
+order of (parameter q | v) × (fixed | variable schema), with the identity
+map verified as a parametric reduction along every arc on concrete clique-
+derived instances (hardness flows up, membership flows down).
+"""
+
+from repro.benchlib import print_table
+from repro.parametric import (
+    FIGURE_1_ARCS,
+    Q_FIXED,
+    Q_VARIABLE,
+    V_FIXED,
+    V_VARIABLE,
+    easier_than,
+    harder_than,
+)
+from repro.parametric.problems import CliqueInstance
+from repro.reductions import (
+    CQ_EVALUATION_Q,
+    CQ_EVALUATION_V,
+    clique_to_cq,
+)
+from repro.workloads import graph_suite
+
+
+def corner_problem(parametrization):
+    """The evaluation problem at one Figure-1 corner (schema is a regime
+    of the instance generator — the clique instances use a fixed schema,
+    which is legal at every corner)."""
+    return CQ_EVALUATION_Q if parametrization.parameter == "q" else CQ_EVALUATION_V
+
+
+def test_fig1_identity_reductions(benchmark):
+    instances = [
+        clique_to_cq(CliqueInstance(g, k))
+        for g in graph_suite(5, seed=7)
+        for k in (2, 3)
+    ]
+
+    rows = []
+    for lower, upper in FIGURE_1_ARCS:
+        source = corner_problem(lower)
+        target = corner_problem(upper)
+        violations = 0
+        for instance in instances:
+            # Identity map: same instance, answers must agree and the
+            # upper parameter must be bounded by the lower one (v ≤ q).
+            if source.solve(instance) != target.solve(instance):
+                violations += 1
+            if target.parameter(instance) > source.parameter(instance):
+                violations += 1
+        rows.append(
+            (lower.label, "→", upper.label, len(instances), violations)
+        )
+
+    print_table(
+        ("easier", "", "harder", "instances", "violations"),
+        rows,
+        title="Figure 1: identity reductions along every arc (Proposition 1)",
+    )
+    assert all(row[-1] == 0 for row in rows)
+
+    # Structural facts of the diamond.
+    assert harder_than(Q_FIXED) == {Q_VARIABLE, V_FIXED, V_VARIABLE}
+    assert easier_than(V_VARIABLE) == {Q_FIXED, Q_VARIABLE, V_FIXED}
+
+    sample = instances[0]
+    benchmark(lambda: CQ_EVALUATION_Q.solve(sample))

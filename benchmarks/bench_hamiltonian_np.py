@@ -1,0 +1,76 @@
+"""HAM — §5: NP-hard combined complexity when the query grows with the data.
+
+The Hamiltonian-path reduction's query has n variables and C(n,2) ≠ atoms,
+so the parameter is no longer small.  On *no*-instances the evaluator must
+exhaust the search space, and the cost explodes with n; we use the union
+of two cliques K_{n/2} ∪ K_{n/2} — never Hamiltonian, but crammed with
+long simple paths, the adversarial case for backtracking.  For contrast, a
+*fixed* ≠-query over the same growing graphs stays cheap (the regime
+Theorem 2 addresses).
+"""
+
+from itertools import combinations
+
+from repro.benchlib import print_table, time_thunk
+from repro.evaluation import NaiveEvaluator
+from repro.inequalities import AcyclicInequalityEvaluator
+from repro.reductions import (
+    hamiltonian_to_query_instance,
+    has_hamiltonian_path,
+)
+from repro.workloads import Graph, path_neq_query
+from repro.relational import Database
+
+
+def two_cliques(n: int) -> Graph:
+    """K_{n/2} ∪ K_{n/2}: no Hamiltonian path, many long simple paths."""
+    half = n // 2
+    edges = list(combinations(range(half), 2))
+    edges += [(a + half, b + half) for a, b in combinations(range(half), 2)]
+    return Graph(range(2 * half), edges)
+
+
+def test_hamiltonian_combined_complexity_cliff(benchmark):
+    naive = NaiveEvaluator()
+    fixed_query = path_neq_query(2, 1, seed=0)  # fixed small parameter
+
+    rows = []
+    ham_times = []
+    for n in (8, 10, 12):
+        graph = two_cliques(n)
+        assert not has_hamiltonian_path(graph)
+        query, db = hamiltonian_to_query_instance(graph)
+        ham_seconds, decided = time_thunk(
+            lambda: naive.decide(query, db), repeats=1
+        )
+        assert not decided
+        fixed_db = Database.from_tuples({"E": list(graph.directed_edges())})
+        fixed_seconds, _ = time_thunk(
+            lambda: AcyclicInequalityEvaluator().evaluate(fixed_query, fixed_db),
+            repeats=1,
+        )
+        ham_times.append(ham_seconds)
+        rows.append(
+            (
+                n,
+                query.query_size(),
+                len(query.inequalities),
+                ham_seconds,
+                fixed_seconds,
+            )
+        )
+
+    print_table(
+        ("n", "query size q", "!= atoms", "hamiltonian query (s)", "fixed k query (s)"),
+        rows,
+        title="Combined complexity: query growing with the database (no-instances)",
+    )
+
+    # The cliff: cost must grow sharply with n, and at the top of the sweep
+    # the growing-parameter query must dominate the fixed-parameter one.
+    assert ham_times[-1] > ham_times[0] * 5
+    assert rows[-1][3] > rows[-1][4]
+
+    graph = two_cliques(10)
+    query, db = hamiltonian_to_query_instance(graph)
+    benchmark(lambda: NaiveEvaluator().decide(query, db))

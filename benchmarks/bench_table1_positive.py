@@ -1,0 +1,67 @@
+"""T1-POS — Theorem 1, row 2: positive queries.
+
+* parameter q: W[1]-complete — DNF expansion into conjunctive queries
+  (Turing form) and footnote 2's many-one transformation to clique;
+* parameter v: W[SAT]-hard — weighted formula SAT ≤ positive evaluation —
+  and W[SAT]-complete for prenex queries via the converse encoding.
+"""
+
+import time
+
+from repro.benchlib import print_table
+from repro.circuits import fand, fnot, for_, var
+from repro.parametric.problems import WeightedFormulaInstance
+from repro.reductions import (
+    POSITIVE_TO_CLIQUE,
+    POSITIVE_TO_UNION_OF_CQS,
+    PRENEX_POSITIVE_TO_WSAT,
+    WSAT_TO_POSITIVE,
+    wsat_to_positive,
+)
+
+
+def formula_suite():
+    formulas = [
+        for_(fand(var("x1"), var("x2")), fand(fnot(var("x3")), var("x4"))),
+        fand(for_(var("a"), var("b")), for_(var("b"), var("c"))),
+        fnot(fand(var("p"), var("q"))),
+        for_(var("u"), fand(var("v"), var("w"))),
+    ]
+    return [
+        WeightedFormulaInstance(f, k) for f in formulas for k in (1, 2, 3)
+    ]
+
+
+def test_table1_positive_row(benchmark):
+    wsat_suite = formula_suite()
+    positive_suite = [wsat_to_positive(i) for i in wsat_suite]
+
+    rows = []
+    for reduction, instances in (
+        (WSAT_TO_POSITIVE, wsat_suite),
+        (POSITIVE_TO_UNION_OF_CQS, positive_suite),
+        (POSITIVE_TO_CLIQUE, positive_suite),
+        (PRENEX_POSITIVE_TO_WSAT, positive_suite),
+    ):
+        start = time.perf_counter()
+        records = reduction.verify(instances)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                reduction.name,
+                len(records),
+                sum(1 for r in records if r.expected),
+                max(r.parameter_out for r in records),
+                elapsed,
+                "verified",
+            )
+        )
+
+    print_table(
+        ("reduction", "instances", "yes-instances", "max k'", "seconds", "status"),
+        rows,
+        title="Theorem 1, positive row: W[1] (q) and W[SAT] (v) evidence",
+    )
+
+    sample = positive_suite[1]
+    benchmark(lambda: POSITIVE_TO_CLIQUE.solve_via_target(sample))

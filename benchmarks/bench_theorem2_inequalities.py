@@ -1,0 +1,99 @@
+"""T2 — Theorem 2: acyclic ≠-queries in f(k) · n · polylog(n).
+
+Three measurements on the paper's own workload shapes:
+
+* n-sweep at fixed k: the Theorem 2 engine (deterministic perfect family)
+  scales near-linearly in the database size while the naive engine's cost
+  is driven by the assignment space;
+* k-sweep at fixed n: the engine's cost grows with the number of I1
+  variables through the hash-family size — the f(k) factor — while staying
+  decoupled from n;
+* the §5 running examples evaluate correctly and quickly.
+"""
+
+from repro.benchlib import growth_exponent, print_table, time_thunk
+from repro.evaluation import NaiveEvaluator
+from repro.inequalities import (
+    AcyclicInequalityEvaluator,
+    GreedyPerfectHashFamily,
+    build_engine,
+)
+from repro.query import parse_query
+from repro.relational import Database
+from repro.workloads import (
+    all_examples,
+    chain_database,
+    path_neq_query,
+)
+
+
+def test_theorem2_scaling(benchmark):
+    theorem2 = AcyclicInequalityEvaluator(GreedyPerfectHashFamily(seed=1))
+    naive = NaiveEvaluator()
+
+    # --- n-sweep at fixed k (x0 != x3 over a 3-step path) ---------------
+    query = path_neq_query(3, 1, seed=0)
+    widths = (4, 8, 16)
+    t2_times, naive_times, sizes = [], [], []
+    for width in widths:
+        db = chain_database(layers=4, width=width, p=0.5, seed=2)
+        sizes.append(db.size())
+        t_t2, r_t2 = time_thunk(lambda: theorem2.evaluate(query, db), repeats=1)
+        t_nv, r_nv = time_thunk(lambda: naive.evaluate(query, db), repeats=1)
+        assert r_t2 == r_nv
+        t2_times.append(t_t2)
+        naive_times.append(t_nv)
+
+    rows = [
+        ("theorem2 (perfect family)",) + tuple(t2_times)
+        + (growth_exponent(sizes, t2_times),),
+        ("naive backtracking",) + tuple(naive_times)
+        + (growth_exponent(sizes, naive_times),),
+    ]
+    print_table(
+        ("engine",) + tuple(f"width={w}" for w in widths) + ("fitted exponent",),
+        rows,
+        title="Theorem 2, n-sweep at k=2 (path query with one != atom)",
+    )
+
+    # --- k-sweep at fixed n: hash-family size is the f(k) driver --------
+    db = chain_database(layers=6, width=5, p=0.6, seed=4)
+    k_rows = []
+    for pairs in (1, 2, 3):
+        q = path_neq_query(5, pairs, seed=1)
+        engine = build_engine(q, db)
+        k = len(engine.hashed_variables)
+        family_size = len(
+            list(
+                GreedyPerfectHashFamily(seed=1).functions(
+                    AcyclicInequalityEvaluator().relevant_domain(engine), k
+                )
+            )
+        )
+        seconds, result = time_thunk(lambda: theorem2.evaluate(q, db), repeats=1)
+        expected = naive.evaluate(q, db)
+        assert result == expected
+        k_rows.append((pairs, k, family_size, seconds))
+    print_table(
+        ("!= atoms", "k = |V1|", "perfect-family size", "seconds"),
+        k_rows,
+        title="Theorem 2, k-sweep at fixed n: the f(k) factor",
+    )
+    assert k_rows[-1][2] >= k_rows[0][2]  # family grows with k
+
+    # --- §5 running examples --------------------------------------------
+    example_rows = []
+    for name, q, db in all_examples():
+        if q.comparisons:
+            continue
+        seconds, result = time_thunk(lambda: theorem2.evaluate(q, db), repeats=1)
+        assert result == naive.evaluate(q, db)
+        example_rows.append((name, result.cardinality, seconds))
+    print_table(
+        ("example", "answers", "seconds"),
+        example_rows,
+        title="Theorem 2 on the paper's §5 examples",
+    )
+
+    db = chain_database(layers=4, width=16, p=0.5, seed=2)
+    benchmark(lambda: theorem2.evaluate(query, db))

@@ -1,0 +1,87 @@
+"""T3 — Theorem 3: acyclic queries with comparisons are W[1]-complete.
+
+Replays the numeric-encoding reduction on a graph suite (both parameters),
+confirms the query-side structural claims (acyclic hypergraph, consistent
+acyclic comparison set, strict < only), and compares the cost of answering
+clique through the comparison query against the direct clique solver —
+both inherit the n^Θ(k) shape, as completeness predicts.
+"""
+
+import time
+
+from repro.benchlib import print_table, time_thunk
+from repro.comparisons import is_acyclic_with_comparisons
+from repro.evaluation import NaiveEvaluator
+from repro.parametric.problems import CLIQUE, CliqueInstance
+from repro.reductions import (
+    CLIQUE_TO_COMPARISONS_Q,
+    CLIQUE_TO_COMPARISONS_V,
+    clique_to_comparisons,
+    comparison_query,
+)
+from repro.workloads import cycle_graph, complete_graph, path_graph, random_graph
+
+
+def suite():
+    graphs = [
+        complete_graph(4),
+        cycle_graph(5),
+        path_graph(5),
+        random_graph(5, 0.5, seed=1),
+        random_graph(6, 0.5, seed=2),
+        random_graph(6, 0.7, seed=3),
+    ]
+    return [CliqueInstance(g, k) for g in graphs for k in (2, 3)]
+
+
+def test_theorem3_reduction(benchmark):
+    instances = suite()
+
+    rows = []
+    for reduction in (CLIQUE_TO_COMPARISONS_Q, CLIQUE_TO_COMPARISONS_V):
+        start = time.perf_counter()
+        records = reduction.verify(instances)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                reduction.name,
+                len(records),
+                sum(1 for r in records if r.expected),
+                max(r.parameter_out for r in records),
+                elapsed,
+                "verified",
+            )
+        )
+    print_table(
+        ("reduction", "instances", "yes-instances", "max k'", "seconds", "status"),
+        rows,
+        title="Theorem 3: clique → acyclic query with < comparisons",
+    )
+
+    # Structural claims of the construction.
+    for k in (2, 3, 4):
+        query = comparison_query(k)
+        assert is_acyclic_with_comparisons(query)
+        assert all(c.strict for c in query.comparisons)
+
+    # Cost comparison: direct clique search vs the query route.
+    cost_rows = []
+    naive = NaiveEvaluator()
+    for n in (5, 6, 7):
+        graph = random_graph(n, 0.6, seed=n)
+        source = CliqueInstance(graph, 3)
+        direct_seconds, direct = time_thunk(lambda: CLIQUE.solve(source), repeats=1)
+        instance = clique_to_comparisons(source)
+        query_seconds, via_query = time_thunk(
+            lambda: naive.decide(instance.query, instance.database), repeats=1
+        )
+        assert direct == via_query
+        cost_rows.append((n, direct_seconds, query_seconds))
+    print_table(
+        ("n", "direct clique (s)", "via comparison query (s)"),
+        cost_rows,
+        title="Answering clique through the Theorem 3 query",
+    )
+
+    instance = clique_to_comparisons(CliqueInstance(random_graph(6, 0.6, seed=9), 3))
+    benchmark(lambda: NaiveEvaluator().decide(instance.query, instance.database))

@@ -1,0 +1,43 @@
+"""TW — extension: bounded-treewidth evaluation beyond acyclicity.
+
+The paper's tractable island is acyclic queries; the follow-up literature
+generalized it to bounded treewidth.  This bench shows the extension engine
+handling *cyclic* queries (cycles: width 2) in time governed by n^(w+1)
+rather than the naive n^q, and matching the naive answers exactly.
+"""
+
+from repro.benchlib import print_table, time_thunk
+from repro.evaluation import NaiveEvaluator, TreewidthEvaluator
+from repro.relational import Database
+from repro.workloads import cycle_query, random_graph
+
+
+def test_treewidth_extension(benchmark):
+    naive = NaiveEvaluator()
+    tw = TreewidthEvaluator()
+
+    rows = []
+    for length in (4, 6, 8):
+        query = cycle_query(length)
+        graph = random_graph(14, 0.35, seed=length)
+        db = Database.from_tuples({"E": list(graph.directed_edges())})
+        width = tw.width(query)
+        t_tw, r_tw = time_thunk(lambda: tw.decide(query, db), repeats=1)
+        t_nv, r_nv = time_thunk(lambda: naive.decide(query, db), repeats=1)
+        assert r_tw == r_nv
+        rows.append((length, width, t_tw, t_nv, r_tw))
+
+    print_table(
+        ("cycle length", "decomposition width", "treewidth engine (s)",
+         "naive (s)", "nonempty"),
+        rows,
+        title="Bounded-treewidth evaluation of cyclic queries (width 2)",
+    )
+    # Width stays 2 for every cycle length: the engine's exponent is fixed
+    # even as the query grows.
+    assert all(row[1] == 2 for row in rows)
+
+    query = cycle_query(6)
+    graph = random_graph(14, 0.35, seed=6)
+    db = Database.from_tuples({"E": list(graph.directed_edges())})
+    benchmark(lambda: TreewidthEvaluator().decide(query, db))

@@ -1,0 +1,57 @@
+"""Theorem 1 in action: solving clique through query evaluation and back.
+
+The pipeline of the conjunctive row of the classification table:
+
+  clique (G, k)
+    → the Boolean query P ← ⋀_{i<j} G(x_i, x_j)     (hardness direction)
+    → a weighted 2-CNF with k' = #atoms              (membership direction)
+    → a weight-k' witness, decoded back into a clique.
+
+Run:  python examples/clique_as_query.py
+"""
+
+from repro import NaiveEvaluator
+from repro.circuits.weighted_sat import negative_cnf_weighted_satisfiable
+from repro.parametric.problems import CliqueInstance, find_clique
+from repro.reductions import clique_to_cq, cq_to_weighted_2cnf
+from repro.workloads import planted_clique_graph
+
+
+def main() -> None:
+    graph, planted = planted_clique_graph(n=14, k=4, p=0.25, seed=8)
+    print(f"graph: {graph}, planted 4-clique: {planted}")
+
+    # --- hardness direction: clique as a conjunctive query ---------------
+    instance = clique_to_cq(CliqueInstance(graph, 4))
+    print("\nthe clique query:")
+    print(" ", instance.query)
+    print(f"  q = {instance.query.query_size()}, v = {instance.query.num_variables()}")
+
+    naive = NaiveEvaluator()
+    print("query nonempty (naive engine)?", naive.decide(instance.query, instance.database))
+
+    # --- membership direction: the query as weighted 2-CNF ---------------
+    result = cq_to_weighted_2cnf(instance.query, instance.database)
+    cnf = result.instance.cnf
+    print(f"\nweighted 2-CNF: {len(cnf.clauses)} clauses over "
+          f"{len(cnf.variables())} z-variables, target weight k' = {result.instance.k}")
+    print("all literals negative?", cnf.all_literals_negative())
+
+    witness = negative_cnf_weighted_satisfiable(
+        cnf, result.instance.k, groups=result.groups
+    )
+    print("weight-k' witness found?", witness is not None)
+
+    # --- decode the witness back into a clique ---------------------------
+    valuation = result.decode(witness)
+    clique_nodes = tuple(sorted(set(valuation.values())))
+    print("decoded node set:", clique_nodes)
+    print("is a clique?", graph.is_clique(clique_nodes))
+
+    # Cross-check against the direct branch-and-bound solver.
+    direct = find_clique(graph, 4)
+    print("direct solver found:", direct)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""A tour of the W hierarchy through the paper's reductions.
+
+Walks the classification table bottom to top — W[1] (clique/conjunctive),
+W[SAT] (weighted formula/positive), W[P] (weighted circuit/first-order) —
+running each reduction on a concrete instance and printing the verdicts,
+plus the Figure 1 partial order and the Theorem 1 table itself.
+
+Run:  python examples/parametric_tour.py
+"""
+
+from repro.benchlib import print_table
+from repro.circuits import CircuitBuilder, fand, fnot, for_, var
+from repro.parametric import theorem1_table
+from repro.parametric.problems import (
+    CliqueInstance,
+    WeightedCircuitInstance,
+    WeightedFormulaInstance,
+)
+from repro.reductions import (
+    CIRCUIT_TO_FO_V,
+    CLIQUE_TO_CQ_Q,
+    CQ_TO_WEIGHTED_2CNF,
+    PRENEX_POSITIVE_TO_WSAT,
+    WSAT_TO_POSITIVE,
+    clique_to_cq,
+    wsat_to_positive,
+)
+from repro.workloads import random_graph
+
+
+def main() -> None:
+    print("The Theorem 1 classification table:")
+    print_table(
+        ("problem", "parameter", "classification"),
+        theorem1_table().rows(),
+    )
+
+    print("\n--- W[1]: clique ⇄ conjunctive queries ---")
+    graph = random_graph(9, 0.55, seed=4)
+    clique_instance = CliqueInstance(graph, 3)
+    record = CLIQUE_TO_CQ_Q.verify([clique_instance])[0]
+    print(f"clique (n={graph.num_nodes}, k=3): {record.expected}; "
+          f"via query evaluation: {record.produced}; q' = {record.parameter_out}")
+    query_instance = clique_to_cq(clique_instance)
+    record = CQ_TO_WEIGHTED_2CNF.verify([query_instance])[0]
+    print(f"query → weighted 2-CNF: {record.produced}; k' = {record.parameter_out}")
+
+    print("\n--- W[SAT]: weighted formulas ⇄ positive queries ---")
+    formula = for_(fand(var("x1"), var("x2")), fand(fnot(var("x3")), var("x4")))
+    wsat_instance = WeightedFormulaInstance(formula, 2)
+    record = WSAT_TO_POSITIVE.verify([wsat_instance])[0]
+    print(f"weighted formula SAT (k=2): {record.expected}; "
+          f"via positive query: {record.produced}; v' = {record.parameter_out}")
+    positive_instance = wsat_to_positive(wsat_instance)
+    record = PRENEX_POSITIVE_TO_WSAT.verify([positive_instance])[0]
+    print(f"prenex positive → weighted formula: {record.produced}; "
+          f"k' = {record.parameter_out}")
+
+    print("\n--- W[P]: monotone circuits → first-order queries ---")
+    builder = CircuitBuilder()
+    xs = [builder.input(f"i{j}") for j in range(4)]
+    circuit = builder.build(
+        builder.or_(builder.and_(xs[0], xs[1]), builder.and_(xs[2], xs[3]))
+    )
+    for k in (1, 2):
+        record = CIRCUIT_TO_FO_V.verify([WeightedCircuitInstance(circuit, k)])[0]
+        print(f"weighted circuit SAT (k={k}): {record.expected}; "
+              f"via FO query with v = k+2 = {record.parameter_out}: {record.produced}")
+
+    print("\n--- Figure 1: the four parametrizations ---")
+    from repro.parametric import FIGURE_1_ARCS
+
+    for lower, upper in FIGURE_1_ARCS:
+        print(f"  {lower.label}  ≤  {upper.label}   (identity reduction)")
+
+
+if __name__ == "__main__":
+    main()

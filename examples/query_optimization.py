@@ -1,0 +1,63 @@
+"""Classical query optimization: containment, minimization, decompositions.
+
+The machinery around the paper — Chandra–Merlin homomorphisms (the paper's
+reference [5]), acyclicity detection with join trees, and the treewidth
+fallback for cyclic queries — applied to concrete optimization questions.
+
+Run:  python examples/query_optimization.py
+"""
+
+from repro import Database, NaiveEvaluator, parse_query
+from repro.evaluation import TreewidthEvaluator, YannakakisEvaluator
+from repro.hypergraph import JoinTree
+from repro.query import are_equivalent, find_homomorphism, is_contained_in, minimize
+
+
+def main() -> None:
+    print("=== containment via homomorphisms ===")
+    broad = parse_query("Q(x) :- E(x, y).")
+    narrow = parse_query("Q(x) :- E(x, y), E(y, z), F(z).")
+    print("broad :", broad)
+    print("narrow:", narrow)
+    print("narrow ⊆ broad?", is_contained_in(narrow, broad))
+    print("broad ⊆ narrow?", is_contained_in(broad, narrow))
+    witness = find_homomorphism(broad, narrow)
+    print("witnessing homomorphism broad → narrow:",
+          {v.name: repr(t) for v, t in witness.items()})
+
+    print("\n=== minimization (computing the core) ===")
+    redundant = parse_query(
+        "Q(x) :- E(x, y), E(x, z), E(y, w), E(z, w2)."
+    )
+    core = minimize(redundant)
+    print("original:", redundant, f"({len(redundant.atoms)} atoms)")
+    print("core    :", core, f"({len(core.atoms)} atoms)")
+    print("equivalent?", are_equivalent(redundant, core))
+
+    db = Database.from_tuples({"E": [(1, 2), (2, 3), (1, 4)], "F": [(3,)]})
+    engine = NaiveEvaluator()
+    print("same answers on data?",
+          engine.evaluate(redundant, db) == engine.evaluate(core, db))
+
+    print("\n=== plan structure: join trees for acyclic queries ===")
+    acyclic = parse_query("Q(a, d) :- R(a, b), S(b, c), T(c, d), U(b, e).")
+    print("query:", acyclic)
+    print("acyclic?", acyclic.is_acyclic())
+    tree = JoinTree.from_hypergraph(acyclic.hypergraph())
+    print("join tree:", tree)
+    print("running intersection holds?", tree.verify_running_intersection())
+
+    print("\n=== cyclic queries: the treewidth fallback ===")
+    cyclic = parse_query("Q() :- E(x, y), E(y, z), E(z, w), E(w, x).")
+    print("query:", cyclic, "— acyclic?", cyclic.is_acyclic())
+    tw = TreewidthEvaluator()
+    print("decomposition width:", tw.width(cyclic))
+    db2 = Database.from_tuples(
+        {"E": [(1, 2), (2, 3), (3, 4), (4, 1), (2, 1)]}
+    )
+    print("4-cycle present?", tw.decide(cyclic, db2))
+    print("naive agrees?", NaiveEvaluator().decide(cyclic, db2) == tw.decide(cyclic, db2))
+
+
+if __name__ == "__main__":
+    main()

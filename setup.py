@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable wheels cannot be built; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on newer toolchains)
+uses this shim instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

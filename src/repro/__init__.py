@@ -1,0 +1,70 @@
+"""repro — reproduction of Papadimitriou & Yannakakis,
+"On the Complexity of Database Queries" (PODS 1997 / JCSS 1999).
+
+The public API re-exports the main entry points of each subsystem; see
+README.md for a tour and DESIGN.md for the paper-to-module map.
+"""
+
+from .errors import (
+    ArityError,
+    InconsistentConstraintsError,
+    NotAcyclicError,
+    ParseError,
+    QueryError,
+    ReductionError,
+    ReproError,
+    SchemaError,
+)
+from .relational import Database, Relation
+from .query import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    DatalogProgram,
+    FirstOrderQuery,
+    Inequality,
+    PositiveQuery,
+    Rule,
+    parse_program,
+    parse_query,
+)
+from .evaluation import (
+    DatalogEvaluator,
+    FirstOrderEvaluator,
+    NaiveEvaluator,
+    PositiveEvaluator,
+    TreewidthEvaluator,
+    YannakakisEvaluator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArityError",
+    "Atom",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Database",
+    "DatalogEvaluator",
+    "DatalogProgram",
+    "FirstOrderEvaluator",
+    "FirstOrderQuery",
+    "InconsistentConstraintsError",
+    "Inequality",
+    "NaiveEvaluator",
+    "NotAcyclicError",
+    "ParseError",
+    "PositiveEvaluator",
+    "PositiveQuery",
+    "QueryError",
+    "ReductionError",
+    "Relation",
+    "ReproError",
+    "Rule",
+    "SchemaError",
+    "TreewidthEvaluator",
+    "YannakakisEvaluator",
+    "parse_program",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Shared benchmark harness: timing, sweeps, growth fits, table rendering."""
+
+from .reporting import format_cell, print_table, render_series, render_table
+from .runner import Measurement, growth_exponent, speedup, sweep, time_thunk
+
+__all__ = [
+    "Measurement",
+    "format_cell",
+    "growth_exponent",
+    "print_table",
+    "render_series",
+    "render_table",
+    "speedup",
+    "sweep",
+    "time_thunk",
+]

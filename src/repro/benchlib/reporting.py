@@ -1,0 +1,57 @@
+"""ASCII table / series rendering for benchmark output.
+
+Every benchmark prints the rows and series the corresponding paper artifact
+reports (Figure 1, the Theorem 1 table, the asymptotic-shape claims), in a
+format that EXPERIMENTS.md quotes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001 or abs(value) >= 10_000:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """A fixed-width ASCII table with an optional title line."""
+    rendered_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> None:
+    """Print :func:`render_table` (benchmarks run with -s to show it)."""
+    print()
+    print(render_table(headers, rows, title=title))
+
+
+def render_series(name: str, points: Sequence[tuple]) -> str:
+    """A one-line (x, y) series, e.g. ``n_q: (10, 0.001) (20, 0.008) ...``."""
+    inner = " ".join(f"({format_cell(x)}, {format_cell(y)})" for x, y in points)
+    return f"{name}: {inner}"

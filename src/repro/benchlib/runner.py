@@ -1,0 +1,80 @@
+"""Timing and sweep utilities shared by the benchmark suite.
+
+The benchmarks print paper-shaped tables (rows = parameter settings,
+columns = engines), so the harness here is deliberately simple: time a
+thunk a few times, keep the best, run sweeps over parameter grids, and
+estimate growth exponents from log–log slopes for the n^k-shape claims.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Measurement:
+    """One timed configuration."""
+
+    label: str
+    parameters: Dict[str, Any]
+    seconds: float
+    result: Any = None
+
+
+def time_thunk(thunk: Callable[[], Any], repeats: int = 3) -> Tuple[float, Any]:
+    """Best-of-*repeats* wall time of *thunk*; returns (seconds, last result)."""
+    best = math.inf
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def sweep(
+    label: str,
+    grid: Iterable[Dict[str, Any]],
+    make_thunk: Callable[..., Callable[[], Any]],
+    repeats: int = 3,
+) -> List[Measurement]:
+    """Time ``make_thunk(**point)()`` for each grid point."""
+    out: List[Measurement] = []
+    for point in grid:
+        thunk = make_thunk(**point)
+        seconds, result = time_thunk(thunk, repeats=repeats)
+        out.append(
+            Measurement(label=label, parameters=dict(point), seconds=seconds, result=result)
+        )
+    return out
+
+
+def growth_exponent(
+    sizes: Sequence[float], times: Sequence[float]
+) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    For data following t = c·n^e, returns ≈ e; the shape checks assert,
+    e.g., that the acyclic engine's exponent stays near 1 while the naive
+    engine's grows with k.
+    """
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ValueError("need at least two matching (size, time) points")
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(t, 1e-9)) for t in times]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        raise ValueError("all sizes identical")
+    return numerator / denominator
+
+
+def speedup(baseline: float, contender: float) -> float:
+    """baseline / contender, guarding tiny denominators."""
+    return baseline / max(contender, 1e-9)

@@ -1,0 +1,256 @@
+"""Boolean circuits: DAGs of AND/OR/NOT gates with unbounded fan-in/out.
+
+Follows the paper's §2 conventions:
+
+* inputs are level-0 gates;
+* the *depth* is the longest input→output path, **not counting NOT gates
+  applied directly to inputs**;
+* a circuit is *monotone* iff it has no NOT gates.
+
+Circuits are immutable once built; use :class:`CircuitBuilder` to construct
+them incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ReproError
+
+
+class CircuitError(ReproError):
+    """Structural problem in a circuit definition."""
+
+
+INPUT = "INPUT"
+AND = "AND"
+OR = "OR"
+NOT = "NOT"
+
+_KINDS = (INPUT, AND, OR, NOT)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: an id, a kind, and the ids of its input gates."""
+
+    gate_id: str
+    kind: str
+    inputs: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise CircuitError(f"unknown gate kind {self.kind!r}")
+        if self.kind == INPUT and self.inputs:
+            raise CircuitError(f"input gate {self.gate_id!r} cannot have inputs")
+        if self.kind == NOT and len(self.inputs) != 1:
+            raise CircuitError(f"NOT gate {self.gate_id!r} needs exactly one input")
+        if self.kind in (AND, OR) and not self.inputs:
+            raise CircuitError(f"{self.kind} gate {self.gate_id!r} needs inputs")
+
+
+class Circuit:
+    """An immutable Boolean circuit with one output gate."""
+
+    __slots__ = ("_gates", "_output", "_order", "_inputs")
+
+    def __init__(self, gates: Iterable[Gate], output: str) -> None:
+        self._gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.gate_id in self._gates:
+                raise CircuitError(f"duplicate gate id {gate.gate_id!r}")
+            self._gates[gate.gate_id] = gate
+        if output not in self._gates:
+            raise CircuitError(f"output gate {output!r} undefined")
+        self._output = output
+        for gate in self._gates.values():
+            for source in gate.inputs:
+                if source not in self._gates:
+                    raise CircuitError(
+                        f"gate {gate.gate_id!r} reads undefined gate {source!r}"
+                    )
+        self._order = self._topological_order()
+        self._inputs = tuple(
+            g.gate_id for g in self._gates.values() if g.kind == INPUT
+        )
+
+    # ------------------------------------------------------------------
+
+    def _topological_order(self) -> Tuple[str, ...]:
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+        order: List[str] = []
+
+        for start in self._gates:
+            if start in state:
+                continue
+            stack: List[Tuple[str, int]] = [(start, 0)]
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    if state.get(node) == 1:
+                        continue
+                    if state.get(node) == 0:
+                        raise CircuitError(f"cycle through gate {node!r}")
+                    state[node] = 0
+                    stack.append((node, 1))
+                    for source in self._gates[node].inputs:
+                        if state.get(source) != 1:
+                            stack.append((source, 0))
+                else:
+                    state[node] = 1
+                    order.append(node)
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def output(self) -> str:
+        return self._output
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """The input gate ids (declaration order)."""
+        return self._inputs
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    def gate(self, gate_id: str) -> Gate:
+        try:
+            return self._gates[gate_id]
+        except KeyError:
+            raise CircuitError(f"unknown gate {gate_id!r}") from None
+
+    def gates(self) -> Tuple[Gate, ...]:
+        """All gates in topological order (inputs before consumers)."""
+        return tuple(self._gates[g] for g in self._order)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    # ------------------------------------------------------------------
+
+    def is_monotone(self) -> bool:
+        """No NOT gates anywhere."""
+        return all(g.kind != NOT for g in self._gates.values())
+
+    def depth(self) -> int:
+        """Longest path length, NOT-on-input gates not counted (§2)."""
+        cost: Dict[str, int] = {}
+        for gate_id in self._order:
+            gate = self._gates[gate_id]
+            if gate.kind == INPUT:
+                cost[gate_id] = 0
+            elif gate.kind == NOT:
+                (source,) = gate.inputs
+                counts = 0 if self._gates[source].kind == INPUT else 1
+                cost[gate_id] = cost[source] + counts
+            else:
+                cost[gate_id] = 1 + max(cost[s] for s in gate.inputs)
+        return cost[self._output]
+
+    def level(self, gate_id: str) -> int:
+        """Longest distance from the inputs (inputs are level 0)."""
+        cost: Dict[str, int] = {}
+        for current in self._order:
+            gate = self._gates[current]
+            if gate.kind == INPUT:
+                cost[current] = 0
+            else:
+                cost[current] = 1 + max(cost[s] for s in gate.inputs)
+        return cost[gate_id]
+
+    def is_leveled(self) -> bool:
+        """Every gate's inputs sit exactly one level below it."""
+        cost: Dict[str, int] = {}
+        for current in self._order:
+            gate = self._gates[current]
+            if gate.kind == INPUT:
+                cost[current] = 0
+            else:
+                levels = {cost[s] for s in gate.inputs}
+                if len(levels) != 1:
+                    return False
+                cost[current] = levels.pop() + 1
+        return True
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, true_inputs: AbstractSet[str]) -> bool:
+        """Evaluate with exactly the gates in *true_inputs* set to 1."""
+        stray = set(true_inputs) - set(self._inputs)
+        if stray:
+            raise CircuitError(f"unknown inputs: {sorted(stray)}")
+        value: Dict[str, bool] = {}
+        for gate_id in self._order:
+            gate = self._gates[gate_id]
+            if gate.kind == INPUT:
+                value[gate_id] = gate_id in true_inputs
+            elif gate.kind == NOT:
+                value[gate_id] = not value[gate.inputs[0]]
+            elif gate.kind == AND:
+                value[gate_id] = all(value[s] for s in gate.inputs)
+            else:
+                value[gate_id] = any(value[s] for s in gate.inputs)
+        return value[self._output]
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({len(self._gates)} gates, {len(self._inputs)} inputs, "
+            f"depth={self.depth()}, output={self._output!r})"
+        )
+
+
+class CircuitBuilder:
+    """Incremental circuit construction with auto-generated gate ids."""
+
+    def __init__(self) -> None:
+        self._gates: List[Gate] = []
+        self._ids: set = set()
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        while True:
+            candidate = f"{prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._ids:
+                return candidate
+
+    def _add(self, gate: Gate) -> str:
+        if gate.gate_id in self._ids:
+            raise CircuitError(f"duplicate gate id {gate.gate_id!r}")
+        self._ids.add(gate.gate_id)
+        self._gates.append(gate)
+        return gate.gate_id
+
+    def input(self, name: Optional[str] = None) -> str:
+        """Add an input gate; returns its id."""
+        return self._add(Gate(name or self._fresh("x"), INPUT))
+
+    def and_(self, *sources: str, name: Optional[str] = None) -> str:
+        """Add an AND gate over *sources*; returns its id."""
+        return self._add(Gate(name or self._fresh("g"), AND, tuple(sources)))
+
+    def or_(self, *sources: str, name: Optional[str] = None) -> str:
+        """Add an OR gate over *sources*; returns its id."""
+        return self._add(Gate(name or self._fresh("g"), OR, tuple(sources)))
+
+    def not_(self, source: str, name: Optional[str] = None) -> str:
+        """Add a NOT gate over *source*; returns its id."""
+        return self._add(Gate(name or self._fresh("g"), NOT, (source,)))
+
+    def build(self, output: str) -> Circuit:
+        """Finalize with *output* as the output gate."""
+        return Circuit(self._gates, output)

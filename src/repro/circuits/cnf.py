@@ -1,0 +1,165 @@
+"""CNF formulas (clause sets) with the 2-CNF / 3-CNF special cases.
+
+W[1] is defined through weighted satisfiability of 3-CNF formulas; the
+paper's upper bound for conjunctive queries produces *2-CNF with only
+negative literals* ("the set of clauses ¬z ∨ ¬z'"), whose weighted
+satisfiability is an independent-set search — both structures are
+first-class here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import ReproError
+from .circuit import Circuit, CircuitBuilder
+from .formulas import BoolAnd, BoolFormula, BoolNot, BoolOr, BoolVar
+
+
+class CNFError(ReproError):
+    """Structural problem in a CNF definition."""
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A variable or its negation."""
+
+    variable: str
+    positive: bool = True
+
+    def negate(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, true_vars: AbstractSet[str]) -> bool:
+        return (self.variable in true_vars) == self.positive
+
+    def __repr__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+Clause = Tuple[Literal, ...]
+
+
+class CNF:
+    """An immutable conjunction of clauses (disjunctions of literals).
+
+    *variables* optionally declares the variable universe explicitly; it
+    must contain every variable occurring in a clause.  Declaring the
+    universe matters for *weighted* satisfiability, where variables that
+    appear in no clause are still legitimate choices (the CQ→2-CNF
+    reduction produces such variables when an atom has exactly one
+    candidate tuple).
+    """
+
+    __slots__ = ("clauses", "_declared")
+
+    def __init__(
+        self,
+        clauses: Iterable[Iterable[Literal]],
+        variables: Optional[Iterable[str]] = None,
+    ) -> None:
+        built: List[Clause] = []
+        for clause in clauses:
+            clause_tuple = tuple(clause)
+            if not clause_tuple:
+                raise CNFError("empty clause (unsatisfiable) is not representable")
+            built.append(clause_tuple)
+        self.clauses: Tuple[Clause, ...] = tuple(built)
+        self._declared: Optional[FrozenSet[str]] = (
+            frozenset(variables) if variables is not None else None
+        )
+        if self._declared is not None:
+            missing = self._occurring() - self._declared
+            if missing:
+                raise CNFError(
+                    f"clauses mention undeclared variables: {sorted(missing)}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def _occurring(self) -> FrozenSet[str]:
+        return frozenset(
+            literal.variable for clause in self.clauses for literal in clause
+        )
+
+    def variables(self) -> FrozenSet[str]:
+        if self._declared is not None:
+            return self._declared
+        return self._occurring()
+
+    def max_clause_width(self) -> int:
+        return max((len(c) for c in self.clauses), default=0)
+
+    def is_kcnf(self, k: int) -> bool:
+        """Every clause has at most k literals."""
+        return self.max_clause_width() <= k
+
+    def all_literals_negative(self) -> bool:
+        """True for the conflict-clause CNFs of the paper's CQ reduction."""
+        return all(
+            not literal.positive for clause in self.clauses for literal in clause
+        )
+
+    def evaluate(self, true_vars: AbstractSet[str]) -> bool:
+        return all(
+            any(literal.satisfied_by(true_vars) for literal in clause)
+            for clause in self.clauses
+        )
+
+    def size(self) -> int:
+        return sum(len(c) for c in self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    # ------------------------------------------------------------------
+
+    def to_formula(self) -> BoolFormula:
+        """The equivalent Boolean formula (AND of ORs of literals)."""
+        def literal_formula(literal: Literal) -> BoolFormula:
+            leaf = BoolVar(literal.variable)
+            return leaf if literal.positive else BoolNot(leaf)
+
+        disjunctions: List[BoolFormula] = []
+        for clause in self.clauses:
+            parts = [literal_formula(l) for l in clause]
+            disjunctions.append(parts[0] if len(parts) == 1 else BoolOr(parts))
+        if not disjunctions:
+            raise CNFError("empty CNF has no formula form here")
+        return disjunctions[0] if len(disjunctions) == 1 else BoolAnd(disjunctions)
+
+    def to_circuit(self) -> Circuit:
+        """A depth-2 circuit (AND of ORs; NOTs on inputs are not counted)."""
+        builder = CircuitBuilder()
+        input_ids: Dict[str, str] = {}
+        negated_ids: Dict[str, str] = {}
+        for name in sorted(self.variables()):
+            input_ids[name] = builder.input(name)
+        clause_ids = []
+        for clause in self.clauses:
+            literal_ids = []
+            for literal in clause:
+                if literal.positive:
+                    literal_ids.append(input_ids[literal.variable])
+                else:
+                    if literal.variable not in negated_ids:
+                        negated_ids[literal.variable] = builder.not_(
+                            input_ids[literal.variable]
+                        )
+                    literal_ids.append(negated_ids[literal.variable])
+            clause_ids.append(builder.or_(*literal_ids))
+        return builder.build(builder.and_(*clause_ids))
+
+    def __repr__(self) -> str:
+        inner = " & ".join(
+            "(" + " | ".join(repr(l) for l in clause) + ")"
+            for clause in self.clauses[:6]
+        )
+        suffix = " & ..." if len(self.clauses) > 6 else ""
+        return f"CNF[{len(self.clauses)} clauses: {inner}{suffix}]"
+
+
+def negative_pair(a: str, b: str) -> Clause:
+    """The conflict clause ¬a ∨ ¬b."""
+    return (Literal(a, False), Literal(b, False))

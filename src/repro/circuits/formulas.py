@@ -1,0 +1,206 @@
+"""Boolean formulas (fan-out-1 circuits) for weighted formula satisfiability.
+
+W[SAT] is defined via the weighted satisfiability of Boolean *formulas* —
+circuits in which every gate has fan-out 1, i.e. trees.  The Theorem 1(2)
+lower-bound reduction also needs syntactic access to positive and negative
+occurrences of variables, so formulas support negation-normal-form
+conversion where every leaf is a literal.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, List, Tuple, Union
+
+from ..errors import ReproError
+from .circuit import AND, CircuitBuilder, Circuit, NOT, OR
+
+
+class FormulaError(ReproError):
+    """Structural problem in a Boolean formula."""
+
+
+class BoolVar:
+    """A propositional variable leaf."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise FormulaError("variable name must be nonempty")
+        self.name = name
+
+    def evaluate(self, true_vars: AbstractSet[str]) -> bool:
+        return self.name in true_vars
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def size(self) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolVar) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((BoolVar, self.name))
+
+
+class BoolNot:
+    """¬φ."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: "BoolFormula") -> None:
+        self.operand = operand
+
+    def evaluate(self, true_vars: AbstractSet[str]) -> bool:
+        return not self.operand.evaluate(true_vars)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolNot) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash((BoolNot, self.operand))
+
+
+class _BoolJunction:
+    """Shared ∧ / ∨ implementation (n-ary, flattened)."""
+
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, children: Iterable["BoolFormula"]) -> None:
+        flat: List["BoolFormula"] = []
+        for child in children:
+            if type(child) is type(self):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise FormulaError(f"empty {self._symbol}-junction")
+        self.children: Tuple["BoolFormula", ...] = tuple(flat)
+
+    def evaluate(self, true_vars: AbstractSet[str]) -> bool:
+        fold = all if isinstance(self, BoolAnd) else any
+        return fold(child.evaluate(true_vars) for child in self.children)
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for child in self.children:
+            out |= child.variables()
+        return out
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+    def __repr__(self) -> str:
+        sym = f" {self._symbol} "
+        return "(" + sym.join(repr(c) for c in self.children) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.children))
+
+
+class BoolAnd(_BoolJunction):
+    """φ1 ∧ ... ∧ φn."""
+
+    _symbol = "&"
+
+
+class BoolOr(_BoolJunction):
+    """φ1 ∨ ... ∨ φn."""
+
+    _symbol = "|"
+
+
+BoolFormula = Union[BoolVar, BoolNot, BoolAnd, BoolOr]
+
+
+def var(name: str) -> BoolVar:
+    return BoolVar(name)
+
+
+def fand(*children: BoolFormula) -> BoolFormula:
+    """∧ of the children (a single child passes through)."""
+    if len(children) == 1:
+        return children[0]
+    return BoolAnd(children)
+
+
+def for_(*children: BoolFormula) -> BoolFormula:
+    """∨ of the children (a single child passes through)."""
+    if len(children) == 1:
+        return children[0]
+    return BoolOr(children)
+
+
+def fnot(child: BoolFormula) -> BoolFormula:
+    return BoolNot(child)
+
+
+def to_nnf(formula: BoolFormula) -> BoolFormula:
+    """Negation normal form: every ¬ sits directly on a variable."""
+    if isinstance(formula, BoolVar):
+        return formula
+    if isinstance(formula, BoolAnd):
+        return BoolAnd(to_nnf(c) for c in formula.children)
+    if isinstance(formula, BoolOr):
+        return BoolOr(to_nnf(c) for c in formula.children)
+    if isinstance(formula, BoolNot):
+        inner = formula.operand
+        if isinstance(inner, BoolVar):
+            return formula
+        if isinstance(inner, BoolNot):
+            return to_nnf(inner.operand)
+        if isinstance(inner, BoolAnd):
+            return BoolOr(to_nnf(BoolNot(c)) for c in inner.children)
+        if isinstance(inner, BoolOr):
+            return BoolAnd(to_nnf(BoolNot(c)) for c in inner.children)
+    raise FormulaError(f"unknown formula node: {formula!r}")
+
+
+def is_nnf(formula: BoolFormula) -> bool:
+    """True iff negations appear only directly on variables."""
+    if isinstance(formula, BoolVar):
+        return True
+    if isinstance(formula, BoolNot):
+        return isinstance(formula.operand, BoolVar)
+    if isinstance(formula, (BoolAnd, BoolOr)):
+        return all(is_nnf(c) for c in formula.children)
+    return False
+
+
+def formula_to_circuit(formula: BoolFormula) -> Circuit:
+    """Compile to a (tree-shaped) circuit; shared variables share one input."""
+    builder = CircuitBuilder()
+    input_ids = {}
+    for name in sorted(formula.variables()):
+        input_ids[name] = builder.input(name)
+
+    def compile_node(node: BoolFormula) -> str:
+        if isinstance(node, BoolVar):
+            return input_ids[node.name]
+        if isinstance(node, BoolNot):
+            return builder.not_(compile_node(node.operand))
+        if isinstance(node, BoolAnd):
+            return builder.and_(*(compile_node(c) for c in node.children))
+        if isinstance(node, BoolOr):
+            return builder.or_(*(compile_node(c) for c in node.children))
+        raise FormulaError(f"unknown formula node: {node!r}")
+
+    return builder.build(compile_node(formula))

@@ -1,0 +1,111 @@
+"""Leveling monotone circuits into strict OR/AND alternation.
+
+The Theorem 1(3) reduction assumes "the given circuit alternates between OR
+and AND gates and that the output is an OR gate at level 2t" with inputs at
+level 0.  :func:`level_alternate` rewrites any monotone circuit into that
+shape, preserving semantics:
+
+* every gate is assigned a level: OR gates sit on even levels, AND gates on
+  odd levels;
+* every wire connects adjacent levels — longer jumps are padded with unary
+  identity gates (a 1-input AND or OR computes its input);
+* the output is an OR gate at an even level 2t.
+
+The construction at most doubles the depth and adds O(wires · depth) pad
+gates — immaterial for the reduction, whose parameters depend only on t
+and k.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .circuit import AND, Circuit, CircuitError, Gate, INPUT, OR
+
+
+def level_alternate(circuit: Circuit) -> Tuple[Circuit, int]:
+    """Return (leveled circuit, t) with OR output at level 2t.
+
+    Raises :class:`CircuitError` for non-monotone circuits.
+    """
+    if not circuit.is_monotone():
+        raise CircuitError("level_alternate requires a monotone circuit")
+
+    gates = circuit.gates()  # topological order
+    new_gates: List[Gate] = []
+    level_of: Dict[str, int] = {}
+    pad_counter = [0]
+
+    def pad_kind(level: int) -> str:
+        return OR if level % 2 == 0 else AND
+
+    def fresh_pad() -> str:
+        pad_counter[0] += 1
+        return f"__pad{pad_counter[0]}"
+
+    def raise_to(source: str, target_level: int) -> str:
+        """Chain unary identity gates from *source* up to *target_level*."""
+        current = source
+        current_level = level_of[current]
+        while current_level < target_level:
+            current_level += 1
+            pad_id = fresh_pad()
+            new_gates.append(Gate(pad_id, pad_kind(current_level), (current,)))
+            level_of[pad_id] = current_level
+            current = pad_id
+        return current
+
+    for gate in gates:
+        if gate.kind == INPUT:
+            new_gates.append(gate)
+            level_of[gate.gate_id] = 0
+            continue
+        parity = 1 if gate.kind == AND else 0
+        minimum = 1 + max(level_of[s] for s in gate.inputs)
+        target = minimum if minimum % 2 == parity else minimum + 1
+        lifted = tuple(raise_to(s, target - 1) for s in gate.inputs)
+        new_gates.append(Gate(gate.gate_id, gate.kind, lifted))
+        level_of[gate.gate_id] = target
+
+    output = circuit.output
+    output_gate = circuit.gate(output)
+    if output_gate.kind == INPUT:
+        # Degenerate circuit: wrap the single input as AND at 1, OR at 2.
+        pad_and = fresh_pad()
+        new_gates.append(Gate(pad_and, AND, (output,)))
+        level_of[pad_and] = 1
+        pad_or = fresh_pad()
+        new_gates.append(Gate(pad_or, OR, (pad_and,)))
+        level_of[pad_or] = 2
+        output = pad_or
+    elif output_gate.kind == AND:
+        pad_or = fresh_pad()
+        new_gates.append(Gate(pad_or, OR, (output,)))
+        level_of[pad_or] = level_of[output] + 1
+        output = pad_or
+
+    leveled = Circuit(new_gates, output)
+    top = level_of[output]
+    if top % 2 != 0:
+        raise CircuitError("internal error: output level is odd after leveling")
+    return leveled, top // 2
+
+
+def check_alternation(circuit: Circuit) -> bool:
+    """Verify the invariants :func:`level_alternate` promises.
+
+    Leveled wiring; OR on even levels, AND on odd; inputs only at level 0;
+    output an OR gate on an even level.
+    """
+    if not circuit.is_leveled():
+        return False
+    for gate in circuit.gates():
+        level = circuit.level(gate.gate_id)
+        if gate.kind == INPUT and level != 0:
+            return False
+        if gate.kind == AND and level % 2 != 1:
+            return False
+        if gate.kind == OR and level % 2 != 0:
+            return False
+    output = circuit.gate(circuit.output)
+    return output.kind == OR and circuit.level(circuit.output) % 2 == 0

@@ -1,0 +1,186 @@
+"""Weighted satisfiability solvers — the complete problems of the W hierarchy.
+
+``weighted X satisfiability``: given X (a circuit / formula / CNF) and an
+integer k, is there a satisfying assignment with exactly k variables set to
+true?  These solvers are the ground-truth oracles the reduction test
+harness compares against:
+
+* :func:`weighted_circuit_satisfiable` — generic k-subset enumeration,
+  O(C(n, k) · |C|), with a monotone shortcut;
+* :func:`weighted_formula_satisfiable` / :func:`weighted_cnf_satisfiable`
+  — the same enumeration over formula/CNF evaluators;
+* :func:`negative_cnf_weighted_satisfiable` — the fast path for
+  all-negative CNFs (the paper's CQ reduction output): clauses ¬a ∨ ¬b are
+  conflict edges, so a weight-k witness is an independent set of size k in
+  the conflict graph, found by backtracking with group pruning.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .circuit import Circuit
+from .cnf import CNF
+from .formulas import BoolFormula
+
+Witness = Optional[FrozenSet[str]]
+
+
+def _enumerate_weighted(
+    variables: Sequence[str], k: int, accepts
+) -> Witness:
+    """First weight-k subset accepted by the predicate, or None."""
+    if k < 0 or k > len(variables):
+        return None
+    for subset in combinations(variables, k):
+        chosen = frozenset(subset)
+        if accepts(chosen):
+            return chosen
+    return None
+
+
+def weighted_circuit_satisfiable(circuit: Circuit, k: int) -> Witness:
+    """A weight-k satisfying input set, or None.
+
+    For monotone circuits, a quick feasibility check runs first: if the
+    all-ones input fails, no input can succeed; if the all-ones input works
+    but no weight-k subset does, enumeration still decides exactly.
+    """
+    inputs = tuple(sorted(circuit.inputs))
+    if circuit.is_monotone():
+        if k <= len(inputs) and not circuit.evaluate(frozenset(inputs)):
+            return None
+    return _enumerate_weighted(inputs, k, circuit.evaluate)
+
+
+def weighted_formula_satisfiable(formula: BoolFormula, k: int) -> Witness:
+    """A weight-k satisfying variable set of a Boolean formula, or None."""
+    variables = tuple(sorted(formula.variables()))
+    return _enumerate_weighted(variables, k, formula.evaluate)
+
+
+def weighted_cnf_satisfiable(cnf: CNF, k: int) -> Witness:
+    """A weight-k satisfying variable set of a CNF, or None.
+
+    Dispatches to the all-negative fast path when applicable; otherwise
+    falls back to k-subset enumeration.
+    """
+    if cnf.all_literals_negative():
+        return negative_cnf_weighted_satisfiable(cnf, k)
+    variables = tuple(sorted(cnf.variables()))
+    return _enumerate_weighted(variables, k, cnf.evaluate)
+
+
+def negative_cnf_weighted_satisfiable(
+    cnf: CNF, k: int, groups: Optional[Mapping[str, Sequence[str]]] = None
+) -> Witness:
+    """Weight-k satisfiability when every literal is negative.
+
+    An assignment satisfies ``¬a ∨ ¬b`` iff not both a and b are true, so a
+    weight-k witness is an independent set of size k in the *conflict
+    graph* whose edges are the 2-clauses (wider all-negative clauses allow
+    all-but-one of their variables; they are handled by explicit checking).
+
+    When *groups* is given (mapping group id → variables, pairwise
+    disjoint, as produced by the CQ→2-CNF reduction where each atom's z
+    variables form one group with internal conflicts), the search branches
+    over groups — one chosen variable per group — which mirrors the
+    intended one-tuple-per-atom semantics and prunes hard.
+    """
+    variables = tuple(sorted(cnf.variables()))
+    if k < 0:
+        return None
+    if k == 0:
+        return frozenset() if cnf.evaluate(frozenset()) else None
+
+    conflicts: Dict[str, Set[str]] = {v: set() for v in variables}
+    wide_clauses: List[Tuple[str, ...]] = []
+    for clause in cnf.clauses:
+        names = tuple(l.variable for l in clause)
+        if len(names) == 1:
+            # ¬a alone: a can never be chosen.
+            conflicts[names[0]].add(names[0])
+        elif len(names) == 2:
+            a, b = names
+            if a == b:
+                conflicts[a].add(a)
+            else:
+                conflicts[a].add(b)
+                conflicts[b].add(a)
+        else:
+            wide_clauses.append(names)
+
+    if groups is not None:
+        group_lists = [tuple(members) for members in groups.values()]
+        if len(group_lists) < k:
+            return None
+        # Choose at most one variable per group, k picks in total.  The
+        # CQ→2-CNF reduction always has exactly k groups, making every
+        # group mandatory; the skip branch keeps the solver correct for
+        # general group structures.
+        chosen: List[str] = []
+
+        def backtrack(index: int) -> Witness:
+            if len(chosen) == k:
+                witness = frozenset(chosen)
+                if cnf.evaluate(witness):
+                    return witness
+                return None
+            if index >= len(group_lists):
+                return None
+            if len(group_lists) - index < k - len(chosen):
+                return None
+            for candidate in group_lists[index]:
+                if candidate in conflicts[candidate]:
+                    continue
+                if any(candidate in conflicts[c] for c in chosen):
+                    continue
+                chosen.append(candidate)
+                found = backtrack(index + 1)
+                if found is not None:
+                    return found
+                chosen.pop()
+            return backtrack(index + 1)  # skip this group
+
+        return backtrack(0)
+
+    # Generic independent-set backtracking with lexicographic candidates.
+    order = sorted(variables, key=lambda v: len(conflicts[v]))
+    chosen_set: List[str] = []
+
+    def search(start: int) -> Witness:
+        if len(chosen_set) == k:
+            witness = frozenset(chosen_set)
+            for wide in wide_clauses:
+                if all(name in witness for name in wide):
+                    return None
+            return witness
+        remaining = len(order) - start
+        if remaining < k - len(chosen_set):
+            return None
+        for i in range(start, len(order)):
+            candidate = order[i]
+            if candidate in conflicts[candidate]:
+                continue
+            if any(candidate in conflicts[c] for c in chosen_set):
+                continue
+            chosen_set.append(candidate)
+            found = search(i + 1)
+            if found is not None:
+                return found
+            chosen_set.pop()
+        return None
+
+    return search(0)

@@ -1,0 +1,20 @@
+"""Comparison constraints: consistency, equality collapse, Theorem 3 setting."""
+
+from .collapse import CollapseResult, collapse_equalities, is_acyclic_with_comparisons
+from .consistency import (
+    check_consistency,
+    is_consistent,
+    strongly_connected_components,
+)
+from .constraints import Arc, ConstraintGraph
+
+__all__ = [
+    "Arc",
+    "CollapseResult",
+    "ConstraintGraph",
+    "check_consistency",
+    "collapse_equalities",
+    "is_acyclic_with_comparisons",
+    "is_consistent",
+    "strongly_connected_components",
+]

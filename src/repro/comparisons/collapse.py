@@ -1,0 +1,113 @@
+"""Collapsing implied equalities of a comparison constraint set (§5).
+
+Before Theorem 3's acyclicity question even makes sense, equal variables
+must be identified: any x = y is expressible as x ≤ y ∧ y ≤ x, so "the
+question makes sense only if we first identify equal variables".  Given a
+consistent constraint set, every strong component collapses to a single
+representative (the component's constant if it has one, else its first
+variable); the rewritten query Q' and constraint set C' (now an acyclic
+comparison graph) define acyclicity for queries with comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..errors import QueryError
+from ..query.atoms import Comparison
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Constant, Term, Variable
+from .constraints import ConstraintGraph
+from .consistency import check_consistency
+
+
+@dataclass(frozen=True)
+class CollapseResult:
+    """Outcome of the equality collapse.
+
+    Attributes
+    ----------
+    query:
+        Q' — the query with equal terms identified and the reduced
+        (acyclic, duplicate-free, non-reflexive) comparison set C'.
+    representative:
+        The substitution that was applied (term → representative term).
+    """
+
+    query: ConjunctiveQuery
+    representative: Dict[Term, Term]
+
+
+def collapse_equalities(query: ConjunctiveQuery) -> CollapseResult:
+    """Identify terms forced equal by the comparisons; rewrite the query.
+
+    Raises :class:`InconsistentConstraintsError` when C is inconsistent
+    (the query is then unsatisfiable regardless of the data).
+    """
+    graph = ConstraintGraph(query.comparisons)
+    components = check_consistency(graph)
+
+    representative: Dict[Term, Term] = {}
+    for component in components:
+        constants = [t for t in component if isinstance(t, Constant)]
+        if constants:
+            chosen: Term = constants[0]
+        else:
+            variables = sorted(
+                (t for t in component if isinstance(t, Variable)),
+                key=lambda v: v.name,
+            )
+            chosen = variables[0]
+        for member in component:
+            representative[member] = chosen
+
+    substitution = {
+        term: rep
+        for term, rep in representative.items()
+        if isinstance(term, Variable) and term != rep
+    }
+
+    new_atoms = [atom.substitute(substitution) for atom in query.atoms]
+    new_head = tuple(
+        substitution.get(t, t) if isinstance(t, Variable) else t
+        for t in query.head_terms
+    )
+    new_inequalities = [
+        ineq.substitute(substitution) for ineq in query.inequalities
+    ]
+
+    reduced: List[Comparison] = []
+    seen = set()
+    for comparison in query.comparisons:
+        left = representative.get(comparison.left, comparison.left)
+        right = representative.get(comparison.right, comparison.right)
+        if left == right:
+            continue  # collapsed: a weak arc inside a component
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            continue  # between constants: statically true after consistency
+        marker = (left, right, comparison.strict)
+        if marker in seen:
+            continue
+        seen.add(marker)
+        reduced.append(Comparison(left, right, comparison.strict))
+
+    new_query = ConjunctiveQuery(
+        new_head,
+        new_atoms,
+        new_inequalities,
+        reduced,
+        head_name=query.head_name,
+    )
+    return CollapseResult(query=new_query, representative=representative)
+
+
+def is_acyclic_with_comparisons(query: ConjunctiveQuery) -> bool:
+    """§5's definition: acyclic after collapsing implied equalities.
+
+    "We say that the query Q with comparisons is acyclic if the hypergraph
+    corresponding to the relational atoms in the body of Q' is acyclic."
+    Raises :class:`InconsistentConstraintsError` for inconsistent C.
+    """
+    collapsed = collapse_equalities(query)
+    return collapsed.query.is_acyclic()

@@ -1,0 +1,106 @@
+"""Klug-style consistency of comparison constraint sets (§5 / [10]).
+
+"The system is consistent iff there is no strongly connected component that
+contains a < arc, and the implied equalities are that all nodes of the same
+strong component are equal."  (For dense orders; two distinct constants in
+one component are likewise inconsistent.)
+
+Tarjan's algorithm (iterative) finds the strong components; the module
+returns the implied-equality classes so the collapse step can rewrite the
+query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..errors import InconsistentConstraintsError
+from ..query.terms import Constant, Term
+from .constraints import ConstraintGraph
+
+
+def strongly_connected_components(graph: ConstraintGraph) -> List[FrozenSet[Term]]:
+    """Tarjan's SCC algorithm, iterative to survive deep constraint chains."""
+    adjacency = graph.adjacency()
+    index: Dict[Term, int] = {}
+    lowlink: Dict[Term, int] = {}
+    on_stack: Set[Term] = set()
+    stack: List[Term] = []
+    components: List[FrozenSet[Term]] = []
+    counter = [0]
+
+    for root in graph.nodes:
+        if root in index:
+            continue
+        work: List[Tuple[Term, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = adjacency[node]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: Set[Term] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def check_consistency(graph: ConstraintGraph) -> List[FrozenSet[Term]]:
+    """The implied-equality classes, or raise on inconsistency.
+
+    Inconsistent iff a strong component contains a strict arc, or contains
+    two distinct constants (which are never equal under the fixed
+    interpretation).
+    """
+    components = strongly_connected_components(graph)
+    component_of: Dict[Term, int] = {}
+    for i, component in enumerate(components):
+        for member in component:
+            component_of[member] = i
+
+    for arc in graph.arcs:
+        if arc.strict and component_of[arc.source] == component_of[arc.target]:
+            raise InconsistentConstraintsError(
+                f"cycle through strict arc {arc.source!r} < {arc.target!r}"
+            )
+    for component in components:
+        constants = [t for t in component if isinstance(t, Constant)]
+        if len(constants) > 1:
+            raise InconsistentConstraintsError(
+                f"distinct constants forced equal: {constants!r}"
+            )
+    return components
+
+
+def is_consistent(graph: ConstraintGraph) -> bool:
+    """Boolean form of :func:`check_consistency`."""
+    try:
+        check_consistency(graph)
+    except InconsistentConstraintsError:
+        return False
+    return True

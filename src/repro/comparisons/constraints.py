@@ -1,0 +1,88 @@
+"""Comparison constraint graphs (§5, "Comparison Constraints").
+
+A set C of comparison atoms over variables and constants induces a directed
+graph: an arc u → w labelled < or ≤ for each constraint u < w / u ≤ w, plus
+< arcs between constants in their natural order.  Consistency and implied
+equalities are read off the strongly connected components
+(:mod:`repro.comparisons.consistency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple, Union
+
+from ..errors import QueryError
+from ..query.atoms import Comparison
+from ..query.terms import Constant, Term, Variable
+
+Node = Term  # variables and constants are both graph nodes
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A directed constraint arc, strict (<) or weak (≤)."""
+
+    source: Term
+    target: Term
+    strict: bool
+
+    @property
+    def label(self) -> str:
+        return "<" if self.strict else "<="
+
+
+class ConstraintGraph:
+    """The directed graph of a comparison constraint set."""
+
+    def __init__(self, comparisons: Iterable[Comparison]) -> None:
+        self.comparisons: Tuple[Comparison, ...] = tuple(comparisons)
+        nodes: Dict[Term, None] = {}
+        arcs: List[Arc] = []
+        for comparison in self.comparisons:
+            nodes.setdefault(comparison.left, None)
+            nodes.setdefault(comparison.right, None)
+            arcs.append(
+                Arc(comparison.left, comparison.right, comparison.strict)
+            )
+        # Order arcs between the constants that occur, reflecting the fixed
+        # interpretation of constants in a densely ordered domain.
+        constants = [t for t in nodes if isinstance(t, Constant)]
+        for a, b in combinations(constants, 2):
+            try:
+                a_less = a.value < b.value
+            except TypeError:
+                raise QueryError(
+                    f"constants {a!r} and {b!r} are not comparable"
+                ) from None
+            if a_less:
+                arcs.append(Arc(a, b, True))
+            elif b.value < a.value:
+                arcs.append(Arc(b, a, True))
+            else:
+                # equal values in distinct Constant objects cannot happen
+                # (Constant equality is by value), but keep the case total.
+                arcs.append(Arc(a, b, False))
+                arcs.append(Arc(b, a, False))
+        self.nodes: Tuple[Term, ...] = tuple(nodes)
+        self.arcs: Tuple[Arc, ...] = tuple(arcs)
+
+    def successors(self, node: Term) -> List[Tuple[Term, bool]]:
+        """(target, strict) pairs of arcs leaving *node*."""
+        return [
+            (arc.target, arc.strict) for arc in self.arcs if arc.source == node
+        ]
+
+    def adjacency(self) -> Dict[Term, List[Term]]:
+        out: Dict[Term, List[Term]] = {node: [] for node in self.nodes}
+        for arc in self.arcs:
+            out[arc.source].append(arc.target)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{arc.source!r}{arc.label}{arc.target!r}" for arc in self.arcs[:8]
+        )
+        suffix = ", ..." if len(self.arcs) > 8 else ""
+        return f"ConstraintGraph({inner}{suffix})"

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  Subclasses
+partition the failure modes along the package structure: schema/arity
+problems in the relational layer, malformed queries, structural requirements
+(acyclicity, consistency) and parser errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database was used inconsistently with its schema.
+
+    Examples: inserting a tuple of the wrong arity, joining relations whose
+    shared attribute names disagree on declared meaning, or looking up a
+    relation name that the database does not define.
+    """
+
+
+class ArityError(SchemaError):
+    """A tuple or term list does not match the arity of its relation."""
+
+
+class QueryError(ReproError):
+    """A query object is malformed.
+
+    Examples: a head variable that does not occur in the body (unsafe
+    query), an inequality atom over variables that appear in no relational
+    atom, or a comparison constraint set that mentions undeclared terms.
+    """
+
+
+class NotAcyclicError(ReproError):
+    """An algorithm that requires an acyclic hypergraph received a cyclic one.
+
+    Raised by the Yannakakis evaluator, the Theorem 2 evaluator and the
+    join-tree constructor when GYO reduction does not empty the hypergraph.
+    """
+
+
+class InconsistentConstraintsError(ReproError):
+    """A set of order constraints (< / <=) admits no satisfying assignment.
+
+    Detected by the Klug-style strongly-connected-component test: some
+    strong component of the constraint graph contains a strict arc.
+    """
+
+
+class ParseError(ReproError):
+    """The textual query parser rejected its input."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ReductionError(ReproError):
+    """A parametric reduction was applied to an instance outside its domain."""

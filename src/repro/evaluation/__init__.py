@@ -1,0 +1,43 @@
+"""Evaluation engines for every query language in the library.
+
+* :class:`NaiveEvaluator` — the generic n^O(q) backtracking algorithm
+  (supports ≠ and < atoms; the ground-truth oracle).
+* :class:`YannakakisEvaluator` — acyclic queries in polynomial combined
+  complexity.
+* :func:`parameter_v_transform` — Theorem 1's variable-set grouping.
+* :class:`PositiveEvaluator`, :class:`FirstOrderEvaluator` — calculus
+  fragments under active-domain semantics.
+* :class:`DatalogEvaluator` — naive / semi-naive fixpoints.
+* :class:`TreewidthEvaluator` — bounded-treewidth extension.
+"""
+
+from .bounded_variable import group_relation_name, parameter_v_transform
+from .datalog_eval import DatalogEvaluator
+from .fo_eval import FirstOrderEvaluator
+from .instantiation import (
+    answers_relation,
+    apply_to_head,
+    atom_candidate_relation,
+    candidate_relations,
+    matches_atom,
+)
+from .naive import NaiveEvaluator
+from .positive_eval import PositiveEvaluator
+from .treewidth_eval import TreewidthEvaluator
+from .yannakakis import YannakakisEvaluator
+
+__all__ = [
+    "DatalogEvaluator",
+    "FirstOrderEvaluator",
+    "NaiveEvaluator",
+    "PositiveEvaluator",
+    "TreewidthEvaluator",
+    "YannakakisEvaluator",
+    "answers_relation",
+    "apply_to_head",
+    "atom_candidate_relation",
+    "candidate_relations",
+    "group_relation_name",
+    "matches_atom",
+    "parameter_v_transform",
+]

@@ -1,0 +1,133 @@
+"""First-order query evaluation under active-domain semantics.
+
+Evaluates arbitrary relational-calculus formulas bottom-up, mapping each
+subformula to the relation of its satisfying valuations over its free
+variables:
+
+* ``¬φ``  → complement against domain^free(φ);
+* ``∧``   → natural join;
+* ``∨``   → union after domain-padding to the joint schema;
+* ``∃x φ``→ projection;
+* ``∀x φ``→ relational division by the domain column.
+
+Quantifier *shadowing* (reusing a variable name beneath a quantifier that
+already binds it) is handled naturally, because each subformula's relation
+only mentions that subformula's free variables — this matters for the
+Theorem 1 first-order reduction, which reuses two variable names at every
+circuit level to keep v = k + 2.
+
+The data complexity is n^O(v) — polynomial for a fixed query — matching the
+AC0/LOGSPACE/P membership facts the paper cites; the point of Theorem 1(3)
+is that the exponent's dependence on the query is likely unavoidable.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Any, FrozenSet, Sequence, Tuple
+
+from ..errors import QueryError
+from ..query.first_order import (
+    And,
+    AtomFormula,
+    Exists,
+    FirstOrderQuery,
+    Forall,
+    Formula,
+    Not,
+    Or,
+)
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .instantiation import answers_relation, atom_candidate_relation
+
+
+class FirstOrderEvaluator:
+    """Bottom-up active-domain evaluation of first-order queries."""
+
+    def evaluate(self, query: FirstOrderQuery, database: Database) -> Relation:
+        """Q(d) as a relation of head tuples."""
+        domain = database.domain()
+        result = self._eval(query.formula, database, domain)
+        head_names = tuple(v.name for v in query.head_variables())
+        return answers_relation(query.head_terms, result.project(head_names))
+
+    def decide(self, query: FirstOrderQuery, database: Database) -> bool:
+        """Truth of a Boolean query / nonemptiness of an open one."""
+        return not self.evaluate(query, database).is_empty()
+
+    def contains(
+        self, query: FirstOrderQuery, database: Database, candidate: Sequence[Any]
+    ) -> bool:
+        """Decision problem candidate ∈ Q(d)."""
+        try:
+            decided = query.decision_instance(candidate)
+        except QueryError:
+            return False
+        return self.decide(decided, database)
+
+    def holds(self, formula: Formula, database: Database) -> bool:
+        """Truth of a sentence (no free variables)."""
+        if formula.free_variables():
+            raise QueryError("holds() expects a sentence")
+        return not self._eval(formula, database, database.domain()).is_empty()
+
+    # ------------------------------------------------------------------
+
+    def _eval(
+        self, formula: Formula, database: Database, domain: FrozenSet[Any]
+    ) -> Relation:
+        if isinstance(formula, AtomFormula):
+            return atom_candidate_relation(
+                formula.atom, database[formula.atom.relation]
+            )
+        if isinstance(formula, Not):
+            inner = self._eval(formula.operand, database, domain)
+            universe = self._universe(inner.attributes, domain)
+            return universe.difference(inner)
+        if isinstance(formula, And):
+            parts = [self._eval(c, database, domain) for c in formula.children]
+            parts.sort(key=len)
+            return reduce(Relation.natural_join, parts)
+        if isinstance(formula, Or):
+            parts = [self._eval(c, database, domain) for c in formula.children]
+            target = sorted(set().union(*(set(p.attributes) for p in parts)))
+            padded = [self._pad(p, tuple(target), domain) for p in parts]
+            return reduce(Relation.union, padded)
+        if isinstance(formula, Exists):
+            inner = self._eval(formula.operand, database, domain)
+            keep = tuple(a for a in inner.attributes if a != formula.variable.name)
+            return inner.project(keep)
+        if isinstance(formula, Forall):
+            inner = self._eval(formula.operand, database, domain)
+            name = formula.variable.name
+            if name not in inner.attributes:
+                # Vacuous quantification: ∀x φ ≡ φ when x is not free in φ
+                # (the domain is nonempty whenever there is data; over an
+                # empty domain every universal holds, represented the same
+                # way because inner is then empty over no attributes).
+                return inner
+            from ..relational.algebra import divide
+
+            domain_column = Relation((name,), ((value,) for value in domain))
+            return divide(inner, domain_column)
+        raise QueryError(f"unknown formula node: {formula!r}")
+
+    @staticmethod
+    def _universe(attributes: Tuple[str, ...], domain: FrozenSet[Any]) -> Relation:
+        """domain^attributes as a relation (the complement's universe)."""
+        rows = [()]
+        for _ in attributes:
+            rows = [row + (value,) for row in rows for value in domain]
+        return Relation(attributes, rows)
+
+    @staticmethod
+    def _pad(
+        relation: Relation, target: Sequence[str], domain: FrozenSet[Any]
+    ) -> Relation:
+        missing = tuple(a for a in target if a not in set(relation.attributes))
+        out = relation
+        for attribute in missing:
+            domain_column = Relation((attribute,), ((value,) for value in domain))
+            out = out.natural_join(domain_column)
+        return out.project(tuple(target))

@@ -1,0 +1,132 @@
+"""Instantiations (valuations) and per-atom candidate relations.
+
+The bridge between query syntax and the relational algebra: an atom
+``R(t1, ..., tr)`` over database relation R induces the relation
+
+    S = π_U σ_F (R)
+
+over the atom's distinct variables U, where the selection F keeps tuples
+that (i) agree with the atom's constants and (ii) are equal wherever the
+atom repeats a variable — exactly the paper's S_j construction used by
+Theorem 1's upper bounds, the Yannakakis evaluator, and Algorithms 1–2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import QueryError, SchemaError
+from ..query.atoms import Atom
+from ..query.terms import Constant, Term, Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+
+
+def atom_candidate_relation(atom: Atom, relation: Relation) -> Relation:
+    """The relation S = π_U σ_F (R) of candidate variable bindings for *atom*.
+
+    The result's attributes are the atom's distinct variable names in
+    first-occurrence order; each row is one binding of those variables that
+    maps the atom into *relation*.  For a variable-free atom the result is
+    the nullary TRUE/FALSE relation.
+    """
+    if relation.arity != atom.arity:
+        raise SchemaError(
+            f"atom {atom!r} has arity {atom.arity}, relation has {relation.arity}"
+        )
+    variables = atom.variables()
+    var_names = tuple(v.name for v in variables)
+    first_position: Dict[Variable, int] = {}
+    constant_checks: List[Tuple[int, Any]] = []
+    equality_checks: List[Tuple[int, int]] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            constant_checks.append((position, term.value))
+        else:
+            seen_at = first_position.get(term)
+            if seen_at is None:
+                first_position[term] = position
+            else:
+                equality_checks.append((seen_at, position))
+    out_positions = tuple(first_position[v] for v in variables)
+
+    rows = []
+    for row in relation.rows:
+        if any(row[p] != value for p, value in constant_checks):
+            continue
+        if any(row[a] != row[b] for a, b in equality_checks):
+            continue
+        rows.append(tuple(row[p] for p in out_positions))
+    return Relation(var_names, rows)
+
+
+def candidate_relations(
+    atoms: Sequence[Atom], database: Database
+) -> List[Relation]:
+    """S_j for every atom, in order (the initialization of all algorithms)."""
+    return [atom_candidate_relation(a, database[a.relation]) for a in atoms]
+
+
+def matches_atom(atom: Atom, valuation: Mapping[Variable, Any], row: Tuple) -> bool:
+    """Does *row* extend *valuation* consistently for *atom*?  (Test helper.)"""
+    if len(row) != atom.arity:
+        return False
+    local: Dict[Variable, Any] = dict(valuation)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return False
+        else:
+            bound = local.get(term, _UNSET)
+            if bound is _UNSET:
+                local[term] = value
+            elif bound != value:
+                return False
+    return True
+
+
+_UNSET = object()
+
+
+def apply_to_head(
+    head_terms: Sequence[Term], valuation: Mapping[Variable, Any]
+) -> Tuple:
+    """The output tuple τ(t0) for a satisfying valuation τ."""
+    out = []
+    for term in head_terms:
+        if isinstance(term, Constant):
+            out.append(term.value)
+        else:
+            try:
+                out.append(valuation[term])
+            except KeyError:
+                raise QueryError(f"valuation misses head variable {term!r}") from None
+    return tuple(out)
+
+
+def answers_relation(
+    head_terms: Sequence[Term], assignments: Relation
+) -> Relation:
+    """Project a relation of satisfying assignments onto the head tuple.
+
+    *assignments* has one attribute per variable (named by the variable);
+    the result has one column per head term, with synthetic names ``o0..``
+    since head terms may repeat variables or be constants.
+    """
+    names = tuple(f"o{i}" for i in range(len(head_terms)))
+    rows = []
+    attribute_index = {name: i for i, name in enumerate(assignments.attributes)}
+    for row in assignments.rows:
+        out = []
+        for term in head_terms:
+            if isinstance(term, Constant):
+                out.append(term.value)
+            else:
+                position = attribute_index.get(term.name)
+                if position is None:
+                    raise QueryError(
+                        f"assignments relation misses head variable {term!r}"
+                    )
+                out.append(row[position])
+        rows.append(tuple(out))
+    return Relation(names, rows)

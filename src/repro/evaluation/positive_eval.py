@@ -1,0 +1,107 @@
+"""Direct evaluation of positive queries (∃, ∧, ∨).
+
+Each subformula evaluates to a relation over its free variables:
+
+* atoms via the candidate-relation construction;
+* ∧ via natural join;
+* ∨ via union after padding both sides to a common schema with
+  active-domain columns (only needed when the disjuncts' free variables
+  differ);
+* ∃x via projecting x out.
+
+An alternative engine expands the query to a union of conjunctive queries
+first (:meth:`PositiveQuery.to_union_of_conjunctive_queries`) — the test
+suite checks both agree.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Any, FrozenSet, Sequence
+
+from ..errors import QueryError
+from ..query.first_order import And, AtomFormula, Exists, Formula, Or
+from ..query.positive import PositiveQuery
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .instantiation import answers_relation, atom_candidate_relation
+from .naive import NaiveEvaluator
+
+
+class PositiveEvaluator:
+    """Bottom-up relational evaluation of positive formulas."""
+
+    def evaluate(self, query: PositiveQuery, database: Database) -> Relation:
+        """Q(d) as a relation of head tuples."""
+        domain = database.domain()
+        result = self._eval(query.formula, database, domain)
+        head_names = tuple(v.name for v in query.head_variables())
+        return answers_relation(query.head_terms, result.project(head_names))
+
+    def decide(self, query: PositiveQuery, database: Database) -> bool:
+        """Is Q(d) nonempty?  (Boolean queries: is the sentence true?)"""
+        return not self.evaluate(query, database).is_empty()
+
+    def contains(
+        self, query: PositiveQuery, database: Database, candidate: Sequence[Any]
+    ) -> bool:
+        """Decision problem candidate ∈ Q(d)."""
+        try:
+            decided = query.decision_instance(candidate)
+        except QueryError:
+            return False
+        return self.decide(decided, database)
+
+    def evaluate_via_union_of_cqs(
+        self, query: PositiveQuery, database: Database
+    ) -> Relation:
+        """Alternative engine: DNF-expand and union the conjunctive answers.
+
+        This is the executable form of the Theorem 1(2) parameter-q upper
+        bound: exponentially many (in q) conjunctive queries, each solved by
+        the generic engine.
+        """
+        naive = NaiveEvaluator()
+        pieces = [
+            naive.evaluate(cq, database)
+            for cq in query.to_union_of_conjunctive_queries()
+        ]
+        return reduce(Relation.union, pieces)
+
+    # ------------------------------------------------------------------
+
+    def _eval(
+        self, formula: Formula, database: Database, domain: FrozenSet[Any]
+    ) -> Relation:
+        if isinstance(formula, AtomFormula):
+            return atom_candidate_relation(
+                formula.atom, database[formula.atom.relation]
+            )
+        if isinstance(formula, And):
+            parts = [self._eval(c, database, domain) for c in formula.children]
+            parts.sort(key=len)
+            return reduce(Relation.natural_join, parts)
+        if isinstance(formula, Or):
+            parts = [self._eval(c, database, domain) for c in formula.children]
+            target = sorted(set().union(*(set(p.attributes) for p in parts)))
+            padded = [self._pad(p, tuple(target), domain) for p in parts]
+            return reduce(Relation.union, padded)
+        if isinstance(formula, Exists):
+            inner = self._eval(formula.operand, database, domain)
+            keep = tuple(
+                a for a in inner.attributes if a != formula.variable.name
+            )
+            return inner.project(keep)
+        raise QueryError(f"not a positive formula node: {formula!r}")
+
+    @staticmethod
+    def _pad(
+        relation: Relation, target: Sequence[str], domain: FrozenSet[Any]
+    ) -> Relation:
+        """Extend *relation* to schema *target* via active-domain columns."""
+        missing = tuple(a for a in target if a not in set(relation.attributes))
+        out = relation
+        for attribute in missing:
+            domain_column = Relation((attribute,), ((value,) for value in domain))
+            out = out.natural_join(domain_column)
+        return out.project(tuple(target))

@@ -1,0 +1,143 @@
+"""Yannakakis' algorithm for acyclic conjunctive queries.
+
+The classical polynomial-combined-complexity evaluation of acyclic joins
+([18] in the paper; the basis of §5):
+
+1. compute the candidate relation S_j = π_{U_j} σ_{F_j}(R_{i_j}) per atom;
+2. build a join tree of the query hypergraph;
+3. *full reducer*: a bottom-up then a top-down semijoin pass, after which
+   the relations are globally consistent (every tuple participates in the
+   join);
+4. a final bottom-up join-and-project pass that assembles the projection of
+   the join onto the output variables, with intermediates bounded by
+   |input| · |output|.
+
+The emptiness / decision variants stop after the bottom-up pass.  Queries
+with inequality or comparison atoms are rejected here — that is exactly the
+extension Theorem 2 (``repro.inequalities``) provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NotAcyclicError, QueryError
+from ..hypergraph.join_tree import JoinTree
+from ..query.conjunctive import ConjunctiveQuery
+from ..relational.database import Database
+from ..relational.joins import JoinAlgorithm, hash_join
+from ..relational.relation import Relation
+from .instantiation import answers_relation, candidate_relations
+
+
+class YannakakisEvaluator:
+    """Acyclic-query evaluation in polynomial combined complexity."""
+
+    def __init__(self, join_algorithm: JoinAlgorithm = hash_join) -> None:
+        self._join = join_algorithm
+
+    # ------------------------------------------------------------------
+
+    def decide(self, query: ConjunctiveQuery, database: Database) -> bool:
+        """Is Q(d) nonempty?  One bottom-up semijoin pass."""
+        prepared = self._prepare(query, database)
+        if prepared is None:
+            return False
+        relations, tree = prepared
+        for node in tree.bottom_up_order():
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            relations[parent] = relations[parent].semijoin(relations[node])
+            if relations[parent].is_empty():
+                return False
+        return not relations[tree.root].is_empty()
+
+    def contains(
+        self, query: ConjunctiveQuery, database: Database, candidate: Sequence[Any]
+    ) -> bool:
+        """Decision problem candidate ∈ Q(d) via constant substitution."""
+        try:
+            decided = query.decision_instance(candidate)
+        except QueryError:
+            return False
+        return self.decide(decided, database)
+
+    def evaluate(self, query: ConjunctiveQuery, database: Database) -> Relation:
+        """Q(d) in time polynomial in input + output (full Yannakakis)."""
+        prepared = self._prepare(query, database)
+        head_names = tuple(v.name for v in query.head_variables())
+        if prepared is None:
+            return answers_relation(query.head_terms, Relation(head_names))
+        relations, tree = prepared
+
+        relations = self.full_reduction(relations, tree)
+        if relations[tree.root].is_empty():
+            return answers_relation(query.head_terms, Relation(head_names))
+
+        # Upward join-and-project pass (paper's Algorithm 2, step 2, in the
+        # plain setting): carry shared attributes plus output attributes.
+        head_set = set(head_names)
+        for node in tree.bottom_up_order():
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            parent_vars = {v for v in relations[parent].attributes}
+            keep = tuple(
+                a
+                for a in relations[node].attributes
+                if a in parent_vars or a in head_set
+            )
+            relations[parent] = self._join(
+                relations[parent], relations[node].project(keep)
+            )
+
+        answer_vars = relations[tree.root].project(
+            tuple(a for a in relations[tree.root].attributes if a in head_set)
+        ).project(head_names)
+        return answers_relation(query.head_terms, answer_vars)
+
+    # ------------------------------------------------------------------
+
+    def full_reduction(
+        self, relations: Dict[int, Relation], tree: JoinTree
+    ) -> Dict[int, Relation]:
+        """Semijoin full reducer: bottom-up then top-down pass.
+
+        Returns a new mapping in which the relations are globally
+        consistent: P_u = π_{attrs(P_u)}(P_1 ⋈ ... ⋈ P_s).
+        """
+        reduced = dict(relations)
+        for node in tree.bottom_up_order():
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            reduced[parent] = reduced[parent].semijoin(reduced[node])
+        for node in tree.top_down_order():
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            reduced[node] = reduced[node].semijoin(reduced[parent])
+        return reduced
+
+    # ------------------------------------------------------------------
+
+    def _prepare(
+        self, query: ConjunctiveQuery, database: Database
+    ) -> Optional[Tuple[Dict[int, Relation], JoinTree]]:
+        """Candidate relations + join tree; None when trivially empty."""
+        if query.inequalities or query.comparisons:
+            raise QueryError(
+                "YannakakisEvaluator handles purely relational acyclic "
+                "queries; use repro.inequalities for queries with != atoms"
+            )
+        hypergraph = query.hypergraph()
+        try:
+            tree = JoinTree.from_hypergraph(hypergraph)
+        except NotAcyclicError:
+            raise
+        candidates = candidate_relations(query.atoms, database)
+        relations = {i: rel for i, rel in enumerate(candidates)}
+        if any(rel.is_empty() for rel in relations.values()):
+            return None
+        return relations, tree

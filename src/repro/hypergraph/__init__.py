@@ -1,0 +1,33 @@
+"""Hypergraph machinery: acyclicity (GYO), join trees, treewidth."""
+
+from .gyo import GYOResult, gyo_reduce, is_acyclic
+from .hypergraph import Hypergraph
+from .join_tree import JoinTree, join_tree_of
+from .primal import graph_edges, primal_graph
+from .treewidth import (
+    TreeDecomposition,
+    decomposition_from_order,
+    exact_treewidth,
+    min_degree_order,
+    min_fill_order,
+    tree_decomposition,
+    verify_decomposition,
+)
+
+__all__ = [
+    "GYOResult",
+    "Hypergraph",
+    "JoinTree",
+    "TreeDecomposition",
+    "decomposition_from_order",
+    "exact_treewidth",
+    "graph_edges",
+    "gyo_reduce",
+    "is_acyclic",
+    "join_tree_of",
+    "min_degree_order",
+    "min_fill_order",
+    "primal_graph",
+    "tree_decomposition",
+    "verify_decomposition",
+]

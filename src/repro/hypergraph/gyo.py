@@ -1,0 +1,140 @@
+"""The GYO (Graham / Yu–Özsoyoğlu) reduction and alpha-acyclicity.
+
+GYO repeatedly applies two rules until neither fires:
+
+1. delete a node that occurs in at most one edge (an *ear vertex*);
+2. delete an edge that is contained in another edge, recording the
+   containing edge as its *witness*.
+
+A hypergraph is (alpha-)acyclic iff the reduction deletes every edge.  The
+recorded witnesses are exactly the parent pointers of a join forest, which
+:mod:`repro.hypergraph.join_tree` assembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .hypergraph import Hypergraph
+
+
+@dataclass
+class GYOResult:
+    """Outcome of a GYO reduction.
+
+    Attributes
+    ----------
+    witnesses:
+        ``witnesses[i] = j`` when edge i was absorbed into surviving edge j
+        (i ⊆ j after ear-vertex deletions).  The final surviving edge of
+        each connected component has witness ``None``.
+    removal_order:
+        Edge indices in the order they were deleted; roots appended last.
+    surviving_edges:
+        Indices never absorbed (the roots of the join forest).  Empty or a
+        singleton per component when acyclic.
+    residual:
+        The irreducible core (nonempty edge set iff the input was cyclic).
+    """
+
+    witnesses: Dict[int, Optional[int]]
+    removal_order: List[int]
+    surviving_edges: List[int]
+    residual: Tuple[FrozenSet, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff GYO reduced the hypergraph completely (acyclic input)."""
+        return not self.residual
+
+
+def gyo_reduce(hypergraph: Hypergraph) -> GYOResult:
+    """Run the GYO reduction, returning witnesses for join-forest assembly.
+
+    Runs in O(edges² · max-edge-size) — simple and fast enough at query
+    scale, where the number of atoms is the paper's parameter q.
+    """
+    # Work on shrinking copies; edges keep their original indices.
+    current: Dict[int, Set] = {
+        i: set(edge) for i, edge in enumerate(hypergraph.edges)
+    }
+    witnesses: Dict[int, Optional[int]] = {}
+    removal_order: List[int] = []
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Rule 1: delete ear vertices (nodes in at most one remaining edge).
+        counts: Dict = {}
+        for members in current.values():
+            for node in members:
+                counts[node] = counts.get(node, 0) + 1
+        for members in current.values():
+            lonely = {node for node in members if counts[node] <= 1}
+            if lonely:
+                members -= lonely
+                changed = True
+
+        # Rule 2: delete an edge contained in another (ties broken by index).
+        indices = sorted(current)
+        absorbed: Optional[Tuple[int, int]] = None
+        for i in indices:
+            for j in indices:
+                if i == j:
+                    continue
+                if current[i] <= current[j]:
+                    absorbed = (i, j)
+                    break
+            if absorbed:
+                break
+        if absorbed:
+            i, j = absorbed
+            witnesses[i] = j
+            removal_order.append(i)
+            del current[i]
+            changed = True
+            continue
+
+        # Also: an edge emptied by ear deletions with no peers left.
+        empty_now = [i for i, members in current.items() if not members]
+        if len(empty_now) == len(current):
+            # All remaining edges are empty and mutually containing; absorb
+            # them pairwise, keeping one survivor per original component.
+            break
+
+    surviving = sorted(current)
+    for i in surviving:
+        witnesses[i] = witnesses.get(i, None)
+        removal_order.append(i)
+
+    # Residual: surviving edges that still have ≥1 node and at least one
+    # other surviving edge sharing structure — i.e. the reduction is stuck.
+    # Acyclic inputs always reduce each component to a single edge (possibly
+    # nonempty).  The reduction is complete iff no two surviving edges share
+    # a node and no surviving edge could be absorbed (guaranteed by the
+    # loop); it failed iff >= 2 surviving edges share any node.
+    residual: Tuple[FrozenSet, ...] = ()
+    if len(surviving) > 1:
+        node_owners: Dict = {}
+        stuck = False
+        for i in surviving:
+            for node in current[i]:
+                if node in node_owners:
+                    stuck = True
+                node_owners[node] = i
+        if stuck:
+            residual = tuple(frozenset(current[i]) for i in surviving)
+
+    return GYOResult(
+        witnesses=witnesses,
+        removal_order=removal_order,
+        surviving_edges=surviving,
+        residual=residual,
+    )
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """Alpha-acyclicity test (GYO reduces to nothing)."""
+    return gyo_reduce(hypergraph).is_empty

@@ -1,0 +1,122 @@
+"""Hypergraphs over query variables.
+
+A query's hypergraph H has the query variables as nodes and one hyperedge
+per relational atom (the atom's variable set), per the paper's §5.  Edges
+keep positional identity — two atoms with the same variable set yield two
+distinct (equal-content) edges — because the join tree built for the
+Theorem 2 algorithms needs one tree node per *atom*.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from ..errors import SchemaError
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class Hypergraph:
+    """An immutable hypergraph with positionally-identified edges.
+
+    Parameters
+    ----------
+    nodes:
+        The node universe.  Must contain every edge member.  Isolated nodes
+        (in no edge) are allowed.
+    edges:
+        A sequence of node sets; order and multiplicity are preserved.
+    """
+
+    __slots__ = ("_nodes", "_edges")
+
+    def __init__(
+        self, nodes: Iterable[Node], edges: Sequence[Iterable[Node]]
+    ) -> None:
+        self._nodes: FrozenSet[Node] = frozenset(nodes)
+        self._edges: Tuple[FrozenSet[Node], ...] = tuple(
+            frozenset(e) for e in edges
+        )
+        for i, edge in enumerate(self._edges):
+            stray = edge - self._nodes
+            if stray:
+                raise SchemaError(
+                    f"edge {i} contains nodes outside the universe: {sorted(map(repr, stray))}"
+                )
+
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        return self._nodes
+
+    @property
+    def edges(self) -> Tuple[FrozenSet[Node], ...]:
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edge(self, index: int) -> FrozenSet[Node]:
+        return self._edges[index]
+
+    # ------------------------------------------------------------------
+
+    def incidence(self) -> Dict[Node, Tuple[int, ...]]:
+        """Map each node to the indices of the edges containing it."""
+        out: Dict[Node, List[int]] = {node: [] for node in self._nodes}
+        for i, edge in enumerate(self._edges):
+            for node in edge:
+                out[node].append(i)
+        return {node: tuple(ids) for node, ids in out.items()}
+
+    def is_connected(self) -> bool:
+        """True iff the edges form one connected component (w.r.t. shared nodes).
+
+        Isolated nodes are ignored; a hypergraph with no edges is connected.
+        """
+        if len(self._edges) <= 1:
+            return True
+        adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(self._edges))}
+        incidence = self.incidence()
+        for ids in incidence.values():
+            for a in ids:
+                for b in ids:
+                    if a != b:
+                        adjacency[a].add(b)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for nxt in adjacency[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(self._edges)
+
+    def is_acyclic(self) -> bool:
+        """Alpha-acyclicity via GYO reduction."""
+        from .gyo import gyo_reduce
+
+        return gyo_reduce(self).is_empty
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, self._edges))
+
+    def __repr__(self) -> str:
+        edges = [sorted(map(repr, e)) for e in self._edges]
+        return f"Hypergraph({len(self._nodes)} nodes, edges={edges!r})"

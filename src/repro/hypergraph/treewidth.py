@@ -1,0 +1,214 @@
+"""Tree decompositions via elimination-order heuristics.
+
+The paper's closing discussion (and the follow-up literature it seeded)
+generalizes acyclicity to bounded treewidth / hypertree width.  We include
+the standard elimination-order construction with the min-degree and
+min-fill heuristics, plus an exact branch-and-bound width for small graphs
+used as a test oracle.  The decomposition drives the bounded-treewidth
+evaluation engine in :mod:`repro.evaluation.treewidth_eval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SchemaError
+from .hypergraph import Hypergraph
+from .primal import Adjacency, primal_graph
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """A tree decomposition: bags plus tree edges between bag indices."""
+
+    bags: Tuple[FrozenSet, ...]
+    edges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def width(self) -> int:
+        """max bag size − 1 (the width of the decomposition)."""
+        return max((len(b) for b in self.bags), default=1) - 1
+
+    def neighbours(self, index: int) -> Tuple[int, ...]:
+        out = []
+        for a, b in self.edges:
+            if a == index:
+                out.append(b)
+            elif b == index:
+                out.append(a)
+        return tuple(out)
+
+
+def _copy_adjacency(adjacency: Adjacency) -> Adjacency:
+    return {node: set(neighbours) for node, neighbours in adjacency.items()}
+
+
+def min_degree_order(adjacency: Adjacency) -> Tuple:
+    """Elimination order choosing a minimum-degree node at each step."""
+    work = _copy_adjacency(adjacency)
+    order: List = []
+    while work:
+        node = min(work, key=lambda n: (len(work[n]), repr(n)))
+        _eliminate(work, node)
+        order.append(node)
+    return tuple(order)
+
+
+def min_fill_order(adjacency: Adjacency) -> Tuple:
+    """Elimination order choosing a minimum-fill-in node at each step."""
+    work = _copy_adjacency(adjacency)
+    order: List = []
+    while work:
+        node = min(work, key=lambda n: (_fill_in(work, n), repr(n)))
+        _eliminate(work, node)
+        order.append(node)
+    return tuple(order)
+
+
+def _fill_in(adjacency: Adjacency, node) -> int:
+    neighbours = tuple(adjacency[node])
+    missing = 0
+    for i, a in enumerate(neighbours):
+        for b in neighbours[i + 1:]:
+            if b not in adjacency[a]:
+                missing += 1
+    return missing
+
+
+def _eliminate(adjacency: Adjacency, node) -> FrozenSet:
+    """Remove *node*, cliquing its neighbourhood; returns the bag formed."""
+    neighbours = tuple(adjacency[node])
+    for i, a in enumerate(neighbours):
+        for b in neighbours[i + 1:]:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    for other in neighbours:
+        adjacency[other].discard(node)
+    bag = frozenset((node,) + neighbours)
+    del adjacency[node]
+    return bag
+
+
+def decomposition_from_order(adjacency: Adjacency, order: Sequence) -> TreeDecomposition:
+    """The tree decomposition induced by an elimination order.
+
+    Bag i is ``{order[i]} ∪ N(order[i])`` at elimination time; bag i's tree
+    parent is the bag of the earliest-eliminated node among those
+    neighbours.  Nodes with no remaining neighbours start new components,
+    which are chained to keep the result a single tree.
+    """
+    position = {node: i for i, node in enumerate(order)}
+    if set(position) != set(adjacency):
+        raise SchemaError("elimination order must cover exactly the graph nodes")
+    work = _copy_adjacency(adjacency)
+    bags: List[FrozenSet] = []
+    edges: List[Tuple[int, int]] = []
+    pending_roots: List[int] = []
+    for node in order:
+        neighbours = tuple(work[node])
+        bag_index = len(bags)
+        bags.append(frozenset((node,) + neighbours))
+        if neighbours:
+            successor = min(neighbours, key=lambda n: position[n])
+            # The successor's bag is created when the successor is
+            # eliminated, later; remember the link by node.
+            edges.append((bag_index, -position[successor] - 1))  # placeholder
+        else:
+            pending_roots.append(bag_index)
+        _eliminate(work, node)
+    # Resolve placeholders: the bag created when node at position p was
+    # eliminated is bag p (bags are appended in elimination order).
+    resolved = [
+        (a, -b - 1) if b < 0 else (a, b)
+        for a, b in edges
+    ]
+    # Chain component roots so the decomposition is one tree.
+    for first, second in zip(pending_roots, pending_roots[1:]):
+        resolved.append((first, second))
+    return TreeDecomposition(tuple(bags), tuple(resolved))
+
+
+def tree_decomposition(
+    hypergraph: Hypergraph, heuristic: str = "min_fill"
+) -> TreeDecomposition:
+    """A tree decomposition of the query's primal graph.
+
+    Every hyperedge is a clique of the primal graph, so the standard result
+    guarantees every hyperedge is contained in some bag — which
+    :func:`verify_decomposition` checks and the evaluation engine relies on.
+    """
+    adjacency = primal_graph(hypergraph)
+    if heuristic == "min_fill":
+        order = min_fill_order(adjacency)
+    elif heuristic == "min_degree":
+        order = min_degree_order(adjacency)
+    else:
+        raise SchemaError(f"unknown heuristic {heuristic!r}")
+    return decomposition_from_order(adjacency, order)
+
+
+def verify_decomposition(
+    hypergraph: Hypergraph, decomposition: TreeDecomposition
+) -> bool:
+    """Check the three tree-decomposition conditions against *hypergraph*.
+
+    (1) bags cover all nodes; (2) every hyperedge fits in some bag;
+    (3) for each node, the bags containing it form a connected subtree.
+    """
+    covered: Set = set()
+    for bag in decomposition.bags:
+        covered |= bag
+    if covered != set(hypergraph.nodes):
+        return False
+    for edge in hypergraph.edges:
+        if not any(edge <= bag for bag in decomposition.bags):
+            return False
+    adjacency: Dict[int, Set[int]] = {
+        i: set() for i in range(len(decomposition.bags))
+    }
+    for a, b in decomposition.edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    for node in hypergraph.nodes:
+        holders = [
+            i for i, bag in enumerate(decomposition.bags) if node in bag
+        ]
+        if len(holders) <= 1:
+            continue
+        holder_set = set(holders)
+        seen = {holders[0]}
+        frontier = [holders[0]]
+        while frontier:
+            current = frontier.pop()
+            for nxt in adjacency[current]:
+                if nxt in holder_set and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        if seen != holder_set:
+            return False
+    return True
+
+
+def exact_treewidth(adjacency: Adjacency, upper_bound: Optional[int] = None) -> int:
+    """Exact treewidth by exhausting elimination orders (test oracle only).
+
+    Factorial in the node count; intended for graphs with ≤ 8 nodes in the
+    test-suite, where it validates the heuristics.
+    """
+    nodes = tuple(adjacency)
+    if not nodes:
+        return -1
+    best = upper_bound if upper_bound is not None else len(nodes) - 1
+    for order in permutations(nodes):
+        work = _copy_adjacency(adjacency)
+        worst = 0
+        for node in order:
+            worst = max(worst, len(work[node]))
+            if worst >= best + 1:
+                break
+            _eliminate(work, node)
+        else:
+            best = min(best, worst)
+    return best

@@ -1,0 +1,46 @@
+"""Theorem 2: f.p.-tractable acyclic conjunctive queries with ≠ atoms.
+
+Color-coding (hash the domain into [k]) combined with acyclic-query
+processing over a join tree.  See :class:`AcyclicInequalityEvaluator` for
+the main entry point and :class:`FormulaInequalityEvaluator` for the §5
+∧/∨-formula extensions.
+"""
+
+from .algorithm1 import HashedAcyclicEngine, build_engine
+from .algorithm2 import evaluate_for_hash
+from .evaluator import AcyclicInequalityEvaluator
+from .formula_extension import (
+    FormulaInequalityEvaluator,
+    split_conjunctive_constants,
+)
+from .hashing import (
+    ExhaustiveHashFamily,
+    GreedyPerfectHashFamily,
+    HashFamilyError,
+    HashFunction,
+    RandomHashFamily,
+    is_perfect_family,
+)
+from .partition import (
+    InequalityPartition,
+    partition_inequalities,
+    selected_candidate_relation,
+)
+
+__all__ = [
+    "AcyclicInequalityEvaluator",
+    "ExhaustiveHashFamily",
+    "FormulaInequalityEvaluator",
+    "GreedyPerfectHashFamily",
+    "HashFamilyError",
+    "HashFunction",
+    "HashedAcyclicEngine",
+    "InequalityPartition",
+    "RandomHashFamily",
+    "build_engine",
+    "evaluate_for_hash",
+    "is_perfect_family",
+    "partition_inequalities",
+    "selected_candidate_relation",
+    "split_conjunctive_constants",
+]

@@ -1,0 +1,237 @@
+"""Algorithm 1 of Theorem 2: the emptiness test for one hash function.
+
+Given an acyclic query with inequalities, a database, and h : D → [k],
+decide whether some *consistent* (h-injective on I1 pairs) satisfying
+instantiation exists:
+
+1. initialize P_j := S'_j — the selected candidate relation of atom j
+   extended with hashed shadow attributes x' = h(x) for x ∈ U_j ∩ V1;
+2. process the join tree bottom-up; merging child j into parent u:
+
+       P_u := σ_F ( P_u ⋈ π_{Y_j ∩ Y_u}(P_j) )
+
+   where Y_j = U_j ∪ U'_j ∪ W'_j and F checks the I1 inequalities whose
+   one side just arrived from j's subtree and whose other side is already
+   present in P_u but absent from Y_j;
+3. the query is h-consistently satisfiable iff no P becomes empty and the
+   root ends nonempty.
+
+The W_j sets ("which hashed attributes must be carried through node j")
+follow the paper's definition; :class:`HashedAcyclicEngine` also supports
+the §5 formula extension's *carry-to-root* mode, where every hashed
+attribute is propagated to the root and the (∧/∨) inequality formula is
+applied there instead of being pushed down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import NotAcyclicError, QueryError
+from ..hypergraph.join_tree import JoinTree
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Variable
+from ..relational.attributes import hashed
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .hashing import HashFunction
+from .partition import (
+    InequalityPartition,
+    partition_inequalities,
+    selected_candidate_relation,
+)
+
+
+class HashedAcyclicEngine:
+    """Per-query preprocessed state shared across hash functions.
+
+    Parameters
+    ----------
+    query, database:
+        The acyclic conjunctive query (≠ atoms allowed) and its data.
+    hashed_variables:
+        The variables receiving shadow attributes (Theorem 2: V1; formula
+        extension: all φ variables).
+    partners:
+        I1 partner map, used for W_j and the pushed-down σ_F checks.
+        Ignored in carry-to-root mode.
+    carry_to_root:
+        When True, every hashed attribute is propagated to the root and no
+        σ_F is applied during merges (the §5 arbitrary-formula mode).
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        hashed_variables: Sequence[Variable],
+        partners: Dict[Variable, FrozenSet[Variable]],
+        partition: InequalityPartition,
+        carry_to_root: bool = False,
+    ) -> None:
+        self.query = query
+        self.database = database
+        self.hashed_variables: Tuple[Variable, ...] = tuple(hashed_variables)
+        self.partners = partners
+        self.partition = partition
+        self.carry_to_root = carry_to_root
+
+        self.tree = JoinTree.from_hypergraph(query.hypergraph())
+        self.base_relations: Dict[int, Relation] = {
+            j: selected_candidate_relation(j, query, database, partition.i2)
+            for j in range(len(query.atoms))
+        }
+        self._subtree_vars: Dict[int, FrozenSet[Variable]] = {
+            j: frozenset(self.tree.subtree_vars(j)) for j in self.tree.nodes()
+        }
+        self.w_sets = self._compute_w_sets()
+        self.y_sets = self._compute_y_sets()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def atom_vars(self, j: int) -> FrozenSet[Variable]:
+        """U_j."""
+        return frozenset(self.query.atoms[j].variable_set())
+
+    def _compute_w_sets(self) -> Dict[int, FrozenSet[Variable]]:
+        """W_j per the paper (or the carry-to-root variant)."""
+        hashed_set = set(self.hashed_variables)
+        out: Dict[int, FrozenSet[Variable]] = {}
+        for j in self.tree.nodes():
+            u_j = self.atom_vars(j)
+            members: Set[Variable] = set()
+            for x in hashed_set - u_j:
+                if x not in self._subtree_vars[j]:
+                    continue
+                if self.carry_to_root:
+                    members.add(x)
+                    continue
+                # x lives in exactly one proper child subtree of j.
+                child_subtree: Optional[FrozenSet[Variable]] = None
+                for child in self.tree.children(j):
+                    if x in self._subtree_vars[child]:
+                        child_subtree = self._subtree_vars[child]
+                        break
+                if child_subtree is None:
+                    continue
+                if any(
+                    partner not in child_subtree
+                    for partner in self.partners.get(x, frozenset())
+                ):
+                    members.add(x)
+            out[j] = frozenset(members)
+        return out
+
+    def _compute_y_sets(self) -> Dict[int, FrozenSet[str]]:
+        """Y_j = U_j ∪ U'_j ∪ W'_j, as attribute-name sets."""
+        hashed_set = set(self.hashed_variables)
+        out: Dict[int, FrozenSet[str]] = {}
+        for j in self.tree.nodes():
+            u_j = self.atom_vars(j)
+            names: Set[str] = {v.name for v in u_j}
+            names |= {hashed(v.name) for v in u_j & hashed_set}
+            names |= {hashed(v.name) for v in self.w_sets[j]}
+            out[j] = frozenset(names)
+        return out
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def initial_relations(self, h: HashFunction) -> Dict[int, Relation]:
+        """P_j := S'_j — extend each S_j with its hashed shadow columns."""
+        hashed_set = set(self.hashed_variables)
+        out: Dict[int, Relation] = {}
+        for j in self.tree.nodes():
+            relation = self.base_relations[j]
+            for x in sorted(self.atom_vars(j) & hashed_set, key=lambda v: v.name):
+                relation = relation.extend(
+                    hashed(x.name), lambda row, _n=x.name: h.get(row[_n], 1)
+                )
+            out[j] = relation
+        return out
+
+    def merge_selection(
+        self, j: int, parent_attributes: Sequence[str]
+    ) -> List[Tuple[str, str]]:
+        """The σ_F pairs (hashed attr, hashed attr) for merging node j.
+
+        An I1 inequality x ≠ l is checked here iff x' ∈ Y_j − U'_u and
+        l' ∈ attrs(P_u) − Y_j (either orientation).
+        """
+        if self.carry_to_root:
+            return []
+        u = self.tree.parent(j)
+        if u is None:
+            return []
+        u_hashed = {
+            hashed(v.name)
+            for v in self.atom_vars(u) & set(self.hashed_variables)
+        }
+        parent_set = set(parent_attributes)
+        y_j = self.y_sets[j]
+        pairs: List[Tuple[str, str]] = []
+        for ineq in self.partition.i1:
+            for left, right in (
+                (ineq.left, ineq.right),
+                (ineq.right, ineq.left),
+            ):
+                left_h = hashed(left.name)    # type: ignore[union-attr]
+                right_h = hashed(right.name)  # type: ignore[union-attr]
+                if (
+                    left_h in y_j
+                    and left_h not in u_hashed
+                    and right_h in parent_set
+                    and right_h not in y_j
+                ):
+                    pairs.append((left_h, right_h))
+        return pairs
+
+    def bottom_up(self, h: HashFunction) -> Optional[Dict[int, Relation]]:
+        """Run Algorithm 1; return the relations, or None when Q_h(d) = ∅."""
+        relations = self.initial_relations(h)
+        if any(rel.is_empty() for rel in relations.values()):
+            return None
+        for j in self.tree.bottom_up_order():
+            u = self.tree.parent(j)
+            if u is None:
+                continue
+            shared = tuple(
+                a
+                for a in relations[j].attributes
+                if a in self.y_sets[j] & self.y_sets[u]
+            )
+            merged = relations[u].natural_join(relations[j].project(shared))
+            for left_h, right_h in self.merge_selection(
+                j, relations[u].attributes
+            ):
+                merged = merged.select_attr_neq(left_h, right_h)
+            relations[u] = merged
+            if merged.is_empty():
+                return None
+        if relations[self.tree.root].is_empty():
+            return None
+        return relations
+
+    def nonempty_for(self, h: HashFunction) -> bool:
+        """Is Q_h(d) nonempty?  (The emptiness test of Algorithm 1.)"""
+        return self.bottom_up(h) is not None
+
+
+def build_engine(
+    query: ConjunctiveQuery, database: Database
+) -> HashedAcyclicEngine:
+    """The Theorem 2 engine for a query: hashes V1, pushes σ_F down."""
+    if query.comparisons:
+        raise QueryError("comparisons are not supported by Theorem 2 machinery")
+    partition = partition_inequalities(query)
+    return HashedAcyclicEngine(
+        query=query,
+        database=database,
+        hashed_variables=partition.v1,
+        partners=partition.partners(),
+        partition=partition,
+        carry_to_root=False,
+    )

@@ -1,0 +1,66 @@
+"""Algorithm 2 of Theorem 2: evaluating Q_h(d) for one hash function.
+
+After Algorithm 1's bottom-up pass the parent relations are join-consistent
+with their children; Algorithm 2 finishes the job output-sensitively:
+
+1. *top-down pass* — semijoin each node with its parent, removing dangling
+   tuples (after this the relations are globally consistent);
+2. *bottom-up pass* — join each node into its parent projected onto
+   Z_j = (Y_j ∩ Y_u) ∪ (Z ∩ at(T[j])), accumulating the output variables Z;
+3. at the root, project onto Z and emit {τ(t_0) | τ ∈ P*}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..relational.attributes import is_hashed
+from ..relational.relation import Relation
+from ..evaluation.instantiation import answers_relation
+from .algorithm1 import HashedAcyclicEngine
+from .hashing import HashFunction
+
+
+def evaluate_for_hash(
+    engine: HashedAcyclicEngine, h: HashFunction
+) -> Relation:
+    """Q_h(d) as a relation of head tuples (empty when inconsistent)."""
+    query = engine.query
+    head_names = tuple(v.name for v in query.head_variables())
+
+    relations = engine.bottom_up(h)
+    if relations is None:
+        return answers_relation(query.head_terms, Relation(head_names))
+    relations = dict(relations)
+    tree = engine.tree
+
+    # Step 1: top-down semijoins (dangling-tuple elimination).
+    for j in tree.top_down_order():
+        u = tree.parent(j)
+        if u is None:
+            continue
+        relations[j] = relations[j].semijoin(relations[u])
+
+    # Step 2: bottom-up joins carrying shared + output attributes.
+    head_set = set(head_names)
+    for j in tree.bottom_up_order():
+        u = tree.parent(j)
+        if u is None:
+            continue
+        parent_attrs = set(relations[u].attributes)
+        keep = tuple(
+            a
+            for a in relations[j].attributes
+            if a in parent_attrs or a in head_set
+        )
+        relations[u] = relations[u].natural_join(relations[j].project(keep))
+
+    # Step 3: the answer from the root.
+    root = relations[tree.root]
+    present = tuple(a for a in root.attributes if a in head_set)
+    if set(present) != head_set:
+        missing = sorted(head_set - set(present))
+        raise AssertionError(
+            f"internal error: head variables {missing} did not reach the root"
+        )
+    return answers_relation(query.head_terms, root.project(head_names))

@@ -1,0 +1,251 @@
+"""§5 extensions of Theorem 2 beyond conjunctions of ≠ atoms.
+
+*Parameter q*: an arbitrary ∧/∨ formula φ over inequality atoms (variables
+and constants).  All φ variables are hashed, constants are hashed too, the
+shadow attributes are carried to the root (selections cannot be pushed
+down), and σ_φ̂ is applied there; k = #variables(φ) + #constants(φ) ≤ q.
+
+*Parameter v*: the same works when the x ≠ c atoms occur only
+conjunctively — they fold into the S_j selections, the remaining formula
+mentions only variables, and k ≤ v.  With x ≠ c combined arbitrarily under
+∨ the problem becomes W[SAT]-complete (see
+:func:`repro.reductions.wsat_to_positive` adapted in the test-suite), so
+:class:`FormulaInequalityEvaluator` refuses that case unless
+``allow_disjunctive_constants=True`` (the parameter-q regime).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..query.atoms import Inequality
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.ineq_formula import (
+    IneqAnd,
+    IneqFormula,
+    IneqLeaf,
+    IneqOr,
+    is_conjunctive_in_constants,
+)
+from ..query.terms import Constant, Variable
+from ..relational.attributes import hashed
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..evaluation.instantiation import answers_relation
+from .algorithm1 import HashedAcyclicEngine
+from .algorithm2 import evaluate_for_hash
+from .hashing import GreedyPerfectHashFamily, HashFunction, RandomHashFamily
+from .partition import InequalityPartition
+
+
+def split_conjunctive_constants(
+    formula: IneqFormula,
+) -> Tuple[Tuple[Inequality, ...], Optional[IneqFormula]]:
+    """Split φ into top-level conjunctive x ≠ c atoms and the rest.
+
+    Returns (constant atoms, remaining formula or None).  Only valid when
+    the constant atoms occur conjunctively (checked by the caller).
+    """
+    if isinstance(formula, IneqLeaf):
+        if formula.atom.is_variable_variable():
+            return (), formula
+        return (formula.atom,), None
+    if isinstance(formula, IneqAnd):
+        constants: List[Inequality] = []
+        rest: List[IneqFormula] = []
+        for child in formula.children:
+            child_constants, child_rest = split_conjunctive_constants(child)
+            constants.extend(child_constants)
+            if child_rest is not None:
+                rest.append(child_rest)
+        if not rest:
+            return tuple(constants), None
+        remaining = rest[0] if len(rest) == 1 else IneqAnd(rest)
+        return tuple(constants), remaining
+    return (), formula  # an Or node: no top-level conjunctive constants
+
+
+class FormulaInequalityEvaluator:
+    """Acyclic queries with an arbitrary ∧/∨ formula of ≠ atoms."""
+
+    def __init__(self, family=None, allow_disjunctive_constants: bool = False) -> None:
+        self.family = family or GreedyPerfectHashFamily()
+        self.allow_disjunctive_constants = allow_disjunctive_constants
+
+    # ------------------------------------------------------------------
+
+    def decide(
+        self,
+        query: ConjunctiveQuery,
+        formula: IneqFormula,
+        database: Database,
+    ) -> bool:
+        """Is there a satisfying instantiation of (relational atoms ∧ φ)?"""
+        engine, phi, constants = self._prepare(query, formula, database)
+        for h in self._functions(engine, phi, constants):
+            relations = engine.bottom_up(h)
+            if relations is None:
+                continue
+            root = self._apply_formula(
+                relations[engine.tree.root], phi, h, constants
+            )
+            if not root.is_empty():
+                return True
+        return False
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        formula: IneqFormula,
+        database: Database,
+    ) -> Relation:
+        """All head tuples of satisfying instantiations."""
+        engine, phi, constants = self._prepare(query, formula, database)
+        head_names = tuple(v.name for v in query.head_variables())
+        result = answers_relation(query.head_terms, Relation(head_names))
+        for h in self._functions(engine, phi, constants):
+            relations = engine.bottom_up(h)
+            if relations is None:
+                continue
+            relations = dict(relations)
+            root_id = engine.tree.root
+            relations[root_id] = self._apply_formula(
+                relations[root_id], phi, h, constants
+            )
+            if relations[root_id].is_empty():
+                continue
+            piece = _finish_evaluation(engine, relations, head_names)
+            result = result.union(piece)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _prepare(
+        self,
+        query: ConjunctiveQuery,
+        formula: IneqFormula,
+        database: Database,
+    ) -> Tuple[HashedAcyclicEngine, Optional[IneqFormula], Tuple[Any, ...]]:
+        if query.inequalities or query.comparisons:
+            raise QueryError(
+                "pass the inequality formula separately; the query's own "
+                "constraint lists must be empty"
+            )
+        for v in formula.variables():
+            if v not in query.body_variable_set():
+                raise QueryError(f"formula variable {v!r} not in the query body")
+
+        if self.allow_disjunctive_constants or is_conjunctive_in_constants(formula):
+            constant_atoms, remaining = (
+                split_conjunctive_constants(formula)
+                if is_conjunctive_in_constants(formula)
+                else ((), formula)
+            )
+        else:
+            raise QueryError(
+                "x != c atoms under OR make the problem W[SAT]-complete for "
+                "parameter v; pass allow_disjunctive_constants=True to run "
+                "in the parameter-q regime"
+            )
+
+        partition = InequalityPartition(i1=(), i2=tuple(constant_atoms), v1=())
+        phi = remaining
+        phi_vars = tuple(sorted(phi.variables(), key=lambda v: v.name)) if phi else ()
+        engine = HashedAcyclicEngine(
+            query=query,
+            database=database,
+            hashed_variables=phi_vars,
+            partners={},
+            partition=partition,
+            carry_to_root=True,
+        )
+        phi_constants: Tuple[Any, ...] = ()
+        if phi is not None:
+            phi_constants = tuple(
+                sorted({c.value for c in phi.constants()}, key=repr)
+            )
+        return engine, phi, phi_constants
+
+    def _functions(
+        self,
+        engine: HashedAcyclicEngine,
+        phi: Optional[IneqFormula],
+        constants: Tuple[Any, ...],
+    ):
+        if phi is None or not engine.hashed_variables:
+            yield {}
+            return
+        k = len(engine.hashed_variables) + len(constants)
+        hashed_names = {v.name for v in engine.hashed_variables}
+        values: set = set(constants)
+        for relation in engine.base_relations.values():
+            for name in relation.attributes:
+                if name in hashed_names:
+                    values |= relation.column(name)
+        yield from self.family.functions(frozenset(values), k)
+
+    @staticmethod
+    def _apply_formula(
+        root: Relation,
+        phi: Optional[IneqFormula],
+        h: HashFunction,
+        constants: Tuple[Any, ...],
+    ) -> Relation:
+        """σ_φ̂ at the root: evaluate φ on the hashed shadow attributes."""
+        if phi is None:
+            return root
+
+        def predicate(row: Dict[str, Any]) -> bool:
+            valuation = {}
+            for variable in phi.variables():
+                valuation[variable] = row[hashed(variable.name)]
+            return _evaluate_hashed(phi, valuation, h)
+
+        return root.select(predicate)
+
+
+def _evaluate_hashed(
+    phi: IneqFormula, valuation: Dict[Variable, int], h: HashFunction
+) -> bool:
+    """Evaluate φ with variables bound to hash values and constants hashed."""
+    if isinstance(phi, IneqLeaf):
+        left, right = phi.atom.left, phi.atom.right
+        lv = valuation[left] if isinstance(left, Variable) else h.get(left.value, 1)
+        rv = valuation[right] if isinstance(right, Variable) else h.get(right.value, 1)
+        return lv != rv
+    if isinstance(phi, IneqAnd):
+        return all(_evaluate_hashed(c, valuation, h) for c in phi.children)
+    if isinstance(phi, IneqOr):
+        return any(_evaluate_hashed(c, valuation, h) for c in phi.children)
+    raise QueryError(f"unknown formula node: {phi!r}")
+
+
+def _finish_evaluation(
+    engine: HashedAcyclicEngine,
+    relations: Dict[int, Relation],
+    head_names: Tuple[str, ...],
+) -> Relation:
+    """Algorithm 2's passes starting from filtered relations."""
+    tree = engine.tree
+    for j in tree.top_down_order():
+        u = tree.parent(j)
+        if u is None:
+            continue
+        relations[j] = relations[j].semijoin(relations[u])
+    head_set = set(head_names)
+    for j in tree.bottom_up_order():
+        u = tree.parent(j)
+        if u is None:
+            continue
+        parent_attrs = set(relations[u].attributes)
+        keep = tuple(
+            a
+            for a in relations[j].attributes
+            if a in parent_attrs or a in head_set
+        )
+        relations[u] = relations[u].natural_join(relations[j].project(keep))
+    root = relations[tree.root]
+    return answers_relation(
+        engine.query.head_terms, root.project(head_names)
+    )

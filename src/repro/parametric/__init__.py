@@ -1,0 +1,47 @@
+"""Parametric (fixed-parameter) complexity framework.
+
+Problems, reductions with mechanical verification, the W hierarchy, and
+the paper's Figure 1 partial order.
+"""
+
+from .problem import ParametricProblem
+from .reduction import (
+    ParametricReduction,
+    TuringParametricReduction,
+    VerificationRecord,
+)
+from .whierarchy import (
+    Classification,
+    ClassificationTable,
+    FIGURE_1,
+    FIGURE_1_ARCS,
+    Q_FIXED,
+    Q_VARIABLE,
+    QueryParametrization,
+    V_FIXED,
+    V_VARIABLE,
+    WClass,
+    easier_than,
+    harder_than,
+    theorem1_table,
+)
+
+__all__ = [
+    "Classification",
+    "ClassificationTable",
+    "FIGURE_1",
+    "FIGURE_1_ARCS",
+    "ParametricProblem",
+    "ParametricReduction",
+    "Q_FIXED",
+    "Q_VARIABLE",
+    "QueryParametrization",
+    "TuringParametricReduction",
+    "V_FIXED",
+    "V_VARIABLE",
+    "VerificationRecord",
+    "WClass",
+    "easier_than",
+    "harder_than",
+    "theorem1_table",
+]

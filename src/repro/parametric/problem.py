@@ -1,0 +1,49 @@
+"""Parametric problems: instances with a distinguished integer parameter.
+
+A parametric problem (§2) is a set L of pairs (x, k).  Here a
+:class:`ParametricProblem` bundles a name, a decision procedure (the
+ground-truth solver, typically exponential — these are hard problems), and
+accessors for the parameter and the instance size, so reductions can be
+checked mechanically: equivalence of answers *and* the parameter bound
+k' ≤ g(k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Optional, TypeVar
+
+InstanceT = TypeVar("InstanceT")
+
+
+@dataclass(frozen=True)
+class ParametricProblem(Generic[InstanceT]):
+    """A named parametric decision problem.
+
+    Attributes
+    ----------
+    name:
+        Human-readable problem name (e.g. ``"clique"``).
+    solver:
+        Ground-truth decision procedure ``instance -> bool``.
+    parameter:
+        ``instance -> int``, the parameter k of the instance.
+    size:
+        ``instance -> int``, the instance size |x| (used to check that
+        reductions blow the size up at most polynomially on test suites).
+    description:
+        One-line statement of the question being decided.
+    """
+
+    name: str
+    solver: Callable[[InstanceT], bool]
+    parameter: Callable[[InstanceT], int]
+    size: Callable[[InstanceT], int]
+    description: str = ""
+
+    def solve(self, instance: InstanceT) -> bool:
+        """Decide the instance with the ground-truth solver."""
+        return self.solver(instance)
+
+    def __repr__(self) -> str:
+        return f"ParametricProblem({self.name!r})"

@@ -1,0 +1,87 @@
+"""Classic parametric problems populating the W hierarchy."""
+
+from .alternating import (
+    AW_P,
+    AW_SAT,
+    AlternatingWeightedCircuitInstance,
+    AlternatingWeightedFormulaInstance,
+    MONOTONE_AW_P,
+    alternating_weighted_formula_satisfiable,
+    alternating_weighted_satisfiable,
+)
+from .clique import (
+    CLIQUE,
+    CliqueInstance,
+    INDEPENDENT_SET,
+    IndependentSetInstance,
+    find_clique,
+    has_clique,
+    has_independent_set,
+)
+from .dominating_set import (
+    DOMINATING_SET,
+    DominatingSetInstance,
+    find_dominating_set,
+    has_dominating_set,
+)
+from .k_path import (
+    K_PATH,
+    KPathInstance,
+    has_simple_path_bruteforce,
+    has_simple_path_color_coding,
+)
+from .vertex_cover import (
+    VERTEX_COVER,
+    VertexCoverInstance,
+    find_vertex_cover,
+    has_vertex_cover,
+)
+from .weighted_sat_problems import (
+    MONOTONE_WEIGHTED_CIRCUIT_SAT,
+    WEIGHTED_2CNF_SAT,
+    WEIGHTED_3CNF_SAT,
+    WEIGHTED_CIRCUIT_SAT,
+    WEIGHTED_FORMULA_SAT,
+    WeightedCNFInstance,
+    WeightedCircuitInstance,
+    WeightedFormulaInstance,
+    depth_t_weighted_circuit_sat,
+)
+
+__all__ = [
+    "AW_P",
+    "AW_SAT",
+    "AlternatingWeightedCircuitInstance",
+    "AlternatingWeightedFormulaInstance",
+    "CLIQUE",
+    "CliqueInstance",
+    "DOMINATING_SET",
+    "DominatingSetInstance",
+    "INDEPENDENT_SET",
+    "IndependentSetInstance",
+    "K_PATH",
+    "KPathInstance",
+    "MONOTONE_AW_P",
+    "MONOTONE_WEIGHTED_CIRCUIT_SAT",
+    "VERTEX_COVER",
+    "VertexCoverInstance",
+    "WEIGHTED_2CNF_SAT",
+    "WEIGHTED_3CNF_SAT",
+    "WEIGHTED_CIRCUIT_SAT",
+    "WEIGHTED_FORMULA_SAT",
+    "WeightedCNFInstance",
+    "WeightedCircuitInstance",
+    "WeightedFormulaInstance",
+    "alternating_weighted_formula_satisfiable",
+    "alternating_weighted_satisfiable",
+    "depth_t_weighted_circuit_sat",
+    "find_clique",
+    "find_dominating_set",
+    "has_simple_path_bruteforce",
+    "has_simple_path_color_coding",
+    "find_vertex_cover",
+    "has_clique",
+    "has_dominating_set",
+    "has_independent_set",
+    "has_vertex_cover",
+]

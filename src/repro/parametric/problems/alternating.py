@@ -1,0 +1,173 @@
+"""Alternating weighted satisfiability — the AW classes (§4 discussion).
+
+The paper sketches AW[*] and AW[P]: the circuit's input variables are
+partitioned into r blocks V_1..V_r with alternating quantifiers (∃ for odd
+blocks, ∀ for even), and the question is whether
+
+    ∃ S_1 ⊆ V_1, |S_1| = k_1, ∀ S_2 ⊆ V_2, |S_2| = k_2, ...
+        C accepts the input setting exactly ∪S_i to true.
+
+The parameter is k = Σ k_i.  The solver is a direct quantifier-alternation
+recursion over k_i-subsets — exponential, as ground truth should be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Sequence, Tuple
+
+from ...circuits.circuit import Circuit
+from ...circuits.formulas import BoolFormula
+from ...errors import ReductionError
+from ..problem import ParametricProblem
+
+
+@dataclass(frozen=True)
+class AlternatingWeightedCircuitInstance:
+    """(C, blocks, weights): alternating weighted circuit satisfiability.
+
+    ``blocks[i]`` is the tuple of input ids of V_{i+1}; ``weights[i]`` is
+    k_{i+1}.  Blocks must partition a subset of the circuit's inputs;
+    inputs outside every block are fixed to false.
+    """
+
+    circuit: Circuit
+    blocks: Tuple[Tuple[str, ...], ...]
+    weights: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) != len(self.weights):
+            raise ReductionError("one weight per block required")
+        seen: set = set()
+        inputs = set(self.circuit.inputs)
+        for block in self.blocks:
+            for name in block:
+                if name not in inputs:
+                    raise ReductionError(f"unknown input {name!r} in block")
+                if name in seen:
+                    raise ReductionError(f"input {name!r} in two blocks")
+                seen.add(name)
+
+    @property
+    def parameter(self) -> int:
+        return sum(self.weights)
+
+
+def alternating_weighted_satisfiable(
+    instance: AlternatingWeightedCircuitInstance,
+) -> bool:
+    """Evaluate the quantifier alternation by exhaustive recursion."""
+    circuit = instance.circuit
+    blocks = instance.blocks
+    weights = instance.weights
+
+    def recurse(index: int, chosen: FrozenSet[str]) -> bool:
+        if index == len(blocks):
+            return circuit.evaluate(chosen)
+        block = blocks[index]
+        weight = weights[index]
+        if weight > len(block):
+            subsets: Sequence[Tuple[str, ...]] = ()
+        else:
+            subsets = tuple(combinations(block, weight))
+        existential = index % 2 == 0  # blocks are 1-indexed in the paper
+        if existential:
+            return any(recurse(index + 1, chosen | set(s)) for s in subsets)
+        return all(recurse(index + 1, chosen | set(s)) for s in subsets)
+
+    return recurse(0, frozenset())
+
+
+AW_P = ParametricProblem(
+    name="alternating-weighted-circuit-sat",
+    solver=alternating_weighted_satisfiable,
+    parameter=lambda inst: inst.parameter,
+    size=lambda inst: len(inst.circuit),
+    description="alternating weighted circuit satisfiability (AW[P]-complete)",
+)
+
+
+def monotone_only(instance: AlternatingWeightedCircuitInstance) -> bool:
+    """Solver variant that insists on a monotone circuit (the paper's form)."""
+    if not instance.circuit.is_monotone():
+        raise ReductionError("AW[P] instances here use monotone circuits")
+    return alternating_weighted_satisfiable(instance)
+
+
+MONOTONE_AW_P = ParametricProblem(
+    name="monotone-alternating-weighted-circuit-sat",
+    solver=monotone_only,
+    parameter=lambda inst: inst.parameter,
+    size=lambda inst: len(inst.circuit),
+    description="monotone alternating weighted circuit sat (AW[P])",
+)
+
+
+# ----------------------------------------------------------------------
+# AW[SAT]: the formula (fan-out 1) restriction
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlternatingWeightedFormulaInstance:
+    """Alternating weighted satisfiability of a Boolean *formula*.
+
+    The defining problem of AW[SAT] (the alternating extension of W[SAT]),
+    which the paper identifies as the right class for prenex first-order
+    queries under parameter v.  Fields mirror
+    :class:`AlternatingWeightedCircuitInstance` with a formula instead of
+    a circuit.
+    """
+
+    formula: BoolFormula
+    blocks: Tuple[Tuple[str, ...], ...]
+    weights: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.blocks) != len(self.weights):
+            raise ReductionError("one weight per block required")
+        seen: set = set()
+        for block in self.blocks:
+            for name in block:
+                if name in seen:
+                    raise ReductionError(f"variable {name!r} in two blocks")
+                seen.add(name)
+        # As with the circuit variant, formula variables outside every
+        # block are fixed to false; block variables absent from the
+        # formula (dummy padding blocks) are equally legal.
+
+    @property
+    def parameter(self) -> int:
+        return sum(self.weights)
+
+
+def alternating_weighted_formula_satisfiable(
+    instance: AlternatingWeightedFormulaInstance,
+) -> bool:
+    """Ground truth by direct quantifier recursion over k_i-subsets."""
+    formula = instance.formula
+
+    def recurse(index: int, chosen: FrozenSet[str]) -> bool:
+        if index == len(instance.blocks):
+            return formula.evaluate(chosen)
+        block = instance.blocks[index]
+        weight = instance.weights[index]
+        if weight > len(block):
+            subsets: Sequence[Tuple[str, ...]] = ()
+        else:
+            subsets = tuple(combinations(block, weight))
+        if index % 2 == 0:  # existential (blocks are 1-indexed in the paper)
+            return any(recurse(index + 1, chosen | set(s)) for s in subsets)
+        return all(recurse(index + 1, chosen | set(s)) for s in subsets)
+
+    return recurse(0, frozenset())
+
+
+AW_SAT = ParametricProblem(
+    name="alternating-weighted-formula-sat",
+    solver=alternating_weighted_formula_satisfiable,
+    parameter=lambda inst: inst.parameter,
+    size=lambda inst: inst.formula.size(),
+    description="alternating weighted formula satisfiability (AW[SAT]-complete)",
+)

@@ -1,0 +1,100 @@
+"""The clique problem — the canonical W[1]-complete problem.
+
+"does graph G have a clique of size k?" is the source of the paper's
+Theorem 1 and Theorem 3 lower bounds.  The solver here is the ground truth
+the reduction harness compares against: branch-and-bound over candidate
+extensions, exact for the instance sizes the test-suite and benchmarks use.
+Independent set (clique in the complement) rides along since the
+footnote-2 transformation passes through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from ...workloads.graphs import Graph
+from ..problem import ParametricProblem
+
+
+@dataclass(frozen=True)
+class CliqueInstance:
+    """(G, k): does G contain a clique on k nodes?"""
+
+    graph: Graph
+    k: int
+
+    def __repr__(self) -> str:
+        return f"CliqueInstance({self.graph!r}, k={self.k})"
+
+
+def find_clique(graph: Graph, k: int) -> Optional[Tuple[int, ...]]:
+    """A k-clique of *graph*, or None.
+
+    Backtracking over nodes in degree-descending order with two prunings:
+    candidates must be adjacent to all chosen nodes, and the remaining
+    candidate pool must be large enough to finish.
+    """
+    if k <= 0:
+        return ()
+    if k == 1:
+        return (graph.nodes[0],) if graph.num_nodes else None
+    nodes = sorted(graph.nodes, key=graph.degree, reverse=True)
+    chosen: List[int] = []
+
+    def extend(candidates: List[int]) -> Optional[Tuple[int, ...]]:
+        if len(chosen) == k:
+            return tuple(chosen)
+        if len(chosen) + len(candidates) < k:
+            return None
+        for i, node in enumerate(candidates):
+            if graph.degree(node) < k - 1:
+                continue
+            chosen.append(node)
+            narrowed = [
+                other for other in candidates[i + 1:]
+                if graph.has_edge(node, other)
+            ]
+            found = extend(narrowed)
+            if found is not None:
+                return found
+            chosen.pop()
+        return None
+
+    return extend(nodes)
+
+
+def has_clique(graph: Graph, k: int) -> bool:
+    """Decision form of :func:`find_clique`."""
+    return find_clique(graph, k) is not None
+
+
+CLIQUE = ParametricProblem(
+    name="clique",
+    solver=lambda inst: has_clique(inst.graph, inst.k),
+    parameter=lambda inst: inst.k,
+    size=lambda inst: inst.graph.size(),
+    description="does G contain a clique of size k? (W[1]-complete)",
+)
+
+
+@dataclass(frozen=True)
+class IndependentSetInstance:
+    """(G, k): does G contain k pairwise non-adjacent nodes?"""
+
+    graph: Graph
+    k: int
+
+
+def has_independent_set(graph: Graph, k: int) -> bool:
+    """Independent set of size k = clique of size k in the complement."""
+    return has_clique(graph.complement(), k)
+
+
+INDEPENDENT_SET = ParametricProblem(
+    name="independent-set",
+    solver=lambda inst: has_independent_set(inst.graph, inst.k),
+    parameter=lambda inst: inst.k,
+    size=lambda inst: inst.graph.size(),
+    description="does G contain an independent set of size k? (W[1]-complete)",
+)

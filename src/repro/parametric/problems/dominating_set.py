@@ -1,0 +1,59 @@
+"""Dominating set — the canonical W[2]-complete problem.
+
+Included to populate the hierarchy above W[1] (the paper cites it as the
+W[2] anchor); the solver enumerates k-subsets, adequate as ground truth at
+test scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional, Tuple
+
+from ...workloads.graphs import Graph
+from ..problem import ParametricProblem
+
+
+@dataclass(frozen=True)
+class DominatingSetInstance:
+    """(G, k): is there a set S of k nodes with N[S] = V?"""
+
+    graph: Graph
+    k: int
+
+
+def find_dominating_set(graph: Graph, k: int) -> Optional[Tuple[int, ...]]:
+    """A dominating set of size ≤ k (padded to k when smaller), or None."""
+    nodes = graph.nodes
+    if not nodes:
+        return ()
+    if k <= 0:
+        return None
+    universe = set(nodes)
+    for size in range(1, min(k, len(nodes)) + 1):
+        for subset in combinations(nodes, size):
+            covered = set(subset)
+            for node in subset:
+                covered |= graph.neighbours(node)
+            if covered == universe:
+                padding = [n for n in nodes if n not in subset]
+                padded = tuple(subset) + tuple(padding[: k - size])
+                if len(padded) == k:
+                    return padded
+                return tuple(subset)
+    return None
+
+
+def has_dominating_set(graph: Graph, k: int) -> bool:
+    """Decision form of :func:`find_dominating_set`."""
+    return find_dominating_set(graph, k) is not None
+
+
+DOMINATING_SET = ParametricProblem(
+    name="dominating-set",
+    solver=lambda inst: has_dominating_set(inst.graph, inst.k),
+    parameter=lambda inst: inst.k,
+    size=lambda inst: inst.graph.size(),
+    description="does G have a dominating set of size k? (W[2]-complete)",
+)

@@ -1,0 +1,63 @@
+"""Vertex cover — the textbook *fixed-parameter tractable* contrast.
+
+§2 motivates the FPT/W distinction with problems like disjoint paths and
+k-path that admit f(k)·n^c algorithms.  Vertex cover is the cleanest such
+example: the bounded search tree runs in O(2^k · n), and the benchmark
+suite uses it to display the f(k)·n versus n^k separation empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ...workloads.graphs import Graph
+from ..problem import ParametricProblem
+
+
+@dataclass(frozen=True)
+class VertexCoverInstance:
+    """(G, k): is there a set of ≤ k nodes touching every edge?"""
+
+    graph: Graph
+    k: int
+
+
+def find_vertex_cover(graph: Graph, k: int) -> Optional[FrozenSet[int]]:
+    """A vertex cover of size ≤ k via the 2^k bounded search tree, or None.
+
+    Pick any uncovered edge (u, v); some endpoint must be in the cover;
+    branch on both.  Depth ≤ k, so the tree has ≤ 2^k leaves — an f(k)·n
+    algorithm, *without* k in the exponent of n.
+    """
+    edges = list(graph.edges())
+
+    def search(remaining, budget: int, chosen: FrozenSet[int]) -> Optional[FrozenSet[int]]:
+        uncovered = [
+            (a, b) for a, b in remaining if a not in chosen and b not in chosen
+        ]
+        if not uncovered:
+            return chosen
+        if budget == 0:
+            return None
+        a, b = uncovered[0]
+        left = search(uncovered, budget - 1, chosen | {a})
+        if left is not None:
+            return left
+        return search(uncovered, budget - 1, chosen | {b})
+
+    return search(edges, max(k, 0), frozenset())
+
+
+def has_vertex_cover(graph: Graph, k: int) -> bool:
+    """Decision form of :func:`find_vertex_cover`."""
+    return find_vertex_cover(graph, k) is not None
+
+
+VERTEX_COVER = ParametricProblem(
+    name="vertex-cover",
+    solver=lambda inst: has_vertex_cover(inst.graph, inst.k),
+    parameter=lambda inst: inst.k,
+    size=lambda inst: inst.graph.size(),
+    description="does G have a vertex cover of size ≤ k? (FPT)",
+)

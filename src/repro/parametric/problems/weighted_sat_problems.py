@@ -1,0 +1,122 @@
+"""Weighted satisfiability problems as :class:`ParametricProblem` objects.
+
+These are the defining complete problems of the W hierarchy (§2):
+
+* depth-t weighted circuit satisfiability for W[t] (t ≥ 2; t = 1 uses
+  3-CNF);
+* weighted formula satisfiability for W[SAT];
+* weighted (monotone) circuit satisfiability for W[P].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...circuits.circuit import Circuit
+from ...circuits.cnf import CNF
+from ...circuits.formulas import BoolFormula
+from ...circuits.weighted_sat import (
+    weighted_circuit_satisfiable,
+    weighted_cnf_satisfiable,
+    weighted_formula_satisfiable,
+)
+from ...errors import ReductionError
+from ..problem import ParametricProblem
+
+
+@dataclass(frozen=True)
+class WeightedCNFInstance:
+    """(CNF φ, k): does φ have a satisfying assignment of weight k?"""
+
+    cnf: CNF
+    k: int
+
+
+@dataclass(frozen=True)
+class WeightedFormulaInstance:
+    """(formula φ, k): weight-k satisfiability of a Boolean formula."""
+
+    formula: BoolFormula
+    k: int
+
+
+@dataclass(frozen=True)
+class WeightedCircuitInstance:
+    """(circuit C, k): weight-k satisfiability of a circuit."""
+
+    circuit: Circuit
+    k: int
+
+
+WEIGHTED_2CNF_SAT = ParametricProblem(
+    name="weighted-2cnf-sat",
+    solver=lambda inst: weighted_cnf_satisfiable(inst.cnf, inst.k) is not None,
+    parameter=lambda inst: inst.k,
+    size=lambda inst: inst.cnf.size(),
+    description="weight-k satisfiability of a 2-CNF (in W[1])",
+)
+
+WEIGHTED_3CNF_SAT = ParametricProblem(
+    name="weighted-3cnf-sat",
+    solver=lambda inst: weighted_cnf_satisfiable(inst.cnf, inst.k) is not None,
+    parameter=lambda inst: inst.k,
+    size=lambda inst: inst.cnf.size(),
+    description="weight-k satisfiability of a 3-CNF (W[1]-complete)",
+)
+
+WEIGHTED_FORMULA_SAT = ParametricProblem(
+    name="weighted-formula-sat",
+    solver=lambda inst: weighted_formula_satisfiable(inst.formula, inst.k)
+    is not None,
+    parameter=lambda inst: inst.k,
+    size=lambda inst: inst.formula.size(),
+    description="weight-k satisfiability of a Boolean formula (W[SAT]-complete)",
+)
+
+WEIGHTED_CIRCUIT_SAT = ParametricProblem(
+    name="weighted-circuit-sat",
+    solver=lambda inst: weighted_circuit_satisfiable(inst.circuit, inst.k)
+    is not None,
+    parameter=lambda inst: inst.k,
+    size=lambda inst: len(inst.circuit),
+    description="weight-k satisfiability of a circuit (W[P]-complete)",
+)
+
+
+def _monotone_solver(inst: "WeightedCircuitInstance") -> bool:
+    if not inst.circuit.is_monotone():
+        raise ReductionError("instance is not monotone")
+    return weighted_circuit_satisfiable(inst.circuit, inst.k) is not None
+
+
+MONOTONE_WEIGHTED_CIRCUIT_SAT = ParametricProblem(
+    name="monotone-weighted-circuit-sat",
+    solver=_monotone_solver,
+    parameter=lambda inst: inst.k,
+    size=lambda inst: len(inst.circuit),
+    description="weight-k satisfiability of a monotone circuit (W[P]-complete)",
+)
+
+
+def depth_t_weighted_circuit_sat(t: int) -> ParametricProblem:
+    """The W[t] anchor: weighted satisfiability of depth-≤t circuits.
+
+    Instances whose circuit exceeds depth t are rejected with
+    :class:`ReductionError` — the depth restriction is part of the problem
+    definition, not of the solver.
+    """
+
+    def solver(inst: WeightedCircuitInstance) -> bool:
+        if inst.circuit.depth() > t:
+            raise ReductionError(
+                f"circuit depth {inst.circuit.depth()} exceeds t={t}"
+            )
+        return weighted_circuit_satisfiable(inst.circuit, inst.k) is not None
+
+    return ParametricProblem(
+        name=f"depth-{t}-weighted-circuit-sat",
+        solver=solver,
+        parameter=lambda inst: inst.k,
+        size=lambda inst: len(inst.circuit),
+        description=f"weight-k satisfiability of depth-{t} circuits (W[{t}])",
+    )

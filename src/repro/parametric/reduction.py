@@ -1,0 +1,165 @@
+"""Parametric reductions with mechanical soundness checking.
+
+A parametric transformation (§2) maps an instance (x, k) of problem A to an
+equivalent instance (y, k') of problem B with k' ≤ g(k) for some function g
+independent of x.  (The more general Turing-style reduction — several
+oracle calls — is also supported, for the positive-queries upper bound that
+the paper notes "uses the full power of parametric reductions".)
+
+:class:`ParametricReduction` packages the transformation together with the
+declared parameter bound, and :meth:`verify` replays it over an instance
+suite, checking
+
+1. answer equivalence: ``A.solve(x) == B.solve(transform(x))``;
+2. the parameter bound: ``B.parameter(transform(x)) <= parameter_bound(k)``.
+
+Every reduction of Theorem 1, Theorem 3, and §5 is registered this way and
+exercised by the test-suite and the Table 1 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+from ..errors import ReductionError
+from .problem import ParametricProblem
+
+SourceT = TypeVar("SourceT")
+TargetT = TypeVar("TargetT")
+
+
+@dataclass(frozen=True)
+class VerificationRecord(Generic[SourceT]):
+    """Outcome of verifying one instance."""
+
+    instance: SourceT
+    expected: bool
+    produced: bool
+    parameter_in: int
+    parameter_out: int
+    parameter_bound: int
+
+    @property
+    def answers_match(self) -> bool:
+        return self.expected == self.produced
+
+    @property
+    def bound_holds(self) -> bool:
+        return self.parameter_out <= self.parameter_bound
+
+
+@dataclass(frozen=True)
+class ParametricReduction(Generic[SourceT, TargetT]):
+    """A many-one parametric transformation from *source* to *target*.
+
+    Attributes
+    ----------
+    transform:
+        ``source instance -> target instance``.
+    parameter_bound:
+        The function g with k' ≤ g(k); checked on every verified instance.
+    """
+
+    name: str
+    source: ParametricProblem[SourceT]
+    target: ParametricProblem[TargetT]
+    transform: Callable[[SourceT], TargetT]
+    parameter_bound: Callable[[int], int]
+    notes: str = ""
+
+    def apply(self, instance: SourceT) -> TargetT:
+        """Transform one instance."""
+        return self.transform(instance)
+
+    def solve_via_target(self, instance: SourceT) -> bool:
+        """Decide a source instance through the target's solver."""
+        return self.target.solve(self.transform(instance))
+
+    def verify(
+        self, instances: Iterable[SourceT], raise_on_failure: bool = True
+    ) -> List[VerificationRecord[SourceT]]:
+        """Replay the reduction over *instances*; check soundness + bound."""
+        records: List[VerificationRecord[SourceT]] = []
+        for instance in instances:
+            expected = self.source.solve(instance)
+            transformed = self.transform(instance)
+            produced = self.target.solve(transformed)
+            k_in = self.source.parameter(instance)
+            record = VerificationRecord(
+                instance=instance,
+                expected=expected,
+                produced=produced,
+                parameter_in=k_in,
+                parameter_out=self.target.parameter(transformed),
+                parameter_bound=self.parameter_bound(k_in),
+            )
+            if raise_on_failure and not record.answers_match:
+                raise ReductionError(
+                    f"{self.name}: answer mismatch on {instance!r}: "
+                    f"source={expected}, target={produced}"
+                )
+            if raise_on_failure and not record.bound_holds:
+                raise ReductionError(
+                    f"{self.name}: parameter bound violated on {instance!r}: "
+                    f"k'={record.parameter_out} > g(k)={record.parameter_bound}"
+                )
+            records.append(record)
+        return records
+
+
+@dataclass(frozen=True)
+class TuringParametricReduction(Generic[SourceT, TargetT]):
+    """A reduction making several target-oracle calls per source instance.
+
+    ``solve_with_oracle(instance, oracle)`` must decide the source instance
+    using only the supplied oracle for target instances; ``queries`` must
+    return the oracle instances it will consult, so the parameter bound can
+    be audited.
+    """
+
+    name: str
+    source: ParametricProblem[SourceT]
+    target: ParametricProblem[TargetT]
+    queries: Callable[[SourceT], Tuple[TargetT, ...]]
+    combine: Callable[[SourceT, Tuple[bool, ...]], bool]
+    parameter_bound: Callable[[int], int]
+    notes: str = ""
+
+    def solve_via_target(self, instance: SourceT) -> bool:
+        """Decide a source instance through target-oracle calls."""
+        asked = self.queries(instance)
+        answers = tuple(self.target.solve(q) for q in asked)
+        return self.combine(instance, answers)
+
+    def verify(
+        self, instances: Iterable[SourceT], raise_on_failure: bool = True
+    ) -> List[VerificationRecord[SourceT]]:
+        """Check equivalence and the per-query parameter bound."""
+        records: List[VerificationRecord[SourceT]] = []
+        for instance in instances:
+            expected = self.source.solve(instance)
+            produced = self.solve_via_target(instance)
+            k_in = self.source.parameter(instance)
+            bound = self.parameter_bound(k_in)
+            worst = 0
+            for query in self.queries(instance):
+                worst = max(worst, self.target.parameter(query))
+            record = VerificationRecord(
+                instance=instance,
+                expected=expected,
+                produced=produced,
+                parameter_in=k_in,
+                parameter_out=worst,
+                parameter_bound=bound,
+            )
+            if raise_on_failure and not record.answers_match:
+                raise ReductionError(
+                    f"{self.name}: answer mismatch on {instance!r}"
+                )
+            if raise_on_failure and not record.bound_holds:
+                raise ReductionError(
+                    f"{self.name}: parameter bound violated on {instance!r}"
+                )
+            records.append(record)
+        return records

@@ -1,0 +1,238 @@
+"""The W hierarchy and the paper's Figure 1 partial order.
+
+:class:`WClass` models the classes W[1] ⊆ W[2] ⊆ ... ⊆ W[SAT] ⊆ W[P] plus
+the alternating extensions AW[*], AW[SAT] and AW[P] the paper discusses.
+The library's classification results (Theorem 1's table) are recorded in a
+:class:`ClassificationTable` whose entries carry the *evidence*: the
+reduction objects proving hardness and membership, which the benchmark
+harness replays.
+
+:class:`QueryParametrization` + :data:`FIGURE_1` encode the four
+parametric-problem variants of §3 (parameter q or v × fixed or variable
+schema) and Proposition 1's hardness/membership propagation along the
+partial order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import total_ordering
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+
+@total_ordering
+class WClass(Enum):
+    """Levels of the W hierarchy (and alternating extensions).
+
+    Ordering follows containment as known/conjectured in [6]: FPT below
+    everything, W[t] increasing in t, then W[SAT], then W[P]; each AW class
+    sits above its W counterpart.  Only comparable pairs are ordered; the
+    helper :meth:`contains` answers the containment question directly.
+    """
+
+    FPT = 0
+    W1 = 1
+    W2 = 2
+    W3 = 3
+    W4 = 4
+    W_T = 50          # "W[t] for all t": hardness holds at every finite level
+    W_SAT = 60
+    W_P = 70
+    AW_STAR = 80
+    AW_SAT = 85
+    AW_P = 90
+
+    def __lt__(self, other: "WClass") -> bool:
+        if not isinstance(other, WClass):
+            return NotImplemented
+        return self.value < other.value
+
+    def contains(self, other: "WClass") -> bool:
+        """Is *other* ⊆ self under the standard containments?"""
+        return other.value <= self.value
+
+    @property
+    def display(self) -> str:
+        names = {
+            WClass.FPT: "FPT",
+            WClass.W1: "W[1]",
+            WClass.W2: "W[2]",
+            WClass.W3: "W[3]",
+            WClass.W4: "W[4]",
+            WClass.W_T: "W[t] (all t)",
+            WClass.W_SAT: "W[SAT]",
+            WClass.W_P: "W[P]",
+            WClass.AW_STAR: "AW[*]",
+            WClass.AW_SAT: "AW[SAT]",
+            WClass.AW_P: "AW[P]",
+        }
+        return names[self]
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Hardness and membership bracket for one problem."""
+
+    problem: str
+    hard_for: Optional[WClass]
+    member_of: Optional[WClass]
+    notes: str = ""
+
+    @property
+    def complete(self) -> bool:
+        """Tight classification: hardness and membership coincide."""
+        return (
+            self.hard_for is not None
+            and self.member_of is not None
+            and self.hard_for == self.member_of
+        )
+
+    def display(self) -> str:
+        if self.complete:
+            return f"{self.hard_for.display}-complete"
+        parts = []
+        if self.hard_for is not None:
+            parts.append(f"{self.hard_for.display}-hard")
+        if self.member_of is not None:
+            parts.append(f"in {self.member_of.display}")
+        return ", ".join(parts) if parts else "unclassified"
+
+
+class ClassificationTable:
+    """A registry of classifications keyed by (problem, parameter)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], Classification] = {}
+
+    def record(
+        self,
+        problem: str,
+        parameter: str,
+        hard_for: Optional[WClass],
+        member_of: Optional[WClass],
+        notes: str = "",
+    ) -> None:
+        self._entries[(problem, parameter)] = Classification(
+            problem=f"{problem}[{parameter}]",
+            hard_for=hard_for,
+            member_of=member_of,
+            notes=notes,
+        )
+
+    def entry(self, problem: str, parameter: str) -> Classification:
+        return self._entries[(problem, parameter)]
+
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """(problem, parameter, classification-display) rows, sorted."""
+        return [
+            (problem, parameter, self._entries[(problem, parameter)].display())
+            for (problem, parameter) in sorted(self._entries)
+        ]
+
+
+def theorem1_table() -> ClassificationTable:
+    """The classification Theorem 1 proves (plus the §4 Datalog entry)."""
+    table = ClassificationTable()
+    table.record("conjunctive", "q", WClass.W1, WClass.W1,
+                 "clique ≤ CQ; CQ ≤ weighted 2-CNF")
+    table.record("conjunctive", "v", WClass.W1, WClass.W1,
+                 "variable-set grouping reduces v-case to q-case")
+    table.record("positive", "q", WClass.W1, WClass.W1,
+                 "DNF expansion into ≤2^q conjunctive queries")
+    table.record("positive", "v", WClass.W_SAT, None,
+                 "weighted formula SAT ≤ positive query over EQ/NEQ")
+    table.record("positive-prenex", "v", WClass.W_SAT, WClass.W_SAT,
+                 "converse encoding into weighted formula SAT")
+    table.record("first-order", "q", WClass.W_T, None,
+                 "monotone depth-t weighted circuit SAT ≤ FO query")
+    table.record("first-order", "v", WClass.W_P, None,
+                 "monotone weighted circuit SAT ≤ FO query, v = k + 2")
+    table.record("datalog-fixed-arity", "q", WClass.W1, WClass.W1,
+                 "bottom-up evaluation = poly many W[1] oracle calls")
+    table.record("datalog-fixed-arity", "v", WClass.W1, WClass.W1,
+                 "same bottom-up argument")
+    table.record("acyclic+neq", "q", None, WClass.FPT,
+                 "Theorem 2: color-coding + acyclic processing")
+    table.record("acyclic+neq", "v", None, WClass.FPT,
+                 "Theorem 2, hash range bounded by v")
+    table.record("acyclic+comparisons", "q", WClass.W1, WClass.W1,
+                 "Theorem 3 encoding of clique")
+    table.record("acyclic+comparisons", "v", WClass.W1, WClass.W1,
+                 "Theorem 3 encoding of clique")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the four query-evaluation parametrizations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryParametrization:
+    """One corner of Figure 1: a parameter choice and a schema regime."""
+
+    parameter: str      # "q" or "v"
+    fixed_schema: bool
+
+    def __post_init__(self) -> None:
+        if self.parameter not in ("q", "v"):
+            raise ValueError(f"parameter must be 'q' or 'v': {self.parameter!r}")
+
+    @property
+    def label(self) -> str:
+        schema = "fixed schema" if self.fixed_schema else "variable schema"
+        return f"parameter {self.parameter}, {schema}"
+
+
+#: The four corners.
+V_FIXED = QueryParametrization("v", True)
+V_VARIABLE = QueryParametrization("v", False)
+Q_FIXED = QueryParametrization("q", True)
+Q_VARIABLE = QueryParametrization("q", False)
+
+#: Figure 1's arcs, drawn from easier to harder: an identity map is a valid
+#: parametric reduction along each arc (Proposition 1).  q bounds v (every
+#: variable occurrence is part of the query string), so the q-parametrized
+#: problem reduces to the v-parametrized one; a fixed schema is the special
+#: case of a variable schema.
+FIGURE_1_ARCS: Tuple[Tuple[QueryParametrization, QueryParametrization], ...] = (
+    (Q_FIXED, Q_VARIABLE),
+    (Q_FIXED, V_FIXED),
+    (Q_VARIABLE, V_VARIABLE),
+    (V_FIXED, V_VARIABLE),
+)
+
+FIGURE_1: Tuple[QueryParametrization, ...] = (
+    Q_FIXED, Q_VARIABLE, V_FIXED, V_VARIABLE
+)
+
+
+def harder_than(node: QueryParametrization) -> FrozenSet[QueryParametrization]:
+    """All parametrizations above *node* (reachable along Figure 1 arcs).
+
+    Proposition 1: hardness at *node* propagates to everything returned
+    here; membership propagates in the reverse direction.
+    """
+    out = set()
+    frontier = [node]
+    while frontier:
+        current = frontier.pop()
+        for lower, upper in FIGURE_1_ARCS:
+            if lower == current and upper not in out:
+                out.add(upper)
+                frontier.append(upper)
+    return frozenset(out)
+
+
+def easier_than(node: QueryParametrization) -> FrozenSet[QueryParametrization]:
+    """All parametrizations below *node* (membership propagates to them)."""
+    out = set()
+    frontier = [node]
+    while frontier:
+        current = frontier.pop()
+        for lower, upper in FIGURE_1_ARCS:
+            if upper == current and lower not in out:
+                out.add(lower)
+                frontier.append(lower)
+    return frozenset(out)

@@ -1,0 +1,92 @@
+"""Query languages of the paper: conjunctive, positive, first-order, Datalog.
+
+Construction can go through the class constructors, the fluent helpers in
+:mod:`repro.query.builders`, or the textual :mod:`repro.query.parser`.
+"""
+
+from .atoms import Atom, Comparison, Inequality
+from .conjunctive import ConjunctiveQuery
+from .datalog import DatalogProgram, Rule
+from .first_order import (
+    And,
+    AtomFormula,
+    Exists,
+    FirstOrderQuery,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    prenex_formula,
+    to_nnf,
+    to_prenex,
+)
+from .ineq_formula import (
+    IneqAnd,
+    IneqFormula,
+    IneqLeaf,
+    IneqOr,
+    as_ineq_formula,
+    conjunction_of,
+    ineq_and,
+    ineq_or,
+    is_conjunctive_in_constants,
+    variable_constant_split,
+)
+from .homomorphism import (
+    are_equivalent,
+    canonical_database,
+    find_homomorphism,
+    is_contained_in,
+    is_homomorphism,
+    minimize,
+)
+from .parser import parse_program, parse_query
+from .positive import PositiveQuery
+from .terms import C, Constant, Term, V, Variable, fresh_variable, term, terms
+
+__all__ = [
+    "And",
+    "Atom",
+    "AtomFormula",
+    "C",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Constant",
+    "DatalogProgram",
+    "Exists",
+    "FirstOrderQuery",
+    "Forall",
+    "Formula",
+    "IneqAnd",
+    "IneqFormula",
+    "IneqLeaf",
+    "IneqOr",
+    "Inequality",
+    "Not",
+    "Or",
+    "PositiveQuery",
+    "Rule",
+    "Term",
+    "V",
+    "Variable",
+    "are_equivalent",
+    "as_ineq_formula",
+    "canonical_database",
+    "conjunction_of",
+    "find_homomorphism",
+    "is_contained_in",
+    "is_homomorphism",
+    "minimize",
+    "fresh_variable",
+    "ineq_and",
+    "ineq_or",
+    "is_conjunctive_in_constants",
+    "parse_program",
+    "parse_query",
+    "prenex_formula",
+    "term",
+    "terms",
+    "to_nnf",
+    "to_prenex",
+    "variable_constant_split",
+]

@@ -1,0 +1,176 @@
+"""Atoms: relational atoms, inequality (≠) atoms, and comparison atoms.
+
+The paper's queries have three kinds of body conjuncts:
+
+* relational atoms ``R(t1, ..., tr)`` — the hypergraph edges;
+* inequality atoms ``x ≠ y`` / ``x ≠ c`` (§5, Theorem 2);
+* comparison atoms ``x < y`` / ``x ≤ y`` and variable-constant variants
+  (§5, Theorem 3).
+
+Inequalities are symmetric, and their equality/hashing reflects that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Mapping, Tuple
+
+from ..errors import QueryError
+from .terms import (
+    Constant,
+    Term,
+    Variable,
+    constants_in,
+    substitute_term,
+    terms,
+    variables_in,
+)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``relation(terms...)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise QueryError("atom relation name must be nonempty")
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    @classmethod
+    def of(cls, relation: str, *values: Any) -> "Atom":
+        """Build an atom coercing values via the str→variable convention."""
+        return cls(relation, terms(values))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables in first-occurrence order."""
+        return variables_in(self.terms)
+
+    def variable_set(self) -> FrozenSet[Variable]:
+        return frozenset(self.variables())
+
+    def constants(self) -> Tuple[Constant, ...]:
+        return constants_in(self.terms)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Apply a variable substitution."""
+        return Atom(self.relation, tuple(substitute_term(t, mapping) for t in self.terms))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+class Inequality:
+    """An inequality atom ``left ≠ right`` (symmetric).
+
+    At least one side must be a variable; ``c ≠ c'`` between constants would
+    be statically decidable and is rejected to keep queries normalized.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any, right: Any) -> None:
+        lt, rt = terms((left, right))
+        if isinstance(lt, Constant) and isinstance(rt, Constant):
+            raise QueryError(f"constant-only inequality {lt!r} != {rt!r}")
+        if lt == rt:
+            raise QueryError(f"trivially false inequality {lt!r} != {rt!r}")
+        # Canonical orientation: variable side(s) first, then by sort key.
+        if (lt.sort_key() > rt.sort_key()):
+            lt, rt = rt, lt
+        self.left: Term = lt
+        self.right: Term = rt
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return variables_in((self.left, self.right))
+
+    def constants(self) -> Tuple[Constant, ...]:
+        return constants_in((self.left, self.right))
+
+    def is_variable_variable(self) -> bool:
+        """True for ``x ≠ y``; False for ``x ≠ c``."""
+        return isinstance(self.left, Variable) and isinstance(self.right, Variable)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Inequality":
+        return Inequality(
+            substitute_term(self.left, mapping), substitute_term(self.right, mapping)
+        )
+
+    def holds(self, left_value: Any, right_value: Any) -> bool:
+        """Evaluate on concrete values."""
+        return left_value != right_value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Inequality):
+            return NotImplemented
+        return (self.left, self.right) == (other.left, other.right)
+
+    def __hash__(self) -> int:
+        return hash((Inequality, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} != {self.right!r}"
+
+
+class Comparison:
+    """A comparison atom ``left < right`` or ``left ≤ right`` (Theorem 3).
+
+    Unlike inequalities, comparisons are directional.  Values are compared
+    with Python's ``<`` / ``<=``, i.e. the domain is assumed totally (densely)
+    ordered as in the paper's §5 "Comparison Constraints" discussion.
+    """
+
+    __slots__ = ("left", "right", "strict")
+
+    def __init__(self, left: Any, right: Any, strict: bool = True) -> None:
+        lt, rt = terms((left, right))
+        if isinstance(lt, Constant) and isinstance(rt, Constant):
+            raise QueryError(f"constant-only comparison {lt!r} {rt!r}")
+        self.left: Term = lt
+        self.right: Term = rt
+        self.strict: bool = bool(strict)
+
+    @property
+    def op(self) -> str:
+        return "<" if self.strict else "<="
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return variables_in((self.left, self.right))
+
+    def constants(self) -> Tuple[Constant, ...]:
+        return constants_in((self.left, self.right))
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Comparison":
+        return Comparison(
+            substitute_term(self.left, mapping),
+            substitute_term(self.right, mapping),
+            self.strict,
+        )
+
+    def holds(self, left_value: Any, right_value: Any) -> bool:
+        """Evaluate on concrete values."""
+        if self.strict:
+            return left_value < right_value
+        return left_value <= right_value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Comparison):
+            return NotImplemented
+        return (self.left, self.right, self.strict) == (
+            other.left,
+            other.right,
+            other.strict,
+        )
+
+    def __hash__(self) -> int:
+        return hash((Comparison, self.left, self.right, self.strict))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"

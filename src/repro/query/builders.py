@@ -1,0 +1,144 @@
+"""Fluent construction helpers for queries and formulas.
+
+These keep reduction code and tests close to the paper's notation::
+
+    from repro.query.builders import atom, cq, exists_all, and_, or_
+
+    clique_query = cq((), [atom("G", f"x{i}", f"x{j}")
+                           for i in range(1, 4) for j in range(i + 1, 4)])
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Union
+
+from .atoms import Atom, Comparison, Inequality
+from .conjunctive import ConjunctiveQuery
+from .first_order import (
+    And,
+    AtomFormula,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+)
+from .positive import PositiveQuery
+from .terms import C, V, Variable, term
+
+
+def atom(relation: str, *values: Any) -> Atom:
+    """A relational atom; strings become variables, other values constants."""
+    return Atom.of(relation, *values)
+
+
+def neq(left: Any, right: Any) -> Inequality:
+    """An inequality atom ``left ≠ right``."""
+    return Inequality(left, right)
+
+
+def lt(left: Any, right: Any) -> Comparison:
+    """A strict comparison atom ``left < right``."""
+    return Comparison(left, right, strict=True)
+
+
+def le(left: Any, right: Any) -> Comparison:
+    """A weak comparison atom ``left ≤ right``."""
+    return Comparison(left, right, strict=False)
+
+
+def cq(
+    head: Sequence[Any],
+    atoms: Iterable[Atom],
+    inequalities: Iterable[Inequality] = (),
+    comparisons: Iterable[Comparison] = (),
+    name: str = "ANS",
+) -> ConjunctiveQuery:
+    """A conjunctive query; see :class:`ConjunctiveQuery`."""
+    return ConjunctiveQuery(head, atoms, inequalities, comparisons, head_name=name)
+
+
+def lift(value: Union[Formula, Atom]) -> Formula:
+    """Coerce a bare atom into an atomic formula."""
+    if isinstance(value, Atom):
+        return AtomFormula(value)
+    return value
+
+
+def and_(*children: Union[Formula, Atom]) -> Formula:
+    """∧ of the children (a single child passes through)."""
+    lifted = [lift(c) for c in children]
+    if len(lifted) == 1:
+        return lifted[0]
+    return And(lifted)
+
+
+def or_(*children: Union[Formula, Atom]) -> Formula:
+    """∨ of the children (a single child passes through)."""
+    lifted = [lift(c) for c in children]
+    if len(lifted) == 1:
+        return lifted[0]
+    return Or(lifted)
+
+
+def not_(child: Union[Formula, Atom]) -> Formula:
+    """¬child."""
+    return Not(lift(child))
+
+
+def exists(variable: Union[str, Variable], child: Union[Formula, Atom]) -> Formula:
+    """∃variable.child."""
+    return Exists(variable, lift(child))
+
+
+def forall(variable: Union[str, Variable], child: Union[Formula, Atom]) -> Formula:
+    """∀variable.child."""
+    return Forall(variable, lift(child))
+
+
+def exists_all(
+    variables: Iterable[Union[str, Variable]], child: Union[Formula, Atom]
+) -> Formula:
+    """∃v1.∃v2...∃vn.child, outermost-first."""
+    result = lift(child)
+    for variable in reversed(list(variables)):
+        result = Exists(variable, result)
+    return result
+
+
+def forall_all(
+    variables: Iterable[Union[str, Variable]], child: Union[Formula, Atom]
+) -> Formula:
+    """∀v1.∀v2...∀vn.child, outermost-first."""
+    result = lift(child)
+    for variable in reversed(list(variables)):
+        result = Forall(variable, result)
+    return result
+
+
+def positive(
+    head: Sequence[Any], formula: Union[Formula, Atom], name: str = "ANS"
+) -> PositiveQuery:
+    """A positive query; see :class:`PositiveQuery`."""
+    return PositiveQuery(head, lift(formula), head_name=name)
+
+
+__all__ = [
+    "C",
+    "V",
+    "and_",
+    "atom",
+    "cq",
+    "exists",
+    "exists_all",
+    "forall",
+    "forall_all",
+    "le",
+    "lift",
+    "lt",
+    "neq",
+    "not_",
+    "or_",
+    "positive",
+    "term",
+]

@@ -1,0 +1,133 @@
+"""Datalog programs: conjunctive rules with recursion.
+
+A Datalog program is a set of rules ``H(t0) ← B1(t1), ..., Bs(ts)`` over
+EDB relations (those of the database) and IDB relations (those defined by
+rule heads), with one IDB relation distinguished as the *goal*.  §4 of the
+paper shows that when all EDB and IDB arities are bounded by a constant,
+Datalog evaluation is W[1]-complete, whereas with growing IDB arity the
+query size is *provably* in the exponent (Vardi).
+
+:meth:`DatalogProgram.max_arity` exposes the fixed-arity side condition;
+the evaluation engines live in :mod:`repro.evaluation.datalog_eval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..errors import QueryError
+from .atoms import Atom
+from .terms import Variable, variables_in
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single Datalog rule ``head ← body``."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise QueryError(f"rule for {self.head.relation} has an empty body")
+        body_vars: set = set()
+        for atom in self.body:
+            body_vars |= atom.variable_set()
+        for v in self.head.variables():
+            if v not in body_vars:
+                raise QueryError(
+                    f"unsafe rule: head variable {v!r} not in body of "
+                    f"{self.head.relation}"
+                )
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Distinct variables of the rule, body-then-head occurrence order."""
+        collected: Dict[Variable, None] = {}
+        for atom in self.body:
+            for v in atom.variables():
+                collected.setdefault(v, None)
+        for v in self.head.variables():
+            collected.setdefault(v, None)
+        return tuple(collected)
+
+    def num_variables(self) -> int:
+        return len(self.variables())
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} :- " + ", ".join(repr(a) for a in self.body)
+
+
+class DatalogProgram:
+    """An immutable Datalog program with a designated goal relation."""
+
+    __slots__ = ("rules", "goal")
+
+    def __init__(self, rules: Iterable[Rule], goal: str) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self.goal = goal
+        if not self.rules:
+            raise QueryError("Datalog program needs at least one rule")
+        if goal not in self.idb_names():
+            raise QueryError(f"goal {goal!r} is not defined by any rule")
+        arities: Dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head,) + rule.body:
+                declared = arities.setdefault(atom.relation, atom.arity)
+                if declared != atom.arity:
+                    raise QueryError(
+                        f"relation {atom.relation!r} used with arities "
+                        f"{declared} and {atom.arity}"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def idb_names(self) -> FrozenSet[str]:
+        """Relations defined by some rule head."""
+        return frozenset(rule.head.relation for rule in self.rules)
+
+    def edb_names(self) -> FrozenSet[str]:
+        """Relations used in bodies but never defined — the database inputs."""
+        idb = self.idb_names()
+        used: set = set()
+        for rule in self.rules:
+            for atom in rule.body:
+                used.add(atom.relation)
+        return frozenset(used - idb)
+
+    def arity(self, relation: str) -> int:
+        for rule in self.rules:
+            for atom in (rule.head,) + rule.body:
+                if atom.relation == relation:
+                    return atom.arity
+        raise QueryError(f"relation {relation!r} does not occur in the program")
+
+    def max_arity(self) -> int:
+        """Largest arity of any EDB or IDB relation — §4's side condition."""
+        arities = set()
+        for rule in self.rules:
+            for atom in (rule.head,) + rule.body:
+                arities.add(atom.arity)
+        return max(arities)
+
+    def max_rule_variables(self) -> int:
+        """Largest per-rule variable count (the v of each CQ the engine solves)."""
+        return max(rule.num_variables() for rule in self.rules)
+
+    def query_size(self) -> int:
+        """The parameter q for a Datalog program."""
+        size = 0
+        for rule in self.rules:
+            size += 1 + rule.head.arity
+            for atom in rule.body:
+                size += 1 + atom.arity
+        return size
+
+    def rules_for(self, relation: str) -> Tuple[Rule, ...]:
+        """The rules whose head defines *relation*."""
+        return tuple(r for r in self.rules if r.head.relation == relation)
+
+    def __repr__(self) -> str:
+        lines = [repr(rule) + "." for rule in self.rules]
+        return f"-- goal: {self.goal}\n" + "\n".join(lines)

@@ -1,0 +1,448 @@
+"""First-order formulas and queries (relational calculus).
+
+The AST supports the full first-order fragment of the paper: relational
+atoms, ¬, ∧, ∨, ∃ and ∀.  Variable *names* can be reused under nested
+quantifiers — this matters because the paper's parameter v counts distinct
+variable names, and the Theorem 1 first-order reduction achieves v = k + 2
+precisely by reusing two quantified variables (y, z) at every circuit level.
+
+Key operations:
+
+* :meth:`Formula.free_variables` / :meth:`Formula.variable_names` — the v
+  measure counts *all* distinct names, free or bound.
+* :meth:`Formula.substitute` — capture-avoiding substitution.
+* :func:`to_nnf` / :func:`to_prenex` — normal forms.  Prenexing renames
+  bound variables apart, which in general increases v; the paper highlights
+  exactly this subtlety, and our tests verify both semantics preservation
+  and the v increase.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..errors import QueryError
+from .atoms import Atom
+from .terms import (
+    Constant,
+    Term,
+    Variable,
+    fresh_variable,
+    substitute_term,
+    terms,
+    variables_in,
+)
+
+
+class Formula:
+    """Abstract base of first-order formula nodes."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+    def variable_names(self) -> FrozenSet[str]:
+        """All distinct variable names occurring (free or bound)."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Formula":
+        """Capture-avoiding substitution of free variables."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Structural size (the parameter q, up to a constant factor)."""
+        raise NotImplementedError
+
+    def is_positive(self) -> bool:
+        """True iff the formula uses only atoms, ∧, ∨ and ∃."""
+        raise NotImplementedError
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        """All relational atom occurrences, left to right."""
+        raise NotImplementedError
+
+
+class AtomFormula(Formula):
+    """A relational atom as a formula leaf."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom) -> None:
+        self.atom = atom
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.atom.variable_set()
+
+    def variable_names(self) -> FrozenSet[str]:
+        return frozenset(v.name for v in self.atom.variables())
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Formula":
+        return AtomFormula(self.atom.substitute(mapping))
+
+    def size(self) -> int:
+        return 1 + self.atom.arity
+
+    def is_positive(self) -> bool:
+        return True
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return (self.atom,)
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AtomFormula) and self.atom == other.atom
+
+    def __hash__(self) -> int:
+        return hash((AtomFormula, self.atom))
+
+
+class Not(Formula):
+    """Negation ¬φ."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        self.operand = operand
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables()
+
+    def variable_names(self) -> FrozenSet[str]:
+        return self.operand.variable_names()
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Formula":
+        return Not(self.operand.substitute(mapping))
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+    def is_positive(self) -> bool:
+        return False
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self.operand.atoms()
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash((Not, self.operand))
+
+
+class _NaryConnective(Formula):
+    """Shared implementation of ∧ / ∨ (n-ary, flattened, order-preserving)."""
+
+    __slots__ = ("children",)
+    _symbol = "?"
+
+    def __init__(self, children: Iterable[Formula]) -> None:
+        flat: List[Formula] = []
+        for child in children:
+            if not isinstance(child, Formula):
+                raise QueryError(f"not a formula: {child!r}")
+            if type(child) is type(self):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) < 1:
+            raise QueryError(f"empty {self._symbol}-connective")
+        self.children = tuple(flat)
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        out: FrozenSet[Variable] = frozenset()
+        for child in self.children:
+            out |= child.free_variables()
+        return out
+
+    def variable_names(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for child in self.children:
+            out |= child.variable_names()
+        return out
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Formula":
+        return type(self)(c.substitute(mapping) for c in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(c.size() for c in self.children)
+
+    def is_positive(self) -> bool:
+        return all(c.is_positive() for c in self.children)
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        out: Tuple[Atom, ...] = ()
+        for child in self.children:
+            out += child.atoms()
+        return out
+
+    def __repr__(self) -> str:
+        sym = f" {self._symbol} "
+        return "(" + sym.join(repr(c) for c in self.children) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.children))
+
+
+class And(_NaryConnective):
+    """Conjunction φ1 ∧ ... ∧ φn."""
+
+    _symbol = "&"
+
+
+class Or(_NaryConnective):
+    """Disjunction φ1 ∨ ... ∨ φn."""
+
+    _symbol = "|"
+
+
+class _Quantifier(Formula):
+    """Shared implementation of ∃ / ∀."""
+
+    __slots__ = ("variable", "operand")
+    _symbol = "?"
+
+    def __init__(self, variable: Union[Variable, str], operand: Formula) -> None:
+        self.variable = variable if isinstance(variable, Variable) else Variable(variable)
+        self.operand = operand
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables() - {self.variable}
+
+    def variable_names(self) -> FrozenSet[str]:
+        return self.operand.variable_names() | {self.variable.name}
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Formula":
+        # Drop any binding of the quantified variable itself.
+        effective = {v: t for v, t in mapping.items() if v != self.variable}
+        if not effective:
+            return self
+        # Capture avoidance: if a replacement mentions our bound variable,
+        # rename the bound variable apart first.
+        replacement_vars = set()
+        for t in effective.values():
+            if isinstance(t, Variable):
+                replacement_vars.add(t)
+        if self.variable in replacement_vars:
+            taken = (
+                self.operand.free_variables()
+                | replacement_vars
+                | set(effective)
+            )
+            renamed = fresh_variable(self.variable.name, taken)
+            body = self.operand.substitute({self.variable: renamed})
+            return type(self)(renamed, body.substitute(effective))
+        return type(self)(self.variable, self.operand.substitute(effective))
+
+    def size(self) -> int:
+        return 2 + self.operand.size()
+
+    def is_positive(self) -> bool:
+        return isinstance(self, Exists) and self.operand.is_positive()
+
+    def atoms(self) -> Tuple[Atom, ...]:
+        return self.operand.atoms()
+
+    def __repr__(self) -> str:
+        return f"{self._symbol}{self.variable!r}.{self.operand!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.variable == other.variable
+            and self.operand == other.operand
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.variable, self.operand))
+
+
+class Exists(_Quantifier):
+    """Existential quantification ∃x.φ."""
+
+    _symbol = "E"
+
+
+class Forall(_Quantifier):
+    """Universal quantification ∀x.φ."""
+
+    _symbol = "A"
+
+
+# ----------------------------------------------------------------------
+# Normal forms
+# ----------------------------------------------------------------------
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: push ¬ down to atoms via De Morgan and duality."""
+    if isinstance(formula, AtomFormula):
+        return formula
+    if isinstance(formula, And):
+        return And(to_nnf(c) for c in formula.children)
+    if isinstance(formula, Or):
+        return Or(to_nnf(c) for c in formula.children)
+    if isinstance(formula, Exists):
+        return Exists(formula.variable, to_nnf(formula.operand))
+    if isinstance(formula, Forall):
+        return Forall(formula.variable, to_nnf(formula.operand))
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, AtomFormula):
+            return formula
+        if isinstance(inner, Not):
+            return to_nnf(inner.operand)
+        if isinstance(inner, And):
+            return Or(to_nnf(Not(c)) for c in inner.children)
+        if isinstance(inner, Or):
+            return And(to_nnf(Not(c)) for c in inner.children)
+        if isinstance(inner, Exists):
+            return Forall(inner.variable, to_nnf(Not(inner.operand)))
+        if isinstance(inner, Forall):
+            return Exists(inner.variable, to_nnf(Not(inner.operand)))
+    raise QueryError(f"unknown formula node: {formula!r}")
+
+
+def to_prenex(formula: Formula) -> Tuple[Tuple[Tuple[str, Variable], ...], Formula]:
+    """Prenex normal form: ``(prefix, matrix)`` with a quantifier-free matrix.
+
+    The prefix is a tuple of ``("E" | "A", variable)`` pairs, outermost
+    first.  Bound variables are renamed apart, so the prefix variables are
+    pairwise distinct and distinct from all free variables — this is the
+    transformation the paper notes "in general increases their number and
+    thus does not preserve the parameter v".
+    """
+    nnf = to_nnf(formula)
+    taken = {Variable(n) for n in nnf.variable_names()}
+
+    def pull(f: Formula) -> Tuple[List[Tuple[str, Variable]], Formula]:
+        if isinstance(f, (AtomFormula, Not)):
+            return [], f
+        if isinstance(f, (Exists, Forall)):
+            quant = "E" if isinstance(f, Exists) else "A"
+            var = f.variable
+            if var in taken_used:
+                renamed = fresh_variable(var.name, taken | taken_used)
+                body = f.operand.substitute({var: renamed})
+                var = renamed
+            else:
+                body = f.operand
+            taken_used.add(var)
+            inner_prefix, matrix = pull(body)
+            return [(quant, var)] + inner_prefix, matrix
+        if isinstance(f, (And, Or)):
+            prefix: List[Tuple[str, Variable]] = []
+            matrices: List[Formula] = []
+            for child in f.children:
+                child_prefix, child_matrix = pull(child)
+                prefix.extend(child_prefix)
+                matrices.append(child_matrix)
+            return prefix, type(f)(matrices)
+        raise QueryError(f"unknown formula node: {f!r}")
+
+    taken_used: set = set(nnf.free_variables())
+    prefix, matrix = pull(nnf)
+    return tuple(prefix), matrix
+
+
+def prenex_formula(prefix: Sequence[Tuple[str, Variable]], matrix: Formula) -> Formula:
+    """Rebuild a formula from a prenex (prefix, matrix) pair."""
+    result = matrix
+    for quant, var in reversed(tuple(prefix)):
+        if quant == "E":
+            result = Exists(var, result)
+        elif quant == "A":
+            result = Forall(var, result)
+        else:
+            raise QueryError(f"unknown quantifier tag {quant!r}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Query wrapper
+# ----------------------------------------------------------------------
+
+
+class FirstOrderQuery:
+    """A first-order query ``{t0 | φ}``.
+
+    The head terms list the output tuple; its variables must be exactly the
+    free variables of φ.  A Boolean query has an empty head and a sentence
+    as its formula.
+    """
+
+    __slots__ = ("head_name", "head_terms", "formula")
+
+    def __init__(
+        self,
+        head_terms: Sequence[Any],
+        formula: Formula,
+        head_name: str = "ANS",
+    ) -> None:
+        self.head_name = head_name
+        self.head_terms: Tuple[Term, ...] = terms(head_terms)
+        self.formula = formula
+        head_vars = set(variables_in(self.head_terms))
+        free = set(formula.free_variables())
+        if head_vars != free:
+            raise QueryError(
+                f"head variables {sorted(v.name for v in head_vars)} must equal "
+                f"free variables {sorted(v.name for v in free)}"
+            )
+
+    def head_variables(self) -> Tuple[Variable, ...]:
+        return variables_in(self.head_terms)
+
+    def is_boolean(self) -> bool:
+        return not self.head_terms or not self.head_variables()
+
+    def query_size(self) -> int:
+        """The parameter q."""
+        return len(self.head_terms) + 1 + self.formula.size()
+
+    def num_variables(self) -> int:
+        """The parameter v: distinct variable *names*, free or bound."""
+        return len(self.formula.variable_names() | {v.name for v in self.head_variables()})
+
+    def decision_instance(self, candidate: Sequence[Any]) -> "FirstOrderQuery":
+        """The Boolean query for the decision problem ``candidate ∈ Q(d)``."""
+        values = tuple(candidate)
+        if len(values) != len(self.head_terms):
+            raise QueryError(
+                f"candidate arity {len(values)} != head arity {len(self.head_terms)}"
+            )
+        mapping: Dict[Variable, Term] = {}
+        for head_term, value in zip(self.head_terms, values):
+            if isinstance(head_term, Constant):
+                if head_term.value != value:
+                    raise QueryError(
+                        f"candidate value {value!r} conflicts with {head_term!r}"
+                    )
+                continue
+            bound = mapping.get(head_term)
+            if bound is not None and bound != Constant(value):
+                raise QueryError(f"conflicting bindings for {head_term!r}")
+            mapping[head_term] = Constant(value)
+        return FirstOrderQuery((), self.formula.substitute(mapping), self.head_name)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.head_terms)
+        return f"{self.head_name}({inner}) := {self.formula!r}"

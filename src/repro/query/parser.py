@@ -1,0 +1,209 @@
+"""Textual parser for rule-notation queries and Datalog programs.
+
+Grammar (whitespace-insensitive)::
+
+    program  :=  rule ( rule )*
+    rule     :=  atom ":-" literal ( "," literal )* "."
+    literal  :=  atom | term "!=" term | term "<" term | term "<=" term
+    atom     :=  RELNAME [ "(" term ( "," term )* ")" ]
+    term     :=  VARNAME | NUMBER | STRING
+
+Lexical conventions:
+
+* relation names start with an uppercase letter: ``R``, ``Edge``;
+* variables start with a lowercase letter or underscore: ``x``, ``dept``;
+* constants are integers (``42``, ``-3``) or single-quoted strings
+  (``'CS'``).
+
+Examples::
+
+    parse_query("G(e) :- EP(e, p), EP(e, q), p != q.")
+    parse_program('''
+        T(x, y) :- E(x, y).
+        T(x, y) :- E(x, z), T(z, y).
+    ''', goal="T")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..errors import ParseError
+from .atoms import Atom, Comparison, Inequality
+from .conjunctive import ConjunctiveQuery
+from .datalog import DatalogProgram, Rule
+from .terms import Constant, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<ARROW>:-)
+  | (?P<NEQ>!=)
+  | (?P<LE><=)
+  | (?P<LT><)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<STRING>'[^']*')
+  | (?P<NUMBER>-?\d+)
+  | (?P<RELNAME>[A-Z][A-Za-z0-9_]*)
+  | (?P<VARNAME>[a-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.text!r}", token.position
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- grammar --------------------------------------------------------
+
+    def term(self) -> Term:
+        token = self._next()
+        if token.kind == "VARNAME":
+            return Variable(token.text)
+        if token.kind == "NUMBER":
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        raise ParseError(f"expected a term, found {token.text!r}", token.position)
+
+    def atom(self) -> Atom:
+        name = self._expect("RELNAME")
+        nxt = self._peek()
+        if nxt is None or nxt.kind != "LPAREN":
+            return Atom(name.text, ())
+        self._expect("LPAREN")
+        terms_list: List[Term] = []
+        nxt = self._peek()
+        if nxt is not None and nxt.kind != "RPAREN":
+            terms_list.append(self.term())
+            while self._peek() is not None and self._peek().kind == "COMMA":
+                self._next()
+                terms_list.append(self.term())
+        self._expect("RPAREN")
+        return Atom(name.text, tuple(terms_list))
+
+    def literal(self) -> Any:
+        """An atom, inequality, or comparison."""
+        nxt = self._peek()
+        if nxt is None:
+            raise ParseError("unexpected end of input")
+        if nxt.kind == "RELNAME":
+            return self.atom()
+        left = self.term()
+        op = self._next()
+        if op.kind == "NEQ":
+            return Inequality(left, self.term())
+        if op.kind == "LT":
+            return Comparison(left, self.term(), strict=True)
+        if op.kind == "LE":
+            return Comparison(left, self.term(), strict=False)
+        raise ParseError(
+            f"expected !=, < or <= after term, found {op.text!r}", op.position
+        )
+
+    def rule(self) -> Tuple[Atom, List[Any]]:
+        head = self.atom()
+        self._expect("ARROW")
+        literals = [self.literal()]
+        while self._peek() is not None and self._peek().kind == "COMMA":
+            self._next()
+            literals.append(self.literal())
+        self._expect("DOT")
+        return head, literals
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a single rule into a :class:`ConjunctiveQuery`.
+
+    The trailing period is optional for single queries.
+    """
+    stripped = text.strip()
+    if not stripped.endswith("."):
+        stripped += "."
+    parser = _Parser(stripped)
+    head, literals = parser.rule()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(
+            f"trailing input after query: {token.text!r}",
+            token.position if token else -1,
+        )
+    atoms = [lit for lit in literals if isinstance(lit, Atom)]
+    inequalities = [lit for lit in literals if isinstance(lit, Inequality)]
+    comparisons = [lit for lit in literals if isinstance(lit, Comparison)]
+    return ConjunctiveQuery(
+        head.terms, atoms, inequalities, comparisons, head_name=head.relation
+    )
+
+
+def parse_program(text: str, goal: Optional[str] = None) -> DatalogProgram:
+    """Parse one or more rules into a :class:`DatalogProgram`.
+
+    Inequalities and comparisons are not part of our Datalog fragment and
+    raise :class:`ParseError`.  The goal defaults to the head relation of
+    the first rule.
+    """
+    parser = _Parser(text)
+    rules: List[Rule] = []
+    while not parser.at_end():
+        head, literals = parser.rule()
+        for lit in literals:
+            if not isinstance(lit, Atom):
+                raise ParseError(f"Datalog rules admit only relational atoms: {lit!r}")
+        rules.append(Rule(head, tuple(literals)))
+    if not rules:
+        raise ParseError("no rules found")
+    return DatalogProgram(rules, goal=goal or rules[0].head.relation)

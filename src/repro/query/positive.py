@@ -1,0 +1,176 @@
+"""Positive queries: relational calculus with ∃, ∧ and ∨ (no negation).
+
+A positive query is ``{t0 | φ}`` where φ is built from relational atoms
+with ∃, ∧, ∨.  The AST is shared with :mod:`repro.query.first_order`; the
+:class:`PositiveQuery` wrapper enforces positivity.
+
+The two classical transformations of Theorem 1(2) live here:
+
+* :meth:`PositiveQuery.to_prenex` — prenex normal form (all ∃ up front).
+  Renaming may increase the number of variables, which is exactly why the
+  paper's parameter-v classification distinguishes prenex queries.
+* :meth:`PositiveQuery.to_union_of_conjunctive_queries` — the exponential
+  DNF expansion into conjunctive queries, used for the W[1] upper bound
+  under parameter q.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, List, Sequence, Tuple
+
+from ..errors import QueryError
+from .atoms import Atom
+from .conjunctive import ConjunctiveQuery
+from .first_order import (
+    And,
+    AtomFormula,
+    Exists,
+    Formula,
+    Or,
+    prenex_formula,
+    to_prenex,
+)
+from .terms import Term, Variable, terms, variables_in
+
+
+class PositiveQuery:
+    """An immutable positive query ``{t0 | φ}`` with φ ∈ {atom, ∧, ∨, ∃}."""
+
+    __slots__ = ("head_name", "head_terms", "formula")
+
+    def __init__(
+        self,
+        head_terms: Sequence[Any],
+        formula: Formula,
+        head_name: str = "ANS",
+    ) -> None:
+        if not formula.is_positive():
+            raise QueryError("positive queries admit only atoms, AND, OR, EXISTS")
+        self.head_name = head_name
+        self.head_terms: Tuple[Term, ...] = terms(head_terms)
+        self.formula = formula
+        head_vars = set(variables_in(self.head_terms))
+        free = set(formula.free_variables())
+        if head_vars != free:
+            raise QueryError(
+                f"head variables {sorted(v.name for v in head_vars)} must equal "
+                f"free variables {sorted(v.name for v in free)}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def head_variables(self) -> Tuple[Variable, ...]:
+        return variables_in(self.head_terms)
+
+    def is_boolean(self) -> bool:
+        return not self.head_variables()
+
+    def query_size(self) -> int:
+        """The parameter q."""
+        return len(self.head_terms) + 1 + self.formula.size()
+
+    def num_variables(self) -> int:
+        """The parameter v: distinct variable names, free or bound."""
+        return len(
+            self.formula.variable_names() | {v.name for v in self.head_variables()}
+        )
+
+    def is_prenex(self) -> bool:
+        """True iff φ is ∃y1...∃yk (quantifier-free matrix)."""
+        node = self.formula
+        while isinstance(node, Exists):
+            node = node.operand
+        return _quantifier_free(node)
+
+    # ------------------------------------------------------------------
+
+    def decision_instance(self, candidate: Sequence[Any]) -> "PositiveQuery":
+        """The Boolean positive query for ``candidate ∈ Q(d)``."""
+        from .first_order import FirstOrderQuery
+
+        fo = FirstOrderQuery(self.head_terms, self.formula, self.head_name)
+        decided = fo.decision_instance(candidate)
+        return PositiveQuery((), decided.formula, self.head_name)
+
+    def to_prenex(self) -> "PositiveQuery":
+        """An equivalent prenex positive query (∃ prefix + matrix).
+
+        Bound-variable renaming may increase :meth:`num_variables`; the
+        returned query is semantically equivalent (tests verify this against
+        the direct evaluator).
+        """
+        prefix, matrix = to_prenex(self.formula)
+        if any(quant != "E" for quant, _ in prefix):
+            raise QueryError("positive query prenexing produced a universal")
+        return PositiveQuery(
+            self.head_terms, prenex_formula(prefix, matrix), self.head_name
+        )
+
+    def to_union_of_conjunctive_queries(self) -> Tuple[ConjunctiveQuery, ...]:
+        """Expand into the equivalent union of conjunctive queries.
+
+        This is the Theorem 1(2) upper-bound construction for parameter q:
+        prenex the query, put the matrix in disjunctive normal form
+        (exponential in q in the worst case), and emit one conjunctive query
+        per disjunct.  Each disjunct must contain every head variable, else
+        the query is unsafe and :class:`QueryError` is raised.
+        """
+        prenexed = self.to_prenex()
+        node = prenexed.formula
+        while isinstance(node, Exists):
+            node = node.operand
+        disjuncts = _dnf(node)
+        queries: List[ConjunctiveQuery] = []
+        head_vars = set(self.head_variables())
+        for atoms in disjuncts:
+            covered = set()
+            for atom in atoms:
+                covered |= atom.variable_set()
+            if not head_vars <= covered:
+                missing = sorted(v.name for v in head_vars - covered)
+                raise QueryError(
+                    f"unsafe positive query: disjunct {atoms!r} misses head "
+                    f"variables {missing}"
+                )
+            queries.append(
+                ConjunctiveQuery(self.head_terms, atoms, head_name=self.head_name)
+            )
+        return tuple(queries)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.head_terms)
+        return f"{self.head_name}({inner}) := {self.formula!r}"
+
+
+def _quantifier_free(node: Formula) -> bool:
+    if isinstance(node, AtomFormula):
+        return True
+    if isinstance(node, (And, Or)):
+        return all(_quantifier_free(c) for c in node.children)
+    return False
+
+
+def _dnf(node: Formula) -> Tuple[Tuple[Atom, ...], ...]:
+    """DNF of a quantifier-free positive matrix, as atom tuples."""
+    if isinstance(node, AtomFormula):
+        return ((node.atom,),)
+    if isinstance(node, Or):
+        out: Tuple[Tuple[Atom, ...], ...] = ()
+        for child in node.children:
+            out += _dnf(child)
+        return out
+    if isinstance(node, And):
+        child_dnfs = [_dnf(c) for c in node.children]
+        combos = []
+        for pick in product(*child_dnfs):
+            merged: Tuple[Atom, ...] = ()
+            for part in pick:
+                merged += part
+            # Deduplicate repeated atoms within a disjunct.
+            seen = {}
+            for atom in merged:
+                seen.setdefault(atom, None)
+            combos.append(tuple(seen))
+        return tuple(combos)
+    raise QueryError(f"matrix is not quantifier-free positive: {node!r}")

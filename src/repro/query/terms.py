@@ -1,0 +1,118 @@
+"""Terms: variables and constants.
+
+Queries are built from *terms* — variables (``Variable("x")``) and constants
+(``Constant(3)``).  Both are immutable and hashable.  The helpers :func:`V`
+and :func:`C` keep query construction terse; :func:`term` applies the
+library-wide convention that bare strings denote variables and any other
+Python value denotes a constant (string constants are made with ``C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+
+from ..errors import QueryError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise QueryError(f"invalid variable name: {self.name!r}")
+        if self.name.startswith("#"):
+            raise QueryError(
+                f"variable names may not start with '#' (reserved): {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def sort_key(self) -> Tuple[int, str]:
+        return (0, self.name)
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant value (any hashable Python object)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+    def sort_key(self) -> Tuple[int, str]:
+        return (1, repr(self.value))
+
+
+Term = Union[Variable, Constant]
+
+
+def V(name: str) -> Variable:
+    """Shorthand variable constructor."""
+    return Variable(name)
+
+
+def C(value: Any) -> Constant:
+    """Shorthand constant constructor."""
+    return Constant(value)
+
+
+def term(value: Any) -> Term:
+    """Coerce *value* to a term: ``str`` → variable, anything else → constant.
+
+    Already-constructed terms pass through unchanged.  To denote a *string
+    constant*, construct it explicitly with :func:`C`.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str):
+        return Variable(value)
+    return Constant(value)
+
+
+def terms(values: Iterable[Any]) -> Tuple[Term, ...]:
+    """Coerce each element with :func:`term`."""
+    return tuple(term(v) for v in values)
+
+
+def variables_in(items: Iterable[Term]) -> Tuple[Variable, ...]:
+    """Distinct variables among *items*, in first-occurrence order."""
+    seen: Dict[Variable, None] = {}
+    for t in items:
+        if isinstance(t, Variable):
+            seen.setdefault(t, None)
+    return tuple(seen)
+
+
+def constants_in(items: Iterable[Term]) -> Tuple[Constant, ...]:
+    """Distinct constants among *items*, in first-occurrence order."""
+    seen: Dict[Constant, None] = {}
+    for t in items:
+        if isinstance(t, Constant):
+            seen.setdefault(t, None)
+    return tuple(seen)
+
+
+def substitute_term(t: Term, mapping: Mapping[Variable, Term]) -> Term:
+    """Apply a variable substitution to a single term."""
+    if isinstance(t, Variable):
+        return mapping.get(t, t)
+    return t
+
+
+def fresh_variable(base: str, taken: Iterable[Variable]) -> Variable:
+    """A variable named like *base* that collides with nothing in *taken*."""
+    taken_names = {v.name for v in taken}
+    if base not in taken_names:
+        return Variable(base)
+    i = 1
+    while f"{base}_{i}" in taken_names:
+        i += 1
+    return Variable(f"{base}_{i}")

@@ -1,0 +1,287 @@
+"""Theorem 1(3): monotone weighted circuit SAT ≤ first-order evaluation.
+
+The reduction (both parameters):
+
+* normalize the monotone circuit into strict OR/AND alternation with the
+  output an OR gate at level 2t (:func:`repro.circuits.normalize.level_alternate`);
+* the database has one constant per gate and a single binary relation
+      C = {(a, b) : gate b is an input of gate a} ∪ {(c, c) : c input gate};
+* define, for the even (OR) levels,
+
+      θ_0(x)   = C(x, x_1) ∨ ... ∨ C(x, x_k)
+      θ_2i(x)  = ∃y [ C(x, y) ∧ ∀z ( ¬C(y, z) ∨ θ_{2i−2}(z) ) ]
+
+  and take  Q = ∃x_1 ... ∃x_k θ_{2t}(o)  with o the output-gate constant.
+
+The variables y and z are *reused* at every level, so the query has
+exactly k + 2 variables and size O(t + k): W[P]-hardness for parameter v,
+and (because monotone depth-t weighted circuit SAT is W[t]-complete for
+even t) W[t]-hardness for every t for parameter q.  The schema is fixed
+(one binary relation).
+
+The alternating extension (AW[P], §4's closing discussion) lives in
+:func:`alternating_circuit_to_fo`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..circuits.circuit import Circuit, INPUT
+from ..circuits.normalize import level_alternate
+from ..errors import ReductionError
+from ..parametric.problems.alternating import AlternatingWeightedCircuitInstance, MONOTONE_AW_P
+from ..parametric.problems.weighted_sat_problems import (
+    MONOTONE_WEIGHTED_CIRCUIT_SAT,
+    WeightedCircuitInstance,
+)
+from ..query.atoms import Atom
+from ..query.first_order import (
+    And,
+    AtomFormula,
+    Exists,
+    FirstOrderQuery,
+    Forall,
+    Formula,
+    Not,
+    Or,
+)
+from ..query.terms import Constant, Term, Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .problem_base import ParametricReduction
+from .query_problems import (
+    FO_EVALUATION_Q,
+    FO_EVALUATION_V,
+    QueryEvaluationInstance,
+)
+
+
+def wiring_database(circuit: Circuit) -> Database:
+    """The C relation: wiring pairs plus self-loops on input gates."""
+    rows: List[Tuple[str, str]] = []
+    for gate in circuit.gates():
+        if gate.kind == INPUT:
+            rows.append((gate.gate_id, gate.gate_id))
+        for source in gate.inputs:
+            rows.append((gate.gate_id, source))
+    domain = [g.gate_id for g in circuit.gates()]
+    return Database({"C": Relation(("C.0", "C.1"), rows)}, domain=domain)
+
+
+def theta(level: int, argument: Term, k: int) -> Formula:
+    """The level formula θ_level(argument) with existential x_1..x_k free.
+
+    *level* must be even; y and z are reused at every recursion step,
+    giving the k + 2 variable bound.
+    """
+    if level % 2 != 0:
+        raise ReductionError("theta is defined for even (OR) levels")
+    if level == 0:
+        return Or(
+            AtomFormula(Atom("C", (argument, Variable(f"x{j}"))))
+            for j in range(1, k + 1)
+        ) if k > 1 else AtomFormula(Atom("C", (argument, Variable("x1"))))
+    y = Variable("y")
+    z = Variable("z")
+    inner = theta(level - 2, z, k)
+    return Exists(
+        y,
+        And(
+            (
+                AtomFormula(Atom("C", (argument, y))),
+                Forall(z, Or((Not(AtomFormula(Atom("C", (y, z)))), inner))),
+            )
+        ),
+    )
+
+
+def circuit_to_fo_query(circuit: Circuit, k: int) -> Tuple[FirstOrderQuery, Database]:
+    """Build (Q, d) for the monotone circuit and weight k.
+
+    Raises :class:`ReductionError` for non-monotone circuits, k < 1, or
+    k exceeding the number of inputs (the monotone padding argument needs
+    k ≤ #inputs).
+    """
+    if k < 1:
+        raise ReductionError("the construction needs k >= 1")
+    if k > circuit.num_inputs:
+        raise ReductionError(
+            f"k={k} exceeds the circuit's {circuit.num_inputs} inputs"
+        )
+    leveled, t = level_alternate(circuit)
+    body = theta(2 * t, Constant(leveled.output), k)
+    formula: Formula = body
+    for j in range(k, 0, -1):
+        formula = Exists(Variable(f"x{j}"), formula)
+    query = FirstOrderQuery((), formula, head_name="Q")
+    return query, wiring_database(leveled)
+
+
+def circuit_to_fo(instance: WeightedCircuitInstance) -> QueryEvaluationInstance:
+    """Transform a monotone weighted-circuit instance into (Q, d, ())."""
+    if not instance.circuit.is_monotone():
+        raise ReductionError("the reduction requires a monotone circuit")
+    query, database = circuit_to_fo_query(instance.circuit, instance.k)
+    return QueryEvaluationInstance(query=query, database=database, candidate=())
+
+
+CIRCUIT_TO_FO_V = ParametricReduction(
+    name="monotone-weighted-circuit-sat->first-order[v]",
+    source=MONOTONE_WEIGHTED_CIRCUIT_SAT,
+    target=FO_EVALUATION_V,
+    transform=circuit_to_fo,
+    parameter_bound=lambda k: k + 2,
+    notes="Theorem 1(3): W[P]-hardness for parameter v; fixed schema",
+)
+
+
+def fo_query_size_bound(k: int, t: int) -> int:
+    """q = O(t + k): the exact structural size of the θ_2t query."""
+    # θ_0: k atoms of size 3 inside an OR node (+1), wrapped per level by
+    # ∃y(2) + ∧(1) + atom(3) + ∀z(2) + ∨(1) + ¬(1) + atom(3) = 13.
+    return (3 * k + 1) + 13 * t + 2 * k + 1
+
+
+def make_depth_t_reduction(t: int) -> ParametricReduction:
+    """The parameter-q reduction from depth-t monotone weighted circuit SAT.
+
+    For each even t, monotone depth-t weighted circuit satisfiability is
+    W[t]-complete; the same transformation then shows W[t]-hardness of
+    first-order evaluation under parameter q (the query size depends only
+    on t and k).
+    """
+    from ..parametric.problems.weighted_sat_problems import (
+        depth_t_weighted_circuit_sat,
+    )
+
+    def transform(instance: WeightedCircuitInstance) -> QueryEvaluationInstance:
+        if instance.circuit.depth() > t:
+            raise ReductionError(
+                f"instance depth {instance.circuit.depth()} exceeds t={t}"
+            )
+        return circuit_to_fo(instance)
+
+    return ParametricReduction(
+        name=f"monotone-depth-{t}-weighted-circuit-sat->first-order[q]",
+        source=depth_t_weighted_circuit_sat(t),
+        target=FO_EVALUATION_Q,
+        transform=transform,
+        # Leveling at most doubles the depth, so the θ tower has ≤ t+1
+        # levels and the query size is bounded in terms of k alone for
+        # fixed t.
+        parameter_bound=lambda k, _t=t: fo_query_size_bound(k, _t + 1),
+        notes="Theorem 1(3): W[t]-hardness for parameter q, all t",
+    )
+
+
+# ----------------------------------------------------------------------
+# AW[P] extension (§4 discussion)
+# ----------------------------------------------------------------------
+
+
+def alternating_circuit_to_fo(
+    instance: AlternatingWeightedCircuitInstance,
+) -> QueryEvaluationInstance:
+    """The adapted reduction showing AW[P]-hardness for parameter v.
+
+    Variables x_{i,j} (block i, 1 ≤ j ≤ k_i) get the block's quantifier.
+    The database gains P = {(a, c*_i) : a ∈ V_i} with c*_i a representative
+    input of block i; ψ_i states that block i's variables map to distinct
+    members of V_i (distinctness of input gates a ≠ b is ¬C(a, b), using
+    the input self-loops).  The body is
+
+        [θ_2t(o) ∧ ⋀_{i : Q_i = ∃} ψ_i]  ∨  ¬[⋀_{i : Q_i = ∀} ψ_i].
+    """
+    circuit = instance.circuit
+    if not circuit.is_monotone():
+        raise ReductionError("the reduction requires a monotone circuit")
+    for block, weight in zip(instance.blocks, instance.weights):
+        if weight < 1 or weight > len(block):
+            raise ReductionError("each block weight must satisfy 1 <= k_i <= |V_i|")
+        if not block:
+            raise ReductionError("blocks must be nonempty")
+
+    leveled, t = level_alternate(circuit)
+    database = wiring_database(leveled)
+    representatives = [block[0] for block in instance.blocks]
+    p_rows = [
+        (member, representatives[i])
+        for i, block in enumerate(instance.blocks)
+        for member in block
+    ]
+    database = database.with_relation("P", Relation(("P.0", "P.1"), p_rows))
+
+    k = sum(instance.weights)
+    block_vars: List[List[Variable]] = []
+    flat_names: List[Variable] = []
+    for i, weight in enumerate(instance.weights, start=1):
+        row = [Variable(f"x{i}_{j}") for j in range(1, weight + 1)]
+        block_vars.append(row)
+        flat_names.extend(row)
+
+    def psi(i: int) -> Formula:
+        members = block_vars[i]
+        rep = Constant(representatives[i])
+        parts: List[Formula] = []
+        for j, variable in enumerate(members):
+            parts.append(AtomFormula(Atom("P", (variable, rep))))
+            for l, other in enumerate(members):
+                if l != j:
+                    parts.append(Not(AtomFormula(Atom("C", (variable, other)))))
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    # θ over the flat variable list: θ_0 tests membership among all x_{i,j}.
+    body0 = theta_flat(2 * t, Constant(leveled.output), flat_names)
+    existential_blocks = [i for i in range(len(instance.blocks)) if i % 2 == 0]
+    universal_blocks = [i for i in range(len(instance.blocks)) if i % 2 == 1]
+
+    positive_part: Formula = body0
+    if existential_blocks:
+        positive_part = And(
+            [body0] + [psi(i) for i in existential_blocks]
+        )
+    if universal_blocks:
+        guard = And([psi(i) for i in universal_blocks]) if len(universal_blocks) > 1 else psi(universal_blocks[0])
+        matrix: Formula = Or((positive_part, Not(guard)))
+    else:
+        matrix = positive_part
+
+    formula: Formula = matrix
+    for i in range(len(instance.blocks) - 1, -1, -1):
+        quantifier = Exists if i % 2 == 0 else Forall
+        for variable in reversed(block_vars[i]):
+            formula = quantifier(variable, formula)
+    query = FirstOrderQuery((), formula, head_name="Q")
+    return QueryEvaluationInstance(query=query, database=database, candidate=())
+
+
+def theta_flat(level: int, argument: Term, variables: List[Variable]) -> Formula:
+    """θ with an explicit free-variable list (the alternating variant)."""
+    if level == 0:
+        parts = [
+            AtomFormula(Atom("C", (argument, v))) for v in variables
+        ]
+        return parts[0] if len(parts) == 1 else Or(parts)
+    y = Variable("y")
+    z = Variable("z")
+    inner = theta_flat(level - 2, z, variables)
+    return Exists(
+        y,
+        And(
+            (
+                AtomFormula(Atom("C", (argument, y))),
+                Forall(z, Or((Not(AtomFormula(Atom("C", (y, z)))), inner))),
+            )
+        ),
+    )
+
+
+ALTERNATING_CIRCUIT_TO_FO = ParametricReduction(
+    name="alternating-weighted-circuit-sat->first-order[v]",
+    source=MONOTONE_AW_P,
+    target=FO_EVALUATION_V,
+    transform=alternating_circuit_to_fo,
+    parameter_bound=lambda k: k + 2,
+    notes="§4: AW[P]-hardness of first-order evaluation under parameter v",
+)

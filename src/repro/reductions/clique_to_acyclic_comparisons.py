@@ -1,0 +1,130 @@
+"""Theorem 3: clique ≤ acyclic conjunctive queries with comparisons.
+
+The numeric encoding, for a graph with nodes 0..n−1 (every node given a
+self-loop) and b ∈ {0, 1}:
+
+    [i, j, b] = (i + j)·n³ + |i − j|·n² + b·n + i
+
+Database (two binary relations):
+
+    P = {([i,j,0], [i,j,1]) : (i,j) an edge or i = j}     (ordered pairs)
+    R = {([i,j,1], [i,j',0]) : all i, j, j'}
+
+Query (Boolean):
+
+    S ← ⋀_{1≤i,j≤k} P(x_ij, x'_ij),
+        ⋀_{1≤i≤k, 1≤j<k} R(x'_ij, x_{i,j+1}),
+        ⋀_{1≤i<j≤k} x_ij < x_ji < x'_ij
+
+The hypergraph is k disjoint P/R-alternating paths (acyclic), the
+comparison graph is acyclic, only strict < is used — and S is true iff the
+graph has a k-clique.  The arithmetic forces, for i < j, that the paths'
+first components v_1 < ... < v_k are distinct and pairwise adjacent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ReductionError
+from ..parametric.problems.clique import CLIQUE, CliqueInstance
+from ..query.atoms import Atom, Comparison
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..workloads.graphs import Graph
+from .problem_base import ParametricReduction
+from .query_problems import (
+    ACYCLIC_COMPARISON_EVALUATION_Q,
+    ACYCLIC_COMPARISON_EVALUATION_V,
+    QueryEvaluationInstance,
+)
+
+
+def encode(i: int, j: int, b: int, n: int) -> int:
+    """[i, j, b] = (i+j)n³ + |i−j|n² + bn + i."""
+    return (i + j) * n ** 3 + abs(i - j) * n ** 2 + b * n + i
+
+
+def comparison_database(graph: Graph) -> Database:
+    """The P and R relations over the numeric encoding."""
+    n = graph.num_nodes
+    nodes = graph.nodes
+    p_rows: List[Tuple[int, int]] = []
+    for a in nodes:
+        p_rows.append((encode(a, a, 0, n), encode(a, a, 1, n)))  # self-loops
+        for b in graph.neighbours(a):
+            p_rows.append((encode(a, b, 0, n), encode(a, b, 1, n)))
+    r_rows = [
+        (encode(a, b, 1, n), encode(a, c, 0, n))
+        for a in nodes
+        for b in nodes
+        for c in nodes
+    ]
+    return Database(
+        {
+            "P": Relation(("P.0", "P.1"), p_rows),
+            "R": Relation(("R.0", "R.1"), r_rows),
+        }
+    )
+
+
+def comparison_query(k: int) -> ConjunctiveQuery:
+    """The k-path query with the x_ij < x_ji < x'_ij comparisons."""
+    if k < 1:
+        raise ReductionError("k must be at least 1")
+
+    def x(i: int, j: int) -> Variable:
+        return Variable(f"x{i}_{j}")
+
+    def xp(i: int, j: int) -> Variable:
+        return Variable(f"w{i}_{j}")
+
+    atoms: List[Atom] = []
+    for i in range(1, k + 1):
+        for j in range(1, k + 1):
+            atoms.append(Atom("P", (x(i, j), xp(i, j))))
+            if j < k:
+                atoms.append(Atom("R", (xp(i, j), x(i, j + 1))))
+    comparisons: List[Comparison] = []
+    for i in range(1, k + 1):
+        for j in range(i + 1, k + 1):
+            comparisons.append(Comparison(x(i, j), x(j, i), strict=True))
+            comparisons.append(Comparison(x(j, i), xp(i, j), strict=True))
+    return ConjunctiveQuery((), atoms, comparisons=comparisons, head_name="S")
+
+
+def clique_to_comparisons(instance: CliqueInstance) -> QueryEvaluationInstance:
+    """Transform (G, k) into the Theorem 3 query-evaluation instance."""
+    return QueryEvaluationInstance(
+        query=comparison_query(instance.k),
+        database=comparison_database(instance.graph),
+        candidate=(),
+    )
+
+
+def comparison_query_size(k: int) -> int:
+    """Exact query-size measure of :func:`comparison_query`."""
+    atoms = k * k + k * (k - 1)          # P atoms + R atoms
+    comparisons = k * (k - 1)            # two per unordered pair
+    return 1 + 3 * atoms + 3 * comparisons
+
+
+CLIQUE_TO_COMPARISONS_Q = ParametricReduction(
+    name="clique->acyclic-comparisons[q]",
+    source=CLIQUE,
+    target=ACYCLIC_COMPARISON_EVALUATION_Q,
+    transform=clique_to_comparisons,
+    parameter_bound=comparison_query_size,
+    notes="Theorem 3: W[1]-hardness with only strict <, binary relations",
+)
+
+CLIQUE_TO_COMPARISONS_V = ParametricReduction(
+    name="clique->acyclic-comparisons[v]",
+    source=CLIQUE,
+    target=ACYCLIC_COMPARISON_EVALUATION_V,
+    transform=clique_to_comparisons,
+    parameter_bound=lambda k: 2 * k * k,
+    notes="Theorem 3: W[1]-hardness under parameter v = 2k²",
+)

@@ -1,0 +1,82 @@
+"""Theorem 1(1) lower bound: clique ≤ conjunctive-query evaluation.
+
+"For any instance (G, k) of clique we construct a database consisting of
+one binary relation G(·,·) (the graph).  The query for parameter k is
+simply  P ← ⋀_{1≤i<j≤k} G(x_i, x_j)."
+
+The query size is q = O(k²) and the number of variables is v = k, so the
+same transformation is a reduction to both parametrizations; the schema is
+fixed (one binary relation).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Tuple
+
+from ..errors import ReductionError
+from ..parametric.problems.clique import CLIQUE, CliqueInstance
+from ..query.atoms import Atom
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .problem_base import ParametricReduction
+from .query_problems import (
+    CQ_EVALUATION_Q,
+    CQ_EVALUATION_V,
+    QueryEvaluationInstance,
+)
+
+
+def clique_query(k: int) -> ConjunctiveQuery:
+    """The Boolean query P ← ⋀_{1≤i<j≤k} G(x_i, x_j), for k ≥ 2."""
+    if k < 2:
+        raise ReductionError(
+            "the clique query needs k >= 2 (k <= 1 is trivial and has no atoms)"
+        )
+    atoms = [
+        Atom("G", (Variable(f"x{i}"), Variable(f"x{j}")))
+        for i, j in combinations(range(1, k + 1), 2)
+    ]
+    return ConjunctiveQuery((), atoms, head_name="P")
+
+
+def graph_database(instance: CliqueInstance) -> Database:
+    """The database with the symmetric edge relation G (fixed schema)."""
+    rows = list(instance.graph.directed_edges())
+    relation = Relation(("G.0", "G.1"), rows)
+    return Database({"G": relation}, domain=instance.graph.nodes)
+
+
+def clique_to_cq(instance: CliqueInstance) -> QueryEvaluationInstance:
+    """Transform (G, k) into the equivalent query-evaluation instance."""
+    return QueryEvaluationInstance(
+        query=clique_query(instance.k),
+        database=graph_database(instance),
+        candidate=(),
+    )
+
+
+def clique_query_size(k: int) -> int:
+    """Exact query-size measure of :func:`clique_query` — the bound g(k)."""
+    return 1 + 3 * (k * (k - 1) // 2)
+
+
+CLIQUE_TO_CQ_Q = ParametricReduction(
+    name="clique->conjunctive[q]",
+    source=CLIQUE,
+    target=CQ_EVALUATION_Q,
+    transform=clique_to_cq,
+    parameter_bound=clique_query_size,
+    notes="Theorem 1(1) lower bound, parameter q = O(k^2); fixed schema",
+)
+
+CLIQUE_TO_CQ_V = ParametricReduction(
+    name="clique->conjunctive[v]",
+    source=CLIQUE,
+    target=CQ_EVALUATION_V,
+    transform=clique_to_cq,
+    parameter_bound=lambda k: k,
+    notes="Theorem 1(1) lower bound, parameter v = k; fixed schema",
+)

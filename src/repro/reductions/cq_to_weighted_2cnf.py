@@ -1,0 +1,172 @@
+"""Theorem 1(1) upper bound: CQ decision ≤ weighted 2-CNF satisfiability.
+
+For a conjunctive query Q (with the candidate tuple's constants already
+substituted) and database d, introduce one Boolean variable z_{a,s} per
+atom a and *consistent* tuple s of a's relation ("consistent": s matches
+a's constants and repeated-variable equalities).  Clauses:
+
+* at-most-one per atom: ¬z_{a,s} ∨ ¬z_{a,s'} for s ≠ s';
+* conflicts: ¬z_{a,s} ∨ ¬z_{a',s'} whenever atoms a ≠ a' share a variable
+  in columns j, j' but s[j] ≠ s'[j'].
+
+With k = #atoms, the 2-CNF has a weight-k satisfying assignment iff Q(d)
+is nonempty: weight k + at-most-one forces exactly one tuple per atom, and
+the conflict clauses force a consistent instantiation.  All literals are
+negative, so the resulting weighted SAT is an independent-set search —
+:func:`repro.circuits.weighted_sat.negative_cnf_weighted_satisfiable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.cnf import CNF, Literal, negative_pair
+from ..errors import ReductionError
+from ..query.atoms import Atom
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .problem_base import ParametricReduction
+from .query_problems import (
+    CQ_EVALUATION_Q,
+    QueryEvaluationInstance,
+)
+from ..parametric.problems.weighted_sat_problems import (
+    WEIGHTED_2CNF_SAT,
+    WeightedCNFInstance,
+)
+
+
+@dataclass(frozen=True)
+class CQToCNFResult:
+    """The 2-CNF instance plus the decoding metadata.
+
+    Attributes
+    ----------
+    instance:
+        The weighted-CNF instance (k = number of atoms).
+    groups:
+        Variable groups, one per atom index (for the group-aware solver).
+    bindings:
+        ``z-variable name -> (atom index, database tuple)``, enough to
+        decode a weight-k witness into a satisfying instantiation.
+    atoms:
+        The (constant-substituted) atoms the z variables refer to.
+    """
+
+    instance: WeightedCNFInstance
+    groups: Dict[str, Tuple[str, ...]]
+    bindings: Dict[str, Tuple[int, Tuple[Any, ...]]]
+    atoms: Tuple[Atom, ...]
+
+    def decode(self, witness) -> Dict[Variable, Any]:
+        """Turn a weight-k witness into a variable instantiation."""
+        valuation: Dict[Variable, Any] = {}
+        for name in witness:
+            atom_index, row = self.bindings[name]
+            atom = self.atoms[atom_index]
+            for term, value in zip(atom.terms, row):
+                if isinstance(term, Variable):
+                    valuation[term] = value
+        return valuation
+
+
+def _consistent_rows(atom: Atom, relation: Relation) -> List[Tuple[Any, ...]]:
+    """Tuples of *relation* consistent with *atom* (constants + equalities)."""
+    rows: List[Tuple[Any, ...]] = []
+    for row in sorted(relation.rows, key=repr):
+        ok = True
+        seen: Dict[Variable, Any] = {}
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Variable):
+                if term in seen and seen[term] != value:
+                    ok = False
+                    break
+                seen[term] = value
+            elif term.value != value:
+                ok = False
+                break
+        if ok:
+            rows.append(row)
+    return rows
+
+
+def cq_to_weighted_2cnf(
+    query: ConjunctiveQuery,
+    database: Database,
+    candidate: Sequence[Any] = (),
+) -> CQToCNFResult:
+    """Build the weighted 2-CNF for the decision problem candidate ∈ Q(d)."""
+    if query.inequalities or query.comparisons:
+        raise ReductionError(
+            "the 2-CNF construction covers purely relational queries"
+        )
+    decided = query.decision_instance(candidate)
+    atoms = decided.atoms
+
+    names: List[List[str]] = []
+    bindings: Dict[str, Tuple[int, Tuple[Any, ...]]] = {}
+    rows_of: List[List[Tuple[Any, ...]]] = []
+    for index, atom in enumerate(atoms):
+        rows = _consistent_rows(atom, database[atom.relation])
+        rows_of.append(rows)
+        atom_names = [f"z_{index}_{r}" for r in range(len(rows))]
+        names.append(atom_names)
+        for name, row in zip(atom_names, rows):
+            bindings[name] = (index, row)
+
+    clauses = []
+    # At-most-one tuple per atom.
+    for atom_names in names:
+        for a, b in combinations(atom_names, 2):
+            clauses.append(negative_pair(a, b))
+
+    # Cross-atom conflicts on shared variables.
+    for i, j in combinations(range(len(atoms)), 2):
+        shared = set(atoms[i].variable_set()) & set(atoms[j].variable_set())
+        if not shared:
+            continue
+        positions_i = {
+            v: [p for p, t in enumerate(atoms[i].terms) if t == v] for v in shared
+        }
+        positions_j = {
+            v: [p for p, t in enumerate(atoms[j].terms) if t == v] for v in shared
+        }
+        for ri, row_i in enumerate(rows_of[i]):
+            for rj, row_j in enumerate(rows_of[j]):
+                conflict = False
+                for v in shared:
+                    value_i = row_i[positions_i[v][0]]
+                    value_j = row_j[positions_j[v][0]]
+                    if value_i != value_j:
+                        conflict = True
+                        break
+                if conflict:
+                    clauses.append(negative_pair(names[i][ri], names[j][rj]))
+
+    universe = [name for atom_names in names for name in atom_names]
+    cnf = CNF(clauses, variables=universe)
+    instance = WeightedCNFInstance(cnf=cnf, k=len(atoms))
+    groups = {f"atom{i}": tuple(ns) for i, ns in enumerate(names)}
+    return CQToCNFResult(
+        instance=instance, groups=groups, bindings=bindings, atoms=atoms
+    )
+
+
+def _transform(instance: QueryEvaluationInstance) -> WeightedCNFInstance:
+    return cq_to_weighted_2cnf(
+        instance.query, instance.database, instance.candidate
+    ).instance
+
+
+CQ_TO_WEIGHTED_2CNF = ParametricReduction(
+    name="conjunctive[q]->weighted-2cnf",
+    source=CQ_EVALUATION_Q,
+    target=WEIGHTED_2CNF_SAT,
+    transform=_transform,
+    parameter_bound=lambda q: q,  # k = #atoms ≤ q
+    notes="Theorem 1(1) upper bound for parameter q; membership in W[1]",
+)

@@ -1,0 +1,78 @@
+"""§5: acyclic queries with ≠ have NP-complete *combined* complexity.
+
+"the Hamiltonian path problem can be easily reduced to it.  Given a graph
+(V, E), let Q be the query  G ← E(x_1,x_2), E(x_2,x_3), ..., E(x_{n−1},x_n),
+x_1 ≠ x_2, x_1 ≠ x_3, ..., x_{n−1} ≠ x_n.  The goal proposition G is true
+iff the graph is Hamiltonian.  Here the query is as big as the database."
+
+The relational atoms form a path, so the query hypergraph is acyclic; all
+the hardness hides in the pairwise ≠ atoms, whose count grows with n —
+exactly the regime where Theorem 2's f(k) factor blows up.  The benchmark
+uses this to show the combined-complexity cliff.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+from typing import Optional, Tuple
+
+from ..errors import ReductionError
+from ..query.atoms import Atom, Inequality
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..workloads.graphs import Graph
+
+
+def hamiltonian_path_query(n: int) -> ConjunctiveQuery:
+    """The path query with all-pairs ≠ over n variables (n ≥ 2)."""
+    if n < 2:
+        raise ReductionError("Hamiltonian path query needs n >= 2 nodes")
+    variables = [Variable(f"x{i}") for i in range(1, n + 1)]
+    atoms = [
+        Atom("E", (variables[i], variables[i + 1])) for i in range(n - 1)
+    ]
+    inequalities = [
+        Inequality(a, b) for a, b in combinations(variables, 2)
+    ]
+    return ConjunctiveQuery((), atoms, inequalities, head_name="G")
+
+
+def hamiltonian_to_query_instance(
+    graph: Graph,
+) -> Tuple[ConjunctiveQuery, Database]:
+    """(Q, d) such that Q(d) ≠ ∅ iff *graph* has a Hamiltonian path."""
+    if graph.num_nodes < 2:
+        raise ReductionError("need at least 2 nodes")
+    rows = list(graph.directed_edges())
+    database = Database(
+        {"E": Relation(("E.0", "E.1"), rows)}, domain=graph.nodes
+    )
+    return hamiltonian_path_query(graph.num_nodes), database
+
+
+def has_hamiltonian_path(graph: Graph) -> bool:
+    """Ground truth via Held–Karp dynamic programming, O(2^n · n^2)."""
+    nodes = graph.nodes
+    n = len(nodes)
+    if n == 0:
+        return False
+    if n == 1:
+        return True
+    index = {node: i for i, node in enumerate(nodes)}
+    # reachable[mask] = set of end-node indices of paths covering `mask`.
+    reachable = [set() for _ in range(1 << n)]
+    for i in range(n):
+        reachable[1 << i].add(i)
+    for mask in range(1 << n):
+        ends = reachable[mask]
+        if not ends:
+            continue
+        for end in list(ends):
+            for neighbour in graph.neighbours(nodes[end]):
+                j = index[neighbour]
+                if mask & (1 << j):
+                    continue
+                reachable[mask | (1 << j)].add(j)
+    return bool(reachable[(1 << n) - 1])

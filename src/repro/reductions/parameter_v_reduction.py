@@ -1,0 +1,40 @@
+"""Theorem 1(1) upper bound for parameter v, as a registered reduction.
+
+Wraps :func:`repro.evaluation.bounded_variable.parameter_v_transform` (the
+variable-set grouping Q, d → Q', d') as a :class:`ParametricReduction` from
+the v-parametrized CQ evaluation problem to the q-parametrized one, with
+the parameter bound q' ≤ 1 + 2^v·(1 + v) checked mechanically.
+"""
+
+from __future__ import annotations
+
+from ..evaluation.bounded_variable import parameter_v_transform
+from .problem_base import ParametricReduction
+from .query_problems import (
+    CQ_EVALUATION_Q,
+    CQ_EVALUATION_V,
+    QueryEvaluationInstance,
+)
+
+
+def _transform(instance: QueryEvaluationInstance) -> QueryEvaluationInstance:
+    decided = instance.query.decision_instance(instance.candidate)
+    new_query, new_database = parameter_v_transform(decided, instance.database)
+    return QueryEvaluationInstance(
+        query=new_query, database=new_database, candidate=()
+    )
+
+
+def grouped_size_bound(v: int) -> int:
+    """q' ≤ 1 + 2^v · (1 + v): at most 2^v atoms of arity ≤ v, plus head."""
+    return 1 + (2 ** v) * (1 + v)
+
+
+CQ_V_TO_CQ_Q = ParametricReduction(
+    name="conjunctive[v]->conjunctive[q]",
+    source=CQ_EVALUATION_V,
+    target=CQ_EVALUATION_Q,
+    transform=_transform,
+    parameter_bound=grouped_size_bound,
+    notes="Theorem 1(1): variable-set grouping bounds the query size by f(v)",
+)

@@ -1,0 +1,147 @@
+"""Theorem 1(2), parameter q: positive queries are in W[1].
+
+Two executable forms:
+
+* :data:`POSITIVE_TO_UNION_OF_CQS` — the Turing-style reduction the paper
+  states first ("we use the full power of parametric reductions"): expand
+  the positive query into exponentially many conjunctive queries and ask a
+  CQ oracle about each.
+
+* :func:`positive_to_clique` / :data:`POSITIVE_TO_CLIQUE` — footnote 2's
+  many-one *transformation*: turn each disjunct CQ_i into a compatibility
+  graph G_i whose k_i-cliques are the consistent instantiations (one z_{a,s}
+  node per atom/tuple pair; edges join compatible choices of *different*
+  atoms); pad every G_i with (k − k_i) universal vertices so all parameters
+  equal k = max k_i; the disjoint union has a k-clique iff the positive
+  query is true.  Since clique is itself W[1]-complete, this closes the
+  loop clique → CQ → positive → clique, which the test-suite verifies as a
+  round trip.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import ReductionError
+from ..parametric.problems.clique import CLIQUE, CliqueInstance
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.positive import PositiveQuery
+from ..relational.database import Database
+from ..workloads.graphs import Graph
+from .cq_to_weighted_2cnf import cq_to_weighted_2cnf
+from .problem_base import ParametricReduction, TuringParametricReduction
+from .query_problems import (
+    CQ_EVALUATION_Q,
+    POSITIVE_EVALUATION_Q,
+    QueryEvaluationInstance,
+)
+
+
+def positive_to_cq_instances(
+    instance: QueryEvaluationInstance,
+) -> Tuple[QueryEvaluationInstance, ...]:
+    """The oracle queries: one CQ-evaluation instance per DNF disjunct."""
+    query = instance.query
+    if not isinstance(query, PositiveQuery):
+        raise ReductionError("expected a positive query")
+    decided = query.decision_instance(instance.candidate)
+    return tuple(
+        QueryEvaluationInstance(query=cq, database=instance.database, candidate=())
+        for cq in decided.to_union_of_conjunctive_queries()
+    )
+
+
+POSITIVE_TO_UNION_OF_CQS = TuringParametricReduction(
+    name="positive[q]->union-of-conjunctive[q]",
+    source=POSITIVE_EVALUATION_Q,
+    target=CQ_EVALUATION_Q,
+    queries=positive_to_cq_instances,
+    combine=lambda _instance, answers: any(answers),
+    parameter_bound=lambda q: q,  # each disjunct is no larger than Q
+    notes="Theorem 1(2) upper bound (Turing form): DNF expansion",
+)
+
+
+# ----------------------------------------------------------------------
+# Footnote 2: the many-one transformation to clique
+# ----------------------------------------------------------------------
+
+
+def cq_to_compatibility_graph(
+    query: ConjunctiveQuery, database: Database
+) -> Tuple[List[Tuple[int, Tuple[Any, ...]]], List[Tuple[int, int]], int]:
+    """Nodes, edges and required clique size for one conjunctive query.
+
+    Nodes are (atom index, tuple) pairs — the z_{a,s} variables of the
+    2-CNF construction; edges connect pairs from *different* atoms that are
+    not in a common conflict clause.  The query is nonempty on *database*
+    iff the graph has a clique of size k = #atoms.
+    """
+    result = cq_to_weighted_2cnf(query, database)
+    names_in_order: List[str] = []
+    for group_key in sorted(result.groups, key=lambda g: int(g[4:])):
+        names_in_order.extend(result.groups[group_key])
+    index_of = {name: i for i, name in enumerate(names_in_order)}
+
+    conflict_pairs = set()
+    for clause in result.instance.cnf.clauses:
+        a, b = clause[0].variable, clause[1].variable
+        conflict_pairs.add(frozenset((a, b)))
+
+    edges: List[Tuple[int, int]] = []
+    for a, b in combinations(names_in_order, 2):
+        atom_a = result.bindings[a][0]
+        atom_b = result.bindings[b][0]
+        if atom_a == atom_b:
+            continue  # never connect choices of the same atom
+        if frozenset((a, b)) in conflict_pairs:
+            continue
+        edges.append((index_of[a], index_of[b]))
+
+    nodes = [result.bindings[name] for name in names_in_order]
+    return nodes, edges, len(result.atoms)
+
+
+def positive_to_clique(instance: QueryEvaluationInstance) -> CliqueInstance:
+    """Footnote 2's transformation: positive query decision → clique."""
+    query = instance.query
+    if not isinstance(query, PositiveQuery):
+        raise ReductionError("expected a positive query")
+    decided = query.decision_instance(instance.candidate)
+    disjuncts = decided.to_union_of_conjunctive_queries()
+
+    per_graph: List[Tuple[List, List, int]] = [
+        cq_to_compatibility_graph(cq, instance.database) for cq in disjuncts
+    ]
+    k = max(size for _nodes, _edges, size in per_graph)
+
+    all_edges: List[Tuple[int, int]] = []
+    offset = 0
+    total_nodes = 0
+    for nodes, edges, size in per_graph:
+        count = len(nodes)
+        all_edges.extend((offset + a, offset + b) for a, b in edges)
+        # Pad with (k - size) universal vertices, adjacent to every vertex
+        # of this component (including each other).
+        pad = k - size
+        pad_ids = list(range(offset + count, offset + count + pad))
+        component = list(range(offset, offset + count)) + pad_ids
+        for i, pad_node in enumerate(pad_ids):
+            for other in component:
+                if other != pad_node and (other < offset + count or other < pad_node):
+                    all_edges.append((min(pad_node, other), max(pad_node, other)))
+        offset += count + pad
+        total_nodes = offset
+
+    return CliqueInstance(graph=Graph(range(total_nodes), set(all_edges)), k=k)
+
+
+POSITIVE_TO_CLIQUE = ParametricReduction(
+    name="positive[q]->clique",
+    source=POSITIVE_EVALUATION_Q,
+    target=CLIQUE,
+    transform=positive_to_clique,
+    parameter_bound=lambda q: q,  # k = max #atoms over disjuncts ≤ q
+    notes="Footnote 2: many-one transformation via compatibility graphs",
+)

@@ -1,0 +1,303 @@
+"""§4's closing remark: prenex first-order queries (parameter v) ≡ AW[SAT].
+
+"For first-order queries in prenex normal form under parameter v we can
+show completeness for AW[SAT] (the alternating extension of W[SAT]),
+adapting along the same lines the proof of Theorem 1 for the prenex
+positive queries."
+
+Both directions, executable:
+
+* **membership** (:func:`prenex_fo_to_awsat`): for a closed prenex query
+  Q = Q_1 y_1 ... Q_k y_k ψ over database d, introduce z_{i,c} ("y_i ↦ c")
+  grouped into one block per quantifier position with weight 1 — the AW
+  semantics (choose exactly one variable per block, alternating ∃/∀)
+  *is* the exactly-one-value-per-variable discipline, so no cardinality
+  clauses are needed.  The matrix translates atom-wise (θ_a as in the
+  positive case; ¬ stays ¬, sound because θ_a is exact under the
+  exactly-one discipline).  Non-alternating prefixes are padded with dummy
+  single-variable blocks.
+
+* **hardness** (:func:`awsat_to_prenex_fo`): an alternating weighted
+  formula instance becomes a prenex first-order query over the fixed
+  schema EQ/NEQ/BLK, with k_i variables per block, block membership and
+  distinctness guards ψ_i, and the body
+  [ψ̂ ∧ ⋀_{∃ blocks} ψ_i] ∨ ¬[⋀_{∀ blocks} ψ_i].
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.formulas import (
+    BoolAnd,
+    BoolFormula,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    to_nnf,
+)
+from ..errors import ReductionError
+from ..parametric.problems.alternating import (
+    AW_SAT,
+    AlternatingWeightedFormulaInstance,
+)
+from ..query.atoms import Atom
+from ..query.first_order import (
+    And,
+    AtomFormula,
+    Exists,
+    FirstOrderQuery,
+    Forall,
+    Formula,
+    Not,
+    Or,
+)
+from ..query.terms import Constant, Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .problem_base import ParametricReduction
+from .query_problems import FO_EVALUATION_V, QueryEvaluationInstance
+
+
+def _z(i: int, c) -> str:
+    return f"z_{i}_{c!r}"
+
+
+def prenex_fo_to_awsat(
+    instance: QueryEvaluationInstance,
+) -> AlternatingWeightedFormulaInstance:
+    """Membership direction: closed prenex FO query → AW[SAT] instance."""
+    query = instance.query
+    if not isinstance(query, FirstOrderQuery):
+        raise ReductionError("expected a first-order query")
+    decided = query.decision_instance(instance.candidate)
+
+    prefix: List[Tuple[str, Variable]] = []
+    node: Formula = decided.formula
+    while isinstance(node, (Exists, Forall)):
+        prefix.append(("E" if isinstance(node, Exists) else "A", node.variable))
+        node = node.operand
+    if not prefix:
+        raise ReductionError("the construction needs at least one quantifier")
+    if not _quantifier_free_fo(node):
+        raise ReductionError("the query must be in prenex normal form")
+    names = {v for _q, v in prefix}
+    if len(names) != len(prefix):
+        raise ReductionError("prenex prefix must bind distinct variables")
+
+    domain = sorted(instance.database.domain(), key=repr)
+    if not domain:
+        raise ReductionError("empty database domain")
+    index_of: Dict[Variable, int] = {
+        v: i for i, (_q, v) in enumerate(prefix, start=1)
+    }
+
+    def atom_formula(atom: Atom) -> BoolFormula:
+        relation = instance.database[atom.relation]
+        anchor = _z(index_of[prefix[0][1]], domain[0])
+        disjuncts: List[BoolFormula] = []
+        for row in sorted(relation.rows, key=repr):
+            conjuncts: List[BoolFormula] = []
+            consistent = True
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    if term.value != row[position]:
+                        consistent = False
+                        break
+                else:
+                    if term not in index_of:
+                        raise ReductionError(f"free variable {term!r}")
+                    conjuncts.append(BoolVar(_z(index_of[term], row[position])))
+            if not consistent:
+                continue
+            if conjuncts:
+                disjuncts.append(
+                    conjuncts[0] if len(conjuncts) == 1 else BoolAnd(conjuncts)
+                )
+            else:
+                disjuncts.append(BoolOr((BoolVar(anchor), BoolNot(BoolVar(anchor)))))
+        if not disjuncts:
+            return BoolAnd((BoolVar(anchor), BoolNot(BoolVar(anchor))))
+        return disjuncts[0] if len(disjuncts) == 1 else BoolOr(disjuncts)
+
+    def translate(f: Formula) -> BoolFormula:
+        if isinstance(f, AtomFormula):
+            return atom_formula(f.atom)
+        if isinstance(f, Not):
+            return BoolNot(translate(f.operand))
+        if isinstance(f, And):
+            return BoolAnd(translate(c) for c in f.children)
+        if isinstance(f, Or):
+            return BoolOr(translate(c) for c in f.children)
+        raise ReductionError(f"matrix is not quantifier-free: {f!r}")
+
+    matrix = translate(node)
+
+    # Blocks: one per quantifier position, padded into strict ∃/∀
+    # alternation (∃ on odd positions) with dummy single-variable blocks.
+    blocks: List[Tuple[str, ...]] = []
+    weights: List[int] = []
+    dummy_counter = [0]
+
+    def push_dummy(quantifier_slot: str) -> None:
+        dummy_counter[0] += 1
+        blocks.append((f"__dummy_{quantifier_slot}_{dummy_counter[0]}",))
+        weights.append(1)
+
+    for quant, variable in prefix:
+        expected = "E" if len(blocks) % 2 == 0 else "A"
+        if quant != expected:
+            push_dummy(quant)
+        blocks.append(
+            tuple(_z(index_of[variable], c) for c in domain)
+        )
+        weights.append(1)
+
+    return AlternatingWeightedFormulaInstance(
+        formula=matrix, blocks=tuple(blocks), weights=tuple(weights)
+    )
+
+
+def _quantifier_free_fo(node: Formula) -> bool:
+    if isinstance(node, AtomFormula):
+        return True
+    if isinstance(node, Not):
+        return _quantifier_free_fo(node.operand)
+    if isinstance(node, (And, Or)):
+        return all(_quantifier_free_fo(c) for c in node.children)
+    return False
+
+
+#: The membership reduction object.  The parameter bound: one block of
+#: weight 1 per quantified variable plus at most one dummy block each,
+#: so k' ≤ 2v.
+PRENEX_FO_TO_AWSAT = ParametricReduction(
+    name="first-order-prenex[v]->alternating-weighted-formula-sat",
+    source=FO_EVALUATION_V,
+    target=AW_SAT,
+    transform=prenex_fo_to_awsat,
+    parameter_bound=lambda v: 2 * v,
+    notes="§4: prenex FO membership in AW[SAT] under parameter v",
+)
+
+
+# ----------------------------------------------------------------------
+# Hardness direction
+# ----------------------------------------------------------------------
+
+
+def awsat_to_prenex_fo(
+    instance: AlternatingWeightedFormulaInstance,
+) -> QueryEvaluationInstance:
+    """Hardness direction: AW[SAT] → prenex first-order evaluation.
+
+    Fixed schema: EQ = {(m, m)}, NEQ = {(m, m') : m ≠ m'} over the indices
+    of the formula's variables, and BLK = {(m, i) : variable m in block i}.
+    """
+    for block, weight in zip(instance.blocks, instance.weights):
+        if weight < 1 or weight > len(block):
+            raise ReductionError(
+                "each block weight must satisfy 1 <= k_i <= |V_i| "
+                "(degenerate blocks make the two semantics diverge)"
+            )
+    formula_vars = sorted(instance.formula.variables())
+    all_block_vars = [name for block in instance.blocks for name in block]
+    universe = sorted(set(formula_vars) | set(all_block_vars))
+    if not universe:
+        raise ReductionError("instance has no variables")
+    index_of = {name: m for m, name in enumerate(universe, start=1)}
+    n = len(universe)
+
+    eq_rows = [(m, m) for m in range(1, n + 1)]
+    neq_rows = [
+        (a, b) for a in range(1, n + 1) for b in range(1, n + 1) if a != b
+    ]
+    blk_rows = [
+        (index_of[name], i)
+        for i, block in enumerate(instance.blocks, start=1)
+        for name in block
+    ]
+    database = Database(
+        {
+            "EQ": Relation(("EQ.0", "EQ.1"), eq_rows),
+            "NEQ": Relation(("NEQ.0", "NEQ.1"), neq_rows),
+            "BLK": Relation(("BLK.0", "BLK.1"), blk_rows),
+        },
+        domain=list(range(1, n + 1)) + [i for i in range(1, len(instance.blocks) + 1)],
+    )
+
+    block_vars: List[List[Variable]] = []
+    for i, weight in enumerate(instance.weights, start=1):
+        block_vars.append(
+            [Variable(f"y{i}_{j}") for j in range(1, weight + 1)]
+        )
+
+    def guard(i: int) -> Formula:
+        """ψ_i: block i's variables are distinct members of V_i."""
+        members = block_vars[i]
+        parts: List[Formula] = []
+        for variable in members:
+            parts.append(AtomFormula(Atom("BLK", (variable, Constant(i + 1)))))
+        for a, b in combinations(members, 2):
+            parts.append(AtomFormula(Atom("NEQ", (a, b))))
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    nnf = to_nnf(instance.formula)
+
+    def occurs(name: str, positive: bool) -> Formula:
+        m = index_of[name]
+        flat = [v for row in block_vars for v in row]
+        if positive:
+            parts = [
+                AtomFormula(Atom("EQ", (Constant(m), y))) for y in flat
+            ]
+            return parts[0] if len(parts) == 1 else Or(parts)
+        parts = [AtomFormula(Atom("NEQ", (Constant(m), y))) for y in flat]
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    def translate(f: BoolFormula) -> Formula:
+        if isinstance(f, BoolVar):
+            return occurs(f.name, True)
+        if isinstance(f, BoolNot):
+            inner = f.operand
+            if not isinstance(inner, BoolVar):
+                raise ReductionError("formula must be in NNF here")
+            return occurs(inner.name, False)
+        if isinstance(f, BoolAnd):
+            return And(translate(c) for c in f.children)
+        if isinstance(f, BoolOr):
+            return Or(translate(c) for c in f.children)
+        raise ReductionError(f"unknown formula node: {f!r}")
+
+    existential = [i for i in range(len(instance.blocks)) if i % 2 == 0]
+    universal = [i for i in range(len(instance.blocks)) if i % 2 == 1]
+
+    positive_part: Formula = translate(nnf)
+    if existential:
+        positive_part = And([positive_part] + [guard(i) for i in existential])
+    if universal:
+        guards = [guard(i) for i in universal]
+        all_guards = guards[0] if len(guards) == 1 else And(guards)
+        matrix: Formula = Or((positive_part, Not(all_guards)))
+    else:
+        matrix = positive_part
+
+    formula: Formula = matrix
+    for i in range(len(instance.blocks) - 1, -1, -1):
+        quantifier = Exists if i % 2 == 0 else Forall
+        for variable in reversed(block_vars[i]):
+            formula = quantifier(variable, formula)
+
+    query = FirstOrderQuery((), formula, head_name="Q")
+    return QueryEvaluationInstance(query=query, database=database, candidate=())
+
+
+AWSAT_TO_PRENEX_FO = ParametricReduction(
+    name="alternating-weighted-formula-sat->first-order-prenex[v]",
+    source=AW_SAT,
+    target=FO_EVALUATION_V,
+    transform=awsat_to_prenex_fo,
+    parameter_bound=lambda k: k,  # exactly Σk_i query variables
+    notes="§4: AW[SAT]-hardness of prenex first-order under parameter v",
+)

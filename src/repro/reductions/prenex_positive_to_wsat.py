@@ -1,0 +1,150 @@
+"""Theorem 1(2), parameter v upper bound for *prenex* positive queries.
+
+For a closed prenex positive query Q = ∃y_1...∃y_k ψ and database d,
+introduce Boolean variables z_{i,c} for every quantified-variable index i
+and domain constant c ("y_i is mapped to c"), and build the formula
+
+    φ = ⋀_i ⋀_{c≠c'} (¬z_{i,c} ∨ ¬z_{i,c'})  ∧  ψ̂
+
+where ψ̂ replaces each relational atom a = R(τ) by
+
+    θ_a = ⋁_{s ∈ R, s agrees with τ's constants} ⋀_{j : τ[j] = y_i} z_{i, s[j]}.
+
+Q is true on d iff φ has a weight-k satisfying assignment.  Together with
+the hardness reduction this makes prenex positive queries W[SAT]-complete
+under parameter v.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Dict, List, Tuple
+
+from ..circuits.formulas import (
+    BoolAnd,
+    BoolFormula,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+)
+from ..errors import ReductionError
+from ..parametric.problems.weighted_sat_problems import (
+    WEIGHTED_FORMULA_SAT,
+    WeightedFormulaInstance,
+)
+from ..query.atoms import Atom
+from ..query.first_order import And, AtomFormula, Exists, Formula, Or
+from ..query.positive import PositiveQuery
+from ..query.terms import Constant, Variable
+from ..relational.database import Database
+from .problem_base import ParametricReduction
+from .query_problems import POSITIVE_EVALUATION_V, QueryEvaluationInstance
+
+
+def _z(i: int, c: Any) -> str:
+    return f"z_{i}_{c!r}"
+
+
+def _true_formula(any_var: str) -> BoolFormula:
+    return BoolOr((BoolVar(any_var), BoolNot(BoolVar(any_var))))
+
+
+def _false_formula(any_var: str) -> BoolFormula:
+    return BoolAnd((BoolVar(any_var), BoolNot(BoolVar(any_var))))
+
+
+def prenex_positive_to_wsat(
+    instance: QueryEvaluationInstance,
+) -> WeightedFormulaInstance:
+    """Build (φ, k) for a prenex positive query-evaluation instance."""
+    query = instance.query
+    if not isinstance(query, PositiveQuery):
+        raise ReductionError("expected a positive query")
+    decided = query.decision_instance(instance.candidate)
+    if not decided.is_prenex():
+        raise ReductionError("the construction requires a prenex query")
+
+    # Peel the quantifier prefix.
+    prefix: List[Variable] = []
+    node: Formula = decided.formula
+    while isinstance(node, Exists):
+        prefix.append(node.variable)
+        node = node.operand
+    if not prefix:
+        raise ReductionError("the construction needs at least one quantifier")
+    index_of: Dict[Variable, int] = {y: i for i, y in enumerate(prefix, start=1)}
+    k = len(prefix)
+
+    domain = sorted(instance.database.domain(), key=repr)
+    if not domain:
+        raise ReductionError("empty database domain")
+    anchor = _z(1, domain[0])
+
+    def atom_formula(atom: Atom) -> BoolFormula:
+        relation = instance.database[atom.relation]
+        disjuncts: List[BoolFormula] = []
+        for row in sorted(relation.rows, key=repr):
+            conjuncts: List[BoolFormula] = []
+            ok = True
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    if term.value != row[position]:
+                        ok = False
+                        break
+                else:
+                    if term not in index_of:
+                        raise ReductionError(
+                            f"free variable {term!r} in a closed query"
+                        )
+                    conjuncts.append(
+                        BoolVar(_z(index_of[term], row[position]))
+                    )
+            if not ok:
+                continue
+            if conjuncts:
+                disjuncts.append(
+                    conjuncts[0] if len(conjuncts) == 1 else BoolAnd(conjuncts)
+                )
+            else:
+                disjuncts.append(_true_formula(anchor))
+        if not disjuncts:
+            return _false_formula(anchor)
+        return disjuncts[0] if len(disjuncts) == 1 else BoolOr(disjuncts)
+
+    def translate(f: Formula) -> BoolFormula:
+        if isinstance(f, AtomFormula):
+            return atom_formula(f.atom)
+        if isinstance(f, And):
+            return BoolAnd(translate(c) for c in f.children)
+        if isinstance(f, Or):
+            return BoolOr(translate(c) for c in f.children)
+        raise ReductionError(f"matrix must be quantifier-free positive: {f!r}")
+
+    at_most_one: List[BoolFormula] = []
+    for i in range(1, k + 1):
+        for c, c2 in combinations(domain, 2):
+            at_most_one.append(
+                BoolOr((BoolNot(BoolVar(_z(i, c))), BoolNot(BoolVar(_z(i, c2)))))
+            )
+    # "At least one value per variable" is implied by weight k together
+    # with at-most-one, but conjoining it explicitly keeps every z_{i,c} in
+    # the formula's variable universe (needed when |D| = 1, where no
+    # at-most-one clause exists).
+    at_least_one: List[BoolFormula] = [
+        BoolOr(tuple(BoolVar(_z(i, c)) for c in domain))
+        for i in range(1, k + 1)
+    ]
+
+    pieces: List[BoolFormula] = at_most_one + at_least_one + [translate(node)]
+    formula = pieces[0] if len(pieces) == 1 else BoolAnd(pieces)
+    return WeightedFormulaInstance(formula=formula, k=k)
+
+
+PRENEX_POSITIVE_TO_WSAT = ParametricReduction(
+    name="positive-prenex[v]->weighted-formula-sat",
+    source=POSITIVE_EVALUATION_V,
+    target=WEIGHTED_FORMULA_SAT,
+    transform=prenex_positive_to_wsat,
+    parameter_bound=lambda v: v,  # k = #quantified variables ≤ v
+    notes="Theorem 1(2): prenex positive queries are in W[SAT] for parameter v",
+)

@@ -1,0 +1,18 @@
+"""Re-exports of the parametric-framework types used across reductions.
+
+Keeps reduction modules import-light and avoids repeated deep paths.
+"""
+
+from ..parametric.problem import ParametricProblem
+from ..parametric.reduction import (
+    ParametricReduction,
+    TuringParametricReduction,
+    VerificationRecord,
+)
+
+__all__ = [
+    "ParametricProblem",
+    "ParametricReduction",
+    "TuringParametricReduction",
+    "VerificationRecord",
+]

@@ -1,0 +1,141 @@
+"""Query-evaluation decision problems as parametric problems.
+
+§3 defines the objects being classified: for a query language Λ and a
+parameter (q or v), the parametric problem with instances (Q, d, t) asking
+whether t ∈ Q(d).  Instances here carry a query, a database and a candidate
+tuple (empty for Boolean queries); the ground-truth solvers are the
+library's evaluators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple, Union
+
+from ..evaluation.fo_eval import FirstOrderEvaluator
+from ..evaluation.naive import NaiveEvaluator
+from ..evaluation.positive_eval import PositiveEvaluator
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.first_order import FirstOrderQuery
+from ..query.positive import PositiveQuery
+from ..relational.database import Database
+from .problem_base import ParametricProblem
+
+_NAIVE = NaiveEvaluator()
+_POSITIVE = PositiveEvaluator()
+_FO = FirstOrderEvaluator()
+
+
+@dataclass(frozen=True, eq=False)
+class QueryEvaluationInstance:
+    """(Q, d, t): is t ∈ Q(d)?  (t = () for Boolean queries.)"""
+
+    query: Union[ConjunctiveQuery, PositiveQuery, FirstOrderQuery]
+    database: Database
+    candidate: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEvaluationInstance({self.query!r}, {self.database!r}, "
+            f"t={self.candidate!r})"
+        )
+
+
+def _solve_cq(instance: QueryEvaluationInstance) -> bool:
+    return _NAIVE.contains(instance.query, instance.database, instance.candidate)
+
+
+def _solve_positive(instance: QueryEvaluationInstance) -> bool:
+    return _POSITIVE.contains(instance.query, instance.database, instance.candidate)
+
+
+def _solve_fo(instance: QueryEvaluationInstance) -> bool:
+    return _FO.contains(instance.query, instance.database, instance.candidate)
+
+
+def _parameter_q(instance: QueryEvaluationInstance) -> int:
+    return instance.query.query_size()
+
+
+def _parameter_v(instance: QueryEvaluationInstance) -> int:
+    return instance.query.num_variables()
+
+
+def _size(instance: QueryEvaluationInstance) -> int:
+    return instance.database.size()
+
+
+CQ_EVALUATION_Q = ParametricProblem(
+    name="conjunctive-evaluation[q]",
+    solver=_solve_cq,
+    parameter=_parameter_q,
+    size=_size,
+    description="t ∈ Q(d) for conjunctive Q, parameter = query size",
+)
+
+CQ_EVALUATION_V = ParametricProblem(
+    name="conjunctive-evaluation[v]",
+    solver=_solve_cq,
+    parameter=_parameter_v,
+    size=_size,
+    description="t ∈ Q(d) for conjunctive Q, parameter = #variables",
+)
+
+POSITIVE_EVALUATION_Q = ParametricProblem(
+    name="positive-evaluation[q]",
+    solver=_solve_positive,
+    parameter=_parameter_q,
+    size=_size,
+    description="t ∈ Q(d) for positive Q, parameter = query size",
+)
+
+POSITIVE_EVALUATION_V = ParametricProblem(
+    name="positive-evaluation[v]",
+    solver=_solve_positive,
+    parameter=_parameter_v,
+    size=_size,
+    description="t ∈ Q(d) for positive Q, parameter = #variables",
+)
+
+FO_EVALUATION_Q = ParametricProblem(
+    name="first-order-evaluation[q]",
+    solver=_solve_fo,
+    parameter=_parameter_q,
+    size=_size,
+    description="t ∈ Q(d) for first-order Q, parameter = query size",
+)
+
+FO_EVALUATION_V = ParametricProblem(
+    name="first-order-evaluation[v]",
+    solver=_solve_fo,
+    parameter=_parameter_v,
+    size=_size,
+    description="t ∈ Q(d) for first-order Q, parameter = #variables",
+)
+
+#: Queries with != / < atoms are still ConjunctiveQuery objects and the
+#: naive engine is ≠-aware, so the same solver is ground truth for the
+#: Theorem 2 / Theorem 3 problems.
+ACYCLIC_NEQ_EVALUATION_Q = ParametricProblem(
+    name="acyclic-neq-evaluation[q]",
+    solver=_solve_cq,
+    parameter=_parameter_q,
+    size=_size,
+    description="t ∈ Q(d) for acyclic conjunctive Q with != atoms",
+)
+
+ACYCLIC_COMPARISON_EVALUATION_Q = ParametricProblem(
+    name="acyclic-comparison-evaluation[q]",
+    solver=_solve_cq,
+    parameter=_parameter_q,
+    size=_size,
+    description="t ∈ Q(d) for acyclic conjunctive Q with < atoms",
+)
+
+ACYCLIC_COMPARISON_EVALUATION_V = ParametricProblem(
+    name="acyclic-comparison-evaluation[v]",
+    solver=_solve_cq,
+    parameter=_parameter_v,
+    size=_size,
+    description="t ∈ Q(d) for acyclic conjunctive Q with < atoms",
+)

@@ -1,0 +1,144 @@
+"""§5's closing hardness: disjunctive x ≠ c makes parameter v W[SAT]-complete.
+
+"if the inequalities between variables and constants are combined
+arbitrarily using ∨ and ∧, then ... the problem is not anymore f.p.
+tractable with respect to the parameter v; it becomes W[SAT]-complete.
+The proof is as in Theorem 1 for the parameter v case of positive queries
+in prenex normal form (replacing in the hardness proof every equality
+y = i by a conjunction of inequalities ⋀_{c ∈ D−{i}} (y ≠ c))."
+
+Instances of the target problem are (acyclic CQ, ∧/∨ formula of ≠ atoms,
+database) triples; the ground-truth solver enumerates satisfying
+instantiations of the relational part and filters by the formula, and the
+fast solver is :class:`repro.inequalities.FormulaInequalityEvaluator` in
+its parameter-q regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Tuple
+
+from ..circuits.formulas import BoolAnd, BoolFormula, BoolNot, BoolOr, BoolVar, to_nnf
+from ..errors import ReductionError
+from ..evaluation.naive import NaiveEvaluator
+from ..parametric.problems.weighted_sat_problems import (
+    WEIGHTED_FORMULA_SAT,
+    WeightedFormulaInstance,
+)
+from ..query.atoms import Atom, Inequality
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.ineq_formula import (
+    IneqAnd,
+    IneqFormula,
+    IneqLeaf,
+    IneqOr,
+    ineq_and,
+    ineq_or,
+)
+from ..query.terms import C, Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .problem_base import ParametricProblem, ParametricReduction
+
+
+@dataclass(frozen=True, eq=False)
+class NeqFormulaInstance:
+    """(acyclic CQ, inequality formula φ, database): is some instantiation
+    of the relational atoms satisfying φ?"""
+
+    query: ConjunctiveQuery
+    formula: IneqFormula
+    database: Database
+
+
+def _solve_bruteforce(instance: NeqFormulaInstance) -> bool:
+    engine = NaiveEvaluator()
+    assignments = engine.satisfying_assignments(instance.query, instance.database)
+    names = assignments.attributes
+    for row in assignments.rows:
+        valuation = {Variable(n): v for n, v in zip(names, row)}
+        if instance.formula.evaluate(valuation):
+            return True
+    return False
+
+
+NEQ_FORMULA_EVALUATION_V = ParametricProblem(
+    name="acyclic-neq-formula-evaluation[v]",
+    solver=_solve_bruteforce,
+    parameter=lambda inst: inst.query.num_variables(),
+    size=lambda inst: inst.database.size(),
+    description="acyclic CQ + arbitrary ∧/∨ formula of != atoms, parameter v",
+)
+
+
+def wsat_to_neq_formula(instance: WeightedFormulaInstance) -> NeqFormulaInstance:
+    """Weighted formula SAT → acyclic query with a disjunctive-≠ formula.
+
+    Domain D = {1..n} (one constant per propositional variable); the query
+    is Dom(y_1), ..., Dom(y_k) (trivially acyclic); the formula is
+
+        ⋀_{i<j} (y_i ≠ y_j)  ∧  ψ̂
+
+    with each positive occurrence of x_i replaced by
+    ⋁_j ⋀_{c ∈ D−{i}} (y_j ≠ c)   (y_j = i, phrased with ≠ only)
+    and each negative occurrence by ⋀_j (y_j ≠ i).
+    """
+    k = instance.k
+    if k < 1:
+        raise ReductionError("the construction needs k >= 1")
+    names = sorted(instance.formula.variables())
+    index_of = {name: i for i, name in enumerate(names, start=1)}
+    n = len(names)
+    domain = list(range(1, n + 1))
+    ys = [Variable(f"y{j}") for j in range(1, k + 1)]
+
+    def equals(y: Variable, i: int) -> IneqFormula:
+        others = [c for c in domain if c != i]
+        if not others:
+            # Singleton domain: y = i holds vacuously; encode as a
+            # tautology y ≠ 0 (0 is outside the domain).
+            return IneqLeaf(Inequality(y, C(0)))
+        return ineq_and(*[Inequality(y, C(c)) for c in others])
+
+    def translate(node: BoolFormula) -> IneqFormula:
+        if isinstance(node, BoolVar):
+            i = index_of[node.name]
+            return ineq_or(*[equals(y, i) for y in ys])
+        if isinstance(node, BoolNot):
+            inner = node.operand
+            if not isinstance(inner, BoolVar):
+                raise ReductionError("formula must be in NNF here")
+            i = index_of[inner.name]
+            return ineq_and(*[Inequality(y, C(i)) for y in ys])
+        if isinstance(node, BoolAnd):
+            return ineq_and(*[translate(c) for c in node.children])
+        if isinstance(node, BoolOr):
+            return ineq_or(*[translate(c) for c in node.children])
+        raise ReductionError(f"unknown formula node: {node!r}")
+
+    pieces: List[IneqFormula] = [
+        IneqLeaf(Inequality(a, b)) for a, b in combinations(ys, 2)
+    ]
+    pieces.append(translate(to_nnf(instance.formula)))
+    phi = pieces[0] if len(pieces) == 1 else ineq_and(*pieces)
+
+    query = ConjunctiveQuery(
+        (), [Atom("Dom", (y,)) for y in ys], head_name="Q"
+    )
+    database = Database(
+        {"Dom": Relation(("Dom.0",), [(c,) for c in domain])},
+        domain=domain + [0],
+    )
+    return NeqFormulaInstance(query=query, formula=phi, database=database)
+
+
+WSAT_TO_NEQ_FORMULA = ParametricReduction(
+    name="weighted-formula-sat->acyclic-neq-formula[v]",
+    source=WEIGHTED_FORMULA_SAT,
+    target=NEQ_FORMULA_EVALUATION_V,
+    transform=wsat_to_neq_formula,
+    parameter_bound=lambda k: k,  # the query has exactly the k variables y_j
+    notes="§5: W[SAT]-hardness of disjunctive x != c under parameter v",
+)

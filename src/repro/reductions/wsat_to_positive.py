@@ -1,0 +1,114 @@
+"""Theorem 1(2), parameter v lower bound: weighted formula SAT ≤ positive.
+
+Given a Boolean formula φ over x_1..x_n and weight k, build:
+
+* the database with EQ = {(i,i) : 1≤i≤n} and NEQ = {(i,j) : i≠j};
+* the Boolean positive query
+      Q = ∃y_1...∃y_k  [⋀_{i<j} NEQ(y_i, y_j)] ∧ ψ
+  where ψ replaces every positive occurrence of x_i by ⋁_{j≤k} EQ(i, y_j)
+  and every negative occurrence ¬x_i by ⋀_{j≤k} NEQ(i, y_j).
+
+φ has a weight-k satisfying assignment iff Q is true on the database.  The
+query uses k variables, so this shows W[SAT]-hardness of positive queries
+under parameter v (with a fixed two-relation schema).  The query is in
+prenex form, which the paper leverages for the matching upper bound.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from ..circuits.formulas import (
+    BoolAnd,
+    BoolFormula,
+    BoolNot,
+    BoolOr,
+    BoolVar,
+    to_nnf,
+)
+from ..errors import ReductionError
+from ..parametric.problems.weighted_sat_problems import (
+    WEIGHTED_FORMULA_SAT,
+    WeightedFormulaInstance,
+)
+from ..query.atoms import Atom
+from ..query.first_order import And, AtomFormula, Exists, Formula, Or
+from ..query.positive import PositiveQuery
+from ..query.terms import Constant, Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .problem_base import ParametricReduction
+from .query_problems import POSITIVE_EVALUATION_V, QueryEvaluationInstance
+
+
+def eq_neq_database(n: int) -> Database:
+    """EQ and NEQ over the index domain {1, ..., n} (fixed schema)."""
+    eq_rows = [(i, i) for i in range(1, n + 1)]
+    neq_rows = [(i, j) for i in range(1, n + 1) for j in range(1, n + 1) if i != j]
+    return Database(
+        {
+            "EQ": Relation(("EQ.0", "EQ.1"), eq_rows),
+            "NEQ": Relation(("NEQ.0", "NEQ.1"), neq_rows),
+        },
+        domain=range(1, n + 1),
+    )
+
+
+def wsat_to_positive_query(
+    formula: BoolFormula, k: int, index_of: Dict[str, int]
+) -> PositiveQuery:
+    """The positive query for (φ, k); *index_of* maps variable names to 1..n."""
+    if k < 1:
+        raise ReductionError("the construction needs k >= 1")
+    ys = [Variable(f"y{j}") for j in range(1, k + 1)]
+    nnf = to_nnf(formula)
+
+    def translate(node: BoolFormula) -> Formula:
+        if isinstance(node, BoolVar):
+            i = index_of[node.name]
+            parts = [AtomFormula(Atom("EQ", (Constant(i), y))) for y in ys]
+            return parts[0] if len(parts) == 1 else Or(parts)
+        if isinstance(node, BoolNot):
+            inner = node.operand
+            if not isinstance(inner, BoolVar):
+                raise ReductionError("formula must be in NNF here")
+            i = index_of[inner.name]
+            parts = [AtomFormula(Atom("NEQ", (Constant(i), y))) for y in ys]
+            return parts[0] if len(parts) == 1 else And(parts)
+        if isinstance(node, BoolAnd):
+            return And(translate(c) for c in node.children)
+        if isinstance(node, BoolOr):
+            return Or(translate(c) for c in node.children)
+        raise ReductionError(f"unknown formula node: {node!r}")
+
+    body: Formula = translate(nnf)
+    distinct = [
+        AtomFormula(Atom("NEQ", (a, b))) for a, b in combinations(ys, 2)
+    ]
+    if distinct:
+        body = And(distinct + [body])
+    matrix = body
+    for y in reversed(ys):
+        matrix = Exists(y, matrix)
+    return PositiveQuery((), matrix, head_name="Q")
+
+
+def wsat_to_positive(instance: WeightedFormulaInstance) -> QueryEvaluationInstance:
+    """Transform (φ, k) into the positive-query evaluation instance."""
+    names = sorted(instance.formula.variables())
+    index_of = {name: i for i, name in enumerate(names, start=1)}
+    query = wsat_to_positive_query(instance.formula, instance.k, index_of)
+    return QueryEvaluationInstance(
+        query=query, database=eq_neq_database(len(names)), candidate=()
+    )
+
+
+WSAT_TO_POSITIVE = ParametricReduction(
+    name="weighted-formula-sat->positive[v]",
+    source=WEIGHTED_FORMULA_SAT,
+    target=POSITIVE_EVALUATION_V,
+    transform=wsat_to_positive,
+    parameter_bound=lambda k: k,  # the query uses exactly the k variables y_j
+    notes="Theorem 1(2) lower bound for parameter v; fixed EQ/NEQ schema",
+)

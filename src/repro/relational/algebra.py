@@ -1,0 +1,107 @@
+"""Free-function relational algebra, including multiway helpers.
+
+The :class:`~repro.relational.relation.Relation` methods cover the binary
+operators; this module adds the n-ary conveniences the evaluation algorithms
+use (join a whole list, project a join without materializing it eagerly,
+full semijoin reduction over a tree) plus the classic derived operator
+division, included for algebra-law testing.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import SchemaError
+from .joins import JoinAlgorithm, hash_join
+from .relation import Relation
+
+
+def join_all(
+    relations: Sequence[Relation], algorithm: JoinAlgorithm = hash_join
+) -> Relation:
+    """Natural join of all *relations*, smallest-first for cheaper intermediates.
+
+    The empty join is the nullary TRUE relation (identity of natural join).
+    """
+    if not relations:
+        return Relation.unit()
+    ordered: List[Relation] = sorted(relations, key=len)
+    return reduce(algorithm, ordered)
+
+
+def project_join(
+    relations: Sequence[Relation],
+    attributes: Sequence[str],
+    algorithm: JoinAlgorithm = hash_join,
+) -> Relation:
+    """π_attributes(R1 ⋈ ... ⋈ Rs), projecting early after each join.
+
+    After each intermediate join we may safely drop any column that is
+    neither requested in *attributes* nor shared with a not-yet-joined
+    relation; this is the standard early-projection optimization and keeps
+    intermediates closer to the output size.
+    """
+    if not relations:
+        return Relation.unit().project(())
+    remaining = list(sorted(relations, key=len))
+    wanted = set(attributes)
+
+    current = remaining.pop(0)
+    while remaining:
+        nxt = remaining.pop(0)
+        current = algorithm(current, nxt)
+        future = set().union(*(set(r.attributes) for r in remaining)) if remaining else set()
+        keep = tuple(a for a in current.attributes if a in wanted or a in future)
+        current = current.project(keep)
+    return current.project(tuple(attributes))
+
+
+def semijoin_reduce_pairwise(
+    left: Relation, right: Relation
+) -> Tuple[Relation, Relation]:
+    """Make two relations pairwise consistent: each keeps only joining rows."""
+    return left.semijoin(right), right.semijoin(left)
+
+
+def union_all(relations: Iterable[Relation]) -> Relation:
+    """Union of any number of schema-compatible relations.
+
+    Raises :class:`SchemaError` on the empty union: the result schema would
+    be ambiguous.
+    """
+    items = list(relations)
+    if not items:
+        raise SchemaError("union of zero relations has no schema")
+    return reduce(Relation.union, items)
+
+
+def divide(dividend: Relation, divisor: Relation) -> Relation:
+    """Relational division ``dividend ÷ divisor``.
+
+    Returns the largest relation T over the dividend's non-divisor attributes
+    such that T × divisor ⊆ dividend.  Implements the textbook double-
+    difference formulation; used for universally quantified first-order
+    subformulas and exercised by the algebra-law test-suite.
+    """
+    divisor_attrs = set(divisor.attributes)
+    if not divisor_attrs <= set(dividend.attributes):
+        raise SchemaError(
+            f"divisor attributes {sorted(divisor_attrs)} not contained in "
+            f"dividend attributes {list(dividend.attributes)}"
+        )
+    quotient_attrs = tuple(
+        a for a in dividend.attributes if a not in divisor_attrs
+    )
+    if not quotient_attrs:
+        # Nullary quotient: TRUE iff every divisor row appears in dividend.
+        ok = divisor.rows <= dividend.project(divisor.attributes).rows
+        return Relation.unit() if ok else Relation.empty()
+    candidates = dividend.project(quotient_attrs)
+    if divisor.is_empty():
+        return candidates
+    required = candidates.natural_join(divisor)
+    missing = required.difference(
+        dividend.project(required.attributes)
+    ).project(quotient_attrs)
+    return candidates.difference(missing)

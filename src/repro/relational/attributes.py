@@ -1,0 +1,65 @@
+"""Attribute-name helpers for the relational layer.
+
+Relations in this library carry *named* columns.  Query evaluation renames
+columns to variable names, and the Theorem 2 machinery (color-coding over a
+join tree) additionally introduces one *hashed shadow attribute* per query
+variable that participates in an inequality.  The paper writes the shadow of
+``x`` as ``x'``; we reserve the prefix ``#`` for these names so that user
+variables can never collide with them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ..errors import SchemaError
+
+#: Prefix of hashed shadow attributes (the paper's primed attributes x').
+HASH_PREFIX = "#"
+
+
+def hashed(attribute: str) -> str:
+    """Return the hashed shadow attribute name for *attribute* (``x → #x``)."""
+    return HASH_PREFIX + attribute
+
+
+def is_hashed(attribute: str) -> bool:
+    """Return True iff *attribute* is a hashed shadow attribute."""
+    return attribute.startswith(HASH_PREFIX)
+
+
+def unhashed(attribute: str) -> str:
+    """Inverse of :func:`hashed`; raises if *attribute* is not hashed."""
+    if not is_hashed(attribute):
+        raise SchemaError(f"attribute {attribute!r} is not a hashed attribute")
+    return attribute[len(HASH_PREFIX):]
+
+
+def check_attribute_names(attributes: Sequence[str]) -> Tuple[str, ...]:
+    """Validate and normalize a sequence of attribute names.
+
+    Attribute names must be nonempty strings and pairwise distinct.  Returns
+    the names as a tuple.  Raises :class:`SchemaError` otherwise.
+    """
+    names = tuple(attributes)
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"invalid attribute name: {name!r}")
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise SchemaError(f"duplicate attribute names: {duplicates}")
+    return names
+
+
+def positions_of(attributes: Sequence[str], wanted: Iterable[str]) -> Tuple[int, ...]:
+    """Return the positions of *wanted* attributes inside *attributes*.
+
+    Raises :class:`SchemaError` if any wanted attribute is missing.
+    """
+    index = {name: i for i, name in enumerate(attributes)}
+    try:
+        return tuple(index[name] for name in wanted)
+    except KeyError as exc:
+        raise SchemaError(
+            f"attribute {exc.args[0]!r} not among {list(attributes)}"
+        ) from None

@@ -1,0 +1,69 @@
+"""Hash indexes over relations.
+
+The naive backtracking evaluator probes relations billions of times on large
+instances; a hash index on the bound positions turns each probe from a scan
+into a dictionary lookup.  Indexes are built lazily and cached per
+(relation, positions) pair by the evaluator that owns them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
+
+from .relation import Relation, Row
+
+
+class HashIndex:
+    """An index of a relation's rows keyed by a subset of column positions.
+
+    ``HashIndex(rel, (0, 2))`` maps each (value@0, value@2) pair to the list
+    of full rows having those values — the access pattern of the backtracking
+    evaluator when positions 0 and 2 of an atom are already bound.
+    """
+
+    __slots__ = ("positions", "_buckets")
+
+    def __init__(self, relation: Relation, positions: Sequence[int]) -> None:
+        self.positions: Tuple[int, ...] = tuple(positions)
+        buckets: Dict[Tuple[Any, ...], List[Row]] = {}
+        for row in relation.rows:
+            key = tuple(row[p] for p in self.positions)
+            buckets.setdefault(key, []).append(row)
+        self._buckets = buckets
+
+    def lookup(self, key: Sequence[Any]) -> List[Row]:
+        """Rows whose indexed positions equal *key* (possibly empty)."""
+        return self._buckets.get(tuple(key), [])
+
+    def keys(self) -> FrozenSet[Tuple[Any, ...]]:
+        """All distinct index keys."""
+        return frozenset(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class IndexPool:
+    """A cache of :class:`HashIndex` objects keyed by (id, positions).
+
+    Relations are immutable, so caching by object identity is safe for the
+    lifetime of the pool.  The pool also pins the relations it has indexed so
+    that ids cannot be recycled while the pool is alive.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[Tuple[int, Tuple[int, ...]], HashIndex] = {}
+        self._pinned: List[Relation] = []
+
+    def index(self, relation: Relation, positions: Sequence[int]) -> HashIndex:
+        """Return (building if necessary) the index on *positions*."""
+        key = (id(relation), tuple(positions))
+        found = self._cache.get(key)
+        if found is None:
+            found = HashIndex(relation, positions)
+            self._cache[key] = found
+            self._pinned.append(relation)
+        return found
+
+    def __len__(self) -> int:
+        return len(self._cache)

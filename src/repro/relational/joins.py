@@ -1,0 +1,115 @@
+"""Join algorithm implementations: hash join and sort-merge join.
+
+:meth:`Relation.natural_join` uses a hash join internally; this module
+exposes both a hash join and the sort-merge join the paper mentions in the
+Theorem 2 cost analysis ("the joins of Step 2 can be performed, for example,
+by sorting the two relations on the join attributes and merging"), plus a
+pluggable dispatch used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import SchemaError
+from .attributes import positions_of
+from .relation import Relation, Row
+
+JoinAlgorithm = Callable[[Relation, Relation], Relation]
+
+
+def shared_attributes(left: Relation, right: Relation) -> Tuple[str, ...]:
+    """Attributes common to both relations, in *left*'s column order."""
+    right_set = set(right.attributes)
+    return tuple(a for a in left.attributes if a in right_set)
+
+
+def hash_join(left: Relation, right: Relation) -> Relation:
+    """Natural join via hashing the smaller side on the shared attributes.
+
+    Expected time O(|left| + |right| + |output|).
+    """
+    if len(right) < len(left):
+        # Build on the smaller side, then restore left-major column order.
+        swapped = hash_join(right, left)
+        order = left.attributes + tuple(
+            a for a in right.attributes if a not in set(left.attributes)
+        )
+        return swapped.project(order)
+    return left.natural_join(right)
+
+
+def sort_merge_join(left: Relation, right: Relation) -> Relation:
+    """Natural join by sorting both sides on the shared attributes and merging.
+
+    Time O(N log N + |output|) where N is the total input size — the bound
+    used in the paper's accounting for Algorithm 1.  Join values must be
+    mutually comparable; we sort by ``repr`` as a total-order fallback when
+    values are heterogeneous.
+    """
+    shared = shared_attributes(left, right)
+    if not shared:
+        return left.natural_join(right)  # Cartesian product
+
+    left_pos = positions_of(left.attributes, shared)
+    right_pos = positions_of(right.attributes, shared)
+    extra = tuple(a for a in right.attributes if a not in set(left.attributes))
+    extra_pos = positions_of(right.attributes, extra)
+
+    def sort_key(key: Row) -> Tuple:
+        return tuple((type(v).__name__, repr(v)) for v in key)
+
+    left_sorted: List[Row] = sorted(
+        left.rows, key=lambda r: sort_key(tuple(r[p] for p in left_pos))
+    )
+    right_sorted: List[Row] = sorted(
+        right.rows, key=lambda r: sort_key(tuple(r[p] for p in right_pos))
+    )
+
+    out: List[Row] = []
+    i = j = 0
+    while i < len(left_sorted) and j < len(right_sorted):
+        lk = tuple(left_sorted[i][p] for p in left_pos)
+        rk = tuple(right_sorted[j][p] for p in right_pos)
+        if sort_key(lk) < sort_key(rk):
+            i += 1
+        elif sort_key(lk) > sort_key(rk):
+            j += 1
+        else:
+            # Collect the equal-key runs on both sides and emit their product.
+            i_end = i
+            while i_end < len(left_sorted) and tuple(
+                left_sorted[i_end][p] for p in left_pos
+            ) == lk:
+                i_end += 1
+            j_end = j
+            while j_end < len(right_sorted) and tuple(
+                right_sorted[j_end][p] for p in right_pos
+            ) == rk:
+                j_end += 1
+            for li in range(i, i_end):
+                for rj in range(j, j_end):
+                    out.append(
+                        left_sorted[li]
+                        + tuple(right_sorted[rj][p] for p in extra_pos)
+                    )
+            i, j = i_end, j_end
+
+    return Relation(left.attributes + extra, out)
+
+
+#: Named registry used by the ablation benchmarks.
+JOIN_ALGORITHMS: Dict[str, JoinAlgorithm] = {
+    "hash": hash_join,
+    "sort_merge": sort_merge_join,
+}
+
+
+def get_join_algorithm(name: str) -> JoinAlgorithm:
+    """Look up a join algorithm by name; raises SchemaError if unknown."""
+    try:
+        return JOIN_ALGORITHMS[name]
+    except KeyError:
+        raise SchemaError(
+            f"unknown join algorithm {name!r}; known: {sorted(JOIN_ALGORITHMS)}"
+        ) from None

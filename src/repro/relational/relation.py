@@ -1,0 +1,341 @@
+"""The :class:`Relation` value type: an immutable named-column set of tuples.
+
+This is the substrate every algorithm in the library runs on.  A relation is
+a set of rows (Python tuples of hashable values) together with an ordered
+tuple of distinct attribute names, one per column.  All operations are
+functional: they return new relations and never mutate their inputs, which
+keeps the evaluation algorithms (Yannakakis passes, the Theorem 2 bottom-up
+merge) easy to reason about and safe to share.
+
+Set semantics are used throughout, matching the paper's model of relational
+databases (no duplicate tuples, no ordering).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ArityError, SchemaError
+from .attributes import check_attribute_names, positions_of
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """An immutable relation with named columns and set-of-tuples contents.
+
+    Parameters
+    ----------
+    attributes:
+        Ordered, pairwise-distinct column names.
+    rows:
+        Iterable of tuples, each of length ``len(attributes)``.
+
+    Examples
+    --------
+    >>> r = Relation(("a", "b"), [(1, 2), (1, 3)])
+    >>> r.project(("a",)).rows
+    frozenset({(1,)})
+    """
+
+    __slots__ = ("_attributes", "_rows")
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        self._attributes: Tuple[str, ...] = check_attribute_names(attributes)
+        arity = len(self._attributes)
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != arity:
+                raise ArityError(
+                    f"row {row!r} has arity {len(row)}, expected {arity}"
+                )
+        self._rows: FrozenSet[Row] = frozen
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The ordered tuple of column names."""
+        return self._attributes
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """The set of rows, as a frozenset of tuples."""
+        return self._rows
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self._attributes)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of rows."""
+        return len(self._rows)
+
+    def is_empty(self) -> bool:
+        """True iff the relation holds no rows."""
+        return not self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        """Equality is schema-sensitive but column-order-insensitive.
+
+        Two relations are equal when they have the same attribute *set* and,
+        after aligning column order, the same rows.
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if set(self._attributes) != set(other._attributes):
+            return False
+        if self._attributes == other._attributes:
+            return self._rows == other._rows
+        aligned = other.project(self._attributes)
+        return self._rows == aligned._rows
+
+    def __hash__(self) -> int:
+        # Order-insensitive: hash over the canonical column order.
+        canonical = tuple(sorted(self._attributes))
+        if canonical == self._attributes:
+            rows = self._rows
+        else:
+            rows = self.project(canonical)._rows
+        return hash((canonical, rows))
+
+    def __repr__(self) -> str:
+        preview = sorted(self._rows, key=repr)[:4]
+        suffix = ", ..." if len(self._rows) > 4 else ""
+        return (
+            f"Relation({self._attributes!r}, {len(self._rows)} rows: "
+            f"{preview!r}{suffix})"
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The nullary relation containing the empty tuple (logical TRUE)."""
+        return cls((), [()])
+
+    @classmethod
+    def empty(cls, attributes: Sequence[str] = ()) -> "Relation":
+        """An empty relation over *attributes* (logical FALSE when nullary)."""
+        return cls(attributes, [])
+
+    @classmethod
+    def from_dicts(
+        cls, attributes: Sequence[str], dicts: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from mappings ``attribute -> value``."""
+        names = tuple(attributes)
+        return cls(names, (tuple(d[a] for a in names) for d in dicts))
+
+    # ------------------------------------------------------------------
+    # Row views
+    # ------------------------------------------------------------------
+
+    def iter_dicts(self) -> Iterator[Dict[str, Any]]:
+        """Yield each row as an ``attribute -> value`` dict."""
+        names = self._attributes
+        for row in self._rows:
+            yield dict(zip(names, row))
+
+    def column(self, attribute: str) -> FrozenSet[Any]:
+        """The set of values appearing in *attribute*'s column."""
+        (pos,) = positions_of(self._attributes, (attribute,))
+        return frozenset(row[pos] for row in self._rows)
+
+    def active_values(self) -> FrozenSet[Any]:
+        """All values appearing anywhere in the relation."""
+        return frozenset(v for row in self._rows for v in row)
+
+    # ------------------------------------------------------------------
+    # Unary algebra
+    # ------------------------------------------------------------------
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection π_attributes, preserving the requested column order.
+
+        Duplicate result rows collapse (set semantics).  Projecting onto the
+        empty attribute list yields the nullary TRUE/FALSE relation depending
+        on whether any row exists.
+        """
+        names = tuple(attributes)
+        if names == self._attributes:
+            return self
+        positions = positions_of(self._attributes, names)
+        return Relation(names, (tuple(row[p] for p in positions) for row in self._rows))
+
+    def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
+        """Selection by an arbitrary row predicate over attribute dicts."""
+        names = self._attributes
+        kept = (
+            row for row in self._rows if predicate(dict(zip(names, row)))
+        )
+        return Relation(names, kept)
+
+    def select_eq(self, conditions: Mapping[str, Any]) -> "Relation":
+        """Selection σ_{a=c, ...}: keep rows matching every constant condition."""
+        positions = positions_of(self._attributes, tuple(conditions))
+        values = tuple(conditions[a] for a in conditions)
+        kept = (
+            row
+            for row in self._rows
+            if all(row[p] == v for p, v in zip(positions, values))
+        )
+        return Relation(self._attributes, kept)
+
+    def select_attr_eq(self, left: str, right: str) -> "Relation":
+        """Selection σ_{left = right} between two columns."""
+        (lp, rp) = positions_of(self._attributes, (left, right))
+        return Relation(
+            self._attributes, (row for row in self._rows if row[lp] == row[rp])
+        )
+
+    def select_attr_neq(self, left: str, right: str) -> "Relation":
+        """Selection σ_{left ≠ right} between two columns."""
+        (lp, rp) = positions_of(self._attributes, (left, right))
+        return Relation(
+            self._attributes, (row for row in self._rows if row[lp] != row[rp])
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes; names absent from *mapping* are kept.
+
+        Raises :class:`SchemaError` if the renaming would create duplicate
+        column names.
+        """
+        new_names = tuple(mapping.get(a, a) for a in self._attributes)
+        if len(set(new_names)) != len(new_names):
+            raise SchemaError(f"rename produces duplicate attributes: {new_names}")
+        return Relation(new_names, self._rows)
+
+    def extend(self, attribute: str, fn: Callable[[Dict[str, Any]], Any]) -> "Relation":
+        """Append a computed column named *attribute* with value ``fn(row)``.
+
+        Used by the Theorem 2 algorithms to add hashed shadow attributes
+        (``t[x'] = h(t[x])`` in the paper's notation).
+        """
+        if attribute in self._attributes:
+            raise SchemaError(f"attribute {attribute!r} already present")
+        names = self._attributes + (attribute,)
+        old = self._attributes
+        return Relation(
+            names, (row + (fn(dict(zip(old, row))),) for row in self._rows)
+        )
+
+    # ------------------------------------------------------------------
+    # Binary algebra
+    # ------------------------------------------------------------------
+
+    def _check_union_compatible(self, other: "Relation") -> "Relation":
+        if set(self._attributes) != set(other._attributes):
+            raise SchemaError(
+                f"incompatible schemas {self._attributes} vs {other._attributes}"
+            )
+        if self._attributes != other._attributes:
+            return other.project(self._attributes)
+        return other
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; schemas must agree as attribute sets."""
+        aligned = self._check_union_compatible(other)
+        return Relation(self._attributes, self._rows | aligned._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; schemas must agree as attribute sets."""
+        aligned = self._check_union_compatible(other)
+        return Relation(self._attributes, self._rows - aligned._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection; schemas must agree as attribute sets."""
+        aligned = self._check_union_compatible(other)
+        return Relation(self._attributes, self._rows & aligned._rows)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join on all shared attribute names (hash join).
+
+        The result's columns are ``self``'s attributes followed by ``other``'s
+        non-shared attributes.  With no shared attributes this degenerates to
+        the Cartesian product; with identical schemas, to intersection.
+        """
+        shared = tuple(a for a in self._attributes if a in set(other._attributes))
+        if not shared:
+            return self._cartesian_product(other)
+        if set(other._attributes) <= set(self._attributes) and set(
+            self._attributes
+        ) <= set(other._attributes):
+            return self.intersection(other)
+
+        left_pos = positions_of(self._attributes, shared)
+        right_pos = positions_of(other._attributes, shared)
+        extra = tuple(a for a in other._attributes if a not in set(self._attributes))
+        extra_pos = positions_of(other._attributes, extra)
+
+        buckets: Dict[Row, list] = {}
+        for row in other._rows:
+            key = tuple(row[p] for p in right_pos)
+            buckets.setdefault(key, []).append(tuple(row[p] for p in extra_pos))
+
+        result_rows = []
+        for row in self._rows:
+            key = tuple(row[p] for p in left_pos)
+            for suffix in buckets.get(key, ()):
+                result_rows.append(row + suffix)
+        return Relation(self._attributes + extra, result_rows)
+
+    def _cartesian_product(self, other: "Relation") -> "Relation":
+        overlap = set(self._attributes) & set(other._attributes)
+        if overlap:
+            raise SchemaError(f"product requires disjoint schemas; shared: {overlap}")
+        names = self._attributes + other._attributes
+        rows = (a + b for a in self._rows for b in other._rows)
+        return Relation(names, rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Semijoin ``self ⋉ other``: rows of self that join with some row of other.
+
+        The schema of the result equals self's schema.  With no shared
+        attributes the semijoin keeps everything iff *other* is nonempty.
+        """
+        shared = tuple(a for a in self._attributes if a in set(other._attributes))
+        if not shared:
+            return self if not other.is_empty() else Relation(self._attributes)
+        right_keys = frozenset(
+            tuple(row[p] for p in positions_of(other._attributes, shared))
+            for row in other._rows
+        )
+        left_pos = positions_of(self._attributes, shared)
+        kept = (
+            row
+            for row in self._rows
+            if tuple(row[p] for p in left_pos) in right_keys
+        )
+        return Relation(self._attributes, kept)
+
+    def antijoin(self, other: "Relation") -> "Relation":
+        """Antijoin ``self ▷ other``: rows of self that join with no row of other."""
+        return self.difference(self.semijoin(other))

@@ -1,0 +1,95 @@
+"""Relation and database schemas.
+
+The paper distinguishes *fixed* versus *variable* schema parametrizations
+(Figure 1).  A :class:`RelationSchema` records a relation name and arity
+(with optional default attribute names); a :class:`DatabaseSchema` is a set
+of relation schemas.  Databases validate their relations against a schema,
+and the parametric framework uses schemas to state which reductions need a
+fixed schema (all of the paper's lower bounds do) and which work for
+variable schemas (all of the upper bounds do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Name and arity of a relation, with optional attribute names."""
+
+    name: str
+    arity: int
+    attributes: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be nonempty")
+        if self.arity < 0:
+            raise SchemaError(f"negative arity for {self.name}: {self.arity}")
+        if self.attributes is not None and len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"{self.name}: {len(self.attributes)} attribute names "
+                f"for arity {self.arity}"
+            )
+
+    def default_attributes(self) -> Tuple[str, ...]:
+        """Attribute names to use when none were declared (``name.0``...)."""
+        if self.attributes is not None:
+            return self.attributes
+        return tuple(f"{self.name}.{i}" for i in range(self.arity))
+
+
+class DatabaseSchema:
+    """An immutable collection of :class:`RelationSchema` objects by name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        for schema in relations:
+            if schema.name in self._relations:
+                raise SchemaError(f"duplicate relation schema: {schema.name}")
+            self._relations[schema.name] = schema
+
+    @classmethod
+    def of(cls, **arities: int) -> "DatabaseSchema":
+        """Shorthand: ``DatabaseSchema.of(E=2, P=1)``."""
+        return cls(RelationSchema(n, a) for n, a in arities.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation: {name!r}") from None
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> Tuple[str, ...]:
+        """Relation names in declaration order."""
+        return tuple(self._relations)
+
+    def arity(self, name: str) -> int:
+        """Arity of relation *name*."""
+        return self[name].arity
+
+    def max_arity(self) -> int:
+        """Largest arity in the schema (0 for the empty schema)."""
+        return max((s.arity for s in self), default=0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.name}/{s.arity}" for s in self)
+        return f"DatabaseSchema({inner})"

@@ -1,0 +1,67 @@
+"""Workload generators: graphs, databases, queries, paper examples."""
+
+from .databases import (
+    chain_database,
+    random_database,
+    random_relation,
+    star_database,
+)
+from .graphs import (
+    Graph,
+    GraphError,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    graph_suite,
+    graph_with_hamiltonian_path,
+    grid_graph,
+    path_graph,
+    planted_clique_graph,
+    random_graph,
+)
+from .paper_examples import (
+    all_examples,
+    employees_projects_database,
+    employees_projects_query,
+    salary_database,
+    salary_query,
+    students_courses_database,
+    students_courses_query,
+)
+from .queries import (
+    cycle_query,
+    path_neq_query,
+    path_query,
+    random_acyclic_query,
+    star_query,
+)
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "all_examples",
+    "chain_database",
+    "complete_graph",
+    "cycle_graph",
+    "cycle_query",
+    "empty_graph",
+    "employees_projects_database",
+    "employees_projects_query",
+    "graph_suite",
+    "graph_with_hamiltonian_path",
+    "grid_graph",
+    "path_graph",
+    "path_neq_query",
+    "path_query",
+    "planted_clique_graph",
+    "random_acyclic_query",
+    "random_database",
+    "random_graph",
+    "random_relation",
+    "salary_database",
+    "salary_query",
+    "star_database",
+    "star_query",
+    "students_courses_database",
+    "students_courses_query",
+]

@@ -1,0 +1,89 @@
+"""Random database generators for tests and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import DatabaseSchema, RelationSchema
+
+
+def random_relation(
+    name: str,
+    arity: int,
+    domain_size: int,
+    tuples: int,
+    seed: int = 0,
+) -> Relation:
+    """A random relation over domain {0..domain_size-1} with ≤ *tuples* rows."""
+    rng = random.Random(seed)
+    schema = RelationSchema(name, arity)
+    rows = {
+        tuple(rng.randrange(domain_size) for _ in range(arity))
+        for _ in range(tuples)
+    }
+    return Relation(schema.default_attributes(), rows)
+
+
+def random_database(
+    schema: DatabaseSchema,
+    domain_size: int,
+    tuples_per_relation: int,
+    seed: int = 0,
+) -> Database:
+    """A random database instance for *schema*."""
+    rng = random.Random(seed)
+    relations: Dict[str, Relation] = {}
+    for relation_schema in schema:
+        relations[relation_schema.name] = random_relation(
+            relation_schema.name,
+            relation_schema.arity,
+            domain_size,
+            tuples_per_relation,
+            seed=rng.randrange(1 << 30),
+        )
+    return Database(relations, domain=range(domain_size))
+
+
+def chain_database(
+    layers: int, width: int, p: float, seed: int = 0, relation: str = "E"
+) -> Database:
+    """A layered digraph as a binary relation — the path-query workload.
+
+    Nodes are (layer, index) encoded as layer·width + index; edges go from
+    layer i to layer i+1 with probability p, so path queries of length
+    *layers − 1* have plenty of matches without the relation exploding.
+    """
+    rng = random.Random(seed)
+    rows: List[Tuple[int, int]] = []
+    for layer in range(layers - 1):
+        for a in range(width):
+            for b in range(width):
+                if rng.random() < p:
+                    rows.append((layer * width + a, (layer + 1) * width + b))
+    return Database(
+        {relation: Relation((f"{relation}.0", f"{relation}.1"), rows)},
+        domain=range(layers * width),
+    )
+
+
+def star_database(
+    arms: int, fanout: int, seed: int = 0
+) -> Database:
+    """Relations A_1..A_arms sharing a hub column — the star-query workload.
+
+    Each A_i(hub, leaf) relates hub values to arm-specific leaves.
+    """
+    rng = random.Random(seed)
+    relations: Dict[str, Relation] = {}
+    hubs = list(range(fanout))
+    for arm in range(1, arms + 1):
+        rows = []
+        for hub in hubs:
+            for leaf in rng.sample(range(1000, 1000 + fanout * 4), k=max(1, fanout // 2)):
+                rows.append((hub, leaf + arm * 10_000))
+        name = f"A{arm}"
+        relations[name] = Relation((f"{name}.0", f"{name}.1"), rows)
+    return Database(relations)

@@ -1,0 +1,226 @@
+"""Undirected graphs and graph workload generators.
+
+:class:`Graph` is the instance type of the clique / independent-set /
+dominating-set problems and the raw material of the paper's reductions
+(clique → conjunctive query, Theorem 3's numeric encoding, Hamiltonian
+path).  Generators cover the benchmark workloads: Erdős–Rényi G(n, p),
+planted cliques, paths, cycles, grids and complete graphs.  All generators
+take an explicit :class:`random.Random` seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import ReproError
+
+
+class GraphError(ReproError):
+    """Structural problem in a graph definition."""
+
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """An immutable simple undirected graph on integer nodes."""
+
+    __slots__ = ("_nodes", "_adjacency")
+
+    def __init__(self, nodes: Iterable[int], edges: Iterable[Edge] = ()) -> None:
+        self._nodes: Tuple[int, ...] = tuple(sorted(set(nodes)))
+        node_set = set(self._nodes)
+        adjacency: Dict[int, Set[int]] = {node: set() for node in self._nodes}
+        for a, b in edges:
+            if a == b:
+                raise GraphError(f"self-loop on node {a}")
+            if a not in node_set or b not in node_set:
+                raise GraphError(f"edge ({a}, {b}) leaves the node set")
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        self._adjacency = {n: frozenset(s) for n, s in adjacency.items()}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return self._nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._adjacency.values()) // 2
+
+    def neighbours(self, node: int) -> FrozenSet[int]:
+        try:
+            return self._adjacency[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node}") from None
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbours(node))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adjacency.get(a, frozenset())
+
+    def edges(self) -> Iterator[Edge]:
+        """Each edge once, as (min, max)."""
+        for node in self._nodes:
+            for other in self._adjacency[node]:
+                if node < other:
+                    yield (node, other)
+
+    def directed_edges(self) -> Iterator[Edge]:
+        """Each edge twice, once per direction — the symmetric E relation."""
+        for node in self._nodes:
+            for other in self._adjacency[node]:
+                yield (node, other)
+
+    def size(self) -> int:
+        """Encoding-size measure: nodes + edges."""
+        return self.num_nodes + self.num_edges
+
+    # ------------------------------------------------------------------
+
+    def is_clique(self, nodes: Sequence[int]) -> bool:
+        """Are the (distinct) nodes pairwise adjacent?"""
+        distinct = set(nodes)
+        if len(distinct) != len(tuple(nodes)):
+            return False
+        return all(
+            self.has_edge(a, b) for a, b in combinations(sorted(distinct), 2)
+        )
+
+    def complement(self) -> "Graph":
+        """The complement graph on the same nodes."""
+        missing = [
+            (a, b)
+            for a, b in combinations(self._nodes, 2)
+            if not self.has_edge(a, b)
+        ]
+        return Graph(self._nodes, missing)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._nodes == other._nodes and self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:
+        return hash((self._nodes, tuple(sorted(self.edges()))))
+
+    def __repr__(self) -> str:
+        return f"Graph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+def random_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdős–Rényi G(n, p) on nodes 0..n-1."""
+    rng = random.Random(seed)
+    edges = [
+        (a, b) for a, b in combinations(range(n), 2) if rng.random() < p
+    ]
+    return Graph(range(n), edges)
+
+
+def planted_clique_graph(n: int, k: int, p: float, seed: int = 0) -> Tuple[Graph, Tuple[int, ...]]:
+    """G(n, p) with a planted k-clique; returns (graph, clique nodes)."""
+    rng = random.Random(seed)
+    base = random_graph(n, p, seed=rng.randrange(1 << 30))
+    clique_nodes = tuple(sorted(rng.sample(range(n), k)))
+    edges = set(base.edges())
+    for a, b in combinations(clique_nodes, 2):
+        edges.add((min(a, b), max(a, b)))
+    return Graph(range(n), edges), clique_nodes
+
+
+def path_graph(n: int) -> Graph:
+    """The path 0 — 1 — ... — n-1."""
+    return Graph(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on n ≥ 3 nodes."""
+    if n < 3:
+        raise GraphError("cycles need at least 3 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph(range(n), [(min(a, b), max(a, b)) for a, b in edges])
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    return Graph(range(n), combinations(range(n), 2))
+
+
+def empty_graph(n: int) -> Graph:
+    """n isolated nodes."""
+    return Graph(range(n))
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The rows × cols grid (treewidth min(rows, cols))."""
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+    return Graph(range(rows * cols), edges)
+
+
+def graph_with_hamiltonian_path(n: int, extra_p: float, seed: int = 0) -> Graph:
+    """A random graph guaranteed to contain a Hamiltonian path.
+
+    Starts from a random permutation path and sprinkles extra edges with
+    probability *extra_p* — the positive workload of the Hamiltonian-path
+    benchmark.
+    """
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = {(min(a, b), max(a, b)) for a, b in zip(order, order[1:])}
+    for a, b in combinations(range(n), 2):
+        if rng.random() < extra_p:
+            edges.add((a, b))
+    return Graph(range(n), edges)
+
+
+def graph_suite(max_n: int = 6, seed: int = 0) -> List[Graph]:
+    """A diverse small-graph suite for exhaustive reduction verification."""
+    rng = random.Random(seed)
+    suite: List[Graph] = [
+        empty_graph(1),
+        empty_graph(3),
+        path_graph(4),
+        cycle_graph(4),
+        cycle_graph(5),
+        complete_graph(3),
+        complete_graph(4),
+        grid_graph(2, 3),
+    ]
+    for n in range(3, max_n + 1):
+        for p in (0.2, 0.5, 0.8):
+            suite.append(random_graph(n, p, seed=rng.randrange(1 << 30)))
+    return suite

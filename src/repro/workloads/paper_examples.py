@@ -1,0 +1,99 @@
+"""The paper's §5 running examples, as ready-made (query, database) pairs.
+
+* employees working on more than one project:
+      G(e) ← EP(e, p), EP(e, p'), p ≠ p'
+* students taking courses outside their department:
+      G(s) ← SD(s, d), SC(s, c), CD(c, d'), d ≠ d'
+* employees earning more than their manager (comparisons):
+      G(e) ← EM(e, m), ES(e, s), ES(m, s'), s' < s
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.parser import parse_query
+from ..relational.database import Database
+from ..relational.relation import Relation
+
+
+def employees_projects_query() -> ConjunctiveQuery:
+    """G(e) ← EP(e, p), EP(e, p'), p ≠ p'."""
+    return parse_query("G(e) :- EP(e, p), EP(e, q), p != q.")
+
+
+def employees_projects_database(
+    employees: int = 30, projects: int = 10, assignments: int = 60, seed: int = 0
+) -> Database:
+    """Random employee–project assignments."""
+    rng = random.Random(seed)
+    rows = {
+        (f"e{rng.randrange(employees)}", f"p{rng.randrange(projects)}")
+        for _ in range(assignments)
+    }
+    return Database({"EP": Relation(("EP.0", "EP.1"), rows)})
+
+
+def students_courses_query() -> ConjunctiveQuery:
+    """G(s) ← SD(s, d), SC(s, c), CD(c, d'), d ≠ d'."""
+    return parse_query("G(s) :- SD(s, d), SC(s, c), CD(c, e), d != e.")
+
+
+def students_courses_database(
+    students: int = 25, courses: int = 12, departments: int = 4, seed: int = 0
+) -> Database:
+    """Random student/course/department data."""
+    rng = random.Random(seed)
+    depts = [f"d{i}" for i in range(departments)]
+    sd_rows = {(f"s{i}", rng.choice(depts)) for i in range(students)}
+    cd_rows = {(f"c{i}", rng.choice(depts)) for i in range(courses)}
+    sc_rows = {
+        (f"s{rng.randrange(students)}", f"c{rng.randrange(courses)}")
+        for _ in range(students * 3)
+    }
+    return Database(
+        {
+            "SD": Relation(("SD.0", "SD.1"), sd_rows),
+            "SC": Relation(("SC.0", "SC.1"), sc_rows),
+            "CD": Relation(("CD.0", "CD.1"), cd_rows),
+        }
+    )
+
+
+def salary_query() -> ConjunctiveQuery:
+    """G(e) ← EM(e, m), ES(e, s), ES(m, s'), s' < s."""
+    return parse_query("G(e) :- EM(e, m), ES(e, s), ES(m, t), t < s.")
+
+
+def salary_database(employees: int = 20, seed: int = 0) -> Database:
+    """A random management tree with integer salaries."""
+    rng = random.Random(seed)
+    em_rows = []
+    for i in range(1, employees):
+        em_rows.append((f"e{i}", f"e{rng.randrange(i)}"))  # manager is earlier
+    es_rows = [(f"e{i}", rng.randrange(40_000, 160_000)) for i in range(employees)]
+    return Database(
+        {
+            "EM": Relation(("EM.0", "EM.1"), em_rows),
+            "ES": Relation(("ES.0", "ES.1"), es_rows),
+        }
+    )
+
+
+def all_examples() -> Tuple[Tuple[str, ConjunctiveQuery, Database], ...]:
+    """(name, query, database) triples for the three §5 examples."""
+    return (
+        (
+            "employees-multi-project",
+            employees_projects_query(),
+            employees_projects_database(),
+        ),
+        (
+            "students-outside-dept",
+            students_courses_query(),
+            students_courses_database(),
+        ),
+        ("salary-above-manager", salary_query(), salary_database()),
+    )

@@ -1,0 +1,126 @@
+"""Query generators: paths, stars, cycles, and random acyclic ≠-queries.
+
+The random acyclic generator grows a random join tree first and emits one
+atom per tree node, guaranteeing acyclicity by construction; inequalities
+are then sprinkled over non-co-occurring variable pairs, so the I1 part of
+Theorem 2's partition is exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..query.atoms import Atom, Inequality
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Variable
+
+
+def path_query(length: int, relation: str = "E", head_arity: int = 1) -> ConjunctiveQuery:
+    """E(x0,x1), E(x1,x2), ..., length atoms; head exports x0 (and x_length)."""
+    variables = [Variable(f"x{i}") for i in range(length + 1)]
+    atoms = [
+        Atom(relation, (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    head = tuple(variables[:head_arity])
+    return ConjunctiveQuery(head, atoms, head_name="PATH")
+
+
+def star_query(arms: int) -> ConjunctiveQuery:
+    """A_1(hub,l1), ..., A_arms(hub,l_arms); head exports the hub."""
+    hub = Variable("hub")
+    atoms = [
+        Atom(f"A{i}", (hub, Variable(f"l{i}"))) for i in range(1, arms + 1)
+    ]
+    return ConjunctiveQuery((hub,), atoms, head_name="STAR")
+
+
+def cycle_query(length: int, relation: str = "E") -> ConjunctiveQuery:
+    """The cyclic query E(x0,x1),...,E(x_{n-1},x0) — NOT acyclic (for contrast)."""
+    variables = [Variable(f"x{i}") for i in range(length)]
+    atoms = [
+        Atom(relation, (variables[i], variables[(i + 1) % length]))
+        for i in range(length)
+    ]
+    return ConjunctiveQuery((), atoms, head_name="CYC")
+
+
+def path_neq_query(length: int, neq_pairs: int, seed: int = 0) -> ConjunctiveQuery:
+    """A path query plus random ≠ atoms over non-adjacent variable pairs."""
+    rng = random.Random(seed)
+    base = path_query(length)
+    variables = [Variable(f"x{i}") for i in range(length + 1)]
+    non_adjacent = [
+        (a, b)
+        for i, a in enumerate(variables)
+        for j, b in enumerate(variables)
+        if j > i + 1
+    ]
+    rng.shuffle(non_adjacent)
+    inequalities = [Inequality(a, b) for a, b in non_adjacent[:neq_pairs]]
+    return ConjunctiveQuery(
+        base.head_terms, base.atoms, inequalities, head_name="PNEQ"
+    )
+
+
+def random_acyclic_query(
+    num_atoms: int,
+    max_arity: int = 3,
+    num_inequalities: int = 0,
+    seed: int = 0,
+    head_arity: int = 1,
+) -> ConjunctiveQuery:
+    """A random acyclic query built from a random join tree.
+
+    Atom j > 0 attaches to a random earlier atom and shares a random
+    nonempty subset of its variables (the join-tree edge), adding fresh
+    variables up to its arity — the resulting hypergraph always has that
+    tree as a join tree.  Inequalities are then drawn from variable pairs
+    that do not co-occur in any atom (so they land in I1).
+    """
+    rng = random.Random(seed)
+    fresh = [0]
+
+    def new_variable() -> Variable:
+        fresh[0] += 1
+        return Variable(f"v{fresh[0]}")
+
+    atom_vars: List[List[Variable]] = []
+    for j in range(num_atoms):
+        arity = rng.randint(1, max_arity)
+        if j == 0:
+            members = [new_variable() for _ in range(arity)]
+        else:
+            parent = rng.randrange(j)
+            shared_count = rng.randint(1, min(arity, len(atom_vars[parent])))
+            shared = rng.sample(atom_vars[parent], shared_count)
+            members = list(shared)
+            while len(members) < arity:
+                members.append(new_variable())
+            rng.shuffle(members)
+        atom_vars.append(members)
+
+    atoms = [
+        Atom(f"R{j}", tuple(members)) for j, members in enumerate(atom_vars)
+    ]
+
+    cooccur = set()
+    for members in atom_vars:
+        for a, b in combinations(set(members), 2):
+            cooccur.add(frozenset((a, b)))
+    all_vars: List[Variable] = sorted(
+        {v for members in atom_vars for v in members}, key=lambda v: v.name
+    )
+    candidates = [
+        (a, b)
+        for a, b in combinations(all_vars, 2)
+        if frozenset((a, b)) not in cooccur
+    ]
+    rng.shuffle(candidates)
+    inequalities = [
+        Inequality(a, b) for a, b in candidates[:num_inequalities]
+    ]
+
+    head = tuple(rng.sample(all_vars, min(head_arity, len(all_vars))))
+    return ConjunctiveQuery(head, atoms, inequalities, head_name="RND")

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    FirstOrderEvaluator,
+    NaiveEvaluator,
+    PositiveEvaluator,
+    TreewidthEvaluator,
+    YannakakisEvaluator,
+)
+from repro.inequalities import AcyclicInequalityEvaluator
+from repro.relational import Database, Relation
+
+
+@pytest.fixture
+def naive() -> NaiveEvaluator:
+    return NaiveEvaluator()
+
+
+@pytest.fixture
+def yannakakis() -> YannakakisEvaluator:
+    return YannakakisEvaluator()
+
+
+@pytest.fixture
+def positive_eval() -> PositiveEvaluator:
+    return PositiveEvaluator()
+
+
+@pytest.fixture
+def fo_eval() -> FirstOrderEvaluator:
+    return FirstOrderEvaluator()
+
+
+@pytest.fixture
+def theorem2() -> AcyclicInequalityEvaluator:
+    return AcyclicInequalityEvaluator()
+
+
+@pytest.fixture
+def treewidth_eval() -> TreewidthEvaluator:
+    return TreewidthEvaluator()
+
+
+@pytest.fixture
+def edge_db() -> Database:
+    """A small digraph: 1→2→3→4 plus 1→3."""
+    return Database.from_tuples({"E": [(1, 2), (2, 3), (3, 4), (1, 3)]})
+
+
+@pytest.fixture
+def ep_db() -> Database:
+    """Employee–project assignments from the paper's §5 example."""
+    return Database.from_tuples(
+        {"EP": [("ann", "p1"), ("ann", "p2"), ("bob", "p1"), ("cat", "p3")]}
+    )

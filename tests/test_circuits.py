@@ -1,0 +1,241 @@
+"""Tests for circuits, formulas, CNF, and the alternation normalizer."""
+
+import pytest
+
+from repro.circuits import (
+    AND,
+    CNF,
+    CNFError,
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    Gate,
+    INPUT,
+    Literal,
+    OR,
+    check_alternation,
+    fand,
+    fnot,
+    for_,
+    formula_to_circuit,
+    is_nnf,
+    level_alternate,
+    negative_pair,
+    to_nnf,
+    var,
+)
+
+
+def xor_circuit() -> Circuit:
+    builder = CircuitBuilder()
+    a = builder.input("a")
+    b = builder.input("b")
+    na = builder.not_(a)
+    nb = builder.not_(b)
+    left = builder.and_(a, nb)
+    right = builder.and_(na, b)
+    return builder.build(builder.or_(left, right))
+
+
+def monotone_sample() -> Circuit:
+    builder = CircuitBuilder()
+    inputs = [builder.input(f"i{j}") for j in range(4)]
+    a1 = builder.and_(inputs[0], inputs[1])
+    o1 = builder.or_(a1, inputs[2])
+    return builder.build(builder.and_(o1, inputs[3]))
+
+
+class TestCircuitStructure:
+    def test_evaluation_xor(self):
+        c = xor_circuit()
+        assert c.evaluate({"a"})
+        assert c.evaluate({"b"})
+        assert not c.evaluate({"a", "b"})
+        assert not c.evaluate(set())
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(CircuitError):
+            xor_circuit().evaluate({"zz"})
+
+    def test_monotone_detection(self):
+        assert monotone_sample().is_monotone()
+        assert not xor_circuit().is_monotone()
+
+    def test_depth_ignores_not_on_inputs(self):
+        # XOR: NOTs sit on inputs, so depth = AND + OR = 2.
+        assert xor_circuit().depth() == 2
+
+    def test_depth_counts_internal_not(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        b = builder.input("b")
+        inner = builder.and_(a, b)
+        negated = builder.not_(inner)
+        c = builder.build(builder.or_(negated, a))
+        assert c.depth() == 3
+
+    def test_cycle_detection(self):
+        gates = [
+            Gate("a", INPUT),
+            Gate("g1", AND, ("a", "g2")),
+            Gate("g2", OR, ("g1",)),
+        ]
+        with pytest.raises(CircuitError):
+            Circuit(gates, "g1")
+
+    def test_undefined_source(self):
+        with pytest.raises(CircuitError):
+            Circuit([Gate("g", AND, ("missing",))], "g")
+
+    def test_duplicate_gate_id(self):
+        with pytest.raises(CircuitError):
+            Circuit([Gate("a", INPUT), Gate("a", INPUT)], "a")
+
+    def test_gate_validation(self):
+        with pytest.raises(CircuitError):
+            Gate("n", "NOT", ("a", "b"))
+        with pytest.raises(CircuitError):
+            Gate("x", "INPUT", ("a",))
+        with pytest.raises(CircuitError):
+            Gate("g", "AND", ())
+
+    def test_topological_order(self):
+        c = monotone_sample()
+        seen = set()
+        for gate in c.gates():
+            assert all(s in seen for s in gate.inputs)
+            seen.add(gate.gate_id)
+
+
+class TestFormulas:
+    def test_evaluate(self):
+        f = for_(fand(var("x"), var("y")), fnot(var("z")))
+        assert f.evaluate({"x", "y", "z"})
+        assert f.evaluate(set())
+        assert not f.evaluate({"z"})
+
+    def test_flattening(self):
+        f = fand(fand(var("a"), var("b")), var("c"))
+        assert len(f.children) == 3
+
+    def test_nnf(self):
+        f = fnot(fand(var("a"), fnot(var("b"))))
+        nnf = to_nnf(f)
+        assert is_nnf(nnf)
+        for assignment in [set(), {"a"}, {"b"}, {"a", "b"}]:
+            assert f.evaluate(assignment) == nnf.evaluate(assignment)
+
+    def test_formula_to_circuit_semantics(self):
+        f = for_(fand(var("a"), fnot(var("b"))), var("c"))
+        c = formula_to_circuit(f)
+        for assignment in [set(), {"a"}, {"b"}, {"a", "c"}, {"a", "b", "c"}]:
+            assert c.evaluate(frozenset(assignment)) == f.evaluate(assignment)
+
+    def test_size(self):
+        assert var("x").size() == 1
+        assert fnot(var("x")).size() == 2
+        assert fand(var("x"), var("y")).size() == 3
+
+
+class TestCNF:
+    def test_evaluate(self):
+        cnf = CNF([[Literal("a"), Literal("b", False)]])
+        assert cnf.evaluate({"a"})
+        assert cnf.evaluate(set())
+        assert not cnf.evaluate({"b"})
+
+    def test_kcnf_check(self):
+        cnf = CNF([[Literal("a")], [Literal("a"), Literal("b"), Literal("c")]])
+        assert cnf.is_kcnf(3)
+        assert not cnf.is_kcnf(2)
+
+    def test_all_negative(self):
+        assert CNF([negative_pair("a", "b")]).all_literals_negative()
+        assert not CNF([[Literal("a")]]).all_literals_negative()
+
+    def test_declared_variables(self):
+        cnf = CNF([negative_pair("a", "b")], variables=["a", "b", "c"])
+        assert cnf.variables() == frozenset({"a", "b", "c"})
+        with pytest.raises(CNFError):
+            CNF([negative_pair("a", "b")], variables=["a"])
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(CNFError):
+            CNF([[]])
+
+    def test_to_formula_and_circuit_agree(self):
+        cnf = CNF(
+            [
+                [Literal("a"), Literal("b", False)],
+                [Literal("c")],
+            ]
+        )
+        formula = cnf.to_formula()
+        circuit = cnf.to_circuit()
+        for assignment in [set(), {"a"}, {"c"}, {"a", "c"}, {"b", "c"}]:
+            expected = cnf.evaluate(assignment)
+            assert formula.evaluate(assignment) == expected
+            assert circuit.evaluate(frozenset(assignment)) == expected
+
+    def test_cnf_circuit_depth_two(self):
+        cnf = CNF([[Literal("a"), Literal("b", False)], [Literal("c")]])
+        assert cnf.to_circuit().depth() == 2
+
+
+class TestLevelAlternation:
+    def test_invariants(self):
+        leveled, t = level_alternate(monotone_sample())
+        assert check_alternation(leveled)
+        assert t >= 1
+        assert leveled.level(leveled.output) == 2 * t
+
+    def test_semantics_preserved(self):
+        original = monotone_sample()
+        leveled, _t = level_alternate(original)
+        import itertools
+
+        inputs = original.inputs
+        for size in range(len(inputs) + 1):
+            for chosen in itertools.combinations(inputs, size):
+                assert original.evaluate(frozenset(chosen)) == leveled.evaluate(
+                    frozenset(chosen)
+                )
+
+    def test_and_output_gets_or_wrapper(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        b = builder.input("b")
+        c = builder.build(builder.and_(a, b))
+        leveled, _ = level_alternate(c)
+        assert leveled.gate(leveled.output).kind == OR
+
+    def test_input_output_degenerate(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        c = builder.build(a)
+        leveled, t = level_alternate(c)
+        assert check_alternation(leveled)
+        assert leveled.evaluate(frozenset({"a"}))
+        assert not leveled.evaluate(frozenset())
+        assert t == 1
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(CircuitError):
+            level_alternate(xor_circuit())
+
+    def test_deep_unbalanced_circuit(self):
+        builder = CircuitBuilder()
+        inputs = [builder.input(f"i{j}") for j in range(5)]
+        current = inputs[0]
+        for nxt in inputs[1:]:
+            current = builder.or_(builder.and_(current, nxt), nxt)
+        circuit = builder.build(current)
+        leveled, _t = level_alternate(circuit)
+        assert check_alternation(leveled)
+        import itertools
+
+        for size in range(6):
+            for chosen in itertools.combinations(circuit.inputs, size):
+                assert circuit.evaluate(frozenset(chosen)) == leveled.evaluate(
+                    frozenset(chosen)
+                )

@@ -1,0 +1,134 @@
+"""Tests for comparison-constraint consistency and equality collapse."""
+
+import pytest
+
+from repro.comparisons import (
+    ConstraintGraph,
+    check_consistency,
+    collapse_equalities,
+    is_acyclic_with_comparisons,
+    is_consistent,
+    strongly_connected_components,
+)
+from repro.errors import InconsistentConstraintsError
+from repro.query import C, Comparison, V, parse_query
+
+
+def graph_of(*comparisons):
+    return ConstraintGraph(comparisons)
+
+
+class TestSCC:
+    def test_chain_has_singletons(self):
+        g = graph_of(Comparison("a", "b"), Comparison("b", "c"))
+        components = strongly_connected_components(g)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 3
+
+    def test_weak_cycle_merges(self):
+        g = graph_of(
+            Comparison("a", "b", strict=False), Comparison("b", "a", strict=False)
+        )
+        components = strongly_connected_components(g)
+        assert any(len(c) == 2 for c in components)
+
+
+class TestConsistency:
+    def test_strict_cycle_inconsistent(self):
+        g = graph_of(Comparison("a", "b"), Comparison("b", "a", strict=False))
+        assert not is_consistent(g)
+        with pytest.raises(InconsistentConstraintsError):
+            check_consistency(g)
+
+    def test_weak_cycle_consistent(self):
+        g = graph_of(
+            Comparison("a", "b", strict=False), Comparison("b", "a", strict=False)
+        )
+        assert is_consistent(g)
+
+    def test_constant_order_respected(self):
+        # x <= 1 and 2 <= x forces 1 >= x >= 2: cycle through 1 < 2.
+        g = graph_of(
+            Comparison("x", C(1), strict=False),
+            Comparison(C(2), "x", strict=False),
+        )
+        assert not is_consistent(g)
+
+    def test_two_constants_equal_inconsistent(self):
+        g = graph_of(
+            Comparison(C(1), "x", strict=False),
+            Comparison("x", C(1), strict=False),
+            Comparison(C(2), "x", strict=False),
+            Comparison("x", C(2), strict=False),
+        )
+        assert not is_consistent(g)
+
+    def test_incomparable_constants_rejected(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            graph_of(
+                Comparison("x", C(1)), Comparison("x", C("s"))
+            )
+
+    def test_consistent_mixed_system(self):
+        g = graph_of(
+            Comparison("x", "y"),
+            Comparison("y", C(10), strict=False),
+            Comparison(C(2), "x"),
+        )
+        assert is_consistent(g)
+
+
+class TestCollapse:
+    def test_weak_pair_collapses(self):
+        q = parse_query("Q(x) :- R(x, y), x <= y, y <= x.")
+        result = collapse_equalities(q)
+        assert len(result.query.comparisons) == 0
+        atom = result.query.atoms[0]
+        assert atom.terms[0] == atom.terms[1]
+
+    def test_collapse_to_constant(self):
+        q = parse_query("Q(x) :- R(x, y), x <= 5, 5 <= x.")
+        result = collapse_equalities(q)
+        assert result.query.atoms[0].terms[0] == C(5)
+
+    def test_inconsistent_raises(self):
+        q = parse_query("Q(x) :- R(x, y), x < y, y < x.")
+        with pytest.raises(InconsistentConstraintsError):
+            collapse_equalities(q)
+
+    def test_duplicates_removed(self):
+        q = parse_query("Q(x) :- R(x, y), x < y, x < y.")
+        result = collapse_equalities(q)
+        assert len(result.query.comparisons) == 1
+
+    def test_representative_map_exposed(self):
+        q = parse_query("Q(x) :- R(x, y), x <= y, y <= x.")
+        result = collapse_equalities(q)
+        reps = set(result.representative.values())
+        assert len(reps) == 1
+
+    def test_head_rewritten(self):
+        q = parse_query("Q(y) :- R(x, y), x <= y, y <= x.")
+        result = collapse_equalities(q)
+        assert result.query.head_terms[0] == V("x")
+
+
+class TestAcyclicityWithComparisons:
+    def test_salary_example(self):
+        q = parse_query("G(e) :- EM(e, m), ES(e, s), ES(m, t), t < s.")
+        assert is_acyclic_with_comparisons(q)
+
+    def test_collapse_can_create_cyclicity(self):
+        # Relational triangle is cyclic regardless of comparisons.
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x), x < y.")
+        assert not is_acyclic_with_comparisons(q)
+
+    def test_collapse_can_break_cyclicity(self):
+        # E(x,y), E(y,z), E(z,x) with x = z collapses the triangle into
+        # E(x,y), E(y,x), E(x,x) whose hypergraph is acyclic.
+        q = parse_query(
+            "Q() :- E(x, y), E(y, z), E(z, x), x <= z, z <= x."
+        )
+        assert is_acyclic_with_comparisons(q)

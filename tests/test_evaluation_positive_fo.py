@@ -1,0 +1,160 @@
+"""Tests for positive and first-order evaluation under active-domain semantics."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.evaluation import FirstOrderEvaluator, PositiveEvaluator
+from repro.query import (
+    Atom,
+    AtomFormula,
+    FirstOrderQuery,
+    PositiveQuery,
+)
+from repro.query.builders import (
+    and_,
+    atom,
+    exists,
+    forall,
+    lift,
+    not_,
+    or_,
+    positive,
+)
+from repro.relational import Database
+
+
+@pytest.fixture
+def db():
+    return Database.from_tuples(
+        {"E": [(1, 2), (2, 3), (3, 1)], "Red": [(1,), (2,)]}
+    )
+
+
+class TestPositiveEvaluation:
+    def test_atom(self, positive_eval, db):
+        q = positive(("x", "y"), atom("E", "x", "y"))
+        assert positive_eval.evaluate(q, db).cardinality == 3
+
+    def test_conjunction_is_join(self, positive_eval, db):
+        q = positive(("x",), exists("y", and_(atom("E", "x", "y"), atom("Red", "x"))))
+        assert positive_eval.evaluate(q, db).rows == frozenset({(1,), (2,)})
+
+    def test_disjunction_pads_schemas(self, positive_eval, db):
+        # x is red, or x has an outgoing edge (different free var shapes).
+        q = positive(
+            ("x",),
+            or_(atom("Red", "x"), exists("y", atom("E", "x", "y"))),
+        )
+        assert positive_eval.evaluate(q, db).rows == frozenset({(1,), (2,), (3,)})
+
+    def test_boolean_query(self, positive_eval, db):
+        q = positive((), exists("x", and_(atom("Red", "x"), exists("y", atom("E", "x", "y")))))
+        assert positive_eval.decide(q, db)
+
+    def test_contains(self, positive_eval, db):
+        q = positive(("x",), atom("Red", "x"))
+        assert positive_eval.contains(q, db, (1,))
+        assert not positive_eval.contains(q, db, (3,))
+
+    def test_union_of_cqs_engine_agrees(self, positive_eval, db):
+        q = positive(
+            ("x",),
+            or_(
+                exists("y", and_(atom("E", "x", "y"), atom("Red", "y"))),
+                atom("Red", "x"),
+            ),
+        )
+        direct = positive_eval.evaluate(q, db)
+        expanded = positive_eval.evaluate_via_union_of_cqs(q, db)
+        assert direct == expanded
+
+    def test_prenex_preserves_semantics(self, positive_eval, db):
+        q = positive(
+            ("x",),
+            and_(
+                exists("y", atom("E", "x", "y")),
+                exists("y", atom("E", "y", "x")),
+            ),
+        )
+        assert positive_eval.evaluate(q, db) == positive_eval.evaluate(
+            q.to_prenex(), db
+        )
+
+
+class TestFirstOrderEvaluation:
+    def test_negation_complement(self, fo_eval, db):
+        q = FirstOrderQuery(("x",), not_(atom("Red", "x")))
+        assert fo_eval.evaluate(q, db).rows == frozenset({(3,)})
+
+    def test_forall(self, fo_eval, db):
+        # nodes x such that every node y with E(x,y) is red.
+        f = forall("y", or_(not_(atom("E", "x", "y")), atom("Red", "y")))
+        q = FirstOrderQuery(("x",), f)
+        # 1 -> 2 (red), 2 -> 3 (not red), 3 -> 1 (red)
+        assert fo_eval.evaluate(q, db).rows == frozenset({(1,), (3,)})
+
+    def test_forall_vacuous_variable(self, fo_eval, db):
+        f = forall("z", atom("Red", "x"))
+        q = FirstOrderQuery(("x",), f)
+        assert fo_eval.evaluate(q, db).rows == frozenset({(1,), (2,)})
+
+    def test_sentence_holds(self, fo_eval, db):
+        sentence = exists("x", and_(atom("Red", "x"), exists("y", atom("E", "x", "y"))))
+        assert fo_eval.holds(sentence, db)
+        false_sentence = forall("x", atom("Red", "x"))
+        assert not fo_eval.holds(false_sentence, db)
+
+    def test_holds_rejects_open_formula(self, fo_eval, db):
+        with pytest.raises(QueryError):
+            fo_eval.holds(atom_formula(), db)
+
+    def test_variable_shadowing(self, fo_eval, db):
+        # ∃y E(x, y) ∧ (inner ∃y E(y, x)) — same name, different binders.
+        inner = exists("y", atom("E", "y", "x"))
+        f = exists("y", and_(atom("E", "x", "y"), inner))
+        q = FirstOrderQuery(("x",), f)
+        expected = FirstOrderQuery(
+            ("x",),
+            exists("y", and_(atom("E", "x", "y"), exists("w", atom("E", "w", "x")))),
+        )
+        assert fo_eval.evaluate(q, db) == fo_eval.evaluate(expected, db)
+
+    def test_de_morgan_semantics(self, fo_eval, db):
+        left = not_(and_(atom("Red", "x"), exists("y", atom("E", "x", "y"))))
+        right = or_(
+            not_(atom("Red", "x")), not_(exists("y", atom("E", "x", "y")))
+        )
+        ql = FirstOrderQuery(("x",), left)
+        qr = FirstOrderQuery(("x",), right)
+        assert fo_eval.evaluate(ql, db) == fo_eval.evaluate(qr, db)
+
+    def test_double_negation_semantics(self, fo_eval, db):
+        q1 = FirstOrderQuery(("x",), atom_formula())
+        q2 = FirstOrderQuery(("x",), not_(not_(atom_formula())))
+        assert fo_eval.evaluate(q1, db) == fo_eval.evaluate(q2, db)
+
+    def test_forall_exists_duality(self, fo_eval, db):
+        univ = forall("y", or_(not_(atom("E", "x", "y")), atom("Red", "y")))
+        negated = not_(
+            exists("y", and_(atom("E", "x", "y"), not_(atom("Red", "y"))))
+        )
+        q1 = FirstOrderQuery(("x",), univ)
+        q2 = FirstOrderQuery(("x",), negated)
+        assert fo_eval.evaluate(q1, db) == fo_eval.evaluate(q2, db)
+
+    def test_contains(self, fo_eval, db):
+        q = FirstOrderQuery(("x",), not_(atom("Red", "x")))
+        assert fo_eval.contains(q, db, (3,))
+        assert not fo_eval.contains(q, db, (1,))
+
+    def test_declared_domain_affects_negation(self, fo_eval):
+        db = Database(
+            {"Red": __import__("repro").Relation(("a",), [(1,)])},
+            domain=[1, 2, 3],
+        )
+        q = FirstOrderQuery(("x",), not_(atom("Red", "x")))
+        assert fo_eval.evaluate(q, db).rows == frozenset({(2,), (3,)})
+
+
+def atom_formula():
+    return lift(Atom.of("Red", "x"))

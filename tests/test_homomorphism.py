@@ -1,0 +1,141 @@
+"""Tests for Chandra–Merlin homomorphisms, containment, minimization."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (
+    are_equivalent,
+    canonical_database,
+    find_homomorphism,
+    is_contained_in,
+    is_homomorphism,
+    minimize,
+    parse_query,
+)
+
+
+class TestCanonicalDatabase:
+    def test_frozen_variables_distinct_from_constants(self):
+        q = parse_query("Q(x) :- R(x, 1), R(x, y).")
+        db, head = canonical_database(q)
+        assert db["R"].cardinality == 2
+        values = db.active_domain()
+        assert 1 in values
+        assert len(head) == 1
+
+    def test_rejects_constraints(self):
+        q = parse_query("Q(x) :- R(x, y), x != y.")
+        with pytest.raises(QueryError):
+            canonical_database(q)
+
+
+class TestHomomorphism:
+    def test_identity_always_exists(self):
+        q = parse_query("Q(x) :- E(x, y), E(y, z).")
+        mapping = find_homomorphism(q, q)
+        assert mapping is not None
+        assert is_homomorphism(mapping, q, q)
+
+    def test_folding_homomorphism(self):
+        # Longer path maps onto shorter by folding.
+        long = parse_query("Q() :- E(a, b), E(b, c), E(c, d).")
+        zigzag = parse_query("Q() :- E(u, v), E(v, u).")
+        mapping = find_homomorphism(long, zigzag)
+        assert mapping is not None
+        assert is_homomorphism(mapping, long, zigzag)
+
+    def test_no_homomorphism_to_disconnected(self):
+        triangleish = parse_query("Q() :- E(x, y), E(y, z), E(z, x).")
+        single = parse_query("Q() :- E(u, v).")
+        assert find_homomorphism(triangleish, single) is None
+
+    def test_head_preservation_required(self):
+        q1 = parse_query("Q(x) :- E(x, y).")
+        q2 = parse_query("Q(y) :- E(x, y).")
+        mapping = find_homomorphism(q1, q2)
+        # x must map to y (the head) — then E(y, ?) must be an atom of q2,
+        # but q2 only has E(x, y): no homomorphism.
+        assert mapping is None
+
+    def test_constants_must_match(self):
+        with_const = parse_query("Q() :- E(x, 1).")
+        other_const = parse_query("Q() :- E(x, 2).")
+        assert find_homomorphism(with_const, other_const) is None
+        same = parse_query("Q() :- E(y, 1), E(y, 2).")
+        assert find_homomorphism(with_const, same) is not None
+
+    def test_missing_relation(self):
+        q1 = parse_query("Q() :- E(x, y), F(y).")
+        q2 = parse_query("Q() :- E(x, y).")
+        assert find_homomorphism(q1, q2) is None
+
+    def test_head_arity_mismatch(self):
+        q1 = parse_query("Q(x, y) :- E(x, y).")
+        q2 = parse_query("Q(x) :- E(x, y).")
+        assert find_homomorphism(q1, q2) is None
+
+
+class TestContainment:
+    def test_longer_path_contains_shorter_fold(self):
+        # Q2 (2-cycle pattern) ⊆ Q1 (3-path pattern): hom Q1 → Q2 exists.
+        q1 = parse_query("Q() :- E(a, b), E(b, c), E(c, d).")
+        q2 = parse_query("Q() :- E(u, v), E(v, u).")
+        assert is_contained_in(q2, q1)
+        assert not is_contained_in(q1, q2)
+
+    def test_adding_atoms_shrinks(self):
+        base = parse_query("Q(x) :- E(x, y).")
+        refined = parse_query("Q(x) :- E(x, y), F(y).")
+        assert is_contained_in(refined, base)
+        assert not is_contained_in(base, refined)
+
+    def test_containment_soundness_on_data(self):
+        """If Q2 ⊆ Q1 then Q2(d) ⊆ Q1(d) on concrete data."""
+        from repro import Database, NaiveEvaluator
+
+        q1 = parse_query("Q(x) :- E(x, y).")
+        q2 = parse_query("Q(x) :- E(x, y), E(y, z).")
+        assert is_contained_in(q2, q1)
+        db = Database.from_tuples({"E": [(1, 2), (2, 3), (4, 4)]})
+        engine = NaiveEvaluator()
+        assert engine.evaluate(q2, db).rows <= engine.evaluate(q1, db).rows
+
+
+class TestEquivalenceAndMinimization:
+    def test_redundant_atom_removed(self):
+        # E(x,y), E(x,y') with y' existential folds onto E(x,y).
+        redundant = parse_query("Q(x) :- E(x, y), E(x, z).")
+        core = minimize(redundant)
+        assert len(core.atoms) == 1
+        assert are_equivalent(core, redundant)
+
+    def test_triangle_not_minimizable(self):
+        triangle = parse_query("Q() :- E(x, y), E(y, z), E(z, x).")
+        core = minimize(triangle)
+        assert len(core.atoms) == 3
+
+    def test_path_with_fold(self):
+        # E(x,y), E(y,z), E(y,w): the E(y,w) atom folds onto E(y,z).
+        q = parse_query("Q(x) :- E(x, y), E(y, z), E(y, w).")
+        core = minimize(q)
+        assert len(core.atoms) == 2
+        assert are_equivalent(core, q)
+
+    def test_head_variables_protected(self):
+        # Both atoms export head variables: nothing can be dropped.
+        q = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        assert len(minimize(q).atoms) == 2
+
+    def test_minimal_query_is_minimal(self):
+        q = parse_query("Q(x) :- E(x, y), E(y, x), E(x, x).")
+        core = minimize(q)
+        # E(x,x) maps into itself; E(x,y)/E(y,x) fold onto it via y ↦ x.
+        assert len(core.atoms) == 1
+        assert are_equivalent(core, q)
+
+    def test_equivalence_reflexive_symmetric(self):
+        q1 = parse_query("Q(x) :- E(x, y).")
+        q2 = parse_query("Q(a) :- E(a, b).")
+        assert are_equivalent(q1, q1)
+        assert are_equivalent(q1, q2)  # alpha-renaming
+        assert are_equivalent(q2, q1)

@@ -1,0 +1,108 @@
+"""Property-based tests for the Chandra–Merlin machinery."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query import (
+    are_equivalent,
+    find_homomorphism,
+    is_contained_in,
+    is_homomorphism,
+    minimize,
+)
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.relational.schema import DatabaseSchema
+from repro.workloads import random_acyclic_query, random_database
+from repro.evaluation import NaiveEvaluator
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def random_plain_query(seed: int) -> ConjunctiveQuery:
+    rng = random.Random(seed)
+    return random_acyclic_query(
+        num_atoms=rng.randint(1, 4), max_arity=2, seed=rng.randrange(1 << 30)
+    ).without_constraints()
+
+
+def rename_apart(query: ConjunctiveQuery, suffix: str) -> ConjunctiveQuery:
+    mapping = {v: Variable(v.name + suffix) for v in query.variables()}
+    return ConjunctiveQuery(
+        tuple(mapping.get(t, t) if isinstance(t, Variable) else t
+              for t in query.head_terms),
+        (a.substitute(mapping) for a in query.atoms),
+        head_name=query.head_name,
+    )
+
+
+class TestHomomorphismProperties:
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_identity_homomorphism_exists(self, seed):
+        query = random_plain_query(seed)
+        mapping = find_homomorphism(query, query)
+        assert mapping is not None
+        assert is_homomorphism(mapping, query, query)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_found_homomorphisms_check_out(self, seed):
+        q1 = random_plain_query(seed)
+        q2 = random_plain_query(seed + 100_000)
+        mapping = find_homomorphism(q1, q2)
+        if mapping is not None:
+            assert is_homomorphism(mapping, q1, q2)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_equivalence_invariant_under_renaming(self, seed):
+        query = random_plain_query(seed)
+        renamed = rename_apart(query, "_r")
+        assert are_equivalent(query, renamed)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_minimize_is_equivalent_and_idempotent(self, seed):
+        query = random_plain_query(seed)
+        core = minimize(query)
+        assert are_equivalent(query, core)
+        assert len(minimize(core).atoms) == len(core.atoms)
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=3000))
+    def test_containment_sound_on_random_data(self, seed):
+        """Whenever containment is claimed, it holds on random databases."""
+        rng = random.Random(seed)
+        q1 = random_plain_query(seed)
+        q2 = random_plain_query(seed + 7)
+        if len(q1.head_terms) != len(q2.head_terms):
+            return
+        if not is_contained_in(q1, q2):
+            return
+        relations = {a.relation: a.arity for a in q1.atoms + q2.atoms}
+        schema = DatabaseSchema.of(**relations)
+        db = random_database(
+            schema, domain_size=3, tuples_per_relation=6,
+            seed=rng.randrange(1 << 30),
+        )
+        engine = NaiveEvaluator()
+        left = engine.evaluate(q1, db)
+        right = engine.evaluate(q2, db)
+        assert left.rows <= right.rows
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=3000))
+    def test_minimized_query_same_answers(self, seed):
+        rng = random.Random(seed)
+        query = random_plain_query(seed)
+        core = minimize(query)
+        relations = {a.relation: a.arity for a in query.atoms}
+        schema = DatabaseSchema.of(**relations)
+        db = random_database(
+            schema, domain_size=3, tuples_per_relation=6,
+            seed=rng.randrange(1 << 30),
+        )
+        engine = NaiveEvaluator()
+        assert engine.evaluate(query, db) == engine.evaluate(core, db)

@@ -1,0 +1,136 @@
+"""Tests for hypergraphs, GYO reduction, join trees."""
+
+import pytest
+
+from repro.errors import NotAcyclicError, SchemaError
+from repro.hypergraph import (
+    Hypergraph,
+    JoinTree,
+    gyo_reduce,
+    is_acyclic,
+    join_tree_of,
+    primal_graph,
+)
+
+
+def hg(*edges, nodes=None):
+    all_nodes = set()
+    for e in edges:
+        all_nodes |= set(e)
+    return Hypergraph(nodes or all_nodes, [set(e) for e in edges])
+
+
+class TestHypergraph:
+    def test_stray_edge_node_rejected(self):
+        with pytest.raises(SchemaError):
+            Hypergraph({"a"}, [{"a", "b"}])
+
+    def test_incidence(self):
+        h = hg("ab", "bc")
+        assert set(h.incidence()["b"]) == {0, 1}
+
+    def test_connected(self):
+        assert hg("ab", "bc").is_connected()
+        assert not hg("ab", "cd").is_connected()
+        assert hg().is_connected()
+
+    def test_duplicate_edges_preserved(self):
+        h = hg("ab", "ab")
+        assert h.num_edges == 2
+
+
+class TestGYO:
+    def test_path_acyclic(self):
+        assert is_acyclic(hg("ab", "bc", "cd"))
+
+    def test_triangle_cyclic(self):
+        assert not is_acyclic(hg("ab", "bc", "ca"))
+
+    def test_star_acyclic(self):
+        assert is_acyclic(hg("ab", "ac", "ad"))
+
+    def test_triangle_with_covering_edge_acyclic(self):
+        # alpha-acyclicity: adding the full edge makes the triangle acyclic.
+        assert is_acyclic(hg("ab", "bc", "ca", "abc"))
+
+    def test_cycle4_cyclic(self):
+        assert not is_acyclic(hg("ab", "bc", "cd", "da"))
+
+    def test_single_edge(self):
+        assert is_acyclic(hg("abc"))
+
+    def test_disconnected_acyclic(self):
+        assert is_acyclic(hg("ab", "cd"))
+
+    def test_disconnected_one_cyclic_component(self):
+        assert not is_acyclic(hg("ab", "xy", "yz", "zx"))
+
+    def test_contained_edges(self):
+        assert is_acyclic(hg("ab", "abc", "bc"))
+
+    def test_witnesses_cover_absorbed_edges(self):
+        result = gyo_reduce(hg("ab", "bc", "cd"))
+        assert result.is_empty
+        absorbed = [i for i, w in result.witnesses.items() if w is not None]
+        assert len(absorbed) == 2
+
+    def test_residual_nonempty_for_cyclic(self):
+        result = gyo_reduce(hg("ab", "bc", "ca"))
+        assert not result.is_empty
+        assert len(result.residual) == 3
+
+
+class TestJoinTree:
+    def test_cyclic_raises(self):
+        with pytest.raises(NotAcyclicError):
+            join_tree_of(hg("ab", "bc", "ca"))
+
+    def test_path_tree_structure(self):
+        tree = join_tree_of(hg("ab", "bc", "cd"))
+        assert tree.num_nodes == 3
+        assert tree.verify_running_intersection()
+        assert len(list(tree.edges())) == 2
+
+    def test_star_tree(self):
+        tree = join_tree_of(hg("ab", "ac", "ad"))
+        assert tree.verify_running_intersection()
+
+    def test_disconnected_components_linked(self):
+        tree = join_tree_of(hg("ab", "cd"))
+        assert tree.num_nodes == 2
+        assert tree.verify_running_intersection()
+
+    def test_orders(self):
+        tree = join_tree_of(hg("ab", "bc", "cd"))
+        bottom_up = tree.bottom_up_order()
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            if parent is not None:
+                assert bottom_up.index(node) < bottom_up.index(parent)
+        assert tuple(reversed(bottom_up)) == tree.top_down_order()
+
+    def test_subtree_vars(self):
+        tree = join_tree_of(hg("ab", "bc", "cd"))
+        root_vars = tree.subtree_vars(tree.root)
+        assert root_vars == frozenset("abcd")
+
+    def test_depth(self):
+        tree = join_tree_of(hg("ab", "bc", "cd"))
+        assert tree.depth(tree.root) == 0
+
+    def test_duplicate_edge_nodes_each_present(self):
+        tree = join_tree_of(hg("ab", "ab", "bc"))
+        assert tree.num_nodes == 3
+        assert tree.verify_running_intersection()
+
+
+class TestPrimalGraph:
+    def test_edges(self):
+        adjacency = primal_graph(hg("abc", "cd"))
+        assert adjacency["a"] == {"b", "c"}
+        assert adjacency["d"] == {"c"}
+
+    def test_isolated_node_present(self):
+        h = Hypergraph({"a", "b"}, [{"a"}])
+        adjacency = primal_graph(h)
+        assert adjacency["b"] == set()

@@ -1,0 +1,232 @@
+"""Theorem 2 tests: partition, hash families, Algorithms 1–2, evaluator."""
+
+import random
+
+import pytest
+
+from repro.errors import NotAcyclicError, QueryError
+from repro.evaluation import NaiveEvaluator
+from repro.inequalities import (
+    AcyclicInequalityEvaluator,
+    ExhaustiveHashFamily,
+    GreedyPerfectHashFamily,
+    RandomHashFamily,
+    build_engine,
+    is_perfect_family,
+    partition_inequalities,
+)
+from repro.query import parse_query
+from repro.relational import Database
+from repro.relational.schema import DatabaseSchema
+from repro.workloads import (
+    all_examples,
+    employees_projects_database,
+    employees_projects_query,
+    path_neq_query,
+    random_acyclic_query,
+    random_database,
+    students_courses_database,
+    students_courses_query,
+)
+
+
+class TestPartition:
+    def test_i1_versus_i2(self):
+        q = parse_query(
+            "Q() :- E(x, y), E(y, z), x != z, x != y, y != 3."
+        )
+        partition = partition_inequalities(q)
+        assert len(partition.i1) == 1  # x != z (never co-occur)
+        assert len(partition.i2) == 2  # x != y (co-occur), y != 3 (constant)
+        assert {v.name for v in partition.v1} == {"x", "z"}
+        assert partition.k == 2
+
+    def test_partners(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, w), x != z, x != w.")
+        partition = partition_inequalities(q)
+        partners = partition.partners()
+        from repro.query import V
+
+        assert partners[V("x")] == frozenset({V("z"), V("w")})
+
+    def test_comparisons_rejected(self):
+        q = parse_query("Q() :- E(x, y), x < y.")
+        with pytest.raises(QueryError):
+            partition_inequalities(q)
+
+    def test_no_inequalities(self):
+        q = parse_query("Q() :- E(x, y).")
+        partition = partition_inequalities(q)
+        assert partition.k == 0
+
+
+class TestHashFamilies:
+    def test_greedy_family_is_perfect(self):
+        domain = list(range(10))
+        for k in (2, 3):
+            family = list(GreedyPerfectHashFamily(seed=1).functions(domain, k))
+            assert is_perfect_family(family, domain, k)
+
+    def test_greedy_small_domain_injective(self):
+        family = list(GreedyPerfectHashFamily().functions([1, 2], 3))
+        assert len(family) == 1
+        assert len(set(family[0].values())) == 2
+
+    def test_exhaustive_family_is_perfect(self):
+        domain = [1, 2, 3, 4]
+        family = list(ExhaustiveHashFamily().functions(domain, 2))
+        assert len(family) == 16
+        assert is_perfect_family(family, domain, 2)
+
+    def test_exhaustive_size_guard(self):
+        from repro.inequalities import HashFamilyError
+
+        with pytest.raises(HashFamilyError):
+            list(ExhaustiveHashFamily(max_functions=10).functions(range(20), 3))
+
+    def test_random_family_trial_count(self):
+        family = RandomHashFamily(confidence=2.0, seed=0)
+        assert family.trials_for(3) >= int(2.0 * 2.718 ** 3)
+
+    def test_k1_trivial(self):
+        for strategy in (
+            RandomHashFamily(),
+            GreedyPerfectHashFamily(),
+            ExhaustiveHashFamily(),
+        ):
+            family = list(strategy.functions([1, 2, 3], 1))
+            assert len(family) == 1
+
+
+class TestEngineStructure:
+    def test_w_sets_path_query(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), x != z.")
+        db = Database.from_tuples({"E": [(1, 2)]})
+        engine = build_engine(q, db)
+        # Some node must carry a hashed attribute for the far endpoint.
+        all_w = set()
+        for j in engine.tree.nodes():
+            all_w |= set(engine.w_sets[j])
+        assert all_w  # nonempty on this query
+
+    def test_y_sets_contain_u_and_hashes(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), x != z.")
+        db = Database.from_tuples({"E": [(1, 2)]})
+        engine = build_engine(q, db)
+        for j in engine.tree.nodes():
+            names = {v.name for v in engine.atom_vars(j)}
+            assert names <= engine.y_sets[j]
+
+    def test_cyclic_query_rejected(self):
+        q = parse_query("Q() :- E(x, y), E(y, z), E(z, x), x != z.")
+        db = Database.from_tuples({"E": [(1, 2)]})
+        with pytest.raises(NotAcyclicError):
+            build_engine(q, db)
+
+
+class TestEvaluatorAgainstNaive:
+    def test_paper_example_employees(self, naive, theorem2):
+        q = employees_projects_query()
+        db = employees_projects_database(seed=5)
+        assert theorem2.evaluate(q, db) == naive.evaluate(q, db)
+
+    def test_paper_example_students(self, naive, theorem2):
+        q = students_courses_query()
+        db = students_courses_database(seed=6)
+        assert theorem2.evaluate(q, db) == naive.evaluate(q, db)
+
+    def test_no_inequalities_degrades_to_acyclic(self, naive, theorem2):
+        q = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        db = Database.from_tuples({"E": [(1, 2), (2, 3), (3, 4)]})
+        assert theorem2.evaluate(q, db) == naive.evaluate(q, db)
+
+    def test_i2_only(self, naive, theorem2):
+        q = parse_query("Q(x) :- E(x, y), x != y, y != 2.")
+        db = Database.from_tuples({"E": [(1, 1), (1, 2), (1, 3), (2, 2)]})
+        assert theorem2.evaluate(q, db) == naive.evaluate(q, db)
+
+    def test_unsatisfiable_inequality_chain(self, naive, theorem2):
+        # x != z over a database where paths force x == z.
+        q = parse_query("Q() :- E(x, y), E(y, z), x != z.")
+        db = Database.from_tuples({"E": [(1, 2), (2, 1)]})
+        assert not theorem2.decide(q, db)
+        assert not naive.decide(q, db)
+
+    def test_contains(self, naive, theorem2):
+        q = employees_projects_query()
+        db = employees_projects_database(seed=7)
+        for candidate in [("e1",), ("e2",), ("nobody",)]:
+            assert theorem2.contains(q, db, candidate) == naive.contains(
+                q, db, candidate
+            )
+
+    def test_path_neq_queries(self, naive, theorem2):
+        rng = random.Random(17)
+        for trial in range(15):
+            query = path_neq_query(
+                length=rng.randint(1, 4),
+                neq_pairs=rng.randint(0, 3),
+                seed=rng.randrange(1 << 30),
+            )
+            edges = [
+                (rng.randrange(5), rng.randrange(5)) for _ in range(12)
+            ]
+            db = Database.from_tuples({"E": edges})
+            assert theorem2.evaluate(query, db) == naive.evaluate(query, db)
+
+    def test_random_acyclic_neq_queries(self, naive, theorem2):
+        rng = random.Random(23)
+        for trial in range(20):
+            query = random_acyclic_query(
+                num_atoms=rng.randint(1, 4),
+                max_arity=3,
+                num_inequalities=rng.randint(0, 3),
+                seed=rng.randrange(1 << 30),
+            )
+            schema = DatabaseSchema.of(
+                **{a.relation: a.arity for a in query.atoms}
+            )
+            db = random_database(
+                schema, domain_size=4, tuples_per_relation=10,
+                seed=rng.randrange(1 << 30),
+            )
+            assert theorem2.evaluate(query, db) == naive.evaluate(query, db)
+
+    def test_exhaustive_family_oracle(self, naive):
+        evaluator = AcyclicInequalityEvaluator(ExhaustiveHashFamily())
+        q = parse_query("Q(x) :- E(x, y), E(y, z), x != z.")
+        db = Database.from_tuples({"E": [(1, 2), (2, 3), (2, 1), (3, 1)]})
+        assert evaluator.evaluate(q, db) == naive.evaluate(q, db)
+
+    def test_monte_carlo_never_false_positive(self, naive):
+        evaluator = AcyclicInequalityEvaluator(RandomHashFamily(confidence=1.0, seed=3))
+        rng = random.Random(29)
+        for trial in range(10):
+            query = path_neq_query(2, 1, seed=trial)
+            edges = [(rng.randrange(4), rng.randrange(4)) for _ in range(8)]
+            db = Database.from_tuples({"E": edges})
+            if evaluator.decide(query, db):
+                assert naive.decide(query, db)
+
+    def test_monte_carlo_high_confidence_finds_answers(self, naive):
+        evaluator = AcyclicInequalityEvaluator(
+            RandomHashFamily(confidence=6.0, seed=11)
+        )
+        q = employees_projects_query()
+        db = employees_projects_database(seed=8)
+        assert evaluator.decide(q, db) == naive.decide(q, db)
+
+
+class TestOutputSensitivity:
+    def test_large_output_collected(self, naive, theorem2):
+        # Many employees on two projects each: output is large, engine must
+        # union across hash functions without losing tuples.
+        rows = []
+        for e in range(25):
+            rows.append((f"e{e}", "pa"))
+            rows.append((f"e{e}", "pb"))
+        db = Database.from_tuples({"EP": rows})
+        q = employees_projects_query()
+        result = theorem2.evaluate(q, db)
+        assert result.cardinality == 25
+        assert result == naive.evaluate(q, db)

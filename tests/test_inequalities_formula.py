@@ -1,0 +1,167 @@
+"""Tests for the §5 formula extensions of Theorem 2."""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.evaluation import NaiveEvaluator
+from repro.inequalities import (
+    FormulaInequalityEvaluator,
+    split_conjunctive_constants,
+)
+from repro.query import (
+    C,
+    Inequality,
+    conjunction_of,
+    ineq_and,
+    ineq_or,
+    is_conjunctive_in_constants,
+    parse_query,
+)
+from repro.relational import Database
+
+
+def brute_force(query, phi, database):
+    """Ground truth: enumerate satisfying assignments, filter by φ."""
+    naive = NaiveEvaluator()
+    assignments = naive.satisfying_assignments(query, database)
+    names = assignments.attributes
+    from repro.query import Variable
+
+    rows = set()
+    for row in assignments.rows:
+        valuation = {Variable(n): v for n, v in zip(names, row)}
+        if phi.evaluate(valuation):
+            out = []
+            for term in query.head_terms:
+                if isinstance(term, Variable):
+                    out.append(valuation[term])
+                else:
+                    out.append(term.value)
+            rows.add(tuple(out))
+    return rows
+
+
+class TestFormulaAST:
+    def test_evaluate(self):
+        from repro.query import Variable
+
+        phi = ineq_or(Inequality("x", "y"), Inequality("x", C(1)))
+        assert phi.evaluate({Variable("x"): 2, Variable("y"): 2})
+        assert not phi.evaluate({Variable("x"): 1, Variable("y"): 1})
+
+    def test_variables_and_constants(self):
+        phi = ineq_and(Inequality("x", "y"), Inequality("y", C(5)))
+        from repro.query import Variable, Constant
+
+        assert phi.variables() == {Variable("x"), Variable("y")}
+        assert phi.constants() == {Constant(5)}
+
+    def test_conjunctive_in_constants_detection(self):
+        conj = ineq_and(Inequality("x", C(1)), ineq_or(Inequality("x", "y"), Inequality("y", "z")))
+        assert is_conjunctive_in_constants(conj)
+        disj = ineq_or(Inequality("x", C(1)), Inequality("x", "y"))
+        assert not is_conjunctive_in_constants(disj)
+
+    def test_split_conjunctive_constants(self):
+        phi = ineq_and(
+            Inequality("x", C(1)),
+            Inequality("y", C(2)),
+            ineq_or(Inequality("x", "y"), Inequality("y", "z")),
+        )
+        constants, rest = split_conjunctive_constants(phi)
+        assert len(constants) == 2
+        assert rest is not None and rest.variables()
+
+    def test_split_all_constants(self):
+        phi = ineq_and(Inequality("x", C(1)), Inequality("y", C(2)))
+        constants, rest = split_conjunctive_constants(phi)
+        assert len(constants) == 2
+        assert rest is None
+
+    def test_conjunction_of(self):
+        phi = conjunction_of([Inequality("x", "y"), Inequality("y", "z")])
+        assert len(phi.leaves()) == 2
+
+
+class TestFormulaEvaluator:
+    def db(self):
+        return Database.from_tuples(
+            {"E": [(1, 2), (2, 1), (2, 3), (3, 2), (3, 1), (1, 3)]}
+        )
+
+    def test_disjunction_of_variable_atoms(self):
+        q = parse_query("G(x) :- E(x, y), E(y, z).")
+        phi = ineq_or(Inequality("x", "z"), Inequality("y", "z"))
+        evaluator = FormulaInequalityEvaluator()
+        got = set(evaluator.evaluate(q, phi, self.db()).rows)
+        assert got == brute_force(q, phi, self.db())
+
+    def test_pure_conjunction_matches_theorem2(self):
+        from repro.inequalities import AcyclicInequalityEvaluator
+
+        q = parse_query("G(x) :- E(x, y), E(y, z).")
+        phi = conjunction_of([Inequality("x", "z")])
+        evaluator = FormulaInequalityEvaluator()
+        with_formula = set(evaluator.evaluate(q, phi, self.db()).rows)
+        q_inline = parse_query("G(x) :- E(x, y), E(y, z), x != z.")
+        theorem2 = AcyclicInequalityEvaluator()
+        assert with_formula == set(theorem2.evaluate(q_inline, self.db()).rows)
+
+    def test_constant_under_or_needs_flag(self):
+        q = parse_query("G(x) :- E(x, y), E(y, z).")
+        phi = ineq_or(Inequality("x", C(1)), Inequality("x", "z"))
+        with pytest.raises(QueryError):
+            FormulaInequalityEvaluator().evaluate(q, phi, self.db())
+        allowed = FormulaInequalityEvaluator(allow_disjunctive_constants=True)
+        got = set(allowed.evaluate(q, phi, self.db()).rows)
+        assert got == brute_force(q, phi, self.db())
+
+    def test_conjunctive_constants_fold_into_selections(self):
+        q = parse_query("G(x) :- E(x, y), E(y, z).")
+        phi = ineq_and(Inequality("x", C(1)), Inequality("x", "z"))
+        evaluator = FormulaInequalityEvaluator()
+        got = set(evaluator.evaluate(q, phi, self.db()).rows)
+        assert got == brute_force(q, phi, self.db())
+        assert (1,) not in got
+
+    def test_query_with_own_inequalities_rejected(self):
+        q = parse_query("G(x) :- E(x, y), E(y, z), x != z.")
+        phi = conjunction_of([Inequality("x", "y")])
+        with pytest.raises(QueryError):
+            FormulaInequalityEvaluator().evaluate(q, phi, self.db())
+
+    def test_formula_variable_must_be_in_body(self):
+        q = parse_query("G(x) :- E(x, y).")
+        phi = conjunction_of([Inequality("x", "nope")])
+        with pytest.raises(QueryError):
+            FormulaInequalityEvaluator().evaluate(q, phi, self.db())
+
+    def test_decide_agrees_with_evaluate(self):
+        q = parse_query("G(x) :- E(x, y), E(y, z).")
+        phi = ineq_or(Inequality("x", "z"), Inequality("y", "z"))
+        evaluator = FormulaInequalityEvaluator()
+        assert evaluator.decide(q, phi, self.db()) == (
+            not evaluator.evaluate(q, phi, self.db()).is_empty()
+        )
+
+    def test_random_stress(self):
+        rng = random.Random(31)
+        evaluator = FormulaInequalityEvaluator(allow_disjunctive_constants=True)
+        for trial in range(12):
+            q = parse_query("G(x0) :- E(x0, x1), E(x1, x2), F(x2, x3).")
+            dom = range(rng.randint(2, 4))
+            e_rows = [(a, b) for a in dom for b in dom if rng.random() < 0.6]
+            f_rows = [(a, b) for a in dom for b in dom if rng.random() < 0.6]
+            if not e_rows or not f_rows:
+                continue
+            db = Database.from_tuples({"E": e_rows, "F": f_rows})
+            leaves = [
+                Inequality("x0", "x2"),
+                Inequality("x1", "x3"),
+                Inequality("x0", C(0)),
+            ]
+            phi = ineq_or(ineq_and(leaves[0], leaves[1]), leaves[2])
+            got = set(evaluator.evaluate(q, phi, db).rows)
+            assert got == brute_force(q, phi, db), trial

@@ -1,0 +1,111 @@
+"""End-to-end integration scenarios across subsystems."""
+
+import pytest
+
+from repro import (
+    Database,
+    DatalogEvaluator,
+    NaiveEvaluator,
+    YannakakisEvaluator,
+    parse_program,
+    parse_query,
+)
+from repro.inequalities import AcyclicInequalityEvaluator
+from repro.parametric.problems import CliqueInstance, find_clique
+from repro.reductions import (
+    clique_to_cq,
+    cq_to_weighted_2cnf,
+    clique_to_comparisons,
+    w1_cq_oracle,
+)
+from repro.circuits.weighted_sat import negative_cnf_weighted_satisfiable
+from repro.workloads import (
+    all_examples,
+    planted_clique_graph,
+    random_graph,
+    salary_database,
+    salary_query,
+)
+
+
+class TestCliquePipeline:
+    """clique → CQ → weighted 2-CNF → witness → clique, end to end."""
+
+    def test_planted_clique_found_through_queries(self):
+        graph, planted = planted_clique_graph(12, 4, 0.25, seed=5)
+        instance = clique_to_cq(CliqueInstance(graph, 4))
+        result = cq_to_weighted_2cnf(instance.query, instance.database)
+        witness = negative_cnf_weighted_satisfiable(
+            result.instance.cnf, result.instance.k, groups=result.groups
+        )
+        assert witness is not None
+        valuation = result.decode(witness)
+        nodes = set(valuation.values())
+        assert len(nodes) == 4
+        assert graph.is_clique(tuple(nodes))
+
+    def test_negative_instance_propagates(self):
+        graph = random_graph(8, 0.15, seed=9)
+        if find_clique(graph, 4) is not None:
+            pytest.skip("random graph accidentally has a 4-clique")
+        instance = clique_to_cq(CliqueInstance(graph, 4))
+        assert not NaiveEvaluator().decide(instance.query, instance.database)
+        assert not w1_cq_oracle(instance.query, instance.database)
+
+
+class TestPaperSection5Examples:
+    def test_all_examples_agree_across_engines(self):
+        naive = NaiveEvaluator()
+        theorem2 = AcyclicInequalityEvaluator()
+        for name, query, db in all_examples():
+            if query.comparisons:
+                continue  # salary query uses <, not part of Theorem 2
+            assert theorem2.evaluate(query, db) == naive.evaluate(query, db), name
+
+    def test_salary_query_naive(self):
+        naive = NaiveEvaluator()
+        db = salary_database(employees=15, seed=3)
+        result = naive.evaluate(salary_query(), db)
+        # Spot-check: every reported employee out-earns their manager.
+        em = {row[0]: row[1] for row in db["EM"].rows}
+        es = {row[0]: row[1] for row in db["ES"].rows}
+        for (employee,) in result.rows:
+            assert es[employee] > es[em[employee]]
+
+
+class TestDatalogOverReductionOutput:
+    def test_reachability_on_clique_database(self):
+        graph = random_graph(7, 0.4, seed=13)
+        instance = clique_to_cq(CliqueInstance(graph, 2))
+        program = parse_program(
+            "T(x, y) :- G(x, y). T(x, y) :- G(x, z), T(z, y)."
+        )
+        closure = DatalogEvaluator().evaluate(program, instance.database)
+        # Transitive closure of a symmetric relation: reachability classes.
+        for a, b in graph.edges():
+            assert (a, b) in closure and (b, a) in closure
+
+
+class TestComparisonPipeline:
+    def test_theorem3_instance_evaluable_by_naive(self):
+        graph = random_graph(5, 0.6, seed=21)
+        instance = clique_to_comparisons(CliqueInstance(graph, 3))
+        naive = NaiveEvaluator()
+        assert naive.decide(instance.query, instance.database) == (
+            find_clique(graph, 3) is not None
+        )
+
+
+class TestMixedEngineConsistency:
+    def test_four_engines_one_query(self):
+        q = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        db = Database.from_tuples(
+            {"E": [(i, (i * 3 + 1) % 10) for i in range(10)]}
+        )
+        naive = NaiveEvaluator().evaluate(q, db)
+        yann = YannakakisEvaluator().evaluate(q, db)
+        t2 = AcyclicInequalityEvaluator().evaluate(q, db)
+        from repro.evaluation import TreewidthEvaluator
+
+        tw = TreewidthEvaluator().evaluate(q, db)
+        assert naive == yann == t2 == tw

@@ -1,0 +1,217 @@
+"""Tests for the k-path special case (§5), the W[SAT] ≠-formula reduction,
+and database persistence."""
+
+import pytest
+
+from repro.errors import ReductionError, SchemaError
+from repro.inequalities import (
+    AcyclicInequalityEvaluator,
+    ExhaustiveHashFamily,
+    FormulaInequalityEvaluator,
+    GreedyPerfectHashFamily,
+    RandomHashFamily,
+)
+from repro.parametric.problems import (
+    KPathInstance,
+    has_simple_path_bruteforce,
+    has_simple_path_color_coding,
+)
+from repro.reductions import (
+    K_PATH_TO_ACYCLIC_NEQ,
+    WSAT_TO_NEQ_FORMULA,
+    k_path_query,
+    k_path_to_query_instance,
+    wsat_to_neq_formula,
+)
+from repro.circuits import fand, fnot, for_, var
+from repro.parametric.problems import WeightedFormulaInstance
+from repro.relational import (
+    Database,
+    database_from_json,
+    database_to_json,
+    load_database_csv,
+    load_database_json,
+    save_database_csv,
+    save_database_json,
+)
+from repro.workloads import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    graph_suite,
+    grid_graph,
+    path_graph,
+    random_graph,
+)
+
+
+class TestKPathSolvers:
+    def graphs(self):
+        return [
+            path_graph(6),
+            cycle_graph(5),
+            complete_graph(4),
+            grid_graph(2, 3),
+            empty_graph(3),
+            random_graph(7, 0.3, seed=1),
+            random_graph(7, 0.5, seed=2),
+        ]
+
+    def test_color_coding_matches_bruteforce(self):
+        for graph in self.graphs():
+            for k in (2, 3, 4):
+                expected = has_simple_path_bruteforce(graph, k)
+                assert has_simple_path_color_coding(graph, k) == expected, (
+                    graph, k,
+                )
+
+    def test_color_coding_with_random_family_no_false_positives(self):
+        family = RandomHashFamily(confidence=1.0, seed=5)
+        for graph in self.graphs():
+            if has_simple_path_color_coding(graph, 3, family=family):
+                assert has_simple_path_bruteforce(graph, 3)
+
+    def test_trivial_parameters(self):
+        g = path_graph(3)
+        assert has_simple_path_bruteforce(g, 0)
+        assert has_simple_path_bruteforce(g, 1)
+        assert has_simple_path_color_coding(g, 1)
+        assert not has_simple_path_color_coding(g, 5)  # k > |V|
+
+    def test_path_graph_exact_length(self):
+        g = path_graph(5)
+        assert has_simple_path_bruteforce(g, 5)
+        assert not has_simple_path_bruteforce(g, 6)
+
+
+class TestKPathViaTheorem2:
+    def test_reduction_verified(self):
+        suite = [
+            KPathInstance(g, k)
+            for g in [path_graph(5), cycle_graph(5), random_graph(6, 0.4, seed=3)]
+            for k in (2, 3, 4)
+        ]
+        records = K_PATH_TO_ACYCLIC_NEQ.verify(suite)
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_theorem2_engine_solves_k_path(self):
+        evaluator = AcyclicInequalityEvaluator(GreedyPerfectHashFamily(seed=2))
+        for graph in [path_graph(6), cycle_graph(6), random_graph(7, 0.35, seed=4)]:
+            for k in (3, 4):
+                instance = k_path_to_query_instance(KPathInstance(graph, k))
+                expected = has_simple_path_bruteforce(graph, k)
+                assert evaluator.decide(instance.query, instance.database) == expected
+
+    def test_query_shape(self):
+        q = k_path_query(4)
+        assert q.is_acyclic()
+        assert len(q.inequalities) == 6
+        from repro.inequalities import partition_inequalities
+
+        partition = partition_inequalities(q)
+        # Adjacent pairs co-occur in atoms (I2); distant pairs are I1.
+        assert len(partition.i2) == 3
+        assert len(partition.i1) == 3
+
+    def test_k1_rejected(self):
+        with pytest.raises(ReductionError):
+            k_path_query(1)
+
+    def test_edgeless_graph(self):
+        instance = k_path_to_query_instance(KPathInstance(empty_graph(3), 2))
+        assert not AcyclicInequalityEvaluator().decide(
+            instance.query, instance.database
+        )
+
+
+class TestWsatToNeqFormula:
+    def test_reduction_verified(self):
+        formulas = [
+            for_(fand(var("x1"), var("x2")), fnot(var("x3"))),
+            fand(for_(var("a"), var("b")), var("c")),
+        ]
+        suite = [
+            WeightedFormulaInstance(f, k) for f in formulas for k in (1, 2)
+        ]
+        records = WSAT_TO_NEQ_FORMULA.verify(suite)
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_formula_evaluator_agrees_in_param_q_regime(self):
+        instance = wsat_to_neq_formula(
+            WeightedFormulaInstance(
+                for_(fand(var("x1"), var("x2")), var("x3")), 2
+            )
+        )
+        evaluator = FormulaInequalityEvaluator(allow_disjunctive_constants=True)
+        fast = evaluator.decide(
+            instance.query, instance.formula, instance.database
+        )
+        from repro.reductions import NEQ_FORMULA_EVALUATION_V
+
+        assert fast == NEQ_FORMULA_EVALUATION_V.solve(instance)
+
+    def test_produced_formula_is_disjunctive_in_constants(self):
+        from repro.query import is_conjunctive_in_constants
+
+        instance = wsat_to_neq_formula(
+            WeightedFormulaInstance(for_(var("p"), var("q")), 1)
+        )
+        # Positive occurrences put x != c atoms under OR: the exact shape
+        # the §5 W[SAT]-completeness claim is about.
+        assert not is_conjunctive_in_constants(instance.formula)
+
+
+class TestPersistence:
+    def sample(self):
+        return Database.from_tuples(
+            {"E": [(1, 2), (2, 3)], "Name": [(1, "alice"), (2, "bob")]}
+        )
+
+    def test_csv_round_trip(self, tmp_path):
+        db = self.sample()
+        save_database_csv(db, tmp_path / "db")
+        loaded = load_database_csv(tmp_path / "db")
+        assert loaded["E"] == db["E"]
+        assert loaded["Name"] == db["Name"]
+
+    def test_csv_missing_directory(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database_csv(tmp_path / "nope")
+
+    def test_csv_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SchemaError):
+            load_database_csv(tmp_path / "empty")
+
+    def test_json_round_trip(self):
+        db = self.sample()
+        text = database_to_json(db)
+        loaded = database_from_json(text)
+        assert loaded["E"] == db["E"]
+        assert loaded["Name"] == db["Name"]
+
+    def test_json_file_round_trip(self, tmp_path):
+        db = self.sample()
+        save_database_json(db, tmp_path / "db.json")
+        loaded = load_database_json(tmp_path / "db.json")
+        assert loaded["E"] == db["E"]
+
+    def test_json_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            database_from_json("{}")
+
+    def test_csv_integer_parsing(self, tmp_path):
+        db = Database.from_tuples({"R": [(-3, "x7"), (10, "0abc")]})
+        save_database_csv(db, tmp_path / "db")
+        loaded = load_database_csv(tmp_path / "db")
+        assert (-3, "x7") in loaded["R"]
+        assert (10, "0abc") in loaded["R"]
+
+    def test_queries_run_on_loaded_database(self, tmp_path):
+        from repro import NaiveEvaluator, parse_query
+
+        db = self.sample()
+        save_database_csv(db, tmp_path / "db")
+        loaded = load_database_csv(tmp_path / "db")
+        q = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        assert NaiveEvaluator().evaluate(q, loaded).rows == frozenset({(1, 3)})

@@ -1,0 +1,236 @@
+"""Tests for the parametric framework, classic problems, and Figure 1."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.parametric import (
+    FIGURE_1,
+    FIGURE_1_ARCS,
+    ParametricProblem,
+    ParametricReduction,
+    Q_FIXED,
+    Q_VARIABLE,
+    V_FIXED,
+    V_VARIABLE,
+    WClass,
+    easier_than,
+    harder_than,
+    theorem1_table,
+)
+from repro.parametric.problems import (
+    AW_P,
+    AlternatingWeightedCircuitInstance,
+    CLIQUE,
+    CliqueInstance,
+    DOMINATING_SET,
+    DominatingSetInstance,
+    INDEPENDENT_SET,
+    IndependentSetInstance,
+    VERTEX_COVER,
+    VertexCoverInstance,
+    find_clique,
+    find_dominating_set,
+    find_vertex_cover,
+    has_clique,
+)
+from repro.circuits import CircuitBuilder
+from repro.workloads.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    random_graph,
+)
+
+
+class TestClique:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert has_clique(g, 5)
+        assert not has_clique(g, 6)
+
+    def test_found_clique_is_clique(self):
+        g = random_graph(12, 0.6, seed=3)
+        for k in (2, 3, 4):
+            witness = find_clique(g, k)
+            if witness is not None:
+                assert g.is_clique(witness)
+                assert len(witness) == k
+
+    def test_trivial_parameters(self):
+        g = path_graph(3)
+        assert has_clique(g, 0)
+        assert has_clique(g, 1)
+        assert has_clique(g, 2)
+        assert not has_clique(g, 3)
+
+    def test_matches_bruteforce(self):
+        from itertools import combinations
+
+        for seed in range(5):
+            g = random_graph(8, 0.45, seed=seed)
+            for k in (2, 3, 4):
+                brute = any(
+                    g.is_clique(c) for c in combinations(g.nodes, k)
+                )
+                assert has_clique(g, k) == brute
+
+    def test_independent_set_is_complement_clique(self):
+        g = cycle_graph(5)
+        assert INDEPENDENT_SET.solve(IndependentSetInstance(g, 2))
+        assert not INDEPENDENT_SET.solve(IndependentSetInstance(g, 3))
+
+
+class TestDominatingSet:
+    def test_star_center_dominates(self):
+        from repro.workloads.graphs import Graph
+
+        star = Graph(range(5), [(0, i) for i in range(1, 5)])
+        assert find_dominating_set(star, 1) == (0,)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert DOMINATING_SET.solve(DominatingSetInstance(g, 2))
+        assert not DOMINATING_SET.solve(DominatingSetInstance(g, 1))
+
+    def test_empty_graph_needs_all(self):
+        g = empty_graph(3)
+        assert not find_dominating_set(g, 2)
+        assert find_dominating_set(g, 3) is not None
+
+
+class TestVertexCover:
+    def test_path(self):
+        g = path_graph(5)  # 4 edges, VC = 2
+        assert VERTEX_COVER.solve(VertexCoverInstance(g, 2))
+        assert not VERTEX_COVER.solve(VertexCoverInstance(g, 1))
+
+    def test_cover_is_cover(self):
+        g = random_graph(10, 0.3, seed=9)
+        cover = find_vertex_cover(g, 6)
+        if cover is not None:
+            assert all(a in cover or b in cover for a, b in g.edges())
+
+    def test_complete_graph_needs_n_minus_1(self):
+        g = complete_graph(4)
+        assert not find_vertex_cover(g, 2)
+        assert find_vertex_cover(g, 3) is not None
+
+
+class TestAlternating:
+    def test_exists_forall_semantics(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        b = builder.input("b")
+        c = builder.input("c")
+        d = builder.input("d")
+        circuit = builder.build(
+            builder.or_(builder.and_(a, c), builder.and_(a, d), builder.and_(b, c))
+        )
+        # ∃ one of {a,b}, ∀ one of {c,d}: choosing a works (a∧c, a∧d).
+        instance = AlternatingWeightedCircuitInstance(
+            circuit, (("a", "b"), ("c", "d")), (1, 1)
+        )
+        assert AW_P.solve(instance)
+        # choosing b fails for d.
+        instance_b_only = AlternatingWeightedCircuitInstance(
+            circuit, (("b",), ("c", "d")), (1, 1)
+        )
+        assert not AW_P.solve(instance_b_only)
+
+    def test_block_validation(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        circuit = builder.build(builder.and_(a))
+        with pytest.raises(ReductionError):
+            AlternatingWeightedCircuitInstance(circuit, (("a", "a"),), (1,))
+        with pytest.raises(ReductionError):
+            AlternatingWeightedCircuitInstance(circuit, (("zz",),), (1,))
+
+    def test_parameter_is_sum(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        b = builder.input("b")
+        circuit = builder.build(builder.or_(a, b))
+        instance = AlternatingWeightedCircuitInstance(
+            circuit, (("a",), ("b",)), (1, 1)
+        )
+        assert instance.parameter == 2
+
+
+class TestReductionFramework:
+    def test_verify_detects_wrong_reduction(self):
+        bogus = ParametricReduction(
+            name="bogus",
+            source=CLIQUE,
+            target=CLIQUE,
+            transform=lambda inst: CliqueInstance(inst.graph, inst.k + 1),
+            parameter_bound=lambda k: k + 1,
+        )
+        instances = [CliqueInstance(complete_graph(3), 3)]
+        with pytest.raises(ReductionError):
+            bogus.verify(instances)
+        records = bogus.verify(instances, raise_on_failure=False)
+        assert not records[0].answers_match
+
+    def test_verify_detects_parameter_violation(self):
+        bad_bound = ParametricReduction(
+            name="bad-bound",
+            source=CLIQUE,
+            target=CLIQUE,
+            transform=lambda inst: inst,
+            parameter_bound=lambda k: k - 1,
+        )
+        instances = [CliqueInstance(complete_graph(3), 2)]
+        with pytest.raises(ReductionError):
+            bad_bound.verify(instances)
+
+    def test_identity_reduction_passes(self):
+        identity = ParametricReduction(
+            name="id",
+            source=CLIQUE,
+            target=CLIQUE,
+            transform=lambda inst: inst,
+            parameter_bound=lambda k: k,
+        )
+        suite = [
+            CliqueInstance(random_graph(6, 0.5, seed=s), k)
+            for s in range(3)
+            for k in (2, 3)
+        ]
+        records = identity.verify(suite)
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+
+class TestWHierarchy:
+    def test_order(self):
+        assert WClass.W1 < WClass.W2 < WClass.W_SAT < WClass.W_P
+        assert WClass.W_P.contains(WClass.W1)
+        assert not WClass.W1.contains(WClass.W_P)
+
+    def test_display(self):
+        assert WClass.W1.display == "W[1]"
+        assert WClass.W_SAT.display == "W[SAT]"
+
+    def test_theorem1_table_contents(self):
+        table = theorem1_table()
+        assert table.entry("conjunctive", "q").display() == "W[1]-complete"
+        assert table.entry("positive", "v").display() == "W[SAT]-hard"
+        assert table.entry("first-order", "q").display() == "W[t] (all t)-hard"
+        assert table.entry("first-order", "v").display() == "W[P]-hard"
+        assert table.entry("acyclic+neq", "q").display() == "in FPT"
+        assert len(table.rows()) == 13
+
+    def test_figure1_partial_order(self):
+        # Q_FIXED is the bottom, V_VARIABLE the top.
+        assert harder_than(Q_FIXED) == {Q_VARIABLE, V_FIXED, V_VARIABLE}
+        assert easier_than(V_VARIABLE) == {Q_FIXED, Q_VARIABLE, V_FIXED}
+        assert harder_than(V_VARIABLE) == frozenset()
+        assert easier_than(Q_FIXED) == frozenset()
+        # The two middle nodes are incomparable.
+        assert V_FIXED not in harder_than(Q_VARIABLE)
+        assert Q_VARIABLE not in harder_than(V_FIXED)
+
+    def test_figure1_has_four_nodes_four_arcs(self):
+        assert len(FIGURE_1) == 4
+        assert len(FIGURE_1_ARCS) == 4

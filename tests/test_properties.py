@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Covers the algebra laws of relations, GYO/join-tree structure, engine
+equivalences on random acyclic queries, and hash-family perfectness — the
+invariants DESIGN.md §6 commits to.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation import NaiveEvaluator, YannakakisEvaluator
+from repro.hypergraph import Hypergraph, JoinTree, gyo_reduce, is_acyclic
+from repro.inequalities import (
+    AcyclicInequalityEvaluator,
+    GreedyPerfectHashFamily,
+    is_perfect_family,
+)
+from repro.relational import Database, Relation
+from repro.relational.schema import DatabaseSchema
+from repro.workloads import random_acyclic_query, random_database
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+values = st.integers(min_value=0, max_value=4)
+rows2 = st.frozensets(st.tuples(values, values), max_size=12)
+rows1 = st.frozensets(st.tuples(values), max_size=6)
+
+
+def rel_ab(rows):
+    return Relation(("a", "b"), rows)
+
+
+def rel_bc(rows):
+    return Relation(("b", "c"), rows)
+
+
+class TestRelationLaws:
+    @SETTINGS
+    @given(rows2, rows2)
+    def test_union_commutative(self, r1, r2):
+        left = rel_ab(r1)
+        right = rel_ab(r2)
+        assert left.union(right) == right.union(left)
+
+    @SETTINGS
+    @given(rows2, rows2)
+    def test_intersection_via_difference(self, r1, r2):
+        left = rel_ab(r1)
+        right = rel_ab(r2)
+        assert left.intersection(right) == left.difference(
+            left.difference(right)
+        )
+
+    @SETTINGS
+    @given(rows2, rows2)
+    def test_join_commutative_up_to_column_order(self, r1, r2):
+        left = rel_ab(r1)
+        right = rel_bc(r2)
+        assert left.natural_join(right) == right.natural_join(left)
+
+    @SETTINGS
+    @given(rows2, rows2, rows2)
+    def test_join_associative(self, r1, r2, r3):
+        a = rel_ab(r1)
+        b = rel_bc(r2)
+        c = Relation(("c", "d"), r3)
+        assert a.natural_join(b).natural_join(c) == a.natural_join(
+            b.natural_join(c)
+        )
+
+    @SETTINGS
+    @given(rows2, rows2)
+    def test_semijoin_absorption(self, r1, r2):
+        left = rel_ab(r1)
+        right = rel_bc(r2)
+        reduced = left.semijoin(right)
+        # Semijoin is idempotent and never grows.
+        assert reduced.semijoin(right) == reduced
+        assert reduced.rows <= left.rows
+
+    @SETTINGS
+    @given(rows2, rows2)
+    def test_semijoin_equals_projected_join(self, r1, r2):
+        left = rel_ab(r1)
+        right = rel_bc(r2)
+        via_join = left.natural_join(right).project(("a", "b"))
+        assert left.semijoin(right) == via_join
+
+    @SETTINGS
+    @given(rows2)
+    def test_projection_idempotent(self, r1):
+        r = rel_ab(r1)
+        assert r.project(("a",)).project(("a",)) == r.project(("a",))
+
+    @SETTINGS
+    @given(rows2, rows2)
+    def test_antijoin_partition(self, r1, r2):
+        left = rel_ab(r1)
+        right = rel_bc(r2)
+        semi = left.semijoin(right)
+        anti = left.antijoin(right)
+        assert semi.union(anti) == left
+        assert semi.intersection(anti).is_empty()
+
+
+edge_sets = st.lists(
+    st.frozensets(st.sampled_from("abcdef"), min_size=1, max_size=3),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestHypergraphProperties:
+    @SETTINGS
+    @given(edge_sets)
+    def test_gyo_partitions_edges(self, edges):
+        h = Hypergraph(set().union(*edges), edges)
+        result = gyo_reduce(h)
+        # Every edge index is accounted for: absorbed or surviving.
+        accounted = set(result.witnesses) | set(result.surviving_edges)
+        assert accounted == set(range(len(edges)))
+
+    @SETTINGS
+    @given(edge_sets)
+    def test_join_tree_exists_iff_acyclic(self, edges):
+        h = Hypergraph(set().union(*edges), edges)
+        from repro.errors import NotAcyclicError
+
+        if is_acyclic(h):
+            tree = JoinTree.from_hypergraph(h)
+            assert tree.verify_running_intersection()
+            assert tree.num_nodes == len(edges)
+        else:
+            try:
+                JoinTree.from_hypergraph(h)
+                raise AssertionError("cyclic hypergraph produced a join tree")
+            except NotAcyclicError:
+                pass
+
+    @SETTINGS
+    @given(edge_sets)
+    def test_subtree_vars_monotone(self, edges):
+        h = Hypergraph(set().union(*edges), edges)
+        if not is_acyclic(h):
+            return
+        tree = JoinTree.from_hypergraph(h)
+        for node in tree.nodes():
+            parent = tree.parent(node)
+            if parent is not None:
+                assert tree.subtree_vars(node) <= tree.subtree_vars(tree.root)
+
+
+class TestEngineEquivalence:
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_yannakakis_equals_naive(self, seed):
+        rng = random.Random(seed)
+        query = random_acyclic_query(
+            num_atoms=rng.randint(1, 4), seed=rng.randrange(1 << 30)
+        )
+        schema = DatabaseSchema.of(**{a.relation: a.arity for a in query.atoms})
+        db = random_database(
+            schema, domain_size=3, tuples_per_relation=8,
+            seed=rng.randrange(1 << 30),
+        )
+        assert YannakakisEvaluator().evaluate(query, db) == NaiveEvaluator().evaluate(
+            query, db
+        )
+
+    @SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_theorem2_equals_naive(self, seed):
+        rng = random.Random(seed)
+        query = random_acyclic_query(
+            num_atoms=rng.randint(1, 3),
+            num_inequalities=rng.randint(0, 2),
+            seed=rng.randrange(1 << 30),
+        )
+        schema = DatabaseSchema.of(**{a.relation: a.arity for a in query.atoms})
+        db = random_database(
+            schema, domain_size=3, tuples_per_relation=7,
+            seed=rng.randrange(1 << 30),
+        )
+        evaluator = AcyclicInequalityEvaluator()
+        assert evaluator.evaluate(query, db) == NaiveEvaluator().evaluate(query, db)
+
+
+class TestHashFamilyProperties:
+    @SETTINGS
+    @given(
+        st.frozensets(st.integers(min_value=0, max_value=12), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=99),
+    )
+    def test_greedy_family_perfect(self, domain, k, seed):
+        family = list(GreedyPerfectHashFamily(seed=seed).functions(domain, k))
+        assert is_perfect_family(family, domain, k)
+        for h in family:
+            assert set(h) == set(domain)
+            assert all(1 <= v <= max(k, 1) for v in h.values())

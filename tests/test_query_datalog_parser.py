@@ -1,0 +1,113 @@
+"""Tests for Datalog programs and the rule-notation parser."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.query import (
+    Atom,
+    C,
+    DatalogProgram,
+    Inequality,
+    Rule,
+    V,
+    parse_program,
+    parse_query,
+)
+from repro.query.atoms import Comparison
+
+
+class TestParserTerms:
+    def test_lowercase_is_variable(self):
+        q = parse_query("Q(x) :- R(x, y).")
+        assert q.head_terms == (V("x"),)
+
+    def test_numbers_and_strings_are_constants(self):
+        q = parse_query("Q(x) :- R(x, 3, 'CS'), R(x, -2, 'x').")
+        constants = {c.value for a in q.atoms for c in a.constants()}
+        assert constants == {3, "CS", -2, "x"}
+
+    def test_zero_ary_atom(self):
+        q = parse_query("P() :- R(x, y).")
+        assert q.head_terms == ()
+        q2 = parse_query("P() :- G(x, y), T().")
+        assert q2.atoms[1].arity == 0
+
+    def test_inequality_and_comparisons(self):
+        q = parse_query("Q(x) :- R(x, y), x != y, x < 3, y <= x.")
+        assert q.inequalities == (Inequality("x", "y"),)
+        assert Comparison(V("x"), C(3), strict=True) in q.comparisons
+        assert Comparison(V("y"), V("x"), strict=False) in q.comparisons
+
+    def test_trailing_period_optional(self):
+        assert parse_query("Q(x) :- R(x, y)") == parse_query("Q(x) :- R(x, y).")
+
+
+class TestParserErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- R(x, y) % nonsense.")
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) R(x, y).")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- R(x, y). extra")
+
+    def test_comparison_in_datalog_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("T(x) :- E(x, y), x != y.")
+
+    def test_unterminated_atom(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- R(x, y.")
+
+
+class TestRules:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(QueryError):
+            Rule(Atom.of("T", "x", "w"), (Atom.of("E", "x", "y"),))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            Rule(Atom.of("T", "x"), ())
+
+    def test_rule_variables(self):
+        rule = Rule(Atom.of("T", "x"), (Atom.of("E", "x", "y"),))
+        assert rule.num_variables() == 2
+
+
+class TestDatalogProgram:
+    def transitive(self) -> DatalogProgram:
+        return parse_program(
+            """
+            T(x, y) :- E(x, y).
+            T(x, y) :- E(x, z), T(z, y).
+            """
+        )
+
+    def test_idb_edb_split(self):
+        program = self.transitive()
+        assert program.idb_names() == frozenset({"T"})
+        assert program.edb_names() == frozenset({"E"})
+
+    def test_goal_defaults_to_first_head(self):
+        assert self.transitive().goal == "T"
+
+    def test_goal_must_be_idb(self):
+        with pytest.raises(QueryError):
+            parse_program("T(x) :- E(x, y).", goal="E")
+
+    def test_arity_consistency_enforced(self):
+        with pytest.raises(QueryError):
+            parse_program("T(x) :- E(x, y). T(x, y) :- E(x, y).")
+
+    def test_max_arity_and_sizes(self):
+        program = self.transitive()
+        assert program.max_arity() == 2
+        assert program.max_rule_variables() == 3
+        assert program.query_size() > 0
+
+    def test_rules_for(self):
+        assert len(self.transitive().rules_for("T")) == 2

@@ -1,0 +1,125 @@
+"""Tests for terms, atoms, inequality and comparison atoms."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Atom, C, Comparison, Inequality, V, Variable, term, terms
+from repro.query.terms import (
+    Constant,
+    constants_in,
+    fresh_variable,
+    substitute_term,
+    variables_in,
+)
+
+
+class TestTerms:
+    def test_string_coerces_to_variable(self):
+        assert term("x") == Variable("x")
+
+    def test_non_string_coerces_to_constant(self):
+        assert term(5) == Constant(5)
+
+    def test_explicit_string_constant(self):
+        assert term(C("hello")) == Constant("hello")
+
+    def test_passthrough(self):
+        v = V("x")
+        assert term(v) is v
+
+    def test_reserved_prefix_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("#shadow")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            Variable("")
+
+    def test_variables_in_order_and_dedup(self):
+        items = terms(["x", 1, "y", "x"])
+        assert variables_in(items) == (V("x"), V("y"))
+        assert constants_in(items) == (C(1),)
+
+    def test_substitute_term(self):
+        assert substitute_term(V("x"), {V("x"): C(3)}) == C(3)
+        assert substitute_term(C(1), {V("x"): C(3)}) == C(1)
+
+    def test_fresh_variable(self):
+        taken = [V("x"), V("x_1")]
+        assert fresh_variable("x", taken) == V("x_2")
+        assert fresh_variable("y", taken) == V("y")
+
+
+class TestAtoms:
+    def test_atom_of_convention(self):
+        atom = Atom.of("R", "x", 3, "x")
+        assert atom.variables() == (V("x"),)
+        assert atom.constants() == (C(3),)
+        assert atom.arity == 3
+
+    def test_substitute(self):
+        atom = Atom.of("R", "x", "y")
+        replaced = atom.substitute({V("x"): C(1)})
+        assert replaced == Atom("R", (C(1), V("y")))
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("", ())
+
+    def test_zero_ary_atom(self):
+        atom = Atom("P", ())
+        assert atom.variables() == ()
+        assert atom.arity == 0
+
+
+class TestInequality:
+    def test_symmetric_equality(self):
+        assert Inequality("x", "y") == Inequality("y", "x")
+        assert hash(Inequality("x", "y")) == hash(Inequality("y", "x"))
+
+    def test_variable_constant(self):
+        ineq = Inequality("x", C(3))
+        assert not ineq.is_variable_variable()
+        assert isinstance(ineq.left, Variable)  # canonical orientation
+
+    def test_constant_constant_rejected(self):
+        with pytest.raises(QueryError):
+            Inequality(C(1), C(2))
+
+    def test_reflexive_rejected(self):
+        with pytest.raises(QueryError):
+            Inequality("x", "x")
+
+    def test_holds(self):
+        assert Inequality("x", "y").holds(1, 2)
+        assert not Inequality("x", "y").holds(1, 1)
+
+    def test_substitute(self):
+        ineq = Inequality("x", "y")
+        replaced = ineq.substitute({V("x"): C(3)})
+        assert replaced == Inequality(C(3), V("y"))
+
+
+class TestComparison:
+    def test_strict_and_weak(self):
+        assert Comparison("x", "y", strict=True).op == "<"
+        assert Comparison("x", "y", strict=False).op == "<="
+
+    def test_directional_not_symmetric(self):
+        assert Comparison("x", "y") != Comparison("y", "x")
+
+    def test_holds(self):
+        strict = Comparison("x", "y", strict=True)
+        weak = Comparison("x", "y", strict=False)
+        assert strict.holds(1, 2)
+        assert not strict.holds(2, 2)
+        assert weak.holds(2, 2)
+
+    def test_constant_only_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison(C(1), C(2))
+
+    def test_substitute(self):
+        comp = Comparison("x", "y")
+        replaced = comp.substitute({V("y"): C(10)})
+        assert replaced == Comparison(V("x"), C(10))

@@ -1,0 +1,153 @@
+"""Theorem 1(3) reductions: monotone circuits into first-order queries."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, check_alternation, level_alternate
+from repro.errors import ReductionError
+from repro.evaluation import FirstOrderEvaluator
+from repro.parametric.problems import (
+    AlternatingWeightedCircuitInstance,
+    WeightedCircuitInstance,
+)
+from repro.reductions import (
+    ALTERNATING_CIRCUIT_TO_FO,
+    CIRCUIT_TO_FO_V,
+    circuit_to_fo,
+    circuit_to_fo_query,
+    make_depth_t_reduction,
+    wiring_database,
+)
+
+
+def two_pair_circuit():
+    builder = CircuitBuilder()
+    xs = [builder.input(f"i{j}") for j in range(4)]
+    return builder.build(
+        builder.or_(builder.and_(xs[0], xs[1]), builder.and_(xs[2], xs[3]))
+    )
+
+
+def and_or_circuit():
+    builder = CircuitBuilder()
+    xs = [builder.input(f"i{j}") for j in range(3)]
+    return builder.build(builder.and_(builder.or_(xs[0], xs[1]), xs[2]))
+
+
+def deep_circuit():
+    builder = CircuitBuilder()
+    xs = [builder.input(f"i{j}") for j in range(4)]
+    layer1 = builder.or_(builder.and_(xs[0], xs[1]), xs[2])
+    layer2 = builder.and_(layer1, builder.or_(xs[2], xs[3]))
+    return builder.build(builder.or_(layer2, builder.and_(xs[0], xs[3])))
+
+
+def suite():
+    circuits = [two_pair_circuit(), and_or_circuit(), deep_circuit()]
+    return [
+        WeightedCircuitInstance(c, k) for c in circuits for k in (1, 2, 3)
+    ]
+
+
+class TestCircuitToFO:
+    def test_verified_parameter_v(self):
+        records = CIRCUIT_TO_FO_V.verify(suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_v_is_k_plus_2(self):
+        instance = circuit_to_fo(WeightedCircuitInstance(two_pair_circuit(), 2))
+        assert instance.query.num_variables() == 4
+
+    def test_query_size_linear_in_t_and_k(self):
+        builder = CircuitBuilder()
+        xs = [builder.input(f"i{j}") for j in range(2)]
+        current = builder.and_(xs[0], xs[1])
+        for _ in range(3):
+            current = builder.and_(builder.or_(current, xs[0]), xs[1])
+        tall = builder.build(builder.or_(current, xs[0]))
+        query1, _ = circuit_to_fo_query(and_or_circuit(), 1)
+        query2, _ = circuit_to_fo_query(tall, 1)
+        # deeper circuit => strictly bigger query, but still small.
+        assert query1.query_size() < query2.query_size() < 300
+
+    def test_fixed_schema_single_binary_relation(self):
+        instance = circuit_to_fo(WeightedCircuitInstance(and_or_circuit(), 1))
+        assert instance.database.names() == ("C",)
+
+    def test_wiring_self_loops_on_inputs(self):
+        circuit = and_or_circuit()
+        db = wiring_database(circuit)
+        for name in circuit.inputs:
+            assert (name, name) in db["C"]
+
+    def test_depth_t_reduction_verified(self):
+        red = make_depth_t_reduction(2)
+        records = red.verify(
+            [WeightedCircuitInstance(two_pair_circuit(), k) for k in (1, 2)]
+        )
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_depth_t_rejects_deeper(self):
+        red = make_depth_t_reduction(2)
+        deep = WeightedCircuitInstance(deep_circuit(), 1)
+        with pytest.raises(ReductionError):
+            red.verify([deep])
+
+    def test_non_monotone_rejected(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        circuit = builder.build(builder.not_(a))
+        with pytest.raises(ReductionError):
+            circuit_to_fo(WeightedCircuitInstance(circuit, 1))
+
+    def test_k_larger_than_inputs_rejected(self):
+        with pytest.raises(ReductionError):
+            circuit_to_fo(WeightedCircuitInstance(and_or_circuit(), 4))
+
+    def test_direct_fo_semantics(self):
+        """θ construction: FO truth tracks weighted satisfiability."""
+        circuit = two_pair_circuit()
+        evaluator = FirstOrderEvaluator()
+        for k in (1, 2):
+            query, db = circuit_to_fo_query(circuit, k)
+            from repro.circuits import weighted_circuit_satisfiable
+
+            expected = weighted_circuit_satisfiable(circuit, k) is not None
+            assert evaluator.decide(query, db) == expected
+
+
+class TestAlternatingExtension:
+    def make_instance(self, blocks, weights):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        b = builder.input("b")
+        c = builder.input("c")
+        d = builder.input("d")
+        circuit = builder.build(
+            builder.or_(
+                builder.and_(a, c),
+                builder.and_(a, d),
+                builder.and_(b, c),
+            )
+        )
+        return AlternatingWeightedCircuitInstance(circuit, blocks, weights)
+
+    def test_verified_true_and_false_cases(self):
+        yes = self.make_instance((("a", "b"), ("c", "d")), (1, 1))
+        no = self.make_instance((("b",), ("c", "d")), (1, 1))
+        records = ALTERNATING_CIRCUIT_TO_FO.verify([yes, no])
+        assert records[0].expected is True
+        assert records[1].expected is False
+        assert all(r.answers_match for r in records)
+
+    def test_single_existential_block(self):
+        instance = self.make_instance((("a", "b"),), (1,))
+        records = ALTERNATING_CIRCUIT_TO_FO.verify([instance])
+        assert all(r.answers_match for r in records)
+
+
+class TestLevelAlternateIntegration:
+    def test_all_suite_circuits_normalize(self):
+        for instance in suite():
+            leveled, t = level_alternate(instance.circuit)
+            assert check_alternation(leveled)
+            assert leveled.level(leveled.output) == 2 * t

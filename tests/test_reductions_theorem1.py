@@ -1,0 +1,228 @@
+"""Theorem 1 reductions: mechanical verification of every cell.
+
+Each test replays a reduction over an instance suite and checks both
+directions of the iff plus the parameter bound — the executable content of
+the paper's classification table.
+"""
+
+import pytest
+
+from repro.circuits import fand, fnot, for_, var
+from repro.errors import ReductionError
+from repro.evaluation import NaiveEvaluator
+from repro.parametric.problems import (
+    CliqueInstance,
+    WeightedFormulaInstance,
+)
+from repro.reductions import (
+    CLIQUE_TO_CQ_Q,
+    CLIQUE_TO_CQ_V,
+    CQ_TO_WEIGHTED_2CNF,
+    CQ_V_TO_CQ_Q,
+    POSITIVE_TO_CLIQUE,
+    POSITIVE_TO_UNION_OF_CQS,
+    PRENEX_POSITIVE_TO_WSAT,
+    WSAT_TO_POSITIVE,
+    QueryEvaluationInstance,
+    clique_query,
+    clique_to_cq,
+    cq_to_weighted_2cnf,
+    eq_neq_database,
+    wsat_to_positive,
+)
+from repro.circuits.weighted_sat import negative_cnf_weighted_satisfiable
+from repro.query import parse_query
+from repro.relational import Database
+from repro.workloads.graphs import complete_graph, graph_suite, random_graph
+
+
+def clique_suite(max_n=6, ks=(2, 3)):
+    return [
+        CliqueInstance(g, k)
+        for g in graph_suite(max_n, seed=42)
+        for k in ks
+    ]
+
+
+class TestCliqueToCQ:
+    def test_verified_on_suite_q(self):
+        records = CLIQUE_TO_CQ_Q.verify(clique_suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_verified_on_suite_v(self):
+        records = CLIQUE_TO_CQ_V.verify(clique_suite())
+        assert all(r.parameter_out == r.parameter_in for r in records)
+
+    def test_query_shape(self):
+        q = clique_query(4)
+        assert q.num_atoms() == 6  # C(4,2)
+        assert q.num_variables() == 4
+        assert q.is_boolean()
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ReductionError):
+            clique_query(1)
+
+    def test_fixed_schema(self):
+        instance = clique_to_cq(CliqueInstance(complete_graph(4), 3))
+        assert instance.database.names() == ("G",)
+        assert instance.database["G"].arity == 2
+
+
+class TestCQToWeighted2CNF:
+    def suite(self):
+        return [clique_to_cq(ci) for ci in clique_suite(5)]
+
+    def test_verified(self):
+        records = CQ_TO_WEIGHTED_2CNF.verify(self.suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_k_equals_atom_count(self):
+        q = parse_query("Q() :- E(x, y), E(y, z).")
+        db = Database.from_tuples({"E": [(1, 2), (2, 3)]})
+        result = cq_to_weighted_2cnf(q, db)
+        assert result.instance.k == 2
+        assert len(result.groups) == 2
+
+    def test_all_clauses_negative_2cnf(self):
+        q = parse_query("Q() :- E(x, y), E(y, z).")
+        db = Database.from_tuples({"E": [(1, 2), (2, 3), (3, 3)]})
+        cnf = cq_to_weighted_2cnf(q, db).instance.cnf
+        assert cnf.all_literals_negative()
+        assert cnf.is_kcnf(2)
+
+    def test_witness_decodes_to_instantiation(self):
+        q = parse_query("Q() :- E(x, y), E(y, z).")
+        db = Database.from_tuples({"E": [(1, 2), (2, 3)]})
+        result = cq_to_weighted_2cnf(q, db)
+        witness = negative_cnf_weighted_satisfiable(
+            result.instance.cnf, result.instance.k, groups=result.groups
+        )
+        assert witness is not None
+        valuation = result.decode(witness)
+        named = {v.name: value for v, value in valuation.items()}
+        assert named == {"x": 1, "y": 2, "z": 3}
+
+    def test_candidate_substitution(self):
+        q = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        db = Database.from_tuples({"E": [(1, 2), (2, 3)]})
+        yes = cq_to_weighted_2cnf(q, db, (1, 3)).instance
+        no = cq_to_weighted_2cnf(q, db, (3, 1)).instance
+        assert negative_cnf_weighted_satisfiable(yes.cnf, yes.k) is not None
+        assert negative_cnf_weighted_satisfiable(no.cnf, no.k) is None
+
+    def test_single_candidate_tuple_atom(self):
+        # One atom with exactly one consistent tuple: no clauses at all,
+        # the declared-variable universe must still allow weight 1.
+        q = parse_query("Q() :- E(1, 2).")
+        db = Database.from_tuples({"E": [(1, 2)]})
+        result = cq_to_weighted_2cnf(q, db)
+        assert negative_cnf_weighted_satisfiable(
+            result.instance.cnf, 1
+        ) is not None
+
+    def test_inequalities_rejected(self):
+        q = parse_query("Q() :- E(x, y), x != y.")
+        db = Database.from_tuples({"E": [(1, 2)]})
+        with pytest.raises(ReductionError):
+            cq_to_weighted_2cnf(q, db)
+
+
+class TestParameterVReduction:
+    def test_verified(self):
+        suite = [clique_to_cq(ci) for ci in clique_suite(5)]
+        records = CQ_V_TO_CQ_Q.verify(suite)
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_bound_is_exponential_in_v_only(self):
+        from repro.reductions import grouped_size_bound
+
+        assert grouped_size_bound(3) == 1 + 8 * 4
+
+
+class TestWsatToPositive:
+    def formulas(self):
+        return [
+            for_(fand(var("x1"), var("x2")), fand(fnot(var("x3")), var("x4"))),
+            fand(for_(var("a"), var("b")), fnot(var("c"))),
+            fnot(fand(var("p"), var("q"))),
+        ]
+
+    def test_verified(self):
+        suite = [
+            WeightedFormulaInstance(f, k)
+            for f in self.formulas()
+            for k in (1, 2, 3)
+        ]
+        records = WSAT_TO_POSITIVE.verify(suite)
+        assert all(r.answers_match for r in records)
+        assert all(r.parameter_out <= r.parameter_in for r in records)
+
+    def test_query_uses_k_variables(self):
+        instance = wsat_to_positive(
+            WeightedFormulaInstance(fand(var("x1"), var("x2")), 2)
+        )
+        assert instance.query.num_variables() == 2
+        assert instance.query.is_prenex()
+
+    def test_fixed_schema(self):
+        db = eq_neq_database(3)
+        assert set(db.names()) == {"EQ", "NEQ"}
+        assert db["EQ"].cardinality == 3
+        assert db["NEQ"].cardinality == 6
+
+    def test_weight_above_n_is_consistent(self):
+        # k > #variables: both sides must say "no".
+        instance = WeightedFormulaInstance(var("only"), 2)
+        records = WSAT_TO_POSITIVE.verify([instance])
+        assert records[0].expected is False
+        assert records[0].produced is False
+
+
+class TestPositiveUpperBounds:
+    def suite(self):
+        formulas = [
+            for_(fand(var("x1"), var("x2")), var("x3")),
+            fand(for_(var("a"), var("b")), for_(var("b"), var("c"))),
+        ]
+        return [
+            wsat_to_positive(WeightedFormulaInstance(f, k))
+            for f in formulas
+            for k in (1, 2)
+        ]
+
+    def test_union_of_cqs_verified(self):
+        records = POSITIVE_TO_UNION_OF_CQS.verify(self.suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_footnote2_clique_verified(self):
+        records = POSITIVE_TO_CLIQUE.verify(self.suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_prenex_to_wsat_verified(self):
+        records = PRENEX_POSITIVE_TO_WSAT.verify(self.suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_round_trip_clique_to_clique(self):
+        """clique → CQ → (positive) → clique preserves the answer."""
+        from repro.query import PositiveQuery
+        from repro.query.first_order import AtomFormula, And, Exists
+
+        for graph_seed in range(3):
+            g = random_graph(6, 0.6, seed=graph_seed)
+            source = CliqueInstance(g, 3)
+            cq_instance = clique_to_cq(source)
+            # Lift the CQ to a (trivially) positive query.
+            body = And(AtomFormula(a) for a in cq_instance.query.atoms)
+            formula = body
+            for v in reversed(cq_instance.query.variables()):
+                formula = Exists(v, formula)
+            positive_instance = QueryEvaluationInstance(
+                query=PositiveQuery((), formula),
+                database=cq_instance.database,
+            )
+            from repro.reductions import positive_to_clique
+            from repro.parametric.problems import CLIQUE
+
+            back = positive_to_clique(positive_instance)
+            assert CLIQUE.solve(back) == CLIQUE.solve(source)

@@ -1,0 +1,148 @@
+"""Theorem 3 and §5 NP-hardness: comparisons and Hamiltonian path."""
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.evaluation import NaiveEvaluator
+from repro.parametric.problems import CliqueInstance
+from repro.reductions import (
+    CLIQUE_TO_COMPARISONS_Q,
+    CLIQUE_TO_COMPARISONS_V,
+    clique_to_comparisons,
+    comparison_database,
+    comparison_query,
+    encode,
+    hamiltonian_path_query,
+    hamiltonian_to_query_instance,
+    has_hamiltonian_path,
+)
+from repro.comparisons import is_acyclic_with_comparisons
+from repro.workloads.graphs import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    graph_suite,
+    graph_with_hamiltonian_path,
+    path_graph,
+    random_graph,
+)
+
+
+class TestEncoding:
+    def test_injective_on_tuples(self):
+        n = 5
+        seen = {}
+        for i in range(n):
+            for j in range(n):
+                for b in (0, 1):
+                    value = encode(i, j, b, n)
+                    assert value not in seen, (i, j, b)
+                    seen[value] = (i, j, b)
+
+    def test_paper_arithmetic_identities(self):
+        # For i < j mapped to clique nodes v_i < v_j: x_ji - x_ij = v_j - v_i.
+        n = 7
+        for vi in range(n):
+            for vj in range(vi + 1, n):
+                x_ij = encode(vi, vj, 0, n)
+                x_ji = encode(vj, vi, 0, n)
+                xp_ij = encode(vi, vj, 1, n)
+                assert x_ji - x_ij == vj - vi
+                assert xp_ij - x_ji == n + vi - vj
+                assert x_ij < x_ji < xp_ij
+
+
+class TestQueryShape:
+    def test_acyclic_with_comparisons(self):
+        for k in (2, 3):
+            assert is_acyclic_with_comparisons(comparison_query(k))
+
+    def test_only_strict_comparisons(self):
+        q = comparison_query(3)
+        assert all(c.strict for c in q.comparisons)
+        assert not q.inequalities
+
+    def test_k1_trivial(self):
+        # k = 1 has one P atom and no comparisons: true iff a node exists.
+        q = comparison_query(1)
+        assert len(q.atoms) == 1
+        naive = NaiveEvaluator()
+        db = comparison_database(path_graph(3))
+        assert naive.decide(q, db)
+        db_empty = comparison_database(empty_graph(2))
+        assert naive.decide(q, db_empty)  # self-loops make k=1 true
+
+    def test_k0_rejected(self):
+        with pytest.raises(ReductionError):
+            comparison_query(0)
+
+
+class TestTheorem3Verification:
+    def suite(self):
+        graphs = [
+            complete_graph(3),
+            complete_graph(4),
+            cycle_graph(4),
+            cycle_graph(5),
+            path_graph(4),
+            random_graph(5, 0.5, seed=1),
+            random_graph(5, 0.7, seed=2),
+            random_graph(6, 0.4, seed=3),
+        ]
+        return [CliqueInstance(g, k) for g in graphs for k in (2, 3)]
+
+    def test_verified_parameter_q(self):
+        records = CLIQUE_TO_COMPARISONS_Q.verify(self.suite())
+        assert all(r.answers_match and r.bound_holds for r in records)
+
+    def test_verified_parameter_v(self):
+        records = CLIQUE_TO_COMPARISONS_V.verify(self.suite())
+        assert all(r.parameter_out <= 2 * r.parameter_in ** 2 for r in records)
+
+    def test_binary_relations_only(self):
+        instance = clique_to_comparisons(CliqueInstance(path_graph(3), 2))
+        assert instance.database["P"].arity == 2
+        assert instance.database["R"].arity == 2
+
+
+class TestHamiltonian:
+    def test_query_is_acyclic(self):
+        assert hamiltonian_path_query(5).is_acyclic()
+
+    def test_pairwise_inequalities_count(self):
+        q = hamiltonian_path_query(5)
+        assert len(q.inequalities) == 10  # C(5,2)
+
+    def test_reduction_matches_held_karp(self):
+        naive = NaiveEvaluator()
+        graphs = [
+            path_graph(5),
+            cycle_graph(5),
+            complete_graph(4),
+            random_graph(6, 0.3, seed=4),
+            random_graph(6, 0.5, seed=5),
+            empty_graph(3),
+        ]
+        for g in graphs:
+            if g.num_nodes < 2:
+                continue
+            query, db = hamiltonian_to_query_instance(g)
+            assert naive.decide(query, db) == has_hamiltonian_path(g), g
+
+    def test_generator_guarantees_path(self):
+        for seed in range(4):
+            g = graph_with_hamiltonian_path(7, extra_p=0.1, seed=seed)
+            assert has_hamiltonian_path(g)
+
+    def test_held_karp_ground_truth(self):
+        assert has_hamiltonian_path(path_graph(6))
+        assert not has_hamiltonian_path(empty_graph(3))
+        from repro.workloads.graphs import Graph
+
+        star = Graph(range(4), [(0, 1), (0, 2), (0, 3)])
+        assert not has_hamiltonian_path(star)
+
+    def test_tiny_graphs(self):
+        assert has_hamiltonian_path(empty_graph(1))
+        with pytest.raises(ReductionError):
+            hamiltonian_to_query_instance(empty_graph(1))

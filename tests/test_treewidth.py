@@ -1,0 +1,85 @@
+"""Tests for tree-decomposition heuristics and the exact oracle."""
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    exact_treewidth,
+    min_degree_order,
+    min_fill_order,
+    primal_graph,
+    tree_decomposition,
+    verify_decomposition,
+)
+from repro.workloads.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+)
+
+
+def graph_to_hypergraph(graph) -> Hypergraph:
+    return Hypergraph(graph.nodes, [set(e) for e in graph.edges()])
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("heuristic", ["min_fill", "min_degree"])
+    def test_path_width_one(self, heuristic):
+        h = graph_to_hypergraph(path_graph(8))
+        decomposition = tree_decomposition(h, heuristic=heuristic)
+        assert verify_decomposition(h, decomposition)
+        assert decomposition.width == 1
+
+    @pytest.mark.parametrize("heuristic", ["min_fill", "min_degree"])
+    def test_cycle_width_two(self, heuristic):
+        h = graph_to_hypergraph(cycle_graph(7))
+        decomposition = tree_decomposition(h, heuristic=heuristic)
+        assert verify_decomposition(h, decomposition)
+        assert decomposition.width == 2
+
+    def test_clique_width(self):
+        h = graph_to_hypergraph(complete_graph(5))
+        decomposition = tree_decomposition(h)
+        assert verify_decomposition(h, decomposition)
+        assert decomposition.width == 4
+
+    def test_grid_width_bounded(self):
+        h = graph_to_hypergraph(grid_graph(3, 4))
+        decomposition = tree_decomposition(h)
+        assert verify_decomposition(h, decomposition)
+        assert decomposition.width >= 3  # true treewidth is 3
+        assert decomposition.width <= 5  # heuristic slack
+
+    def test_hyperedges_covered(self):
+        h = Hypergraph("abcd", [{"a", "b", "c"}, {"c", "d"}])
+        decomposition = tree_decomposition(h)
+        assert verify_decomposition(h, decomposition)
+
+    def test_orders_cover_all_nodes(self):
+        adjacency = primal_graph(graph_to_hypergraph(cycle_graph(6)))
+        assert set(min_fill_order(adjacency)) == set(adjacency)
+        assert set(min_degree_order(adjacency)) == set(adjacency)
+
+    def test_unknown_heuristic(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            tree_decomposition(graph_to_hypergraph(path_graph(3)), heuristic="x")
+
+
+class TestExactOracle:
+    def test_exact_matches_known_values(self):
+        assert exact_treewidth(primal_graph(graph_to_hypergraph(path_graph(5)))) == 1
+        assert exact_treewidth(primal_graph(graph_to_hypergraph(cycle_graph(5)))) == 2
+        assert (
+            exact_treewidth(primal_graph(graph_to_hypergraph(complete_graph(4)))) == 3
+        )
+
+    def test_heuristics_upper_bound_exact(self):
+        for make in (lambda: cycle_graph(6), lambda: grid_graph(2, 3)):
+            h = graph_to_hypergraph(make())
+            adjacency = primal_graph(h)
+            exact = exact_treewidth(adjacency)
+            heuristic = tree_decomposition(h).width
+            assert heuristic >= exact

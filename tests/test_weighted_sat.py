@@ -1,0 +1,133 @@
+"""Tests for the weighted satisfiability solvers."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.circuits import (
+    CNF,
+    CircuitBuilder,
+    Literal,
+    fand,
+    fnot,
+    for_,
+    negative_cnf_weighted_satisfiable,
+    negative_pair,
+    var,
+    weighted_circuit_satisfiable,
+    weighted_cnf_satisfiable,
+    weighted_formula_satisfiable,
+)
+
+
+class TestWeightedCircuit:
+    def make(self):
+        builder = CircuitBuilder()
+        xs = [builder.input(f"x{i}") for i in range(4)]
+        pair = builder.and_(xs[0], xs[1])
+        return builder.build(builder.or_(pair, xs[3]))
+
+    def test_weights(self):
+        c = self.make()
+        assert weighted_circuit_satisfiable(c, 1) == frozenset({"x3"})
+        witness2 = weighted_circuit_satisfiable(c, 2)
+        assert witness2 is not None and c.evaluate(witness2)
+        assert weighted_circuit_satisfiable(c, 0) is None
+        assert weighted_circuit_satisfiable(c, 5) is None  # more than inputs
+
+    def test_monotone_shortcut_still_exact(self):
+        builder = CircuitBuilder()
+        xs = [builder.input(f"x{i}") for i in range(3)]
+        c = builder.build(builder.and_(*xs))
+        assert weighted_circuit_satisfiable(c, 2) is None
+        assert weighted_circuit_satisfiable(c, 3) == frozenset({"x0", "x1", "x2"})
+
+    def test_unsatisfiable_monotone(self):
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        b = builder.input("b")
+        c = builder.build(builder.and_(a, b))
+        assert weighted_circuit_satisfiable(c, 1) is None
+
+
+class TestWeightedFormula:
+    def test_weights(self):
+        f = for_(fand(var("a"), var("b")), fnot(var("c")))
+        # weight 0: ~c holds (c false).
+        assert weighted_formula_satisfiable(f, 0) == frozenset()
+        w1 = weighted_formula_satisfiable(f, 1)
+        assert w1 is not None and f.evaluate(w1)
+        w3 = weighted_formula_satisfiable(f, 3)
+        assert w3 is not None and f.evaluate(w3)
+
+    def test_unsatisfiable_weight(self):
+        f = fand(var("a"), fnot(var("a")))
+        assert weighted_formula_satisfiable(f, 0) is None
+        assert weighted_formula_satisfiable(f, 1) is None
+
+
+class TestWeightedCNF:
+    def test_positive_clause_cnf(self):
+        cnf = CNF([[Literal("a"), Literal("b")], [Literal("c")]])
+        witness = weighted_cnf_satisfiable(cnf, 2)
+        assert witness is not None and cnf.evaluate(witness)
+        assert weighted_cnf_satisfiable(cnf, 0) is None
+
+    def test_negative_cnf_matches_bruteforce(self):
+        variables = ["v0", "v1", "v2", "v3", "v4"]
+        clauses = [
+            negative_pair("v0", "v1"),
+            negative_pair("v1", "v2"),
+            negative_pair("v3", "v4"),
+        ]
+        cnf = CNF(clauses, variables=variables)
+        for k in range(6):
+            fast = negative_cnf_weighted_satisfiable(cnf, k)
+            brute = None
+            for subset in combinations(variables, k):
+                if cnf.evaluate(set(subset)):
+                    brute = set(subset)
+                    break
+            assert (fast is not None) == (brute is not None), k
+            if fast is not None:
+                assert cnf.evaluate(fast)
+
+    def test_declared_variables_enable_clause_free_weight(self):
+        cnf = CNF([], variables=["a", "b"])
+        assert negative_cnf_weighted_satisfiable(cnf, 2) == frozenset({"a", "b"})
+
+    def test_unit_negative_clause_blocks_variable(self):
+        cnf = CNF([[Literal("a", False)]], variables=["a", "b"])
+        assert negative_cnf_weighted_satisfiable(cnf, 1) == frozenset({"b"})
+        assert negative_cnf_weighted_satisfiable(cnf, 2) is None
+
+    def test_groups_exactly_one_each(self):
+        groups = {"g0": ("a0", "a1"), "g1": ("b0", "b1")}
+        cnf = CNF(
+            [
+                negative_pair("a0", "a1"),
+                negative_pair("b0", "b1"),
+                negative_pair("a0", "b0"),
+            ],
+            variables=["a0", "a1", "b0", "b1"],
+        )
+        witness = negative_cnf_weighted_satisfiable(cnf, 2, groups=groups)
+        assert witness is not None
+        assert cnf.evaluate(witness)
+        assert len(witness & {"a0", "a1"}) == 1
+        assert len(witness & {"b0", "b1"}) == 1
+
+    def test_groups_can_be_skipped(self):
+        groups = {"g0": ("a",), "g1": ("b",), "g2": ("c",)}
+        cnf = CNF([negative_pair("a", "b")], variables=["a", "b", "c"])
+        witness = negative_cnf_weighted_satisfiable(cnf, 2, groups=groups)
+        assert witness is not None and cnf.evaluate(witness)
+
+    def test_wide_negative_clause(self):
+        # ¬a ∨ ¬b ∨ ¬c: at most two of the three.
+        cnf = CNF(
+            [[Literal("a", False), Literal("b", False), Literal("c", False)]],
+            variables=["a", "b", "c"],
+        )
+        assert negative_cnf_weighted_satisfiable(cnf, 2) is not None
+        assert negative_cnf_weighted_satisfiable(cnf, 3) is None
