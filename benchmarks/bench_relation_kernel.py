@@ -1,0 +1,204 @@
+"""KERNEL — micro-benchmarks for the columnar relational kernel.
+
+Times the four primitive operations every engine in the library bottoms out
+in — project, semijoin, natural join, and point index probes — at n ∈
+{1e3, 1e4, 1e5}, plus the two end-to-end acceptance workloads the kernel
+rewrite targets (the Yannakakis path query and the naive clique query).
+Results are written as machine-readable JSON (``BENCH_relation_kernel.json``
+by default) via :func:`repro.benchlib.write_json_report` so future PRs can
+track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_relation_kernel.py
+    PYTHONPATH=src python benchmarks/bench_relation_kernel.py --smoke  # CI, <60s
+
+``--smoke`` restricts the sweep to n ≤ 1e4 with one repeat and skips the
+JSON write unless ``--output`` is given explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.benchlib import print_table, speedup, time_thunk, write_json_report
+from repro.evaluation import NaiveEvaluator, YannakakisEvaluator
+from repro.parametric.problems import CliqueInstance
+from repro.reductions import clique_to_cq
+from repro.relational import Relation
+from repro.workloads import chain_database, path_query, random_graph
+
+#: Seed-kernel numbers for the acceptance workloads, measured on this
+#: container immediately before the columnar-kernel rewrite (best of 3).
+#: Kept so every rerun reports the speedup-over-seed trajectory.
+SEED_BASELINE_SECONDS = {
+    "yannakakis_path_len4_width16": 4.549e-3,
+    "naive_clique_n24_k3": 1.904e-2,
+}
+
+FULL_SIZES = (1_000, 10_000, 100_000)
+SMOKE_SIZES = (1_000, 10_000)
+
+
+def _make_pair(n: int, seed: int = 7) -> tuple:
+    """Two joinable three-column relations with ~unit join selectivity."""
+    rng = random.Random(seed)
+    domain = max(n, 16)
+    left = Relation(
+        ("a", "b", "c"),
+        {
+            (rng.randrange(domain), rng.randrange(domain), rng.randrange(domain))
+            for _ in range(n)
+        },
+    )
+    right = Relation(
+        ("b", "c", "d"),
+        {
+            (rng.randrange(domain), rng.randrange(domain), rng.randrange(domain))
+            for _ in range(n)
+        },
+    )
+    return left, right
+
+
+def run_micro(sizes, repeats: int) -> List[Dict[str, Any]]:
+    """Time each kernel primitive at each size; returns one record per cell."""
+    records: List[Dict[str, Any]] = []
+    for n in sizes:
+        left, right = _make_pair(n)
+        rng = random.Random(11)
+        probe_keys = [rng.randrange(max(n, 16)) for _ in range(1_000)]
+
+        def project():
+            return left.project(("a",))
+
+        def semijoin_cold():
+            # A fresh build side defeats the per-relation index cache, so
+            # this includes one index construction.
+            fresh = Relation._from_frozen(right.attributes, right.rows)
+            return left.semijoin(fresh)
+
+        left.semijoin(right)  # pre-warm: build right's index once
+
+        def semijoin_warm():
+            return left.semijoin(right)
+
+        def join():
+            return left.natural_join(right)
+
+        def index_probe():
+            total = 0
+            for key in probe_keys:
+                total += len(left.select_eq({"a": key}))
+            return total
+
+        cells = {
+            "project": project,
+            "semijoin_cold": semijoin_cold,
+            "semijoin_warm": semijoin_warm,
+            "natural_join": join,
+            "index_probe_1k": index_probe,
+        }
+        for op, thunk in cells.items():
+            seconds, _ = time_thunk(thunk, repeats=repeats)
+            records.append({"op": op, "n": n, "seconds": seconds})
+    return records
+
+
+def run_acceptance(repeats: int) -> Dict[str, float]:
+    """The two end-to-end workloads the acceptance criteria are pinned to."""
+    db = chain_database(layers=5, width=16, p=0.25, seed=3)
+    query = path_query(4, head_arity=1)
+    yann_seconds, _ = time_thunk(
+        lambda: YannakakisEvaluator().evaluate(query, db), repeats=repeats
+    )
+
+    graph = random_graph(24, 0.5, seed=0)
+    instance = clique_to_cq(CliqueInstance(graph, 3))
+    naive_seconds, _ = time_thunk(
+        lambda: NaiveEvaluator().satisfying_assignments(
+            instance.query, instance.database
+        ),
+        repeats=repeats,
+    )
+    return {
+        "yannakakis_path_len4_width16": yann_seconds,
+        "naive_clique_n24_k3": naive_seconds,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes, one repeat — the <60s CI configuration",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="JSON report path (default BENCH_relation_kernel.json; "
+        "omitted in --smoke mode unless given)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    repeats = 1 if args.smoke else 3
+
+    micro = run_micro(sizes, repeats)
+    acceptance = run_acceptance(repeats)
+
+    by_op: Dict[str, List] = {}
+    for record in micro:
+        by_op.setdefault(record["op"], []).append(record)
+    print_table(
+        ("op",) + tuple(f"n={n}" for n in sizes),
+        [
+            (op,) + tuple(r["seconds"] for r in sorted(rows, key=lambda r: r["n"]))
+            for op, rows in by_op.items()
+        ],
+        title="Relational kernel micro-benchmarks (seconds, best of "
+        f"{repeats})",
+    )
+    print_table(
+        ("workload", "seed s", "now s", "speedup"),
+        [
+            (
+                name,
+                SEED_BASELINE_SECONDS[name],
+                seconds,
+                speedup(SEED_BASELINE_SECONDS[name], seconds),
+            )
+            for name, seconds in acceptance.items()
+        ],
+        title="Acceptance workloads vs the seed kernel",
+    )
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = "BENCH_relation_kernel.json"
+    if output:
+        payload = {
+            "bench": "relation_kernel",
+            "smoke": args.smoke,
+            "repeats": repeats,
+            "microbenchmarks": micro,
+            "acceptance_workloads": {
+                name: {
+                    "seed_seconds": SEED_BASELINE_SECONDS[name],
+                    "kernel_seconds": seconds,
+                    "speedup_over_seed": round(
+                        speedup(SEED_BASELINE_SECONDS[name], seconds), 2
+                    ),
+                }
+                for name, seconds in acceptance.items()
+            },
+        }
+        write_json_report(output, payload)
+        print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

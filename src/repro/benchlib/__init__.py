@@ -1,6 +1,13 @@
 """Shared benchmark harness: timing, sweeps, growth fits, table rendering."""
 
-from .reporting import format_cell, print_table, render_series, render_table
+from .reporting import (
+    format_cell,
+    print_table,
+    read_json_report,
+    render_series,
+    render_table,
+    write_json_report,
+)
 from .runner import Measurement, growth_exponent, speedup, sweep, time_thunk
 
 __all__ = [
@@ -8,9 +15,11 @@ __all__ = [
     "format_cell",
     "growth_exponent",
     "print_table",
+    "read_json_report",
     "render_series",
     "render_table",
     "speedup",
     "sweep",
     "time_thunk",
+    "write_json_report",
 ]

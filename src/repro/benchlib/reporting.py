@@ -7,7 +7,9 @@ format that EXPERIMENTS.md quotes directly.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
 
 
 def format_cell(value: Any) -> str:
@@ -55,3 +57,22 @@ def render_series(name: str, points: Sequence[tuple]) -> str:
     """A one-line (x, y) series, e.g. ``n_q: (10, 0.001) (20, 0.008) ...``."""
     inner = " ".join(f"({format_cell(x)}, {format_cell(y)})" for x, y in points)
     return f"{name}: {inner}"
+
+
+def write_json_report(path: Union[str, Path], payload: Dict[str, Any]) -> Path:
+    """Write a machine-readable benchmark report (sorted keys, trailing \\n).
+
+    The perf-tracking files committed to the repo (``BENCH_*.json``) are all
+    produced through this helper so successive PRs yield minimal diffs.
+    """
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def read_json_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a report written by :func:`write_json_report` ({} if missing)."""
+    target = Path(path)
+    if not target.exists():
+        return {}
+    return json.loads(target.read_text())

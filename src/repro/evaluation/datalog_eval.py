@@ -80,7 +80,11 @@ class DatalogEvaluator:
         )
         derived = self._engine.evaluate(query, database)
         schema = RelationSchema(rule.head.relation, rule.head.arity)
-        return Relation(schema.default_attributes(), derived.rows)
+        # Same rows, new column names: reuse the frozen row set (and its
+        # cached indexes) instead of re-validating every tuple.
+        return Relation._from_frozen(
+            schema.default_attributes(), derived.rows
+        )._share_indexes_with(derived)
 
     def _naive(
         self, program: DatalogProgram, database: Database
@@ -154,7 +158,9 @@ class DatalogEvaluator:
                     )
                     derived = self._engine.evaluate(query, patched)
                     name = rule.head.relation
-                    schema_rel = Relation(idbs[name].attributes, derived.rows)
+                    schema_rel = Relation._from_frozen(
+                        idbs[name].attributes, derived.rows
+                    )._share_indexes_with(derived)
                     fresh = schema_rel.difference(idbs[name])
                     if not fresh.is_empty():
                         next_deltas[name] = next_deltas[name].union(fresh)

@@ -24,7 +24,7 @@ is that the exponent's dependence on the query is likely unavoidable.
 from __future__ import annotations
 
 from functools import reduce
-from typing import Any, FrozenSet, Sequence, Tuple
+from typing import Any, FrozenSet, List, Sequence, Tuple
 
 from ..errors import QueryError
 from ..query.first_order import (
@@ -37,6 +37,7 @@ from ..query.first_order import (
     Not,
     Or,
 )
+from ..relational.attributes import check_attribute_names
 from ..relational.database import Database
 from ..relational.relation import Relation
 from .instantiation import answers_relation, atom_candidate_relation
@@ -116,10 +117,10 @@ class FirstOrderEvaluator:
     @staticmethod
     def _universe(attributes: Tuple[str, ...], domain: FrozenSet[Any]) -> Relation:
         """domain^attributes as a relation (the complement's universe)."""
-        rows = [()]
+        rows: List[Tuple[Any, ...]] = [()]
         for _ in attributes:
             rows = [row + (value,) for row in rows for value in domain]
-        return Relation(attributes, rows)
+        return Relation._from_frozen(attributes, frozenset(rows))
 
     @staticmethod
     def _pad(
@@ -127,7 +128,10 @@ class FirstOrderEvaluator:
     ) -> Relation:
         missing = tuple(a for a in target if a not in set(relation.attributes))
         out = relation
+        domain_rows = frozenset((value,) for value in domain)
         for attribute in missing:
-            domain_column = Relation((attribute,), ((value,) for value in domain))
+            domain_column = Relation._from_frozen(
+                check_attribute_names((attribute,)), domain_rows
+            )
             out = out.natural_join(domain_column)
         return out.project(tuple(target))

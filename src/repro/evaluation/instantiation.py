@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 from ..errors import QueryError, SchemaError
 from ..query.atoms import Atom
 from ..query.terms import Constant, Term, Variable
+from ..relational.attributes import check_attribute_names
 from ..relational.database import Database
 from ..relational.relation import Relation
 
@@ -50,13 +51,21 @@ def atom_candidate_relation(atom: Atom, relation: Relation) -> Relation:
                 equality_checks.append((seen_at, position))
     out_positions = tuple(first_position[v] for v in variables)
 
-    rows = []
+    if not constant_checks and not equality_checks:
+        # All-distinct-variables atom (out_positions is the identity, since
+        # variables are listed in first-occurrence order): the rows pass
+        # through untouched — only the column names change, so the
+        # relation's cached indexes stay valid and are shared.
+        out = Relation._from_frozen(check_attribute_names(var_names), relation.rows)
+        return out._share_indexes_with(relation)
+
+    rows = set()
     for row in relation.rows:
         if any(row[p] != value for p, value in constant_checks):
             continue
         if any(row[a] != row[b] for a, b in equality_checks):
             continue
-        rows.append(tuple(row[p] for p in out_positions))
+        rows.add(tuple(row[p] for p in out_positions))
     return Relation(var_names, rows)
 
 
@@ -114,19 +123,27 @@ def answers_relation(
     since head terms may repeat variables or be constants.
     """
     names = tuple(f"o{i}" for i in range(len(head_terms)))
-    rows = []
     attribute_index = {name: i for i, name in enumerate(assignments.attributes)}
-    for row in assignments.rows:
-        out = []
-        for term in head_terms:
-            if isinstance(term, Constant):
-                out.append(term.value)
-            else:
-                position = attribute_index.get(term.name)
-                if position is None:
-                    raise QueryError(
-                        f"assignments relation misses head variable {term!r}"
-                    )
-                out.append(row[position])
-        rows.append(tuple(out))
-    return Relation(names, rows)
+    # Compile each head term once: column position for a variable, or the
+    # constant value itself (position None) — then build all rows in one
+    # comprehension instead of re-dispatching per term per row.
+    sources = []
+    for term in head_terms:
+        if isinstance(term, Constant):
+            sources.append((None, term.value))
+        else:
+            position = attribute_index.get(term.name)
+            if position is None:
+                raise QueryError(
+                    f"assignments relation misses head variable {term!r}"
+                )
+            sources.append((position, None))
+    if not sources:
+        rows = frozenset([()]) if assignments.rows else frozenset()
+        return Relation._from_frozen(names, rows)
+    rows = frozenset(
+        tuple(value if position is None else row[position]
+              for position, value in sources)
+        for row in assignments.rows
+    )
+    return Relation._from_frozen(names, rows)

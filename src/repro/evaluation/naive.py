@@ -7,11 +7,20 @@ the query size), which is precisely the data-complexity-polynomial /
 parametrically-intractable behaviour the paper analyzes.  It supports the
 full conjunctive fragment with inequalities and comparisons, so it doubles
 as the ground-truth oracle for the Theorem 2 and Theorem 3 machinery.
+
+Kernel notes: the search is *compiled* per query.  Variables map to integer
+slots in a flat valuation list, and each atom (in join order) becomes a
+static probe plan: which index to probe (built once per search, cached on
+the relation), how to assemble the probe key (constants and already-bound
+slots are known statically), which positions bind new slots, and which
+intra-atom repeated-variable equalities to check.  The enumeration itself is
+an iterative depth-first loop — no per-node dicts, no recursive generator
+chains, no isinstance checks in the hot path.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from ..errors import QueryError
 from ..query.atoms import Atom, Comparison, Inequality
@@ -22,13 +31,24 @@ from ..relational.index import IndexPool
 from ..relational.relation import Relation
 from .instantiation import answers_relation
 
+#: One compiled probe plan per atom:
+#: (rows_for(valuation) -> bucket, intra-atom equality (pos, pos) pairs,
+#:  (pos, slot) new-variable bindings, constraint checks ready at this depth)
+_Plan = Tuple[
+    Callable[[List[Any]], Sequence[Tuple]],
+    Tuple[Tuple[int, int], ...],
+    Tuple[Tuple[int, int], ...],
+    Tuple[Callable[[List[Any]], bool], ...],
+]
+
 
 class NaiveEvaluator:
     """Backtracking join evaluation with index probing and constraint checks.
 
     The evaluator is stateless between queries apart from its
-    :class:`IndexPool`, which caches hash indexes across calls on the same
-    database relations.
+    :class:`IndexPool`, which pins the database relations it has probed;
+    the index buckets themselves are cached on the (immutable) relations,
+    so they are shared across evaluators and with the relational algebra.
     """
 
     def __init__(self) -> None:
@@ -40,11 +60,9 @@ class NaiveEvaluator:
 
     def evaluate(self, query: ConjunctiveQuery, database: Database) -> Relation:
         """Compute Q(d) as a relation of head tuples."""
-        assignments = Relation(
-            tuple(v.name for v in query.variables()),
-            self._search(query, database, find_all=True),
+        return answers_relation(
+            query.head_terms, self.satisfying_assignments(query, database)
         )
-        return answers_relation(query.head_terms, assignments)
 
     def satisfying_assignments(
         self, query: ConjunctiveQuery, database: Database
@@ -76,81 +94,106 @@ class NaiveEvaluator:
         return self.decide(decided, database)
 
     # ------------------------------------------------------------------
+    # Plan compilation
+    # ------------------------------------------------------------------
+
+    def _compile(
+        self, query: ConjunctiveQuery, database: Database
+    ) -> Tuple[List[_Plan], int]:
+        """Compile the per-atom probe plans for one search."""
+        variables = query.variables()
+        slot_of: Dict[Variable, int] = {v: i for i, v in enumerate(variables)}
+        order = self._atom_order(query)
+        atoms = [query.atoms[i] for i in order]
+
+        ineq_checks = _constraint_schedule(query.inequalities, atoms, slot_of)
+        comp_checks = _constraint_schedule(query.comparisons, atoms, slot_of)
+
+        plans: List[_Plan] = []
+        bound_slots: set = set()
+        for depth, atom in enumerate(atoms):
+            relation = database[atom.relation]
+            # Static shape of the probe at this depth: which positions carry
+            # constants, which carry variables bound at earlier depths, which
+            # bind new slots, and which repeat a variable first seen in this
+            # very atom (intra-atom equality).
+            key_positions: List[int] = []
+            key_parts: List[Tuple[bool, Any]] = []  # (is_slot, slot-or-value)
+            bindings: List[Tuple[int, int]] = []
+            equalities: List[Tuple[int, int]] = []
+            first_seen: Dict[Variable, int] = {}
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    key_positions.append(position)
+                    key_parts.append((False, term.value))
+                elif slot_of[term] in bound_slots:
+                    key_positions.append(position)
+                    key_parts.append((True, slot_of[term]))
+                elif term in first_seen:
+                    equalities.append((first_seen[term], position))
+                else:
+                    first_seen[term] = position
+                    bindings.append((position, slot_of[term]))
+            self._pool.index(relation, key_positions)  # pin + warm the cache
+            buckets = relation._index(tuple(key_positions))
+            rows_for = _make_probe(buckets, key_parts, relation)
+            checks = tuple(
+                ineq_checks.get(depth, ()) + comp_checks.get(depth, ())
+            )
+            plans.append((rows_for, tuple(equalities), tuple(bindings), checks))
+            bound_slots.update(slot_of[v] for v in atom.variables())
+        return plans, len(variables)
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
 
     def _search(
         self, query: ConjunctiveQuery, database: Database, find_all: bool
     ) -> Iterator[Tuple]:
-        variables = query.variables()
-        order = self._atom_order(query)
-        atoms = [query.atoms[i] for i in order]
-        relations = [database[a.relation] for a in atoms]
+        plans, num_slots = self._compile(query, database)
+        valuation: List[Any] = [None] * num_slots
 
-        # Constraint checks fire as soon as their variables are all bound.
-        ineq_checks = _constraint_schedule(query.inequalities, atoms)
-        comp_checks = _constraint_schedule(query.comparisons, atoms)
-
-        valuation: Dict[Variable, Any] = {}
-        yield from self._extend(
-            0, atoms, relations, ineq_checks, comp_checks, valuation,
-            variables, find_all,
-        )
-
-    def _extend(
-        self,
-        depth: int,
-        atoms: List[Atom],
-        relations: List[Relation],
-        ineq_checks: Dict[int, List],
-        comp_checks: Dict[int, List],
-        valuation: Dict[Variable, Any],
-        variables: Tuple[Variable, ...],
-        find_all: bool,
-    ) -> Iterator[Tuple]:
-        if depth == len(atoms):
-            yield tuple(valuation[v] for v in variables)
+        if not plans:
+            # No atoms: the empty instantiation satisfies vacuously.
+            yield tuple(valuation)
             return
-        atom = atoms[depth]
-        relation = relations[depth]
-        bound_positions: List[int] = []
-        bound_values: List[Any] = []
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Constant):
-                bound_positions.append(position)
-                bound_values.append(term.value)
-            elif term in valuation:
-                bound_positions.append(position)
-                bound_values.append(valuation[term])
-        index = self._pool.index(relation, bound_positions)
-        for row in index.lookup(bound_values):
-            added: List[Variable] = []
-            consistent = True
-            for position, term in enumerate(atom.terms):
-                if isinstance(term, Constant):
-                    continue
-                bound = valuation.get(term, _UNSET)
-                if bound is _UNSET:
-                    valuation[term] = row[position]
-                    added.append(term)
-                elif bound != row[position]:
-                    consistent = False
+
+        last = len(plans) - 1
+        iters: List[Iterator[Tuple]] = [iter(())] * len(plans)
+        iters[0] = iter(plans[0][0](valuation))
+        depth = 0
+        while depth >= 0:
+            rows_for, equalities, bindings, checks = plans[depth]
+            descended = False
+            for row in iters[depth]:
+                if equalities:
+                    ok = True
+                    for a, b in equalities:
+                        if row[a] != row[b]:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                for position, slot in bindings:
+                    valuation[slot] = row[position]
+                if checks:
+                    ok = True
+                    for check in checks:
+                        if not check(valuation):
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                if depth == last:
+                    yield tuple(valuation)
+                else:
+                    depth += 1
+                    iters[depth] = iter(plans[depth][0](valuation))
+                    descended = True
                     break
-            if consistent:
-                consistent = all(
-                    check(valuation)
-                    for check in ineq_checks.get(depth, ())
-                ) and all(
-                    check(valuation)
-                    for check in comp_checks.get(depth, ())
-                )
-            if consistent:
-                yield from self._extend(
-                    depth + 1, atoms, relations, ineq_checks, comp_checks,
-                    valuation, variables, find_all,
-                )
-            for variable in added:
-                del valuation[variable]
+            if not descended:
+                depth -= 1
 
     @staticmethod
     def _atom_order(query: ConjunctiveQuery) -> List[int]:
@@ -186,14 +229,43 @@ class NaiveEvaluator:
         return order
 
 
-_UNSET = object()
+def _make_probe(
+    buckets: Dict[Any, Sequence[Tuple]],
+    key_parts: List[Tuple[bool, Any]],
+    relation: Relation,
+) -> Callable[[List[Any]], Sequence[Tuple]]:
+    """Compile ``valuation -> rows matching the probe key`` for one atom.
+
+    Key conventions follow :meth:`Relation._index`: raw values for a single
+    indexed position, tuples otherwise.  Fully static keys (all constants)
+    are resolved to their bucket at compile time.
+    """
+    empty: Tuple = ()
+    if not key_parts:
+        all_rows = buckets.get((), empty)
+        return lambda valuation: all_rows
+    if len(key_parts) == 1:
+        is_slot, payload = key_parts[0]
+        if not is_slot:
+            bucket = buckets.get(payload, empty)
+            return lambda valuation: bucket
+        return lambda valuation: buckets.get(valuation[payload], empty)
+    if all(not is_slot for is_slot, _ in key_parts):
+        bucket = buckets.get(tuple(v for _, v in key_parts), empty)
+        return lambda valuation: bucket
+    parts = tuple(key_parts)
+    return lambda valuation: buckets.get(
+        tuple(valuation[p] if is_slot else p for is_slot, p in parts), empty
+    )
 
 
-def _constraint_schedule(constraints, atoms: List[Atom]) -> Dict[int, List]:
+def _constraint_schedule(
+    constraints, atoms: List[Atom], slot_of: Dict[Variable, int]
+) -> Dict[int, Tuple]:
     """Map each atom depth to the constraint checks that become ready there.
 
     A constraint is *ready* at the first depth where all of its variables
-    are bound; the returned closures read the current valuation.
+    are bound; the returned closures read the flat slot valuation.
     """
     first_bound: Dict[Variable, int] = {}
     for depth, atom in enumerate(atoms):
@@ -204,29 +276,33 @@ def _constraint_schedule(constraints, atoms: List[Atom]) -> Dict[int, List]:
     for constraint in constraints:
         depths = [first_bound[v] for v in constraint.variables()]
         ready_at = max(depths) if depths else 0
-        schedule.setdefault(ready_at, []).append(_make_check(constraint))
-    return schedule
+        schedule.setdefault(ready_at, []).append(_make_check(constraint, slot_of))
+    return {depth: tuple(checks) for depth, checks in schedule.items()}
 
 
-def _make_check(constraint):
-    left = constraint.left
-    right = constraint.right
+def _make_check(constraint, slot_of: Dict[Variable, int]):
+    """Compile one ≠ / < / ≤ constraint into a slot-valuation closure."""
 
-    def value_of(term, valuation):
+    def reader(term):
         if isinstance(term, Constant):
-            return term.value
-        return valuation[term]
+            value = term.value
+            return lambda valuation: value
+        slot = slot_of[term]
+        return lambda valuation: valuation[slot]
+
+    left = reader(constraint.left)
+    right = reader(constraint.right)
 
     if isinstance(constraint, Inequality):
         def check(valuation, _l=left, _r=right):
-            return value_of(_l, valuation) != value_of(_r, valuation)
+            return _l(valuation) != _r(valuation)
         return check
     if isinstance(constraint, Comparison):
         strict = constraint.strict
 
         def check(valuation, _l=left, _r=right, _s=strict):
-            lv = value_of(_l, valuation)
-            rv = value_of(_r, valuation)
+            lv = _l(valuation)
+            rv = _r(valuation)
             return lv < rv if _s else lv <= rv
         return check
     raise QueryError(f"unknown constraint type: {constraint!r}")

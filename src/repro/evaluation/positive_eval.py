@@ -22,6 +22,7 @@ from typing import Any, FrozenSet, Sequence
 from ..errors import QueryError
 from ..query.first_order import And, AtomFormula, Exists, Formula, Or
 from ..query.positive import PositiveQuery
+from ..relational.attributes import check_attribute_names
 from ..relational.database import Database
 from ..relational.relation import Relation
 from .instantiation import answers_relation, atom_candidate_relation
@@ -101,7 +102,10 @@ class PositiveEvaluator:
         """Extend *relation* to schema *target* via active-domain columns."""
         missing = tuple(a for a in target if a not in set(relation.attributes))
         out = relation
+        rows = frozenset((value,) for value in domain)
         for attribute in missing:
-            domain_column = Relation((attribute,), ((value,) for value in domain))
+            domain_column = Relation._from_frozen(
+                check_attribute_names((attribute,)), rows
+            )
             out = out.natural_join(domain_column)
         return out.project(tuple(target))

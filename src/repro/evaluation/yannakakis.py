@@ -77,6 +77,11 @@ class YannakakisEvaluator:
 
         # Upward join-and-project pass (paper's Algorithm 2, step 2, in the
         # plain setting): carry shared attributes plus output attributes.
+        # With the default hash join the projection is pushed *into* the
+        # join (Relation._join_keep), so the child's wide intermediate is
+        # never materialized; a custom join algorithm gets the explicit
+        # project-then-join equivalent.
+        fused = self._join is hash_join
         head_set = set(head_names)
         for node in tree.bottom_up_order():
             parent = tree.parent(node)
@@ -88,9 +93,14 @@ class YannakakisEvaluator:
                 for a in relations[node].attributes
                 if a in parent_vars or a in head_set
             )
-            relations[parent] = self._join(
-                relations[parent], relations[node].project(keep)
-            )
+            if fused:
+                relations[parent] = relations[parent]._join_keep(
+                    relations[node], keep
+                )
+            else:
+                relations[parent] = self._join(
+                    relations[parent], relations[node].project(keep)
+                )
 
         answer_vars = relations[tree.root].project(
             tuple(a for a in relations[tree.root].attributes if a in head_set)

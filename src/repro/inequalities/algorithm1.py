@@ -147,8 +147,9 @@ class HashedAcyclicEngine:
         for j in self.tree.nodes():
             relation = self.base_relations[j]
             for x in sorted(self.atom_vars(j) & hashed_set, key=lambda v: v.name):
-                relation = relation.extend(
-                    hashed(x.name), lambda row, _n=x.name: h.get(row[_n], 1)
+                position = relation.attributes.index(x.name)
+                relation = relation._extend_positional(
+                    hashed(x.name), position, lambda v, _h=h: _h.get(v, 1)
                 )
             out[j] = relation
         return out
@@ -203,7 +204,8 @@ class HashedAcyclicEngine:
                 for a in relations[j].attributes
                 if a in self.y_sets[j] & self.y_sets[u]
             )
-            merged = relations[u].natural_join(relations[j].project(shared))
+            # Fused join-project: π_shared(P_j) is never materialized.
+            merged = relations[u]._join_keep(relations[j], shared)
             for left_h, right_h in self.merge_selection(
                 j, relations[u].attributes
             ):

@@ -53,7 +53,9 @@ def evaluate_for_hash(
             for a in relations[j].attributes
             if a in parent_attrs or a in head_set
         )
-        relations[u] = relations[u].natural_join(relations[j].project(keep))
+        # Fused join-project: the child's projection is folded into the
+        # join's build side instead of being materialized.
+        relations[u] = relations[u]._join_keep(relations[j], keep)
 
     # Step 3: the answer from the root.
     root = relations[tree.root]

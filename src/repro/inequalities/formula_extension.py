@@ -244,7 +244,8 @@ def _finish_evaluation(
             for a in relations[j].attributes
             if a in parent_attrs or a in head_set
         )
-        relations[u] = relations[u].natural_join(relations[j].project(keep))
+        # Fused join-project, as in the plain Yannakakis upward pass.
+        relations[u] = relations[u]._join_keep(relations[j], keep)
     root = relations[tree.root]
     return answers_relation(
         engine.query.head_terms, root.project(head_names)

@@ -50,8 +50,19 @@ def project_join(
     current = remaining.pop(0)
     while remaining:
         nxt = remaining.pop(0)
-        current = algorithm(current, nxt)
         future = set().union(*(set(r.attributes) for r in remaining)) if remaining else set()
+        if algorithm is hash_join:
+            # Fused path: drop nxt's dead columns inside the join's build
+            # side instead of materializing the intermediate first.
+            current_set = set(current.attributes)
+            nxt_keep = tuple(
+                a
+                for a in nxt.attributes
+                if a in current_set or a in wanted or a in future
+            )
+            current = current._join_keep(nxt, nxt_keep)
+        else:
+            current = algorithm(current, nxt)
         keep = tuple(a for a in current.attributes if a in wanted or a in future)
         current = current.project(keep)
     return current.project(tuple(attributes))

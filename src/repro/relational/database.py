@@ -34,6 +34,7 @@ class Database:
         domain: Optional[Iterable[Any]] = None,
     ) -> None:
         self._relations: Dict[str, Relation] = dict(relations)
+        self._active: Optional[FrozenSet[Any]] = None
         self._domain: Optional[FrozenSet[Any]] = (
             frozenset(domain) if domain is not None else None
         )
@@ -109,11 +110,15 @@ class Database:
     # ------------------------------------------------------------------
 
     def active_domain(self) -> FrozenSet[Any]:
-        """All values occurring in some relation."""
-        values: set = set()
-        for rel in self._relations.values():
-            values.update(rel.active_values())
-        return frozenset(values)
+        """All values occurring in some relation (computed once and cached —
+        the stored relations are immutable)."""
+        if self._active is None:
+            values: set = set()
+            for rel in self._relations.values():
+                for row in rel.rows:
+                    values.update(row)
+            self._active = frozenset(values)
+        return self._active
 
     def domain(self) -> FrozenSet[Any]:
         """The declared domain, or the active domain when none was declared."""

@@ -2,8 +2,15 @@
 
 The naive backtracking evaluator probes relations billions of times on large
 instances; a hash index on the bound positions turns each probe from a scan
-into a dictionary lookup.  Indexes are built lazily and cached per
-(relation, positions) pair by the evaluator that owns them.
+into a dictionary lookup.
+
+Since the columnar-kernel rewrite, the index storage itself lives *on the
+relation* (:meth:`Relation._index` — built lazily, cached forever, safe
+because relations are immutable).  :class:`HashIndex` and :class:`IndexPool`
+are kept as the stable public API: they are thin views over the per-relation
+cache, so an index built through any entry point (``semijoin``,
+``natural_join``, ``select_eq``, an evaluator, or this module) is shared by
+all of them.
 """
 
 from __future__ import annotations
@@ -11,6 +18,9 @@ from __future__ import annotations
 from typing import Any, Dict, FrozenSet, List, Sequence, Tuple
 
 from .relation import Relation, Row
+
+#: Sentinel that can never appear as an index key (private object identity).
+_NO_SUCH_KEY = object()
 
 
 class HashIndex:
@@ -25,18 +35,28 @@ class HashIndex:
 
     def __init__(self, relation: Relation, positions: Sequence[int]) -> None:
         self.positions: Tuple[int, ...] = tuple(positions)
-        buckets: Dict[Tuple[Any, ...], List[Row]] = {}
-        for row in relation.rows:
-            key = tuple(row[p] for p in self.positions)
-            buckets.setdefault(key, []).append(row)
-        self._buckets = buckets
+        # Delegates to the relation's own cache: the buckets are built at
+        # most once per (relation, positions) pair process-wide.
+        self._buckets = relation._index(self.positions)
+
+    def _key(self, key: Sequence[Any]) -> Any:
+        # Single-position indexes store raw values as keys (see
+        # Relation._index); normalize the sequence form used by callers.
+        normalized = tuple(key)
+        if len(self.positions) == 1:
+            if len(normalized) != 1:
+                return _NO_SUCH_KEY  # wrong-arity key: matches nothing
+            return normalized[0]
+        return normalized
 
     def lookup(self, key: Sequence[Any]) -> List[Row]:
         """Rows whose indexed positions equal *key* (possibly empty)."""
-        return self._buckets.get(tuple(key), [])
+        return list(self._buckets.get(self._key(key), ()))
 
     def keys(self) -> FrozenSet[Tuple[Any, ...]]:
-        """All distinct index keys."""
+        """All distinct index keys, as tuples."""
+        if len(self.positions) == 1:
+            return frozenset((k,) for k in self._buckets)
         return frozenset(self._buckets)
 
     def __len__(self) -> int:
@@ -48,7 +68,9 @@ class IndexPool:
 
     Relations are immutable, so caching by object identity is safe for the
     lifetime of the pool.  The pool also pins the relations it has indexed so
-    that ids cannot be recycled while the pool is alive.
+    that ids cannot be recycled while the pool is alive.  The underlying
+    bucket dictionaries live on the relations themselves, so distinct pools
+    indexing the same relation share storage.
     """
 
     def __init__(self) -> None:

@@ -9,6 +9,7 @@ pluggable dispatch used by the ablation benchmarks.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Dict, List, Tuple
 
 from ..errors import SchemaError
@@ -27,25 +28,66 @@ def shared_attributes(left: Relation, right: Relation) -> Tuple[str, ...]:
 def hash_join(left: Relation, right: Relation) -> Relation:
     """Natural join via hashing the smaller side on the shared attributes.
 
-    Expected time O(|left| + |right| + |output|).
+    Expected time O(|left| + |right| + |output|).  Whichever side is
+    smaller becomes the build side; rows are always emitted directly in
+    left-major column order (left's attributes, then right's extras), so no
+    post-join projection is ever needed.
     """
-    if len(right) < len(left):
-        # Build on the smaller side, then restore left-major column order.
-        swapped = hash_join(right, left)
-        order = left.attributes + tuple(
-            a for a in right.attributes if a not in set(left.attributes)
-        )
-        return swapped.project(order)
-    return left.natural_join(right)
+    if len(right) <= len(left):
+        # Relation.natural_join builds its hash table on the right operand.
+        return left.natural_join(right)
+
+    # Left is smaller: build on it directly and probe with right's rows,
+    # still emitting ``left_row + right_extras``.
+    shared = shared_attributes(left, right)
+    if not shared:
+        return left.natural_join(right)  # Cartesian product
+    left_set = set(left.attributes)
+    right_set = set(right.attributes)
+    if left_set <= right_set and right_set <= left_set:
+        return left.intersection(right)
+
+    left_pos = positions_of(left.attributes, shared)
+    right_pos = positions_of(right.attributes, shared)
+    extra = tuple(a for a in right.attributes if a not in left_set)
+    extra_pos = positions_of(right.attributes, extra)
+
+    buckets = left._index(left_pos)
+    right_key = Relation._key_getter(right_pos)
+    if len(extra_pos) == 1:
+        (ep,) = extra_pos
+        suffix_of = lambda row: (row[ep],)  # noqa: E731
+    elif not extra_pos:
+        suffix_of = lambda row: ()  # noqa: E731
+    else:
+        suffix_of = itemgetter(*extra_pos)
+
+    out: List[Row] = []
+    append = out.append
+    for row in right.rows:
+        bucket = buckets.get(right_key(row))
+        if bucket:
+            suffix = suffix_of(row)
+            for left_row in bucket:
+                append(left_row + suffix)
+    return Relation._from_frozen(left.attributes + extra, frozenset(out))
 
 
 def sort_merge_join(left: Relation, right: Relation) -> Relation:
     """Natural join by sorting both sides on the shared attributes and merging.
 
     Time O(N log N + |output|) where N is the total input size — the bound
-    used in the paper's accounting for Algorithm 1.  Join values must be
-    mutually comparable; we sort by ``repr`` as a total-order fallback when
-    values are heterogeneous.
+    used in the paper's accounting for Algorithm 1.  Heterogeneous values
+    are ordered by a decoration: numbers (bool/int/float, whose cross-type
+    equality and hashing Python guarantees) sort by value under a common
+    tag, everything else by ``(type name, repr)``.  Each row is decorated
+    exactly once before the merge, and the merge loop compares only the
+    precomputed decorations; within a run of equal decorations, rows are
+    matched on their *actual* key values, so repr collisions cannot produce
+    spurious matches, and ``True``/``1``/``1.0`` join exactly as they do
+    under :func:`hash_join`.  (Exotic cross-type equality outside the
+    numeric tower — a custom class equal to a str, say — can still land in
+    different runs; hash_join is the reference for such values.)
     """
     shared = shared_attributes(left, right)
     if not shared:
@@ -56,46 +98,66 @@ def sort_merge_join(left: Relation, right: Relation) -> Relation:
     extra = tuple(a for a in right.attributes if a not in set(left.attributes))
     extra_pos = positions_of(right.attributes, extra)
 
-    def sort_key(key: Row) -> Tuple:
-        return tuple((type(v).__name__, repr(v)) for v in key)
+    def decorate(key: Row) -> Tuple:
+        # "#num" sorts before all type names, and numeric values compare
+        # across bool/int/float — so equal numbers share a decoration run.
+        return tuple(
+            ("#num", v)
+            if isinstance(v, (bool, int, float))
+            else (type(v).__name__, repr(v))
+            for v in key
+        )
 
-    left_sorted: List[Row] = sorted(
-        left.rows, key=lambda r: sort_key(tuple(r[p] for p in left_pos))
+    # Decorate once: (decorated key, raw key, payload) triples, sorted on
+    # the decoration.  Right payloads are the pre-extracted extra columns.
+    left_items: List[Tuple[Tuple, Row, Row]] = sorted(
+        (
+            (decorate(key), key, row)
+            for row in left.rows
+            for key in (tuple(row[p] for p in left_pos),)
+        ),
+        key=itemgetter(0),
     )
-    right_sorted: List[Row] = sorted(
-        right.rows, key=lambda r: sort_key(tuple(r[p] for p in right_pos))
+    right_items: List[Tuple[Tuple, Row, Row]] = sorted(
+        (
+            (decorate(key), key, tuple(row[p] for p in extra_pos))
+            for row in right.rows
+            for key in (tuple(row[p] for p in right_pos),)
+        ),
+        key=itemgetter(0),
     )
 
     out: List[Row] = []
     i = j = 0
-    while i < len(left_sorted) and j < len(right_sorted):
-        lk = tuple(left_sorted[i][p] for p in left_pos)
-        rk = tuple(right_sorted[j][p] for p in right_pos)
-        if sort_key(lk) < sort_key(rk):
+    n_left, n_right = len(left_items), len(right_items)
+    while i < n_left and j < n_right:
+        left_dec = left_items[i][0]
+        right_dec = right_items[j][0]
+        if left_dec < right_dec:
             i += 1
-        elif sort_key(lk) > sort_key(rk):
+        elif left_dec > right_dec:
             j += 1
         else:
-            # Collect the equal-key runs on both sides and emit their product.
+            # Collect the equal-decoration runs on both sides.
             i_end = i
-            while i_end < len(left_sorted) and tuple(
-                left_sorted[i_end][p] for p in left_pos
-            ) == lk:
+            while i_end < n_left and left_items[i_end][0] == left_dec:
                 i_end += 1
             j_end = j
-            while j_end < len(right_sorted) and tuple(
-                right_sorted[j_end][p] for p in right_pos
-            ) == rk:
+            while j_end < n_right and right_items[j_end][0] == left_dec:
                 j_end += 1
+            # Within the runs, match on the raw keys (repr-collision-safe).
+            by_key: Dict[Row, List[Row]] = {}
             for li in range(i, i_end):
-                for rj in range(j, j_end):
-                    out.append(
-                        left_sorted[li]
-                        + tuple(right_sorted[rj][p] for p in extra_pos)
-                    )
+                by_key.setdefault(left_items[li][1], []).append(left_items[li][2])
+            for rj in range(j, j_end):
+                rows_for_key = by_key.get(right_items[rj][1])
+                if rows_for_key:
+                    suffix = right_items[rj][2]
+                    for left_row in rows_for_key:
+                        out.append(left_row + suffix)
             i, j = i_end, j_end
 
-    return Relation(left.attributes + extra, out)
+    return Relation._from_frozen(left.attributes + extra, frozenset(out))
 
 
 #: Named registry used by the ablation benchmarks.

@@ -9,10 +9,24 @@ merge) easy to reason about and safe to share.
 
 Set semantics are used throughout, matching the paper's model of relational
 databases (no duplicate tuples, no ordering).
+
+Kernel notes (see ``docs/kernel.md`` for the full contract):
+
+* the public constructor validates; the *trusted* constructor
+  :meth:`Relation._from_frozen` does not, and every algebra operation builds
+  its result through it so rows are frozen and validated exactly once;
+* each relation lazily caches hash indexes (column positions → key → rows)
+  in :meth:`Relation._index`; ``semijoin``/``natural_join``/``select_eq``
+  and the evaluators probe these instead of rebuilding key sets per call.
+  Relations are immutable, so cached indexes are never invalidated;
+* operations that permute or rename columns without touching rows
+  (``rename``, and the candidate-relation fast path) share the source
+  relation's index cache, since positional indexes only depend on rows.
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import (
     Any,
     Callable,
@@ -20,6 +34,7 @@ from typing import (
     FrozenSet,
     Iterable,
     Iterator,
+    List,
     Mapping,
     Optional,
     Sequence,
@@ -30,6 +45,12 @@ from ..errors import ArityError, SchemaError
 from .attributes import check_attribute_names, positions_of
 
 Row = Tuple[Any, ...]
+
+#: positions → (key → tuple of rows).  Keys are raw values for
+#: single-position indexes and tuples of values otherwise.
+IndexBuckets = Dict[Any, Tuple[Row, ...]]
+
+_EMPTY_ROWSET: FrozenSet[Row] = frozenset()
 
 
 class Relation:
@@ -49,7 +70,7 @@ class Relation:
     frozenset({(1,)})
     """
 
-    __slots__ = ("_attributes", "_rows")
+    __slots__ = ("_attributes", "_rows", "_indexes")
 
     def __init__(self, attributes: Sequence[str], rows: Iterable[Row] = ()) -> None:
         self._attributes: Tuple[str, ...] = check_attribute_names(attributes)
@@ -61,6 +82,83 @@ class Relation:
                     f"row {row!r} has arity {len(row)}, expected {arity}"
                 )
         self._rows: FrozenSet[Row] = frozen
+        self._indexes: Dict[Tuple[int, ...], IndexBuckets] = {}
+
+    # ------------------------------------------------------------------
+    # Trusted constructor + index cache (the kernel's internal contract)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_frozen(
+        cls, attributes: Tuple[str, ...], rows: FrozenSet[Row]
+    ) -> "Relation":
+        """Trusted constructor: no validation, no re-freezing.
+
+        Contract — the caller guarantees that *attributes* is a tuple of
+        pairwise-distinct nonempty strings (e.g. taken from an existing
+        relation or passed through :func:`check_attribute_names`) and that
+        *rows* is a frozenset of tuples whose length equals
+        ``len(attributes)``.  Every algebra operation routes its result
+        through here so each row is tupled, checked and frozen exactly once,
+        at the boundary where it first enters the system.
+        """
+        self = object.__new__(cls)
+        self._attributes = attributes
+        self._rows = rows
+        self._indexes = {}
+        return self
+
+    def _index(self, positions: Tuple[int, ...]) -> IndexBuckets:
+        """The cached hash index on *positions* (built on first use).
+
+        Maps each key — ``row[p]`` for a single position, ``tuple(row[p]
+        for p in positions)`` otherwise — to the tuple of rows having that
+        key.  The empty position tuple indexes everything under ``()``.
+        Relations are immutable, so the cache is never invalidated.
+        """
+        found = self._indexes.get(positions)
+        if found is not None:
+            return found
+        buckets: Dict[Any, List[Row]] = {}
+        if len(positions) == 1:
+            (p,) = positions
+            for row in self._rows:
+                key = row[p]
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [row]
+                else:
+                    bucket.append(row)
+        elif not positions:
+            if self._rows:
+                buckets[()] = list(self._rows)
+        else:
+            getter = itemgetter(*positions)
+            for row in self._rows:
+                key = getter(row)
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [row]
+                else:
+                    bucket.append(row)
+        frozen_buckets: IndexBuckets = {k: tuple(v) for k, v in buckets.items()}
+        self._indexes[positions] = frozen_buckets
+        return frozen_buckets
+
+    @staticmethod
+    def _key_getter(positions: Tuple[int, ...]) -> Callable[[Row], Any]:
+        """Row → index key, matching :meth:`_index`'s key convention."""
+        if len(positions) == 1:
+            (p,) = positions
+            return lambda row: row[p]
+        if not positions:
+            return lambda row: ()
+        return itemgetter(*positions)
+
+    def _share_indexes_with(self, other: "Relation") -> "Relation":
+        """Share *other*'s index cache (caller guarantees identical rows)."""
+        self._indexes = other._indexes
+        return self
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -138,12 +236,12 @@ class Relation:
     @classmethod
     def unit(cls) -> "Relation":
         """The nullary relation containing the empty tuple (logical TRUE)."""
-        return cls((), [()])
+        return cls._from_frozen((), frozenset([()]))
 
     @classmethod
     def empty(cls, attributes: Sequence[str] = ()) -> "Relation":
         """An empty relation over *attributes* (logical FALSE when nullary)."""
-        return cls(attributes, [])
+        return cls._from_frozen(check_attribute_names(attributes), _EMPTY_ROWSET)
 
     @classmethod
     def from_dicts(
@@ -183,43 +281,68 @@ class Relation:
         empty attribute list yields the nullary TRUE/FALSE relation depending
         on whether any row exists.
         """
-        names = tuple(attributes)
+        names = check_attribute_names(attributes)
         if names == self._attributes:
             return self
         positions = positions_of(self._attributes, names)
-        return Relation(names, (tuple(row[p] for p in positions) for row in self._rows))
+        rows = self._rows
+        if len(positions) == 1:
+            (p,) = positions
+            projected = frozenset((row[p],) for row in rows)
+        elif not positions:
+            projected = frozenset([()]) if rows else _EMPTY_ROWSET
+        else:
+            projected = frozenset(map(itemgetter(*positions), rows))
+        return Relation._from_frozen(names, projected)
 
     def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
         """Selection by an arbitrary row predicate over attribute dicts."""
         names = self._attributes
-        kept = (
+        kept = frozenset(
             row for row in self._rows if predicate(dict(zip(names, row)))
         )
-        return Relation(names, kept)
+        return Relation._from_frozen(names, kept)
 
     def select_eq(self, conditions: Mapping[str, Any]) -> "Relation":
-        """Selection σ_{a=c, ...}: keep rows matching every constant condition."""
+        """Selection σ_{a=c, ...}: keep rows matching every constant condition.
+
+        Probes the relation's cached index on the condition columns, so
+        repeated point selections on the same columns are O(result) after
+        the first call.
+        """
         positions = positions_of(self._attributes, tuple(conditions))
-        values = tuple(conditions[a] for a in conditions)
-        kept = (
-            row
-            for row in self._rows
-            if all(row[p] == v for p, v in zip(positions, values))
-        )
-        return Relation(self._attributes, kept)
+        if len(positions) == 1:
+            key: Any = next(iter(conditions.values()))
+        else:
+            key = tuple(conditions.values())
+        try:
+            bucket = self._index(positions).get(key, ())
+        except TypeError:
+            # Unhashable condition value: fall back to the linear scan so
+            # exotic equality (a hashable object equal to an unhashable one)
+            # behaves exactly as the pre-index kernel did.
+            values = tuple(conditions.values())
+            bucket = tuple(
+                row
+                for row in self._rows
+                if all(row[p] == v for p, v in zip(positions, values))
+            )
+        return Relation._from_frozen(self._attributes, frozenset(bucket))
 
     def select_attr_eq(self, left: str, right: str) -> "Relation":
         """Selection σ_{left = right} between two columns."""
         (lp, rp) = positions_of(self._attributes, (left, right))
-        return Relation(
-            self._attributes, (row for row in self._rows if row[lp] == row[rp])
+        return Relation._from_frozen(
+            self._attributes,
+            frozenset(row for row in self._rows if row[lp] == row[rp]),
         )
 
     def select_attr_neq(self, left: str, right: str) -> "Relation":
         """Selection σ_{left ≠ right} between two columns."""
         (lp, rp) = positions_of(self._attributes, (left, right))
-        return Relation(
-            self._attributes, (row for row in self._rows if row[lp] != row[rp])
+        return Relation._from_frozen(
+            self._attributes,
+            frozenset(row for row in self._rows if row[lp] != row[rp]),
         )
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
@@ -229,9 +352,13 @@ class Relation:
         column names.
         """
         new_names = tuple(mapping.get(a, a) for a in self._attributes)
+        if new_names == self._attributes:
+            return self
         if len(set(new_names)) != len(new_names):
             raise SchemaError(f"rename produces duplicate attributes: {new_names}")
-        return Relation(new_names, self._rows)
+        out = Relation._from_frozen(check_attribute_names(new_names), self._rows)
+        # Rows are untouched, so positional indexes remain valid — share them.
+        return out._share_indexes_with(self)
 
     def extend(self, attribute: str, fn: Callable[[Dict[str, Any]], Any]) -> "Relation":
         """Append a computed column named *attribute* with value ``fn(row)``.
@@ -241,10 +368,23 @@ class Relation:
         """
         if attribute in self._attributes:
             raise SchemaError(f"attribute {attribute!r} already present")
-        names = self._attributes + (attribute,)
+        names = check_attribute_names(self._attributes + (attribute,))
         old = self._attributes
-        return Relation(
-            names, (row + (fn(dict(zip(old, row))),) for row in self._rows)
+        return Relation._from_frozen(
+            names,
+            frozenset(row + (fn(dict(zip(old, row))),) for row in self._rows),
+        )
+
+    def _extend_positional(
+        self, attribute: str, position: int, fn: Callable[[Any], Any]
+    ) -> "Relation":
+        """Append column *attribute* = ``fn(row[position])`` (positional fast
+        path for single-source computed columns; no per-row dicts)."""
+        if attribute in self._attributes:
+            raise SchemaError(f"attribute {attribute!r} already present")
+        names = check_attribute_names(self._attributes + (attribute,))
+        return Relation._from_frozen(
+            names, frozenset(row + (fn(row[position]),) for row in self._rows)
         )
 
     # ------------------------------------------------------------------
@@ -263,17 +403,23 @@ class Relation:
     def union(self, other: "Relation") -> "Relation":
         """Set union; schemas must agree as attribute sets."""
         aligned = self._check_union_compatible(other)
-        return Relation(self._attributes, self._rows | aligned._rows)
+        if not aligned._rows:
+            return self
+        if not self._rows:
+            return aligned
+        return Relation._from_frozen(self._attributes, self._rows | aligned._rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference; schemas must agree as attribute sets."""
         aligned = self._check_union_compatible(other)
-        return Relation(self._attributes, self._rows - aligned._rows)
+        if not aligned._rows:
+            return self
+        return Relation._from_frozen(self._attributes, self._rows - aligned._rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection; schemas must agree as attribute sets."""
         aligned = self._check_union_compatible(other)
-        return Relation(self._attributes, self._rows & aligned._rows)
+        return Relation._from_frozen(self._attributes, self._rows & aligned._rows)
 
     def natural_join(self, other: "Relation") -> "Relation":
         """Natural join on all shared attribute names (hash join).
@@ -281,61 +427,142 @@ class Relation:
         The result's columns are ``self``'s attributes followed by ``other``'s
         non-shared attributes.  With no shared attributes this degenerates to
         the Cartesian product; with identical schemas, to intersection.
+
+        Probing uses *other*'s cached index on the shared positions, so
+        repeated joins against the same relation build its hash table once.
         """
-        shared = tuple(a for a in self._attributes if a in set(other._attributes))
+        other_set = set(other._attributes)
+        shared = tuple(a for a in self._attributes if a in other_set)
         if not shared:
             return self._cartesian_product(other)
-        if set(other._attributes) <= set(self._attributes) and set(
+        if other_set <= set(self._attributes) and set(
             self._attributes
-        ) <= set(other._attributes):
+        ) <= other_set:
             return self.intersection(other)
+        return self._join_keep(other, other._attributes)
 
-        left_pos = positions_of(self._attributes, shared)
+    def _join_keep(
+        self, other: "Relation", other_keep: Sequence[str]
+    ) -> "Relation":
+        """Fused join-project: ``self ⋈ π_{other_keep}(other)`` in one pass.
+
+        *other_keep* must be a subset of *other*'s attributes containing all
+        attributes shared with ``self``.  The projection of *other* is never
+        materialized: build-side suffixes are extracted (and deduplicated)
+        straight into the hash buckets, so wide build-side intermediates
+        never exist.  This is the kernel behind the Yannakakis upward pass
+        and the Theorem 2 bottom-up merges.
+        """
+        self_attrs = self._attributes
+        self_set = set(self_attrs)
+        shared = tuple(a for a in self_attrs if a in set(other_keep))
+        extra = tuple(a for a in other_keep if a not in self_set)
+        if not shared:
+            # Degenerate: no join columns survive the projection.
+            return self.natural_join(other.project(tuple(other_keep)))
+        left_pos = positions_of(self_attrs, shared)
         right_pos = positions_of(other._attributes, shared)
-        extra = tuple(a for a in other._attributes if a not in set(self._attributes))
-        extra_pos = positions_of(other._attributes, extra)
 
-        buckets: Dict[Row, list] = {}
-        for row in other._rows:
-            key = tuple(row[p] for p in right_pos)
-            buckets.setdefault(key, []).append(tuple(row[p] for p in extra_pos))
+        if tuple(other_keep) == other._attributes:
+            # Plain natural join: probe other's cached full-row index.
+            extra_pos = positions_of(other._attributes, extra)
+            buckets = other._index(right_pos)
+            if len(extra_pos) == 1:
+                (ep,) = extra_pos
+                suffix_of = lambda row: (row[ep],)  # noqa: E731
+            elif not extra_pos:
+                suffix_of = lambda row: ()  # noqa: E731
+            else:
+                suffix_of = itemgetter(*extra_pos)
+        else:
+            # True fusion: bucket deduplicated kept suffixes, not full rows.
+            extra_pos = positions_of(other._attributes, extra)
+            right_key = Relation._key_getter(right_pos)
+            if len(extra_pos) == 1:
+                (ep,) = extra_pos
+                raw_suffix = lambda row: (row[ep],)  # noqa: E731
+            elif not extra_pos:
+                raw_suffix = lambda row: ()  # noqa: E731
+            else:
+                raw_suffix = itemgetter(*extra_pos)
+            grouped: Dict[Any, set] = {}
+            for row in other._rows:
+                grouped.setdefault(right_key(row), set()).add(raw_suffix(row))
+            buckets = {k: tuple(v) for k, v in grouped.items()}
+            suffix_of = lambda suffix: suffix  # noqa: E731
 
-        result_rows = []
-        for row in self._rows:
-            key = tuple(row[p] for p in left_pos)
-            for suffix in buckets.get(key, ()):
-                result_rows.append(row + suffix)
-        return Relation(self._attributes + extra, result_rows)
+        out: List[Row] = []
+        append = out.append
+        if len(left_pos) == 1:
+            (lp,) = left_pos
+            for row in self._rows:
+                bucket = buckets.get(row[lp])
+                if bucket:
+                    for item in bucket:
+                        append(row + suffix_of(item))
+        else:
+            left_getter = itemgetter(*left_pos)
+            for row in self._rows:
+                bucket = buckets.get(left_getter(row))
+                if bucket:
+                    for item in bucket:
+                        append(row + suffix_of(item))
+        return Relation._from_frozen(self_attrs + extra, frozenset(out))
 
     def _cartesian_product(self, other: "Relation") -> "Relation":
         overlap = set(self._attributes) & set(other._attributes)
         if overlap:
             raise SchemaError(f"product requires disjoint schemas; shared: {overlap}")
-        names = self._attributes + other._attributes
-        rows = (a + b for a in self._rows for b in other._rows)
-        return Relation(names, rows)
+        names = check_attribute_names(self._attributes + other._attributes)
+        rows = frozenset(a + b for a in self._rows for b in other._rows)
+        return Relation._from_frozen(names, rows)
 
     def semijoin(self, other: "Relation") -> "Relation":
         """Semijoin ``self ⋉ other``: rows of self that join with some row of other.
 
         The schema of the result equals self's schema.  With no shared
         attributes the semijoin keeps everything iff *other* is nonempty.
+
+        Membership is tested against *other*'s cached index on the shared
+        positions; when nothing is filtered, ``self`` is returned unchanged
+        so its own index caches stay live for downstream operations.
         """
-        shared = tuple(a for a in self._attributes if a in set(other._attributes))
+        other_set = set(other._attributes)
+        shared = tuple(a for a in self._attributes if a in other_set)
         if not shared:
-            return self if not other.is_empty() else Relation(self._attributes)
-        right_keys = frozenset(
-            tuple(row[p] for p in positions_of(other._attributes, shared))
-            for row in other._rows
-        )
+            if other._rows:
+                return self
+            return Relation._from_frozen(self._attributes, _EMPTY_ROWSET)
+        right_keys = other._index(positions_of(other._attributes, shared))
         left_pos = positions_of(self._attributes, shared)
-        kept = (
-            row
-            for row in self._rows
-            if tuple(row[p] for p in left_pos) in right_keys
-        )
-        return Relation(self._attributes, kept)
+        if len(left_pos) == 1:
+            (lp,) = left_pos
+            kept = frozenset(row for row in self._rows if row[lp] in right_keys)
+        else:
+            getter = itemgetter(*left_pos)
+            kept = frozenset(row for row in self._rows if getter(row) in right_keys)
+        if len(kept) == len(self._rows):
+            return self
+        return Relation._from_frozen(self._attributes, kept)
 
     def antijoin(self, other: "Relation") -> "Relation":
         """Antijoin ``self ▷ other``: rows of self that join with no row of other."""
-        return self.difference(self.semijoin(other))
+        other_set = set(other._attributes)
+        shared = tuple(a for a in self._attributes if a in other_set)
+        if not shared:
+            if other._rows:
+                return Relation._from_frozen(self._attributes, _EMPTY_ROWSET)
+            return self
+        right_keys = other._index(positions_of(other._attributes, shared))
+        left_pos = positions_of(self._attributes, shared)
+        if len(left_pos) == 1:
+            (lp,) = left_pos
+            kept = frozenset(row for row in self._rows if row[lp] not in right_keys)
+        else:
+            getter = itemgetter(*left_pos)
+            kept = frozenset(
+                row for row in self._rows if getter(row) not in right_keys
+            )
+        if len(kept) == len(self._rows):
+            return self
+        return Relation._from_frozen(self._attributes, kept)
