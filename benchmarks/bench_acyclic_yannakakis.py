@@ -1,18 +1,24 @@
 """ACYC — §5 baseline: acyclic queries in polynomial combined complexity.
 
-Path queries over layered databases: the Yannakakis engine's time is
-near-linear in the database size regardless of the query length, while the
-naive backtracking engine degrades as the path grows (its intermediate
-assignment space explodes with the number of matching sub-paths).
+Path queries over layered databases: the adaptive engine (which detects
+acyclicity and dispatches to Yannakakis) is near-linear in the database
+size regardless of the query length, while the forced-naive baseline
+degrades as the path grows (its intermediate assignment space explodes
+with the number of matching sub-paths).
 
 The paper's claim reproduced here: "If Q is acyclic, this evaluation can be
 done in time polynomial in the size of the input database d and the output
 Q(d)" — combined with the n^q behaviour of the generic algorithm, the
-acyclic engine should win by growing factors on long paths.
+acyclic dispatch should win by growing factors on long paths.
+
+Both rows run through ``QueryEngine.execute``: the adaptive row lets the
+planner choose (it picks Yannakakis for every point — asserted), the naive
+row forces ``evaluator="naive"``.
 """
 
+from repro import QueryEngine
 from repro.benchlib import growth_exponent, print_table, time_thunk
-from repro.evaluation import NaiveEvaluator, YannakakisEvaluator
+from repro.engine import YANNAKAKIS
 from repro.workloads import chain_database, path_query
 
 
@@ -20,32 +26,36 @@ def test_acyclic_linear_in_n(benchmark):
     lengths = (2, 3, 4)
     widths = (4, 8, 16)
 
-    yann = YannakakisEvaluator()
-    naive = NaiveEvaluator()
+    engine = QueryEngine()
 
     rows = []
-    yann_exponents = {}
+    engine_exponents = {}
     for length in lengths:
         query = path_query(length, head_arity=1)
-        yann_times = []
+        engine_times = []
         naive_times = []
         sizes = []
         for width in widths:
             db = chain_database(layers=length + 1, width=width, p=0.25, seed=3)
             sizes.append(db.size())
-            t_y, result_y = time_thunk(lambda: yann.evaluate(query, db), repeats=1)
-            t_n, result_n = time_thunk(lambda: naive.evaluate(query, db), repeats=1)
-            assert result_y == result_n
-            yann_times.append(t_y)
+            assert engine.plan_for(query, db).evaluator == YANNAKAKIS
+            t_e, result_e = time_thunk(
+                lambda: engine.execute(query, db), repeats=1
+            )
+            t_n, result_n = time_thunk(
+                lambda: engine.execute(query, db, evaluator="naive"), repeats=1
+            )
+            assert result_e == result_n
+            engine_times.append(t_e)
             naive_times.append(t_n)
-        yann_exponents[length] = growth_exponent(sizes, yann_times)
+        engine_exponents[length] = growth_exponent(sizes, engine_times)
         rows.append(
-            (f"len={length}", "yannakakis")
-            + tuple(yann_times)
-            + (yann_exponents[length],)
+            (f"len={length}", "engine (adaptive)")
+            + tuple(engine_times)
+            + (engine_exponents[length],)
         )
         rows.append(
-            (f"len={length}", "naive")
+            (f"len={length}", "forced naive")
             + tuple(naive_times)
             + (growth_exponent(sizes, naive_times),)
         )
@@ -55,13 +65,14 @@ def test_acyclic_linear_in_n(benchmark):
         + tuple(f"width={w}" for w in widths)
         + ("fitted exponent",),
         rows,
-        title="Acyclic path queries: Yannakakis stays near-linear in |d|",
+        title="Acyclic path queries: adaptive dispatch stays near-linear in |d|",
     )
 
-    # The acyclic engine's exponent must stay small at every length
+    # The adaptive engine's exponent must stay small at every length
     # (sort/hash overheads allow some slack above 1.0).
-    assert all(e < 2.2 for e in yann_exponents.values())
+    assert all(e < 2.2 for e in engine_exponents.values())
 
     db = chain_database(layers=5, width=16, p=0.25, seed=3)
     query = path_query(4, head_arity=1)
-    benchmark(lambda: YannakakisEvaluator().evaluate(query, db))
+    engine.execute(query, db)  # warm the plan cache before timing
+    benchmark(lambda: engine.execute(query, db))

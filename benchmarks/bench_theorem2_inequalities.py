@@ -18,8 +18,6 @@ from repro.inequalities import (
     GreedyPerfectHashFamily,
     build_engine,
 )
-from repro.query import parse_query
-from repro.relational import Database
 from repro.workloads import (
     all_examples,
     chain_database,

@@ -1,0 +1,169 @@
+"""CI benchmark regression gate: fresh ``--json`` run vs committed baseline.
+
+Compares every timing leaf (keys containing ``seconds``) of a freshly
+generated benchmark report against the committed ``BENCH_*.json`` baseline
+and fails (exit 1) when any leaf regressed by more than the tolerance
+factor.  Records inside lists are matched by their identity fields (``op``,
+``n``, ``name``, ...), so a smoke run is comparable against a full-run
+baseline: only the (identity, metric) pairs present in *both* reports are
+compared, and sub-noise leaves (both sides under ``--min-seconds``) are
+skipped.
+
+Usage (what the CI gate job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_relation_kernel.py --smoke --json fresh.json
+    PYTHONPATH=src python benchmarks/check_regressions.py \
+        --baseline BENCH_relation_kernel.json --fresh fresh.json --tolerance 2.0
+
+Verified locally: injecting an artificial slowdown into a fresh report
+makes the gate exit nonzero (see the engine PR description).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.benchlib import print_table, read_json_report
+
+#: Scalar fields that identify a record inside a list of measurements.
+IDENTITY_KEYS = ("name", "op", "workload", "label", "n", "k", "size")
+
+
+def flatten(payload: Any, prefix: str = "") -> Dict[str, Any]:
+    """Leaf paths → values; list items are keyed by their identity fields."""
+    leaves: Dict[str, Any] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(flatten(value, path))
+        return leaves
+    if isinstance(payload, list):
+        for index, item in enumerate(payload):
+            if isinstance(item, dict):
+                identity = ",".join(
+                    f"{key}={item[key]}"
+                    for key in IDENTITY_KEYS
+                    if key in item and isinstance(item[key], (str, int))
+                )
+                marker = identity or str(index)
+            else:
+                marker = str(index)
+            leaves.update(flatten(item, f"{prefix}[{marker}]"))
+        return leaves
+    leaves[prefix] = payload
+    return leaves
+
+
+def timing_leaves(flat: Dict[str, Any]) -> Dict[str, float]:
+    """The comparable leaves: numeric, and named ``*seconds*``."""
+    out: Dict[str, float] = {}
+    for path, value in flat.items():
+        segment = path.rsplit(".", 1)[-1]
+        if "seconds" not in segment or "seed" in segment:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[path] = float(value)
+    return out
+
+
+def compare(
+    baseline: Dict[str, Any],
+    fresh: Dict[str, Any],
+    tolerance: float,
+    min_seconds: float,
+) -> Tuple[List[Tuple[str, float, float, float, str]], int, int]:
+    """(rows, compared, regressions) for every shared timing leaf."""
+    base_times = timing_leaves(flatten(baseline))
+    fresh_times = timing_leaves(flatten(fresh))
+    shared = sorted(set(base_times) & set(fresh_times))
+    rows: List[Tuple[str, float, float, float, str]] = []
+    regressions = 0
+    compared = 0
+    for path in shared:
+        expected = base_times[path]
+        observed = fresh_times[path]
+        if expected < min_seconds and observed < min_seconds:
+            rows.append((path, expected, observed, 0.0, "sub-noise, skipped"))
+            continue
+        compared += 1
+        ratio = observed / max(expected, 1e-12)
+        if ratio > tolerance:
+            regressions += 1
+            status = f"REGRESSION (> {tolerance:g}x)"
+        else:
+            status = "ok"
+        rows.append((path, expected, observed, round(ratio, 2), status))
+    return rows, compared, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", required=True, help="committed BENCH_*.json baseline"
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly generated --json report"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when fresh > baseline * tolerance (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-4,
+        help="skip leaves where both sides are below this (noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = read_json_report(args.baseline)
+    fresh = read_json_report(args.fresh)
+    if not baseline:
+        print(f"error: baseline {args.baseline} missing or empty", file=sys.stderr)
+        return 2
+    if not fresh:
+        print(f"error: fresh report {args.fresh} missing or empty", file=sys.stderr)
+        return 2
+    if baseline.get("bench") != fresh.get("bench"):
+        print(
+            f"error: benchmark mismatch: baseline is "
+            f"{baseline.get('bench')!r}, fresh is {fresh.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    rows, compared, regressions = compare(
+        baseline, fresh, args.tolerance, args.min_seconds
+    )
+    print_table(
+        ("metric", "baseline s", "fresh s", "ratio", "status"),
+        rows,
+        title=(
+            f"Benchmark regression gate: {fresh.get('bench')} "
+            f"(tolerance {args.tolerance:g}x, noise floor "
+            f"{args.min_seconds:g}s)"
+        ),
+    )
+    print(
+        f"\n{compared} leaves compared, {len(rows) - compared} skipped, "
+        f"{regressions} regression(s)"
+    )
+    if compared == 0:
+        # A report-shape drift (renamed section / identity field) would
+        # otherwise make the gate vacuously green while gating nothing.
+        print(
+            "error: no timing leaves shared between baseline and fresh "
+            "report — regenerate the committed baseline",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from .evaluation import (
     TreewidthEvaluator,
     YannakakisEvaluator,
 )
+from .engine import QueryEngine, QueryPlan
 
 __version__ = "1.0.0"
 
@@ -56,7 +57,9 @@ __all__ = [
     "ParseError",
     "PositiveEvaluator",
     "PositiveQuery",
+    "QueryEngine",
     "QueryError",
+    "QueryPlan",
     "ReductionError",
     "Relation",
     "ReproError",

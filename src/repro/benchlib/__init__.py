@@ -8,12 +8,24 @@ from .reporting import (
     render_table,
     write_json_report,
 )
-from .runner import Measurement, growth_exponent, speedup, sweep, time_thunk
+from .runner import (
+    Measurement,
+    add_json_argument,
+    emit_json_report,
+    growth_exponent,
+    json_report_payload,
+    speedup,
+    sweep,
+    time_thunk,
+)
 
 __all__ = [
     "Measurement",
+    "add_json_argument",
+    "emit_json_report",
     "format_cell",
     "growth_exponent",
+    "json_report_payload",
     "print_table",
     "read_json_report",
     "render_series",

@@ -4,14 +4,26 @@ The benchmarks print paper-shaped tables (rows = parameter settings,
 columns = engines), so the harness here is deliberately simple: time a
 thunk a few times, keep the best, run sweeps over parameter grids, and
 estimate growth exponents from log–log slopes for the n^k-shape claims.
+
+Machine-readable output: every standalone benchmark script supports a
+``--json PATH`` flag through :func:`add_json_argument` /
+:func:`emit_json_report`, writing the same schema as the committed
+``BENCH_*.json`` baselines (top-level ``bench`` / ``smoke`` / ``repeats``
+keys plus benchmark-specific sections).  The CI regression gate
+(``benchmarks/check_regressions.py``) and local runs therefore share one
+code path — the gate compares whatever a fresh ``--json`` run emits
+against the committed baseline, leaf by leaf.
 """
 
 from __future__ import annotations
 
+import argparse
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .reporting import write_json_report
 
 
 @dataclass
@@ -78,3 +90,43 @@ def growth_exponent(
 def speedup(baseline: float, contender: float) -> float:
     """baseline / contender, guarding tiny denominators."""
     return baseline / max(contender, 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Machine-readable reports (shared schema with the BENCH_*.json baselines)
+# ----------------------------------------------------------------------
+
+
+def add_json_argument(parser: argparse.ArgumentParser) -> None:
+    """Register the standard ``--json PATH`` flag on a benchmark CLI."""
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable report (BENCH_*.json schema) here",
+    )
+
+
+def json_report_payload(
+    bench: str, *, smoke: bool, repeats: int, **sections: Any
+) -> Dict[str, Any]:
+    """Assemble the standard report: header keys + named sections.
+
+    Every committed baseline and every ``--json`` run goes through this
+    helper, so the regression gate can rely on the shape: ``bench`` names
+    the benchmark, ``smoke``/``repeats`` describe the configuration, and
+    each section holds either a mapping or a list of record dicts whose
+    timing leaves are keyed ``*seconds*``.
+    """
+    payload: Dict[str, Any] = {"bench": bench, "smoke": smoke, "repeats": repeats}
+    for name, section in sections.items():
+        payload[name] = section
+    return payload
+
+
+def emit_json_report(path: Optional[str], payload: Dict[str, Any]) -> None:
+    """Write *payload* to *path* (no-op when the flag was not given)."""
+    if path is None:
+        return
+    write_json_report(path, payload)
+    print(f"\nwrote {path}")

@@ -14,17 +14,7 @@ them incrementally.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import (
-    AbstractSet,
-    Dict,
-    FrozenSet,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import AbstractSet, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ReproError
 

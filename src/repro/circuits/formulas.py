@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import AbstractSet, FrozenSet, Iterable, List, Tuple, Union
 
 from ..errors import ReproError
-from .circuit import AND, CircuitBuilder, Circuit, NOT, OR
+from .circuit import CircuitBuilder, Circuit
 
 
 class FormulaError(ReproError):

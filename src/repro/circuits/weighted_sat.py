@@ -19,10 +19,8 @@ from __future__ import annotations
 
 from itertools import combinations
 from typing import (
-    AbstractSet,
     Dict,
     FrozenSet,
-    Iterable,
     List,
     Mapping,
     Optional,

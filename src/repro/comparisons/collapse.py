@@ -12,9 +12,8 @@ comparison graph) define acyclicity for queries with comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, List
 
-from ..errors import QueryError
 from ..query.atoms import Comparison
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.terms import Constant, Term, Variable

@@ -9,13 +9,13 @@ equalities are read off the strongly connected components
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple, Union
+from typing import Dict, Iterable, List, Tuple
 
 from ..errors import QueryError
 from ..query.atoms import Comparison
-from ..query.terms import Constant, Term, Variable
+from ..query.terms import Constant, Term
 
 Node = Term  # variables and constants are both graph nodes
 

@@ -1,0 +1,62 @@
+"""Adaptive query engine: structural analysis → plan → cache → execute.
+
+The paper proves *which* query classes are tractable; this package turns
+that map into a dispatcher.  ``QueryEngine.execute`` analyzes a conjunctive
+query's structure (GYO acyclicity, treewidth, variable-set grouping),
+plans an evaluation strategy with a cardinality-based cost model, caches
+the plan under a binding-independent shape key, and runs the evaluator
+whose tractability guarantee applies.  See ``docs/engine.md``.
+"""
+
+from .analysis import (
+    ACYCLIC,
+    ACYCLIC_NEQ,
+    BOUNDED_TREEWIDTH,
+    BOUNDED_VARIABLES,
+    DEFAULT_TREEWIDTH_THRESHOLD,
+    GENERAL,
+    STRUCTURAL_CLASSES,
+    StructuralAnalysis,
+    analyze,
+    plan_cache_key,
+    schema_signature,
+    shape_signature,
+)
+from .cache import CacheStats, PlanCache
+from .engine import QueryEngine
+from .plan import (
+    BOUNDED_VARIABLE,
+    EVALUATORS,
+    INEQUALITY,
+    NAIVE,
+    QueryPlan,
+    TREEWIDTH,
+    YANNAKAKIS,
+)
+from .planner import Planner
+
+__all__ = [
+    "ACYCLIC",
+    "ACYCLIC_NEQ",
+    "BOUNDED_TREEWIDTH",
+    "BOUNDED_VARIABLE",
+    "BOUNDED_VARIABLES",
+    "CacheStats",
+    "DEFAULT_TREEWIDTH_THRESHOLD",
+    "EVALUATORS",
+    "GENERAL",
+    "INEQUALITY",
+    "NAIVE",
+    "PlanCache",
+    "Planner",
+    "QueryEngine",
+    "QueryPlan",
+    "STRUCTURAL_CLASSES",
+    "StructuralAnalysis",
+    "TREEWIDTH",
+    "YANNAKAKIS",
+    "analyze",
+    "plan_cache_key",
+    "schema_signature",
+    "shape_signature",
+]

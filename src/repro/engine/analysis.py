@@ -1,0 +1,228 @@
+"""Structural analysis of conjunctive queries for the adaptive planner.
+
+The paper's dichotomy — evaluation is intractable in combined complexity in
+general (Theorem 1: W[1]-complete for parameters q and v) but polynomial for
+acyclic queries (§5) — is a *planning* decision: detect the structure, then
+dispatch to the engine whose tractability guarantee applies.  This module is
+the detection half.  It classifies a :class:`ConjunctiveQuery` into one of
+the engine's structural classes:
+
+``acyclic``
+    GYO-reducible hypergraph, no constraint atoms — Yannakakis territory.
+``acyclic-inequalities``
+    Acyclic relational core plus ≠ atoms — the paper's Theorem 2 island
+    (FPT in the number of inequalities).
+``bounded-treewidth``
+    Cyclic, but a heuristic tree decomposition of the primal graph has
+    width ≤ the planner's threshold — the bounded-treewidth generalization
+    of acyclicity from the literature that followed the paper.
+``bounded-variables``
+    Cyclic and wide, but with fewer distinct atom variable sets than atoms,
+    so Theorem 1's parameter-v grouping shrinks the query before the
+    generic algorithm runs.
+``general``
+    Everything else (including any query with < / ≤ atoms) — the n^O(q)
+    backtracking baseline.
+
+The module also defines the two cache-key signatures: a *shape* signature
+that canonicalizes variable names and erases constant values (so a
+parameterized query hits the same plan for every constant binding), and a
+*schema* signature summarizing the relations the query touches (so a plan
+is re-derived when the data changes scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import NotAcyclicError
+from ..hypergraph.join_tree import JoinTree
+from ..hypergraph.treewidth import TreeDecomposition, tree_decomposition
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Constant, Variable
+from ..relational.database import Database
+
+ACYCLIC = "acyclic"
+ACYCLIC_NEQ = "acyclic-inequalities"
+BOUNDED_TREEWIDTH = "bounded-treewidth"
+BOUNDED_VARIABLES = "bounded-variables"
+GENERAL = "general"
+
+STRUCTURAL_CLASSES = (
+    ACYCLIC,
+    ACYCLIC_NEQ,
+    BOUNDED_TREEWIDTH,
+    BOUNDED_VARIABLES,
+    GENERAL,
+)
+
+#: Default width bound under which a cyclic query is still treated as
+#: tractable via its tree decomposition (bag materialization is n^(w+1)).
+DEFAULT_TREEWIDTH_THRESHOLD = 3
+
+
+@dataclass(frozen=True)
+class StructuralAnalysis:
+    """Everything the planner needs to know about a query's structure."""
+
+    structural_class: str
+    acyclic: bool
+    join_tree: Optional[JoinTree]
+    decomposition: Optional[TreeDecomposition]
+    width: Optional[int]
+    num_atoms: int
+    num_variables: int
+    query_size: int
+    num_inequalities: int
+    num_comparisons: int
+    distinct_variable_sets: int
+    #: Per-atom variable names (position order) of the analyzed query.  The
+    #: join tree and decomposition above name these variables; an α-renamed
+    #: shape twin served by the same cached plan must not reuse them (see
+    #: :func:`variable_layout`), since bags/edges are matched by name.
+    variable_layout: Tuple[Tuple[str, ...], ...] = ()
+
+    def summary(self) -> str:
+        """One line for ``explain`` output."""
+        shape = "acyclic (GYO)" if self.acyclic else (
+            f"cyclic, decomposition width {self.width}"
+        )
+        constraints = ""
+        if self.num_inequalities:
+            constraints += f", {self.num_inequalities} inequality atom(s)"
+        if self.num_comparisons:
+            constraints += f", {self.num_comparisons} comparison atom(s)"
+        return (
+            f"{self.num_atoms} atom(s), {self.num_variables} variable(s), "
+            f"q={self.query_size}; {shape}{constraints}"
+        )
+
+
+def variable_layout(query: ConjunctiveQuery) -> Tuple[Tuple[str, ...], ...]:
+    """Per-atom variable names — the identity under which a cached plan's
+    join tree / decomposition remain directly reusable.
+
+    Two same-shape queries that differ only in their *constants* (the
+    decision instances of one parameterized query) have equal layouts; an
+    α-renamed twin does not, and must rebuild the named structures."""
+    return tuple(
+        tuple(v.name for v in atom.variables()) for atom in query.atoms
+    )
+
+
+def analyze(
+    query: ConjunctiveQuery,
+    treewidth_threshold: int = DEFAULT_TREEWIDTH_THRESHOLD,
+) -> StructuralAnalysis:
+    """Classify *query* into the engine's structural classes.
+
+    Pure function of the query (no database): the same analysis is valid
+    for every constant binding of the same shape, which is what makes the
+    plan cache sound.
+    """
+    hypergraph = query.hypergraph()
+    join_tree: Optional[JoinTree] = None
+    decomposition: Optional[TreeDecomposition] = None
+    width: Optional[int] = None
+    try:
+        join_tree = JoinTree.from_hypergraph(hypergraph)
+        acyclic = True
+    except NotAcyclicError:
+        acyclic = False
+        decomposition = tree_decomposition(hypergraph, heuristic="min_fill")
+        width = decomposition.width
+
+    distinct_variable_sets = len({a.variable_set() for a in query.atoms})
+
+    if query.comparisons:
+        structural_class = GENERAL
+    elif query.inequalities:
+        structural_class = ACYCLIC_NEQ if acyclic else GENERAL
+    elif acyclic:
+        structural_class = ACYCLIC
+    elif width is not None and width <= treewidth_threshold:
+        structural_class = BOUNDED_TREEWIDTH
+    elif distinct_variable_sets < len(query.atoms):
+        structural_class = BOUNDED_VARIABLES
+    else:
+        structural_class = GENERAL
+
+    return StructuralAnalysis(
+        structural_class=structural_class,
+        acyclic=acyclic,
+        join_tree=join_tree,
+        decomposition=decomposition,
+        width=width,
+        num_atoms=query.num_atoms(),
+        num_variables=query.num_variables(),
+        query_size=query.query_size(),
+        num_inequalities=len(query.inequalities),
+        num_comparisons=len(query.comparisons),
+        distinct_variable_sets=distinct_variable_sets,
+        variable_layout=variable_layout(query),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache-key signatures
+# ----------------------------------------------------------------------
+
+_CONST = ("c",)
+
+
+def shape_signature(query: ConjunctiveQuery) -> Tuple:
+    """A canonical, binding-independent key for the query's shape.
+
+    Variables are renamed to their first-occurrence index (head first, then
+    body atoms in order) and constants collapse to a positional marker, so
+    the decision instances ``Q[t/head]`` of one parameterized query share a
+    single signature for every candidate tuple t.  Relation names are kept:
+    they determine which cardinalities the cost model reads.
+    """
+    numbering: Dict[Variable, int] = {}
+
+    def term_key(term) -> Tuple:
+        if isinstance(term, Constant):
+            return _CONST
+        index = numbering.get(term)
+        if index is None:
+            index = len(numbering)
+            numbering[term] = index
+        return ("v", index)
+
+    head = tuple(term_key(t) for t in query.head_terms)
+    atoms = tuple(
+        (atom.relation,) + tuple(term_key(t) for t in atom.terms)
+        for atom in query.atoms
+    )
+    inequalities = frozenset(
+        frozenset((term_key(i.left), term_key(i.right)))
+        for i in query.inequalities
+    )
+    comparisons = frozenset(
+        (term_key(c.left), term_key(c.right), c.strict)
+        for c in query.comparisons
+    )
+    return (head, atoms, inequalities, comparisons)
+
+
+def schema_signature(query: ConjunctiveQuery, database: Database) -> Tuple:
+    """Summary of the relations the query reads, at order-of-magnitude grain.
+
+    Includes each referenced relation's arity and the bit length of its
+    cardinality: a cached plan survives small data changes but is re-derived
+    when a relation roughly doubles or halves, which is when the cost
+    model's verdict could flip.
+    """
+    names = sorted({atom.relation for atom in query.atoms})
+    parts = []
+    for name in names:
+        relation = database[name]
+        parts.append((name, relation.arity, relation.cardinality.bit_length()))
+    return tuple(parts)
+
+
+def plan_cache_key(query: ConjunctiveQuery, database: Database) -> Tuple:
+    """The full plan-cache key: query shape + schema summary."""
+    return (shape_signature(query), schema_signature(query, database))

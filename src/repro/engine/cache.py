@@ -1,0 +1,91 @@
+"""An LRU cache for query plans.
+
+Parameterized workloads — the same query shape executed under many constant
+bindings, the bread and butter of a production query service — pay the
+analyzer and cost model once: the cache key (:func:`plan_cache_key`)
+canonicalizes variable names and erases constant values, so every binding
+of one prepared statement maps to the same entry.  Eviction is
+least-recently-used with a fixed capacity; hit / miss / eviction counters
+are exposed for tests and for ``QueryEngine.explain``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters since construction (or the last ``clear``)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A bounded mapping from plan-cache keys to plans, LRU eviction."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached plan for *key*, refreshing its recency; None on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: Hashable, plan: Any) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = plan
+            return
+        if len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        self._entries[key] = plan
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self._capacity,
+        )

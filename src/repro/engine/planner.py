@@ -1,0 +1,339 @@
+"""The structural planner: analysis + cost model → :class:`QueryPlan`.
+
+Dispatch is *structure first, cost second*: the analyzer decides which
+tractable class the query falls into (hence which evaluators are sound and
+carry a complexity guarantee), and a cardinality-based cost model arbitrates
+between the class evaluator and the generic baseline — the baseline's lower
+constant factors win on tiny inputs, the guaranteed engine wins as data
+grows.
+
+The cost model measures everything in abstract *row operations* and reads
+its statistics straight from the PR 1 kernel: relation cardinalities, and
+per-column distinct counts taken from the relations' cached single-position
+hash indexes (``Relation._index``), so statistics gathered at plan time are
+the very indexes the backtracking executor probes later — planning warms
+the caches it plans for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..query.atoms import Atom
+from ..query.conjunctive import ConjunctiveQuery
+from ..query.terms import Constant, Variable
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .analysis import (
+    ACYCLIC,
+    ACYCLIC_NEQ,
+    BOUNDED_TREEWIDTH,
+    BOUNDED_VARIABLES,
+    DEFAULT_TREEWIDTH_THRESHOLD,
+    StructuralAnalysis,
+    analyze,
+)
+from .plan import (
+    BOUNDED_VARIABLE,
+    INEQUALITY,
+    NAIVE,
+    QueryPlan,
+    TREEWIDTH,
+    YANNAKAKIS,
+)
+
+#: Per-row constant factor of the semijoin/join passes relative to one
+#: backtracking probe (hash build + probe + row assembly vs a dict lookup).
+_PASS_WEIGHT = 1.5
+
+#: Semijoin passes of the acyclic pipeline (bottom-up, top-down, join-up).
+_NUM_PASSES = 3
+
+#: The class evaluator is preferred unless the baseline's estimate is this
+#: many times cheaper — structural guarantees beat small modelled margins.
+_BASELINE_MARGIN = 4.0
+
+
+class Planner:
+    """Turns (query, database) into an explainable :class:`QueryPlan`."""
+
+    def __init__(self, treewidth_threshold: int = DEFAULT_TREEWIDTH_THRESHOLD) -> None:
+        self.treewidth_threshold = treewidth_threshold
+
+    # ------------------------------------------------------------------
+
+    def plan(self, query: ConjunctiveQuery, database: Database) -> QueryPlan:
+        analysis = analyze(query, self.treewidth_threshold)
+        join_order = self.naive_order(query, database)
+        naive_cost, answer_estimate = self._simulate_backtracking(
+            query, database, join_order
+        )
+        costs: Dict[str, float] = {NAIVE: naive_cost}
+
+        structural_class = analysis.structural_class
+        evaluator = NAIVE
+        program: Tuple[str, ...] = ()
+
+        if structural_class == ACYCLIC:
+            costs[YANNAKAKIS] = self._acyclic_cost(query, database, answer_estimate)
+            evaluator = self._arbitrate(YANNAKAKIS, costs)
+            program = self._semijoin_program(query, analysis)
+        elif structural_class == ACYCLIC_NEQ:
+            costs[INEQUALITY] = self._inequality_cost(query, database, answer_estimate)
+            # No structural preference here: Theorem 2's hash-family factor
+            # is exponential in the number of inequalities, so the model
+            # picks the cheaper side directly.
+            if costs[INEQUALITY] < costs[NAIVE]:
+                evaluator = INEQUALITY
+            program = self._semijoin_program(query, analysis)
+        elif structural_class == BOUNDED_TREEWIDTH:
+            treewidth_cost, bag_program = self._treewidth_cost(
+                query, database, analysis
+            )
+            costs[TREEWIDTH] = treewidth_cost
+            # Unlike the acyclic case there is no combined-complexity
+            # guarantee to defer to — bag materialization is n^O(w) just as
+            # backtracking is n^O(q) — so the cheaper estimate wins outright.
+            if costs[TREEWIDTH] < costs[NAIVE]:
+                evaluator = TREEWIDTH
+            program = bag_program
+        elif structural_class == BOUNDED_VARIABLES:
+            costs[BOUNDED_VARIABLE] = self._grouped_cost(query, database)
+            evaluator = self._arbitrate(BOUNDED_VARIABLE, costs)
+
+        return QueryPlan(
+            evaluator=evaluator,
+            analysis=analysis,
+            join_order=join_order,
+            semijoin_program=program,
+            cost_estimates=costs,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics (from the kernel's cached indexes)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _distinct(relation: Relation, position: int) -> int:
+        """Distinct values in one column — the bucket count of the cached
+        single-position index (built here if absent, reused by execution)."""
+        if relation.cardinality == 0:
+            return 1
+        return max(1, len(relation._index((position,))))
+
+    def _candidate_cardinality(self, atom: Atom, relation: Relation) -> float:
+        """Estimated |S_j| = |π_U σ_F (R)| after constant/equality selection."""
+        estimate = float(relation.cardinality)
+        seen: Dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                estimate /= self._distinct(relation, position)
+            elif term in seen:
+                estimate /= self._distinct(relation, position)
+            else:
+                seen[term] = position
+        return max(estimate, 1e-3)
+
+    # ------------------------------------------------------------------
+    # Backtracking simulation (join order + cost + output estimate)
+    # ------------------------------------------------------------------
+
+    def naive_order(
+        self, query: ConjunctiveQuery, database: Database
+    ) -> Tuple[int, ...]:
+        """Greedy cost-based join order: repeatedly take the atom with the
+        fewest expected matches per probe given the variables bound so far.
+
+        Connectivity falls out of the estimate — an atom sharing bound
+        variables probes a keyed index (few matches), a disconnected atom
+        scans its whole candidate set — so cartesian blowups are picked
+        last, constants and selective columns first.
+        """
+        remaining = set(range(len(query.atoms)))
+        bound: Set[Variable] = set()
+        order: List[int] = []
+        while remaining:
+            best = min(
+                sorted(remaining),
+                key=lambda i: (
+                    self._expected_matches(
+                        query.atoms[i], database[query.atoms[i].relation], bound
+                    ),
+                    i,
+                ),
+            )
+            remaining.remove(best)
+            order.append(best)
+            bound |= set(query.atoms[best].variables())
+        return tuple(order)
+
+    def _expected_matches(
+        self, atom: Atom, relation: Relation, bound: Set[Variable]
+    ) -> float:
+        """Expected rows per index probe of *atom* given *bound* variables."""
+        keyed = 1.0
+        seen: Dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                keyed *= self._distinct(relation, position)
+            elif term in bound or term in seen:
+                keyed *= self._distinct(relation, position)
+            else:
+                seen[term] = position
+        cardinality = max(float(relation.cardinality), 1e-3)
+        keyed = min(keyed, cardinality)
+        return cardinality / keyed
+
+    def _simulate_backtracking(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        order: Sequence[int],
+    ) -> Tuple[float, float]:
+        """(cost in row ops, estimated satisfying-assignment count)."""
+        bound: Set[Variable] = set()
+        frontier = 1.0
+        cost = 0.0
+        for index in order:
+            atom = query.atoms[index]
+            relation = database[atom.relation]
+            matches = self._expected_matches(atom, relation, bound)
+            cost += frontier * (1.0 + matches)
+            frontier *= matches
+            frontier = max(frontier, 1e-3)
+            bound |= set(atom.variables())
+        return cost, frontier
+
+    # ------------------------------------------------------------------
+    # Per-evaluator cost estimates
+    # ------------------------------------------------------------------
+
+    def _acyclic_cost(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        answer_estimate: float,
+    ) -> float:
+        total = sum(
+            self._candidate_cardinality(atom, database[atom.relation])
+            for atom in query.atoms
+        )
+        return _PASS_WEIGHT * _NUM_PASSES * total + answer_estimate
+
+    def _inequality_cost(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        answer_estimate: float,
+    ) -> float:
+        trials = float(2 ** min(len(query.inequalities), 16))
+        return trials * self._acyclic_cost(query, database, answer_estimate)
+
+    def _treewidth_cost(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        analysis: StructuralAnalysis,
+    ) -> Tuple[float, Tuple[str, ...]]:
+        """Bag-materialization + acyclic-pipeline estimate, and the bag
+        program for ``explain`` (mirrors TreewidthEvaluator's assignment)."""
+        decomposition = analysis.decomposition
+        assert decomposition is not None
+        assigned: Dict[int, List[int]] = {
+            i: [] for i in range(len(decomposition.bags))
+        }
+        for atom_index, atom in enumerate(query.atoms):
+            names = frozenset(v.name for v in atom.variables())
+            for i, bag in enumerate(decomposition.bags):
+                if names <= {v.name for v in bag}:
+                    assigned[i].append(atom_index)
+                    break
+
+        cost = 0.0
+        bag_sizes: List[float] = []
+        program: List[str] = []
+        for i, bag in enumerate(decomposition.bags):
+            members = assigned[i]
+            if not members:
+                bag_sizes.append(1.0)
+                continue
+            sub_order = self.naive_order(
+                ConjunctiveQuery(
+                    (),
+                    [query.atoms[j] for j in members],
+                    head_name=query.head_name,
+                ),
+                database,
+            )
+            bound: Set[Variable] = set()
+            frontier = 1.0
+            for local in sub_order:
+                atom = query.atoms[members[local]]
+                relation = database[atom.relation]
+                matches = self._expected_matches(atom, relation, bound)
+                cost += frontier * (1.0 + matches)
+                frontier *= matches
+                frontier = max(frontier, 1e-3)
+                bound |= set(atom.variables())
+            bag_sizes.append(frontier)
+            atoms_text = ", ".join(
+                f"a{members[local]}({query.atoms[members[local]].relation})"
+                for local in sub_order
+            )
+            bag_vars = ",".join(sorted(v.name for v in bag))
+            program.append(f"materialize BAG_{i}[{bag_vars}] = ⋈ {atoms_text}")
+        program.append("run Yannakakis full reducer + join-project over the bag tree")
+        cost += _PASS_WEIGHT * _NUM_PASSES * sum(bag_sizes)
+        return cost, tuple(program)
+
+    def _grouped_cost(self, query: ConjunctiveQuery, database: Database) -> float:
+        """Theorem 1 parameter-v grouping: intersection build + search over
+        one representative atom per distinct variable set."""
+        groups: Dict[frozenset, List[Atom]] = {}
+        for atom in query.atoms:
+            groups.setdefault(atom.variable_set(), []).append(atom)
+        build = sum(
+            self._candidate_cardinality(atom, database[atom.relation])
+            for atoms in groups.values()
+            for atom in atoms
+        )
+        representatives = [
+            min(
+                atoms,
+                key=lambda a: database[a.relation].cardinality,
+            )
+            for atoms in groups.values()
+        ]
+        grouped = ConjunctiveQuery((), representatives, head_name=query.head_name)
+        order = self.naive_order(grouped, database)
+        search, _ = self._simulate_backtracking(grouped, database, order)
+        return build + search
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _arbitrate(preferred: str, costs: Dict[str, float]) -> str:
+        """The class evaluator, unless the baseline is ≥ margin× cheaper."""
+        if costs[NAIVE] * _BASELINE_MARGIN < costs[preferred]:
+            return NAIVE
+        return preferred
+
+    @staticmethod
+    def _semijoin_program(
+        query: ConjunctiveQuery, analysis: StructuralAnalysis
+    ) -> Tuple[str, ...]:
+        """The full-reducer schedule read off the join tree."""
+        tree = analysis.join_tree
+        if tree is None:
+            return ()
+        steps: List[str] = []
+        for node in tree.bottom_up_order():
+            parent = tree.parent(node)
+            if parent is None:
+                continue
+            steps.append(
+                f"a{parent}({query.atoms[parent].relation}) ⋉ "
+                f"a{node}({query.atoms[node].relation})"
+            )
+        steps.append("top-down pass (reversed), then join-project onto head")
+        return tuple(steps)

@@ -15,7 +15,7 @@ variant lives in :mod:`repro.reductions.datalog_fixed_arity`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Dict, Optional
 
 from ..errors import QueryError
 from ..query.conjunctive import ConjunctiveQuery

@@ -20,7 +20,7 @@ chains, no isinstance checks in the hot path.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
 from ..query.atoms import Atom, Comparison, Inequality
@@ -58,24 +58,43 @@ class NaiveEvaluator:
     # Public API
     # ------------------------------------------------------------------
 
-    def evaluate(self, query: ConjunctiveQuery, database: Database) -> Relation:
-        """Compute Q(d) as a relation of head tuples."""
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        atom_order: Optional[Sequence[int]] = None,
+    ) -> Relation:
+        """Compute Q(d) as a relation of head tuples.
+
+        *atom_order* optionally overrides the built-in greedy join order
+        with an explicit permutation of atom indices — the adaptive
+        engine's planner supplies its cost-based order this way.
+        """
         return answers_relation(
-            query.head_terms, self.satisfying_assignments(query, database)
+            query.head_terms,
+            self.satisfying_assignments(query, database, atom_order=atom_order),
         )
 
     def satisfying_assignments(
-        self, query: ConjunctiveQuery, database: Database
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        atom_order: Optional[Sequence[int]] = None,
     ) -> Relation:
         """All satisfying instantiations, one column per query variable."""
         return Relation(
             tuple(v.name for v in query.variables()),
-            self._search(query, database, find_all=True),
+            self._search(query, database, find_all=True, atom_order=atom_order),
         )
 
-    def decide(self, query: ConjunctiveQuery, database: Database) -> bool:
+    def decide(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        atom_order: Optional[Sequence[int]] = None,
+    ) -> bool:
         """Is Q(d) nonempty?  Stops at the first satisfying instantiation."""
-        for _ in self._search(query, database, find_all=False):
+        for _ in self._search(query, database, find_all=False, atom_order=atom_order):
             return True
         return False
 
@@ -98,12 +117,23 @@ class NaiveEvaluator:
     # ------------------------------------------------------------------
 
     def _compile(
-        self, query: ConjunctiveQuery, database: Database
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        atom_order: Optional[Sequence[int]] = None,
     ) -> Tuple[List[_Plan], int]:
         """Compile the per-atom probe plans for one search."""
         variables = query.variables()
         slot_of: Dict[Variable, int] = {v: i for i, v in enumerate(variables)}
-        order = self._atom_order(query)
+        if atom_order is None:
+            order = self._atom_order(query)
+        else:
+            order = list(atom_order)
+            if sorted(order) != list(range(len(query.atoms))):
+                raise QueryError(
+                    f"atom_order {order!r} is not a permutation of "
+                    f"0..{len(query.atoms) - 1}"
+                )
         atoms = [query.atoms[i] for i in order]
 
         ineq_checks = _constraint_schedule(query.inequalities, atoms, slot_of)
@@ -149,9 +179,13 @@ class NaiveEvaluator:
     # ------------------------------------------------------------------
 
     def _search(
-        self, query: ConjunctiveQuery, database: Database, find_all: bool
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        find_all: bool,
+        atom_order: Optional[Sequence[int]] = None,
     ) -> Iterator[Tuple]:
-        plans, num_slots = self._compile(query, database)
+        plans, num_slots = self._compile(query, database, atom_order=atom_order)
         valuation: List[Any] = [None] * num_slots
 
         if not plans:

@@ -18,7 +18,7 @@ with plain Yannakakis up to constants.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import QueryError
 from ..query.atoms import Atom
@@ -31,7 +31,7 @@ from ..hypergraph.treewidth import (
     tree_decomposition,
     verify_decomposition,
 )
-from .instantiation import answers_relation, atom_candidate_relation
+from .instantiation import atom_candidate_relation
 from .yannakakis import YannakakisEvaluator
 
 
@@ -54,26 +54,49 @@ class TreewidthEvaluator:
         """The width of the heuristic decomposition (≥ true treewidth)."""
         return self.decomposition(query).width
 
-    def evaluate(self, query: ConjunctiveQuery, database: Database) -> Relation:
-        """Q(d), in time n^O(w) · poly(output) for decomposition width w."""
-        bag_query, bag_database = self._bag_instance(query, database)
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        decomposition: Optional[TreeDecomposition] = None,
+    ) -> Relation:
+        """Q(d), in time n^O(w) · poly(output) for decomposition width w.
+
+        *decomposition* optionally supplies a precomputed (trusted) tree
+        decomposition of the primal graph — the adaptive engine's cached
+        plans carry one, skipping the elimination-order heuristic.
+        """
+        bag_query, bag_database = self._bag_instance(
+            query, database, decomposition
+        )
         return self._yannakakis.evaluate(bag_query, bag_database)
 
-    def decide(self, query: ConjunctiveQuery, database: Database) -> bool:
+    def decide(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        decomposition: Optional[TreeDecomposition] = None,
+    ) -> bool:
         """Is Q(d) nonempty?"""
-        bag_query, bag_database = self._bag_instance(query, database)
+        bag_query, bag_database = self._bag_instance(
+            query, database, decomposition
+        )
         return self._yannakakis.decide(bag_query, bag_database)
 
     # ------------------------------------------------------------------
 
     def _bag_instance(
-        self, query: ConjunctiveQuery, database: Database
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        decomposition: Optional[TreeDecomposition] = None,
     ) -> Tuple[ConjunctiveQuery, Database]:
         if query.inequalities or query.comparisons:
             raise QueryError(
                 "TreewidthEvaluator handles purely relational queries"
             )
-        decomposition = self.decomposition(query)
+        if decomposition is None:
+            decomposition = self.decomposition(query)
         bags = decomposition.bags
 
         # Assign each atom to the first bag containing all its variables.

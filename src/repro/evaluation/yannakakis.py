@@ -19,7 +19,7 @@ extension Theorem 2 (``repro.inequalities``) provides.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..errors import NotAcyclicError, QueryError
 from ..hypergraph.join_tree import JoinTree
@@ -38,9 +38,19 @@ class YannakakisEvaluator:
 
     # ------------------------------------------------------------------
 
-    def decide(self, query: ConjunctiveQuery, database: Database) -> bool:
-        """Is Q(d) nonempty?  One bottom-up semijoin pass."""
-        prepared = self._prepare(query, database)
+    def decide(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
+    ) -> bool:
+        """Is Q(d) nonempty?  One bottom-up semijoin pass.
+
+        *join_tree* optionally supplies a precomputed join tree of the
+        query hypergraph (the adaptive engine's cached plans carry one),
+        skipping the GYO reduction.
+        """
+        prepared = self._prepare(query, database, join_tree)
         if prepared is None:
             return False
         relations, tree = prepared
@@ -63,9 +73,14 @@ class YannakakisEvaluator:
             return False
         return self.decide(decided, database)
 
-    def evaluate(self, query: ConjunctiveQuery, database: Database) -> Relation:
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
+    ) -> Relation:
         """Q(d) in time polynomial in input + output (full Yannakakis)."""
-        prepared = self._prepare(query, database)
+        prepared = self._prepare(query, database, join_tree)
         head_names = tuple(v.name for v in query.head_variables())
         if prepared is None:
             return answers_relation(query.head_terms, Relation(head_names))
@@ -133,7 +148,10 @@ class YannakakisEvaluator:
     # ------------------------------------------------------------------
 
     def _prepare(
-        self, query: ConjunctiveQuery, database: Database
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
     ) -> Optional[Tuple[Dict[int, Relation], JoinTree]]:
         """Candidate relations + join tree; None when trivially empty."""
         if query.inequalities or query.comparisons:
@@ -141,11 +159,14 @@ class YannakakisEvaluator:
                 "YannakakisEvaluator handles purely relational acyclic "
                 "queries; use repro.inequalities for queries with != atoms"
             )
-        hypergraph = query.hypergraph()
-        try:
-            tree = JoinTree.from_hypergraph(hypergraph)
-        except NotAcyclicError:
-            raise
+        if join_tree is not None:
+            tree = join_tree
+        else:
+            hypergraph = query.hypergraph()
+            try:
+                tree = JoinTree.from_hypergraph(hypergraph)
+            except NotAcyclicError:
+                raise
         candidates = candidate_relations(query.atoms, database)
         relations = {i: rel for i, rel in enumerate(candidates)}
         if any(rel.is_empty() for rel in relations.values()):

@@ -13,7 +13,7 @@ recorded witnesses are exactly the parent pointers of a join forest, which
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .hypergraph import Hypergraph

@@ -7,7 +7,7 @@ style constructions.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, FrozenSet, Set
 
 from .hypergraph import Hypergraph
 

@@ -25,9 +25,9 @@ applied there instead of being pushed down.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..errors import NotAcyclicError, QueryError
+from ..errors import QueryError
 from ..hypergraph.join_tree import JoinTree
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.terms import Variable

@@ -12,9 +12,7 @@ with their children; Algorithm 2 finishes the job output-sensitively:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
-from ..relational.attributes import is_hashed
 from ..relational.relation import Relation
 from ..evaluation.instantiation import answers_relation
 from .algorithm1 import HashedAcyclicEngine

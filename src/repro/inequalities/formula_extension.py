@@ -16,7 +16,7 @@ mentions only variables, and k ≤ v.  With x ≠ c combined arbitrarily under
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import QueryError
 from ..query.atoms import Inequality
@@ -28,14 +28,13 @@ from ..query.ineq_formula import (
     IneqOr,
     is_conjunctive_in_constants,
 )
-from ..query.terms import Constant, Variable
+from ..query.terms import Variable
 from ..relational.attributes import hashed
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..evaluation.instantiation import answers_relation
 from .algorithm1 import HashedAcyclicEngine
-from .algorithm2 import evaluate_for_hash
-from .hashing import GreedyPerfectHashFamily, HashFunction, RandomHashFamily
+from .hashing import GreedyPerfectHashFamily, HashFunction
 from .partition import InequalityPartition
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 import random
 from itertools import combinations, product
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, Sequence, Tuple
 
 from ..errors import ReproError
 

@@ -18,7 +18,7 @@ from typing import Dict, FrozenSet, List, Tuple
 from ..errors import QueryError
 from ..query.atoms import Inequality
 from ..query.conjunctive import ConjunctiveQuery
-from ..query.terms import Constant, Variable
+from ..query.terms import Variable
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..evaluation.instantiation import atom_candidate_relation

@@ -10,8 +10,8 @@ k' ≤ g(k).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, Optional, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
 
 InstanceT = TypeVar("InstanceT")
 

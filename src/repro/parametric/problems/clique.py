@@ -11,7 +11,7 @@ footnote-2 transformation passes through it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ...workloads.graphs import Graph
 from ..problem import ParametricProblem

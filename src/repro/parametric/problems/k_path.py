@@ -22,7 +22,7 @@ running the Theorem 2 evaluator) lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, Set
 
 from ...workloads.graphs import Graph
 from ..problem import ParametricProblem

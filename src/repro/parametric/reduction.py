@@ -19,8 +19,8 @@ exercised by the test-suite and the Table 1 benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, List, Tuple, TypeVar
 
 from ..errors import ReductionError
 from .problem import ParametricProblem

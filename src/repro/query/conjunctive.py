@@ -14,16 +14,7 @@ construction time.
 
 from __future__ import annotations
 
-from typing import (
-    Any,
-    Dict,
-    FrozenSet,
-    Iterable,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
 
 from ..errors import QueryError
 from .atoms import Atom, Comparison, Inequality

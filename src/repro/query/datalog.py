@@ -14,11 +14,11 @@ the evaluation engines live in :mod:`repro.evaluation.datalog_eval`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Tuple
 
 from ..errors import QueryError
 from .atoms import Atom
-from .terms import Variable, variables_in
+from .terms import Variable
 
 
 @dataclass(frozen=True)

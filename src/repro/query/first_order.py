@@ -38,7 +38,6 @@ from .terms import (
     Term,
     Variable,
     fresh_variable,
-    substitute_term,
     terms,
     variables_in,
 )

@@ -21,10 +21,9 @@ where the theory connects back to classical query optimization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from ..errors import QueryError
-from .atoms import Atom
 from .conjunctive import ConjunctiveQuery
 from .terms import Constant, Term, Variable
 

@@ -27,7 +27,7 @@ Examples::
 from __future__ import annotations
 
 import re
-from typing import Any, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, List, NamedTuple, Optional, Tuple
 
 from ..errors import ParseError
 from .atoms import Atom, Comparison, Inequality

@@ -10,7 +10,7 @@ Python value denotes a constant (string constants are made with ``C``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
+from typing import Any, Dict, Iterable, Mapping, Tuple, Union
 
 from ..errors import QueryError
 

@@ -212,7 +212,6 @@ def alternating_circuit_to_fo(
     ]
     database = database.with_relation("P", Relation(("P.0", "P.1"), p_rows))
 
-    k = sum(instance.weights)
     block_vars: List[List[Variable]] = []
     flat_names: List[Variable] = []
     for i, weight in enumerate(instance.weights, start=1):

@@ -12,7 +12,6 @@ fixed (one binary relation).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Tuple
 
 from ..errors import ReductionError
 from ..parametric.problems.clique import CLIQUE, CliqueInstance

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
-from ..circuits.cnf import CNF, Literal, negative_pair
+from ..circuits.cnf import CNF, negative_pair
 from ..errors import ReductionError
 from ..query.atoms import Atom
 from ..query.conjunctive import ConjunctiveQuery

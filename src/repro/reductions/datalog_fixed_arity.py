@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from ..circuits.weighted_sat import negative_cnf_weighted_satisfiable
 from ..evaluation.naive import NaiveEvaluator

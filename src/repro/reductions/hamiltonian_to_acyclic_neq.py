@@ -13,8 +13,8 @@ uses this to show the combined-complexity cliff.
 
 from __future__ import annotations
 
-from itertools import combinations, permutations
-from typing import Optional, Tuple
+from itertools import combinations
+from typing import Tuple
 
 from ..errors import ReductionError
 from ..query.atoms import Atom, Inequality

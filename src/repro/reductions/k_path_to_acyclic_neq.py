@@ -14,7 +14,6 @@ k-path.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Tuple
 
 from ..errors import ReductionError
 from ..parametric.problems.k_path import K_PATH, KPathInstance

@@ -21,7 +21,7 @@ Two executable forms:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, List, Tuple
 
 from ..errors import ReductionError
 from ..parametric.problems.clique import CLIQUE, CliqueInstance

@@ -27,7 +27,7 @@ Both directions, executable:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..circuits.formulas import (
     BoolAnd,

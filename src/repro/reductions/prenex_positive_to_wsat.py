@@ -18,7 +18,7 @@ under parameter v.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
 
 from ..circuits.formulas import (
     BoolAnd,
@@ -36,7 +36,6 @@ from ..query.atoms import Atom
 from ..query.first_order import And, AtomFormula, Exists, Formula, Or
 from ..query.positive import PositiveQuery
 from ..query.terms import Constant, Variable
-from ..relational.database import Database
 from .problem_base import ParametricReduction
 from .query_problems import POSITIVE_EVALUATION_V, QueryEvaluationInstance
 

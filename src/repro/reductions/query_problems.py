@@ -9,11 +9,11 @@ library's evaluators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Tuple, Union
 
+from ..engine import QueryEngine
 from ..evaluation.fo_eval import FirstOrderEvaluator
-from ..evaluation.naive import NaiveEvaluator
 from ..evaluation.positive_eval import PositiveEvaluator
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.first_order import FirstOrderQuery
@@ -21,7 +21,12 @@ from ..query.positive import PositiveQuery
 from ..relational.database import Database
 from .problem_base import ParametricProblem
 
-_NAIVE = NaiveEvaluator()
+#: Conjunctive instances (plain, ≠ and < variants alike) are solved through
+#: the adaptive engine: the decision instances of one query share a single
+#: plan-cache entry across candidate tuples, and the planner dispatches
+#: each to the evaluator its structure admits (the naive baseline remains
+#: the fallback for < atoms, so ground truth is unchanged).
+_ENGINE = QueryEngine()
 _POSITIVE = PositiveEvaluator()
 _FO = FirstOrderEvaluator()
 
@@ -42,7 +47,7 @@ class QueryEvaluationInstance:
 
 
 def _solve_cq(instance: QueryEvaluationInstance) -> bool:
-    return _NAIVE.contains(instance.query, instance.database, instance.candidate)
+    return _ENGINE.contains(instance.query, instance.database, instance.candidate)
 
 
 def _solve_positive(instance: QueryEvaluationInstance) -> bool:

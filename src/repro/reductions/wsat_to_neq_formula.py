@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import List, Tuple
+from typing import List
 
 from ..circuits.formulas import BoolAnd, BoolFormula, BoolNot, BoolOr, BoolVar, to_nnf
 from ..errors import ReductionError
@@ -29,14 +29,7 @@ from ..parametric.problems.weighted_sat_problems import (
 )
 from ..query.atoms import Atom, Inequality
 from ..query.conjunctive import ConjunctiveQuery
-from ..query.ineq_formula import (
-    IneqAnd,
-    IneqFormula,
-    IneqLeaf,
-    IneqOr,
-    ineq_and,
-    ineq_or,
-)
+from ..query.ineq_formula import IneqFormula, IneqLeaf, ineq_and, ineq_or
 from ..query.terms import C, Variable
 from ..relational.database import Database
 from ..relational.relation import Relation

@@ -17,7 +17,7 @@ prenex form, which the paper leverages for the matching upper bound.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from ..circuits.formulas import (
     BoolAnd,

@@ -11,7 +11,7 @@ variable schemas (all of the upper bounds do).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from ..errors import SchemaError

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List
 
 from ..query.atoms import Atom, Inequality
 from ..query.conjunctive import ConjunctiveQuery

@@ -12,7 +12,7 @@ from repro.evaluation import (
     YannakakisEvaluator,
 )
 from repro.inequalities import AcyclicInequalityEvaluator
-from repro.relational import Database, Relation
+from repro.relational import Database
 
 
 @pytest.fixture

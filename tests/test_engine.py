@@ -1,0 +1,329 @@
+"""Unit tests for the adaptive engine: analyzer, planner, cache, facade."""
+
+import pytest
+
+from repro import Database, QueryEngine, parse_query
+from repro.engine import (
+    ACYCLIC,
+    ACYCLIC_NEQ,
+    BOUNDED_TREEWIDTH,
+    BOUNDED_VARIABLES,
+    GENERAL,
+    PlanCache,
+    Planner,
+    analyze,
+    plan_cache_key,
+    shape_signature,
+)
+from repro.errors import NotAcyclicError, QueryError
+from repro.evaluation import NaiveEvaluator
+from repro.query import Atom, ConjunctiveQuery
+from repro.query.atoms import Comparison, Inequality
+from repro.query.terms import Variable
+from repro.workloads import (
+    chain_database,
+    cycle_query,
+    path_neq_query,
+    path_query,
+    star_database,
+    star_query,
+)
+
+
+def redundant_clique_query(k: int = 5) -> ConjunctiveQuery:
+    """A k-clique asked over two relations per edge: duplicate variable
+    sets, cyclic, width k-1 — the parameter-v grouping class for k = 5."""
+    from itertools import combinations
+
+    variables = [Variable(f"x{i}") for i in range(k)]
+    atoms = []
+    for i, j in combinations(range(k), 2):
+        atoms.append(Atom("E", (variables[i], variables[j])))
+        atoms.append(Atom("F", (variables[i], variables[j])))
+    return ConjunctiveQuery((), atoms, head_name="K")
+
+
+@pytest.fixture
+def clique_db() -> Database:
+    rows = [(a, b) for a in range(6) for b in range(6) if a != b]
+    return Database.from_tuples({"E": rows, "F": rows})
+
+
+class TestAnalyzer:
+    def test_acyclic_path(self):
+        analysis = analyze(path_query(3))
+        assert analysis.structural_class == ACYCLIC
+        assert analysis.acyclic
+        assert analysis.join_tree is not None
+        assert analysis.width is None
+
+    def test_cycle_is_bounded_treewidth(self):
+        analysis = analyze(cycle_query(4))
+        assert analysis.structural_class == BOUNDED_TREEWIDTH
+        assert not analysis.acyclic
+        assert analysis.width == 2
+        assert analysis.decomposition is not None
+
+    def test_threshold_excludes_wide_cycles(self):
+        analysis = analyze(cycle_query(4), treewidth_threshold=1)
+        assert analysis.structural_class == GENERAL
+
+    def test_acyclic_with_inequalities(self):
+        analysis = analyze(path_neq_query(3, 2, seed=1))
+        assert analysis.structural_class == ACYCLIC_NEQ
+        assert analysis.num_inequalities == 2
+
+    def test_comparisons_force_general(self):
+        x, y = Variable("x"), Variable("y")
+        query = ConjunctiveQuery(
+            (x,), [Atom("E", (x, y))], comparisons=[Comparison(x, y, True)]
+        )
+        assert analyze(query).structural_class == GENERAL
+
+    def test_duplicate_variable_sets(self):
+        query = redundant_clique_query(5)
+        analysis = analyze(query)
+        assert analysis.structural_class == BOUNDED_VARIABLES
+        assert analysis.distinct_variable_sets == 10
+        assert analysis.num_atoms == 20
+
+
+class TestSignatures:
+    def test_bindings_share_shape(self):
+        query = path_query(3, head_arity=1)
+        first = query.decision_instance((1,))
+        second = query.decision_instance((7,))
+        assert shape_signature(first) == shape_signature(second)
+        assert shape_signature(first) != shape_signature(query)
+
+    def test_different_relations_differ(self):
+        x, y = Variable("x"), Variable("y")
+        q1 = ConjunctiveQuery((x,), [Atom("R", (x, y))])
+        q2 = ConjunctiveQuery((x,), [Atom("S", (x, y))])
+        assert shape_signature(q1) != shape_signature(q2)
+
+    def test_variable_renaming_is_canonical(self):
+        x, y, u, v = (Variable(n) for n in "xyuv")
+        q1 = ConjunctiveQuery((x,), [Atom("R", (x, y))])
+        q2 = ConjunctiveQuery((u,), [Atom("R", (u, v))])
+        assert shape_signature(q1) == shape_signature(q2)
+
+    def test_inequalities_affect_shape(self):
+        base = path_query(3, head_arity=1)
+        x0, x2 = Variable("x0"), Variable("x2")
+        with_neq = ConjunctiveQuery(
+            base.head_terms, base.atoms, [Inequality(x0, x2)]
+        )
+        assert shape_signature(base) != shape_signature(with_neq)
+
+    def test_schema_signature_tracks_scale(self):
+        query = path_query(2)
+        small = chain_database(layers=3, width=4, p=0.5, seed=1)
+        large = chain_database(layers=3, width=32, p=0.5, seed=1)
+        assert plan_cache_key(query, small) != plan_cache_key(query, large)
+        assert plan_cache_key(query, small) == plan_cache_key(query, small)
+
+
+class TestPlanCache:
+    def test_hit_miss_counters(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: no eviction
+        cache.put("c", 3)  # evicts "b", the true LRU
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_clear_resets(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class CountingPlanner(Planner):
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def plan(self, query, database):
+        self.calls += 1
+        return super().plan(query, database)
+
+
+class TestQueryEngine:
+    def test_acyclic_dispatch_and_answers(self, edge_db):
+        engine = QueryEngine()
+        query = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        plan = engine.plan_for(query, edge_db)
+        assert plan.evaluator == "yannakakis"
+        assert plan.structural_class == ACYCLIC
+        result = engine.execute(query, edge_db)
+        assert result == NaiveEvaluator().evaluate(query, edge_db)
+
+    def test_cache_hits_across_bindings(self, edge_db):
+        engine = QueryEngine()
+        query = parse_query("Q(x) :- E(x, y), E(y, z).")
+        assert engine.contains(query, edge_db, (1,))
+        assert engine.contains(query, edge_db, (2,))
+        assert not engine.contains(query, edge_db, (4,))
+        stats = engine.cache_stats
+        assert stats.misses == 1  # one shape, planned once
+        assert stats.hits == 2
+
+    def test_planner_called_once_per_shape(self, edge_db):
+        planner = CountingPlanner()
+        engine = QueryEngine(planner=planner)
+        query = parse_query("Q(x) :- E(x, y).")
+        for _ in range(5):
+            engine.execute(query, edge_db)
+        assert planner.calls == 1
+
+    def test_execute_batch_matches_individuals(self, edge_db):
+        planner = CountingPlanner()
+        engine = QueryEngine(planner=planner)
+        query = parse_query("Q(x) :- E(x, y), E(y, z).")
+        batch = [query.decision_instance((value,)) for value in (1, 2, 3, 4)]
+        results = engine.execute_batch(batch, edge_db)
+        assert planner.calls == 1  # same shape: planned once for the batch
+        reference = [
+            QueryEngine().execute(member, edge_db) for member in batch
+        ]
+        assert results == reference
+
+    def test_execute_batch_mixed_shapes(self, edge_db):
+        engine = QueryEngine()
+        queries = [
+            parse_query("Q(x) :- E(x, y)."),
+            parse_query("Q() :- E(x, y), E(y, z), E(z, w), E(w, x)."),
+            parse_query("Q(x) :- E(x, y)."),
+        ]
+        results = engine.execute_batch(queries, edge_db)
+        assert len(results) == 3
+        assert results[0] == results[2]
+        naive = NaiveEvaluator()
+        for query, result in zip(queries, results):
+            assert result == naive.evaluate(query, edge_db)
+
+    def test_forced_evaluator_paths(self, edge_db):
+        engine = QueryEngine()
+        cyclic = cycle_query(4)
+        adaptive = engine.execute(cyclic, edge_db)
+        forced = engine.execute(cyclic, edge_db, evaluator="naive")
+        assert adaptive == forced
+        with pytest.raises(NotAcyclicError):
+            engine.execute(cyclic, edge_db, evaluator="yannakakis")
+        with pytest.raises(QueryError):
+            engine.execute(cyclic, edge_db, evaluator="no-such-engine")
+
+    def test_explain_mentions_dispatch(self, edge_db):
+        engine = QueryEngine()
+        query = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        text = engine.explain(query, edge_db)
+        assert "class: acyclic" in text
+        assert "evaluator: yannakakis" in text
+        assert "cache    : miss" in text
+        assert "row ops" in text
+        again = engine.explain(query, edge_db)
+        assert "cache    : hit" in again
+
+    def test_eviction_forces_replanning(self, edge_db):
+        planner = CountingPlanner()
+        engine = QueryEngine(plan_cache_size=1, planner=planner)
+        q1 = parse_query("Q(x) :- E(x, y).")
+        q2 = parse_query("Q(x) :- E(y, x).")
+        engine.execute(q1, edge_db)
+        engine.execute(q2, edge_db)  # evicts q1's plan
+        engine.execute(q1, edge_db)  # must replan
+        assert planner.calls == 3
+        assert engine.cache_stats.evictions == 2
+
+    def test_alpha_renamed_twin_reuses_plan_safely(self, edge_db):
+        # Same shape, different variable names: the second query hits the
+        # first one's cached plan, but must not reuse its named join tree /
+        # decomposition (bags and edges are keyed by variable name).
+        planner = CountingPlanner()
+        engine = QueryEngine(planner=planner)
+        naive = NaiveEvaluator()
+        cyc1 = parse_query("Q() :- E(a, b), E(b, c), E(c, d), E(d, a).")
+        cyc2 = parse_query("Q() :- E(p, q), E(q, r), E(r, s), E(s, p).")
+        assert engine.execute(cyc1, edge_db) == naive.evaluate(cyc1, edge_db)
+        assert engine.execute(cyc2, edge_db) == naive.evaluate(cyc2, edge_db)
+        assert planner.calls == 1  # one shape, one plan
+        acy1 = parse_query("Q(x) :- E(x, y), E(y, z).")
+        acy2 = parse_query("Q(u) :- E(u, v), E(v, w).")
+        assert engine.execute(acy1, edge_db) == engine.execute(acy2, edge_db)
+        assert engine.execute(acy2, edge_db) == naive.evaluate(acy2, edge_db)
+
+    def test_bounded_variables_execution(self, clique_db):
+        engine = QueryEngine()
+        query = redundant_clique_query(5)
+        plan = engine.plan_for(query, clique_db)
+        assert plan.structural_class == BOUNDED_VARIABLES
+        result = engine.execute(query, clique_db)
+        assert result == NaiveEvaluator().evaluate(query, clique_db)
+        assert engine.decide(query, clique_db)
+
+    def test_inequality_class_execution(self):
+        engine = QueryEngine()
+        database = chain_database(layers=4, width=6, p=0.5, seed=2)
+        query = path_neq_query(3, 2, seed=1)
+        plan = engine.plan_for(query, database)
+        assert plan.structural_class == ACYCLIC_NEQ
+        assert plan.evaluator in ("naive", "inequality")
+        assert engine.execute(query, database) == NaiveEvaluator().evaluate(
+            query, database
+        )
+
+    def test_star_dispatch(self):
+        engine = QueryEngine()
+        database = star_database(3, 8, seed=0)
+        query = star_query(3)
+        assert engine.plan_for(query, database).evaluator == "yannakakis"
+        assert engine.execute(query, database) == NaiveEvaluator().evaluate(
+            query, database
+        )
+
+
+class TestNaiveAtomOrderOverride:
+    def test_explicit_order_same_answers(self, edge_db):
+        naive = NaiveEvaluator()
+        query = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        default = naive.evaluate(query, edge_db)
+        assert naive.evaluate(query, edge_db, atom_order=(1, 0)) == default
+        assert naive.evaluate(query, edge_db, atom_order=(0, 1)) == default
+
+    def test_invalid_order_rejected(self, edge_db):
+        naive = NaiveEvaluator()
+        query = parse_query("Q(x, z) :- E(x, y), E(y, z).")
+        with pytest.raises(QueryError):
+            naive.evaluate(query, edge_db, atom_order=(0, 0))
+        with pytest.raises(QueryError):
+            naive.evaluate(query, edge_db, atom_order=(0,))

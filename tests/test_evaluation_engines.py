@@ -5,14 +5,8 @@ import random
 import pytest
 
 from repro.errors import NotAcyclicError, QueryError
-from repro.evaluation import (
-    NaiveEvaluator,
-    TreewidthEvaluator,
-    YannakakisEvaluator,
-    atom_candidate_relation,
-    parameter_v_transform,
-)
-from repro.query import Atom, C, parse_query
+from repro.evaluation import atom_candidate_relation, parameter_v_transform
+from repro.query import Atom, parse_query
 from repro.relational import Database, Relation
 from repro.workloads import (
     chain_database,

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.errors import QueryError
-from repro.evaluation import FirstOrderEvaluator, PositiveEvaluator
-from repro.query import (
-    Atom,
-    AtomFormula,
-    FirstOrderQuery,
-    PositiveQuery,
-)
+from repro.query import Atom, FirstOrderQuery
 from repro.query.builders import (
     and_,
     atom,

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import NotAcyclicError, SchemaError
 from repro.hypergraph import (
     Hypergraph,
-    JoinTree,
     gyo_reduce,
     is_acyclic,
     join_tree_of,

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.errors import NotAcyclicError, QueryError
-from repro.evaluation import NaiveEvaluator
 from repro.inequalities import (
     AcyclicInequalityEvaluator,
     ExhaustiveHashFamily,
@@ -19,7 +18,6 @@ from repro.query import parse_query
 from repro.relational import Database
 from repro.relational.schema import DatabaseSchema
 from repro.workloads import (
-    all_examples,
     employees_projects_database,
     employees_projects_query,
     path_neq_query,

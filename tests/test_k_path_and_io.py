@@ -6,7 +6,6 @@ import pytest
 from repro.errors import ReductionError, SchemaError
 from repro.inequalities import (
     AcyclicInequalityEvaluator,
-    ExhaustiveHashFamily,
     FormulaInequalityEvaluator,
     GreedyPerfectHashFamily,
     RandomHashFamily,
@@ -38,7 +37,6 @@ from repro.workloads import (
     complete_graph,
     cycle_graph,
     empty_graph,
-    graph_suite,
     grid_graph,
     path_graph,
     random_graph,

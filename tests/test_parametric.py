@@ -6,7 +6,6 @@ from repro.errors import ReductionError
 from repro.parametric import (
     FIGURE_1,
     FIGURE_1_ARCS,
-    ParametricProblem,
     ParametricReduction,
     Q_FIXED,
     Q_VARIABLE,

@@ -16,7 +16,7 @@ from repro.inequalities import (
     GreedyPerfectHashFamily,
     is_perfect_family,
 )
-from repro.relational import Database, Relation
+from repro.relational import Relation
 from repro.relational.schema import DatabaseSchema
 from repro.workloads import random_acyclic_query, random_database
 

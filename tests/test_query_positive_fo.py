@@ -14,7 +14,6 @@ from repro.query import (
     Or,
     PositiveQuery,
     V,
-    Variable,
     prenex_formula,
     to_nnf,
     to_prenex,
@@ -173,10 +172,8 @@ class TestPositiveQuery:
         f = Or((Exists("y", r("x", "y")), Exists("z", AtomFormula(Atom.of("S", "z", "x")))))
         ok = PositiveQuery(("x",), f)
         assert len(ok.to_union_of_conjunctive_queries()) == 2
-        bad_formula = Or(
-            (Exists("y", r("x", "y")), AtomFormula(Atom.of("S", "x")))
-        )
-        # still safe; construct a genuinely unsafe one:
+        # a disjunct like S(x) alone is still safe; construct a
+        # genuinely unsafe one:
         from repro.query.first_order import Exists as E
 
         unsafe = PositiveQuery(

@@ -9,7 +9,6 @@ import pytest
 
 from repro.circuits import fand, fnot, for_, var
 from repro.errors import ReductionError
-from repro.evaluation import NaiveEvaluator
 from repro.parametric.problems import (
     CliqueInstance,
     WeightedFormulaInstance,

@@ -21,7 +21,6 @@ from repro.workloads.graphs import (
     complete_graph,
     cycle_graph,
     empty_graph,
-    graph_suite,
     graph_with_hamiltonian_path,
     path_graph,
     random_graph,

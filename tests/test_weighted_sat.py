@@ -2,7 +2,6 @@
 
 from itertools import combinations
 
-import pytest
 
 from repro.circuits import (
     CNF,

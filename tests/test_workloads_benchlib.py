@@ -10,7 +10,6 @@ from repro.benchlib import (
     sweep,
     time_thunk,
 )
-from repro.errors import NotAcyclicError
 from repro.hypergraph import JoinTree
 from repro.workloads import (
     Graph,
