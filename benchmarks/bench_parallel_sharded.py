@@ -1,0 +1,266 @@
+"""PARALLEL — the sharded execution layer vs the sequential engine.
+
+The acceptance claims of the parallel/sharding PR:
+
+* on large acyclic workloads, the parallel engine (hash-sharded,
+  bucket-centric semijoin passes; head-aware rooting; worker fan-out when
+  cores exist) beats the sequential PR 2 engine by ≥2× on evaluation and
+  stays ahead on decision;
+* a ≥32-member same-shape batch through ``execute_batch`` runs ≥2× faster
+  than sequential per-member execution (N-wide lifting through a parameter
+  relation);
+* on small inputs the planner keeps sharding off, so single-query latency
+  matches the sequential engine (no sharding tax).
+
+Both sides run through ``QueryEngine`` — the sequential baseline is
+``QueryEngine(parallel=False)``, which is exactly the PR 2 execution path.
+Result equality between the two engines is asserted for every workload.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_sharded.py
+    PYTHONPATH=src python benchmarks/bench_parallel_sharded.py --smoke  # CI
+
+``--smoke`` skips the perf assertions (CI machines are noisy; the
+regression gate applies its own tolerance instead); ``--json PATH`` writes
+the machine-readable report (``BENCH_parallel_sharded.json`` by default in
+full mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro import QueryEngine
+from repro.benchlib import (
+    add_json_argument,
+    emit_json_report,
+    json_report_payload,
+    print_table,
+    speedup,
+    time_thunk,
+)
+from repro.parallel import default_worker_count
+from repro.workloads import chain_database, path_query, star_database, star_query
+
+
+def acyclic_workloads() -> List[Dict[str, Any]]:
+    """Large acyclic instances: inputs over the planner's shard threshold."""
+    return [
+        {
+            "name": "path4_dense_w64",
+            "query": path_query(4, head_arity=1),
+            "database": chain_database(layers=5, width=64, p=0.5, seed=7),
+        },
+        {
+            "name": "path4_selective_w48",
+            "query": path_query(4, head_arity=1),
+            "database": chain_database(layers=5, width=48, p=0.25, seed=7),
+        },
+        {
+            "name": "star5_fanout300",
+            "query": star_query(5),
+            "database": star_database(5, 300, seed=3),
+        },
+    ]
+
+
+def run_acyclic(repeats: int) -> List[Dict[str, Any]]:
+    """Sequential vs parallel engine on each large acyclic workload."""
+    records: List[Dict[str, Any]] = []
+    for item in acyclic_workloads():
+        query, database = item["query"], item["database"]
+        sequential = QueryEngine(parallel=False)
+        parallel = QueryEngine()
+        # Warm both engines (plan caches, kernel indexes, shard partitions)
+        # and pin result equality before timing.
+        assert sequential.execute(query, database) == parallel.execute(
+            query, database
+        ), item["name"]
+        assert sequential.decide(query, database) == parallel.decide(
+            query, database
+        ), item["name"]
+
+        seq_exec, _ = time_thunk(
+            lambda: sequential.execute(query, database), repeats=repeats
+        )
+        par_exec, _ = time_thunk(
+            lambda: parallel.execute(query, database), repeats=repeats
+        )
+        seq_decide, _ = time_thunk(
+            lambda: sequential.decide(query, database), repeats=repeats
+        )
+        par_decide, _ = time_thunk(
+            lambda: parallel.decide(query, database), repeats=repeats
+        )
+        plan = parallel.plan_for(query, database)
+        records.append(
+            {
+                "name": item["name"],
+                "input_rows": sum(
+                    database[name].cardinality for name in database.names()
+                ),
+                "shard_count": plan.shard_count,
+                "sequential_execute_seconds": seq_exec,
+                "parallel_execute_seconds": par_exec,
+                "execute_speedup": round(speedup(seq_exec, par_exec), 2),
+                "sequential_decide_seconds": seq_decide,
+                "parallel_decide_seconds": par_decide,
+                "decide_speedup": round(speedup(seq_decide, par_decide), 2),
+            }
+        )
+    return records
+
+
+def run_batch(repeats: int, batch_size: int = 48) -> Dict[str, Any]:
+    """N-wide lifted batch vs sequential per-member execution."""
+    database = chain_database(layers=5, width=48, p=0.25, seed=7)
+    query = path_query(4, head_arity=1)
+    starts = sorted({row[0] for row in database["E"].rows})
+    starts = (starts * (batch_size // len(starts) + 1))[:batch_size]
+    batch = [query.decision_instance((value,)) for value in starts]
+
+    sequential = QueryEngine(parallel=False)
+    wide = QueryEngine()
+    reference = sequential.execute_batch(batch, database)
+    assert wide.execute_batch(batch, database) == reference
+
+    seq_seconds, _ = time_thunk(
+        lambda: sequential.execute_batch(batch, database), repeats=repeats
+    )
+    wide_seconds, _ = time_thunk(
+        lambda: wide.execute_batch(batch, database), repeats=repeats
+    )
+    return {
+        "batch_size": len(batch),
+        "sequential_seconds": seq_seconds,
+        "wide_seconds": wide_seconds,
+        "batch_speedup": round(speedup(seq_seconds, wide_seconds), 2),
+    }
+
+
+def run_small_no_regression(repeats: int) -> Dict[str, Any]:
+    """The PR 2 small workload: sharding must stay off and cost nothing."""
+    database = chain_database(layers=5, width=16, p=0.25, seed=3)
+    query = path_query(4, head_arity=1)
+    sequential = QueryEngine(parallel=False)
+    parallel = QueryEngine()
+    assert sequential.execute(query, database) == parallel.execute(query, database)
+    plan = parallel.plan_for(query, database)
+
+    seq_seconds, _ = time_thunk(
+        lambda: sequential.execute(query, database), repeats=repeats
+    )
+    par_seconds, _ = time_thunk(
+        lambda: parallel.execute(query, database), repeats=repeats
+    )
+    return {
+        "shard_count": plan.shard_count,
+        "sequential_execute_seconds": seq_seconds,
+        "parallel_execute_seconds": par_seconds,
+        "parallel_over_sequential": round(
+            par_seconds / max(seq_seconds, 1e-9), 3
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="skip perf assertions and the default JSON write — the CI "
+        "configuration (timings stay best-of-3 for the regression gate)",
+    )
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+    repeats = 3
+
+    acyclic = run_acyclic(repeats)
+    batch = run_batch(repeats)
+    small = run_small_no_regression(repeats)
+
+    print_table(
+        (
+            "workload",
+            "rows",
+            "shards",
+            "seq exec s",
+            "par exec s",
+            "exec ×",
+            "seq decide s",
+            "par decide s",
+            "decide ×",
+        ),
+        [
+            (
+                r["name"],
+                r["input_rows"],
+                r["shard_count"],
+                r["sequential_execute_seconds"],
+                r["parallel_execute_seconds"],
+                r["execute_speedup"],
+                r["sequential_decide_seconds"],
+                r["parallel_decide_seconds"],
+                r["decide_speedup"],
+            )
+            for r in acyclic
+        ],
+        title=(
+            "Sharded parallel engine vs sequential engine "
+            f"(best of {repeats}, {default_worker_count()} worker(s))"
+        ),
+    )
+    print_table(
+        ("batch size", "sequential s", "N-wide s", "speedup"),
+        [
+            (
+                batch["batch_size"],
+                batch["sequential_seconds"],
+                batch["wide_seconds"],
+                batch["batch_speedup"],
+            )
+        ],
+        title="execute_batch: N-wide lifted execution vs per-member",
+    )
+    print_table(
+        ("shards", "sequential s", "parallel s", "par/seq"),
+        [
+            (
+                small["shard_count"],
+                small["sequential_execute_seconds"],
+                small["parallel_execute_seconds"],
+                small["parallel_over_sequential"],
+            )
+        ],
+        title="Small inputs: sharding off, no overhead",
+    )
+
+    if not args.smoke:
+        best_exec = max(r["execute_speedup"] for r in acyclic)
+        assert best_exec >= 2.0, acyclic
+        assert all(r["decide_speedup"] >= 0.8 for r in acyclic), acyclic
+        assert batch["batch_speedup"] >= 2.0, batch
+        assert small["shard_count"] == 1, small
+        assert small["parallel_over_sequential"] <= 1.5, small
+
+    output = args.json
+    if output is None and not args.smoke:
+        output = "BENCH_parallel_sharded.json"
+    payload = json_report_payload(
+        "parallel_sharded",
+        smoke=args.smoke,
+        repeats=repeats,
+        workers=default_worker_count(),
+        acyclic=acyclic,
+        batch=batch,
+        small_single_query=small,
+    )
+    emit_json_report(output, payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from .evaluation import (
     YannakakisEvaluator,
 )
 from .engine import QueryEngine, QueryPlan
+from .parallel import ParallelYannakakisEvaluator, ShardedRelation, WorkerPool
 
 __version__ = "1.0.0"
 
@@ -55,6 +56,7 @@ __all__ = [
     "NaiveEvaluator",
     "NotAcyclicError",
     "ParseError",
+    "ParallelYannakakisEvaluator",
     "PositiveEvaluator",
     "PositiveQuery",
     "QueryEngine",
@@ -65,7 +67,9 @@ __all__ = [
     "ReproError",
     "Rule",
     "SchemaError",
+    "ShardedRelation",
     "TreewidthEvaluator",
+    "WorkerPool",
     "YannakakisEvaluator",
     "parse_program",
     "parse_query",

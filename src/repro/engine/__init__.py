@@ -23,17 +23,19 @@ from .analysis import (
     shape_signature,
 )
 from .cache import CacheStats, PlanCache
-from .engine import QueryEngine
+from .engine import DEFAULT_BATCH_WIDE_THRESHOLD, QueryEngine
 from .plan import (
     BOUNDED_VARIABLE,
     EVALUATORS,
     INEQUALITY,
     NAIVE,
+    PlanRuntime,
     QueryPlan,
     TREEWIDTH,
     YANNAKAKIS,
 )
-from .planner import Planner
+from .planner import DEFAULT_SHARD_THRESHOLD_ROWS, Planner, default_shard_count
+from .stats import EngineStats, ShapeStats
 
 __all__ = [
     "ACYCLIC",
@@ -42,20 +44,26 @@ __all__ = [
     "BOUNDED_VARIABLE",
     "BOUNDED_VARIABLES",
     "CacheStats",
+    "DEFAULT_BATCH_WIDE_THRESHOLD",
+    "DEFAULT_SHARD_THRESHOLD_ROWS",
     "DEFAULT_TREEWIDTH_THRESHOLD",
     "EVALUATORS",
+    "EngineStats",
     "GENERAL",
     "INEQUALITY",
     "NAIVE",
     "PlanCache",
+    "PlanRuntime",
     "Planner",
     "QueryEngine",
     "QueryPlan",
     "STRUCTURAL_CLASSES",
+    "ShapeStats",
     "StructuralAnalysis",
     "TREEWIDTH",
     "YANNAKAKIS",
     "analyze",
+    "default_shard_count",
     "plan_cache_key",
     "schema_signature",
     "shape_signature",

@@ -1,4 +1,4 @@
-"""The :class:`QueryEngine` facade: plan, cache, dispatch, batch.
+"""The :class:`QueryEngine` facade: plan, cache, dispatch, batch, parallel.
 
 The engine is the production entry point the ROADMAP asks for on top of the
 PR 1 kernel: callers stop hand-picking among ``NaiveEvaluator``,
@@ -8,22 +8,37 @@ and instead say ``engine.execute(query, database)``.  Internally:
 1. the *analyzer* classifies the query's structure (acyclic / bounded
    treewidth / bounded variables / general — the paper's tractability map);
 2. the *planner* turns the analysis plus kernel statistics into an
-   explainable :class:`QueryPlan`;
+   explainable :class:`QueryPlan`, including the sharding decision for the
+   parallel execution layer;
 3. the *plan cache* (LRU, keyed on query shape + schema) lets repeated and
    parameterized queries skip both steps — every constant binding of one
    prepared shape reuses the same plan;
-4. the *executor* dispatches to the chosen evaluator; ``execute_batch``
-   additionally groups same-shape queries so a whole batch plans once and
-   the kernel's per-relation index caches stay hot across members.
+4. the *executor* dispatches to the chosen evaluator.  Sharded acyclic
+   plans run through the parallel Yannakakis executor
+   (``repro.parallel``): co-partitioned hash shards, bucket-centric
+   semijoin kernels, and a worker pool (threads by default, processes
+   optionally, inline on one core);
+5. ``execute_batch`` groups same-shape queries under one plan and — for
+   large constant-variant groups — *lifts* the group into a single N-wide
+   execution through a parameter relation, falling back to per-member
+   execution fanned across the pool.
 
-``explain`` returns the plan rendering (with cache status) without
+After every planned execution the engine records the actual result
+cardinality on the plan (``QueryPlan.runtime``) and feeds a bounded
+per-shape ledger; ``stats()`` exposes both together with the plan cache's
+hit/miss counters.  ``explain`` returns the plan rendering (with cache
+status, sharding decision, and estimate-vs-actual feedback) without
 executing anything; passing ``evaluator=...`` to ``execute``/``decide``
 forces a specific engine, which keeps the benchmark suite on a single code
 path even where a fixed evaluator is the point of the measurement.
+
+Constructing with ``parallel=False`` reproduces the sequential PR 2
+behavior exactly: no pool, no sharded dispatch, no batch lifting.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
@@ -32,10 +47,14 @@ from ..evaluation.naive import NaiveEvaluator
 from ..evaluation.treewidth_eval import TreewidthEvaluator
 from ..evaluation.yannakakis import YannakakisEvaluator
 from ..inequalities.evaluator import AcyclicInequalityEvaluator
+from ..parallel.batch import lift_batch_group
+from ..parallel.executor import ParallelYannakakisEvaluator
+from ..parallel.pool import THREADS, WorkerPool
 from ..query.conjunctive import ConjunctiveQuery
 from ..relational.database import Database
 from ..relational.relation import Relation
 from .analysis import (
+    ACYCLIC,
     DEFAULT_TREEWIDTH_THRESHOLD,
     plan_cache_key,
     variable_layout,
@@ -51,6 +70,10 @@ from .plan import (
     YANNAKAKIS,
 )
 from .planner import Planner
+from .stats import EngineStats, ShapeLedger
+
+#: Same-shape groups at least this large are executed N-wide (lifted).
+DEFAULT_BATCH_WIDE_THRESHOLD = 8
 
 
 class QueryEngine:
@@ -65,6 +88,16 @@ class QueryEngine:
         still routed through the bounded-treewidth evaluator.
     planner:
         Optional custom planner (tests inject instrumented ones).
+    parallel:
+        Enable the sharded execution layer.  ``False`` restores purely
+        sequential execution (no pool, no sharding, no batch lifting).
+    max_workers:
+        Worker budget for the pool (defaults to the CPU count; 1 runs
+        every task inline).
+    pool_mode:
+        ``"threads"`` (default), ``"processes"``, or ``"serial"``.
+    batch_wide_threshold:
+        Minimum same-shape group size for N-wide batch lifting.
     """
 
     def __init__(
@@ -72,13 +105,28 @@ class QueryEngine:
         plan_cache_size: int = 128,
         treewidth_threshold: int = DEFAULT_TREEWIDTH_THRESHOLD,
         planner: Optional[Planner] = None,
+        parallel: bool = True,
+        max_workers: Optional[int] = None,
+        pool_mode: str = THREADS,
+        batch_wide_threshold: int = DEFAULT_BATCH_WIDE_THRESHOLD,
     ) -> None:
         self._planner = planner or Planner(treewidth_threshold)
         self._cache = PlanCache(plan_cache_size)
+        self._ledger = ShapeLedger()
         self._naive = NaiveEvaluator()
         self._yannakakis = YannakakisEvaluator()
         self._treewidth = TreewidthEvaluator()
         self._inequality = AcyclicInequalityEvaluator()
+        self._parallel = parallel
+        self._batch_wide_threshold = batch_wide_threshold
+        if parallel:
+            self._pool: Optional[WorkerPool] = WorkerPool(max_workers, pool_mode)
+            self._parallel_yannakakis: Optional[ParallelYannakakisEvaluator] = (
+                ParallelYannakakisEvaluator(pool=self._pool)
+            )
+        else:
+            self._pool = None
+            self._parallel_yannakakis = None
 
     # ------------------------------------------------------------------
     # Planning
@@ -86,23 +134,27 @@ class QueryEngine:
 
     def plan_for(self, query: ConjunctiveQuery, database: Database) -> QueryPlan:
         """The (possibly cached) plan the engine would execute."""
-        plan, _ = self._plan_with_status(query, database)
+        plan, _, _ = self._plan_entry(query, database)
         return plan
 
-    def _plan_with_status(
-        self, query: ConjunctiveQuery, database: Database
-    ) -> Tuple[QueryPlan, str]:
-        key = plan_cache_key(query, database)
+    def _plan_entry(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        key: Optional[Tuple] = None,
+    ) -> Tuple[QueryPlan, str, Tuple]:
+        if key is None:
+            key = plan_cache_key(query, database)
         cached = self._cache.get(key)
         if cached is not None:
-            return cached, "hit"
+            return cached, "hit", key
         plan = self._planner.plan(query, database)
         self._cache.put(key, plan)
-        return plan, "miss"
+        return plan, "miss", key
 
     def explain(self, query: ConjunctiveQuery, database: Database) -> str:
         """The plan rendering for (query, database), without executing."""
-        plan, status = self._plan_with_status(query, database)
+        plan, status, _ = self._plan_entry(query, database)
         stats = self._cache.stats
         footer = (
             f"  cache    : {status} "
@@ -124,8 +176,11 @@ class QueryEngine:
         """Q(d) through the adaptive pipeline (or a forced *evaluator*)."""
         if evaluator is not None:
             return self._dispatch(evaluator, None, query, database, decide=False)
-        plan, _ = self._plan_with_status(query, database)
-        return self._dispatch(plan.evaluator, plan, query, database, decide=False)
+        plan, _, key = self._plan_entry(query, database)
+        start = perf_counter()
+        result = self._dispatch(plan.evaluator, plan, query, database, decide=False)
+        self._record(key, plan, perf_counter() - start, result.cardinality)
+        return result
 
     def decide(
         self,
@@ -136,8 +191,11 @@ class QueryEngine:
         """Is Q(d) nonempty?"""
         if evaluator is not None:
             return self._dispatch(evaluator, None, query, database, decide=True)
-        plan, _ = self._plan_with_status(query, database)
-        return self._dispatch(plan.evaluator, plan, query, database, decide=True)
+        plan, _, key = self._plan_entry(query, database)
+        start = perf_counter()
+        result = self._dispatch(plan.evaluator, plan, query, database, decide=True)
+        self._record(key, plan, perf_counter() - start, None)
+        return result
 
     def contains(
         self,
@@ -165,22 +223,70 @@ class QueryEngine:
     ) -> List[Relation]:
         """Evaluate many queries, planning once per distinct shape.
 
-        Queries are grouped by plan-cache key; each group is planned a
-        single time (one analyzer + cost-model run) and executed member by
-        member, so same-shape batches amortize planning and keep probing
-        the same kernel index caches.  Results come back in input order.
+        Queries are grouped by plan-cache key and each group is planned a
+        single time.  A group of ≥ ``batch_wide_threshold`` acyclic
+        constant-variants of one template is *lifted* — executed once,
+        N-wide, through a parameter relation
+        (:mod:`repro.parallel.batch`) — and identical duplicates share one
+        execution.  Remaining groups execute member by member, fanned
+        across the worker pool when one is configured.  Results come back
+        in input order, identical to per-member execution.
         """
         groups: Dict[Tuple, List[int]] = {}
         for position, query in enumerate(queries):
             groups.setdefault(plan_cache_key(query, database), []).append(position)
         results: List[Optional[Relation]] = [None] * len(queries)
-        for positions in groups.values():
-            plan, _ = self._plan_with_status(queries[positions[0]], database)
-            for position in positions:
-                results[position] = self._dispatch(
-                    plan.evaluator, plan, queries[position], database, decide=False
-                )
+        for key, positions in groups.items():
+            members = [queries[position] for position in positions]
+            plan, _, _ = self._plan_entry(members[0], database, key=key)
+            group_results = self._execute_group(key, plan, members, database)
+            for position, result in zip(positions, group_results):
+                results[position] = result
         return results  # type: ignore[return-value]
+
+    def _execute_group(
+        self,
+        key: Tuple,
+        plan: QueryPlan,
+        members: List[ConjunctiveQuery],
+        database: Database,
+    ) -> List[Relation]:
+        """One shape group: shared, lifted, pooled, or plain execution.
+
+        Each path records its own observability: the shared path ran the
+        plan once (one ledger/runtime entry, however many members it
+        served); the lifted path ran only the *lifted* query, which
+        records itself under its own shape inside ``execute``; per-member
+        execution records every member with its share of the wall clock.
+        """
+        first = members[0]
+        if len(members) > 1 and all(member == first for member in members[1:]):
+            start = perf_counter()
+            shared = self._dispatch(plan.evaluator, plan, first, database, False)
+            self._record(key, plan, perf_counter() - start, shared.cardinality)
+            return [shared] * len(members)
+        if (
+            self._parallel
+            and len(members) >= self._batch_wide_threshold
+            and plan.structural_class == ACYCLIC
+        ):
+            lifted = lift_batch_group(members, database)
+            if lifted is not None:
+                return lifted.distribute(self.execute(lifted.query, lifted.database))
+
+        def run_member(member: ConjunctiveQuery) -> Relation:
+            return self._dispatch(plan.evaluator, plan, member, database, False)
+
+        start = perf_counter()
+        pool = self._pool
+        if pool is not None and pool.supports_closures and len(members) > 1:
+            group_results = pool.map(run_member, members)
+        else:
+            group_results = [run_member(member) for member in members]
+        share = (perf_counter() - start) / len(members)
+        for result in group_results:
+            self._record(key, plan, share, result.cardinality)
+        return group_results
 
     # ------------------------------------------------------------------
     # Dispatch table
@@ -206,6 +312,21 @@ class QueryEngine:
             # Reuse the plan's join tree: a cache hit must not pay for the
             # GYO reduction again.
             tree = plan.analysis.join_tree if reusable else None
+            if (
+                plan is not None
+                and plan.shard_count > 1
+                and self._parallel_yannakakis is not None
+            ):
+                engine = self._parallel_yannakakis
+                return (
+                    engine.decide(
+                        query, database, join_tree=tree, shard_count=plan.shard_count
+                    )
+                    if decide
+                    else engine.evaluate(
+                        query, database, join_tree=tree, shard_count=plan.shard_count
+                    )
+                )
             engine = self._yannakakis
             return (
                 engine.decide(query, database, join_tree=tree)
@@ -246,8 +367,18 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------------
-    # Cache introspection
+    # Observability
     # ------------------------------------------------------------------
+
+    def _record(
+        self, key: Tuple, plan: QueryPlan, seconds: float, rows: Optional[int]
+    ) -> None:
+        plan.runtime.record(rows)
+        self._ledger.record(key, plan, seconds, rows)
+
+    def stats(self) -> EngineStats:
+        """Cache counters plus the per-shape execution ledger."""
+        return EngineStats(cache=self._cache.stats, shapes=self._ledger.snapshot())
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -255,3 +386,20 @@ class QueryEngine:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._ledger.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the engine stays usable —
+        a closed pool restarts lazily on the next sharded execution)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -3,9 +3,17 @@
 A plan is everything the executor needs that does *not* depend on the
 constant bindings of the query: the structural analysis, the chosen
 evaluator, the join order for the backtracking engine, the semijoin program
-read off the join tree for the acyclic engines, and the cost model's
-per-candidate estimates (kept for transparency — ``explain`` shows why the
-planner chose what it chose).
+read off the join tree for the acyclic engines, the sharding decision for
+the parallel execution layer, and the cost model's per-candidate estimates
+(kept for transparency — ``explain`` shows why the planner chose what it
+chose).
+
+A plan also carries one deliberately *mutable* attachment: a
+:class:`PlanRuntime` that accumulates actual result cardinalities and
+execution counts after each run.  The estimates above are what the planner
+believed; the runtime is what the data said — ``explain`` shows both side
+by side, which is the first half of the ROADMAP's cost-model feedback
+loop.
 """
 
 from __future__ import annotations
@@ -14,6 +22,34 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from .analysis import StructuralAnalysis
+
+
+class PlanRuntime:
+    """Mutable post-execution feedback attached to an immutable plan.
+
+    Records how many times the plan ran and the last result cardinality it
+    produced, so estimate-vs-actual drift is visible in ``explain`` and
+    available to future adaptive re-planning.
+    """
+
+    __slots__ = ("executions", "last_rows")
+
+    def __init__(self) -> None:
+        self.executions = 0
+        self.last_rows: Optional[int] = None
+
+    def record(self, rows: Optional[int]) -> None:
+        """Note one execution; *rows* is None for decision-only runs."""
+        self.executions += 1
+        if rows is not None:
+            self.last_rows = rows
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanRuntime(executions={self.executions}, "
+            f"last_rows={self.last_rows})"
+        )
+
 
 #: Evaluator identifiers the engine can dispatch to.
 NAIVE = "naive"
@@ -70,6 +106,16 @@ class QueryPlan:
     cost_estimates:
         Abstract row-operation counts per candidate evaluator, from the
         planner's cost model.
+    shard_count:
+        Hash-shard fan-in for the parallel execution layer; 1 means the
+        inputs are below the sharding threshold and execution stays on the
+        sequential kernels.
+    estimated_rows:
+        The cost model's satisfying-assignment estimate, compared against
+        actual cardinalities in ``explain``.
+    runtime:
+        Mutable :class:`PlanRuntime` accumulating actual execution
+        feedback (excluded from plan equality).
     """
 
     evaluator: str
@@ -77,6 +123,11 @@ class QueryPlan:
     join_order: Tuple[int, ...]
     semijoin_program: Tuple[str, ...] = ()
     cost_estimates: Dict[str, float] = field(default_factory=dict)
+    shard_count: int = 1
+    estimated_rows: float = 0.0
+    runtime: PlanRuntime = field(
+        default_factory=PlanRuntime, compare=False, repr=False
+    )
 
     @property
     def structural_class(self) -> str:
@@ -98,6 +149,25 @@ class QueryPlan:
                 for name, estimate in sorted(self.cost_estimates.items())
             )
             lines.append(f"  costs    : {costs}")
+        if self.shard_count > 1:
+            lines.append(
+                f"  sharding : {self.shard_count}-way hash partitions "
+                "(parallel semijoin passes)"
+            )
+        else:
+            # Off either because the inputs are small or because the chosen
+            # evaluator has no sharded executor — don't claim a reason.
+            lines.append("  sharding : off")
+        if self.runtime.executions:
+            actual = (
+                f"last |Q(d)|={self.runtime.last_rows}"
+                if self.runtime.last_rows is not None
+                else "decision-only runs"
+            )
+            lines.append(
+                f"  actuals  : {actual} vs est≈{self.estimated_rows:.3g} "
+                f"({self.runtime.executions} execution(s) recorded)"
+            )
         lines.append("  join ord.: " + " -> ".join(f"a{i}" for i in self.join_order))
         if self.semijoin_program:
             lines.append("  program  :")

@@ -17,7 +17,8 @@ the caches it plans for.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..query.atoms import Atom
 from ..query.conjunctive import ConjunctiveQuery
@@ -53,12 +54,31 @@ _NUM_PASSES = 3
 #: many times cheaper — structural guarantees beat small modelled margins.
 _BASELINE_MARGIN = 4.0
 
+#: Largest-input cardinality from which acyclic plans are sharded for the
+#: parallel execution layer; below it, sharding overhead beats the win.
+DEFAULT_SHARD_THRESHOLD_ROWS = 1024
+
+
+def default_shard_count() -> int:
+    """Shard fan-in matched to the machine: a couple of shards per worker
+    (so the pool always has tasks to steal), at least 4 so the
+    bucket-centric kernels and empty-partner pruning engage even on
+    single-core containers."""
+    return max(4, min(16, 2 * (os.cpu_count() or 1)))
+
 
 class Planner:
     """Turns (query, database) into an explainable :class:`QueryPlan`."""
 
-    def __init__(self, treewidth_threshold: int = DEFAULT_TREEWIDTH_THRESHOLD) -> None:
+    def __init__(
+        self,
+        treewidth_threshold: int = DEFAULT_TREEWIDTH_THRESHOLD,
+        shard_threshold_rows: int = DEFAULT_SHARD_THRESHOLD_ROWS,
+        shard_count: Optional[int] = None,
+    ) -> None:
         self.treewidth_threshold = treewidth_threshold
+        self.shard_threshold_rows = shard_threshold_rows
+        self.shard_count = shard_count or default_shard_count()
 
     # ------------------------------------------------------------------
 
@@ -107,7 +127,27 @@ class Planner:
             join_order=join_order,
             semijoin_program=program,
             cost_estimates=costs,
+            shard_count=self._shard_decision(evaluator, query, database),
+            estimated_rows=answer_estimate,
         )
+
+    def _shard_decision(
+        self, evaluator: str, query: ConjunctiveQuery, database: Database
+    ) -> int:
+        """Shard fan-in for the parallel layer, from the data scale.
+
+        The schema signature already tracks each relation's cardinality at
+        bit-length grain — the same scale measure decides here: acyclic
+        plans whose largest input meets the threshold are sharded
+        ``shard_count`` ways (the parallel Yannakakis executor consumes
+        this); everything else stays sequential.
+        """
+        if evaluator != YANNAKAKIS:
+            return 1
+        largest = max(database[atom.relation].cardinality for atom in query.atoms)
+        if largest < self.shard_threshold_rows:
+            return 1
+        return self.shard_count
 
     # ------------------------------------------------------------------
     # Statistics (from the kernel's cached indexes)

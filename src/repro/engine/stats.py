@@ -1,0 +1,148 @@
+"""Per-shape execution counters: the engine's observability facade.
+
+Production monitoring of a query service wants three things the plan cache
+alone cannot answer: which query *shapes* are hot, what they cost
+cumulatively, and whether the cache is actually absorbing the planning
+work.  ``QueryEngine.stats()`` returns an :class:`EngineStats` snapshot
+combining the plan cache's hit/miss/eviction counters with a per-shape
+ledger: executions, cumulative and last wall-clock latency, and the last
+observed result cardinality next to the planner's estimate (the
+estimate-vs-actual drift that feeds the cost-model feedback loop).
+
+The ledger is bounded (LRU on shapes, like the plan cache) so a service
+executing unboundedly many distinct shapes cannot grow it without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from .cache import CacheStats
+from .plan import QueryPlan
+
+
+@dataclass(frozen=True)
+class ShapeStats:
+    """Counters for one plan-cache shape (one prepared query)."""
+
+    shape: str
+    evaluator: str
+    structural_class: str
+    shard_count: int
+    executions: int
+    total_seconds: float
+    last_seconds: float
+    estimated_rows: float
+    last_rows: Optional[int]
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.executions if self.executions else 0.0
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """One consistent snapshot of cache counters and the shape ledger."""
+
+    cache: CacheStats
+    shapes: Tuple[ShapeStats, ...]
+
+    @property
+    def executions(self) -> int:
+        return sum(shape.executions for shape in self.shapes)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(shape.total_seconds for shape in self.shapes)
+
+    def summary(self) -> str:
+        """Multi-line rendering for logs and the examples."""
+        cache = self.cache
+        head = (
+            f"EngineStats: {self.executions} execution(s), "
+            f"{self.total_seconds * 1e3:.2f} ms total; plan cache "
+            f"hits={cache.hits} misses={cache.misses} "
+            f"evictions={cache.evictions} size={cache.size}/{cache.capacity}"
+        )
+        lines = [head]
+        for shape in sorted(self.shapes, key=lambda s: s.total_seconds, reverse=True):
+            actual = "-" if shape.last_rows is None else str(shape.last_rows)
+            lines.append(
+                f"  {shape.shape}: n={shape.executions} "
+                f"total={shape.total_seconds * 1e3:.2f}ms "
+                f"mean={shape.mean_seconds * 1e3:.3f}ms "
+                f"last|Q(d)|={actual} est≈{shape.estimated_rows:.3g}"
+            )
+        return "\n".join(lines)
+
+
+class ShapeLedger:
+    """Bounded per-shape accumulator keyed on plan-cache keys."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._capacity = max(1, capacity)
+        self._entries: "OrderedDict[Hashable, _ShapeRecord]" = OrderedDict()
+
+    def record(
+        self,
+        key: Hashable,
+        plan: QueryPlan,
+        seconds: float,
+        rows: Optional[int],
+    ) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            if len(self._entries) >= self._capacity:
+                self._entries.popitem(last=False)
+            entry = _ShapeRecord(plan)
+            self._entries[key] = entry
+        else:
+            self._entries.move_to_end(key)
+            entry.plan = plan
+        entry.executions += 1
+        entry.total_seconds += seconds
+        entry.last_seconds = seconds
+        if rows is not None:
+            entry.last_rows = rows
+
+    def snapshot(self) -> Tuple[ShapeStats, ...]:
+        out = []
+        for entry in self._entries.values():
+            plan = entry.plan
+            out.append(
+                ShapeStats(
+                    shape=entry.label(),
+                    evaluator=plan.evaluator,
+                    structural_class=plan.structural_class,
+                    shard_count=plan.shard_count,
+                    executions=entry.executions,
+                    total_seconds=entry.total_seconds,
+                    last_seconds=entry.last_seconds,
+                    estimated_rows=plan.estimated_rows,
+                    last_rows=entry.last_rows,
+                )
+            )
+        return tuple(out)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class _ShapeRecord:
+    __slots__ = ("plan", "executions", "total_seconds", "last_seconds", "last_rows")
+
+    def __init__(self, plan: QueryPlan) -> None:
+        self.plan = plan
+        self.executions = 0
+        self.total_seconds = 0.0
+        self.last_seconds = 0.0
+        self.last_rows: Optional[int] = None
+
+    def label(self) -> str:
+        plan = self.plan
+        return (
+            f"{plan.structural_class}/{plan.evaluator}"
+            f"[{len(plan.join_order)} atom(s)]"
+        )

@@ -11,11 +11,23 @@ Both engines delegate each rule application to a conjunctive-query
 evaluation, so the W[1] membership argument (each stage = polynomially many
 W[1] oracle calls) is directly visible in the code; the oracle-counting
 variant lives in :mod:`repro.reductions.datalog_fixed_arity`.
+
+Rule bodies are routed through the adaptive :class:`~repro.engine.QueryEngine`
+by default: rule shapes repeat across fixpoint iterations (the
+parameterized-query pattern), so every iteration after the first hits the
+plan cache, acyclic rule bodies run through Yannakakis (sharded when
+large), and cyclic ones get the cost-based join order — instead of every
+stage re-running uniform backtracking.  Pass ``rule_engine=`` to pin the
+legacy :class:`NaiveEvaluator` (``benchmarks/bench_datalog.py`` does, to
+isolate the fixpoint strategies and the §4 per-stage bound).  Reuse one
+evaluator across programs to keep its plan cache warm, and ``close()`` it
+(or use it as a context manager) when done — a default-constructed
+evaluator owns its engine's worker pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..errors import QueryError
 from ..query.conjunctive import ConjunctiveQuery
@@ -27,10 +39,58 @@ from .naive import NaiveEvaluator
 
 
 class DatalogEvaluator:
-    """Naive and semi-naive bottom-up fixpoint computation."""
+    """Naive and semi-naive bottom-up fixpoint computation.
 
-    def __init__(self, rule_engine: Optional[NaiveEvaluator] = None) -> None:
-        self._engine = rule_engine or NaiveEvaluator()
+    Parameters
+    ----------
+    rule_engine:
+        Optional evaluator for the per-rule conjunctive queries.  A
+        :class:`NaiveEvaluator` (legacy behavior), a
+        :class:`~repro.engine.QueryEngine`, or anything exposing their
+        evaluation signature.  Defaults to a fresh adaptive
+        :class:`~repro.engine.QueryEngine` so repeated rule shapes hit the
+        plan cache across iterations.
+    """
+
+    def __init__(
+        self, rule_engine: Optional[Union[NaiveEvaluator, "object"]] = None
+    ) -> None:
+        self._owns_engine = rule_engine is None
+        if rule_engine is None:
+            # Local import: repro.engine itself evaluates through this
+            # package, so the dependency must stay call-time.  The default
+            # engine is single-worker (serial pool, no executor is ever
+            # spawned) so the many existing construct-per-call sites leak
+            # nothing; inject a QueryEngine to opt into worker fan-out.
+            from ..engine import QueryEngine
+
+            rule_engine = QueryEngine(max_workers=1)
+        self._engine = rule_engine
+        self._evaluate_body = getattr(
+            rule_engine, "execute", None
+        ) or rule_engine.evaluate
+
+    @property
+    def rule_engine(self):
+        """The engine evaluating rule-body conjunctive queries."""
+        return self._engine
+
+    def close(self) -> None:
+        """Release the engine's worker pool, if this evaluator created it.
+
+        Injected engines are the caller's to manage.  Idempotent; the
+        evaluator stays usable (a closed pool restarts lazily).
+        """
+        if self._owns_engine:
+            closer = getattr(self._engine, "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "DatalogEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -78,7 +138,7 @@ class DatalogEvaluator:
         query = ConjunctiveQuery(
             rule.head.terms, rule.body, head_name=rule.head.relation
         )
-        derived = self._engine.evaluate(query, database)
+        derived = self._evaluate_body(query, database)
         schema = RelationSchema(rule.head.relation, rule.head.arity)
         # Same rows, new column names: reuse the frozen row set (and its
         # cached indexes) instead of re-validating every tuple.
@@ -156,7 +216,7 @@ class DatalogEvaluator:
                         renamed_body,
                         head_name=rule.head.relation,
                     )
-                    derived = self._engine.evaluate(query, patched)
+                    derived = self._evaluate_body(query, patched)
                     name = rule.head.relation
                     schema_rel = Relation._from_frozen(
                         idbs[name].attributes, derived.rows

@@ -1,0 +1,49 @@
+"""Sharded, parallel execution layer for the relational engines.
+
+The tractable classes the paper maps out (acyclic, bounded treewidth,
+bounded variables) are exactly the queries whose evaluation cost is
+dominated by data access rather than combinatorics — which makes them
+partitionable.  This package provides:
+
+* :class:`ShardedRelation` — hash-partitioned relations with a
+  co-partitioning contract for traffic-free shard-by-shard joins;
+* shard-parallel operator drivers (:func:`parallel_semijoin`,
+  :func:`parallel_hash_join`, :func:`parallel_select_eq`) built on
+  bucket-centric per-shard kernels;
+* :class:`ParallelYannakakisEvaluator` — level-parallel, sharded
+  Yannakakis passes for acyclic queries;
+* batch lifting (:func:`lift_batch_group`) — N-wide execution of
+  same-shape query batches through a parameter relation;
+* :class:`WorkerPool` — serial / thread / process fan-out.
+
+See ``docs/parallel.md`` for the sharding scheme, the co-partitioning
+contract, and how the planner decides shard counts.
+"""
+
+from .batch import LiftedBatch, lift_batch_group
+from .executor import ParallelYannakakisEvaluator
+from .ops import (
+    DEFAULT_SHARD_COUNT,
+    bucket_semijoin,
+    parallel_hash_join,
+    parallel_select_eq,
+    parallel_semijoin,
+)
+from .pool import POOL_MODES, WorkerPool, default_worker_count
+from .sharding import ShardedRelation, shard_relation
+
+__all__ = [
+    "DEFAULT_SHARD_COUNT",
+    "LiftedBatch",
+    "POOL_MODES",
+    "ParallelYannakakisEvaluator",
+    "ShardedRelation",
+    "WorkerPool",
+    "bucket_semijoin",
+    "default_worker_count",
+    "lift_batch_group",
+    "parallel_hash_join",
+    "parallel_select_eq",
+    "parallel_semijoin",
+    "shard_relation",
+]

@@ -1,0 +1,151 @@
+"""Worker pools for the sharded execution layer.
+
+One small abstraction covers the three execution modes the parallel
+operators need:
+
+``serial``
+    Run tasks inline in the calling thread.  This is what a 1-worker pool
+    degrades to, and what single-core containers get by default — the
+    sharded kernels still win there through bucket-level work and shard
+    pruning, without paying any pool dispatch overhead.
+``threads``
+    A lazily created :class:`~concurrent.futures.ThreadPoolExecutor`.  The
+    default.  Plans, shards, and the kernel's per-relation index caches are
+    immutable once built, so shard tasks share them safely; CPython's
+    per-opcode atomicity makes the lazy index/partition cache fills benign
+    (worst case a bucket map is built twice, both results identical).
+``processes``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` for opt-in
+    multi-process execution.  Tasks submitted through :meth:`WorkerPool.map`
+    must then be module-level functions with picklable arguments — every
+    driver in :mod:`repro.parallel.ops` and the executor's pass tasks
+    satisfy this.
+
+The pool never spawns workers until a call actually fans out: tiny task
+lists run inline regardless of mode, so sharded operators on small inputs
+cost what their sequential counterparts do.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+SERIAL = "serial"
+THREADS = "threads"
+PROCESSES = "processes"
+
+POOL_MODES = (SERIAL, THREADS, PROCESSES)
+
+
+def default_worker_count() -> int:
+    """Workers matched to the hardware: ``os.cpu_count()`` (at least 1)."""
+    return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """A lazily started task pool with an inline fast path.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker budget.  Defaults to :func:`default_worker_count`; a budget
+        of 1 collapses the pool to ``serial`` mode.
+    mode:
+        One of :data:`POOL_MODES`.  ``threads`` by default.
+    """
+
+    def __init__(
+        self, max_workers: Optional[int] = None, mode: str = THREADS
+    ) -> None:
+        if mode not in POOL_MODES:
+            raise ValueError(f"unknown pool mode {mode!r}; expected {POOL_MODES}")
+        self._max_workers = max_workers if max_workers else default_worker_count()
+        self._mode = SERIAL if self._max_workers <= 1 else mode
+        self._executor: Optional[Executor] = None
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    @property
+    def supports_closures(self) -> bool:
+        """True when tasks need not be picklable (serial and thread modes)."""
+        return self._mode != PROCESSES
+
+    # ------------------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], tasks: Sequence[Any]) -> List[Any]:
+        """``[fn(t) for t in tasks]``, fanned out when it can help.
+
+        Order is preserved.  Task lists of length ≤ 1 — and everything in
+        serial mode — run inline without touching an executor.
+
+        The pool is **re-entrancy safe**: a ``map`` issued from inside one
+        of its own tasks runs inline on the calling worker thread.  Nested
+        fan-out on one bounded executor would otherwise deadlock — every
+        worker blocking on inner tasks no free worker can ever pick up
+        (e.g. the level scheduler's per-parent tasks each issuing sharded
+        semijoins).
+        """
+        items = list(tasks)
+        if (
+            self._mode == SERIAL
+            or len(items) <= 1
+            or getattr(self._local, "in_task", False)
+        ):
+            return [fn(item) for item in items]
+        if self._mode == PROCESSES:
+            # Process tasks are module-level, data-only functions (no
+            # nested pool use), and the marker wrapper would not pickle.
+            return list(self._ensure_executor().map(fn, items))
+
+        def run(item: Any) -> Any:
+            self._local.in_task = True
+            try:
+                return fn(item)
+            finally:
+                self._local.in_task = False
+
+        return list(self._ensure_executor().map(run, items))
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            workers = self._max_workers
+            if self._mode == PROCESSES:
+                self._executor = ProcessPoolExecutor(max_workers=workers)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-shard"
+                )
+        return self._executor
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        started = "started" if self._executor is not None else "idle"
+        return (
+            f"WorkerPool(mode={self._mode!r}, "
+            f"max_workers={self._max_workers}, {started})"
+        )

@@ -21,7 +21,12 @@ Kernel notes (see ``docs/kernel.md`` for the full contract):
   Relations are immutable, so cached indexes are never invalidated;
 * operations that permute or rename columns without touching rows
   (``rename``, and the candidate-relation fast path) share the source
-  relation's index cache, since positional indexes only depend on rows.
+  relation's index cache, since positional indexes only depend on rows;
+* the parallel execution layer (``repro.parallel``) shards relations by
+  join-key hash through :meth:`Relation._partition`, a lazy cache exactly
+  like :meth:`Relation._index`: shards are built from the cached index on
+  the key positions, each shard is born with that index preseeded, and —
+  relations being immutable — a cached partition is never invalidated.
 """
 
 from __future__ import annotations
@@ -69,7 +74,7 @@ class Relation:
     frozenset({(1,)})
     """
 
-    __slots__ = ("_attributes", "_rows", "_indexes")
+    __slots__ = ("_attributes", "_rows", "_indexes", "_partitions")
 
     def __init__(self, attributes: Sequence[str], rows: Iterable[Row] = ()) -> None:
         self._attributes: Tuple[str, ...] = check_attribute_names(attributes)
@@ -82,6 +87,7 @@ class Relation:
                 )
         self._rows: FrozenSet[Row] = frozen
         self._indexes: Dict[Tuple[int, ...], IndexBuckets] = {}
+        self._partitions: Dict[Tuple[Tuple[int, ...], int], Tuple["Relation", ...]] = {}
 
     # ------------------------------------------------------------------
     # Trusted constructor + index cache (the kernel's internal contract)
@@ -105,6 +111,7 @@ class Relation:
         self._attributes = attributes
         self._rows = rows
         self._indexes = {}
+        self._partitions = {}
         return self
 
     def _index(self, positions: Tuple[int, ...]) -> IndexBuckets:
@@ -144,6 +151,44 @@ class Relation:
         self._indexes[positions] = frozen_buckets
         return frozen_buckets
 
+    def _partition(
+        self, positions: Tuple[int, ...], count: int
+    ) -> Tuple["Relation", ...]:
+        """Hash-partition into *count* shards by the key on *positions*.
+
+        Shard ``s`` holds the rows whose index key hashes to ``s`` modulo
+        *count* (the raw value for a single position, the value tuple
+        otherwise, matching :meth:`_index`).  Built from the cached index on
+        *positions* — whole buckets are routed, so every key lands in
+        exactly one shard and two relations partitioned on join-compatible
+        keys with equal *count* are co-partitioned: matching keys meet in
+        the same shard index.  Each shard is a full :class:`Relation` over
+        the same attributes, created with its index on *positions*
+        preseeded from the routed buckets (sharding never pays the index
+        build twice).  Like :meth:`_index`, the result is cached for the
+        relation's lifetime and never invalidated.
+        """
+        if count < 1:
+            raise ValueError(f"partition count must be >= 1, got {count}")
+        cache_key = (positions, count)
+        found = self._partitions.get(cache_key)
+        if found is not None:
+            return found
+        routed: List[Dict[Any, Tuple[Row, ...]]] = [{} for _ in range(count)]
+        for key, bucket in self._index(positions).items():
+            routed[hash(key) % count][key] = bucket
+        shards = []
+        for shard_buckets in routed:
+            rows = frozenset(
+                row for bucket in shard_buckets.values() for row in bucket
+            )
+            shard = Relation._from_frozen(self._attributes, rows)
+            shard._indexes[positions] = shard_buckets
+            shards.append(shard)
+        frozen_shards = tuple(shards)
+        self._partitions[cache_key] = frozen_shards
+        return frozen_shards
+
     @staticmethod
     def _key_getter(positions: Tuple[int, ...]) -> Callable[[Row], Any]:
         """Row → index key, matching :meth:`_index`'s key convention."""
@@ -155,7 +200,12 @@ class Relation:
         return itemgetter(*positions)
 
     def _share_indexes_with(self, other: "Relation") -> "Relation":
-        """Share *other*'s index cache (caller guarantees identical rows)."""
+        """Share *other*'s index cache (caller guarantees identical rows).
+
+        The partition cache is *not* shared: cached shards are Relations
+        carrying their source's attribute names, which a rename-shaped twin
+        must not inherit.
+        """
         self._indexes = other._indexes
         return self
 

@@ -1,0 +1,220 @@
+"""Property tests for the sharded execution layer.
+
+The contract under test: every sharded operation agrees exactly with its
+unsharded kernel counterpart — for any shard count, any key choice, and in
+the presence of empty shards and maximally skewed keys (all rows hashing
+into one shard).  Sharding is an execution strategy, never a semantics.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    ShardedRelation,
+    WorkerPool,
+    bucket_semijoin,
+    parallel_hash_join,
+    parallel_select_eq,
+    parallel_semijoin,
+    shard_relation,
+)
+from repro.relational.attributes import positions_of
+from repro.relational.relation import Relation
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+values = st.integers(min_value=0, max_value=7)
+rows2 = st.sets(st.tuples(values, values), max_size=40)
+rows3 = st.sets(st.tuples(values, values, values), max_size=40)
+shard_counts = st.integers(min_value=1, max_value=7)
+
+
+def rel(attributes, rows):
+    return Relation(attributes, rows)
+
+
+class TestKernelPartition:
+    @SETTINGS
+    @given(rows2, shard_counts)
+    def test_partition_is_a_partition(self, rows, count):
+        relation = rel(("x", "y"), rows)
+        shards = relation._partition((1,), count)
+        assert len(shards) == count
+        assert sum(s.cardinality for s in shards) == relation.cardinality
+        assert frozenset().union(*(s.rows for s in shards)) == relation.rows
+
+    @SETTINGS
+    @given(rows2, shard_counts)
+    def test_partition_routes_whole_buckets(self, rows, count):
+        relation = rel(("x", "y"), rows)
+        shards = relation._partition((0,), count)
+        for index, shard in enumerate(shards):
+            for row in shard.rows:
+                assert hash(row[0]) % count == index
+
+    def test_partition_is_cached_and_preseeds_indexes(self):
+        relation = rel(("x", "y"), {(i, i % 3) for i in range(30)})
+        shards = relation._partition((1,), 4)
+        assert relation._partition((1,), 4) is shards
+        for shard in shards:
+            assert (1,) in shard._indexes  # born with the key index
+
+
+class TestShardedRelationAgreement:
+    @SETTINGS
+    @given(rows2, rows2, shard_counts)
+    def test_semijoin_matches_kernel(self, left_rows, right_rows, count):
+        left = rel(("x", "y"), left_rows)
+        right = rel(("y", "z"), right_rows)
+        sharded = ShardedRelation(left, ("y",), count)
+        partner = ShardedRelation(right, ("y",), count)
+        assert sharded.co_partitioned_with(partner)
+        assert sharded.semijoin(partner).to_relation() == left.semijoin(right)
+        # Against an unsharded operand too.
+        assert sharded.semijoin(right).to_relation() == left.semijoin(right)
+
+    @SETTINGS
+    @given(rows2, rows2, shard_counts)
+    def test_natural_join_matches_kernel(self, left_rows, right_rows, count):
+        left = rel(("x", "y"), left_rows)
+        right = rel(("y", "z"), right_rows)
+        sharded = ShardedRelation(left, ("y",), count)
+        partner = ShardedRelation(right, ("y",), count)
+        expected = left.natural_join(right)
+        assert sharded.natural_join(partner).to_relation() == expected
+        assert sharded.natural_join(right).to_relation() == expected
+
+    @SETTINGS
+    @given(rows3, shard_counts)
+    def test_project_matches_kernel(self, rows, count):
+        relation = rel(("x", "y", "z"), rows)
+        sharded = ShardedRelation(relation, ("y",), count)
+        kept = sharded.project(("y", "z"))
+        assert kept.to_relation() == relation.project(("y", "z"))
+        # Key-dropping projection merges (duplicates may cross shards).
+        dropped = sharded.project(("x",))
+        assert isinstance(dropped, Relation)
+        assert dropped == relation.project(("x",))
+
+    @SETTINGS
+    @given(rows2, rows2, shard_counts)
+    def test_union_of_shards_matches_kernel(self, left_rows, right_rows, count):
+        left = rel(("x", "y"), left_rows)
+        right = rel(("x", "y"), right_rows)
+        sharded = ShardedRelation(left, ("x",), count)
+        partner = ShardedRelation(right, ("x",), count)
+        assert sharded.union(partner).to_relation() == left.union(right)
+
+    @SETTINGS
+    @given(rows2, shard_counts)
+    def test_select_eq_matches_kernel(self, rows, count):
+        relation = rel(("x", "y"), rows)
+        sharded = ShardedRelation(relation, ("x",), count)
+        for value in (0, 3, 99):
+            expected = relation.select_eq({"x": value})
+            assert sharded.select_eq({"x": value}).to_relation() == expected
+
+
+class TestDrivers:
+    @SETTINGS
+    @given(rows2, rows2, shard_counts)
+    def test_parallel_semijoin(self, left_rows, right_rows, count):
+        left = rel(("x", "y"), left_rows)
+        right = rel(("y", "z"), right_rows)
+        assert parallel_semijoin(left, right, count) == left.semijoin(right)
+
+    @SETTINGS
+    @given(rows2, rows2, shard_counts)
+    def test_parallel_hash_join(self, left_rows, right_rows, count):
+        left = rel(("x", "y"), left_rows)
+        right = rel(("y", "z"), right_rows)
+        assert parallel_hash_join(left, right, count) == left.natural_join(right)
+
+    @SETTINGS
+    @given(rows2, shard_counts, values)
+    def test_parallel_select_eq(self, rows, count, value):
+        relation = rel(("x", "y"), rows)
+        assert parallel_select_eq(relation, {"y": value}, count) == (
+            relation.select_eq({"y": value})
+        )
+
+    @SETTINGS
+    @given(rows2, rows2)
+    def test_bucket_semijoin_matches_kernel(self, left_rows, right_rows):
+        left = rel(("x", "y"), left_rows)
+        right = rel(("y", "z"), right_rows)
+        left_positions = positions_of(left.attributes, ("y",))
+        right_positions = positions_of(right.attributes, ("y",))
+        assert bucket_semijoin(
+            left, right, left_positions, right_positions
+        ) == left.semijoin(right)
+
+    def test_drivers_under_thread_and_process_pools(self):
+        left = rel(("x", "y"), {(i, i % 5) for i in range(60)})
+        right = rel(("y", "z"), {(i % 5, i) for i in range(40) if i % 2})
+        expected = left.semijoin(right)
+        with WorkerPool(max_workers=3, mode="threads") as pool:
+            assert parallel_semijoin(left, right, 4, pool) == expected
+        with WorkerPool(max_workers=2, mode="processes") as pool:
+            assert parallel_semijoin(left, right, 4, pool) == expected
+            assert parallel_hash_join(left, right, 4, pool) == (
+                left.natural_join(right)
+            )
+
+
+class TestEdgeCases:
+    def test_empty_relation_shards(self):
+        empty = Relation(("x", "y"))
+        sharded = ShardedRelation(empty, ("x",), 4)
+        assert sharded.is_empty()
+        assert sharded.cardinality == 0
+        assert sharded.to_relation() == empty
+        other = ShardedRelation(rel(("x", "y"), {(1, 2)}), ("x",), 4)
+        assert sharded.semijoin(other).to_relation() == empty
+        assert other.semijoin(sharded).to_relation().is_empty()
+
+    def test_skewed_key_lands_in_one_shard(self):
+        # Every row shares the join key: one shard holds everything and
+        # the other shard pairs are pruned as empty partners.
+        skewed = rel(("x", "y"), {(i, 7) for i in range(50)})
+        sharded = ShardedRelation(skewed, ("y",), 5)
+        occupied = [s for s in sharded.shards if not s.is_empty()]
+        assert len(occupied) == 1
+        assert occupied[0].cardinality == 50
+        right = rel(("y", "z"), {(7, 1), (3, 2)})
+        partner = ShardedRelation(right, ("y",), 5)
+        assert sharded.semijoin(partner).to_relation() == skewed.semijoin(right)
+        drained = rel(("y", "z"), {(3, 2)})
+        assert sharded.semijoin(
+            ShardedRelation(drained, ("y",), 5)
+        ).to_relation() == skewed.semijoin(drained)
+
+    def test_semijoin_identity_returns_self(self):
+        left = rel(("x", "y"), {(i, i % 4) for i in range(40)})
+        right = rel(("y", "z"), {(i % 4, i) for i in range(40)})
+        sharded = ShardedRelation(left, ("y",), 4)
+        assert sharded.semijoin(ShardedRelation(right, ("y",), 4)) is sharded
+
+    def test_no_shared_attributes(self):
+        left = rel(("x", "y"), {(1, 2), (3, 4)})
+        right = rel(("u", "v"), {(9, 9)})
+        sharded = ShardedRelation(left, ("x",), 3)
+        assert sharded.semijoin(right) is sharded
+        empty_right = Relation(("u", "v"))
+        assert sharded.semijoin(empty_right).to_relation().is_empty()
+        assert parallel_semijoin(left, right, 3) == left.semijoin(right)
+        assert parallel_hash_join(left, right, 3) == left.natural_join(right)
+
+    def test_non_co_partitioned_operands_still_agree(self):
+        left = rel(("x", "y"), {(i, i % 6) for i in range(30)})
+        right = rel(("y", "z"), {(i % 6, i) for i in range(20)})
+        sharded = ShardedRelation(left, ("y",), 4)
+        mismatched = ShardedRelation(right, ("y",), 3)  # different count
+        assert not sharded.co_partitioned_with(mismatched)
+        assert sharded.semijoin(mismatched).to_relation() == left.semijoin(right)
+
+    def test_shard_relation_helper_and_repr(self):
+        relation = rel(("x", "y"), {(1, 2), (2, 2), (3, 1)})
+        sharded = shard_relation(relation, ("y",), 2)
+        assert sharded.key == ("y",)
+        assert sharded.shard_count == 2
+        assert "ShardedRelation" in repr(sharded)
