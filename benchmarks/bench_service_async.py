@@ -1,0 +1,346 @@
+"""SERVICE — concurrent clients on one shared engine vs isolated engines.
+
+The acceptance claims of the async service front-end:
+
+* **shared beats isolated** — N concurrent clients multiplexed onto one
+  ``QueryService`` (one plan cache, single-flight coalescing of hot
+  queries, micro-batching) finish a mixed workload faster than the same
+  clients each running their own ``QueryEngine``;
+* **the batching window wins on same-shape floods** — a flood of
+  distinct-constant same-shape requests with the micro-batch window open
+  runs through N-wide lifted executions and beats the window-off
+  (one-dispatch-per-request) configuration;
+* **single-flight is exact** — N identical concurrent queries cost one
+  plan and one execution (asserted in every mode; this is correctness,
+  not a timing).
+
+Results are checked against sequential ``QueryEngine(parallel=False)``
+execution for every scenario before anything is timed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_async.py
+    PYTHONPATH=src python benchmarks/bench_service_async.py --smoke  # CI
+    PYTHONPATH=src python benchmarks/bench_service_async.py --coalesce-only
+
+``--smoke`` shrinks the workload and skips the perf assertions (the CI
+regression gate applies its own tolerance); ``--coalesce-only`` runs just
+the single-flight check (the dedicated CI smoke step);
+``--max-workers N`` sizes the shared worker budget (the multicore CI job
+passes the runner's core count); ``--assert-multicore`` enables the
+assertions that only hold with real cores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro import QueryEngine, QueryService
+from repro.benchlib import (
+    add_json_argument,
+    emit_json_report,
+    json_report_payload,
+    print_table,
+    speedup,
+    time_thunk,
+)
+from repro.parallel import WorkerPool, default_worker_count
+from repro.parallel.pool import THREADS
+from repro.workloads import chain_database, path_query
+
+
+def build_workload(clients: int, per_client: int, database) -> List[List]:
+    """Per client, a list of decision instances: half *hot* (identical
+    across clients — what single-flight and the plan cache exist for),
+    half client-specific."""
+    query = path_query(4, head_arity=1)
+    starts = sorted({row[0] for row in database["E"].rows})
+    hot = starts[:4]
+    workload = []
+    for client in range(clients):
+        requests = []
+        for i in range(per_client):
+            if i % 2 == 0:
+                value = hot[(i // 2) % len(hot)]
+            else:
+                value = starts[(client * per_client + i) % len(starts)]
+            requests.append(query.decision_instance((value,)))
+        workload.append(requests)
+    return workload
+
+
+def engine_kwargs(max_workers: Optional[int]) -> Dict[str, Any]:
+    return {} if max_workers is None else {"max_workers": max_workers}
+
+
+async def shared_run(
+    workload: List[List], database, window: float, max_workers: Optional[int]
+) -> List[List]:
+    """All clients against one QueryService (the shared configuration)."""
+    async with QueryService(
+        batch_window=window, **engine_kwargs(max_workers)
+    ) as service:
+
+        async def client(requests):
+            return [await service.execute(q, database) for q in requests]
+
+        return list(
+            await asyncio.gather(*(client(requests) for requests in workload))
+        )
+
+
+async def per_client_run(
+    workload: List[List], database, max_workers: Optional[int]
+) -> List[List]:
+    """One private engine per client: no shared plan cache, no
+    coalescing, no batching — the configuration the service replaces.
+    Dispatch still leaves the event loop through one thread pool, so the
+    comparison isolates *sharing*, not async plumbing."""
+    pool = WorkerPool(max(2, max_workers or default_worker_count()), THREADS)
+    engines = [QueryEngine(**engine_kwargs(max_workers)) for _ in workload]
+
+    async def client(engine, requests):
+        results = []
+        for query in requests:
+            results.append(
+                await asyncio.wrap_future(
+                    pool.submit(engine.execute, query, database)
+                )
+            )
+        return results
+
+    try:
+        return list(
+            await asyncio.gather(
+                *(
+                    client(engine, requests)
+                    for engine, requests in zip(engines, workload)
+                )
+            )
+        )
+    finally:
+        for engine in engines:
+            engine.close()
+        pool.close()
+
+
+def run_concurrent_clients(
+    repeats: int, clients: int, per_client: int, max_workers: Optional[int]
+) -> Dict[str, Any]:
+    database = chain_database(layers=5, width=48, p=0.25, seed=7)
+    workload = build_workload(clients, per_client, database)
+
+    sequential = QueryEngine(parallel=False)
+    reference = [
+        [sequential.execute(q, database) for q in requests]
+        for requests in workload
+    ]
+    shared = asyncio.run(shared_run(workload, database, 0.002, max_workers))
+    isolated = asyncio.run(per_client_run(workload, database, max_workers))
+    assert shared == reference, "shared service diverged from sequential"
+    assert isolated == reference, "per-client engines diverged from sequential"
+
+    shared_seconds, _ = time_thunk(
+        lambda: asyncio.run(shared_run(workload, database, 0.002, max_workers)),
+        repeats=repeats,
+    )
+    per_client_seconds, _ = time_thunk(
+        lambda: asyncio.run(per_client_run(workload, database, max_workers)),
+        repeats=repeats,
+    )
+    return {
+        "clients": clients,
+        "requests": clients * per_client,
+        "shared_seconds": shared_seconds,
+        "per_client_seconds": per_client_seconds,
+        "shared_speedup": round(speedup(per_client_seconds, shared_seconds), 2),
+    }
+
+
+def run_flood(
+    repeats: int, requests: int, max_workers: Optional[int]
+) -> Dict[str, Any]:
+    """Same-shape flood: batching window on vs off."""
+    database = chain_database(layers=5, width=48, p=0.25, seed=7)
+    query = path_query(4, head_arity=1)
+    starts = sorted({row[0] for row in database["E"].rows})
+    instances = [
+        query.decision_instance((starts[i % len(starts)],))
+        for i in range(requests)
+    ]
+
+    async def flood(window: float):
+        async with QueryService(
+            batch_window=window, **engine_kwargs(max_workers)
+        ) as service:
+            return list(
+                await asyncio.gather(
+                    *(service.execute(q, database) for q in instances)
+                )
+            )
+
+    sequential = QueryEngine(parallel=False)
+    reference = [sequential.execute(q, database) for q in instances]
+    assert asyncio.run(flood(0.01)) == reference
+    assert asyncio.run(flood(0.0)) == reference
+
+    window_on_seconds, _ = time_thunk(
+        lambda: asyncio.run(flood(0.01)), repeats=repeats
+    )
+    window_off_seconds, _ = time_thunk(
+        lambda: asyncio.run(flood(0.0)), repeats=repeats
+    )
+    return {
+        "requests": len(instances),
+        "window_off_seconds": window_off_seconds,
+        "window_on_seconds": window_on_seconds,
+        "batching_speedup": round(
+            speedup(window_off_seconds, window_on_seconds), 2
+        ),
+    }
+
+
+def run_single_flight_check(requests: int = 32) -> Dict[str, Any]:
+    """N identical concurrent queries → 1 plan, 1 execution.  Asserted in
+    every mode — this is the coalescing contract CI smokes."""
+    database = chain_database(layers=5, width=32, p=0.3, seed=11)
+    query = path_query(4, head_arity=1)
+
+    async def scenario():
+        async with QueryService(batch_window=0.0) as service:
+            results = await asyncio.gather(
+                *(service.execute(query, database) for _ in range(requests))
+            )
+            return results, await service.stats()
+
+    results, stats = asyncio.run(scenario())
+    assert all(result == results[0] for result in results)
+    assert stats.engine.executions == 1, stats.engine.executions
+    assert stats.engine.cache.misses == 1, stats.engine.cache
+    assert stats.service.coalesced == requests - 1, stats.service
+    return {
+        "requests": requests,
+        "engine_executions": stats.engine.executions,
+        "plans": stats.engine.cache.misses,
+        "coalesced": stats.service.coalesced,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="skip perf assertions — the CI configuration (workload sizes "
+        "and best-of-3 timings stay identical for the regression gate)",
+    )
+    parser.add_argument(
+        "--coalesce-only",
+        action="store_true",
+        help="run only the single-flight/coalescing check and exit",
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="shared worker budget (the multicore CI job passes the "
+        "runner's core count)",
+    )
+    parser.add_argument(
+        "--assert-multicore",
+        action="store_true",
+        help="enable the assertions that need real cores (shared-service "
+        "throughput at least matches isolated engines)",
+    )
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+    repeats = 3
+
+    single_flight = run_single_flight_check()
+    print_table(
+        ("requests", "engine executions", "plans", "coalesced"),
+        [
+            (
+                single_flight["requests"],
+                single_flight["engine_executions"],
+                single_flight["plans"],
+                single_flight["coalesced"],
+            )
+        ],
+        title="Single-flight: N identical concurrent queries → 1 plan, 1 execution",
+    )
+    if args.coalesce_only:
+        print("\nsingle-flight/coalescing check passed")
+        return 0
+
+    # Smoke keeps every workload at full size: the regression gate
+    # compares leaves by path, so shrinking a smoke workload would make
+    # its timings incomparable to the committed full-run baseline and
+    # silently gate nothing (the whole suite runs in a few seconds
+    # anyway).  --smoke only skips the perf assertions.
+    clients, per_client, flood_requests = 32, 8, 64
+
+    concurrent = run_concurrent_clients(
+        repeats, clients, per_client, args.max_workers
+    )
+    flood = run_flood(repeats, flood_requests, args.max_workers)
+
+    print_table(
+        ("clients", "requests", "shared s", "per-client s", "speedup"),
+        [
+            (
+                concurrent["clients"],
+                concurrent["requests"],
+                concurrent["shared_seconds"],
+                concurrent["per_client_seconds"],
+                concurrent["shared_speedup"],
+            )
+        ],
+        title=(
+            "Concurrent clients: one shared QueryService vs "
+            f"one engine per client (best of {repeats}, "
+            f"workers={args.max_workers or default_worker_count()})"
+        ),
+    )
+    print_table(
+        ("requests", "window off s", "window on s", "speedup"),
+        [
+            (
+                flood["requests"],
+                flood["window_off_seconds"],
+                flood["window_on_seconds"],
+                flood["batching_speedup"],
+            )
+        ],
+        title="Same-shape flood: micro-batching window on vs off",
+    )
+
+    if not args.smoke:
+        assert concurrent["shared_speedup"] >= 1.2, concurrent
+        assert flood["batching_speedup"] >= 1.2, flood
+    if args.assert_multicore:
+        # With real cores the shared service must at least match the
+        # isolated configuration — it shares every cache and dedupes work.
+        assert concurrent["shared_speedup"] >= 1.0, concurrent
+
+    output = args.json
+    if output is None and not args.smoke:
+        output = "BENCH_service_async.json"
+    payload = json_report_payload(
+        "service_async",
+        smoke=args.smoke,
+        repeats=repeats,
+        workers=args.max_workers or default_worker_count(),
+        concurrent_clients=concurrent,
+        flood=flood,
+        single_flight=single_flight,
+    )
+    emit_json_report(output, payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from .evaluation import (
 )
 from .engine import QueryEngine, QueryPlan
 from .parallel import ParallelYannakakisEvaluator, ShardedRelation, WorkerPool
+from .service import QueryService, ServiceStats
 
 __version__ = "1.0.0"
 
@@ -62,6 +63,8 @@ __all__ = [
     "QueryEngine",
     "QueryError",
     "QueryPlan",
+    "QueryService",
+    "ServiceStats",
     "ReductionError",
     "Relation",
     "ReproError",

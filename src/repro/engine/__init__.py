@@ -23,7 +23,12 @@ from .analysis import (
     shape_signature,
 )
 from .cache import CacheStats, PlanCache
-from .engine import DEFAULT_BATCH_WIDE_THRESHOLD, QueryEngine
+from .engine import (
+    DEFAULT_BATCH_WIDE_THRESHOLD,
+    DEFAULT_REPLAN_DRIFT,
+    DEFAULT_REPLAN_LIMIT,
+    QueryEngine,
+)
 from .plan import (
     BOUNDED_VARIABLE,
     EVALUATORS,
@@ -45,6 +50,8 @@ __all__ = [
     "BOUNDED_VARIABLES",
     "CacheStats",
     "DEFAULT_BATCH_WIDE_THRESHOLD",
+    "DEFAULT_REPLAN_DRIFT",
+    "DEFAULT_REPLAN_LIMIT",
     "DEFAULT_SHARD_THRESHOLD_ROWS",
     "DEFAULT_TREEWIDTH_THRESHOLD",
     "EVALUATORS",

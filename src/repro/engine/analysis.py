@@ -106,9 +106,7 @@ def variable_layout(query: ConjunctiveQuery) -> Tuple[Tuple[str, ...], ...]:
     Two same-shape queries that differ only in their *constants* (the
     decision instances of one parameterized query) have equal layouts; an
     α-renamed twin does not, and must rebuild the named structures."""
-    return tuple(
-        tuple(v.name for v in atom.variables()) for atom in query.atoms
-    )
+    return tuple(tuple(v.name for v in atom.variables()) for atom in query.atoms)
 
 
 def analyze(

@@ -26,11 +26,22 @@ and instead say ``engine.execute(query, database)``.  Internally:
 After every planned execution the engine records the actual result
 cardinality on the plan (``QueryPlan.runtime``) and feeds a bounded
 per-shape ledger; ``stats()`` exposes both together with the plan cache's
-hit/miss counters.  ``explain`` returns the plan rendering (with cache
-status, sharding decision, and estimate-vs-actual feedback) without
-executing anything; passing ``evaluator=...`` to ``execute``/``decide``
-forces a specific engine, which keeps the benchmark suite on a single code
-path even where a fixed evaluator is the point of the measurement.
+hit/miss counters.  When the observed cardinality drifts ≥
+``replan_drift_threshold``× from the plan's estimate, the engine
+*re-plans* the shape with the observation as corrected statistics
+(adaptive re-planning — the second half of the cost-model feedback loop);
+re-plan events surface in ``explain`` and ``stats()``.  ``explain``
+returns the plan rendering (with cache status, sharding decision, and
+estimate-vs-actual feedback) without executing anything; passing
+``evaluator=...`` to ``execute``/``decide`` forces a specific engine,
+which keeps the benchmark suite on a single code path even where a fixed
+evaluator is the point of the measurement.
+
+The engine is safe to share across threads — the async service front-end
+(:mod:`repro.service`) multiplexes every concurrent caller onto one
+engine: plan cache, ledger and plan runtimes are locked, kernel cache
+fills are convergent, and the evaluators themselves are stateless across
+calls.
 
 Constructing with ``parallel=False`` reproduces the sequential PR 2
 behavior exactly: no pool, no sharded dispatch, no batch lifting.
@@ -38,6 +49,8 @@ behavior exactly: no pool, no sharded dispatch, no batch lifting.
 
 from __future__ import annotations
 
+import inspect
+from dataclasses import replace
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -47,7 +60,7 @@ from ..evaluation.naive import NaiveEvaluator
 from ..evaluation.treewidth_eval import TreewidthEvaluator
 from ..evaluation.yannakakis import YannakakisEvaluator
 from ..inequalities.evaluator import AcyclicInequalityEvaluator
-from ..parallel.batch import lift_batch_group
+from ..parallel.batch import LiftedBatch, lift_batch_group
 from ..parallel.executor import ParallelYannakakisEvaluator
 from ..parallel.pool import THREADS, WorkerPool
 from ..query.conjunctive import ConjunctiveQuery
@@ -75,6 +88,19 @@ from .stats import EngineStats, ShapeLedger
 #: Same-shape groups at least this large are executed N-wide (lifted).
 DEFAULT_BATCH_WIDE_THRESHOLD = 8
 
+#: Estimate-vs-actual cardinality ratio at which a cached plan is dropped
+#: and the shape is re-planned with observed statistics.
+DEFAULT_REPLAN_DRIFT = 10.0
+
+#: Most re-plans one cached shape entry may accumulate.  A stable workload
+#: corrects once and settles; a workload whose parameterizations genuinely
+#: oscillate ≥ drift× (hub vs leaf constants under one shape) would
+#: otherwise re-plan on *every* execution, turning the plan cache into a
+#: per-request planner on exactly the parameterized hot path it exists
+#: for.  The cap bounds that waste; a data-scale change re-keys the shape
+#: (schema signature) and starts a fresh entry with a fresh budget.
+DEFAULT_REPLAN_LIMIT = 5
+
 
 class QueryEngine:
     """Adaptive evaluation of conjunctive queries with plan caching.
@@ -98,6 +124,10 @@ class QueryEngine:
         ``"threads"`` (default), ``"processes"``, or ``"serial"``.
     batch_wide_threshold:
         Minimum same-shape group size for N-wide batch lifting.
+    replan_drift_threshold:
+        Estimate-vs-actual cardinality ratio at which the cached plan is
+        invalidated and the shape re-planned with observed statistics
+        (``None`` disables adaptive re-planning).
     """
 
     def __init__(
@@ -109,10 +139,18 @@ class QueryEngine:
         max_workers: Optional[int] = None,
         pool_mode: str = THREADS,
         batch_wide_threshold: int = DEFAULT_BATCH_WIDE_THRESHOLD,
+        replan_drift_threshold: Optional[float] = DEFAULT_REPLAN_DRIFT,
     ) -> None:
         self._planner = planner or Planner(treewidth_threshold)
         self._cache = PlanCache(plan_cache_size)
         self._ledger = ShapeLedger()
+        self._replan_drift = replan_drift_threshold
+        # Checked once, precisely: a legacy planner subclass without the
+        # corrected-statistics parameter re-plans without it, while a
+        # genuine TypeError raised *inside* planning still propagates.
+        self._planner_takes_observed = (
+            "observed_rows" in inspect.signature(self._planner.plan).parameters
+        )
         self._naive = NaiveEvaluator()
         self._yannakakis = YannakakisEvaluator()
         self._treewidth = TreewidthEvaluator()
@@ -149,7 +187,9 @@ class QueryEngine:
         if cached is not None:
             return cached, "hit", key
         plan = self._planner.plan(query, database)
-        self._cache.put(key, plan)
+        # First-wins publication: a concurrent planner of the same shape
+        # (or a re-plan that corrected it meanwhile) keeps its entry.
+        plan = self._cache.put_if_absent(key, plan)
         return plan, "miss", key
 
     def explain(self, query: ConjunctiveQuery, database: Database) -> str:
@@ -179,7 +219,9 @@ class QueryEngine:
         plan, _, key = self._plan_entry(query, database)
         start = perf_counter()
         result = self._dispatch(plan.evaluator, plan, query, database, decide=False)
-        self._record(key, plan, perf_counter() - start, result.cardinality)
+        self._record(
+            key, plan, perf_counter() - start, result.cardinality, query, database
+        )
         return result
 
     def decide(
@@ -194,7 +236,7 @@ class QueryEngine:
         plan, _, key = self._plan_entry(query, database)
         start = perf_counter()
         result = self._dispatch(plan.evaluator, plan, query, database, decide=True)
-        self._record(key, plan, perf_counter() - start, None)
+        self._record(key, plan, perf_counter() - start, None, query, database)
         return result
 
     def contains(
@@ -232,38 +274,74 @@ class QueryEngine:
         across the worker pool when one is configured.  Results come back
         in input order, identical to per-member execution.
         """
+        return self._batch(queries, database, decide=False)
+
+    def decide_batch(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        database: Database,
+    ) -> List[bool]:
+        """Is Q(d) nonempty, for many queries — decision-only batch lifting.
+
+        Same grouping as ``execute_batch``, but a lifted group is decided
+        in one pass that stops at the bottom-up semijoin stage of the
+        lifted query: the join tree is rooted at the injected parameter
+        atom, and after the upward full-reducer pass every surviving
+        parameter vector participates in a global match — so the
+        surviving vectors are exactly the members whose query is
+        nonempty.  Identical duplicates share one decision; everything
+        else falls back to per-member ``decide``, fanned across the pool.
+        """
+        return self._batch(queries, database, decide=True)
+
+    def _batch(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        database: Database,
+        decide: bool,
+    ) -> List[Any]:
         groups: Dict[Tuple, List[int]] = {}
         for position, query in enumerate(queries):
             groups.setdefault(plan_cache_key(query, database), []).append(position)
-        results: List[Optional[Relation]] = [None] * len(queries)
+        results: List[Any] = [None] * len(queries)
         for key, positions in groups.items():
             members = [queries[position] for position in positions]
             plan, _, _ = self._plan_entry(members[0], database, key=key)
-            group_results = self._execute_group(key, plan, members, database)
+            group_results = self._run_group(key, plan, members, database, decide)
             for position, result in zip(positions, group_results):
                 results[position] = result
-        return results  # type: ignore[return-value]
+        return results
 
-    def _execute_group(
+    def _run_group(
         self,
         key: Tuple,
         plan: QueryPlan,
         members: List[ConjunctiveQuery],
         database: Database,
-    ) -> List[Relation]:
+        decide: bool,
+    ) -> List[Any]:
         """One shape group: shared, lifted, pooled, or plain execution.
 
-        Each path records its own observability: the shared path ran the
-        plan once (one ledger/runtime entry, however many members it
-        served); the lifted path ran only the *lifted* query, which
-        records itself under its own shape inside ``execute``; per-member
-        execution records every member with its share of the wall clock.
+        One driver for both batch flavors, so the grouping policy
+        (duplicate sharing, lift gate, pool fan-out, share-of-wall-clock
+        recording) cannot drift between them.  Each path records its own
+        observability: the shared path ran the plan once (one
+        ledger/runtime entry, however many members it served); the lifted
+        path records only the *lifted* query under its own shape;
+        per-member execution records every member with its share of the
+        wall clock.
         """
+
+        def rows_of(result: Any) -> Optional[int]:
+            return None if decide else result.cardinality
+
         first = members[0]
         if len(members) > 1 and all(member == first for member in members[1:]):
             start = perf_counter()
-            shared = self._dispatch(plan.evaluator, plan, first, database, False)
-            self._record(key, plan, perf_counter() - start, shared.cardinality)
+            shared = self._dispatch(plan.evaluator, plan, first, database, decide)
+            self._record(
+                key, plan, perf_counter() - start, rows_of(shared), first, database
+            )
             return [shared] * len(members)
         if (
             self._parallel
@@ -272,10 +350,17 @@ class QueryEngine:
         ):
             lifted = lift_batch_group(members, database)
             if lifted is not None:
-                return lifted.distribute(self.execute(lifted.query, lifted.database))
+                if decide:
+                    decisions = self._decide_lifted(lifted)
+                    if decisions is not None:
+                        return decisions
+                else:
+                    return lifted.distribute(
+                        self.execute(lifted.query, lifted.database)
+                    )
 
-        def run_member(member: ConjunctiveQuery) -> Relation:
-            return self._dispatch(plan.evaluator, plan, member, database, False)
+        def run_member(member: ConjunctiveQuery) -> Any:
+            return self._dispatch(plan.evaluator, plan, member, database, decide)
 
         start = perf_counter()
         pool = self._pool
@@ -284,9 +369,41 @@ class QueryEngine:
         else:
             group_results = [run_member(member) for member in members]
         share = (perf_counter() - start) / len(members)
-        for result in group_results:
-            self._record(key, plan, share, result.cardinality)
+        for member, result in zip(members, group_results):
+            self._record(key, plan, share, rows_of(result), member, database)
         return group_results
+
+    def _decide_lifted(self, lifted: LiftedBatch) -> Optional[List[bool]]:
+        """All members' decisions from one bottom-up pass, or ``None``.
+
+        Declines (falling back to per-member decision) when the lifted
+        query — the member template plus the parameter atom — is not
+        itself acyclic, since the pass walks a join tree.
+        """
+        plan, _, key = self._plan_entry(lifted.query, lifted.database)
+        if plan.structural_class != ACYCLIC or plan.analysis.join_tree is None:
+            return None
+        reusable = plan.analysis.variable_layout == variable_layout(lifted.query)
+        tree = plan.analysis.join_tree if reusable else None
+        root = len(lifted.query.atoms) - 1  # the parameter atom
+        start = perf_counter()
+        if plan.shard_count > 1 and self._parallel_yannakakis is not None:
+            reduced = self._parallel_yannakakis.reduce_bottom_up(
+                lifted.query,
+                lifted.database,
+                join_tree=tree,
+                root=root,
+                shard_count=plan.shard_count,
+            )
+        else:
+            reduced = self._yannakakis.reduce_bottom_up(
+                lifted.query, lifted.database, join_tree=tree, root=root
+            )
+        decisions = lifted.decide_members(reduced)
+        self._record(
+            key, plan, perf_counter() - start, None, lifted.query, lifted.database
+        )
+        return decisions
 
     # ------------------------------------------------------------------
     # Dispatch table
@@ -371,10 +488,69 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     def _record(
-        self, key: Tuple, plan: QueryPlan, seconds: float, rows: Optional[int]
+        self,
+        key: Tuple,
+        plan: QueryPlan,
+        seconds: float,
+        rows: Optional[int],
+        query: Optional[ConjunctiveQuery] = None,
+        database: Optional[Database] = None,
     ) -> None:
         plan.runtime.record(rows)
         self._ledger.record(key, plan, seconds, rows)
+        if query is not None and database is not None:
+            self._maybe_replan(key, rows, query, database)
+
+    def _maybe_replan(
+        self,
+        key: Tuple,
+        rows: Optional[int],
+        query: ConjunctiveQuery,
+        database: Database,
+    ) -> None:
+        """Adaptive re-planning: drop a drifted plan, re-plan with actuals.
+
+        When the observed cardinality is ≥ ``replan_drift_threshold``× off
+        the cached plan's estimate (in either direction), the cache entry
+        is invalidated and the shape planned again with the observation as
+        corrected statistics.  The new plan's estimate equals the
+        observation, so a stable workload re-plans once and settles; only
+        a workload that genuinely oscillates beyond the threshold keeps
+        re-planning, which is then the right call.  Drift is always
+        measured against the *currently cached* plan, so concurrent
+        recordings of one shape do not cascade into repeated re-plans, and
+        each shape entry holds at most :data:`DEFAULT_REPLAN_LIMIT`
+        corrections — parameterizations that genuinely oscillate beyond
+        the threshold (hub vs leaf constants under one shape) stop
+        burning planner work once the budget is spent, instead of turning
+        the plan cache into a per-request planner.
+        """
+        threshold = self._replan_drift
+        if threshold is None or rows is None:
+            return
+        plan = self._cache.peek(key)
+        if plan is None or plan.replans >= DEFAULT_REPLAN_LIMIT:
+            return
+        actual = max(float(rows), 1.0)
+        expected = max(plan.estimated_rows, 1.0)
+        drift = actual / expected if actual >= expected else expected / actual
+        if drift < threshold:
+            return
+        corrected = float(rows)
+        if self._planner_takes_observed:
+            new_plan = self._planner.plan(query, database, observed_rows=corrected)
+        else:
+            new_plan = self._planner.plan(query, database)
+        new_plan = replace(new_plan, replans=plan.replans + 1, corrected_rows=corrected)
+        # Seed the fresh runtime with the observation that triggered the
+        # re-plan, so explain's estimate-vs-actual line survives the swap.
+        new_plan.runtime.record(rows)
+        # Plain put — the corrected plan must *replace* the drifted entry
+        # (there is no invalidate-then-put window: a concurrent cold miss
+        # cannot slip a stale plan in between, because cold misses publish
+        # first-wins through put_if_absent against this entry).
+        self._cache.put(key, new_plan)
+        self._ledger.note_replan(key, new_plan)
 
     def stats(self) -> EngineStats:
         """Cache counters plus the per-shape execution ledger."""
@@ -383,6 +559,16 @@ class QueryEngine:
     @property
     def cache_stats(self) -> CacheStats:
         return self._cache.stats
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The engine's worker pool (``None`` when ``parallel=False``).
+
+        The async service front-end (:mod:`repro.service`) feeds its
+        request queue into this pool so service dispatch and sharded
+        execution share one worker budget.
+        """
+        return self._pool
 
     def clear_cache(self) -> None:
         self._cache.clear()

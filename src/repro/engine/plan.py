@@ -12,12 +12,16 @@ A plan also carries one deliberately *mutable* attachment: a
 :class:`PlanRuntime` that accumulates actual result cardinalities and
 execution counts after each run.  The estimates above are what the planner
 believed; the runtime is what the data said — ``explain`` shows both side
-by side, which is the first half of the ROADMAP's cost-model feedback
-loop.
+by side, and when they drift far enough apart the engine *re-plans* the
+shape with the observed cardinality as corrected statistics (the second
+half of the ROADMAP's cost-model feedback loop).  A re-planned plan
+records its provenance in ``replans`` / ``corrected_rows``, which
+``explain`` renders.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -29,20 +33,23 @@ class PlanRuntime:
 
     Records how many times the plan ran and the last result cardinality it
     produced, so estimate-vs-actual drift is visible in ``explain`` and
-    available to future adaptive re-planning.
+    feeds the engine's adaptive re-planning.  Updates are locked: cached
+    plans are shared by every thread the service front-end fans out.
     """
 
-    __slots__ = ("executions", "last_rows")
+    __slots__ = ("executions", "last_rows", "_lock")
 
     def __init__(self) -> None:
         self.executions = 0
         self.last_rows: Optional[int] = None
+        self._lock = threading.Lock()
 
     def record(self, rows: Optional[int]) -> None:
         """Note one execution; *rows* is None for decision-only runs."""
-        self.executions += 1
-        if rows is not None:
-            self.last_rows = rows
+        with self._lock:
+            self.executions += 1
+            if rows is not None:
+                self.last_rows = rows
 
     def __repr__(self) -> str:
         return (
@@ -113,6 +120,13 @@ class QueryPlan:
     estimated_rows:
         The cost model's satisfying-assignment estimate, compared against
         actual cardinalities in ``explain``.
+    replans:
+        How many times this shape has been adaptively re-planned (0 for a
+        first plan); the engine bumps it when estimate-vs-actual drift
+        crosses its threshold and the shape is planned again.
+    corrected_rows:
+        The observed cardinality the last re-plan used as corrected
+        statistics (None for a first plan).
     runtime:
         Mutable :class:`PlanRuntime` accumulating actual execution
         feedback (excluded from plan equality).
@@ -125,9 +139,9 @@ class QueryPlan:
     cost_estimates: Dict[str, float] = field(default_factory=dict)
     shard_count: int = 1
     estimated_rows: float = 0.0
-    runtime: PlanRuntime = field(
-        default_factory=PlanRuntime, compare=False, repr=False
-    )
+    replans: int = 0
+    corrected_rows: Optional[float] = None
+    runtime: PlanRuntime = field(default_factory=PlanRuntime, compare=False, repr=False)
 
     @property
     def structural_class(self) -> str:
@@ -158,6 +172,12 @@ class QueryPlan:
             # Off either because the inputs are small or because the chosen
             # evaluator has no sharded executor — don't claim a reason.
             lines.append("  sharding : off")
+        if self.replans:
+            lines.append(
+                f"  re-plan  : #{self.replans}, statistics corrected to "
+                f"observed |Q(d)|≈{self.corrected_rows:.3g} after "
+                "estimate-vs-actual drift"
+            )
         if self.runtime.executions:
             actual = (
                 f"last |Q(d)|={self.runtime.last_rows}"

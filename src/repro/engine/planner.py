@@ -82,12 +82,39 @@ class Planner:
 
     # ------------------------------------------------------------------
 
-    def plan(self, query: ConjunctiveQuery, database: Database) -> QueryPlan:
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        observed_rows: Optional[float] = None,
+    ) -> QueryPlan:
+        """The plan for (query, database).
+
+        *observed_rows*, when given, is an actually observed result
+        cardinality for this shape (adaptive re-planning, the second half
+        of the cost-model feedback loop): it replaces the simulated
+        satisfying-assignment estimate everywhere the cost model consumes
+        one, so evaluator arbitration re-runs against what the data said
+        rather than what the histogram-free model guessed.
+        """
         analysis = analyze(query, self.treewidth_threshold)
         join_order = self.naive_order(query, database)
         naive_cost, answer_estimate = self._simulate_backtracking(
             query, database, join_order
         )
+        if observed_rows is not None:
+            # Backtracking enumerates at least one search node per result,
+            # so an exploded observed cardinality scales the baseline's
+            # cost estimate up along with the output term.  The correction
+            # is asymmetric: a *collapsed* cardinality does not scale the
+            # baseline down — few results still mean exploring the dead
+            # branches — while the output-sensitive evaluators (whose cost
+            # genuinely is input + output) pick the saving up through the
+            # corrected answer estimate.
+            ratio = max(observed_rows, 1.0) / max(answer_estimate, 1.0)
+            if ratio > 1.0:
+                naive_cost *= ratio
+            answer_estimate = observed_rows
         costs: Dict[str, float] = {NAIVE: naive_cost}
 
         structural_class = analysis.structural_class

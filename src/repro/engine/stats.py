@@ -10,11 +10,17 @@ observed result cardinality next to the planner's estimate (the
 estimate-vs-actual drift that feeds the cost-model feedback loop).
 
 The ledger is bounded (LRU on shapes, like the plan cache) so a service
-executing unboundedly many distinct shapes cannot grow it without limit.
+executing unboundedly many distinct shapes cannot grow it without limit,
+and locked: the async service front-end (:mod:`repro.service`) records
+executions from many worker threads into one shared ledger, so every
+mutation and every snapshot runs under one internal lock.  ``snapshot``
+therefore returns a *consistent* view — shape totals summed from it equal
+the number of recorded executions at the moment it was taken.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple
@@ -36,6 +42,7 @@ class ShapeStats:
     last_seconds: float
     estimated_rows: float
     last_rows: Optional[int]
+    replans: int = 0
 
     @property
     def mean_seconds(self) -> float:
@@ -57,6 +64,10 @@ class EngineStats:
     def total_seconds(self) -> float:
         return sum(shape.total_seconds for shape in self.shapes)
 
+    @property
+    def replans(self) -> int:
+        return sum(shape.replans for shape in self.shapes)
+
     def summary(self) -> str:
         """Multi-line rendering for logs and the examples."""
         cache = self.cache
@@ -66,32 +77,35 @@ class EngineStats:
             f"hits={cache.hits} misses={cache.misses} "
             f"evictions={cache.evictions} size={cache.size}/{cache.capacity}"
         )
+        if self.replans:
+            head += f"; {self.replans} adaptive re-plan(s)"
         lines = [head]
         for shape in sorted(self.shapes, key=lambda s: s.total_seconds, reverse=True):
             actual = "-" if shape.last_rows is None else str(shape.last_rows)
+            replans = f" replans={shape.replans}" if shape.replans else ""
             lines.append(
                 f"  {shape.shape}: n={shape.executions} "
                 f"total={shape.total_seconds * 1e3:.2f}ms "
                 f"mean={shape.mean_seconds * 1e3:.3f}ms "
-                f"last|Q(d)|={actual} est≈{shape.estimated_rows:.3g}"
+                f"last|Q(d)|={actual} est≈{shape.estimated_rows:.3g}{replans}"
             )
         return "\n".join(lines)
 
 
 class ShapeLedger:
-    """Bounded per-shape accumulator keyed on plan-cache keys."""
+    """Bounded, locked per-shape accumulator keyed on plan-cache keys."""
 
     def __init__(self, capacity: int = 512) -> None:
         self._capacity = max(1, capacity)
         self._entries: "OrderedDict[Hashable, _ShapeRecord]" = OrderedDict()
+        self._lock = threading.Lock()
 
-    def record(
-        self,
-        key: Hashable,
-        plan: QueryPlan,
-        seconds: float,
-        rows: Optional[int],
-    ) -> None:
+    def _entry_for(self, key: Hashable, plan: QueryPlan) -> "_ShapeRecord":
+        """Get-or-create *key*'s record (LRU refresh, eviction when full).
+
+        Caller holds the lock.  One code path for every mutation, so the
+        eviction and recency policy cannot drift between them.
+        """
         entry = self._entries.get(key)
         if entry is None:
             if len(self._entries) >= self._capacity:
@@ -101,37 +115,63 @@ class ShapeLedger:
         else:
             self._entries.move_to_end(key)
             entry.plan = plan
-        entry.executions += 1
-        entry.total_seconds += seconds
-        entry.last_seconds = seconds
-        if rows is not None:
-            entry.last_rows = rows
+        return entry
+
+    def record(
+        self,
+        key: Hashable,
+        plan: QueryPlan,
+        seconds: float,
+        rows: Optional[int],
+    ) -> None:
+        with self._lock:
+            entry = self._entry_for(key, plan)
+            entry.executions += 1
+            entry.total_seconds += seconds
+            entry.last_seconds = seconds
+            if rows is not None:
+                entry.last_rows = rows
+
+    def note_replan(self, key: Hashable, plan: QueryPlan) -> None:
+        """Count one adaptive re-plan of *key* (and adopt the new plan)."""
+        with self._lock:
+            self._entry_for(key, plan).replans += 1
 
     def snapshot(self) -> Tuple[ShapeStats, ...]:
-        out = []
-        for entry in self._entries.values():
-            plan = entry.plan
-            out.append(
-                ShapeStats(
-                    shape=entry.label(),
-                    evaluator=plan.evaluator,
-                    structural_class=plan.structural_class,
-                    shard_count=plan.shard_count,
-                    executions=entry.executions,
-                    total_seconds=entry.total_seconds,
-                    last_seconds=entry.last_seconds,
-                    estimated_rows=plan.estimated_rows,
-                    last_rows=entry.last_rows,
+        with self._lock:
+            out = []
+            for entry in self._entries.values():
+                plan = entry.plan
+                out.append(
+                    ShapeStats(
+                        shape=entry.label(),
+                        evaluator=plan.evaluator,
+                        structural_class=plan.structural_class,
+                        shard_count=plan.shard_count,
+                        executions=entry.executions,
+                        total_seconds=entry.total_seconds,
+                        last_seconds=entry.last_seconds,
+                        estimated_rows=plan.estimated_rows,
+                        last_rows=entry.last_rows,
+                        replans=entry.replans,
+                    )
                 )
-            )
-        return tuple(out)
+            return tuple(out)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class _ShapeRecord:
-    __slots__ = ("plan", "executions", "total_seconds", "last_seconds", "last_rows")
+    __slots__ = (
+        "plan",
+        "executions",
+        "total_seconds",
+        "last_seconds",
+        "last_rows",
+        "replans",
+    )
 
     def __init__(self, plan: QueryPlan) -> None:
         self.plan = plan
@@ -139,6 +179,7 @@ class _ShapeRecord:
         self.total_seconds = 0.0
         self.last_seconds = 0.0
         self.last_rows: Optional[int] = None
+        self.replans = 0
 
     def label(self) -> str:
         plan = self.plan

@@ -50,18 +50,41 @@ class YannakakisEvaluator:
         query hypergraph (the adaptive engine's cached plans carry one),
         skipping the GYO reduction.
         """
+        return self.reduce_bottom_up(query, database, join_tree) is not None
+
+    def reduce_bottom_up(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
+        root: Optional[int] = None,
+    ) -> Optional[Relation]:
+        """The root's candidate relation after one bottom-up semijoin pass.
+
+        Stops exactly where ``decide`` does — no top-down pass, no joins —
+        but returns the reduced *root relation* instead of its emptiness:
+        after the upward pass every surviving root tuple participates in a
+        global match, so the survivors are the root-projected answers.
+        *root* optionally re-roots the (possibly supplied) join tree first;
+        the N-wide ``decide_batch`` roots at the injected parameter atom
+        and reads each member's decision off the surviving vectors.
+        Returns ``None`` when the query is globally empty.
+        """
         prepared = self._prepare(query, database, join_tree)
         if prepared is None:
-            return False
+            return None
         relations, tree = prepared
+        if root is not None and root != tree.root:
+            tree = tree.rooted_at(root)
         for node in tree.bottom_up_order():
             parent = tree.parent(node)
             if parent is None:
                 continue
             relations[parent] = relations[parent].semijoin(relations[node])
             if relations[parent].is_empty():
-                return False
-        return not relations[tree.root].is_empty()
+                return None
+        reduced = relations[tree.root]
+        return None if reduced.is_empty() else reduced
 
     def contains(
         self, query: ConjunctiveQuery, database: Database, candidate: Sequence[Any]

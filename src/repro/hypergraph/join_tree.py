@@ -135,6 +135,34 @@ class JoinTree:
             steps += 1
         return steps
 
+    def rooted_at(self, node: int) -> "JoinTree":
+        """The same undirected join tree, re-rooted at *node*.
+
+        Any rooting of a join tree is a join tree (the running-intersection
+        property is a property of the undirected tree), so the semijoin
+        passes stay correct under any choice of root.  The parallel
+        executor roots where the head lives; the decision-only batch path
+        roots at the parameter atom so the bottom-up pass ends there.
+        """
+        if node not in self._parent:
+            raise KeyError(f"unknown join-tree node {node}")
+        if node == self._root:
+            return self
+        adjacency: Dict[int, List[int]] = {member: [] for member in self._parent}
+        for child, par in self._parent.items():
+            if par is not None:
+                adjacency[child].append(par)
+                adjacency[par].append(child)
+        parent_map: Dict[int, Optional[int]] = {node: None}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for neighbor in adjacency[current]:
+                if neighbor not in parent_map:
+                    parent_map[neighbor] = current
+                    stack.append(neighbor)
+        return JoinTree(parent_map, node, self.node_vars)
+
     # ------------------------------------------------------------------
 
     def verify_running_intersection(self) -> bool:

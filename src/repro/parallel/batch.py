@@ -94,14 +94,31 @@ class LiftedBatch:
         for member, key in zip(self.members, self.member_keys):
             bucket = index.get(key, ())
             if positions:
-                rows = frozenset(
-                    tuple(row[p] for p in positions) for row in bucket
-                )
+                rows = frozenset(tuple(row[p] for p in positions) for row in bucket)
             else:
                 rows = frozenset([()]) if bucket else frozenset()
             assignments = Relation._from_frozen(self.head_variable_names, rows)
             results.append(answers_relation(member.head_terms, assignments))
         return results
+
+    def decide_members(self, reduced_root: Optional[Relation]) -> List[bool]:
+        """Member decisions, in order, from the reduced parameter relation.
+
+        *reduced_root* is the parameter atom's candidate relation after a
+        bottom-up semijoin pass rooted there (``None`` when the lifted
+        query is globally empty): every surviving parameter vector
+        participates in a global match, so a member's query is nonempty
+        iff its vector survived.
+        """
+        if reduced_root is None or reduced_root.is_empty():
+            return [False] * len(self.members)
+        param_names = tuple(term.name for term in self.query.atoms[-1].terms)
+        aligned = reduced_root.project(param_names)
+        if len(param_names) == 1:
+            surviving = {row[0] for row in aligned.rows}
+        else:
+            surviving = set(aligned.rows)
+        return [key in surviving for key in self.member_keys]
 
 
 def lift_batch_group(
@@ -128,9 +145,7 @@ def lift_batch_group(
                 constant_slots.append((atom_index, position))
 
     vectors: Dict[Tuple[int, int], Tuple[Any, ...]] = {
-        slot: tuple(
-            member.atoms[slot[0]].terms[slot[1]].value for member in members
-        )
+        slot: tuple(member.atoms[slot[0]].terms[slot[1]].value for member in members)
         for slot in constant_slots
     }
     # Merge slots with identical value vectors into one parameter class.
@@ -167,9 +182,7 @@ def lift_batch_group(
         param_name = "_" + param_name
     param_atom = Atom(param_name, param_variables)
     key_rows = _member_key_rows(param_vectors, members)
-    param_relation = Relation(
-        tuple(v.name for v in param_variables), set(key_rows)
-    )
+    param_relation = Relation(tuple(v.name for v in param_variables), set(key_rows))
 
     head_variables = tuple(
         dict.fromkeys(
@@ -197,7 +210,9 @@ def lift_batch_group(
 
     return LiftedBatch(
         query=lifted_query,
-        database=database.with_relation(param_name, param_relation),
+        # extend_domain: member constants may probe values the database
+        # has never seen (a legitimate "is t in Q(d)?" with answer no).
+        database=database.with_relation(param_name, param_relation, extend_domain=True),
         members=tuple(members),
         member_keys=member_keys,
         param_positions=param_positions,
@@ -235,9 +250,7 @@ def _same_template(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
     return _same_term_pattern(left.head_terms, right.head_terms)
 
 
-def _same_term_pattern(
-    left_terms: Sequence[Term], right_terms: Sequence[Term]
-) -> bool:
+def _same_term_pattern(left_terms: Sequence[Term], right_terms: Sequence[Term]) -> bool:
     for left_term, right_term in zip(left_terms, right_terms):
         if isinstance(left_term, Variable):
             if left_term != right_term:

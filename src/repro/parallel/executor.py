@@ -88,10 +88,35 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
         shard_count: Optional[int] = None,
     ) -> bool:
         """Is Q(d) nonempty?  One level-parallel bottom-up pass."""
+        return (
+            self.reduce_bottom_up(
+                query, database, join_tree, shard_count=shard_count
+            )
+            is not None
+        )
+
+    def reduce_bottom_up(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        join_tree: Optional[JoinTree] = None,
+        root: Optional[int] = None,
+        shard_count: Optional[int] = None,
+    ) -> Optional[Relation]:
+        """Reduced root relation after a level-parallel bottom-up pass.
+
+        The sharded counterpart of
+        :meth:`~repro.evaluation.yannakakis.YannakakisEvaluator.reduce_bottom_up`:
+        same contract (re-root, one upward pass, survivors participate in a
+        global match), with per-parent semijoin chains fanned across the
+        pool and large semijoins sharded.
+        """
         prepared = self._prepare(query, database, join_tree)
         if prepared is None:
-            return False
+            return None
         relations, tree = prepared
+        if root is not None and root != tree.root:
+            tree = tree.rooted_at(root)
         shards = shard_count or self._default_shard_count
         for level in _levels(tree):
             groups = _by_parent(tree, level)
@@ -99,9 +124,10 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
                 groups, self._reduce_level(relations, groups, shards)
             ):
                 if result.is_empty():
-                    return False
+                    return None
                 relations[parent] = result
-        return not relations[tree.root].is_empty()
+        reduced = relations[tree.root]
+        return None if reduced.is_empty() else reduced
 
     def evaluate(
         self,
@@ -226,10 +252,10 @@ def _reroot_for_head(tree: JoinTree, head_names: set) -> JoinTree:
     """The same undirected join tree, rooted where the head lives.
 
     Picks the node whose variable set covers the most head variables
-    (lowest index on ties) and reverses the parent pointers along the
-    paths to it.  Any rooting of a join tree is a join tree, so the
-    passes stay correct; this rooting makes the upward join-project pass
-    reach the head with the fewest column-carrying (non-semijoin) edges.
+    (lowest index on ties) and re-roots there
+    (:meth:`~repro.hypergraph.join_tree.JoinTree.rooted_at`).  This
+    rooting makes the upward join-project pass reach the head with the
+    fewest column-carrying (non-semijoin) edges.
 
     Deliberately recomputed per evaluation: the walk is O(query), noise
     next to the data passes, and caching it would need an identity-safe
@@ -237,29 +263,14 @@ def _reroot_for_head(tree: JoinTree, head_names: set) -> JoinTree:
     """
     if not head_names:
         return tree
-    nodes = tree.nodes()
     best = max(
-        nodes,
+        tree.nodes(),
         key=lambda i: (
             len(head_names & {v.name for v in tree.node_vars[i]}),
             -i,
         ),
     )
-    if best == tree.root:
-        return tree
-    adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
-    for child, parent in tree.edges():
-        adjacency[child].append(parent)
-        adjacency[parent].append(child)
-    parent_map: Dict[int, Optional[int]] = {best: None}
-    stack = [best]
-    while stack:
-        node = stack.pop()
-        for neighbor in adjacency[node]:
-            if neighbor not in parent_map:
-                parent_map[neighbor] = node
-                stack.append(neighbor)
-    return JoinTree(parent_map, best, tree.node_vars)
+    return tree.rooted_at(best)
 
 
 # ----------------------------------------------------------------------

@@ -37,9 +37,7 @@ from .pool import WorkerPool
 DEFAULT_SHARD_COUNT = 4
 
 
-def shared_attributes(
-    left: Tuple[str, ...], right: Tuple[str, ...]
-) -> Tuple[str, ...]:
+def shared_attributes(left: Tuple[str, ...], right: Tuple[str, ...]) -> Tuple[str, ...]:
     """Join attributes, in *left*'s column order.
 
     This ordering is load-bearing: both sides of a co-partitioned
@@ -77,9 +75,7 @@ def bucket_semijoin(
     kept = [bucket for key, bucket in left_index.items() if key in right_index]
     if sum(map(len, kept)) == len(left._rows):
         return left
-    return Relation._from_frozen(
-        left.attributes, frozenset(chain.from_iterable(kept))
-    )
+    return Relation._from_frozen(left.attributes, frozenset(chain.from_iterable(kept)))
 
 
 def _semijoin_task(

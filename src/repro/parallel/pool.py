@@ -30,7 +30,12 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, List, Optional, Sequence
 
 SERIAL = "serial"
@@ -57,14 +62,13 @@ class WorkerPool:
         One of :data:`POOL_MODES`.  ``threads`` by default.
     """
 
-    def __init__(
-        self, max_workers: Optional[int] = None, mode: str = THREADS
-    ) -> None:
+    def __init__(self, max_workers: Optional[int] = None, mode: str = THREADS) -> None:
         if mode not in POOL_MODES:
             raise ValueError(f"unknown pool mode {mode!r}; expected {POOL_MODES}")
         self._max_workers = max_workers if max_workers else default_worker_count()
         self._mode = SERIAL if self._max_workers <= 1 else mode
         self._executor: Optional[Executor] = None
+        self._executor_lock = threading.Lock()
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -118,24 +122,65 @@ class WorkerPool:
 
         return list(self._ensure_executor().map(run, items))
 
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Schedule one task, returning its :class:`concurrent.futures.Future`.
+
+        The single-task counterpart of :meth:`map` — this is what the
+        async service front-end (:mod:`repro.service`) feeds its request
+        queue into.  Serial mode (and a submit issued from inside one of
+        the pool's own tasks — the same re-entrancy hazard ``map`` guards
+        against) runs the task inline and returns an already-completed
+        future, so callers can treat every mode uniformly.
+        """
+        if self._mode == SERIAL or getattr(self._local, "in_task", False):
+            future: "Future[Any]" = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                future.set_exception(exc)
+            return future
+        if self._mode == PROCESSES:
+            return self._ensure_executor().submit(fn, *args)
+
+        def run() -> Any:
+            self._local.in_task = True
+            try:
+                return fn(*args)
+            finally:
+                self._local.in_task = False
+
+        return self._ensure_executor().submit(run)
+
     def _ensure_executor(self) -> Executor:
-        if self._executor is None:
-            workers = self._max_workers
-            if self._mode == PROCESSES:
-                self._executor = ProcessPoolExecutor(max_workers=workers)
-            else:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=workers, thread_name_prefix="repro-shard"
-                )
-        return self._executor
+        # Double-checked under a lock: one pool is shared by every thread
+        # of the service's shared engine, and an unsynchronized
+        # check-then-create would let two cold callers build two
+        # executors, leaking the loser's worker threads for the process
+        # lifetime.
+        executor = self._executor
+        if executor is None:
+            with self._executor_lock:
+                executor = self._executor
+                if executor is None:
+                    workers = self._max_workers
+                    if self._mode == PROCESSES:
+                        executor = ProcessPoolExecutor(max_workers=workers)
+                    else:
+                        executor = ThreadPoolExecutor(
+                            max_workers=workers, thread_name_prefix="repro-shard"
+                        )
+                    self._executor = executor
+        return executor
 
     # ------------------------------------------------------------------
 
     def close(self) -> None:
         """Shut the underlying executor down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        with self._executor_lock:
+            executor = self._executor
             self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self

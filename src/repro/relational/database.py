@@ -72,11 +72,23 @@ class Database:
             built[name] = Relation(schema.default_attributes(), rows)
         return cls(built, domain=domain)
 
-    def with_relation(self, name: str, relation: Relation) -> "Database":
-        """Return a new database with *name* bound to *relation*."""
+    def with_relation(
+        self, name: str, relation: Relation, extend_domain: bool = False
+    ) -> "Database":
+        """Return a new database with *name* bound to *relation*.
+
+        With *extend_domain*, a declared domain grows to absorb the new
+        relation's values instead of rejecting them — used by batch
+        lifting, whose injected parameter relation legitimately carries
+        out-of-domain probe constants (a decision instance for a value the
+        database has never seen is simply false, not malformed).
+        """
         updated = dict(self._relations)
         updated[name] = relation
-        return Database(updated, domain=self._domain)
+        domain = self._domain
+        if extend_domain and domain is not None:
+            domain = domain | relation.active_values()
+        return Database(updated, domain=domain)
 
     # ------------------------------------------------------------------
 

@@ -26,7 +26,13 @@ Kernel notes (see ``docs/kernel.md`` for the full contract):
   join-key hash through :meth:`Relation._partition`, a lazy cache exactly
   like :meth:`Relation._index`: shards are built from the cached index on
   the key positions, each shard is born with that index preseeded, and —
-  relations being immutable — a cached partition is never invalidated.
+  relations being immutable — a cached partition is never invalidated;
+* both lazy caches are safe to fill from concurrent threads (the shared
+  engine behind ``repro.service`` does): fills race only on *cold* slots,
+  every racer builds an identical value from the immutable rows, and the
+  publish goes through ``dict.setdefault`` so all callers converge on one
+  canonical object (CPython's per-opcode atomicity makes the setdefault
+  itself atomic).
 """
 
 from __future__ import annotations
@@ -148,8 +154,11 @@ class Relation:
                 else:
                     bucket.append(row)
         frozen_buckets: IndexBuckets = {k: tuple(v) for k, v in buckets.items()}
-        self._indexes[positions] = frozen_buckets
-        return frozen_buckets
+        # Publish with setdefault: two threads filling the same cold slot
+        # concurrently (the shared-engine service does this) both built the
+        # same buckets, and every caller must agree on ONE canonical object
+        # so downstream identity checks and shard preseeds stay consistent.
+        return self._indexes.setdefault(positions, frozen_buckets)
 
     def _partition(
         self, positions: Tuple[int, ...], count: int
@@ -186,8 +195,9 @@ class Relation:
             shard._indexes[positions] = shard_buckets
             shards.append(shard)
         frozen_shards = tuple(shards)
-        self._partitions[cache_key] = frozen_shards
-        return frozen_shards
+        # setdefault, like _index: concurrent cold fills converge on one
+        # canonical shard tuple (first writer wins, later fills discarded).
+        return self._partitions.setdefault(cache_key, frozen_shards)
 
     @staticmethod
     def _key_getter(positions: Tuple[int, ...]) -> Callable[[Row], Any]:

@@ -1,0 +1,26 @@
+"""Async query-service front-end over one shared :class:`QueryEngine`.
+
+The production-service layer the ROADMAP's north star asks for: concurrent
+callers multiplex onto one engine — one plan cache, one stats ledger, one
+set of warm kernel indexes and shard partitions — through an ``asyncio``
+facade with a bounded request queue, single-flight coalescing of identical
+in-flight queries, and micro-batching of same-shape requests into the
+engine's N-wide batch lifting.  See ``docs/service.md``.
+"""
+
+from .service import (
+    DEFAULT_BATCH_LIMIT,
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_MAX_PENDING,
+    QueryService,
+)
+from .stats import ServiceCounters, ServiceStats
+
+__all__ = [
+    "DEFAULT_BATCH_LIMIT",
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_PENDING",
+    "QueryService",
+    "ServiceCounters",
+    "ServiceStats",
+]

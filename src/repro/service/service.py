@@ -1,0 +1,465 @@
+"""The async query-service front-end: many callers, one shared engine.
+
+Vardi's combined-complexity point — when queries arrive as inputs, the
+query side dominates — is the regime a multi-tenant service lives in:
+many distinct query *shapes*, endlessly repeated parameterizations.  The
+engine already amortizes that shape work (plan cache, warm kernel indexes,
+shard partitions), but only for callers who share one engine.
+:class:`QueryService` is the sharing layer:
+
+* an ``asyncio`` facade (``execute`` / ``decide`` / ``execute_batch`` /
+  ``decide_batch`` / ``explain`` / ``stats``) multiplexing every
+  concurrent client onto one thread-safe :class:`~repro.engine.QueryEngine`;
+* a **bounded request queue** between admission and execution — when all
+  dispatchers are busy and the queue is full, new work awaits (natural
+  asyncio backpressure) instead of piling up unboundedly;
+* **single-flight coalescing** — a request identical to one already in
+  flight (same kind, same query, same database) does not execute again;
+  it awaits the in-flight result, which is safe to share because results
+  are immutable relations;
+* **micro-batching** — same-shape requests arriving within
+  ``batch_window`` seconds collect into one group and run through the
+  engine's N-wide batch lifting (``execute_batch`` /
+  ``decide_batch``), turning a flood of single queries into a handful of
+  lifted executions.
+
+Blocking engine calls run on a service-owned dispatch
+:class:`~repro.parallel.pool.WorkerPool`, deliberately separate from the
+engine's own pool: the event loop never blocks on query evaluation, and —
+because a dispatch thread is not a task of the *engine's* pool — the
+sharded intra-query fan-out of ``repro.parallel`` still engages beneath
+every service request.
+
+A service instance is bound to the first event loop that uses it; all
+internal state (in-flight map, batch collectors, counters) is touched
+only from that loop's thread, which is what makes the front-end itself
+lock-free — the engine below it carries the thread-safety contracts
+(locked plan cache, ledger and runtimes, convergent kernel cache fills;
+see ``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine.analysis import plan_cache_key
+from ..engine.engine import QueryEngine
+from ..parallel.pool import THREADS, WorkerPool, default_worker_count
+from ..query.conjunctive import ConjunctiveQuery
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .stats import MutableCounters, ServiceStats
+
+#: Seconds one micro-batch collector stays open for same-shape arrivals.
+DEFAULT_BATCH_WINDOW = 0.002
+
+#: Bound of the request queue (groups, each ≥ 1 request).
+DEFAULT_MAX_PENDING = 256
+
+#: Largest group one collector may grow to before it flushes early.
+DEFAULT_BATCH_LIMIT = 64
+
+EXECUTE = "execute"
+DECIDE = "decide"
+EXPLAIN = "explain"
+
+
+class _Group:
+    """One queue item: same-shape requests dispatched together."""
+
+    __slots__ = ("kind", "database", "queries", "futures", "flushed")
+
+    def __init__(
+        self,
+        kind: str,
+        database: Database,
+        queries: List[ConjunctiveQuery],
+        futures: List["asyncio.Future[Any]"],
+    ) -> None:
+        self.kind = kind
+        self.database = database
+        self.queries = queries
+        self.futures = futures
+        self.flushed = False
+
+
+class QueryService:
+    """Async multiplexer of concurrent callers onto one shared engine.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine.  ``None`` constructs one (forwarding
+        ``engine_kwargs``) that the service owns and closes.
+    batch_window:
+        Micro-batching window in seconds; ``0`` disables batching and
+        every request dispatches alone.
+    max_pending:
+        Bound of the request queue (admission backpressure).
+    batch_limit:
+        A collector flushes early once it holds this many requests.
+    dispatchers:
+        Number of dispatcher coroutines pulling from the queue (defaults
+        to the worker pool's budget) — the cap on concurrently executing
+        engine calls.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[QueryEngine] = None,
+        *,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        batch_limit: int = DEFAULT_BATCH_LIMIT,
+        dispatchers: Optional[int] = None,
+        **engine_kwargs: Any,
+    ) -> None:
+        if engine is not None and engine_kwargs:
+            raise ValueError(
+                "pass engine_kwargs only when the service constructs the "
+                f"engine; got both an engine and {sorted(engine_kwargs)}"
+            )
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if batch_limit < 1:
+            raise ValueError(f"batch_limit must be >= 1, got {batch_limit}")
+        if dispatchers is not None and dispatchers < 1:
+            # Zero dispatchers would accept requests that nothing ever
+            # serves — fail loudly like the neighbouring guards.
+            raise ValueError(f"dispatchers must be >= 1, got {dispatchers}")
+        self._engine = engine if engine is not None else QueryEngine(**engine_kwargs)
+        self._owns_engine = engine is None
+        # Dispatch runs on a service-owned thread pool, deliberately
+        # SEPARATE from the engine's: a dispatch thread blocking on an
+        # engine call is not a task *of the engine's pool*, so the
+        # engine's re-entrancy guard stays cold and the sharded
+        # intra-query fan-out (per-level semijoins, per-member batch
+        # execution) still engages beneath the service.  Running dispatch
+        # on the engine's own pool would mark its workers in-task and
+        # silently serialize every inner map.  No deadlock either way:
+        # the two pools' wait graphs are acyclic (dispatch waits on
+        # engine workers, never the reverse).
+        self._pool = WorkerPool(max(2, default_worker_count()), THREADS)
+        self._batch_window = batch_window
+        self._max_pending = max_pending
+        self._batch_limit = batch_limit
+        self._dispatcher_count = dispatchers or self._pool.max_workers
+        self._counters = MutableCounters()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional["asyncio.Queue[_Group]"] = None
+        self._dispatchers: List["asyncio.Task[None]"] = []
+        self._background: Set["asyncio.Task[None]"] = set()
+        #: key → (future, database).  The database reference is load-
+        #: bearing: keys embed ``id(database)``, and holding the object
+        #: for the entry's lifetime guarantees that id cannot be reused
+        #: by a different database while a lookup could still hit it.
+        self._inflight: Dict[Tuple, Tuple["asyncio.Future[Any]", Database]] = {}
+        self._collecting: Dict[Tuple, _Group] = {}
+        #: Groups created but not yet on the queue — ``aclose`` enqueues
+        #: any survivors so no admitted request is ever stranded.
+        self._unenqueued: Set[_Group] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    async def execute(self, query: ConjunctiveQuery, database: Database) -> Relation:
+        """Q(d) through the shared engine (single-flight, micro-batched)."""
+        return await self._submit(EXECUTE, query, database)
+
+    async def decide(self, query: ConjunctiveQuery, database: Database) -> bool:
+        """Is Q(d) nonempty?  Decision requests micro-batch through the
+        engine's decision-only N-wide lifting (``decide_batch``)."""
+        return await self._submit(DECIDE, query, database)
+
+    async def explain(self, query: ConjunctiveQuery, database: Database) -> str:
+        """The engine's plan rendering, without executing (coalesced but
+        never batched — explaining is per-query by definition)."""
+        return await self._submit(EXPLAIN, query, database)
+
+    async def execute_batch(
+        self, queries: Sequence[ConjunctiveQuery], database: Database
+    ) -> List[Relation]:
+        """Evaluate an explicit batch as one group (no window wait)."""
+        return await self._submit_group(EXECUTE, list(queries), database)
+
+    async def decide_batch(
+        self, queries: Sequence[ConjunctiveQuery], database: Database
+    ) -> List[bool]:
+        """Decide an explicit batch as one group (no window wait)."""
+        return await self._submit_group(DECIDE, list(queries), database)
+
+    async def stats(self) -> ServiceStats:
+        """Service counters plus the shared engine's snapshot."""
+        self._ensure_open()
+        return ServiceStats(
+            service=self._counters.snapshot(), engine=self._engine.stats()
+        )
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The shared engine (one plan cache for every client)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Admission: single-flight, then batching, then the bounded queue
+    # ------------------------------------------------------------------
+
+    async def _submit(
+        self, kind: str, query: ConjunctiveQuery, database: Database
+    ) -> Any:
+        self._start_if_needed()
+        key = (kind, id(database), query)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Single-flight: identical request already in flight — await
+            # its (immutable, safely shared) result instead of executing.
+            self._counters.coalesced += 1
+            return await asyncio.shield(existing[0])
+        assert self._loop is not None
+        future: "asyncio.Future[Any]" = self._loop.create_future()
+        self._inflight[key] = (future, database)
+
+        def _retire(done: "asyncio.Future[Any]", key: Tuple = key) -> None:
+            # The entry lives until the *execution* completes (not until
+            # the originating caller returns): a cancelled originator must
+            # not stop later identical requests from coalescing onto the
+            # still-running execution.  Reading the exception here also
+            # marks it retrieved for the orphan case where every caller
+            # was cancelled before the result arrived.
+            entry = self._inflight.get(key)
+            if entry is not None and entry[0] is done:
+                del self._inflight[key]
+            if not done.cancelled():
+                done.exception()
+
+        future.add_done_callback(_retire)
+        self._counters.submitted += 1
+        try:
+            await self._route(kind, query, database, future)
+        except asyncio.CancelledError:
+            # Caller cancelled during admission: the enqueue (if reached)
+            # continues service-owned and the future resolves later for
+            # any coalesced waiters — do not poison it.
+            raise
+        except BaseException as exc:
+            # Admission itself failed (e.g. the shape key could not be
+            # computed for an unknown relation): the future must carry
+            # the error, or every coalesced waiter hangs forever.
+            self._counters.failed += 1
+            if not future.done():
+                future.set_exception(exc)
+            raise
+        return await asyncio.shield(future)
+
+    async def _submit_group(
+        self, kind: str, queries: List[ConjunctiveQuery], database: Database
+    ) -> List[Any]:
+        if not queries:
+            return []
+        self._start_if_needed()
+        assert self._loop is not None
+        futures = [self._loop.create_future() for _ in queries]
+        self._counters.submitted += len(queries)
+        group = _Group(kind, database, queries, list(futures))
+        group.flushed = True  # explicit batches never collect further
+        self._unenqueued.add(group)
+        await self._put(group)
+        return list(await asyncio.gather(*futures))
+
+    async def _route(
+        self,
+        kind: str,
+        query: ConjunctiveQuery,
+        database: Database,
+        future: "asyncio.Future[Any]",
+    ) -> None:
+        window = self._batch_window
+        if window <= 0.0 or kind == EXPLAIN:
+            group = _Group(kind, database, [query], [future])
+            group.flushed = True
+            self._unenqueued.add(group)
+            await self._put(group)
+            return
+        shape = (kind, id(database), plan_cache_key(query, database))
+        group = self._collecting.get(shape)
+        if group is not None and not group.flushed:
+            group.queries.append(query)
+            group.futures.append(future)
+            self._counters.batched += 1
+            if len(group.queries) >= self._batch_limit:
+                await self._flush(shape, group)
+            return
+        group = _Group(kind, database, [query], [future])
+        self._unenqueued.add(group)
+        self._collecting[shape] = group
+        assert self._loop is not None
+        flusher = self._loop.create_task(self._flush_later(shape, group, window))
+        self._background.add(flusher)
+        flusher.add_done_callback(self._background.discard)
+
+    async def _flush_later(self, shape: Tuple, group: _Group, window: float) -> None:
+        await asyncio.sleep(window)
+        await self._flush(shape, group)
+
+    async def _flush(self, shape: Tuple, group: _Group) -> None:
+        """Close a collector and enqueue it (idempotent, loop thread).
+
+        The collector-map entry is removed *before* the (possibly
+        blocking) put: the service-owned put task completes even if this
+        caller is cancelled at the await, so leaving the entry behind
+        would only accumulate dead flushed groups — and a group cancelled
+        before its put ran stays recoverable through ``_unenqueued``,
+        which ``aclose`` re-enqueues.
+        """
+        if group.flushed:
+            return
+        group.flushed = True
+        if self._collecting.get(shape) is group:
+            del self._collecting[shape]
+        await self._put(group)
+
+    async def _put(self, group: _Group) -> None:
+        """Enqueue *group*, surviving the caller's cancellation.
+
+        The actual ``queue.put`` runs as a service-owned task: the caller
+        awaits it (that is the backpressure), but cancelling the caller —
+        a client timeout firing while the queue is full — must not lose a
+        group other requests were batched into, so the put itself keeps
+        running and completes in the background.
+        """
+        assert self._queue is not None and self._loop is not None
+        put_task = self._loop.create_task(self._enqueue_task(group))
+        self._background.add(put_task)
+        put_task.add_done_callback(self._background.discard)
+        await asyncio.shield(put_task)
+
+    async def _enqueue_task(self, group: _Group) -> None:
+        assert self._queue is not None
+        await self._queue.put(group)
+        self._unenqueued.discard(group)
+        depth = self._queue.qsize()
+        if depth > self._counters.max_queue_depth:
+            self._counters.max_queue_depth = depth
+
+    # ------------------------------------------------------------------
+    # Dispatch: queue → worker pool → engine
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            group = await self._queue.get()
+            try:
+                await self._run_group(group)
+            finally:
+                self._queue.task_done()
+
+    async def _run_group(self, group: _Group) -> None:
+        self._counters.groups += 1
+        if len(group.queries) > self._counters.max_group:
+            self._counters.max_group = len(group.queries)
+        engine = self._engine
+        kind, queries, database = group.kind, group.queries, group.database
+
+        def run() -> List[Any]:
+            if kind == EXECUTE:
+                if len(queries) == 1:
+                    return [engine.execute(queries[0], database)]
+                return engine.execute_batch(queries, database)
+            if kind == DECIDE:
+                if len(queries) == 1:
+                    return [engine.decide(queries[0], database)]
+                return engine.decide_batch(queries, database)
+            assert kind == EXPLAIN
+            return [engine.explain(queries[0], database)]
+
+        try:
+            results = await asyncio.wrap_future(self._pool.submit(run))
+        except asyncio.CancelledError:
+            for future in group.futures:
+                if not future.done():
+                    future.cancel()
+            raise
+        except BaseException as exc:  # noqa: BLE001 — delivered to callers
+            self._counters.failed += len(group.futures)
+            for future in group.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self._counters.completed += len(group.futures)
+        for future, result in zip(group.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+
+    def _start_if_needed(self) -> None:
+        self._ensure_open()
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._queue = asyncio.Queue(maxsize=self._max_pending)
+            self._dispatchers = [
+                loop.create_task(self._dispatch_loop())
+                for _ in range(self._dispatcher_count)
+            ]
+        elif self._loop is not loop:
+            raise RuntimeError(
+                "QueryService is bound to the event loop that first used "
+                "it; create one service per loop"
+            )
+
+    async def aclose(self) -> None:
+        """Flush collectors, drain the queue, stop dispatchers, release
+        owned resources.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None:
+            for task in list(self._background):
+                task.cancel()
+            await asyncio.gather(*self._background, return_exceptions=True)
+            # Whatever a cancelled flusher left behind — still-collecting
+            # groups, and groups closed but never enqueued — goes onto the
+            # queue now, so every admitted request completes.
+            for group in list(self._collecting.values()):
+                group.flushed = True
+            self._collecting.clear()
+            for group in list(self._unenqueued):
+                group.flushed = True
+                await self._put(group)
+            assert self._queue is not None
+            await self._queue.join()
+            for task in self._dispatchers:
+                task.cancel()
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+            self._dispatchers = []
+        self._pool.close()
+        if self._owns_engine:
+            self._engine.close()
+
+    async def __aenter__(self) -> "QueryService":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:
+        if self._closed:
+            state = "closed"
+        else:
+            state = "idle" if self._loop is None else "serving"
+        return (
+            f"QueryService({state}, window={self._batch_window}, "
+            f"max_pending={self._max_pending}, "
+            f"dispatchers={self._dispatcher_count})"
+        )

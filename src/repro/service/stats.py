@@ -1,0 +1,106 @@
+"""Service-side counters: what the front-end adds on top of engine stats.
+
+The engine's ledger (:mod:`repro.engine.stats`) answers "which shapes are
+hot and what do they cost"; the service counters answer the questions that
+only exist once concurrent callers share one engine: how many requests
+were *coalesced* onto an identical in-flight execution, how many rode a
+micro-batch instead of executing alone, how deep the admission queue got,
+and how wide the widest batch was.  ``QueryService.stats()`` returns both
+in one :class:`ServiceStats` snapshot.
+
+All counter mutations happen on the service's event-loop thread (request
+admission, batching, and completion bookkeeping are coroutine code), so
+the mutable accumulator needs no lock; the engine ledger it is paired
+with locks itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.stats import EngineStats
+
+
+@dataclass(frozen=True)
+class ServiceCounters:
+    """One consistent snapshot of the front-end's own counters."""
+
+    #: Requests admitted for execution (coalesced requests not included).
+    submitted: int
+    #: Requests answered by an identical in-flight request (single-flight).
+    coalesced: int
+    #: Requests that joined a same-shape micro-batch instead of opening one.
+    batched: int
+    #: Queue items (groups of ≥ 1 request) handed to the worker pool.
+    groups: int
+    #: Requests completed successfully.
+    completed: int
+    #: Requests completed with an exception.
+    failed: int
+    #: High-water mark of the bounded request queue.
+    max_queue_depth: int
+    #: Widest group dispatched (1 = no batching happened).
+    max_group: int
+
+    @property
+    def requests(self) -> int:
+        """Everything that entered the service, coalesced or not."""
+        return self.submitted + self.coalesced
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Front-end counters next to the shared engine's snapshot."""
+
+    service: ServiceCounters
+    engine: EngineStats
+
+    def summary(self) -> str:
+        """Multi-line rendering for logs and the examples."""
+        counters = self.service
+        head = (
+            f"ServiceStats: {counters.requests} request(s) "
+            f"({counters.coalesced} coalesced, {counters.batched} batched), "
+            f"{counters.groups} group(s) dispatched "
+            f"(widest {counters.max_group}), queue depth ≤ "
+            f"{counters.max_queue_depth}; {counters.completed} ok, "
+            f"{counters.failed} failed"
+        )
+        return head + "\n" + self.engine.summary()
+
+
+class MutableCounters:
+    """Loop-thread accumulator behind :class:`ServiceCounters`."""
+
+    __slots__ = (
+        "submitted",
+        "coalesced",
+        "batched",
+        "groups",
+        "completed",
+        "failed",
+        "max_queue_depth",
+        "max_group",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.coalesced = 0
+        self.batched = 0
+        self.groups = 0
+        self.completed = 0
+        self.failed = 0
+        self.max_queue_depth = 0
+        self.max_group = 0
+
+    def snapshot(self) -> ServiceCounters:
+        return ServiceCounters(
+            submitted=self.submitted,
+            coalesced=self.coalesced,
+            batched=self.batched,
+            groups=self.groups,
+            completed=self.completed,
+            failed=self.failed,
+            max_queue_depth=self.max_queue_depth,
+            max_group=self.max_group,
+        )
