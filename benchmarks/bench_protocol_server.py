@@ -1,0 +1,339 @@
+"""PROTOCOL — a real server process over TCP vs one engine per client.
+
+The acceptance claims of the networked protocol layer:
+
+* **shared server beats isolated engines** — N TCP clients multiplexed
+  onto one *subprocess* ``QueryServer`` (one plan cache, single-flight,
+  micro-batching, fairness lanes — plus real wire costs: JSON framing,
+  loopback TCP, process isolation) finish the mixed workload faster than
+  the same clients each running their own in-process ``QueryEngine``;
+* **the batching window survives the wire** — a same-shape flood
+  pipelined over one connection with the server's micro-batch window
+  open runs through N-wide lifted executions and beats the window-off
+  server configuration.
+
+Results are byte-compared against sequential ``QueryEngine(parallel=False)``
+execution before anything is timed; server processes are spawned once per
+configuration and excluded from the timings.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_protocol_server.py
+    PYTHONPATH=src python benchmarks/bench_protocol_server.py --smoke  # CI
+
+``--smoke`` keeps workload sizes identical (the regression gate compares
+leaves by path) and skips only the perf assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from typing import Any, Dict, List, Optional
+
+import repro
+from repro import QueryEngine
+from repro.benchlib import (
+    add_json_argument,
+    emit_json_report,
+    json_report_payload,
+    print_table,
+    speedup,
+    time_thunk,
+)
+from repro.parallel import WorkerPool, default_worker_count
+from repro.parallel.pool import THREADS
+from repro.protocol import AsyncQueryClient, QueryClient
+from repro.relational.io import save_database_json
+from repro.workloads import chain_database
+from repro.workloads.queries import path_query
+
+CLIENTS = 16
+PER_CLIENT = 8
+FLOOD_REQUESTS = 64
+
+
+def build_workload(clients: int, per_client: int, database) -> List[List]:
+    """Per client, a list of decision instances: half *hot* (identical
+    across clients — what single-flight and the plan cache exist for),
+    half client-specific.  The same mix ``bench_service_async`` uses,
+    now crossing a process boundary."""
+    query = path_query(4, head_arity=1)
+    starts = sorted({row[0] for row in database["E"].rows})
+    hot = starts[:4]
+    workload = []
+    for client in range(clients):
+        requests = []
+        for i in range(per_client):
+            if i % 2 == 0:
+                value = hot[(i // 2) % len(hot)]
+            else:
+                value = starts[(client * per_client + i) % len(starts)]
+            requests.append(query.decision_instance((value,)))
+        workload.append(requests)
+    return workload
+
+
+class ServerProcess:
+    """A ``repro.protocol.server`` subprocess bound to a free port."""
+
+    def __init__(self, database_path: str, *extra_args: str) -> None:
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.protocol.server",
+                "--port",
+                "0",
+                "--database",
+                f"chain={database_path}",
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        ready = self.process.stdout.readline()
+        if not ready.startswith("QUERYSERVER READY"):
+            stderr = ""
+            if self.process.poll() is not None:
+                stderr = self.process.stderr.read()
+            raise RuntimeError(f"server failed to start: {ready!r} {stderr}")
+        self.host = "127.0.0.1"
+        self.port = int(ready.rsplit("port=", 1)[1])
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+                self.process.kill()
+                self.process.communicate()
+
+    def __enter__(self) -> "ServerProcess":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+async def tcp_clients_run(workload: List[List], host: str, port: int) -> List[List]:
+    """Every client on its own TCP connection, requests sent in order."""
+    clients = [
+        await AsyncQueryClient.connect(host, port) for _ in range(len(workload))
+    ]
+
+    async def one_client(client, requests):
+        return [await client.execute(query, "chain") for query in requests]
+
+    try:
+        return list(
+            await asyncio.gather(
+                *(
+                    one_client(client, requests)
+                    for client, requests in zip(clients, workload)
+                )
+            )
+        )
+    finally:
+        for client in clients:
+            await client.aclose()
+
+
+async def per_client_run(workload: List[List], database) -> List[List]:
+    """One private in-process engine per client: no shared plan cache, no
+    coalescing, no batching, and no wire either — the strongest version
+    of the configuration the server replaces."""
+    pool = WorkerPool(max(2, default_worker_count()), THREADS)
+    engines = [QueryEngine() for _ in workload]
+
+    async def client(engine, requests):
+        results = []
+        for query in requests:
+            results.append(
+                await asyncio.wrap_future(pool.submit(engine.execute, query, database))
+            )
+        return results
+
+    try:
+        return list(
+            await asyncio.gather(
+                *(
+                    client(engine, requests)
+                    for engine, requests in zip(engines, workload)
+                )
+            )
+        )
+    finally:
+        for engine in engines:
+            engine.close()
+        pool.close()
+
+
+def run_clients_vs_isolated(
+    repeats: int, database, database_path: str
+) -> Dict[str, Any]:
+    workload = build_workload(CLIENTS, PER_CLIENT, database)
+    sequential = QueryEngine(parallel=False)
+    reference = [
+        [sequential.execute(q, database) for q in requests] for requests in workload
+    ]
+
+    with ServerProcess(database_path, "--batch-window", "0.002") as server:
+        shared = asyncio.run(tcp_clients_run(workload, server.host, server.port))
+        for got_list, want_list in zip(shared, reference):
+            for got, want in zip(got_list, want_list):
+                assert got == want and got.rows == want.rows, (
+                    "server diverged from sequential"
+                )
+        shared_seconds, _ = time_thunk(
+            lambda: asyncio.run(
+                tcp_clients_run(workload, server.host, server.port)
+            ),
+            repeats=repeats,
+        )
+        with QueryClient(server.host, server.port) as probe:
+            stats = probe.stats()
+
+    isolated = asyncio.run(per_client_run(workload, database))
+    assert isolated == reference, "per-client engines diverged from sequential"
+    per_client_seconds, _ = time_thunk(
+        lambda: asyncio.run(per_client_run(workload, database)),
+        repeats=repeats,
+    )
+    return {
+        "clients": CLIENTS,
+        "requests": CLIENTS * PER_CLIENT,
+        "shared_seconds": shared_seconds,
+        "per_client_seconds": per_client_seconds,
+        "shared_speedup": round(speedup(per_client_seconds, shared_seconds), 2),
+        "coalesced": stats["service"]["coalesced"],
+        "batched": stats["service"]["batched"],
+    }
+
+
+async def flood_run(instances: List, host: str, port: int) -> List:
+    async with await AsyncQueryClient.connect(host, port) as client:
+        return list(
+            await asyncio.gather(
+                *(client.execute(query, "chain") for query in instances)
+            )
+        )
+
+
+def run_flood_with_window(
+    repeats: int, database, database_path: str
+) -> Dict[str, Any]:
+    """Same-shape flood pipelined on one connection: window on vs off."""
+    query = path_query(4, head_arity=1)
+    starts = sorted({row[0] for row in database["E"].rows})
+    instances = [
+        query.decision_instance((starts[i % len(starts)],))
+        for i in range(FLOOD_REQUESTS)
+    ]
+    sequential = QueryEngine(parallel=False)
+    reference = [sequential.execute(q, database) for q in instances]
+
+    timings = {}
+    for label, window in [("window_on", "0.01"), ("window_off", "0.0")]:
+        with ServerProcess(database_path, "--batch-window", window) as server:
+            flood = asyncio.run(flood_run(instances, server.host, server.port))
+            assert flood == reference, f"{label} flood diverged from sequential"
+            timings[label], _ = time_thunk(
+                lambda host=server.host, port=server.port: asyncio.run(
+                    flood_run(instances, host, port)
+                ),
+                repeats=repeats,
+            )
+    return {
+        "requests": len(instances),
+        "window_off_seconds": timings["window_off"],
+        "window_on_seconds": timings["window_on"],
+        "batching_speedup": round(
+            speedup(timings["window_off"], timings["window_on"]), 2
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="skip perf assertions — workload sizes and best-of-3 timings "
+        "stay identical for the regression gate",
+    )
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+    repeats = 3
+
+    # Wider than the in-process service bench: per-request evaluation has
+    # to dominate the ~1 ms/request wire cost for the sharing comparison
+    # to measure *sharing* rather than loopback TCP.
+    database = chain_database(layers=6, width=72, p=0.22, seed=7)
+    with tempfile.TemporaryDirectory() as tmp:
+        database_path = os.path.join(tmp, "chain.json")
+        save_database_json(database, database_path)
+        concurrent = run_clients_vs_isolated(repeats, database, database_path)
+        flood = run_flood_with_window(repeats, database, database_path)
+
+    print_table(
+        ("clients", "requests", "shared TCP s", "per-client s", "speedup"),
+        [
+            (
+                concurrent["clients"],
+                concurrent["requests"],
+                concurrent["shared_seconds"],
+                concurrent["per_client_seconds"],
+                concurrent["shared_speedup"],
+            )
+        ],
+        title=(
+            f"{CLIENTS} TCP clients on one subprocess QueryServer vs one "
+            f"in-process engine per client (best of {repeats})"
+        ),
+    )
+    print_table(
+        ("requests", "window off s", "window on s", "speedup"),
+        [
+            (
+                flood["requests"],
+                flood["window_off_seconds"],
+                flood["window_on_seconds"],
+                flood["batching_speedup"],
+            )
+        ],
+        title="Same-shape flood over one connection: server batch window on vs off",
+    )
+
+    if not args.smoke:
+        assert concurrent["shared_speedup"] >= 1.2, concurrent
+        assert flood["batching_speedup"] >= 1.2, flood
+
+    output = args.json
+    if output is None and not args.smoke:
+        output = "BENCH_protocol_server.json"
+    payload = json_report_payload(
+        "protocol_server",
+        smoke=args.smoke,
+        repeats=repeats,
+        concurrent_clients=concurrent,
+        flood=flood,
+    )
+    emit_json_report(output, payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

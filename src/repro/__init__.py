@@ -39,11 +39,13 @@ from .evaluation import (
 from .engine import QueryEngine, QueryPlan
 from .parallel import ParallelYannakakisEvaluator, ShardedRelation, WorkerPool
 from .service import QueryService, ServiceStats
+from .protocol import AsyncQueryClient, QueryClient, QueryServer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ArityError",
+    "AsyncQueryClient",
     "Atom",
     "Comparison",
     "ConjunctiveQuery",
@@ -60,9 +62,11 @@ __all__ = [
     "ParallelYannakakisEvaluator",
     "PositiveEvaluator",
     "PositiveQuery",
+    "QueryClient",
     "QueryEngine",
     "QueryError",
     "QueryPlan",
+    "QueryServer",
     "QueryService",
     "ServiceStats",
     "ReductionError",

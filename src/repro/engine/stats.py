@@ -21,12 +21,61 @@ the number of recorded executions at the moment it was taken.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Deque, Hashable, Iterable, Optional, Tuple
 
 from .cache import CacheStats
 from .plan import QueryPlan
+
+
+def quantile(samples: Iterable[float], q: float) -> float:
+    """The *q*-quantile of *samples* by linear interpolation (0 if empty).
+
+    Shared by the ledger's per-shape tail latencies and the service
+    front-end's per-client rollup — one definition, so a p95 printed by
+    ``stats()`` means the same thing at every layer.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    q = min(1.0, max(0.0, q))
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class LatencyReservoir:
+    """A bounded, locked ring of recent latency samples.
+
+    Keeps the last *capacity* observations (old ones fall off), so the
+    quantiles it reports track the *current* behavior of a shape or a
+    client rather than averaging over the process lifetime.  Mutations and
+    snapshots are locked — recorders run on worker threads while
+    ``stats()`` snapshots from wherever the caller lives.
+    """
+
+    __slots__ = ("_samples", "_lock")
+
+    def __init__(self, capacity: int = 128) -> None:
+        self._samples: Deque[float] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+
+    def add(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+
+    def quantile(self, q: float) -> float:
+        with self._lock:
+            return quantile(self._samples, q)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
 
 
 @dataclass(frozen=True)
@@ -43,6 +92,7 @@ class ShapeStats:
     estimated_rows: float
     last_rows: Optional[int]
     replans: int = 0
+    p95_seconds: float = 0.0
 
     @property
     def mean_seconds(self) -> float:
@@ -87,6 +137,7 @@ class EngineStats:
                 f"  {shape.shape}: n={shape.executions} "
                 f"total={shape.total_seconds * 1e3:.2f}ms "
                 f"mean={shape.mean_seconds * 1e3:.3f}ms "
+                f"p95={shape.p95_seconds * 1e3:.3f}ms "
                 f"last|Q(d)|={actual} est≈{shape.estimated_rows:.3g}{replans}"
             )
         return "\n".join(lines)
@@ -129,6 +180,7 @@ class ShapeLedger:
             entry.executions += 1
             entry.total_seconds += seconds
             entry.last_seconds = seconds
+            entry.latencies.append(seconds)
             if rows is not None:
                 entry.last_rows = rows
 
@@ -154,6 +206,7 @@ class ShapeLedger:
                         estimated_rows=plan.estimated_rows,
                         last_rows=entry.last_rows,
                         replans=entry.replans,
+                        p95_seconds=quantile(entry.latencies, 0.95),
                     )
                 )
             return tuple(out)
@@ -171,6 +224,7 @@ class _ShapeRecord:
         "last_seconds",
         "last_rows",
         "replans",
+        "latencies",
     )
 
     def __init__(self, plan: QueryPlan) -> None:
@@ -180,6 +234,9 @@ class _ShapeRecord:
         self.last_seconds = 0.0
         self.last_rows: Optional[int] = None
         self.replans = 0
+        # Bounded ring under the ledger's own lock — a plain deque, not a
+        # LatencyReservoir, so one lock acquisition covers the whole record.
+        self.latencies: Deque[float] = deque(maxlen=64)
 
     def label(self) -> str:
         plan = self.plan

@@ -53,11 +53,50 @@ class InconsistentConstraintsError(ReproError):
 
 
 class ParseError(ReproError):
-    """The textual query parser rejected its input."""
+    """The textual query parser rejected its input.
+
+    Carries the character ``position`` of the offending token (``-1`` when
+    unknown) and, once the parser has annotated it, the 1-based ``line``
+    and ``column`` — the coordinates the wire codec surfaces to remote
+    clients.
+    """
 
     def __init__(self, message: str, position: int = -1) -> None:
         super().__init__(message)
         self.position = position
+        self.line: int = -1
+        self.column: int = -1
+
+
+class RequestRejectedError(ReproError):
+    """A service request was rejected before execution.
+
+    The typed error result the service facade and the wire protocol share:
+    instead of a raw traceback, callers get a stable machine-readable
+    ``code`` (``"parse_error"``, ``"bad_request"``, ...) plus a structured
+    ``detail`` mapping (e.g. the parse position).  The protocol codec
+    serializes these fields verbatim into an error response.
+    """
+
+    code = "rejected"
+
+    def __init__(self, message: str, code: str | None = None, **detail: object) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.detail = dict(detail)
+
+
+class ServiceOverloadedError(RequestRejectedError):
+    """Admission backpressure: a client exceeded its pending-request budget.
+
+    Raised by :class:`~repro.service.QueryService` when a per-client
+    pending bound is configured and one client floods past it; the wire
+    protocol maps it to a structured ``backpressure`` error response
+    instead of dropping the connection.
+    """
+
+    code = "backpressure"
 
 
 class ReductionError(ReproError):

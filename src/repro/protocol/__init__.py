@@ -1,0 +1,57 @@
+"""Networked query protocol: the service front-end goes cross-process.
+
+A line-delimited JSON wire protocol (:mod:`.messages` / :mod:`.codec`),
+an asyncio TCP server fronting one shared
+:class:`~repro.service.QueryService` (:mod:`.server`), and sync + async
+clients (:mod:`.client`).  Every evaluation mode of the paper's workloads
+— evaluation, decision, and batches of either — is first-class on the
+wire, failures come back as a structured error taxonomy, and per-client
+fairness on the service's admission queue keeps one flooding connection
+from starving the rest.  See ``docs/protocol.md``.
+"""
+
+from .client import AsyncQueryClient, QueryClient
+from .codec import (
+    MAX_LINE_BYTES,
+    decode,
+    encode,
+    error_info,
+    error_response,
+    request_id_of,
+)
+from .messages import (
+    OPS,
+    PROTOCOL_VERSION,
+    ErrorInfo,
+    ProtocolError,
+    RemoteQueryError,
+    Request,
+    Response,
+    decode_relation,
+    encode_relation,
+    query_text,
+)
+from .server import QueryServer, stats_payload
+
+__all__ = [
+    "AsyncQueryClient",
+    "ErrorInfo",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryClient",
+    "QueryServer",
+    "RemoteQueryError",
+    "Request",
+    "Response",
+    "decode",
+    "decode_relation",
+    "encode",
+    "encode_relation",
+    "error_info",
+    "error_response",
+    "query_text",
+    "request_id_of",
+    "stats_payload",
+]

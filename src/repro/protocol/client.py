@@ -1,0 +1,315 @@
+"""Query clients: an asyncio pipelining client and a blocking socket one.
+
+Two flavors, one wire dialect:
+
+:class:`AsyncQueryClient`
+    For asyncio callers (the benchmark harness, the fairness tests).  A
+    background reader task correlates responses to requests by id, so a
+    caller may have **many requests in flight on one connection** — which
+    is exactly how a flooding client exercises the server's fairness
+    lanes and per-client backpressure.
+
+:class:`QueryClient`
+    A small blocking client over a plain socket, for threads and scripts
+    (the cross-process stress drives 16 of these from worker threads).
+    One outstanding request at a time; out-of-order responses (possible
+    when an earlier error response overtakes) are buffered by id.
+
+Both raise :class:`~.messages.RemoteQueryError` carrying the server's
+structured code/message/detail when a request fails, and both accept
+queries as rule-notation text or as ``ConjunctiveQuery`` objects (whose
+``repr`` *is* the text form).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from itertools import count
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..relational.relation import Relation
+from .codec import MAX_LINE_BYTES, decode, encode
+from .messages import (
+    DECIDE,
+    DECIDE_BATCH,
+    EXECUTE,
+    EXECUTE_BATCH,
+    EXPLAIN,
+    PING,
+    ProtocolError,
+    RemoteQueryError,
+    Request,
+    Response,
+    STATS,
+    decode_relation,
+    query_text,
+)
+
+
+def _raise_for(response: Response) -> Response:
+    if response.error is not None:
+        raise RemoteQueryError(
+            code=response.error.code,
+            message=response.error.message,
+            detail=response.error.detail,
+            request_id=response.id,
+        )
+    return response
+
+
+class AsyncQueryClient:
+    """Pipelined asyncio client: many requests in flight per connection."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = count(1)
+        self._pending: Dict[int, "asyncio.Future[Response]"] = {}
+        self._closed = False
+        self._broken: Optional[BaseException] = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncQueryClient":
+        # The protocol allows frames up to MAX_LINE_BYTES; asyncio's
+        # default 64 KiB reader limit would kill the connection on the
+        # first large result relation.
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ConnectionError("server closed the connection")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = decode(line)
+                if not isinstance(message, Response):
+                    raise ProtocolError("server sent a request frame")
+                if message.id is None:
+                    # Connection-level error: no request to attribute it
+                    # to — it is fatal to the connection, so it raises
+                    # here and the finally block delivers it to every
+                    # outstanding caller and marks the client broken.
+                    _raise_for(message)
+                future = self._pending.pop(message.id, None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — delivered to callers
+            error = exc
+        finally:
+            # Once the reader is gone, nothing can ever resolve a pending
+            # future — fail the outstanding ones and refuse new requests
+            # (a silent forever-hang is the one unacceptable outcome).
+            self._broken = error
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def _request(self, op: str, **fields: Any) -> Response:
+        if self._closed:
+            raise RuntimeError("AsyncQueryClient is closed")
+        if self._broken is not None:
+            raise ConnectionError(
+                f"connection is broken: {self._broken}"
+            ) from self._broken
+        request = Request(op=op, id=next(self._ids), **fields)
+        future: "asyncio.Future[Response]" = asyncio.get_running_loop().create_future()
+        self._pending[request.id] = future
+        self._writer.write(encode(request))
+        await self._writer.drain()
+        return _raise_for(await future)
+
+    # ------------------------------------------------------------------
+    # The facade, over the wire
+    # ------------------------------------------------------------------
+
+    async def execute(self, query: Any, database: str) -> Relation:
+        response = await self._request(
+            EXECUTE, query=query_text(query), database=database
+        )
+        return decode_relation(response.result)
+
+    async def decide(self, query: Any, database: str) -> bool:
+        response = await self._request(
+            DECIDE, query=query_text(query), database=database
+        )
+        return bool(response.result)
+
+    async def explain(self, query: Any, database: str) -> str:
+        response = await self._request(
+            EXPLAIN, query=query_text(query), database=database
+        )
+        return str(response.result)
+
+    async def execute_batch(
+        self, queries: Sequence[Any], database: str
+    ) -> List[Relation]:
+        response = await self._request(
+            EXECUTE_BATCH,
+            queries=tuple(query_text(query) for query in queries),
+            database=database,
+        )
+        return [decode_relation(payload) for payload in response.result]
+
+    async def decide_batch(
+        self, queries: Sequence[Any], database: str
+    ) -> List[bool]:
+        response = await self._request(
+            DECIDE_BATCH,
+            queries=tuple(query_text(query) for query in queries),
+            database=database,
+        )
+        return [bool(decision) for decision in response.result]
+
+    async def stats(self) -> Dict[str, Any]:
+        response = await self._request(STATS)
+        return dict(response.result)
+
+    async def ping(self) -> bool:
+        await self._request(PING)
+        return True
+
+    # ------------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncQueryClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+
+class QueryClient:
+    """Blocking client over a plain socket (threads, scripts, REPLs).
+
+    A socket timeout (default 30 s) or any transport/framing failure is
+    **fatal to the connection**: a timeout can fire mid-frame with bytes
+    already consumed, after which the line framing cannot resynchronize —
+    so the client marks itself broken and every later request raises
+    instead of decoding garbage.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = count(1)
+        self._stash: Dict[int, Response] = {}
+        self._closed = False
+        self._broken: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+
+    def _request(self, op: str, **fields: Any) -> Response:
+        if self._closed:
+            raise RuntimeError("QueryClient is closed")
+        if self._broken is not None:
+            raise ConnectionError(
+                f"connection is broken: {self._broken}"
+            ) from self._broken
+        request = Request(op=op, id=next(self._ids), **fields)
+        try:
+            self._file.write(encode(request))
+            self._file.flush()
+            stashed = self._stash.pop(request.id, None)
+            if stashed is not None:
+                return _raise_for(stashed)
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                message = decode(line)
+                if not isinstance(message, Response):
+                    raise ProtocolError("server sent a request frame")
+                if message.id == request.id or message.id is None:
+                    return _raise_for(message)
+                self._stash[message.id] = message
+        except (OSError, ProtocolError) as exc:
+            # Timeouts (socket.timeout is OSError) and framing failures
+            # leave the stream position undefined — poison the client.
+            self._broken = exc
+            raise
+
+    # ------------------------------------------------------------------
+
+    def execute(self, query: Any, database: str) -> Relation:
+        response = self._request(EXECUTE, query=query_text(query), database=database)
+        return decode_relation(response.result)
+
+    def decide(self, query: Any, database: str) -> bool:
+        response = self._request(DECIDE, query=query_text(query), database=database)
+        return bool(response.result)
+
+    def explain(self, query: Any, database: str) -> str:
+        response = self._request(EXPLAIN, query=query_text(query), database=database)
+        return str(response.result)
+
+    def execute_batch(self, queries: Sequence[Any], database: str) -> List[Relation]:
+        response = self._request(
+            EXECUTE_BATCH,
+            queries=tuple(query_text(query) for query in queries),
+            database=database,
+        )
+        return [decode_relation(payload) for payload in response.result]
+
+    def decide_batch(self, queries: Sequence[Any], database: str) -> List[bool]:
+        response = self._request(
+            DECIDE_BATCH,
+            queries=tuple(query_text(query) for query in queries),
+            database=database,
+        )
+        return [bool(decision) for decision in response.result]
+
+    def stats(self) -> Dict[str, Any]:
+        return dict(self._request(STATS).result)
+
+    def ping(self) -> bool:
+        self._request(PING)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = ["AsyncQueryClient", "QueryClient"]

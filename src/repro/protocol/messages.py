@@ -1,0 +1,367 @@
+"""Wire message types: versioned requests, responses, and error payloads.
+
+The protocol keeps the service facade's *three evaluation modes* —
+evaluation (``execute``), decision (``decide``), and batch
+(``execute_batch`` / ``decide_batch``) — first-class on the wire, plus
+``explain`` and ``stats`` for observability and ``ping`` for liveness.
+Every message is one JSON object on one line (see :mod:`.codec` for the
+framing) carrying the protocol version ``v``; a server rejects versions it
+does not speak with a structured ``unsupported_version`` error instead of
+guessing.
+
+Messages are plain frozen dataclasses with a *canonical* wire form:
+``to_wire`` emits only the fields the message actually uses, and
+``from_wire`` validates shape and types strictly — the round-trip
+``decode(encode(m)) == m`` is byte-exact (the codec property suite pins
+this with Hypothesis, including unicode constants, empty relations, and
+oversized batches).
+
+Queries travel as rule-notation *text* (``"G(x) :- E(x, y)."``) — the
+format :func:`repro.query.parser.parse_query` reads and
+``ConjunctiveQuery.__repr__`` emits, so objects round-trip through the
+wire without a second serialization scheme.  Relations travel as
+``{"attributes": [...], "rows": [[...], ...]}`` with rows sorted
+deterministically, so two byte-equal relation payloads mean equal
+relations and vice versa — the cross-process stress suite byte-compares
+server responses against in-process evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ReproError, RequestRejectedError
+from ..relational.relation import Relation
+
+#: The one protocol version this build speaks.
+PROTOCOL_VERSION = 1
+
+# Request operations (the service facade, on the wire).
+EXECUTE = "execute"
+DECIDE = "decide"
+EXECUTE_BATCH = "execute_batch"
+DECIDE_BATCH = "decide_batch"
+EXPLAIN = "explain"
+STATS = "stats"
+PING = "ping"
+
+OPS = (EXECUTE, DECIDE, EXECUTE_BATCH, DECIDE_BATCH, EXPLAIN, STATS, PING)
+
+#: Ops that carry one query and a database name.
+QUERY_OPS = (EXECUTE, DECIDE, EXPLAIN)
+
+#: Ops that carry a list of queries and a database name.
+BATCH_OPS = (EXECUTE_BATCH, DECIDE_BATCH)
+
+# Response result kinds.
+RELATION = "relation"
+BOOLEAN = "boolean"
+RELATIONS = "relations"
+BOOLEANS = "booleans"
+TEXT = "text"
+STATS_RESULT = "stats"
+PONG = "pong"
+ERROR = "error"
+
+RESULT_KINDS = (RELATION, BOOLEAN, RELATIONS, BOOLEANS, TEXT, STATS_RESULT, PONG)
+
+#: JSON scalar types a relation value may carry on the wire.
+_WIRE_SCALARS = (str, int, float, bool, type(None))
+
+
+class ProtocolError(RequestRejectedError):
+    """A wire message violated the protocol (framing, version, shape).
+
+    Shares the typed-rejection contract of
+    :class:`~repro.errors.RequestRejectedError`: a stable ``code`` plus a
+    JSON-able ``detail`` mapping, which the codec serializes verbatim.
+    """
+
+    code = "bad_request"
+
+
+class RemoteQueryError(ReproError):
+    """A server answered a client request with a structured error.
+
+    The client-side mirror of an error response: ``code`` / ``message`` /
+    ``detail`` exactly as the server sent them, so remote failures are as
+    inspectable as local :class:`~repro.errors.RequestRejectedError`\\ s.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        detail: Optional[Mapping[str, Any]] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.remote_message = message
+        self.detail = dict(detail or {})
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """The structured error payload of a failed response."""
+
+    code: str
+    message: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "ErrorInfo":
+        if not isinstance(payload, dict):
+            raise ProtocolError("error payload must be an object")
+        code = payload.get("code")
+        message = payload.get("message")
+        if not isinstance(code, str) or not isinstance(message, str):
+            raise ProtocolError("error payload needs string 'code' and 'message'")
+        detail = payload.get("detail", {})
+        if not isinstance(detail, dict):
+            raise ProtocolError("error detail must be an object")
+        return cls(code=code, message=message, detail=detail)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: an operation plus its operands.
+
+    ``id`` correlates the response on a pipelined connection — the server
+    answers requests as they complete, not in arrival order.
+    """
+
+    op: str
+    id: int
+    query: Optional[str] = None
+    queries: Optional[Tuple[str, ...]] = None
+    database: Optional[str] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        self.validate()
+        payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "op": self.op, "id": self.id}
+        if self.query is not None:
+            payload["query"] = self.query
+        if self.queries is not None:
+            payload["queries"] = list(self.queries)
+        if self.database is not None:
+            payload["database"] = self.database
+        return payload
+
+    def validate(self) -> None:
+        """Reject structurally invalid requests with a typed error."""
+        if self.op not in OPS:
+            raise ProtocolError(
+                f"unknown op {self.op!r}", code="bad_request", op=str(self.op)
+            )
+        if not isinstance(self.id, int) or isinstance(self.id, bool) or self.id < 0:
+            raise ProtocolError("request id must be a non-negative integer")
+        if self.op in QUERY_OPS:
+            if not isinstance(self.query, str):
+                raise ProtocolError(f"{self.op} needs a 'query' string", op=self.op)
+            if not isinstance(self.database, str):
+                raise ProtocolError(f"{self.op} needs a 'database' name", op=self.op)
+            if self.queries is not None:
+                raise ProtocolError(f"{self.op} takes 'query', not 'queries'")
+        elif self.op in BATCH_OPS:
+            if self.queries is None or not all(
+                isinstance(query, str) for query in self.queries
+            ):
+                raise ProtocolError(
+                    f"{self.op} needs a 'queries' list of strings", op=self.op
+                )
+            if not isinstance(self.database, str):
+                raise ProtocolError(f"{self.op} needs a 'database' name", op=self.op)
+            if self.query is not None:
+                raise ProtocolError(f"{self.op} takes 'queries', not 'query'")
+        else:  # stats / ping carry no operands
+            if (
+                self.query is not None
+                or self.queries is not None
+                or self.database is not None
+            ):
+                raise ProtocolError(f"{self.op} takes no operands", op=self.op)
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "Request":
+        unknown = set(payload) - {"v", "op", "id", "query", "queries", "database"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown request field(s): {sorted(unknown)}",
+                fields=sorted(map(str, unknown)),
+            )
+        queries = payload.get("queries")
+        if queries is not None:
+            if not isinstance(queries, list):
+                raise ProtocolError("'queries' must be a list")
+            queries = tuple(queries)
+        request = cls(
+            op=payload.get("op"),
+            id=payload.get("id"),
+            query=payload.get("query"),
+            queries=queries,
+            database=payload.get("database"),
+        )
+        request.validate()
+        return request
+
+
+@dataclass(frozen=True)
+class Response:
+    """One server response: a result of a declared kind, or an error.
+
+    ``id`` echoes the request; connection-level failures that cannot be
+    attributed to a request (an unparseable line) carry ``id=None``.
+    """
+
+    id: Optional[int]
+    kind: str
+    result: Any = None
+    error: Optional[ErrorInfo] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_wire(self) -> Dict[str, Any]:
+        self.validate()
+        payload: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "id": self.id,
+            "ok": self.ok,
+            "kind": self.kind,
+        }
+        if self.error is not None:
+            payload["error"] = self.error.to_wire()
+        else:
+            payload["result"] = self.result
+        return payload
+
+    def validate(self) -> None:
+        if self.error is not None:
+            if self.kind != ERROR:
+                raise ProtocolError("error responses must use kind 'error'")
+        elif self.kind not in RESULT_KINDS:
+            raise ProtocolError(f"unknown response kind {self.kind!r}")
+        if self.id is not None and (
+            not isinstance(self.id, int) or isinstance(self.id, bool) or self.id < 0
+        ):
+            raise ProtocolError("response id must be a non-negative integer or null")
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "Response":
+        unknown = set(payload) - {"v", "id", "ok", "kind", "result", "error"}
+        if unknown:
+            raise ProtocolError(
+                f"unknown response field(s): {sorted(unknown)}",
+                fields=sorted(map(str, unknown)),
+            )
+        ok = payload.get("ok")
+        if not isinstance(ok, bool):
+            raise ProtocolError("response needs a boolean 'ok'")
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            raise ProtocolError("response needs a string 'kind'")
+        if ok:
+            if "error" in payload:
+                raise ProtocolError("ok responses carry no 'error'")
+            response = cls(
+                id=payload.get("id"), kind=kind, result=payload.get("result")
+            )
+        else:
+            if "result" in payload:
+                raise ProtocolError("error responses carry no 'result'")
+            response = cls(
+                id=payload.get("id"),
+                kind=kind,
+                error=ErrorInfo.from_wire(payload.get("error")),
+            )
+        response.validate()
+        return response
+
+
+# ----------------------------------------------------------------------
+# Relation payloads
+# ----------------------------------------------------------------------
+
+
+def encode_relation(relation: Relation) -> Dict[str, Any]:
+    """A deterministic JSON payload for *relation*.
+
+    Rows are sorted by ``repr`` (the same order the CSV/JSON io uses), so
+    equal relations encode to byte-equal payloads — the property the
+    cross-process byte-comparison stress relies on.
+    """
+    for row in relation.rows:
+        for value in row:
+            if not isinstance(value, _WIRE_SCALARS):
+                raise ProtocolError(
+                    f"relation value {value!r} is not JSON-representable",
+                    code="unrepresentable",
+                )
+    return {
+        "attributes": list(relation.attributes),
+        "rows": [list(row) for row in sorted(relation.rows, key=repr)],
+    }
+
+
+def decode_relation(payload: Any) -> Relation:
+    """Inverse of :func:`encode_relation`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("relation payload must be an object")
+    attributes = payload.get("attributes")
+    rows = payload.get("rows")
+    if not isinstance(attributes, list) or not isinstance(rows, list):
+        raise ProtocolError("relation payload needs 'attributes' and 'rows' lists")
+    return Relation(tuple(attributes), (tuple(row) for row in rows))
+
+
+def query_text(query: Any) -> str:
+    """The wire form of a query: rule-notation text.
+
+    Accepts text verbatim, or anything whose ``repr`` is rule notation
+    (``ConjunctiveQuery`` prints exactly the grammar the parser reads).
+    """
+    if isinstance(query, str):
+        return query
+    return repr(query)
+
+
+__all__ = [
+    "BATCH_OPS",
+    "BOOLEAN",
+    "BOOLEANS",
+    "DECIDE",
+    "DECIDE_BATCH",
+    "ERROR",
+    "EXECUTE",
+    "EXECUTE_BATCH",
+    "EXPLAIN",
+    "ErrorInfo",
+    "OPS",
+    "PING",
+    "PONG",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QUERY_OPS",
+    "RELATION",
+    "RELATIONS",
+    "RESULT_KINDS",
+    "RemoteQueryError",
+    "Request",
+    "Response",
+    "STATS",
+    "STATS_RESULT",
+    "TEXT",
+    "decode_relation",
+    "encode_relation",
+    "query_text",
+]

@@ -1,0 +1,485 @@
+"""``QueryServer``: an asyncio TCP front-end over one shared service.
+
+One listening socket, one :class:`~repro.service.QueryService`, one shared
+:class:`~repro.engine.QueryEngine` — every connection's requests flow
+through the same plan cache, single-flight map, and micro-batch
+collectors, which is the entire point: the concurrency machinery PR 4
+built in-process now serves *cross-process* traffic.
+
+Per-connection mechanics:
+
+* each connection gets a **client tag** (``conn-N``) that follows its
+  requests into the service's fairness lanes — the round-robin drain of
+  :class:`~repro.service.fairness.FairQueue` is what keeps one flooding
+  connection from starving the rest;
+* requests on one connection are handled **concurrently** (pipelining):
+  the reader loop spawns a task per request and responses are written as
+  they complete, correlated by request id;
+* failures become **structured error responses** (:mod:`.codec`'s
+  taxonomy) on the same connection — a parse error, an unknown database,
+  or a backpressure rejection never costs the client its connection;
+* shutdown **drains**: the listener closes first, in-flight requests
+  finish and their responses flush, late requests get ``shutting_down``
+  errors, and only then do connections and the owned service close.
+
+The module doubles as the server executable::
+
+    PYTHONPATH=src python -m repro.protocol.server \\
+        --database movies=movies.json --port 0
+
+which prints ``QUERYSERVER READY host=... port=...`` once the socket is
+bound (the cross-process test harness reads that line) and drains
+gracefully on SIGTERM/SIGINT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from itertools import count
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.io import load_database_json
+from ..service.service import QueryService
+from ..service.stats import ServiceStats
+from .codec import MAX_LINE_BYTES, decode, encode, error_response, request_id_of
+from .messages import (
+    BOOLEAN,
+    BOOLEANS,
+    DECIDE,
+    DECIDE_BATCH,
+    EXECUTE,
+    EXECUTE_BATCH,
+    EXPLAIN,
+    PING,
+    PONG,
+    ProtocolError,
+    RELATION,
+    RELATIONS,
+    Request,
+    Response,
+    STATS,
+    STATS_RESULT,
+    TEXT,
+    encode_relation,
+)
+
+
+class _Connection:
+    """Per-connection state: writer, write lock, in-flight request tasks."""
+
+    __slots__ = ("client", "writer", "tasks", "lock")
+
+    def __init__(self, client: str, writer: asyncio.StreamWriter) -> None:
+        self.client = client
+        self.writer = writer
+        self.tasks: "set[asyncio.Task[None]]" = set()
+        self.lock = asyncio.Lock()
+
+    async def send(self, response: Response) -> None:
+        """Write one response line atomically (pipelined tasks interleave)."""
+        data = encode(response)
+        async with self.lock:
+            if self.writer.is_closing():
+                return
+            self.writer.write(data)
+            try:
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # peer vanished mid-write; the reader loop will see EOF
+
+    async def settle(self) -> None:
+        """Wait for every in-flight request task (responses flushed)."""
+        while self.tasks:
+            await asyncio.gather(*list(self.tasks), return_exceptions=True)
+
+
+class QueryServer:
+    """A line-delimited JSON TCP server over named databases.
+
+    Parameters
+    ----------
+    databases:
+        Name → :class:`Database` the server exposes; requests address
+        databases by these names.
+    host, port:
+        Bind address.  ``port=0`` picks a free port (see :attr:`address`
+        after :meth:`start`).
+    service:
+        An externally owned service to front.  ``None`` constructs one
+        (forwarding ``service_kwargs``) that the server owns and closes.
+    """
+
+    def __init__(
+        self,
+        databases: Mapping[str, Database],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: Optional[QueryService] = None,
+        **service_kwargs: Any,
+    ) -> None:
+        if service is not None and service_kwargs:
+            raise ValueError(
+                "pass service_kwargs only when the server constructs the "
+                f"service; got both a service and {sorted(service_kwargs)}"
+            )
+        self._databases = dict(databases)
+        self._host = host
+        self._port = port
+        self._service = (
+            service if service is not None else QueryService(**service_kwargs)
+        )
+        self._owns_service = service is None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Dict[str, _Connection] = {}
+        self._handler_tasks: "set[asyncio.Task[None]]" = set()
+        self._conn_ids = count(1)
+        self._draining = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (idempotent)."""
+        if self._server is not None:
+            return
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._port, limit=MAX_LINE_BYTES
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — call after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return (host, port)
+
+    @property
+    def service(self) -> QueryService:
+        """The service behind the socket (shared engine, fairness lanes)."""
+        return self._service
+
+    async def aclose(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, then close."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # In-flight requests complete and their responses flush before any
+        # connection is torn down.
+        for connection in list(self._connections.values()):
+            await connection.settle()
+        for connection in list(self._connections.values()):
+            connection.writer.close()
+        # Reader loops see the closed transports and unwind.
+        if self._handler_tasks:
+            await asyncio.gather(*list(self._handler_tasks), return_exceptions=True)
+        if self._owns_service:
+            await self._service.aclose()
+
+    async def __aenter__(self) -> "QueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        client = f"conn-{next(self._conn_ids)}"
+        connection = _Connection(client, writer)
+        self._connections[client] = connection
+        try:
+            await self._read_loop(reader, connection)
+            await connection.settle()
+        finally:
+            self._connections.pop(client, None)
+            connection.writer.close()
+            try:
+                await connection.writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_loop(
+        self, reader: asyncio.StreamReader, connection: _Connection
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                # An overlong frame cannot be resynchronized — answer
+                # structurally, then hang up.
+                await connection.send(
+                    error_response(
+                        None,
+                        ProtocolError(
+                            f"frame exceeds {MAX_LINE_BYTES} bytes",
+                            code="frame_too_large",
+                        ),
+                    )
+                )
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            if not line:
+                return  # EOF: client is done sending
+            if not line.strip():
+                continue  # blank keep-alive lines are free
+            try:
+                message = decode(line)
+                if not isinstance(message, Request):
+                    raise ProtocolError("expected a request, got a response frame")
+            except Exception as exc:  # noqa: BLE001 — answered structurally
+                await connection.send(error_response(request_id_of(line), exc))
+                continue
+            if self._draining:
+                await connection.send(
+                    error_response(
+                        message.id,
+                        ProtocolError("server is shutting down", code="shutting_down"),
+                    )
+                )
+                continue
+            task = asyncio.ensure_future(self._handle(message, connection))
+            connection.tasks.add(task)
+            task.add_done_callback(connection.tasks.discard)
+
+    async def _handle(self, request: Request, connection: _Connection) -> None:
+        try:
+            response = await self._dispatch(request, connection.client)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — answered structurally
+            response = error_response(request.id, exc)
+        try:
+            await connection.send(response)
+        except ProtocolError as exc:
+            # The *response* could not be encoded (a result relation past
+            # the frame bound).  The request still gets an answer — the
+            # error response is tiny and always encodes.
+            await connection.send(error_response(request.id, exc))
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def _database(self, request: Request) -> Database:
+        database = self._databases.get(request.database or "")
+        if database is None:
+            raise ProtocolError(
+                f"unknown database {request.database!r}; this server has "
+                f"{sorted(self._databases)}",
+                code="unknown_database",
+                database=str(request.database),
+            )
+        return database
+
+    async def _dispatch(self, request: Request, client: str) -> Response:
+        service = self._service
+        op = request.op
+        if op == PING:
+            return Response(id=request.id, kind=PONG, result=None)
+        if op == STATS:
+            stats = await service.stats()
+            return Response(
+                id=request.id, kind=STATS_RESULT, result=stats_payload(stats)
+            )
+        database = self._database(request)
+        if op == EXECUTE:
+            relation = await service.execute(request.query, database, client=client)
+            return Response(
+                id=request.id, kind=RELATION, result=encode_relation(relation)
+            )
+        if op == DECIDE:
+            decision = await service.decide(request.query, database, client=client)
+            return Response(id=request.id, kind=BOOLEAN, result=bool(decision))
+        if op == EXPLAIN:
+            rendering = await service.explain(request.query, database, client=client)
+            return Response(id=request.id, kind=TEXT, result=rendering)
+        if op == EXECUTE_BATCH:
+            relations = await service.execute_batch(
+                list(request.queries or ()), database, client=client
+            )
+            return Response(
+                id=request.id,
+                kind=RELATIONS,
+                result=[encode_relation(relation) for relation in relations],
+            )
+        if op == DECIDE_BATCH:
+            decisions = await service.decide_batch(
+                list(request.queries or ()), database, client=client
+            )
+            return Response(
+                id=request.id,
+                kind=BOOLEANS,
+                result=[bool(decision) for decision in decisions],
+            )
+        raise ProtocolError(f"unknown op {op!r}")  # unreachable past validate()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("bound" if self._server else "idle")
+        return (
+            f"QueryServer({state}, databases={sorted(self._databases)}, "
+            f"connections={len(self._connections)})"
+        )
+
+
+def stats_payload(stats: ServiceStats) -> Dict[str, Any]:
+    """A JSON-able rendering of :class:`ServiceStats` for the wire."""
+    counters = stats.service
+    cache = stats.engine.cache
+    return {
+        "service": {
+            "submitted": counters.submitted,
+            "coalesced": counters.coalesced,
+            "batched": counters.batched,
+            "groups": counters.groups,
+            "completed": counters.completed,
+            "failed": counters.failed,
+            "rejected": counters.rejected,
+            "max_queue_depth": counters.max_queue_depth,
+            "max_group": counters.max_group,
+        },
+        "clients": [
+            {
+                "client": client.client,
+                "submitted": client.submitted,
+                "coalesced": client.coalesced,
+                "batched": client.batched,
+                "completed": client.completed,
+                "failed": client.failed,
+                "rejected": client.rejected,
+                "p50_seconds": client.p50_seconds,
+                "p95_seconds": client.p95_seconds,
+            }
+            for client in stats.clients
+        ],
+        "engine": {
+            "executions": stats.engine.executions,
+            "total_seconds": stats.engine.total_seconds,
+            "replans": stats.engine.replans,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "size": cache.size,
+                "capacity": cache.capacity,
+            },
+            "shapes": [
+                {
+                    "shape": shape.shape,
+                    "evaluator": shape.evaluator,
+                    "structural_class": shape.structural_class,
+                    "executions": shape.executions,
+                    "total_seconds": shape.total_seconds,
+                    "mean_seconds": shape.mean_seconds,
+                    "p95_seconds": shape.p95_seconds,
+                    "replans": shape.replans,
+                }
+                for shape in stats.engine.shapes
+            ],
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Executable entry point (the subprocess the cross-process tests spawn)
+# ----------------------------------------------------------------------
+
+
+def _parse_database_arg(value: str) -> Tuple[str, str]:
+    name, separator, path = value.partition("=")
+    if not separator or not name or not path:
+        raise argparse.ArgumentTypeError(f"expected NAME=PATH.json, got {value!r}")
+    return (name, path)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 binds a free port (printed on READY)"
+    )
+    parser.add_argument(
+        "--database",
+        action="append",
+        type=_parse_database_arg,
+        required=True,
+        metavar="NAME=PATH.json",
+        help="expose the database at PATH.json under NAME (repeatable)",
+    )
+    parser.add_argument("--batch-window", type=float, default=None)
+    parser.add_argument("--batch-limit", type=int, default=None)
+    parser.add_argument("--max-pending", type=int, default=None)
+    parser.add_argument("--dispatchers", type=int, default=None)
+    parser.add_argument(
+        "--per-client-pending",
+        type=int,
+        default=None,
+        help="admitted-but-unfinished budget per connection (reject beyond)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service_kwargs: Dict[str, Any] = {}
+    if args.batch_window is not None:
+        service_kwargs["batch_window"] = args.batch_window
+    if args.batch_limit is not None:
+        service_kwargs["batch_limit"] = args.batch_limit
+    if args.max_pending is not None:
+        service_kwargs["max_pending"] = args.max_pending
+    if args.dispatchers is not None:
+        service_kwargs["dispatchers"] = args.dispatchers
+    if args.per_client_pending is not None:
+        service_kwargs["max_pending_per_client"] = args.per_client_pending
+    databases = {name: load_database_json(path) for name, path in args.database}
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    async with QueryServer(
+        databases, host=args.host, port=args.port, **service_kwargs
+    ) as server:
+        host, port = server.address
+        print(f"QUERYSERVER READY host={host} port={port}", flush=True)
+        await stop.wait()
+        print("QUERYSERVER DRAINING", flush=True)
+    print("QUERYSERVER CLOSED", flush=True)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(list(argv) if argv is not None else None)
+    return asyncio.run(_serve(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())
+
+
+__all__ = ["QueryServer", "build_arg_parser", "main", "stats_payload"]

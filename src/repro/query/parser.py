@@ -61,6 +61,30 @@ class _Token(NamedTuple):
     position: int
 
 
+def locate(text: str, position: int) -> Tuple[int, int]:
+    """1-based (line, column) of a character *position* in *text*.
+
+    ``(-1, -1)`` when the position is unknown (negative or past the end) —
+    the sentinel the wire codec forwards untouched.
+    """
+    if position < 0 or position > len(text):
+        return (-1, -1)
+    line = text.count("\n", 0, position) + 1
+    column = position - text.rfind("\n", 0, position)
+    return (line, column)
+
+
+def _annotate(error: ParseError, text: str) -> ParseError:
+    """Attach line/column coordinates to a :class:`ParseError` in place.
+
+    The parser reports character offsets; remote clients of the query
+    protocol see only the error payload, so the coordinates they need to
+    point at the offending token travel on the exception itself.
+    """
+    error.line, error.column = locate(text, error.position)
+    return error
+
+
 def _tokenize(text: str) -> List[_Token]:
     tokens: List[_Token] = []
     pos = 0
@@ -173,14 +197,23 @@ def parse_query(text: str) -> ConjunctiveQuery:
     stripped = text.strip()
     if not stripped.endswith("."):
         stripped += "."
-    parser = _Parser(stripped)
-    head, literals = parser.rule()
-    if not parser.at_end():
-        token = parser._peek()
-        raise ParseError(
-            f"trailing input after query: {token.text!r}",
-            token.position if token else -1,
-        )
+    # The parser sees the stripped text; error coordinates must point into
+    # the text the *caller* sent (remote clients highlight their own
+    # input), so positions shift back by the leading whitespace.
+    offset = len(text) - len(text.lstrip())
+    try:
+        parser = _Parser(stripped)
+        head, literals = parser.rule()
+        if not parser.at_end():
+            token = parser._peek()
+            raise ParseError(
+                f"trailing input after query: {token.text!r}",
+                token.position if token else -1,
+            )
+    except ParseError as error:
+        if error.position >= 0:
+            error.position += offset
+        raise _annotate(error, text) from None
     atoms = [lit for lit in literals if isinstance(lit, Atom)]
     inequalities = [lit for lit in literals if isinstance(lit, Inequality)]
     comparisons = [lit for lit in literals if isinstance(lit, Comparison)]
@@ -196,14 +229,19 @@ def parse_program(text: str, goal: Optional[str] = None) -> DatalogProgram:
     raise :class:`ParseError`.  The goal defaults to the head relation of
     the first rule.
     """
-    parser = _Parser(text)
-    rules: List[Rule] = []
-    while not parser.at_end():
-        head, literals = parser.rule()
-        for lit in literals:
-            if not isinstance(lit, Atom):
-                raise ParseError(f"Datalog rules admit only relational atoms: {lit!r}")
-        rules.append(Rule(head, tuple(literals)))
-    if not rules:
-        raise ParseError("no rules found")
+    try:
+        parser = _Parser(text)
+        rules: List[Rule] = []
+        while not parser.at_end():
+            head, literals = parser.rule()
+            for lit in literals:
+                if not isinstance(lit, Atom):
+                    raise ParseError(
+                        f"Datalog rules admit only relational atoms: {lit!r}"
+                    )
+            rules.append(Rule(head, tuple(literals)))
+        if not rules:
+            raise ParseError("no rules found")
+    except ParseError as error:
+        raise _annotate(error, text) from None
     return DatalogProgram(rules, goal=goal or rules[0].head.relation)

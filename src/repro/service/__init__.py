@@ -8,18 +8,24 @@ in-flight queries, and micro-batching of same-shape requests into the
 engine's N-wide batch lifting.  See ``docs/service.md``.
 """
 
+from .fairness import ANONYMOUS, FairQueue
 from .service import (
     DEFAULT_BATCH_LIMIT,
     DEFAULT_BATCH_WINDOW,
     DEFAULT_MAX_PENDING,
+    MAX_TRACKED_CLIENTS,
     QueryService,
 )
-from .stats import ServiceCounters, ServiceStats
+from .stats import ClientStats, ServiceCounters, ServiceStats
 
 __all__ = [
+    "ANONYMOUS",
+    "ClientStats",
     "DEFAULT_BATCH_LIMIT",
     "DEFAULT_BATCH_WINDOW",
     "DEFAULT_MAX_PENDING",
+    "FairQueue",
+    "MAX_TRACKED_CLIENTS",
     "QueryService",
     "ServiceCounters",
     "ServiceStats",

@@ -21,7 +21,20 @@ shard partitions), but only for callers who share one engine.
   ``batch_window`` seconds collect into one group and run through the
   engine's N-wide batch lifting (``execute_batch`` /
   ``decide_batch``), turning a flood of single queries into a handful of
-  lifted executions.
+  lifted executions;
+* **per-client fairness** — requests tagged with a ``client`` (the
+  network front-end of :mod:`repro.protocol` tags every connection) land
+  in per-client lanes of a :class:`~repro.service.fairness.FairQueue`
+  drained round-robin, so one flooding client cannot starve the rest;
+  with ``max_pending_per_client`` set, a client that floods past its
+  admitted-but-unfinished budget is *rejected* with a typed
+  :class:`~repro.errors.ServiceOverloadedError` instead of wedging the
+  queue;
+* **typed rejections** — facade methods accept query *text* as well as
+  :class:`~repro.query.conjunctive.ConjunctiveQuery` objects; malformed
+  text is mapped to :class:`~repro.errors.RequestRejectedError` (code
+  ``parse_error``, with the parser's position/line/column in
+  ``detail``) instead of leaking a raw parser traceback.
 
 Blocking engine calls run on a service-owned dispatch
 :class:`~repro.parallel.pool.WorkerPool`, deliberately separate from the
@@ -41,15 +54,22 @@ see ``docs/service.md``).
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..engine.analysis import plan_cache_key
 from ..engine.engine import QueryEngine
+from ..errors import ParseError, RequestRejectedError, ServiceOverloadedError
 from ..parallel.pool import THREADS, WorkerPool, default_worker_count
 from ..query.conjunctive import ConjunctiveQuery
+from ..query.parser import parse_query
 from ..relational.database import Database
 from ..relational.relation import Relation
-from .stats import MutableCounters, ServiceStats
+from .fairness import ANONYMOUS, FairQueue
+from .stats import MutableClientStats, MutableCounters, ServiceStats
+
+#: Queries cross the facade as objects or as rule-notation text.
+QueryLike = Union[str, ConjunctiveQuery]
 
 #: Seconds one micro-batch collector stays open for same-shape arrivals.
 DEFAULT_BATCH_WINDOW = 0.002
@@ -60,15 +80,18 @@ DEFAULT_MAX_PENDING = 256
 #: Largest group one collector may grow to before it flushes early.
 DEFAULT_BATCH_LIMIT = 64
 
+#: Most client tags the per-client stats rollup tracks (LRU eviction).
+MAX_TRACKED_CLIENTS = 64
+
 EXECUTE = "execute"
 DECIDE = "decide"
 EXPLAIN = "explain"
 
 
 class _Group:
-    """One queue item: same-shape requests dispatched together."""
+    """One queue item: same-shape, same-client requests dispatched together."""
 
-    __slots__ = ("kind", "database", "queries", "futures", "flushed")
+    __slots__ = ("kind", "database", "queries", "futures", "flushed", "client")
 
     def __init__(
         self,
@@ -76,12 +99,14 @@ class _Group:
         database: Database,
         queries: List[ConjunctiveQuery],
         futures: List["asyncio.Future[Any]"],
+        client: str = ANONYMOUS,
     ) -> None:
         self.kind = kind
         self.database = database
         self.queries = queries
         self.futures = futures
         self.flushed = False
+        self.client = client
 
 
 class QueryService:
@@ -103,6 +128,13 @@ class QueryService:
         Number of dispatcher coroutines pulling from the queue (defaults
         to the worker pool's budget) — the cap on concurrently executing
         engine calls.
+    max_pending_per_client:
+        Admitted-but-unfinished budget per client tag.  ``None`` (the
+        default) keeps PR 4's awaiting backpressure for everyone; a bound
+        makes the service *reject* a flooding client's excess requests
+        with :class:`~repro.errors.ServiceOverloadedError` — the
+        structured-error behavior the network front-end needs — while
+        polite clients stay unaffected.
     """
 
     def __init__(
@@ -113,6 +145,7 @@ class QueryService:
         max_pending: int = DEFAULT_MAX_PENDING,
         batch_limit: int = DEFAULT_BATCH_LIMIT,
         dispatchers: Optional[int] = None,
+        max_pending_per_client: Optional[int] = None,
         **engine_kwargs: Any,
     ) -> None:
         if engine is not None and engine_kwargs:
@@ -128,6 +161,10 @@ class QueryService:
             # Zero dispatchers would accept requests that nothing ever
             # serves — fail loudly like the neighbouring guards.
             raise ValueError(f"dispatchers must be >= 1, got {dispatchers}")
+        if max_pending_per_client is not None and max_pending_per_client < 1:
+            raise ValueError(
+                f"max_pending_per_client must be >= 1, got {max_pending_per_client}"
+            )
         self._engine = engine if engine is not None else QueryEngine(**engine_kwargs)
         self._owns_engine = engine is None
         # Dispatch runs on a service-owned thread pool, deliberately
@@ -145,9 +182,15 @@ class QueryService:
         self._max_pending = max_pending
         self._batch_limit = batch_limit
         self._dispatcher_count = dispatchers or self._pool.max_workers
+        self._max_pending_per_client = max_pending_per_client
         self._counters = MutableCounters()
+        #: client tag → rollup (bounded LRU — connections churn, stats
+        #: must not grow without limit).
+        self._clients: "OrderedDict[str, MutableClientStats]" = OrderedDict()
+        #: client tag → admitted-but-unfinished request count.
+        self._client_pending: Dict[str, int] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._queue: Optional["asyncio.Queue[_Group]"] = None
+        self._queue: Optional["FairQueue[_Group]"] = None
         self._dispatchers: List["asyncio.Task[None]"] = []
         self._background: Set["asyncio.Task[None]"] = set()
         #: key → (future, database).  The database reference is load-
@@ -165,37 +208,53 @@ class QueryService:
     # Public API
     # ------------------------------------------------------------------
 
-    async def execute(self, query: ConjunctiveQuery, database: Database) -> Relation:
+    async def execute(
+        self, query: QueryLike, database: Database, *, client: str = ANONYMOUS
+    ) -> Relation:
         """Q(d) through the shared engine (single-flight, micro-batched)."""
-        return await self._submit(EXECUTE, query, database)
+        return await self._submit(EXECUTE, query, database, client)
 
-    async def decide(self, query: ConjunctiveQuery, database: Database) -> bool:
+    async def decide(
+        self, query: QueryLike, database: Database, *, client: str = ANONYMOUS
+    ) -> bool:
         """Is Q(d) nonempty?  Decision requests micro-batch through the
         engine's decision-only N-wide lifting (``decide_batch``)."""
-        return await self._submit(DECIDE, query, database)
+        return await self._submit(DECIDE, query, database, client)
 
-    async def explain(self, query: ConjunctiveQuery, database: Database) -> str:
+    async def explain(
+        self, query: QueryLike, database: Database, *, client: str = ANONYMOUS
+    ) -> str:
         """The engine's plan rendering, without executing (coalesced but
         never batched — explaining is per-query by definition)."""
-        return await self._submit(EXPLAIN, query, database)
+        return await self._submit(EXPLAIN, query, database, client)
 
     async def execute_batch(
-        self, queries: Sequence[ConjunctiveQuery], database: Database
+        self,
+        queries: Sequence[QueryLike],
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
     ) -> List[Relation]:
         """Evaluate an explicit batch as one group (no window wait)."""
-        return await self._submit_group(EXECUTE, list(queries), database)
+        return await self._submit_group(EXECUTE, list(queries), database, client)
 
     async def decide_batch(
-        self, queries: Sequence[ConjunctiveQuery], database: Database
+        self,
+        queries: Sequence[QueryLike],
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
     ) -> List[bool]:
         """Decide an explicit batch as one group (no window wait)."""
-        return await self._submit_group(DECIDE, list(queries), database)
+        return await self._submit_group(DECIDE, list(queries), database, client)
 
     async def stats(self) -> ServiceStats:
-        """Service counters plus the shared engine's snapshot."""
+        """Service counters, per-client rollups, and the engine snapshot."""
         self._ensure_open()
         return ServiceStats(
-            service=self._counters.snapshot(), engine=self._engine.stats()
+            service=self._counters.snapshot(),
+            engine=self._engine.stats(),
+            clients=tuple(record.snapshot() for record in self._clients.values()),
         )
 
     @property
@@ -207,20 +266,125 @@ class QueryService:
     # Admission: single-flight, then batching, then the bounded queue
     # ------------------------------------------------------------------
 
+    def _coerce_query(self, query: QueryLike, client: str) -> ConjunctiveQuery:
+        """Query text → object; failures become typed rejections.
+
+        A raw :class:`ParseError` traceback must not cross the facade —
+        remote callers need a stable code plus the parser's coordinates,
+        and the rejection is counted per client.
+        """
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        if isinstance(query, str):
+            try:
+                return parse_query(query)
+            except ParseError as error:
+                self._reject(client)
+                raise RequestRejectedError(
+                    f"query text rejected: {error}",
+                    code="parse_error",
+                    position=error.position,
+                    line=error.line,
+                    column=error.column,
+                ) from error
+        self._reject(client)
+        raise RequestRejectedError(
+            "expected a ConjunctiveQuery or rule-notation query text, got "
+            f"{type(query).__name__}",
+            code="bad_request",
+        )
+
+    def _client_stats(self, client: str) -> MutableClientStats:
+        """Get-or-create *client*'s rollup (bounded LRU on client tags)."""
+        record = self._clients.get(client)
+        if record is None:
+            if len(self._clients) >= MAX_TRACKED_CLIENTS:
+                self._clients.popitem(last=False)
+            record = MutableClientStats(client)
+            self._clients[client] = record
+        else:
+            self._clients.move_to_end(client)
+        return record
+
+    def _reject(self, client: str) -> None:
+        self._counters.rejected += 1
+        self._client_stats(client).rejected += 1
+
+    def _check_capacity(self, client: str, count: int = 1) -> None:
+        """Per-client admission budget: reject the flood, structurally.
+
+        Only *admitted-but-unfinished* requests count — coalesced waiters
+        ride an execution someone else already owns and cost nothing.
+        """
+        bound = self._max_pending_per_client
+        if bound is None:
+            return
+        pending = self._client_pending.get(client, 0)
+        if pending + count > bound:
+            self._reject(client)
+            raise ServiceOverloadedError(
+                f"client {client or 'anonymous'!r} has {pending} pending "
+                f"request(s); budget is {bound}",
+                client=client,
+                pending=pending,
+                budget=bound,
+            )
+
+    def _track_pending(self, future: "asyncio.Future[Any]", client: str) -> None:
+        """Count *future* against *client*'s budget until it resolves."""
+        self._client_pending[client] = self._client_pending.get(client, 0) + 1
+
+        def _release(_done: "asyncio.Future[Any]", client: str = client) -> None:
+            remaining = self._client_pending.get(client, 0) - 1
+            if remaining > 0:
+                self._client_pending[client] = remaining
+            else:
+                self._client_pending.pop(client, None)
+
+        future.add_done_callback(_release)
+
+    async def _await_result(
+        self, future: "asyncio.Future[Any]", client: str, started: float
+    ) -> Any:
+        """Await a (shielded) result, recording the client's latency."""
+        stats = self._client_stats(client)
+        assert self._loop is not None
+        try:
+            result = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            stats.record_latency(self._loop.time() - started, ok=False)
+            raise
+        stats.record_latency(self._loop.time() - started, ok=True)
+        return result
+
     async def _submit(
-        self, kind: str, query: ConjunctiveQuery, database: Database
+        self,
+        kind: str,
+        query: QueryLike,
+        database: Database,
+        client: str = ANONYMOUS,
     ) -> Any:
         self._start_if_needed()
+        assert self._loop is not None
+        started = self._loop.time()
+        query = self._coerce_query(query, client)
         key = (kind, id(database), query)
         existing = self._inflight.get(key)
         if existing is not None:
             # Single-flight: identical request already in flight — await
             # its (immutable, safely shared) result instead of executing.
+            # Coalescing crosses client lanes on purpose: the waiter rides
+            # an execution someone else owns, so it neither counts against
+            # its budget nor occupies a queue slot.
             self._counters.coalesced += 1
-            return await asyncio.shield(existing[0])
-        assert self._loop is not None
+            self._client_stats(client).coalesced += 1
+            return await self._await_result(existing[0], client, started)
+        self._check_capacity(client)
         future: "asyncio.Future[Any]" = self._loop.create_future()
         self._inflight[key] = (future, database)
+        self._track_pending(future, client)
 
         def _retire(done: "asyncio.Future[Any]", key: Tuple = key) -> None:
             # The entry lives until the *execution* completes (not until
@@ -237,8 +401,9 @@ class QueryService:
 
         future.add_done_callback(_retire)
         self._counters.submitted += 1
+        self._client_stats(client).submitted += 1
         try:
-            await self._route(kind, query, database, future)
+            await self._route(kind, query, database, future, client)
         except asyncio.CancelledError:
             # Caller cancelled during admission: the enqueue (if reached)
             # continues service-owned and the future resolves later for
@@ -252,22 +417,45 @@ class QueryService:
             if not future.done():
                 future.set_exception(exc)
             raise
-        return await asyncio.shield(future)
+        return await self._await_result(future, client, started)
 
     async def _submit_group(
-        self, kind: str, queries: List[ConjunctiveQuery], database: Database
+        self,
+        kind: str,
+        queries: List[QueryLike],
+        database: Database,
+        client: str = ANONYMOUS,
     ) -> List[Any]:
         if not queries:
             return []
         self._start_if_needed()
         assert self._loop is not None
-        futures = [self._loop.create_future() for _ in queries]
-        self._counters.submitted += len(queries)
-        group = _Group(kind, database, queries, list(futures))
+        started = self._loop.time()
+        coerced = [self._coerce_query(query, client) for query in queries]
+        self._check_capacity(client, count=len(coerced))
+        futures = [self._loop.create_future() for _ in coerced]
+        for future in futures:
+            self._track_pending(future, client)
+        self._counters.submitted += len(coerced)
+        stats = self._client_stats(client)
+        stats.submitted += len(coerced)
+        group = _Group(kind, database, coerced, list(futures), client)
         group.flushed = True  # explicit batches never collect further
         self._unenqueued.add(group)
         await self._put(group)
-        return list(await asyncio.gather(*futures))
+        try:
+            results = list(await asyncio.gather(*futures))
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            seconds = self._loop.time() - started
+            for _ in futures:
+                stats.record_latency(seconds, ok=False)
+            raise
+        seconds = self._loop.time() - started
+        for _ in futures:
+            stats.record_latency(seconds, ok=True)
+        return results
 
     async def _route(
         self,
@@ -275,24 +463,29 @@ class QueryService:
         query: ConjunctiveQuery,
         database: Database,
         future: "asyncio.Future[Any]",
+        client: str = ANONYMOUS,
     ) -> None:
         window = self._batch_window
         if window <= 0.0 or kind == EXPLAIN:
-            group = _Group(kind, database, [query], [future])
+            group = _Group(kind, database, [query], [future], client)
             group.flushed = True
             self._unenqueued.add(group)
             await self._put(group)
             return
-        shape = (kind, id(database), plan_cache_key(query, database))
+        # Collectors are client-pure (the client tag is part of the shape
+        # key): a group sits in exactly one fairness lane, so a flooding
+        # client's batches cannot ride a polite client's admission slot.
+        shape = (kind, client, id(database), plan_cache_key(query, database))
         group = self._collecting.get(shape)
         if group is not None and not group.flushed:
             group.queries.append(query)
             group.futures.append(future)
             self._counters.batched += 1
+            self._client_stats(client).batched += 1
             if len(group.queries) >= self._batch_limit:
                 await self._flush(shape, group)
             return
-        group = _Group(kind, database, [query], [future])
+        group = _Group(kind, database, [query], [future], client)
         self._unenqueued.add(group)
         self._collecting[shape] = group
         assert self._loop is not None
@@ -338,7 +531,7 @@ class QueryService:
 
     async def _enqueue_task(self, group: _Group) -> None:
         assert self._queue is not None
-        await self._queue.put(group)
+        await self._queue.put(group, group.client)
         self._unenqueued.discard(group)
         depth = self._queue.qsize()
         if depth > self._counters.max_queue_depth:
@@ -407,7 +600,7 @@ class QueryService:
         loop = asyncio.get_running_loop()
         if self._loop is None:
             self._loop = loop
-            self._queue = asyncio.Queue(maxsize=self._max_pending)
+            self._queue = FairQueue(maxsize=self._max_pending)
             self._dispatchers = [
                 loop.create_task(self._dispatch_loop())
                 for _ in range(self._dispatcher_count)

@@ -5,20 +5,27 @@ hot and what do they cost"; the service counters answer the questions that
 only exist once concurrent callers share one engine: how many requests
 were *coalesced* onto an identical in-flight execution, how many rode a
 micro-batch instead of executing alone, how deep the admission queue got,
-and how wide the widest batch was.  ``QueryService.stats()`` returns both
-in one :class:`ServiceStats` snapshot.
+and how wide the widest batch was.  With the network front-end
+(:mod:`repro.protocol`) the service also answers them *per client*: each
+connection gets its own :class:`ClientStats` rollup — request counts,
+backpressure rejections, and admission-to-completion latency quantiles
+from a bounded :class:`~repro.engine.stats.LatencyReservoir` — which is
+how the fairness tests observe that a flooding client cannot starve the
+polite ones.  ``QueryService.stats()`` returns everything in one
+:class:`ServiceStats` snapshot.
 
 All counter mutations happen on the service's event-loop thread (request
 admission, batching, and completion bookkeeping are coroutine code), so
-the mutable accumulator needs no lock; the engine ledger it is paired
+the mutable accumulators need no lock; the engine ledger they are paired
 with locks itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
-from ..engine.stats import EngineStats
+from ..engine.stats import EngineStats, LatencyReservoir
 
 
 @dataclass(frozen=True)
@@ -41,10 +48,37 @@ class ServiceCounters:
     max_queue_depth: int
     #: Widest group dispatched (1 = no batching happened).
     max_group: int
+    #: Requests rejected at admission (per-client backpressure).
+    rejected: int = 0
 
     @property
     def requests(self) -> int:
         """Everything that entered the service, coalesced or not."""
+        return self.submitted + self.coalesced
+
+
+@dataclass(frozen=True)
+class ClientStats:
+    """Per-client rollup: request counts and completion-latency quantiles.
+
+    Counters here are *as observed by the client*: a coalesced request
+    counts for the client that issued it (even though the engine executed
+    it once for everyone), and latency runs from admission to the moment
+    the client's future resolved.
+    """
+
+    client: str
+    submitted: int
+    coalesced: int
+    batched: int
+    completed: int
+    failed: int
+    rejected: int
+    p50_seconds: float
+    p95_seconds: float
+
+    @property
+    def requests(self) -> int:
         return self.submitted + self.coalesced
 
 
@@ -54,19 +88,38 @@ class ServiceStats:
 
     service: ServiceCounters
     engine: EngineStats
+    clients: Tuple[ClientStats, ...] = field(default_factory=tuple)
+
+    def client(self, name: str) -> ClientStats:
+        """The rollup for one client (raises ``KeyError`` when unknown)."""
+        for stats in self.clients:
+            if stats.client == name:
+                return stats
+        raise KeyError(name)
 
     def summary(self) -> str:
         """Multi-line rendering for logs and the examples."""
         counters = self.service
         head = (
             f"ServiceStats: {counters.requests} request(s) "
-            f"({counters.coalesced} coalesced, {counters.batched} batched), "
+            f"({counters.coalesced} coalesced, {counters.batched} batched, "
+            f"{counters.rejected} rejected), "
             f"{counters.groups} group(s) dispatched "
             f"(widest {counters.max_group}), queue depth ≤ "
             f"{counters.max_queue_depth}; {counters.completed} ok, "
             f"{counters.failed} failed"
         )
-        return head + "\n" + self.engine.summary()
+        lines = [head]
+        for client in self.clients:
+            label = client.client or "<anonymous>"
+            lines.append(
+                f"  client {label}: {client.requests} request(s) "
+                f"({client.coalesced} coalesced, {client.rejected} rejected) "
+                f"p50={client.p50_seconds * 1e3:.2f}ms "
+                f"p95={client.p95_seconds * 1e3:.2f}ms"
+            )
+        lines.append(self.engine.summary())
+        return "\n".join(lines)
 
 
 class MutableCounters:
@@ -81,6 +134,7 @@ class MutableCounters:
         "failed",
         "max_queue_depth",
         "max_group",
+        "rejected",
     )
 
     def __init__(self) -> None:
@@ -92,6 +146,7 @@ class MutableCounters:
         self.failed = 0
         self.max_queue_depth = 0
         self.max_group = 0
+        self.rejected = 0
 
     def snapshot(self) -> ServiceCounters:
         return ServiceCounters(
@@ -103,4 +158,50 @@ class MutableCounters:
             failed=self.failed,
             max_queue_depth=self.max_queue_depth,
             max_group=self.max_group,
+            rejected=self.rejected,
+        )
+
+
+class MutableClientStats:
+    """Loop-thread accumulator behind :class:`ClientStats`."""
+
+    __slots__ = (
+        "client",
+        "submitted",
+        "coalesced",
+        "batched",
+        "completed",
+        "failed",
+        "rejected",
+        "latencies",
+    )
+
+    def __init__(self, client: str) -> None:
+        self.client = client
+        self.submitted = 0
+        self.coalesced = 0
+        self.batched = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.latencies = LatencyReservoir(256)
+
+    def record_latency(self, seconds: float, ok: bool) -> None:
+        self.latencies.add(seconds)
+        if ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+
+    def snapshot(self) -> ClientStats:
+        return ClientStats(
+            client=self.client,
+            submitted=self.submitted,
+            coalesced=self.coalesced,
+            batched=self.batched,
+            completed=self.completed,
+            failed=self.failed,
+            rejected=self.rejected,
+            p50_seconds=self.latencies.quantile(0.5),
+            p95_seconds=self.latencies.quantile(0.95),
         )

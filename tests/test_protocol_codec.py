@@ -1,0 +1,250 @@
+"""Property tests for the wire codec: byte-exact round-trips, strict rejects.
+
+The framing contract the server and both clients rely on: for every valid
+message ``m``, ``decode(encode(m)) == m`` and — because ``encode`` is
+canonical (sorted keys, no insignificant whitespace, deterministic row
+order) — ``encode(decode(encode(m))) == encode(m)`` byte for byte.
+Hypothesis drives the message space: every request and response kind,
+unicode constants (including newlines and quotes, which JSON escaping must
+neutralize), empty relations, and batches far beyond the service's
+``batch_limit``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Relation, parse_query
+from repro.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+    decode,
+    decode_relation,
+    encode,
+    encode_relation,
+    error_response,
+    query_text,
+    request_id_of,
+)
+from repro.protocol.messages import (
+    BATCH_OPS,
+    BOOLEAN,
+    BOOLEANS,
+    ERROR,
+    PING,
+    PONG,
+    QUERY_OPS,
+    RELATION,
+    RELATIONS,
+    STATS,
+    STATS_RESULT,
+    TEXT,
+    ErrorInfo,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+ids = st.integers(min_value=0, max_value=2**31)
+texts = st.text(max_size=80)  # arbitrary unicode: quotes, newlines, emoji
+names = st.text(min_size=1, max_size=24)
+
+query_requests = st.builds(
+    Request,
+    op=st.sampled_from(QUERY_OPS),
+    id=ids,
+    query=texts,
+    database=names,
+)
+
+# "Oversized": far beyond DEFAULT_BATCH_LIMIT (64) — framing must not care.
+batch_requests = st.builds(
+    lambda op, rid, queries, database: Request(
+        op=op, id=rid, queries=tuple(queries), database=database
+    ),
+    op=st.sampled_from(BATCH_OPS),
+    rid=ids,
+    queries=st.lists(texts, max_size=200),
+    database=names,
+)
+
+nullary_requests = st.builds(Request, op=st.sampled_from((STATS, PING)), id=ids)
+
+requests = st.one_of(query_requests, batch_requests, nullary_requests)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    texts,
+)
+
+json_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=12), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@st.composite
+def relation_payloads(draw):
+    """Canonical relation payloads, arity 0–4, 0–20 rows, unicode values."""
+    arity = draw(st.integers(min_value=0, max_value=4))
+    attributes = draw(
+        st.lists(names, min_size=arity, max_size=arity, unique=True)
+    )
+    row = st.tuples(*([scalars] * arity))
+    rows = draw(st.lists(row, max_size=20))
+    return encode_relation(Relation(tuple(attributes), rows))
+
+
+@st.composite
+def responses(draw):
+    kind = draw(
+        st.sampled_from(
+            (RELATION, BOOLEAN, RELATIONS, BOOLEANS, TEXT, STATS_RESULT, PONG, ERROR)
+        )
+    )
+    rid = draw(st.one_of(st.none(), ids))
+    if kind == ERROR:
+        error = ErrorInfo(
+            code=draw(names),
+            message=draw(texts),
+            detail=draw(st.dictionaries(st.text(max_size=12), scalars, max_size=4)),
+        )
+        return Response(id=rid, kind=ERROR, error=error)
+    if kind == RELATION:
+        result = draw(relation_payloads())
+    elif kind == RELATIONS:
+        result = draw(st.lists(relation_payloads(), max_size=5))
+    elif kind == BOOLEAN:
+        result = draw(st.booleans())
+    elif kind == BOOLEANS:
+        result = draw(st.lists(st.booleans(), max_size=100))
+    elif kind == TEXT:
+        result = draw(texts)
+    elif kind == STATS_RESULT:
+        result = draw(json_values)
+    else:  # PONG
+        result = None
+    return Response(id=rid, kind=kind, result=result)
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrips:
+    @given(message=requests)
+    @settings(max_examples=200)
+    def test_request_round_trip_byte_exact(self, message):
+        data = encode(message)
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        decoded = decode(data)
+        assert decoded == message
+        assert encode(decoded) == data
+
+    @given(message=responses())
+    @settings(max_examples=200)
+    def test_response_round_trip_byte_exact(self, message):
+        data = encode(message)
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        decoded = decode(data)
+        assert decoded == message
+        assert encode(decoded) == data
+
+    @given(message=st.one_of(requests, responses()))
+    def test_encode_is_canonical_json(self, message):
+        data = encode(message)
+        payload = json.loads(data)
+        assert payload["v"] == PROTOCOL_VERSION
+        recanonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+        assert data == recanonical + b"\n"
+
+    @given(payload=relation_payloads())
+    def test_relation_payload_round_trip(self, payload):
+        relation = decode_relation(payload)
+        assert encode_relation(relation) == payload
+
+    def test_empty_relation_round_trips(self):
+        relation = Relation(("a", "b"))
+        payload = encode_relation(relation)
+        assert payload == {"attributes": ["a", "b"], "rows": []}
+        assert decode_relation(payload) == relation
+
+    def test_unicode_constants_survive(self):
+        relation = Relation(("name",), [("héllo wörld",), ("改行\nあり",), ("'q'",)])
+        assert decode_relation(encode_relation(relation)) == relation
+
+    def test_query_text_round_trips_through_parser(self):
+        query = parse_query("G(e) :- EP(e, p), EP(e, q), p != q.")
+        assert parse_query(query_text(query)) == query
+        assert query_text("Q(x) :- E(x, y).") == "Q(x) :- E(x, y)."
+
+
+# ----------------------------------------------------------------------
+# Strict rejection
+# ----------------------------------------------------------------------
+
+
+class TestRejects:
+    @pytest.mark.parametrize(
+        "line, code",
+        [
+            (b"not json at all\n", "not_json"),
+            (b"[1, 2, 3]\n", "not_json"),
+            (b'"just a string"\n', "not_json"),
+            (b'{"op": "execute"}\n', "unsupported_version"),
+            (b'{"v": 99, "op": "ping", "id": 1}\n', "unsupported_version"),
+            (b'{"v": 1, "neither": true}\n', "bad_request"),
+            (b'{"v": 1, "op": "frobnicate", "id": 1}\n', "bad_request"),
+            (b'{"v": 1, "op": "ping", "id": -4}\n', "bad_request"),
+            (b'{"v": 1, "op": "ping", "id": 1, "query": "Q"}\n', "bad_request"),
+            (b'{"v": 1, "op": "execute", "id": 1}\n', "bad_request"),
+            (b'{"v": 1, "op": "execute", "id": 1, "query": "Q", '
+             b'"database": "d", "extra": 1}\n', "bad_request"),
+            (b'{"v": 1, "op": "execute_batch", "id": 1, "queries": "Q", '
+             b'"database": "d"}\n', "bad_request"),
+            (b'{"v": 1, "ok": true, "kind": "nope", "result": 1}\n', "bad_request"),
+            (b'{"v": 1, "ok": false, "kind": "error", "result": 1}\n', "bad_request"),
+            (b'{"v": 1, "ok": false, "kind": "error", "error": {}}\n', "bad_request"),
+            (b'{"v": 1, "ok": "yes", "kind": "text"}\n', "bad_request"),
+            (b"\xff\xfe\n", "not_json"),
+        ],
+    )
+    def test_bad_frames_raise_typed_errors(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode(line)
+        assert excinfo.value.code == code
+
+    def test_unrepresentable_relation_value_rejected(self):
+        relation = Relation(("x",), [(object(),)])
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_relation(relation)
+        assert excinfo.value.code == "unrepresentable"
+
+    def test_request_id_recovery(self):
+        assert request_id_of(b'{"v": 1, "op": "bad", "id": 17}') == 17
+        assert request_id_of(b"garbage") is None
+        assert request_id_of(b'{"id": -3}') is None
+        assert request_id_of(b'{"id": true}') is None
+        assert request_id_of(b"[4]") is None
+
+    def test_error_response_taxonomy_is_json_able(self):
+        response = error_response(5, ValueError("boom"))
+        assert response.error.code == "internal_error"
+        decoded = decode(encode(response))
+        assert decoded == response
+        assert decoded.error.detail["type"] == "ValueError"

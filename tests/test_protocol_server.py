@@ -1,0 +1,512 @@
+"""In-process protocol tests: a real TCP server on localhost, asyncio end.
+
+Covers the wire facade (every op against sequential-engine references),
+the structured error taxonomy (connections survive every failure), the
+per-client fairness and backpressure semantics the FairQueue provides,
+graceful drain, and both client flavors.  The *cross-process* stress —
+the same server in a real subprocess — lives in
+``test_protocol_cross_process.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import QueryEngine
+from repro.protocol import (
+    AsyncQueryClient,
+    QueryClient,
+    QueryServer,
+    RemoteQueryError,
+)
+from repro.workloads import chain_database, star_database
+from repro.workloads.queries import path_query, star_query
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    return chain_database(layers=5, width=32, p=0.3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return star_database(3, 120, seed=5)
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return QueryEngine(parallel=False)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestFacadeOverTheWire:
+    def test_every_op_matches_sequential(self, chain_db, star_db, sequential):
+        query = path_query(4, head_arity=1)
+        star = star_query(3)
+        starts = sorted({row[0] for row in chain_db["E"].rows})[:12]
+        instances = [query.decision_instance((value,)) for value in starts]
+
+        async def main():
+            async with QueryServer(
+                {"chain": chain_db, "star": star_db}, batch_window=0.002
+            ) as server:
+                host, port = server.address
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    executed = await client.execute(query, "chain")
+                    decided = await client.decide(star, "star")
+                    batch = await client.execute_batch(instances, "chain")
+                    decisions = await client.decide_batch(instances, "chain")
+                    rendering = await client.explain(query, "chain")
+                    stats = await client.stats()
+                    assert await client.ping()
+            return executed, decided, batch, decisions, rendering, stats
+
+        executed, decided, batch, decisions, rendering, stats = run(main())
+        want = sequential.execute(query, chain_db)
+        assert executed == want
+        assert executed.rows == want.rows  # byte-identical content
+        assert decided == sequential.decide(star, star_db)
+        assert batch == [sequential.execute(q, chain_db) for q in instances]
+        assert decisions == [sequential.decide(q, chain_db) for q in instances]
+        assert "QueryPlan" in rendering
+        assert stats["service"]["completed"] >= 2 + 2 * len(instances)
+        assert stats["clients"][0]["client"] == "conn-1"
+
+    def test_text_queries_over_the_wire(self, chain_db, sequential):
+        text = "Q(x, y) :- E(x, y)."
+
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    return await client.execute(text, "chain")
+
+        from repro import parse_query
+
+        assert run(main()) == sequential.execute(parse_query(text), chain_db)
+
+    def test_sync_client_from_thread(self, chain_db, sequential):
+        query = path_query(3, head_arity=1)
+
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+
+                def work():
+                    with QueryClient(host, port) as client:
+                        result = client.execute(query, "chain")
+                        decision = client.decide(query, "chain")
+                        return result, decision
+
+                return await asyncio.to_thread(work)
+
+        result, decision = run(main())
+        assert result == sequential.execute(query, chain_db)
+        assert decision == sequential.decide(query, chain_db)
+
+
+class TestErrorTaxonomy:
+    def test_structured_errors_and_surviving_connection(self, chain_db):
+        query = path_query(3, head_arity=1)
+
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    observed = {}
+                    for label, coroutine in [
+                        ("parse", client.execute("Q(x) :- ", "chain")),
+                        ("unknown_db", client.execute(query, "nope")),
+                        ("schema", client.execute("Q(x) :- Missing(x).", "chain")),
+                        ("unsafe", client.execute("Q(z) :- E(x, y).", "chain")),
+                    ]:
+                        with pytest.raises(RemoteQueryError) as excinfo:
+                            await coroutine
+                        observed[label] = excinfo.value
+                    # The connection survived four failures.
+                    result = await client.execute(query, "chain")
+                    stats = await client.stats()
+            return observed, result, stats
+
+        observed, result, stats = run(main())
+        assert observed["parse"].code == "parse_error"
+        assert observed["parse"].detail["line"] == 1
+        assert observed["parse"].detail["position"] >= 0
+        assert observed["unknown_db"].code == "unknown_database"
+        assert observed["schema"].code == "schema_error"
+        assert observed["unsafe"].code == "invalid_query"
+        assert result.cardinality > 0
+        assert stats["service"]["completed"] >= 1
+
+    def test_raw_garbage_frames_get_error_responses(self, chain_db):
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                responses = []
+                for line in [
+                    b"this is not json\n",
+                    b'{"v": 99, "op": "ping", "id": 4}\n',
+                    b'{"v": 1, "op": "frobnicate", "id": 7}\n',
+                    b'{"v": 1, "ok": true, "kind": "pong", "result": null, "id": 1}\n',
+                ]:
+                    writer.write(line)
+                    await writer.drain()
+                    responses.append(await reader.readline())
+                writer.close()
+                return responses
+
+        from repro.protocol import decode
+
+        responses = [decode(line) for line in run(main())]
+        assert [r.error.code for r in responses] == [
+            "not_json",
+            "unsupported_version",
+            "bad_request",
+            "bad_request",
+        ]
+        # Best-effort id attribution: valid JSON frames keep their id.
+        assert responses[1].id == 4
+        assert responses[2].id == 7
+
+    def test_batch_with_one_bad_member_fails_whole_batch(self, chain_db):
+        query = path_query(3, head_arity=1)
+
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    with pytest.raises(RemoteQueryError) as excinfo:
+                        await client.execute_batch(
+                            [query, "E(x :-"], "chain"
+                        )
+                    return excinfo.value.code
+
+        assert run(main()) == "parse_error"
+
+
+class TestSingleFlightAcrossConnections:
+    def test_identical_pipelined_requests_coalesce(self, chain_db):
+        query = path_query(4, head_arity=1)
+        clients, per_client = 4, 8
+
+        async def main():
+            async with QueryServer({"chain": chain_db}, batch_window=0.0) as server:
+                host, port = server.address
+                connections = [
+                    await AsyncQueryClient.connect(host, port)
+                    for _ in range(clients)
+                ]
+                try:
+                    results = await asyncio.gather(
+                        *(
+                            connection.execute(query, "chain")
+                            for connection in connections
+                            for _ in range(per_client)
+                        )
+                    )
+                    stats = await connections[0].stats()
+                finally:
+                    for connection in connections:
+                        await connection.aclose()
+            return results, stats
+
+        results, stats = run(main())
+        assert all(result == results[0] for result in results)
+        counters = stats["service"]
+        total = clients * per_client
+        assert counters["submitted"] + counters["coalesced"] == total
+        # Identical in-flight requests shared executions across connections.
+        assert counters["coalesced"] > 0
+        assert stats["engine"]["executions"] < total
+
+
+class TestFairnessAndBackpressure:
+    def test_flood_does_not_starve_polite_clients(self, chain_db, sequential):
+        """One pipelining flooder + 3 polite clients on a 1-dispatcher
+        server: round-robin lanes mean every polite request is served
+        after at most one group per active lane, so polite latencies stay
+        bounded by lane count, not by the flood's queue depth."""
+        query = path_query(4, head_arity=1)
+        starts = sorted({row[0] for row in chain_db["E"].rows})
+        flood_instances = [
+            query.decision_instance((starts[i % len(starts)],)) for i in range(48)
+        ]
+        polite_instances = [
+            query.decision_instance((value,)) for value in starts[:6]
+        ]
+
+        async def main():
+            async with QueryServer(
+                {"chain": chain_db}, batch_window=0.0, dispatchers=1
+            ) as server:
+                host, port = server.address
+                flooder = await AsyncQueryClient.connect(host, port)
+                polite = [
+                    await AsyncQueryClient.connect(host, port) for _ in range(3)
+                ]
+                loop = asyncio.get_running_loop()
+
+                async def flood():
+                    return await asyncio.gather(
+                        *(
+                            flooder.execute(instance, "chain")
+                            for instance in flood_instances
+                        )
+                    )
+
+                async def polite_client(connection):
+                    latencies = []
+                    results = []
+                    for instance in polite_instances:
+                        started = loop.time()
+                        results.append(await connection.execute(instance, "chain"))
+                        latencies.append(loop.time() - started)
+                    return results, latencies
+
+                started = loop.time()
+                flood_task = asyncio.ensure_future(flood())
+                await asyncio.sleep(0.01)  # the flood owns the queue now
+                polite_outcomes = await asyncio.gather(
+                    *(polite_client(connection) for connection in polite)
+                )
+                flood_results = await flood_task
+                total_seconds = loop.time() - started
+                stats = await flooder.stats()
+                for connection in [flooder, *polite]:
+                    await connection.aclose()
+            return polite_outcomes, flood_results, total_seconds, stats
+
+        polite_outcomes, flood_results, total_seconds, stats = run(main())
+        # Zero starvation: every polite request completed, correctly.
+        for results, _ in polite_outcomes:
+            assert results == [
+                sequential.execute(q, chain_db) for q in polite_instances
+            ]
+        for result, instance in zip(flood_results, flood_instances):
+            assert result == sequential.execute(instance, chain_db)
+        # Round-robin drain: polite p95 stays a small fraction of the
+        # flood's wall clock even though the flood held a 40+-deep lane.
+        latencies = sorted(
+            latency for _, client_latencies in polite_outcomes
+            for latency in client_latencies
+        )
+        p95 = latencies[int(0.95 * (len(latencies) - 1))]
+        assert p95 < total_seconds / 2, (p95, total_seconds)
+        # The per-client rollup saw all four lanes.
+        assert len(stats["clients"]) >= 4
+
+    def test_backpressure_rejections_are_structured(self, chain_db):
+        query = path_query(4, head_arity=1)
+        starts = sorted({row[0] for row in chain_db["E"].rows})
+        instances = [query.decision_instance((value,)) for value in starts[:24]]
+
+        async def main():
+            async with QueryServer(
+                {"chain": chain_db},
+                batch_window=0.0,
+                dispatchers=1,
+                max_pending_per_client=4,
+            ) as server:
+                host, port = server.address
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    outcomes = await asyncio.gather(
+                        *(client.execute(q, "chain") for q in instances),
+                        return_exceptions=True,
+                    )
+                    # The connection survived the rejections.
+                    assert await client.ping()
+                    stats = await client.stats()
+            return outcomes, stats
+
+        outcomes, stats = run(main())
+        rejected = [
+            outcome
+            for outcome in outcomes
+            if isinstance(outcome, RemoteQueryError)
+        ]
+        succeeded = [
+            outcome
+            for outcome in outcomes
+            if not isinstance(outcome, BaseException)
+        ]
+        assert rejected, "a 24-deep pipeline against budget 4 must reject"
+        assert succeeded, "the within-budget prefix must still succeed"
+        for error in rejected:
+            assert error.code == "backpressure"
+            assert error.detail["budget"] == 4
+        assert stats["service"]["rejected"] == len(rejected)
+        assert stats["clients"][0]["rejected"] == len(rejected)
+
+
+class TestReviewRegressions:
+    def test_oversized_result_is_answered_not_dropped(self, chain_db, monkeypatch):
+        """A result relation whose encoded response exceeds the frame
+        bound must come back as a structured frame_too_large error on the
+        same request id — never a silently dropped request."""
+        import repro.protocol.codec as codec
+
+        # Small enough that a full-E result blows the bound, large enough
+        # that requests and error responses still encode.
+        monkeypatch.setattr(codec, "MAX_LINE_BYTES", 600)
+        big = "Q(x, y) :- E(x, y)."
+        small = path_query(3, head_arity=1)
+
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    with pytest.raises(RemoteQueryError) as excinfo:
+                        await asyncio.wait_for(
+                            client.execute(big, "chain"), timeout=10
+                        )
+                    # The connection survives and keeps serving.
+                    decision = await asyncio.wait_for(
+                        client.decide(small, "chain"), timeout=10
+                    )
+            return excinfo.value, decision
+
+        error, decision = run(main())
+        assert error.code == "frame_too_large"
+        assert isinstance(decision, bool)
+
+    def test_parse_error_coordinates_point_into_callers_text(self):
+        """Leading whitespace must not shift the parse-error coordinates
+        the codec sends to remote clients."""
+        from repro import parse_query
+        from repro.errors import ParseError
+
+        text = "\n\n  Q(x) :- {"
+        with pytest.raises(ParseError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert error.position == text.index("{")
+        assert error.line == 3
+        assert error.column == text.index("{") - text.rindex("\n")
+
+    def test_async_client_reads_large_frames(self, chain_db):
+        """AsyncQueryClient's reader must use the protocol's frame bound,
+        not asyncio's 64 KiB default — a big result relation killed the
+        pipelined connection before the fix."""
+        from repro.protocol import encode_relation
+
+        big = "Q(x, y, z) :- E(x, y), E(y, z)."
+
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    result = await asyncio.wait_for(
+                        client.execute(big, "chain"), timeout=30
+                    )
+                    # Still serving after the large frame.
+                    assert await client.ping()
+            return result
+
+        result = run(main())
+        import json
+
+        encoded = json.dumps(encode_relation(result))
+        assert len(encoded) > 64 * 1024, "workload no longer exercises the limit"
+        from repro import parse_query
+
+        want = QueryEngine(parallel=False).execute(parse_query(big), chain_db)
+        assert result == want
+
+    def test_sync_client_timeout_poisons_the_connection(self, chain_db):
+        """A socket timeout can fire mid-frame; the blocking client must
+        refuse reuse instead of decoding a desynchronized stream."""
+        async def main():
+            async with QueryServer({"chain": chain_db}) as server:
+                host, port = server.address
+
+                def work():
+                    client = QueryClient(host, port)
+                    # A timeout no real response can beat forces the
+                    # mid-read failure path deterministically.
+                    client._sock.settimeout(0.0001)
+                    with pytest.raises(OSError):
+                        client.execute(path_query(3, head_arity=1), "chain")
+                    with pytest.raises(ConnectionError):
+                        client.ping()
+                    client.close()
+
+                await asyncio.to_thread(work)
+
+        run(main())
+
+    def test_connection_level_error_breaks_client_loudly(self):
+        """An id=null error frame fails the outstanding caller AND marks
+        the client broken — later requests raise instead of hanging on a
+        dead reader."""
+        from repro.protocol import ProtocolError, error_response
+        from repro.protocol.codec import encode
+
+        async def main():
+            async def hostile(reader, writer):
+                await reader.readline()
+                writer.write(
+                    encode(
+                        error_response(
+                            None, ProtocolError("overrun", code="frame_too_large")
+                        )
+                    )
+                )
+                await writer.drain()
+
+            server = await asyncio.start_server(hostile, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            async with server:
+                client = await AsyncQueryClient.connect(host, port)
+                with pytest.raises(RemoteQueryError) as excinfo:
+                    await asyncio.wait_for(client.ping(), timeout=10)
+                assert excinfo.value.code == "frame_too_large"
+                with pytest.raises(ConnectionError):
+                    await asyncio.wait_for(client.ping(), timeout=10)
+                await client.aclose()
+
+        run(main())
+
+
+class TestLifecycle:
+    def test_graceful_drain_completes_in_flight(self, chain_db, sequential):
+        query = path_query(4, head_arity=1)
+
+        async def main():
+            server = QueryServer({"chain": chain_db}, batch_window=0.0)
+            await server.start()
+            host, port = server.address
+            client = await AsyncQueryClient.connect(host, port)
+            request = asyncio.ensure_future(client.execute(query, "chain"))
+            await asyncio.sleep(0.005)  # request reaches the service
+            await server.aclose()
+            result = await request
+            await client.aclose()
+            return result
+
+        assert run(main()) == sequential.execute(query, chain_db)
+
+    def test_closed_server_stops_accepting(self, chain_db):
+        async def main():
+            server = QueryServer({"chain": chain_db})
+            await server.start()
+            host, port = server.address
+            await server.aclose()
+            await server.aclose()  # idempotent
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout=2
+                )
+
+        run(main())
+
+    def test_conflicting_service_kwargs_rejected(self, chain_db):
+        from repro import QueryService
+
+        with pytest.raises(ValueError):
+            QueryServer({"chain": chain_db}, service=QueryService(), batch_window=0.5)
