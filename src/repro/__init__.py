@@ -7,13 +7,19 @@ README.md for a tour and DESIGN.md for the paper-to-module map.
 
 from .errors import (
     ArityError,
+    CancelledRequestError,
+    ConnectionLostError,
+    DeadlineExceededError,
     InconsistentConstraintsError,
     NotAcyclicError,
     ParseError,
     QueryError,
     ReductionError,
     ReproError,
+    RequestTimeoutError,
+    RetryExhaustedError,
     SchemaError,
+    ServerBusyError,
 )
 from .relational import Database, Relation
 from .query import (
@@ -38,6 +44,7 @@ from .evaluation import (
 )
 from .engine import QueryEngine, QueryPlan
 from .parallel import ParallelYannakakisEvaluator, ShardedRelation, WorkerPool
+from .resilience import CancelToken, FaultPlan, RetryPolicy
 from .service import QueryService, ServiceStats
 from .protocol import AsyncQueryClient, QueryClient, QueryServer
 
@@ -47,11 +54,16 @@ __all__ = [
     "ArityError",
     "AsyncQueryClient",
     "Atom",
+    "CancelToken",
+    "CancelledRequestError",
     "Comparison",
     "ConjunctiveQuery",
+    "ConnectionLostError",
     "Database",
     "DatalogEvaluator",
     "DatalogProgram",
+    "DeadlineExceededError",
+    "FaultPlan",
     "FirstOrderEvaluator",
     "FirstOrderQuery",
     "InconsistentConstraintsError",
@@ -68,6 +80,10 @@ __all__ = [
     "QueryPlan",
     "QueryServer",
     "QueryService",
+    "RequestTimeoutError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "ServerBusyError",
     "ServiceStats",
     "ReductionError",
     "Relation",

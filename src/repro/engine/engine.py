@@ -66,6 +66,7 @@ from ..parallel.pool import THREADS, WorkerPool
 from ..query.conjunctive import ConjunctiveQuery
 from ..relational.database import Database
 from ..relational.relation import Relation
+from ..resilience.token import check_cancelled
 from .analysis import (
     ACYCLIC,
     DEFAULT_TREEWIDTH_THRESHOLD,
@@ -417,6 +418,10 @@ class QueryEngine:
         database: Database,
         decide: bool,
     ):
+        # Cancellation check-point at dispatch: an expired deadline or an
+        # already-abandoned request aborts before planning or evaluation
+        # spends anything.
+        check_cancelled()
         # A cached plan's join tree / decomposition name the variables of
         # the query it was planned from; they are reusable for this query
         # only when the variable layout matches (true for the parameterized

@@ -99,5 +99,93 @@ class ServiceOverloadedError(RequestRejectedError):
     code = "backpressure"
 
 
+class ServerBusyError(RequestRejectedError):
+    """The server's connection limit is reached; try again later.
+
+    Raised (and sent as a final frame) by
+    :class:`~repro.protocol.QueryServer` when ``max_connections`` is
+    configured and a new connection arrives past the limit.  The code is
+    in the default client retry set — the condition is transient.
+    """
+
+    code = "server_busy"
+
+
+class DeadlineExceededError(RequestRejectedError):
+    """A request's deadline expired before its evaluation finished.
+
+    Raised at the next cooperative check-point of the evaluators (level
+    boundaries, shard-map steps) once the request's
+    :class:`~repro.resilience.CancelToken` deadline passes, and by the
+    service-side waiter when the engine has not answered in time.  Maps
+    to the wire code ``deadline_exceeded``; carries the original budget
+    in ``detail["deadline"]``.
+    """
+
+    code = "deadline_exceeded"
+
+
+class CancelledRequestError(RequestRejectedError):
+    """A request was cancelled before completion.
+
+    Raised when a client disconnects mid-request, sends an explicit
+    ``cancel`` message, or every waiter of a coalesced request abandons
+    it.  Maps to the wire code ``cancelled``; carries the teardown
+    ``detail["reason"]``.
+    """
+
+    code = "cancelled"
+
+
+class ConnectionLostError(ReproError, ConnectionError):
+    """The server connection died with requests still pending.
+
+    The protocol clients raise this (instead of leaving futures pending
+    forever) when the transport closes abruptly.  ``last_server_error``
+    carries the final structured error the server managed to send before
+    the close — usually the *reason* the connection died (e.g. a
+    ``frame_too_large`` rejection) — or ``None`` for a silent drop.
+
+    Subclasses :class:`ConnectionError` so existing transport-level
+    ``except`` clauses keep working.
+    """
+
+    def __init__(
+        self, message: str, last_server_error: BaseException | None = None
+    ) -> None:
+        super().__init__(message)
+        self.last_server_error = last_server_error
+
+
+class RequestTimeoutError(ReproError, TimeoutError):
+    """A blocking client's socket timeout expired mid-request.
+
+    Raised by :class:`~repro.protocol.QueryClient` instead of hanging on
+    a silent server.  Subclasses :class:`TimeoutError` (itself an
+    :class:`OSError`), so transport-level handlers keep working; the
+    connection is poisoned afterwards — the reply may still arrive and
+    desynchronize the stream.
+    """
+
+    def __init__(self, message: str, timeout: float | None = None) -> None:
+        super().__init__(message)
+        self.timeout = timeout
+
+
+class RetryExhaustedError(ReproError):
+    """A client retry budget ran out without a successful attempt.
+
+    Carries the number of ``attempts`` made and the ``last_error`` that
+    failed the final attempt (also its ``__cause__``).
+    """
+
+    def __init__(
+        self, message: str, attempts: int, last_error: BaseException | None = None
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class ReductionError(ReproError):
     """A parametric reduction was applied to an instance outside its domain."""

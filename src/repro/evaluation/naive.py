@@ -29,6 +29,7 @@ from ..query.terms import Constant, Variable
 from ..relational.database import Database
 from ..relational.index import IndexPool
 from ..relational.relation import Relation
+from ..resilience.token import check_cancelled
 from .instantiation import answers_relation
 
 #: One compiled probe plan per atom:
@@ -197,7 +198,14 @@ class NaiveEvaluator:
         iters: List[Iterator[Tuple]] = [iter(())] * len(plans)
         iters[0] = iter(plans[0][0](valuation))
         depth = 0
+        steps = 0
         while depth >= 0:
+            # The backtracking search has no level boundaries to check at,
+            # so poll the cancel token on a stride: n^k nodes is exactly
+            # the blow-up deadlines exist for.
+            steps += 1
+            if not steps & 2047:
+                check_cancelled()
             rows_for, equalities, bindings, checks = plans[depth]
             descended = False
             for row in iters[depth]:

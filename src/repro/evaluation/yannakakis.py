@@ -27,6 +27,7 @@ from ..query.conjunctive import ConjunctiveQuery
 from ..relational.database import Database
 from ..relational.joins import JoinAlgorithm, hash_join
 from ..relational.relation import Relation
+from ..resilience.token import check_cancelled
 from .instantiation import answers_relation, candidate_relations
 
 
@@ -80,6 +81,9 @@ class YannakakisEvaluator:
             parent = tree.parent(node)
             if parent is None:
                 continue
+            # Per-node cancellation check-point: between semijoins no
+            # external state is held, so aborting here is always safe.
+            check_cancelled()
             relations[parent] = relations[parent].semijoin(relations[node])
             if relations[parent].is_empty():
                 return None
@@ -125,6 +129,7 @@ class YannakakisEvaluator:
             parent = tree.parent(node)
             if parent is None:
                 continue
+            check_cancelled()
             parent_vars = {v for v in relations[parent].attributes}
             keep = tuple(
                 a
@@ -160,11 +165,13 @@ class YannakakisEvaluator:
             parent = tree.parent(node)
             if parent is None:
                 continue
+            check_cancelled()
             reduced[parent] = reduced[parent].semijoin(reduced[node])
         for node in tree.top_down_order():
             parent = tree.parent(node)
             if parent is None:
                 continue
+            check_cancelled()
             reduced[node] = reduced[node].semijoin(reduced[parent])
         return reduced
 

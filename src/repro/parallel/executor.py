@@ -42,6 +42,7 @@ from ..hypergraph.join_tree import JoinTree
 from ..query.conjunctive import ConjunctiveQuery
 from ..relational.database import Database
 from ..relational.relation import Relation
+from ..resilience.token import check_cancelled
 from .ops import DEFAULT_SHARD_COUNT, parallel_semijoin
 from .pool import WorkerPool
 
@@ -119,6 +120,10 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
             tree = tree.rooted_at(root)
         shards = shard_count or self._default_shard_count
         for level in _levels(tree):
+            # Level boundaries are the natural cancellation check-points:
+            # all of a level's tasks have been committed, none of the
+            # next level's have started.
+            check_cancelled()
             groups = _by_parent(tree, level)
             for (parent, _), result in zip(
                 groups, self._reduce_level(relations, groups, shards)
@@ -151,6 +156,7 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
 
         head_set = set(head_names)
         for level in _levels(tree):
+            check_cancelled()
             for parent, children in _by_parent(tree, level):
                 for node in children:
                     parent_rel = relations[parent]
@@ -194,6 +200,7 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
         reduced = dict(relations)
 
         for level in _levels(tree):
+            check_cancelled()
             groups = _by_parent(tree, level)
             for (parent, _), result in zip(
                 groups, self._reduce_level(reduced, groups, shards)
@@ -201,6 +208,7 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
                 reduced[parent] = result
 
         for level in reversed(_levels(tree)):
+            check_cancelled()
             edges = [(node, tree.parent(node)) for node in level]
 
             def reduce_child(edge: Tuple[int, int]) -> Relation:
@@ -233,6 +241,9 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
         return self._fan_out(reduce_parent, groups)
 
     def _semijoin(self, left: Relation, right: Relation, shards: int) -> Relation:
+        # Shard-map step check-point: per-edge granularity inside a
+        # level's per-parent chain (tokens ride into thread workers).
+        check_cancelled()
         if left.cardinality < self._min_shard_rows:
             return left.semijoin(right)
         return parallel_semijoin(left, right, shard_count=shards, pool=self._pool)

@@ -29,6 +29,7 @@ from typing import Any, Mapping, Optional, Tuple
 
 from ..relational.attributes import positions_of
 from ..relational.relation import Relation
+from ..resilience.token import check_cancelled
 from .pool import WorkerPool
 
 #: Shard counts default to a small multiple of the worker budget so the
@@ -118,6 +119,7 @@ def parallel_semijoin(
     and otherwise falls through to the kernel's row-scan semijoin — the
     layer never pays more than sequential execution would.
     """
+    check_cancelled()
     shared = shared_attributes(left.attributes, right.attributes)
     if not shared:
         return left.semijoin(right)

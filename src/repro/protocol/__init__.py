@@ -20,6 +20,8 @@ from .codec import (
     request_id_of,
 )
 from .messages import (
+    CANCEL,
+    CANCELLED,
     OPS,
     PROTOCOL_VERSION,
     ErrorInfo,
@@ -35,6 +37,8 @@ from .server import QueryServer, stats_payload
 
 __all__ = [
     "AsyncQueryClient",
+    "CANCEL",
+    "CANCELLED",
     "ErrorInfo",
     "MAX_LINE_BYTES",
     "OPS",

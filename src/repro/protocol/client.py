@@ -19,18 +19,38 @@ Both raise :class:`~.messages.RemoteQueryError` carrying the server's
 structured code/message/detail when a request fails, and both accept
 queries as rule-notation text or as ``ConjunctiveQuery`` objects (whose
 ``repr`` *is* the text form).
+
+Resilience (see ``docs/resilience.md``):
+
+* every query op takes an optional ``deadline`` (seconds) that rides the
+  request frame — the server aborts the evaluation and answers
+  ``deadline_exceeded`` instead of letting a runaway query hold its lane;
+* both clients accept an opt-in :class:`~repro.resilience.RetryPolicy`;
+  retryable failures (transport errors, transient server codes) trigger
+  reconnect-and-retry with exponential backoff and deterministic jitter,
+  and a spent budget raises :class:`~repro.errors.RetryExhaustedError`;
+* an abrupt close fails every pending async request with
+  :class:`~repro.errors.ConnectionLostError` — never a silent hang —
+  carrying the server's final structured frame when there was one;
+* the blocking client's socket timeout surfaces as the typed
+  :class:`~repro.errors.RequestTimeoutError` (still an ``OSError``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
+import time
 from itertools import count
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..errors import ConnectionLostError, RequestTimeoutError, RetryExhaustedError
 from ..relational.relation import Relation
+from ..resilience.policy import RetryPolicy
 from .codec import MAX_LINE_BYTES, decode, encode
 from .messages import (
+    CANCEL,
     DECIDE,
     DECIDE_BATCH,
     EXECUTE,
@@ -62,25 +82,50 @@ class AsyncQueryClient:
     """Pipelined asyncio client: many requests in flight per connection."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._retry = retry
+        self._rng = rng if rng is not None else random.Random()
+        self._host = host
+        self._port = port
         self._ids = count(1)
         self._pending: Dict[int, "asyncio.Future[Response]"] = {}
         self._closed = False
         self._broken: Optional[BaseException] = None
+        self._reconnects = 0
+        self._connect_lock = asyncio.Lock()
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncQueryClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "AsyncQueryClient":
         # The protocol allows frames up to MAX_LINE_BYTES; asyncio's
         # default 64 KiB reader limit would kill the connection on the
         # first large result relation.
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES
         )
-        return cls(reader, writer)
+        return cls(reader, writer, retry=retry, rng=rng, host=host, port=port)
+
+    @property
+    def reconnects(self) -> int:
+        """How many times the retry machinery re-opened the connection."""
+        return self._reconnects
 
     # ------------------------------------------------------------------
 
@@ -111,10 +156,22 @@ class AsyncQueryClient:
             # Once the reader is gone, nothing can ever resolve a pending
             # future — fail the outstanding ones and refuse new requests
             # (a silent forever-hang is the one unacceptable outcome).
-            self._broken = error
+            # The server's final structured frame (e.g. a server_busy
+            # rejection) is delivered verbatim; everything else — EOF,
+            # torn frames, transport errors — becomes the typed
+            # ConnectionLostError.
+            if isinstance(error, (RemoteQueryError, ConnectionLostError)):
+                delivered: BaseException = error
+            else:
+                delivered = ConnectionLostError(
+                    f"connection lost with {len(self._pending)} request(s) "
+                    f"pending: {error}"
+                )
+                delivered.__cause__ = error
+            self._broken = delivered
             for future in self._pending.values():
                 if not future.done():
-                    future.set_exception(error)
+                    future.set_exception(delivered)
             self._pending.clear()
 
     async def _request(self, op: str, **fields: Any) -> Response:
@@ -131,54 +188,152 @@ class AsyncQueryClient:
         await self._writer.drain()
         return _raise_for(await future)
 
+    async def _reconnect(self) -> None:
+        """Re-open the transport after a break (serialized across callers)."""
+        async with self._connect_lock:
+            if self._closed:
+                raise RuntimeError("AsyncQueryClient is closed")
+            if self._broken is None:
+                return  # another caller already reconnected
+            if self._host is None or self._port is None:
+                raise ConnectionError(
+                    "cannot reconnect: client was built from raw streams "
+                    "(use AsyncQueryClient.connect for retryable clients)"
+                ) from self._broken
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+            reader, writer = await asyncio.open_connection(
+                self._host, self._port, limit=MAX_LINE_BYTES
+            )
+            self._reader = reader
+            self._writer = writer
+            self._broken = None
+            self._reconnects += 1
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _call(self, op: str, **fields: Any) -> Response:
+        """One request, retried under the client's policy when it has one."""
+        policy = self._retry
+        if policy is None:
+            return await self._request(op, **fields)
+        started = time.monotonic()
+        attempt = 0
+        last: Optional[BaseException] = None
+        while True:
+            attempt += 1
+            try:
+                if self._broken is not None:
+                    await self._reconnect()
+                return await self._request(op, **fields)
+            except (RuntimeError, asyncio.CancelledError):
+                raise  # closed client / caller teardown — never retried
+            except BaseException as exc:  # noqa: BLE001 — classified below
+                if not policy.retryable(exc):
+                    raise
+                last = exc
+            if attempt >= policy.max_attempts:
+                break
+            delay = policy.delay_for(attempt, self._rng)
+            if (
+                policy.max_elapsed is not None
+                and time.monotonic() - started + delay > policy.max_elapsed
+            ):
+                break
+            await asyncio.sleep(delay)
+        raise RetryExhaustedError(
+            f"{op} failed after {attempt} attempt(s): {last}",
+            attempts=attempt,
+            last_error=last,
+        ) from last
+
     # ------------------------------------------------------------------
     # The facade, over the wire
     # ------------------------------------------------------------------
 
-    async def execute(self, query: Any, database: str) -> Relation:
-        response = await self._request(
-            EXECUTE, query=query_text(query), database=database
+    async def execute(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> Relation:
+        response = await self._call(
+            EXECUTE, query=query_text(query), database=database, deadline=deadline
         )
         return decode_relation(response.result)
 
-    async def decide(self, query: Any, database: str) -> bool:
-        response = await self._request(
-            DECIDE, query=query_text(query), database=database
+    async def decide(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> bool:
+        response = await self._call(
+            DECIDE, query=query_text(query), database=database, deadline=deadline
         )
         return bool(response.result)
 
-    async def explain(self, query: Any, database: str) -> str:
-        response = await self._request(
-            EXPLAIN, query=query_text(query), database=database
+    async def explain(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> str:
+        response = await self._call(
+            EXPLAIN, query=query_text(query), database=database, deadline=deadline
         )
         return str(response.result)
 
     async def execute_batch(
-        self, queries: Sequence[Any], database: str
+        self,
+        queries: Sequence[Any],
+        database: str,
+        *,
+        deadline: Optional[float] = None,
     ) -> List[Relation]:
-        response = await self._request(
+        response = await self._call(
             EXECUTE_BATCH,
             queries=tuple(query_text(query) for query in queries),
             database=database,
+            deadline=deadline,
         )
         return [decode_relation(payload) for payload in response.result]
 
     async def decide_batch(
-        self, queries: Sequence[Any], database: str
+        self,
+        queries: Sequence[Any],
+        database: str,
+        *,
+        deadline: Optional[float] = None,
     ) -> List[bool]:
-        response = await self._request(
+        response = await self._call(
             DECIDE_BATCH,
             queries=tuple(query_text(query) for query in queries),
             database=database,
+            deadline=deadline,
         )
         return [bool(decision) for decision in response.result]
 
+    async def cancel(self, target: int) -> bool:
+        """Ask the server to cancel in-flight request *target*.
+
+        True when the server found the request still running and tore it
+        down (the cancelled request itself answers with a structured
+        ``cancelled`` error); False when it had already finished.  Sent
+        directly — a cancel is never retried.
+        """
+        response = await self._request(CANCEL, target=target)
+        return bool(response.result)
+
+    def pending_ids(self) -> List[int]:
+        """Request ids still awaiting a response — the targets ``cancel``
+        accepts.  Ids are assigned in request order starting from 1."""
+        return sorted(self._pending)
+
     async def stats(self) -> Dict[str, Any]:
-        response = await self._request(STATS)
+        response = await self._call(STATS)
         return dict(response.result)
 
     async def ping(self) -> bool:
-        await self._request(PING)
+        await self._call(PING)
         return True
 
     # ------------------------------------------------------------------
@@ -216,14 +371,31 @@ class QueryClient:
     """
 
     def __init__(
-        self, host: str, port: int, timeout: Optional[float] = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._rng = rng if rng is not None else random.Random()
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = count(1)
         self._stash: Dict[int, Response] = {}
         self._closed = False
         self._broken: Optional[BaseException] = None
+        self._reconnects = 0
+
+    @property
+    def reconnects(self) -> int:
+        """How many times the retry machinery re-opened the connection."""
+        return self._reconnects
 
     # ------------------------------------------------------------------
 
@@ -251,47 +423,132 @@ class QueryClient:
                 if message.id == request.id or message.id is None:
                     return _raise_for(message)
                 self._stash[message.id] = message
+        except socket.timeout as exc:
+            # The reply may still arrive later and desynchronize the
+            # framing — poison the connection, answer typed.
+            self._broken = exc
+            raise RequestTimeoutError(
+                f"no response within {self._timeout}s", timeout=self._timeout
+            ) from exc
         except (OSError, ProtocolError) as exc:
-            # Timeouts (socket.timeout is OSError) and framing failures
-            # leave the stream position undefined — poison the client.
+            # Framing failures and transport errors leave the stream
+            # position undefined — poison the client.
             self._broken = exc
             raise
 
+    def _reconnect(self) -> None:
+        """Re-open the socket after a break (single-threaded client)."""
+        if self._closed:
+            raise RuntimeError("QueryClient is closed")
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        self._sock.close()
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+        self._stash.clear()
+        self._broken = None
+        self._reconnects += 1
+
+    def _call(self, op: str, **fields: Any) -> Response:
+        """One request, retried under the client's policy when it has one."""
+        policy = self._retry
+        if policy is None:
+            return self._request(op, **fields)
+        started = time.monotonic()
+        attempt = 0
+        last: Optional[BaseException] = None
+        while True:
+            attempt += 1
+            try:
+                if self._broken is not None:
+                    self._reconnect()
+                return self._request(op, **fields)
+            except RuntimeError:
+                raise  # closed client — never retried
+            except BaseException as exc:  # noqa: BLE001 — classified below
+                if not policy.retryable(exc):
+                    raise
+                last = exc
+            if attempt >= policy.max_attempts:
+                break
+            delay = policy.delay_for(attempt, self._rng)
+            if (
+                policy.max_elapsed is not None
+                and time.monotonic() - started + delay > policy.max_elapsed
+            ):
+                break
+            time.sleep(delay)
+        raise RetryExhaustedError(
+            f"{op} failed after {attempt} attempt(s): {last}",
+            attempts=attempt,
+            last_error=last,
+        ) from last
+
     # ------------------------------------------------------------------
 
-    def execute(self, query: Any, database: str) -> Relation:
-        response = self._request(EXECUTE, query=query_text(query), database=database)
+    def execute(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> Relation:
+        response = self._call(
+            EXECUTE, query=query_text(query), database=database, deadline=deadline
+        )
         return decode_relation(response.result)
 
-    def decide(self, query: Any, database: str) -> bool:
-        response = self._request(DECIDE, query=query_text(query), database=database)
+    def decide(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> bool:
+        response = self._call(
+            DECIDE, query=query_text(query), database=database, deadline=deadline
+        )
         return bool(response.result)
 
-    def explain(self, query: Any, database: str) -> str:
-        response = self._request(EXPLAIN, query=query_text(query), database=database)
+    def explain(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> str:
+        response = self._call(
+            EXPLAIN, query=query_text(query), database=database, deadline=deadline
+        )
         return str(response.result)
 
-    def execute_batch(self, queries: Sequence[Any], database: str) -> List[Relation]:
-        response = self._request(
+    def execute_batch(
+        self,
+        queries: Sequence[Any],
+        database: str,
+        *,
+        deadline: Optional[float] = None,
+    ) -> List[Relation]:
+        response = self._call(
             EXECUTE_BATCH,
             queries=tuple(query_text(query) for query in queries),
             database=database,
+            deadline=deadline,
         )
         return [decode_relation(payload) for payload in response.result]
 
-    def decide_batch(self, queries: Sequence[Any], database: str) -> List[bool]:
-        response = self._request(
+    def decide_batch(
+        self,
+        queries: Sequence[Any],
+        database: str,
+        *,
+        deadline: Optional[float] = None,
+    ) -> List[bool]:
+        response = self._call(
             DECIDE_BATCH,
             queries=tuple(query_text(query) for query in queries),
             database=database,
+            deadline=deadline,
         )
         return [bool(decision) for decision in response.result]
 
     def stats(self) -> Dict[str, Any]:
-        return dict(self._request(STATS).result)
+        return dict(self._call(STATS).result)
 
     def ping(self) -> bool:
-        self._request(PING)
+        self._call(PING)
         return True
 
     # ------------------------------------------------------------------

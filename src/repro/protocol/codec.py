@@ -28,11 +28,20 @@ code                   raised by
 ``schema_error``       the query used relations/arity the data lacks
 ``plan_error``         structural requirements failed (acyclicity, ...)
 ``backpressure``       per-client admission budget exhausted
+``server_busy``        the server's connection limit is reached
+``deadline_exceeded``  the request's ``deadline`` expired mid-execution
+``cancelled``          the request was torn down (explicit ``cancel``
+                       message, client disconnect, idle timeout)
 ``shutting_down``      the server is draining
 ``unrepresentable``    a result value is not JSON-representable
 ``query_error``        any other library failure (``ReproError`` catch-all)
 ``internal_error``     anything unforeseen (message only, no traceback)
 =====================  ==============================================
+
+The transient codes — ``server_busy``, ``backpressure``,
+``shutting_down`` — are exactly the retry set of
+:data:`repro.resilience.DEFAULT_RETRY_CODES`; everything else fails the
+same way on a second attempt and is not retried.
 """
 
 from __future__ import annotations

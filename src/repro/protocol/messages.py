@@ -45,8 +45,9 @@ DECIDE_BATCH = "decide_batch"
 EXPLAIN = "explain"
 STATS = "stats"
 PING = "ping"
+CANCEL = "cancel"
 
-OPS = (EXECUTE, DECIDE, EXECUTE_BATCH, DECIDE_BATCH, EXPLAIN, STATS, PING)
+OPS = (EXECUTE, DECIDE, EXECUTE_BATCH, DECIDE_BATCH, EXPLAIN, STATS, PING, CANCEL)
 
 #: Ops that carry one query and a database name.
 QUERY_OPS = (EXECUTE, DECIDE, EXPLAIN)
@@ -62,9 +63,19 @@ BOOLEANS = "booleans"
 TEXT = "text"
 STATS_RESULT = "stats"
 PONG = "pong"
+CANCELLED = "cancelled"
 ERROR = "error"
 
-RESULT_KINDS = (RELATION, BOOLEAN, RELATIONS, BOOLEANS, TEXT, STATS_RESULT, PONG)
+RESULT_KINDS = (
+    RELATION,
+    BOOLEAN,
+    RELATIONS,
+    BOOLEANS,
+    TEXT,
+    STATS_RESULT,
+    PONG,
+    CANCELLED,
+)
 
 #: JSON scalar types a relation value may carry on the wire.
 _WIRE_SCALARS = (str, int, float, bool, type(None))
@@ -144,6 +155,12 @@ class Request:
     query: Optional[str] = None
     queries: Optional[Tuple[str, ...]] = None
     database: Optional[str] = None
+    #: Optional per-request budget in seconds (query/batch ops only):
+    #: past it the server answers ``deadline_exceeded`` and cancels the
+    #: execution cooperatively.
+    deadline: Optional[float] = None
+    #: For ``cancel``: the id of the in-flight request to tear down.
+    target: Optional[int] = None
 
     def to_wire(self) -> Dict[str, Any]:
         self.validate()
@@ -154,6 +171,10 @@ class Request:
             payload["queries"] = list(self.queries)
         if self.database is not None:
             payload["database"] = self.database
+        if self.deadline is not None:
+            payload["deadline"] = self.deadline
+        if self.target is not None:
+            payload["target"] = self.target
         return payload
 
     def validate(self) -> None:
@@ -164,6 +185,21 @@ class Request:
             )
         if not isinstance(self.id, int) or isinstance(self.id, bool) or self.id < 0:
             raise ProtocolError("request id must be a non-negative integer")
+        if self.deadline is not None:
+            if self.op not in QUERY_OPS and self.op not in BATCH_OPS:
+                raise ProtocolError(f"{self.op} takes no 'deadline'", op=self.op)
+            if (
+                isinstance(self.deadline, bool)
+                or not isinstance(self.deadline, (int, float))
+                or not self.deadline > 0
+                or self.deadline != self.deadline  # NaN
+                or self.deadline == float("inf")
+            ):
+                raise ProtocolError(
+                    "'deadline' must be a positive finite number of seconds"
+                )
+        if self.target is not None and self.op != CANCEL:
+            raise ProtocolError(f"{self.op} takes no 'target'", op=self.op)
         if self.op in QUERY_OPS:
             if not isinstance(self.query, str):
                 raise ProtocolError(f"{self.op} needs a 'query' string", op=self.op)
@@ -182,6 +218,21 @@ class Request:
                 raise ProtocolError(f"{self.op} needs a 'database' name", op=self.op)
             if self.query is not None:
                 raise ProtocolError(f"{self.op} takes 'queries', not 'query'")
+        elif self.op == CANCEL:
+            if (
+                not isinstance(self.target, int)
+                or isinstance(self.target, bool)
+                or self.target < 0
+            ):
+                raise ProtocolError(
+                    "cancel needs a non-negative integer 'target'", op=self.op
+                )
+            if (
+                self.query is not None
+                or self.queries is not None
+                or self.database is not None
+            ):
+                raise ProtocolError("cancel takes only a 'target'", op=self.op)
         else:  # stats / ping carry no operands
             if (
                 self.query is not None
@@ -192,7 +243,16 @@ class Request:
 
     @classmethod
     def from_wire(cls, payload: Mapping[str, Any]) -> "Request":
-        unknown = set(payload) - {"v", "op", "id", "query", "queries", "database"}
+        unknown = set(payload) - {
+            "v",
+            "op",
+            "id",
+            "query",
+            "queries",
+            "database",
+            "deadline",
+            "target",
+        }
         if unknown:
             raise ProtocolError(
                 f"unknown request field(s): {sorted(unknown)}",
@@ -209,6 +269,8 @@ class Request:
             query=payload.get("query"),
             queries=queries,
             database=payload.get("database"),
+            deadline=payload.get("deadline"),
+            target=payload.get("target"),
         )
         request.validate()
         return request
@@ -339,6 +401,8 @@ __all__ = [
     "BATCH_OPS",
     "BOOLEAN",
     "BOOLEANS",
+    "CANCEL",
+    "CANCELLED",
     "DECIDE",
     "DECIDE_BATCH",
     "ERROR",

@@ -22,6 +22,22 @@ Per-connection mechanics:
   finish and their responses flush, late requests get ``shutting_down``
   errors, and only then do connections and the owned service close.
 
+Resilience mechanics (see ``docs/resilience.md``):
+
+* a request's ``deadline`` flows into the service's
+  :class:`~repro.resilience.CancelToken` machinery — oversized queries
+  answer ``deadline_exceeded`` on time instead of holding their lane;
+* a ``cancel`` op (or the client vanishing mid-request) tears the
+  in-flight handler task down; the service releases the FairQueue slot
+  and the target request answers with a typed ``cancelled`` error;
+* ``max_connections`` rejects connections past the limit with a typed
+  ``server_busy`` final frame; ``idle_timeout`` closes connections that
+  stay silent — both surfaced in ``stats()``'s ``transport`` section;
+* a :class:`~repro.resilience.FaultPlan` (constructor or the
+  ``REPRO_FAULTS`` environment variable — the chaos suite drives
+  subprocess servers through the latter) injects delayed responses,
+  dropped connections, and torn frames at named sites.
+
 The module doubles as the server executable::
 
     PYTHONPATH=src python -m repro.protocol.server \\
@@ -41,14 +57,18 @@ import sys
 from itertools import count
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
+from ..errors import CancelledRequestError, ServerBusyError
 from ..relational.database import Database
 from ..relational.io import load_database_json
+from ..resilience.faults import FaultPlan
 from ..service.service import QueryService
 from ..service.stats import ServiceStats
 from .codec import MAX_LINE_BYTES, decode, encode, error_response, request_id_of
 from .messages import (
     BOOLEAN,
     BOOLEANS,
+    CANCEL,
+    CANCELLED,
     DECIDE,
     DECIDE_BATCH,
     EXECUTE,
@@ -71,13 +91,16 @@ from .messages import (
 class _Connection:
     """Per-connection state: writer, write lock, in-flight request tasks."""
 
-    __slots__ = ("client", "writer", "tasks", "lock")
+    __slots__ = ("client", "writer", "tasks", "lock", "inflight")
 
     def __init__(self, client: str, writer: asyncio.StreamWriter) -> None:
         self.client = client
         self.writer = writer
         self.tasks: "set[asyncio.Task[None]]" = set()
         self.lock = asyncio.Lock()
+        #: Request id → handler task, while the request is in flight.  The
+        #: ``cancel`` op and disconnect teardown both cancel through here.
+        self.inflight: Dict[int, "asyncio.Task[None]"] = {}
 
     async def send(self, response: Response) -> None:
         """Write one response line atomically (pipelined tasks interleave)."""
@@ -111,6 +134,17 @@ class QueryServer:
     service:
         An externally owned service to front.  ``None`` constructs one
         (forwarding ``service_kwargs``) that the server owns and closes.
+    max_connections:
+        Accept at most this many concurrent connections; the next one
+        gets a single ``server_busy`` error frame and is closed.
+        ``None`` (default) means unbounded.
+    idle_timeout:
+        Close a connection after this many seconds without a complete
+        request frame.  ``None`` (default) keeps silent connections open.
+    fault_plan:
+        Deterministic fault injection for the chaos suite.  ``None``
+        reads :data:`~repro.resilience.faults.FAULTS_ENV_VAR` so
+        subprocess servers inherit the plan from their environment.
     """
 
     def __init__(
@@ -120,6 +154,9 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         service: Optional[QueryService] = None,
+        max_connections: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
         **service_kwargs: Any,
     ) -> None:
         if service is not None and service_kwargs:
@@ -127,6 +164,10 @@ class QueryServer:
                 "pass service_kwargs only when the server constructs the "
                 f"service; got both a service and {sorted(service_kwargs)}"
             )
+        if max_connections is not None and max_connections < 1:
+            raise ValueError(f"max_connections must be >= 1, got {max_connections}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
         self._databases = dict(databases)
         self._host = host
         self._port = port
@@ -134,12 +175,22 @@ class QueryServer:
             service if service is not None else QueryService(**service_kwargs)
         )
         self._owns_service = service is None
+        self._max_connections = max_connections
+        self._idle_timeout = idle_timeout
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self._faults = fault_plan if fault_plan else None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[str, _Connection] = {}
         self._handler_tasks: "set[asyncio.Task[None]]" = set()
         self._conn_ids = count(1)
         self._draining = False
         self._closed = False
+        # Transport-level counters (loop thread only, like the service's).
+        self._connections_total = 0
+        self._busy_rejections = 0
+        self._idle_closed = 0
+        self._cancel_requests = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -209,24 +260,85 @@ class QueryServer:
             task.add_done_callback(self._handler_tasks.discard)
         client = f"conn-{next(self._conn_ids)}"
         connection = _Connection(client, writer)
+        if (
+            self._max_connections is not None
+            and len(self._connections) >= self._max_connections
+        ):
+            # One typed final frame, then hang up — the client's retry
+            # policy treats server_busy as transient.
+            self._busy_rejections += 1
+            await connection.send(
+                error_response(
+                    None,
+                    ServerBusyError(
+                        f"connection limit of {self._max_connections} reached",
+                        max_connections=self._max_connections,
+                    ),
+                )
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+            return
+        self._connections_total += 1
         self._connections[client] = connection
         try:
             await self._read_loop(reader, connection)
-            await connection.settle()
         finally:
             self._connections.pop(client, None)
+            # The reader is done — EOF, error, or idle timeout.  No test
+            # or shipped client half-closes, so a vanished reader means a
+            # vanished client: tear down its in-flight work instead of
+            # letting it hold fairness-lane slots.  (On graceful drain the
+            # connections were settled *before* their writers closed, so
+            # there is nothing left to cancel here.)
+            self._cancel_inflight(connection, "client disconnected")
+            await connection.settle()
             connection.writer.close()
             try:
                 await connection.writer.wait_closed()
             except (ConnectionError, RuntimeError):
                 pass
 
+    def _cancel_inflight(self, connection: _Connection, reason: str) -> None:
+        """Tear down every in-flight handler task on *connection*.
+
+        Cancellation propagates into the service's ``_await_result``,
+        which releases the FairQueue slot (last-waiter teardown) — a
+        vanished client cannot leave zombie work holding its lane.
+        """
+        for task in list(connection.inflight.values()):
+            if not task.done():
+                task.cancel(reason)
+
     async def _read_loop(
         self, reader: asyncio.StreamReader, connection: _Connection
     ) -> None:
         while True:
             try:
-                line = await reader.readline()
+                if self._idle_timeout is not None:
+                    try:
+                        line = await asyncio.wait_for(
+                            reader.readline(), self._idle_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        # Silent too long — one typed final frame, hang up.
+                        self._idle_closed += 1
+                        await connection.send(
+                            error_response(
+                                None,
+                                CancelledRequestError(
+                                    f"connection idle for more than "
+                                    f"{self._idle_timeout}s",
+                                    idle_timeout=self._idle_timeout,
+                                ),
+                            )
+                        )
+                        return
+                else:
+                    line = await reader.readline()
             except (ValueError, asyncio.LimitOverrunError):
                 # An overlong frame cannot be resynchronized — answer
                 # structurally, then hang up.
@@ -266,12 +378,31 @@ class QueryServer:
             task.add_done_callback(connection.tasks.discard)
 
     async def _handle(self, request: Request, connection: _Connection) -> None:
+        task = asyncio.current_task()
+        if task is not None and request.id not in connection.inflight:
+            connection.inflight[request.id] = task
+            task.add_done_callback(
+                lambda _t, rid=request.id: connection.inflight.pop(rid, None)
+            )
         try:
-            response = await self._dispatch(request, connection.client)
+            response = await self._dispatch(request, connection)
         except asyncio.CancelledError:
-            raise
+            # Torn down — explicit cancel op or disconnect.  Answer with a
+            # typed error (best effort: the transport may already be gone)
+            # and swallow the cancellation so the response can flush.
+            await connection.send(
+                error_response(
+                    request.id,
+                    CancelledRequestError("request was cancelled"),
+                )
+            )
+            return
         except BaseException as exc:  # noqa: BLE001 — answered structurally
             response = error_response(request.id, exc)
+        if self._faults is not None and not await self._inject_faults(
+            request, connection
+        ):
+            return  # the fault consumed the response (drop / torn frame)
         try:
             await connection.send(response)
         except ProtocolError as exc:
@@ -279,6 +410,39 @@ class QueryServer:
             # the frame bound).  The request still gets an answer — the
             # error response is tiny and always encodes.
             await connection.send(error_response(request.id, exc))
+
+    async def _inject_faults(
+        self, request: Request, connection: _Connection
+    ) -> bool:
+        """Fire response-path fault sites; False means "send no response"."""
+        plan = self._faults
+        assert plan is not None
+        delay = plan.fire("server.delay")
+        if delay is not None and delay.delay > 0:
+            await asyncio.sleep(delay.delay)
+        if plan.fire("server.drop") is not None:
+            # The connection vanishes without an answer — the client sees
+            # an abrupt close and its pending requests fail typed.
+            transport = connection.writer.transport
+            if transport is not None:
+                transport.abort()
+            return False
+        if plan.fire("server.torn_frame") is not None:
+            # Half a frame, then a hard close: the client's decoder must
+            # fail loudly, never hand back a truncated result.
+            data = encode(error_response(request.id, ProtocolError("torn")))
+            async with connection.lock:
+                if not connection.writer.is_closing():
+                    connection.writer.write(data[: max(1, len(data) // 2)])
+                    try:
+                        await connection.writer.drain()
+                    except (ConnectionError, RuntimeError):
+                        pass
+            transport = connection.writer.transport
+            if transport is not None:
+                transport.abort()
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -295,31 +459,52 @@ class QueryServer:
             )
         return database
 
-    async def _dispatch(self, request: Request, client: str) -> Response:
+    async def _dispatch(self, request: Request, connection: _Connection) -> Response:
         service = self._service
+        client = connection.client
+        deadline = request.deadline
         op = request.op
         if op == PING:
             return Response(id=request.id, kind=PONG, result=None)
         if op == STATS:
             stats = await service.stats()
             return Response(
-                id=request.id, kind=STATS_RESULT, result=stats_payload(stats)
+                id=request.id,
+                kind=STATS_RESULT,
+                result=stats_payload(stats, transport=self._transport_stats()),
             )
+        if op == CANCEL:
+            # Cancellation is scoped to the requesting connection — one
+            # client cannot reach into another's in-flight requests.
+            self._cancel_requests += 1
+            target = None
+            if request.target is not None:
+                target = connection.inflight.get(request.target)
+            cancelled = False
+            if target is not None and not target.done():
+                cancelled = target.cancel("cancelled by client request")
+            return Response(id=request.id, kind=CANCELLED, result=bool(cancelled))
         database = self._database(request)
         if op == EXECUTE:
-            relation = await service.execute(request.query, database, client=client)
+            relation = await service.execute(
+                request.query, database, client=client, deadline=deadline
+            )
             return Response(
                 id=request.id, kind=RELATION, result=encode_relation(relation)
             )
         if op == DECIDE:
-            decision = await service.decide(request.query, database, client=client)
+            decision = await service.decide(
+                request.query, database, client=client, deadline=deadline
+            )
             return Response(id=request.id, kind=BOOLEAN, result=bool(decision))
         if op == EXPLAIN:
-            rendering = await service.explain(request.query, database, client=client)
+            rendering = await service.explain(
+                request.query, database, client=client, deadline=deadline
+            )
             return Response(id=request.id, kind=TEXT, result=rendering)
         if op == EXECUTE_BATCH:
             relations = await service.execute_batch(
-                list(request.queries or ()), database, client=client
+                list(request.queries or ()), database, client=client, deadline=deadline
             )
             return Response(
                 id=request.id,
@@ -328,7 +513,7 @@ class QueryServer:
             )
         if op == DECIDE_BATCH:
             decisions = await service.decide_batch(
-                list(request.queries or ()), database, client=client
+                list(request.queries or ()), database, client=client, deadline=deadline
             )
             return Response(
                 id=request.id,
@@ -336,6 +521,18 @@ class QueryServer:
                 result=[bool(decision) for decision in decisions],
             )
         raise ProtocolError(f"unknown op {op!r}")  # unreachable past validate()
+
+    def _transport_stats(self) -> Dict[str, Any]:
+        """The transport-level counters for the ``stats`` payload."""
+        return {
+            "connections_total": self._connections_total,
+            "connections_active": len(self._connections),
+            "busy_rejections": self._busy_rejections,
+            "idle_closed": self._idle_closed,
+            "cancel_requests": self._cancel_requests,
+            "max_connections": self._max_connections,
+            "idle_timeout": self._idle_timeout,
+        }
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else ("bound" if self._server else "idle")
@@ -345,11 +542,13 @@ class QueryServer:
         )
 
 
-def stats_payload(stats: ServiceStats) -> Dict[str, Any]:
+def stats_payload(
+    stats: ServiceStats, *, transport: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     """A JSON-able rendering of :class:`ServiceStats` for the wire."""
     counters = stats.service
     cache = stats.engine.cache
-    return {
+    payload: Dict[str, Any] = {
         "service": {
             "submitted": counters.submitted,
             "coalesced": counters.coalesced,
@@ -358,6 +557,8 @@ def stats_payload(stats: ServiceStats) -> Dict[str, Any]:
             "completed": counters.completed,
             "failed": counters.failed,
             "rejected": counters.rejected,
+            "cancelled": counters.cancelled,
+            "deadline_exceeded": counters.deadline_exceeded,
             "max_queue_depth": counters.max_queue_depth,
             "max_group": counters.max_group,
         },
@@ -401,6 +602,9 @@ def stats_payload(stats: ServiceStats) -> Dict[str, Any]:
             ],
         },
     }
+    if transport is not None:
+        payload["transport"] = transport
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -439,6 +643,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=None,
         help="admitted-but-unfinished budget per connection (reject beyond)",
     )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="reject connections past this count with server_busy",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="close connections silent for this many seconds",
+    )
     return parser
 
 
@@ -454,6 +670,11 @@ async def _serve(args: argparse.Namespace) -> int:
         service_kwargs["dispatchers"] = args.dispatchers
     if args.per_client_pending is not None:
         service_kwargs["max_pending_per_client"] = args.per_client_pending
+    server_kwargs: Dict[str, Any] = {}
+    if args.max_connections is not None:
+        server_kwargs["max_connections"] = args.max_connections
+    if args.idle_timeout is not None:
+        server_kwargs["idle_timeout"] = args.idle_timeout
     databases = {name: load_database_json(path) for name, path in args.database}
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -463,7 +684,7 @@ async def _serve(args: argparse.Namespace) -> int:
         except NotImplementedError:  # pragma: no cover - non-POSIX loops
             pass
     async with QueryServer(
-        databases, host=args.host, port=args.port, **service_kwargs
+        databases, host=args.host, port=args.port, **server_kwargs, **service_kwargs
     ) as server:
         host, port = server.address
         print(f"QUERYSERVER READY host={host} port={port}", flush=True)

@@ -152,6 +152,41 @@ class FairQueue(Generic[T]):
         self._wake_next(self._putters)
         return item
 
+    def purge(self, predicate) -> int:
+        """Remove queued items matching *predicate*; return how many.
+
+        The cancellation path: a group whose every waiter has left must
+        free its admission slot *now*, not when a dispatcher eventually
+        reaches it.  Purged items count as finished (no ``task_done``
+        will ever come for them) and their slots wake blocked putters.
+        """
+        removed = 0
+        for client in list(self._lanes):
+            lane = self._lanes[client]
+            kept: Deque[T] = deque(
+                item for item in lane if not predicate(item)
+            )
+            dropped = len(lane) - len(kept)
+            if not dropped:
+                continue
+            removed += dropped
+            if kept:
+                self._lanes[client] = kept
+            else:
+                del self._lanes[client]
+                try:
+                    self._rotation.remove(client)
+                except ValueError:
+                    pass
+        if removed:
+            self._size -= removed
+            self._unfinished -= removed
+            if self._unfinished == 0 and self._finished is not None:
+                self._finished.set()
+            for _ in range(removed):
+                self._wake_next(self._putters)
+        return removed
+
     def task_done(self) -> None:
         if self._unfinished <= 0:
             raise ValueError("task_done() called more times than items queued")

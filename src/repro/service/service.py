@@ -59,12 +59,19 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..engine.analysis import plan_cache_key
 from ..engine.engine import QueryEngine
-from ..errors import ParseError, RequestRejectedError, ServiceOverloadedError
+from ..errors import (
+    CancelledRequestError,
+    DeadlineExceededError,
+    ParseError,
+    RequestRejectedError,
+    ServiceOverloadedError,
+)
 from ..parallel.pool import THREADS, WorkerPool, default_worker_count
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.parser import parse_query
 from ..relational.database import Database
 from ..relational.relation import Relation
+from ..resilience.token import CancelToken, activate
 from .fairness import ANONYMOUS, FairQueue
 from .stats import MutableClientStats, MutableCounters, ServiceStats
 
@@ -91,7 +98,16 @@ EXPLAIN = "explain"
 class _Group:
     """One queue item: same-shape, same-client requests dispatched together."""
 
-    __slots__ = ("kind", "database", "queries", "futures", "flushed", "client")
+    __slots__ = (
+        "kind",
+        "database",
+        "queries",
+        "futures",
+        "flushed",
+        "client",
+        "token",
+        "abandoned",
+    )
 
     def __init__(
         self,
@@ -100,6 +116,7 @@ class _Group:
         queries: List[ConjunctiveQuery],
         futures: List["asyncio.Future[Any]"],
         client: str = ANONYMOUS,
+        token: Optional[CancelToken] = None,
     ) -> None:
         self.kind = kind
         self.database = database
@@ -107,6 +124,37 @@ class _Group:
         self.futures = futures
         self.flushed = False
         self.client = client
+        #: Cancellation/deadline token the dispatcher activates around the
+        #: engine call.  ``None`` for plain requests; created lazily when a
+        #: fully abandoned group needs tearing down.
+        self.token = token
+        #: Member futures whose every waiter has left.  The group's
+        #: execution is cancelled only once this reaches ``len(futures)``
+        #: — the last-waiter rule for coalesced/batched requests.
+        self.abandoned = 0
+
+
+class _Flight:
+    """One single-flight entry: the shared future plus its waiter census.
+
+    ``waiters`` counts the callers currently awaiting the future (the
+    originator plus coalesced joiners).  A waiter that leaves early —
+    client disconnect, explicit cancel, deadline expiry — decrements it;
+    when the last one goes, the flight's group is told, and only a fully
+    abandoned group cancels the underlying execution.  ``abandoned``
+    marks a flight already reported to its group, so a joiner arriving
+    after a full abandonment (but before teardown settles the future)
+    reclaims it instead of double-counting.
+    """
+
+    __slots__ = ("future", "database", "group", "waiters", "abandoned")
+
+    def __init__(self, future: "asyncio.Future[Any]", database: Database) -> None:
+        self.future = future
+        self.database = database
+        self.group: Optional[_Group] = None
+        self.waiters = 0
+        self.abandoned = False
 
 
 class QueryService:
@@ -193,11 +241,11 @@ class QueryService:
         self._queue: Optional["FairQueue[_Group]"] = None
         self._dispatchers: List["asyncio.Task[None]"] = []
         self._background: Set["asyncio.Task[None]"] = set()
-        #: key → (future, database).  The database reference is load-
+        #: key → flight.  The flight's database reference is load-
         #: bearing: keys embed ``id(database)``, and holding the object
         #: for the entry's lifetime guarantees that id cannot be reused
         #: by a different database while a lookup could still hit it.
-        self._inflight: Dict[Tuple, Tuple["asyncio.Future[Any]", Database]] = {}
+        self._inflight: Dict[Tuple, _Flight] = {}
         self._collecting: Dict[Tuple, _Group] = {}
         #: Groups created but not yet on the queue — ``aclose`` enqueues
         #: any survivors so no admitted request is ever stranded.
@@ -209,24 +257,46 @@ class QueryService:
     # ------------------------------------------------------------------
 
     async def execute(
-        self, query: QueryLike, database: Database, *, client: str = ANONYMOUS
+        self,
+        query: QueryLike,
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
     ) -> Relation:
-        """Q(d) through the shared engine (single-flight, micro-batched)."""
-        return await self._submit(EXECUTE, query, database, client)
+        """Q(d) through the shared engine (single-flight, micro-batched).
+
+        *deadline* bounds the request in seconds from admission: past it
+        the call raises :class:`~repro.errors.DeadlineExceededError` and
+        the underlying execution is cooperatively cancelled (unless other
+        waiters still ride it).  Deadline'd requests skip micro-batch
+        collectors — one group, one token, one budget.
+        """
+        return await self._submit(EXECUTE, query, database, client, deadline)
 
     async def decide(
-        self, query: QueryLike, database: Database, *, client: str = ANONYMOUS
+        self,
+        query: QueryLike,
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
     ) -> bool:
         """Is Q(d) nonempty?  Decision requests micro-batch through the
         engine's decision-only N-wide lifting (``decide_batch``)."""
-        return await self._submit(DECIDE, query, database, client)
+        return await self._submit(DECIDE, query, database, client, deadline)
 
     async def explain(
-        self, query: QueryLike, database: Database, *, client: str = ANONYMOUS
+        self,
+        query: QueryLike,
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
     ) -> str:
         """The engine's plan rendering, without executing (coalesced but
         never batched — explaining is per-query by definition)."""
-        return await self._submit(EXPLAIN, query, database, client)
+        return await self._submit(EXPLAIN, query, database, client, deadline)
 
     async def execute_batch(
         self,
@@ -234,9 +304,12 @@ class QueryService:
         database: Database,
         *,
         client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
     ) -> List[Relation]:
         """Evaluate an explicit batch as one group (no window wait)."""
-        return await self._submit_group(EXECUTE, list(queries), database, client)
+        return await self._submit_group(
+            EXECUTE, list(queries), database, client, deadline
+        )
 
     async def decide_batch(
         self,
@@ -244,9 +317,12 @@ class QueryService:
         database: Database,
         *,
         client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
     ) -> List[bool]:
         """Decide an explicit batch as one group (no window wait)."""
-        return await self._submit_group(DECIDE, list(queries), database, client)
+        return await self._submit_group(
+            DECIDE, list(queries), database, client, deadline
+        )
 
     async def stats(self) -> ServiceStats:
         """Service counters, per-client rollups, and the engine snapshot."""
@@ -344,20 +420,116 @@ class QueryService:
         future.add_done_callback(_release)
 
     async def _await_result(
-        self, future: "asyncio.Future[Any]", client: str, started: float
+        self,
+        flight: _Flight,
+        client: str,
+        started: float,
+        deadline: Optional[float] = None,
     ) -> Any:
-        """Await a (shielded) result, recording the client's latency."""
+        """Await a flight's (shielded) result as one counted waiter.
+
+        The shield keeps the execution alive for other coalesced waiters
+        when *this* caller leaves; the waiter census is what turns "this
+        caller left" into "nobody is waiting — cancel the work".  With a
+        *deadline*, the wait is also bounded wall-clock from admission:
+        the caller gets its :class:`~repro.errors.DeadlineExceededError`
+        on time even if the engine is between check-points.
+        """
         stats = self._client_stats(client)
         assert self._loop is not None
+        flight.waiters += 1
+        if flight.abandoned:
+            # Rejoining a fully abandoned (but not yet settled) flight:
+            # take the abandonment back before it cancels the group.
+            flight.abandoned = False
+            if flight.group is not None:
+                flight.group.abandoned -= 1
         try:
-            result = await asyncio.shield(future)
+            if deadline is None:
+                result = await asyncio.shield(flight.future)
+            else:
+                # A bare timer that cancels the shield wrapper is several
+                # times cheaper per request than ``asyncio.wait_for``
+                # (which adds an ``ensure_future`` wrapper and a waiter
+                # future on 3.11) — it keeps the no-fault overhead of
+                # deadline'd floods in the noise.  Only the wrapper is
+                # cancelled; the shared flight future stays alive for
+                # coalesced waiters either way.
+                remaining = max(0.0, started + deadline - self._loop.time())
+                guarded = asyncio.shield(flight.future)
+                expired = False
+
+                def _expire() -> None:
+                    nonlocal expired
+                    if not guarded.done():
+                        expired = True
+                        guarded.cancel()
+
+                handle = self._loop.call_later(remaining, _expire)
+                try:
+                    result = await guarded
+                except asyncio.CancelledError:
+                    if expired:
+                        raise asyncio.TimeoutError from None
+                    raise
+                finally:
+                    handle.cancel()
         except asyncio.CancelledError:
+            # The caller was cancelled (client disconnect, explicit
+            # cancel): leave the flight; the last waiter out tears the
+            # execution down.
+            self._counters.cancelled += 1
+            self._abandon(flight, "client disconnected or cancelled")
             raise
+        except asyncio.TimeoutError:
+            self._counters.deadline_exceeded += 1
+            stats.record_latency(self._loop.time() - started, ok=False)
+            self._abandon(flight, "deadline exceeded")
+            raise DeadlineExceededError(
+                f"deadline of {deadline:g}s exceeded", deadline=deadline
+            ) from None
         except BaseException:
+            flight.waiters -= 1
             stats.record_latency(self._loop.time() - started, ok=False)
             raise
+        flight.waiters -= 1
         stats.record_latency(self._loop.time() - started, ok=True)
         return result
+
+    def _abandon(self, flight: _Flight, reason: str) -> None:
+        """One waiter left a flight early; cascade when it was the last."""
+        flight.waiters -= 1
+        if flight.waiters > 0 or flight.future.done() or flight.abandoned:
+            return
+        flight.abandoned = True
+        group = flight.group
+        if group is None:
+            return
+        group.abandoned += 1
+        if group.abandoned >= len(group.futures):
+            self._teardown_group(group, reason)
+
+    def _teardown_group(self, group: _Group, reason: str) -> None:
+        """Every waiter of every member is gone: stop the group's work.
+
+        Cancels the group's token — a running execution aborts at its
+        next evaluator check-point — and, when the group is still waiting
+        in the admission queue, removes it outright: the FairQueue slot
+        frees immediately and the dead futures settle with a typed error.
+        """
+        token = group.token
+        if token is None:
+            token = group.token = CancelToken()
+        token.cancel(reason)
+        if self._queue is not None and self._queue.purge(
+            lambda item: item is group
+        ):
+            error = CancelledRequestError(
+                f"request cancelled: {reason}", reason=reason
+            )
+            for future in group.futures:
+                if not future.done():
+                    future.set_exception(error)
 
     async def _submit(
         self,
@@ -365,6 +537,7 @@ class QueryService:
         query: QueryLike,
         database: Database,
         client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
     ) -> Any:
         self._start_if_needed()
         assert self._loop is not None
@@ -372,18 +545,33 @@ class QueryService:
         query = self._coerce_query(query, client)
         key = (kind, id(database), query)
         existing = self._inflight.get(key)
+        if existing is not None and existing.group is not None:
+            token = existing.group.token
+            if token is not None and token.cancelled:
+                # The flight's teardown already fired (every waiter left,
+                # its token is cancelled) but the dying execution hasn't
+                # settled yet.  Rejoining cannot resurrect a cancelled
+                # token — the newcomer would inherit a cancellation it
+                # never asked for — so treat the entry as gone and start
+                # a fresh flight.  ``_retire`` removes entries by future
+                # identity, so the dead flight's settle cannot clobber
+                # the fresh one's registration.
+                existing = None
         if existing is not None:
             # Single-flight: identical request already in flight — await
             # its (immutable, safely shared) result instead of executing.
             # Coalescing crosses client lanes on purpose: the waiter rides
             # an execution someone else owns, so it neither counts against
-            # its budget nor occupies a queue slot.
+            # its budget nor occupies a queue slot.  A deadline'd waiter
+            # coalesces too: its own wait is bounded either way, and the
+            # execution is cancelled only when *every* waiter has left.
             self._counters.coalesced += 1
             self._client_stats(client).coalesced += 1
-            return await self._await_result(existing[0], client, started)
+            return await self._await_result(existing, client, started, deadline)
         self._check_capacity(client)
         future: "asyncio.Future[Any]" = self._loop.create_future()
-        self._inflight[key] = (future, database)
+        flight = _Flight(future, database)
+        self._inflight[key] = flight
         self._track_pending(future, client)
 
         def _retire(done: "asyncio.Future[Any]", key: Tuple = key) -> None:
@@ -394,7 +582,7 @@ class QueryService:
             # marks it retrieved for the orphan case where every caller
             # was cancelled before the result arrived.
             entry = self._inflight.get(key)
-            if entry is not None and entry[0] is done:
+            if entry is not None and entry.future is done:
                 del self._inflight[key]
             if not done.cancelled():
                 done.exception()
@@ -403,7 +591,7 @@ class QueryService:
         self._counters.submitted += 1
         self._client_stats(client).submitted += 1
         try:
-            await self._route(kind, query, database, future, client)
+            await self._route(kind, query, database, future, client, flight)
         except asyncio.CancelledError:
             # Caller cancelled during admission: the enqueue (if reached)
             # continues service-owned and the future resolves later for
@@ -417,7 +605,7 @@ class QueryService:
             if not future.done():
                 future.set_exception(exc)
             raise
-        return await self._await_result(future, client, started)
+        return await self._await_result(flight, client, started, deadline)
 
     async def _submit_group(
         self,
@@ -425,6 +613,7 @@ class QueryService:
         queries: List[QueryLike],
         database: Database,
         client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
     ) -> List[Any]:
         if not queries:
             return []
@@ -439,14 +628,40 @@ class QueryService:
         self._counters.submitted += len(coerced)
         stats = self._client_stats(client)
         stats.submitted += len(coerced)
-        group = _Group(kind, database, coerced, list(futures), client)
+        group = _Group(
+            kind, database, coerced, list(futures), client, CancelToken(deadline)
+        )
         group.flushed = True  # explicit batches never collect further
         self._unenqueued.add(group)
         await self._put(group)
         try:
-            results = list(await asyncio.gather(*futures))
+            if deadline is None:
+                results = list(await asyncio.gather(*futures))
+            else:
+                remaining = max(0.0, started + deadline - self._loop.time())
+                results = list(
+                    await asyncio.wait_for(
+                        asyncio.gather(
+                            *(asyncio.shield(future) for future in futures)
+                        ),
+                        remaining,
+                    )
+                )
         except asyncio.CancelledError:
+            # Explicit batches have exactly one waiter — tear down now.
+            self._counters.cancelled += len(futures)
+            self._teardown_group(group, "client disconnected or cancelled")
             raise
+        except asyncio.TimeoutError:
+            self._counters.deadline_exceeded += len(futures)
+            seconds = self._loop.time() - started
+            for _ in futures:
+                stats.record_latency(seconds, ok=False)
+            self._teardown_group(group, "deadline exceeded")
+            assert deadline is not None
+            raise DeadlineExceededError(
+                f"deadline of {deadline:g}s exceeded", deadline=deadline
+            ) from None
         except BaseException:
             seconds = self._loop.time() - started
             for _ in futures:
@@ -464,11 +679,22 @@ class QueryService:
         database: Database,
         future: "asyncio.Future[Any]",
         client: str = ANONYMOUS,
+        flight: Optional[_Flight] = None,
     ) -> None:
+        # Every group carries a (deadline-free) token from birth so that
+        # the dispatch closure and the teardown path always see the SAME
+        # token: a lazily-created one could be cancelled after dispatch
+        # already captured ``None``, silently losing the cancellation.
+        # Deadlines stay waiter-side (``_await_result``'s bounded wait) —
+        # a deadline'd request batches and coalesces like any other, and
+        # its engine work stops via last-waiter abandonment, so deadlines
+        # cost none of the sharing the service exists to provide.
         window = self._batch_window
         if window <= 0.0 or kind == EXPLAIN:
-            group = _Group(kind, database, [query], [future], client)
+            group = _Group(kind, database, [query], [future], client, CancelToken())
             group.flushed = True
+            if flight is not None:
+                flight.group = group
             self._unenqueued.add(group)
             await self._put(group)
             return
@@ -480,12 +706,16 @@ class QueryService:
         if group is not None and not group.flushed:
             group.queries.append(query)
             group.futures.append(future)
+            if flight is not None:
+                flight.group = group
             self._counters.batched += 1
             self._client_stats(client).batched += 1
             if len(group.queries) >= self._batch_limit:
                 await self._flush(shape, group)
             return
-        group = _Group(kind, database, [query], [future], client)
+        group = _Group(kind, database, [query], [future], client, CancelToken())
+        if flight is not None:
+            flight.group = group
         self._unenqueued.add(group)
         self._collecting[shape] = group
         assert self._loop is not None
@@ -556,18 +786,24 @@ class QueryService:
             self._counters.max_group = len(group.queries)
         engine = self._engine
         kind, queries, database = group.kind, group.queries, group.database
+        token = group.token
 
         def run() -> List[Any]:
-            if kind == EXECUTE:
-                if len(queries) == 1:
-                    return [engine.execute(queries[0], database)]
-                return engine.execute_batch(queries, database)
-            if kind == DECIDE:
-                if len(queries) == 1:
-                    return [engine.decide(queries[0], database)]
-                return engine.decide_batch(queries, database)
-            assert kind == EXPLAIN
-            return [engine.explain(queries[0], database)]
+            if token is not None:
+                # Pre-check before any engine work: a request abandoned
+                # or expired while queued costs nothing past this line.
+                token.check()
+            with activate(token):
+                if kind == EXECUTE:
+                    if len(queries) == 1:
+                        return [engine.execute(queries[0], database)]
+                    return engine.execute_batch(queries, database)
+                if kind == DECIDE:
+                    if len(queries) == 1:
+                        return [engine.decide(queries[0], database)]
+                    return engine.decide_batch(queries, database)
+                assert kind == EXPLAIN
+                return [engine.explain(queries[0], database)]
 
         try:
             results = await asyncio.wrap_future(self._pool.submit(run))
@@ -576,6 +812,22 @@ class QueryService:
                 if not future.done():
                     future.cancel()
             raise
+        except (CancelledRequestError, DeadlineExceededError) as exc:
+            # Cooperative teardown, not a failure: deliver the typed
+            # error to any waiter still attached.  Waiters that already
+            # timed out or left counted themselves (and show up in
+            # ``group.abandoned``); count only the others.
+            settled = 0
+            for future in group.futures:
+                if not future.done():
+                    future.set_exception(exc)
+                    settled += 1
+            settled = max(0, settled - group.abandoned)
+            if isinstance(exc, DeadlineExceededError):
+                self._counters.deadline_exceeded += settled
+            else:
+                self._counters.cancelled += settled
+            return
         except BaseException as exc:  # noqa: BLE001 — delivered to callers
             self._counters.failed += len(group.futures)
             for future in group.futures:

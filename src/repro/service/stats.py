@@ -50,6 +50,11 @@ class ServiceCounters:
     max_group: int
     #: Requests rejected at admission (per-client backpressure).
     rejected: int = 0
+    #: Requests torn down by cancellation (disconnect, explicit cancel,
+    #: last-waiter abandonment).
+    cancelled: int = 0
+    #: Requests that hit their deadline before completing.
+    deadline_exceeded: int = 0
 
     @property
     def requests(self) -> int:
@@ -135,6 +140,8 @@ class MutableCounters:
         "max_queue_depth",
         "max_group",
         "rejected",
+        "cancelled",
+        "deadline_exceeded",
     )
 
     def __init__(self) -> None:
@@ -147,6 +154,8 @@ class MutableCounters:
         self.max_queue_depth = 0
         self.max_group = 0
         self.rejected = 0
+        self.cancelled = 0
+        self.deadline_exceeded = 0
 
     def snapshot(self) -> ServiceCounters:
         return ServiceCounters(
@@ -159,6 +168,8 @@ class MutableCounters:
             max_queue_depth=self.max_queue_depth,
             max_group=self.max_group,
             rejected=self.rejected,
+            cancelled=self.cancelled,
+            deadline_exceeded=self.deadline_exceeded,
         )
 
 

@@ -473,6 +473,59 @@ class TestReviewRegressions:
         run(main())
 
 
+class TestDisconnectTeardown:
+    def test_mid_request_disconnect_releases_the_slot(self, chain_db, sequential):
+        """A client that vanishes mid-request must not leave zombie work
+        holding a dispatcher: the server cancels the in-flight task,
+        the service releases the FairQueue slot, and other connections
+        keep being served promptly."""
+        import random as _random
+
+        from repro import Database, parse_query
+
+        rng = _random.Random(11)
+        rows = {(rng.randrange(60), rng.randrange(60)) for _ in range(1400)}
+        slow_db = Database.from_tuples({"E": sorted(rows)})
+        slow = parse_query(
+            "Q(x1) :- E(x1, x2), E(x2, x3), E(x3, x4), E(x4, x5), "
+            "E(x5, x6), E(x6, x1)."
+        )
+        fast = path_query(3, head_arity=1)
+
+        async def main():
+            # One dispatcher: if the abandoned slow query kept its slot,
+            # the fast query below would queue behind its full runtime.
+            async with QueryServer(
+                {"slow": slow_db, "chain": chain_db},
+                dispatchers=1,
+                parallel=False,
+            ) as server:
+                host, port = server.address
+                doomed = await AsyncQueryClient.connect(host, port)
+                request = asyncio.ensure_future(doomed.execute(slow, "slow"))
+                await asyncio.sleep(0.15)  # the request reaches the engine
+                # Abrupt disconnect: abort the transport, no goodbye.
+                doomed._writer.transport.abort()
+                with pytest.raises((ConnectionError, OSError)):
+                    await asyncio.wait_for(request, timeout=10)
+                await doomed.aclose()
+                async with await AsyncQueryClient.connect(host, port) as client:
+                    import time as _time
+
+                    started = _time.monotonic()
+                    result = await asyncio.wait_for(
+                        client.execute(fast, "chain"), timeout=15
+                    )
+                    elapsed = _time.monotonic() - started
+                    stats = await client.stats()
+            return result, elapsed, stats
+
+        result, elapsed, stats = run(main())
+        assert result == sequential.execute(fast, chain_db)
+        assert elapsed < 10  # served promptly, not behind the zombie query
+        assert stats["service"]["cancelled"] >= 1
+
+
 class TestLifecycle:
     def test_graceful_drain_completes_in_flight(self, chain_db, sequential):
         query = path_query(4, head_arity=1)
