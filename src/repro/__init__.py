@@ -35,6 +35,7 @@ from .query import (
     parse_query,
 )
 from .evaluation import (
+    CountingYannakakisEvaluator,
     DatalogEvaluator,
     FirstOrderEvaluator,
     NaiveEvaluator,
@@ -43,6 +44,7 @@ from .evaluation import (
     YannakakisEvaluator,
 )
 from .engine import QueryEngine, QueryPlan
+from .operations import Operation
 from .parallel import ParallelYannakakisEvaluator, ShardedRelation, WorkerPool
 from .resilience import CancelToken, FaultPlan, RetryPolicy
 from .service import QueryService, ServiceStats
@@ -59,6 +61,7 @@ __all__ = [
     "Comparison",
     "ConjunctiveQuery",
     "ConnectionLostError",
+    "CountingYannakakisEvaluator",
     "Database",
     "DatalogEvaluator",
     "DatalogProgram",
@@ -70,6 +73,7 @@ __all__ = [
     "Inequality",
     "NaiveEvaluator",
     "NotAcyclicError",
+    "Operation",
     "ParseError",
     "ParallelYannakakisEvaluator",
     "PositiveEvaluator",

@@ -13,11 +13,20 @@ from .analysis import (
     ACYCLIC_NEQ,
     BOUNDED_TREEWIDTH,
     BOUNDED_VARIABLES,
+    COUNT_BOOLEAN,
+    COUNT_COVERED,
+    COUNT_FULL,
+    COUNT_GENERAL,
+    COUNT_HARD,
+    COUNTING_MODES,
     DEFAULT_TREEWIDTH_THRESHOLD,
+    FAST_COUNTING_MODES,
     GENERAL,
     STRUCTURAL_CLASSES,
     StructuralAnalysis,
     analyze,
+    counting_mode,
+    covering_atom,
     plan_cache_key,
     schema_signature,
     shape_signature,
@@ -48,6 +57,12 @@ __all__ = [
     "BOUNDED_TREEWIDTH",
     "BOUNDED_VARIABLE",
     "BOUNDED_VARIABLES",
+    "COUNTING_MODES",
+    "COUNT_BOOLEAN",
+    "COUNT_COVERED",
+    "COUNT_FULL",
+    "COUNT_GENERAL",
+    "COUNT_HARD",
     "CacheStats",
     "DEFAULT_BATCH_WIDE_THRESHOLD",
     "DEFAULT_REPLAN_DRIFT",
@@ -56,6 +71,7 @@ __all__ = [
     "DEFAULT_TREEWIDTH_THRESHOLD",
     "EVALUATORS",
     "EngineStats",
+    "FAST_COUNTING_MODES",
     "GENERAL",
     "INEQUALITY",
     "NAIVE",
@@ -70,6 +86,8 @@ __all__ = [
     "TREEWIDTH",
     "YANNAKAKIS",
     "analyze",
+    "counting_mode",
+    "covering_atom",
     "default_shard_count",
     "plan_cache_key",
     "schema_signature",

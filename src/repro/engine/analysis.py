@@ -61,6 +61,33 @@ STRUCTURAL_CLASSES = (
 #: tractable via its tree decomposition (bag materialization is n^(w+1)).
 DEFAULT_TREEWIDTH_THRESHOLD = 3
 
+# ----------------------------------------------------------------------
+# Counting modes (Chen–Mengel trichotomy, operationalized)
+# ----------------------------------------------------------------------
+#
+# Counting the answers |Q(d)| is strictly harder than deciding emptiness:
+# with existential (projected-away) variables it is #P-hard even on
+# acyclic queries (high quantified star size).  The tractable islands the
+# engine serves without materializing the join:
+
+COUNT_BOOLEAN = "count-boolean"      #: no head variables — count is decide (0/1)
+COUNT_COVERED = "count-covered"      #: head vars inside one atom — |π_H| of its reduced relation
+COUNT_FULL = "count-full"            #: no existential vars — annotated multiplicity pass
+COUNT_HARD = "count-hard"            #: acyclic but projection uncovered — evaluate-then-count
+COUNT_GENERAL = "count-general"      #: cyclic / constraint-bearing — evaluate-then-count
+
+COUNTING_MODES = (
+    COUNT_BOOLEAN,
+    COUNT_COVERED,
+    COUNT_FULL,
+    COUNT_HARD,
+    COUNT_GENERAL,
+)
+
+#: Modes the annotated counting evaluator serves directly (decide-like
+#: cost); the rest fall back to full evaluation plus a cardinality read.
+FAST_COUNTING_MODES = (COUNT_BOOLEAN, COUNT_COVERED, COUNT_FULL)
+
 
 @dataclass(frozen=True)
 class StructuralAnalysis:
@@ -160,6 +187,48 @@ def analyze(
         distinct_variable_sets=distinct_variable_sets,
         variable_layout=variable_layout(query),
     )
+
+
+# ----------------------------------------------------------------------
+# Counting classification
+# ----------------------------------------------------------------------
+
+
+def covering_atom(query: ConjunctiveQuery) -> Optional[int]:
+    """Index of the first atom whose variables cover the head, or None.
+
+    When such an atom exists the query is *head-covered*: after a full
+    reduction every surviving tuple of that atom's candidate relation
+    participates in a global match, so the distinct head assignments are
+    exactly ``π_H`` of that one relation — counting costs a key count, not
+    a join.
+    """
+    head = {v for v in query.head_variables()}
+    if not head:
+        return None
+    for index, atom in enumerate(query.atoms):
+        if head <= atom.variable_set():
+            return index
+    return None
+
+
+def counting_mode(query: ConjunctiveQuery, structural_class: str) -> str:
+    """Classify *query* for counting, per the Chen–Mengel trichotomy.
+
+    Pure function of the query shape (like :func:`analyze`), so the mode
+    is computed once per plan and cached with it.  Order matters: a
+    boolean head is cheapest, a covered head beats the annotated pass,
+    and only acyclic constraint-free queries reach the fast modes at all.
+    """
+    if not query.head_variables():
+        return COUNT_BOOLEAN
+    if structural_class != ACYCLIC:
+        return COUNT_GENERAL
+    if covering_atom(query) is not None:
+        return COUNT_COVERED
+    if not query.existential_variables():
+        return COUNT_FULL
+    return COUNT_HARD
 
 
 # ----------------------------------------------------------------------

@@ -56,10 +56,30 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import QueryError
 from ..evaluation.bounded_variable import parameter_v_transform
+from ..evaluation.counting import (
+    CountingYannakakisEvaluator,
+    grouped_count_reference,
+    head_domain_size,
+)
 from ..evaluation.naive import NaiveEvaluator
 from ..evaluation.treewidth_eval import TreewidthEvaluator
 from ..evaluation.yannakakis import YannakakisEvaluator
 from ..inequalities.evaluator import AcyclicInequalityEvaluator
+from ..operations import (
+    AGG_COUNT,
+    AGG_EXISTS,
+    AGG_FORALL,
+    AGG_GROUP,
+    Operation,
+    operations_of,
+)
+from ..operations import (
+    AGGREGATE as OP_AGGREGATE,
+    COUNT as OP_COUNT,
+    DECIDE as OP_DECIDE,
+    EXECUTE as OP_EXECUTE,
+    EXPLAIN as OP_EXPLAIN,
+)
 from ..parallel.batch import LiftedBatch, lift_batch_group
 from ..parallel.executor import ParallelYannakakisEvaluator
 from ..parallel.pool import THREADS, WorkerPool
@@ -69,7 +89,10 @@ from ..relational.relation import Relation
 from ..resilience.token import check_cancelled
 from .analysis import (
     ACYCLIC,
+    COUNT_BOOLEAN,
     DEFAULT_TREEWIDTH_THRESHOLD,
+    FAST_COUNTING_MODES,
+    counting_mode,
     plan_cache_key,
     variable_layout,
 )
@@ -142,9 +165,15 @@ class QueryEngine:
         batch_wide_threshold: int = DEFAULT_BATCH_WIDE_THRESHOLD,
         replan_drift_threshold: Optional[float] = DEFAULT_REPLAN_DRIFT,
     ) -> None:
-        self._planner = planner or Planner(treewidth_threshold)
         self._cache = PlanCache(plan_cache_size)
         self._ledger = ShapeLedger()
+        # The default planner is calibrated from this engine's own ledger:
+        # observed per-evaluator unit costs replace the static pass-weight
+        # prior once shapes warm up.  An injected planner keeps whatever
+        # calibration (usually none) it was built with.
+        self._planner = planner or Planner(
+            treewidth_threshold, calibration=self._ledger.observed_unit_costs
+        )
         self._replan_drift = replan_drift_threshold
         # Checked once, precisely: a legacy planner subclass without the
         # corrected-statistics parameter re-plans without it, while a
@@ -166,6 +195,22 @@ class QueryEngine:
         else:
             self._pool = None
             self._parallel_yannakakis = None
+        self._counting = CountingYannakakisEvaluator(reducer=self._yannakakis)
+        self._parallel_counting = (
+            CountingYannakakisEvaluator(reducer=self._parallel_yannakakis)
+            if self._parallel_yannakakis is not None
+            else None
+        )
+        # The per-layer dispatch table the Operation API rides on: adding
+        # an operation kind means one entry here (plus its thin facade),
+        # not a parallel copy of the plan/record/batch plumbing.
+        self._op_runners = {
+            OP_EXECUTE: self._op_execute,
+            OP_DECIDE: self._op_decide,
+            OP_EXPLAIN: self._op_explain,
+            OP_COUNT: self._op_count,
+            OP_AGGREGATE: self._op_aggregate,
+        }
 
     # ------------------------------------------------------------------
     # Planning
@@ -193,30 +238,86 @@ class QueryEngine:
         plan = self._cache.put_if_absent(key, plan)
         return plan, "miss", key
 
-    def explain(self, query: ConjunctiveQuery, database: Database) -> str:
-        """The plan rendering for (query, database), without executing."""
-        plan, status, _ = self._plan_entry(query, database)
-        stats = self._cache.stats
-        footer = (
-            f"  cache    : {status} "
-            f"(hits={stats.hits}, misses={stats.misses}, "
-            f"evictions={stats.evictions}, size={stats.size}/{stats.capacity})"
-        )
-        return plan.explain(cache_status=status) + "\n" + footer
-
     # ------------------------------------------------------------------
-    # Execution
+    # The generic Operation path (facades below are one-line wrappers)
     # ------------------------------------------------------------------
 
-    def execute(
-        self,
-        query: ConjunctiveQuery,
-        database: Database,
-        evaluator: Optional[str] = None,
-    ) -> Relation:
-        """Q(d) through the adaptive pipeline (or a forced *evaluator*)."""
-        if evaluator is not None:
-            return self._dispatch(evaluator, None, query, database, decide=False)
+    def run(self, operation: Operation, database: Database) -> Any:
+        """Run one :class:`~repro.operations.Operation` — the single entry
+        point every facade method routes through.  Dispatches on the
+        operation kind via the engine's runner table."""
+        runner = self._op_runners.get(operation.kind)
+        if runner is None:
+            raise QueryError(
+                f"engine has no runner for operation kind {operation.kind!r}"
+            )
+        return runner(operation, database)
+
+    def run_batch(
+        self, operations: Sequence[Operation], database: Database
+    ) -> List[Any]:
+        """Run many operations, planning once per distinct (kind, options,
+        shape) group.
+
+        ``execute``/``decide`` groups keep the full batching machinery —
+        duplicate sharing, N-wide lifting, pool fan-out; other kinds share
+        duplicates and fan members across the pool.  Results come back in
+        input order, equal to running each operation on its own.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        for position, operation in enumerate(operations):
+            key = (
+                operation.kind,
+                operation.options,
+                plan_cache_key(operation.query, database),
+            )
+            groups.setdefault(key, []).append(position)
+        results: List[Any] = [None] * len(operations)
+        for (kind, options, plan_key), positions in groups.items():
+            members = [operations[position] for position in positions]
+            first = members[0]
+            if (
+                kind in (OP_EXECUTE, OP_DECIDE)
+                and first.option("evaluator") is None
+            ):
+                queries = [member.query for member in members]
+                plan, _, _ = self._plan_entry(queries[0], database, key=plan_key)
+                group_results = self._run_group(
+                    plan_key, plan, queries, database, decide=(kind == OP_DECIDE)
+                )
+            else:
+                group_results = self._run_generic_group(members, database)
+            for position, result in zip(positions, group_results):
+                results[position] = result
+        return results
+
+    def _run_generic_group(
+        self, members: List[Operation], database: Database
+    ) -> List[Any]:
+        """Same-kind/options/shape operations without a specialized batch
+        path: identical duplicates run once, the rest fan across the pool
+        (``run`` itself records per-member observability)."""
+        first = members[0]
+        if len(members) > 1 and all(member == first for member in members[1:]):
+            return [self.run(first, database)] * len(members)
+
+        def run_member(member: Operation) -> Any:
+            return self.run(member, database)
+
+        pool = self._pool
+        if pool is not None and pool.supports_closures and len(members) > 1:
+            return pool.map(run_member, members)
+        return [run_member(member) for member in members]
+
+    # ------------------------------------------------------------------
+    # Per-kind runners (the dispatch table's targets)
+    # ------------------------------------------------------------------
+
+    def _op_execute(self, operation: Operation, database: Database) -> Relation:
+        query = operation.query
+        forced = operation.option("evaluator")
+        if forced is not None:
+            return self._dispatch(forced, None, query, database, decide=False)
         plan, _, key = self._plan_entry(query, database)
         start = perf_counter()
         result = self._dispatch(plan.evaluator, plan, query, database, decide=False)
@@ -225,6 +326,137 @@ class QueryEngine:
         )
         return result
 
+    def _op_decide(self, operation: Operation, database: Database) -> bool:
+        query = operation.query
+        forced = operation.option("evaluator")
+        if forced is not None:
+            return self._dispatch(forced, None, query, database, decide=True)
+        plan, _, key = self._plan_entry(query, database)
+        start = perf_counter()
+        result = self._dispatch(plan.evaluator, plan, query, database, decide=True)
+        self._record(key, plan, perf_counter() - start, None, query, database)
+        return result
+
+    def _op_explain(self, operation: Operation, database: Database) -> str:
+        plan, status, _ = self._plan_entry(operation.query, database)
+        stats = self._cache.stats
+        footer = (
+            f"  cache    : {status} "
+            f"(hits={stats.hits}, misses={stats.misses}, "
+            f"evictions={stats.evictions}, size={stats.size}/{stats.capacity})"
+        )
+        return plan.explain(cache_status=status) + "\n" + footer
+
+    def _op_count(self, operation: Operation, database: Database) -> int:
+        query = operation.query
+        plan, _, key = self._plan_entry(query, database)
+        start = perf_counter()
+        total = self._count_with_plan(plan, query, database)
+        # count *is* |Q(d)|, so it feeds estimate-vs-actual drift exactly
+        # like an execute's cardinality does.
+        self._record(key, plan, perf_counter() - start, total, query, database)
+        return total
+
+    def _op_aggregate(self, operation: Operation, database: Database) -> Any:
+        mode = operation.option("mode")
+        query = operation.query
+        if mode == AGG_COUNT:
+            return self._op_count(operation, database)
+        if mode == AGG_EXISTS:
+            return self._op_decide(Operation(OP_DECIDE, query), database)
+        plan, _, key = self._plan_entry(query, database)
+        start = perf_counter()
+        if mode == AGG_FORALL:
+            # ∀-check: the count reaches the product of the head variables'
+            # candidate domains iff every candidate head tuple is an answer
+            # (vacuously true when a domain is empty).
+            total = self._count_with_plan(plan, query, database)
+            result: Any = total == head_domain_size(query, database)
+            rows: Optional[int] = total
+        else:  # AGG_GROUP — operation validation admits nothing else
+            group_by = operation.option("group_by")
+            result = self._grouped_count_with_plan(plan, query, database, group_by)
+            rows = result.cardinality
+        self._record(key, plan, perf_counter() - start, rows, query, database)
+        return result
+
+    # ------------------------------------------------------------------
+    # Counting strategies (trichotomy-aware)
+    # ------------------------------------------------------------------
+
+    def _count_mode(self, plan: QueryPlan, query: ConjunctiveQuery) -> str:
+        """The plan's counting classification (computed on the fly for
+        plans from planners predating ``count_mode``)."""
+        return plan.count_mode or counting_mode(query, plan.structural_class)
+
+    def _counting_evaluator(self, plan: QueryPlan) -> CountingYannakakisEvaluator:
+        if plan.shard_count > 1 and self._parallel_counting is not None:
+            return self._parallel_counting
+        return self._counting
+
+    def _count_with_plan(
+        self, plan: QueryPlan, query: ConjunctiveQuery, database: Database
+    ) -> int:
+        mode = self._count_mode(plan, query)
+        if mode == COUNT_BOOLEAN:
+            # Counting IS deciding here, and the plan's decide path works
+            # on every structural class (the annotated pass would not —
+            # a boolean head can sit on a cyclic body).
+            return int(
+                self._dispatch(plan.evaluator, plan, query, database, decide=True)
+            )
+        if mode in FAST_COUNTING_MODES:
+            reusable = plan.analysis.variable_layout == variable_layout(query)
+            tree = plan.analysis.join_tree if reusable else None
+            return self._counting_evaluator(plan).count(
+                query,
+                database,
+                join_tree=tree,
+                mode=mode,
+                shard_count=plan.shard_count,
+            ).total
+        # Hard modes (uncovered projection, cyclic core, constraints):
+        # evaluate through the plan's evaluator and read the cardinality.
+        return self._dispatch(
+            plan.evaluator, plan, query, database, decide=False
+        ).cardinality
+
+    def _grouped_count_with_plan(
+        self,
+        plan: QueryPlan,
+        query: ConjunctiveQuery,
+        database: Database,
+        group_by: Tuple[str, ...],
+    ) -> Relation:
+        mode = self._count_mode(plan, query)
+        if mode in FAST_COUNTING_MODES:
+            reusable = plan.analysis.variable_layout == variable_layout(query)
+            tree = plan.analysis.join_tree if reusable else None
+            fast = self._counting_evaluator(plan).grouped_count(
+                query, database, group_by, join_tree=tree, mode=mode
+            )
+            if fast is not None:
+                return fast
+        answers = self._dispatch(plan.evaluator, plan, query, database, decide=False)
+        return grouped_count_reference(query, answers, group_by)
+
+    # ------------------------------------------------------------------
+    # Facades (thin typed wrappers over the Operation path)
+    # ------------------------------------------------------------------
+
+    def explain(self, query: ConjunctiveQuery, database: Database) -> str:
+        """The plan rendering for (query, database), without executing."""
+        return self.run(Operation.explain(query), database)
+
+    def execute(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        evaluator: Optional[str] = None,
+    ) -> Relation:
+        """Q(d) through the adaptive pipeline (or a forced *evaluator*)."""
+        return self.run(Operation.execute(query, evaluator), database)
+
     def decide(
         self,
         query: ConjunctiveQuery,
@@ -232,13 +464,30 @@ class QueryEngine:
         evaluator: Optional[str] = None,
     ) -> bool:
         """Is Q(d) nonempty?"""
-        if evaluator is not None:
-            return self._dispatch(evaluator, None, query, database, decide=True)
-        plan, _, key = self._plan_entry(query, database)
-        start = perf_counter()
-        result = self._dispatch(plan.evaluator, plan, query, database, decide=True)
-        self._record(key, plan, perf_counter() - start, None, query, database)
-        return result
+        return self.run(Operation.decide(query, evaluator), database)
+
+    def count(self, query: ConjunctiveQuery, database: Database) -> int:
+        """|Q(d)| — equal to ``len(execute(query, database).rows)``, but on
+        the tractable counting modes computed from the reducer passes plus
+        a linear fold, never the materialized join."""
+        return self.run(Operation.count(query), database)
+
+    def grouped_count(
+        self,
+        query: ConjunctiveQuery,
+        database: Database,
+        group_by: Sequence[str],
+    ) -> Relation:
+        """Per-group answer counts over the *group_by* head variables."""
+        return self.run(Operation.grouped_count(query, group_by), database)
+
+    def exists(self, query: ConjunctiveQuery, database: Database) -> bool:
+        """Is Q(d) nonempty?  (The quantified-star ∃ aggregate.)"""
+        return self.run(Operation.exists(query), database)
+
+    def forall(self, query: ConjunctiveQuery, database: Database) -> bool:
+        """Does every candidate head tuple belong to Q(d)?"""
+        return self.run(Operation.forall(query), database)
 
     def contains(
         self,
@@ -275,7 +524,7 @@ class QueryEngine:
         across the worker pool when one is configured.  Results come back
         in input order, identical to per-member execution.
         """
-        return self._batch(queries, database, decide=False)
+        return self.run_batch(operations_of(OP_EXECUTE, queries), database)
 
     def decide_batch(
         self,
@@ -293,25 +542,16 @@ class QueryEngine:
         nonempty.  Identical duplicates share one decision; everything
         else falls back to per-member ``decide``, fanned across the pool.
         """
-        return self._batch(queries, database, decide=True)
+        return self.run_batch(operations_of(OP_DECIDE, queries), database)
 
-    def _batch(
+    def count_batch(
         self,
         queries: Sequence[ConjunctiveQuery],
         database: Database,
-        decide: bool,
-    ) -> List[Any]:
-        groups: Dict[Tuple, List[int]] = {}
-        for position, query in enumerate(queries):
-            groups.setdefault(plan_cache_key(query, database), []).append(position)
-        results: List[Any] = [None] * len(queries)
-        for key, positions in groups.items():
-            members = [queries[position] for position in positions]
-            plan, _, _ = self._plan_entry(members[0], database, key=key)
-            group_results = self._run_group(key, plan, members, database, decide)
-            for position, result in zip(positions, group_results):
-                results[position] = result
-        return results
+    ) -> List[int]:
+        """|Q(d)| for many queries — duplicates share one count, distinct
+        members fan across the pool under one plan per shape."""
+        return self.run_batch(operations_of(OP_COUNT, queries), database)
 
     def _run_group(
         self,

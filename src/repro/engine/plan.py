@@ -120,6 +120,12 @@ class QueryPlan:
     estimated_rows:
         The cost model's satisfying-assignment estimate, compared against
         actual cardinalities in ``explain``.
+    count_mode:
+        The Chen–Mengel counting classification of the shape (one of
+        :data:`repro.engine.analysis.COUNTING_MODES`) — which counting
+        strategy a ``count`` operation on this plan uses.  Empty for
+        plans from planners predating the counting subsystem; the engine
+        then classifies on the fly.
     replans:
         How many times this shape has been adaptively re-planned (0 for a
         first plan); the engine bumps it when estimate-vs-actual drift
@@ -139,6 +145,7 @@ class QueryPlan:
     cost_estimates: Dict[str, float] = field(default_factory=dict)
     shard_count: int = 1
     estimated_rows: float = 0.0
+    count_mode: str = ""
     replans: int = 0
     corrected_rows: Optional[float] = None
     runtime: PlanRuntime = field(default_factory=PlanRuntime, compare=False, repr=False)
@@ -172,6 +179,8 @@ class QueryPlan:
             # Off either because the inputs are small or because the chosen
             # evaluator has no sharded executor — don't claim a reason.
             lines.append("  sharding : off")
+        if self.count_mode:
+            lines.append(f"  counting : {self.count_mode}")
         if self.replans:
             lines.append(
                 f"  re-plan  : #{self.replans}, statistics corrected to "

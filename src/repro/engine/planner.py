@@ -18,7 +18,7 @@ the caches it plans for.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..query.atoms import Atom
 from ..query.conjunctive import ConjunctiveQuery
@@ -33,6 +33,7 @@ from .analysis import (
     DEFAULT_TREEWIDTH_THRESHOLD,
     StructuralAnalysis,
     analyze,
+    counting_mode,
 )
 from .plan import (
     BOUNDED_VARIABLE,
@@ -45,7 +46,15 @@ from .plan import (
 
 #: Per-row constant factor of the semijoin/join passes relative to one
 #: backtracking probe (hash build + probe + row assembly vs a dict lookup).
+#: A static prior: planners constructed with a *calibration* feed replace
+#: it with the ledger's observed per-evaluator unit costs once enough
+#: executions have been recorded (see :meth:`Planner._pass_weight`).
 _PASS_WEIGHT = 1.5
+
+#: Observed-over-static correction is clamped to this band: calibration
+#: tilts arbitration, it must not let one noisy burst of samples swing the
+#: model by orders of magnitude.
+_CALIBRATION_CLAMP = (0.25, 4.0)
 
 #: Semijoin passes of the acyclic pipeline (bottom-up, top-down, join-up).
 _NUM_PASSES = 3
@@ -75,10 +84,38 @@ class Planner:
         treewidth_threshold: int = DEFAULT_TREEWIDTH_THRESHOLD,
         shard_threshold_rows: int = DEFAULT_SHARD_THRESHOLD_ROWS,
         shard_count: Optional[int] = None,
+        calibration: Optional[Callable[[], Dict[str, float]]] = None,
     ) -> None:
         self.treewidth_threshold = treewidth_threshold
         self.shard_threshold_rows = shard_threshold_rows
         self.shard_count = shard_count or default_shard_count()
+        # Zero-argument feed of observed per-evaluator unit costs (the
+        # engine wires its ledger's ``observed_unit_costs`` here).  Pulled
+        # fresh on every plan, so the model tracks the workload.
+        self._calibration = calibration
+
+    def _pass_weight(self) -> float:
+        """The semijoin pass weight: calibrated when evidence exists.
+
+        The static :data:`_PASS_WEIGHT` says how expensive the planner
+        *assumes* one acyclic-pass row operation is relative to one
+        backtracking probe.  When the calibration feed has observed unit
+        costs for both sides (p95 latency per modelled row op, from the
+        ledger), their ratio replaces the assumption — clamped, so the
+        correction tilts arbitration rather than dominating it.  Without
+        evidence (fresh engine, injected planner, cold shapes) the static
+        prior applies unchanged.
+        """
+        if self._calibration is None:
+            return _PASS_WEIGHT
+        units = self._calibration()
+        yannakakis_unit = units.get(YANNAKAKIS)
+        naive_unit = units.get(NAIVE)
+        if not yannakakis_unit or not naive_unit:
+            return _PASS_WEIGHT
+        low, high = _CALIBRATION_CLAMP
+        ratio = min(high, max(low, yannakakis_unit / naive_unit))
+        return _PASS_WEIGHT * ratio
 
     # ------------------------------------------------------------------
 
@@ -156,6 +193,7 @@ class Planner:
             cost_estimates=costs,
             shard_count=self._shard_decision(evaluator, query, database),
             estimated_rows=answer_estimate,
+            count_mode=counting_mode(query, structural_class),
         )
 
     def _shard_decision(
@@ -285,7 +323,7 @@ class Planner:
             self._candidate_cardinality(atom, database[atom.relation])
             for atom in query.atoms
         )
-        return _PASS_WEIGHT * _NUM_PASSES * total + answer_estimate
+        return self._pass_weight() * _NUM_PASSES * total + answer_estimate
 
     def _inequality_cost(
         self,
@@ -350,7 +388,7 @@ class Planner:
             bag_vars = ",".join(sorted(v.name for v in bag))
             program.append(f"materialize BAG_{i}[{bag_vars}] = ⋈ {atoms_text}")
         program.append("run Yannakakis full reducer + join-project over the bag tree")
-        cost += _PASS_WEIGHT * _NUM_PASSES * sum(bag_sizes)
+        cost += self._pass_weight() * _NUM_PASSES * sum(bag_sizes)
         return cost, tuple(program)
 
     def _grouped_cost(self, query: ConjunctiveQuery, database: Database) -> float:

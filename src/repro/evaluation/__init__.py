@@ -9,9 +9,17 @@
   fragments under active-domain semantics.
 * :class:`DatalogEvaluator` — naive / semi-naive fixpoints.
 * :class:`TreewidthEvaluator` — bounded-treewidth extension.
+* :class:`CountingYannakakisEvaluator` — multiplicity-annotated counting
+  on the tractable trichotomy islands.
 """
 
 from .bounded_variable import group_relation_name, parameter_v_transform
+from .counting import (
+    CountingYannakakisEvaluator,
+    CountResult,
+    grouped_count_reference,
+    head_domain_size,
+)
 from .datalog_eval import DatalogEvaluator
 from .fo_eval import FirstOrderEvaluator
 from .instantiation import (
@@ -27,6 +35,8 @@ from .treewidth_eval import TreewidthEvaluator
 from .yannakakis import YannakakisEvaluator
 
 __all__ = [
+    "CountResult",
+    "CountingYannakakisEvaluator",
     "DatalogEvaluator",
     "FirstOrderEvaluator",
     "NaiveEvaluator",
@@ -38,6 +48,8 @@ __all__ = [
     "atom_candidate_relation",
     "candidate_relations",
     "group_relation_name",
+    "grouped_count_reference",
+    "head_domain_size",
     "matches_atom",
     "parameter_v_transform",
 ]

@@ -17,7 +17,11 @@ by default: rule shapes repeat across fixpoint iterations (the
 parameterized-query pattern), so every iteration after the first hits the
 plan cache, acyclic rule bodies run through Yannakakis (sharded when
 large), and cyclic ones get the cost-based join order — instead of every
-stage re-running uniform backtracking.  Pass ``rule_engine=`` to pin the
+stage re-running uniform backtracking.  The semi-naive fixpoint goes one
+step further: each round's delta-instantiated rule bodies all see one
+shared snapshot, so they are handed to the engine as ONE
+``execute_batch`` call and same-shape delta rules ride the N-wide batch
+lifting.  Pass ``rule_engine=`` to pin the
 legacy :class:`NaiveEvaluator` (``benchmarks/bench_datalog.py`` does, to
 isolate the fixpoint strategies and the §4 per-stage bound).  Reuse one
 evaluator across programs to keep its plan cache warm, and ``close()`` it
@@ -27,9 +31,10 @@ evaluator owns its engine's worker pool.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import QueryError
+from ..query.atoms import Atom
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.datalog import DatalogProgram, Rule
 from ..relational.database import Database
@@ -69,6 +74,11 @@ class DatalogEvaluator:
         self._evaluate_body = getattr(
             rule_engine, "execute", None
         ) or rule_engine.evaluate
+        #: N-wide batch entry point, when the engine has one.  The
+        #: semi-naive fixpoint hands every round's rule-body queries over
+        #: in ONE call, so same-shape delta rules ride the engine's batch
+        #: lifting instead of N sequential executions.
+        self._evaluate_batch = getattr(rule_engine, "execute_batch", None)
 
     @property
     def rule_engine(self):
@@ -133,18 +143,42 @@ class DatalogEvaluator:
         merged.update(idbs)
         return Database(merged)
 
-    def _apply_rule(self, rule: Rule, database: Database) -> Relation:
-        """One rule application: evaluate the body CQ, project to the head."""
-        query = ConjunctiveQuery(
+    @staticmethod
+    def _rule_query(rule: Rule) -> ConjunctiveQuery:
+        """The body CQ of *rule*, headed by the rule's head terms."""
+        return ConjunctiveQuery(
             rule.head.terms, rule.body, head_name=rule.head.relation
         )
-        derived = self._evaluate_body(query, database)
+
+    @staticmethod
+    def _rehead(rule: Rule, derived: Relation) -> Relation:
+        """Project a body result onto the head relation's schema.
+
+        Same rows, new column names: reuse the frozen row set (and its
+        cached indexes) instead of re-validating every tuple.
+        """
         schema = RelationSchema(rule.head.relation, rule.head.arity)
-        # Same rows, new column names: reuse the frozen row set (and its
-        # cached indexes) instead of re-validating every tuple.
         return Relation._from_frozen(
             schema.default_attributes(), derived.rows
         )._share_indexes_with(derived)
+
+    def _apply_rule(self, rule: Rule, database: Database) -> Relation:
+        """One rule application: evaluate the body CQ, project to the head."""
+        return self._rehead(rule, self._evaluate_body(self._rule_query(rule), database))
+
+    def _evaluate_bodies(
+        self, queries: Sequence[ConjunctiveQuery], database: Database
+    ) -> List[Relation]:
+        """Evaluate one round's rule bodies, batched when the engine can.
+
+        All queries see the SAME database snapshot (the fixpoint rounds
+        are constructed that way), so handing them to ``execute_batch``
+        is semantics-preserving and lets the engine group same-shape
+        members under one plan and lift them N-wide.
+        """
+        if len(queries) > 1 and self._evaluate_batch is not None:
+            return list(self._evaluate_batch(list(queries), database))
+        return [self._evaluate_body(query, database) for query in queries]
 
     def _naive(
         self, program: DatalogProgram, database: Database
@@ -175,9 +209,15 @@ class DatalogEvaluator:
         """
         idbs = self._initial_idbs(program)
         current = self._with_idbs(database, idbs)
+        # First round: plain naive application of every rule against the
+        # empty IDBs — all bodies share one snapshot, so they go to the
+        # engine as ONE batch.
+        derived_all = self._evaluate_bodies(
+            [self._rule_query(rule) for rule in program.rules], current
+        )
         deltas: Dict[str, Relation] = {}
-        for rule in program.rules:
-            derived = self._apply_rule(rule, current)
+        for rule, derived in zip(program.rules, derived_all):
+            derived = self._rehead(rule, derived)
             name = rule.head.relation
             fresh = derived.difference(idbs[name])
             idbs[name] = idbs[name].union(fresh)
@@ -189,41 +229,49 @@ class DatalogEvaluator:
                 name: Relation(idbs[name].attributes) for name in idb_names
             }
             snapshot = self._with_idbs(database, idbs)
+            # ONE patched snapshot carrying every delta marker: each delta
+            # rule references only its own ``__delta_*`` relation, so
+            # sharing the database is semantics-preserving — and it is
+            # what lets the engine's batch grouping (whose plan key spans
+            # the database) lift same-shape delta bodies together.
+            patched = snapshot
+            for delta_name, delta in deltas.items():
+                if not delta.is_empty():
+                    patched = patched.with_relation(f"__delta_{delta_name}", delta)
+            # Collect the round's delta-instantiated rule bodies: for each
+            # rule and each body position holding an IDB with new tuples,
+            # that occurrence is rebound to the delta via its marker name.
+            pending: List[Rule] = []
+            queries: List[ConjunctiveQuery] = []
             for rule in program.rules:
-                idb_positions = [
-                    i
-                    for i, atom in enumerate(rule.body)
-                    if atom.relation in idb_names
-                ]
-                for position in idb_positions:
-                    delta_name = rule.body[position].relation
-                    delta = deltas.get(delta_name)
+                for position, atom in enumerate(rule.body):
+                    if atom.relation not in idb_names:
+                        continue
+                    delta = deltas.get(atom.relation)
                     if delta is None or delta.is_empty():
                         continue
-                    # Evaluate with this occurrence bound to the delta via a
-                    # temporary relation name.
-                    marker = f"__delta_{delta_name}"
                     renamed_body = list(rule.body)
-                    renamed_body[position] = rule.body[position]
-                    patched = snapshot.with_relation(marker, delta)
-                    from ..query.atoms import Atom
-
                     renamed_body[position] = Atom(
-                        marker, rule.body[position].terms
+                        f"__delta_{atom.relation}", atom.terms
                     )
-                    query = ConjunctiveQuery(
-                        rule.head.terms,
-                        renamed_body,
-                        head_name=rule.head.relation,
+                    pending.append(rule)
+                    queries.append(
+                        ConjunctiveQuery(
+                            rule.head.terms,
+                            renamed_body,
+                            head_name=rule.head.relation,
+                        )
                     )
-                    derived = self._evaluate_body(query, patched)
-                    name = rule.head.relation
-                    schema_rel = Relation._from_frozen(
-                        idbs[name].attributes, derived.rows
-                    )._share_indexes_with(derived)
-                    fresh = schema_rel.difference(idbs[name])
-                    if not fresh.is_empty():
-                        next_deltas[name] = next_deltas[name].union(fresh)
+            for rule, derived in zip(
+                pending, self._evaluate_bodies(queries, patched)
+            ):
+                name = rule.head.relation
+                schema_rel = Relation._from_frozen(
+                    idbs[name].attributes, derived.rows
+                )._share_indexes_with(derived)
+                fresh = schema_rel.difference(idbs[name])
+                if not fresh.is_empty():
+                    next_deltas[name] = next_deltas[name].union(fresh)
             for name, fresh in next_deltas.items():
                 idbs[name] = idbs[name].union(fresh)
             deltas = next_deltas

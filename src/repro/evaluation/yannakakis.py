@@ -152,13 +152,17 @@ class YannakakisEvaluator:
 
     # ------------------------------------------------------------------
 
-    def full_reduction(
+    def bottom_up_reduction(
         self, relations: Dict[int, Relation], tree: JoinTree
     ) -> Dict[int, Relation]:
-        """Semijoin full reducer: bottom-up then top-down pass.
+        """The upward half of the full reducer — one semijoin pass.
 
-        Returns a new mapping in which the relations are globally
-        consistent: P_u = π_{attrs(P_u)}(P_1 ⋈ ... ⋈ P_s).
+        After it, every relation is reduced against its entire *subtree*
+        (leaves first), so the root is globally consistent while non-root
+        relations may keep upward-dangling tuples.  Enough for any reader
+        that only consumes root-side state — the counting fold reads root
+        annotations and the covered count re-roots at the covering atom —
+        at half the passes of :meth:`full_reduction`.
         """
         reduced = dict(relations)
         for node in tree.bottom_up_order():
@@ -167,6 +171,17 @@ class YannakakisEvaluator:
                 continue
             check_cancelled()
             reduced[parent] = reduced[parent].semijoin(reduced[node])
+        return reduced
+
+    def full_reduction(
+        self, relations: Dict[int, Relation], tree: JoinTree
+    ) -> Dict[int, Relation]:
+        """Semijoin full reducer: bottom-up then top-down pass.
+
+        Returns a new mapping in which the relations are globally
+        consistent: P_u = π_{attrs(P_u)}(P_1 ⋈ ... ⋈ P_s).
+        """
+        reduced = self.bottom_up_reduction(relations, tree)
         for node in tree.top_down_order():
             parent = tree.parent(node)
             if parent is None:

@@ -24,13 +24,17 @@ from .messages import (
     CANCELLED,
     OPS,
     PROTOCOL_VERSION,
+    QUERY_OPS,
+    RUN_BATCH,
     ErrorInfo,
     ProtocolError,
     RemoteQueryError,
     Request,
     Response,
     decode_relation,
+    decode_result,
     encode_relation,
+    encode_result,
     query_text,
 )
 from .server import QueryServer, stats_payload
@@ -44,15 +48,19 @@ __all__ = [
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "QUERY_OPS",
     "QueryClient",
     "QueryServer",
+    "RUN_BATCH",
     "RemoteQueryError",
     "Request",
     "Response",
     "decode",
     "decode_relation",
+    "decode_result",
     "encode",
     "encode_relation",
+    "encode_result",
     "error_info",
     "error_response",
     "query_text",

@@ -46,23 +46,22 @@ from itertools import count
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ConnectionLostError, RequestTimeoutError, RetryExhaustedError
+from ..operations import DECIDE as OP_DECIDE
+from ..operations import EXECUTE as OP_EXECUTE
+from ..operations import Operation, operations_of
 from ..relational.relation import Relation
 from ..resilience.policy import RetryPolicy
 from .codec import MAX_LINE_BYTES, decode, encode
 from .messages import (
     CANCEL,
-    DECIDE,
-    DECIDE_BATCH,
-    EXECUTE,
-    EXECUTE_BATCH,
-    EXPLAIN,
     PING,
     ProtocolError,
+    RUN_BATCH,
     RemoteQueryError,
     Request,
     Response,
     STATS,
-    decode_relation,
+    decode_result,
     query_text,
 )
 
@@ -76,6 +75,29 @@ def _raise_for(response: Response) -> Response:
             request_id=response.id,
         )
     return response
+
+
+def _wire_operation(operation: Operation) -> Dict[str, Any]:
+    """One ``run_batch`` member entry for *operation*."""
+    entry: Dict[str, Any] = {
+        "op": operation.kind,
+        "query": query_text(operation.query),
+    }
+    if operation.options:
+        entry["options"] = operation.options_dict()
+    return entry
+
+
+def _decode_members(result: Any) -> List[Any]:
+    """Decode a ``results`` payload's tagged members."""
+    if not isinstance(result, list):
+        raise ProtocolError("run_batch result must be a list")
+    members = []
+    for member in result:
+        if not isinstance(member, dict) or "kind" not in member:
+            raise ProtocolError("run_batch members must be tagged objects")
+        members.append(decode_result(member["kind"], member.get("result")))
+    return members
 
 
 class AsyncQueryClient:
@@ -255,32 +277,92 @@ class AsyncQueryClient:
         ) from last
 
     # ------------------------------------------------------------------
-    # The facade, over the wire
+    # The facade, over the wire: one generic run/run_batch pair, with the
+    # typed methods as one-line wrappers
     # ------------------------------------------------------------------
+
+    async def run(
+        self,
+        operation: Operation,
+        database: str,
+        *,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """Run one :class:`~repro.operations.Operation` remotely.
+
+        The operation kind travels as the wire op verbatim; the result is
+        decoded by the response's declared kind (relation / boolean /
+        count / text), so every typed facade is a one-liner over this.
+        """
+        operation.validate()
+        response = await self._call(
+            operation.kind,
+            query=query_text(operation.query),
+            database=database,
+            deadline=deadline,
+            options=operation.options_dict() or None,
+        )
+        return decode_result(response.kind, response.result)
+
+    async def run_batch(
+        self,
+        operations: Sequence[Operation],
+        database: str,
+        *,
+        deadline: Optional[float] = None,
+    ) -> List[Any]:
+        """Run a (possibly mixed-kind) batch of operations remotely."""
+        for operation in operations:
+            operation.validate()
+        response = await self._call(
+            RUN_BATCH,
+            operations=tuple(_wire_operation(op) for op in operations),
+            database=database,
+            deadline=deadline,
+        )
+        return _decode_members(response.result)
 
     async def execute(
         self, query: Any, database: str, *, deadline: Optional[float] = None
     ) -> Relation:
-        response = await self._call(
-            EXECUTE, query=query_text(query), database=database, deadline=deadline
-        )
-        return decode_relation(response.result)
+        return await self.run(Operation.execute(query), database, deadline=deadline)
 
     async def decide(
         self, query: Any, database: str, *, deadline: Optional[float] = None
     ) -> bool:
-        response = await self._call(
-            DECIDE, query=query_text(query), database=database, deadline=deadline
-        )
-        return bool(response.result)
+        return await self.run(Operation.decide(query), database, deadline=deadline)
 
     async def explain(
         self, query: Any, database: str, *, deadline: Optional[float] = None
     ) -> str:
-        response = await self._call(
-            EXPLAIN, query=query_text(query), database=database, deadline=deadline
+        return await self.run(Operation.explain(query), database, deadline=deadline)
+
+    async def count(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> int:
+        return await self.run(Operation.count(query), database, deadline=deadline)
+
+    async def grouped_count(
+        self,
+        query: Any,
+        database: str,
+        group_by: Sequence[str],
+        *,
+        deadline: Optional[float] = None,
+    ) -> Relation:
+        return await self.run(
+            Operation.grouped_count(query, group_by), database, deadline=deadline
         )
-        return str(response.result)
+
+    async def exists(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> bool:
+        return await self.run(Operation.exists(query), database, deadline=deadline)
+
+    async def forall(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> bool:
+        return await self.run(Operation.forall(query), database, deadline=deadline)
 
     async def execute_batch(
         self,
@@ -289,13 +371,14 @@ class AsyncQueryClient:
         *,
         deadline: Optional[float] = None,
     ) -> List[Relation]:
-        response = await self._call(
-            EXECUTE_BATCH,
-            queries=tuple(query_text(query) for query in queries),
-            database=database,
-            deadline=deadline,
+        """Evaluate a homogeneous batch.
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``execute`` operations.
+        """
+        return await self.run_batch(
+            operations_of(OP_EXECUTE, queries), database, deadline=deadline
         )
-        return [decode_relation(payload) for payload in response.result]
 
     async def decide_batch(
         self,
@@ -304,13 +387,14 @@ class AsyncQueryClient:
         *,
         deadline: Optional[float] = None,
     ) -> List[bool]:
-        response = await self._call(
-            DECIDE_BATCH,
-            queries=tuple(query_text(query) for query in queries),
-            database=database,
-            deadline=deadline,
+        """Decide a homogeneous batch.
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``decide`` operations.
+        """
+        return await self.run_batch(
+            operations_of(OP_DECIDE, queries), database, deadline=deadline
         )
-        return [bool(decision) for decision in response.result]
 
     async def cancel(self, target: int) -> bool:
         """Ask the server to cancel in-flight request *target*.
@@ -489,30 +573,86 @@ class QueryClient:
         ) from last
 
     # ------------------------------------------------------------------
+    # The facade: one generic run/run_batch pair, typed one-line wrappers
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        operation: Operation,
+        database: str,
+        *,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """Run one :class:`~repro.operations.Operation` remotely."""
+        operation.validate()
+        response = self._call(
+            operation.kind,
+            query=query_text(operation.query),
+            database=database,
+            deadline=deadline,
+            options=operation.options_dict() or None,
+        )
+        return decode_result(response.kind, response.result)
+
+    def run_batch(
+        self,
+        operations: Sequence[Operation],
+        database: str,
+        *,
+        deadline: Optional[float] = None,
+    ) -> List[Any]:
+        """Run a (possibly mixed-kind) batch of operations remotely."""
+        for operation in operations:
+            operation.validate()
+        response = self._call(
+            RUN_BATCH,
+            operations=tuple(_wire_operation(op) for op in operations),
+            database=database,
+            deadline=deadline,
+        )
+        return _decode_members(response.result)
 
     def execute(
         self, query: Any, database: str, *, deadline: Optional[float] = None
     ) -> Relation:
-        response = self._call(
-            EXECUTE, query=query_text(query), database=database, deadline=deadline
-        )
-        return decode_relation(response.result)
+        return self.run(Operation.execute(query), database, deadline=deadline)
 
     def decide(
         self, query: Any, database: str, *, deadline: Optional[float] = None
     ) -> bool:
-        response = self._call(
-            DECIDE, query=query_text(query), database=database, deadline=deadline
-        )
-        return bool(response.result)
+        return self.run(Operation.decide(query), database, deadline=deadline)
 
     def explain(
         self, query: Any, database: str, *, deadline: Optional[float] = None
     ) -> str:
-        response = self._call(
-            EXPLAIN, query=query_text(query), database=database, deadline=deadline
+        return self.run(Operation.explain(query), database, deadline=deadline)
+
+    def count(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> int:
+        return self.run(Operation.count(query), database, deadline=deadline)
+
+    def grouped_count(
+        self,
+        query: Any,
+        database: str,
+        group_by: Sequence[str],
+        *,
+        deadline: Optional[float] = None,
+    ) -> Relation:
+        return self.run(
+            Operation.grouped_count(query, group_by), database, deadline=deadline
         )
-        return str(response.result)
+
+    def exists(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> bool:
+        return self.run(Operation.exists(query), database, deadline=deadline)
+
+    def forall(
+        self, query: Any, database: str, *, deadline: Optional[float] = None
+    ) -> bool:
+        return self.run(Operation.forall(query), database, deadline=deadline)
 
     def execute_batch(
         self,
@@ -521,13 +661,14 @@ class QueryClient:
         *,
         deadline: Optional[float] = None,
     ) -> List[Relation]:
-        response = self._call(
-            EXECUTE_BATCH,
-            queries=tuple(query_text(query) for query in queries),
-            database=database,
-            deadline=deadline,
+        """Evaluate a homogeneous batch.
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``execute`` operations.
+        """
+        return self.run_batch(
+            operations_of(OP_EXECUTE, queries), database, deadline=deadline
         )
-        return [decode_relation(payload) for payload in response.result]
 
     def decide_batch(
         self,
@@ -536,13 +677,14 @@ class QueryClient:
         *,
         deadline: Optional[float] = None,
     ) -> List[bool]:
-        response = self._call(
-            DECIDE_BATCH,
-            queries=tuple(query_text(query) for query in queries),
-            database=database,
-            deadline=deadline,
+        """Decide a homogeneous batch.
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``decide`` operations.
+        """
+        return self.run_batch(
+            operations_of(OP_DECIDE, queries), database, deadline=deadline
         )
-        return [bool(decision) for decision in response.result]
 
     def stats(self) -> Dict[str, Any]:
         return dict(self._call(STATS).result)

@@ -37,29 +37,48 @@ from ..relational.relation import Relation
 #: The one protocol version this build speaks.
 PROTOCOL_VERSION = 1
 
-# Request operations (the service facade, on the wire).
+# Request operations (the service facade, on the wire).  The query ops
+# mirror the operation kinds of :mod:`repro.operations` verbatim, so a
+# wire op string IS an engine operation kind.
 EXECUTE = "execute"
 DECIDE = "decide"
+EXPLAIN = "explain"
+COUNT = "count"
+AGGREGATE = "aggregate"
 EXECUTE_BATCH = "execute_batch"
 DECIDE_BATCH = "decide_batch"
-EXPLAIN = "explain"
+RUN_BATCH = "run_batch"
 STATS = "stats"
 PING = "ping"
 CANCEL = "cancel"
 
-OPS = (EXECUTE, DECIDE, EXECUTE_BATCH, DECIDE_BATCH, EXPLAIN, STATS, PING, CANCEL)
+OPS = (
+    EXECUTE,
+    DECIDE,
+    EXPLAIN,
+    COUNT,
+    AGGREGATE,
+    EXECUTE_BATCH,
+    DECIDE_BATCH,
+    RUN_BATCH,
+    STATS,
+    PING,
+    CANCEL,
+)
 
-#: Ops that carry one query and a database name.
-QUERY_OPS = (EXECUTE, DECIDE, EXPLAIN)
+#: Ops that carry one query and a database name (one engine operation).
+QUERY_OPS = (EXECUTE, DECIDE, EXPLAIN, COUNT, AGGREGATE)
 
-#: Ops that carry a list of queries and a database name.
+#: Legacy homogeneous-batch ops: a list of queries and a database name.
 BATCH_OPS = (EXECUTE_BATCH, DECIDE_BATCH)
 
 # Response result kinds.
 RELATION = "relation"
 BOOLEAN = "boolean"
+COUNT_RESULT = "count"
 RELATIONS = "relations"
 BOOLEANS = "booleans"
+RESULTS = "results"
 TEXT = "text"
 STATS_RESULT = "stats"
 PONG = "pong"
@@ -69,8 +88,10 @@ ERROR = "error"
 RESULT_KINDS = (
     RELATION,
     BOOLEAN,
+    COUNT_RESULT,
     RELATIONS,
     BOOLEANS,
+    RESULTS,
     TEXT,
     STATS_RESULT,
     PONG,
@@ -142,6 +163,33 @@ class ErrorInfo:
         return cls(code=code, message=message, detail=detail)
 
 
+def _validate_options(options: Any, op: str) -> None:
+    """Structural check only — semantic option validation (allowed names,
+    aggregate modes) lives in :meth:`repro.operations.Operation.validate`
+    server-side, where it produces a typed error response."""
+    if not isinstance(options, dict) or not all(
+        isinstance(name, str) for name in options
+    ):
+        raise ProtocolError(
+            f"{op} 'options' must be an object with string keys", op=op
+        )
+
+
+def _valid_operation_entry(entry: Any) -> bool:
+    """Is *entry* a structurally valid ``run_batch`` member?"""
+    if not isinstance(entry, dict) or not set(entry) <= {"op", "query", "options"}:
+        return False
+    if entry.get("op") not in QUERY_OPS or not isinstance(entry.get("query"), str):
+        return False
+    options = entry.get("options")
+    if options is not None and (
+        not isinstance(options, dict)
+        or not all(isinstance(name, str) for name in options)
+    ):
+        return False
+    return True
+
+
 @dataclass(frozen=True)
 class Request:
     """One client request: an operation plus its operands.
@@ -161,6 +209,13 @@ class Request:
     deadline: Optional[float] = None
     #: For ``cancel``: the id of the in-flight request to tear down.
     target: Optional[int] = None
+    #: Operation options for the query ops (e.g. ``aggregate``'s ``mode``
+    #: and ``group_by``); forwarded into :class:`repro.operations.Operation`
+    #: server-side, where unknown names fail with a typed error.
+    options: Optional[Dict[str, Any]] = None
+    #: For ``run_batch``: one ``{"op", "query", "options"?}`` object per
+    #: member operation.
+    operations: Optional[Tuple[Dict[str, Any], ...]] = None
 
     def to_wire(self) -> Dict[str, Any]:
         self.validate()
@@ -175,6 +230,10 @@ class Request:
             payload["deadline"] = self.deadline
         if self.target is not None:
             payload["target"] = self.target
+        if self.options is not None:
+            payload["options"] = dict(self.options)
+        if self.operations is not None:
+            payload["operations"] = [dict(entry) for entry in self.operations]
         return payload
 
     def validate(self) -> None:
@@ -186,7 +245,11 @@ class Request:
         if not isinstance(self.id, int) or isinstance(self.id, bool) or self.id < 0:
             raise ProtocolError("request id must be a non-negative integer")
         if self.deadline is not None:
-            if self.op not in QUERY_OPS and self.op not in BATCH_OPS:
+            if (
+                self.op not in QUERY_OPS
+                and self.op not in BATCH_OPS
+                and self.op != RUN_BATCH
+            ):
                 raise ProtocolError(f"{self.op} takes no 'deadline'", op=self.op)
             if (
                 isinstance(self.deadline, bool)
@@ -200,6 +263,12 @@ class Request:
                 )
         if self.target is not None and self.op != CANCEL:
             raise ProtocolError(f"{self.op} takes no 'target'", op=self.op)
+        if self.options is not None:
+            if self.op not in QUERY_OPS:
+                raise ProtocolError(f"{self.op} takes no 'options'", op=self.op)
+            _validate_options(self.options, self.op)
+        if self.operations is not None and self.op != RUN_BATCH:
+            raise ProtocolError(f"{self.op} takes no 'operations'", op=self.op)
         if self.op in QUERY_OPS:
             if not isinstance(self.query, str):
                 raise ProtocolError(f"{self.op} needs a 'query' string", op=self.op)
@@ -207,6 +276,22 @@ class Request:
                 raise ProtocolError(f"{self.op} needs a 'database' name", op=self.op)
             if self.queries is not None:
                 raise ProtocolError(f"{self.op} takes 'query', not 'queries'")
+        elif self.op == RUN_BATCH:
+            if self.operations is None or not all(
+                _valid_operation_entry(entry) for entry in self.operations
+            ):
+                raise ProtocolError(
+                    "run_batch needs an 'operations' list of "
+                    '{"op", "query", "options"?} objects with op in '
+                    f"{QUERY_OPS}",
+                    op=self.op,
+                )
+            if not isinstance(self.database, str):
+                raise ProtocolError(f"{self.op} needs a 'database' name", op=self.op)
+            if self.query is not None or self.queries is not None:
+                raise ProtocolError(
+                    f"{self.op} takes 'operations', not 'query'/'queries'"
+                )
         elif self.op in BATCH_OPS:
             if self.queries is None or not all(
                 isinstance(query, str) for query in self.queries
@@ -252,6 +337,8 @@ class Request:
             "database",
             "deadline",
             "target",
+            "options",
+            "operations",
         }
         if unknown:
             raise ProtocolError(
@@ -263,6 +350,11 @@ class Request:
             if not isinstance(queries, list):
                 raise ProtocolError("'queries' must be a list")
             queries = tuple(queries)
+        operations = payload.get("operations")
+        if operations is not None:
+            if not isinstance(operations, list):
+                raise ProtocolError("'operations' must be a list")
+            operations = tuple(operations)
         request = cls(
             op=payload.get("op"),
             id=payload.get("id"),
@@ -271,6 +363,8 @@ class Request:
             database=payload.get("database"),
             deadline=payload.get("deadline"),
             target=payload.get("target"),
+            options=payload.get("options"),
+            operations=operations,
         )
         request.validate()
         return request
@@ -386,6 +480,45 @@ def decode_relation(payload: Any) -> Relation:
     return Relation(tuple(attributes), (tuple(row) for row in rows))
 
 
+def encode_result(value: Any) -> Tuple[str, Any]:
+    """``(kind, payload)`` for one operation's return value.
+
+    Type-driven on purpose: every facade return type — relation, bool,
+    int (counts), str (explain renderings) — maps to exactly one result
+    kind, so the server encodes *any* operation's answer, including kinds
+    added after this code shipped, through this one function.  ``bool``
+    is checked before ``int`` (it is a subtype).
+    """
+    if isinstance(value, Relation):
+        return (RELATION, encode_relation(value))
+    if isinstance(value, bool):
+        return (BOOLEAN, bool(value))
+    if isinstance(value, int):
+        return (COUNT_RESULT, int(value))
+    if isinstance(value, str):
+        return (TEXT, str(value))
+    raise ProtocolError(
+        f"operation result of type {type(value).__name__} is not "
+        "JSON-representable",
+        code="unrepresentable",
+    )
+
+
+def decode_result(kind: str, payload: Any) -> Any:
+    """Inverse of :func:`encode_result` (client side)."""
+    if kind == RELATION:
+        return decode_relation(payload)
+    if kind == BOOLEAN:
+        return bool(payload)
+    if kind == COUNT_RESULT:
+        if isinstance(payload, bool) or not isinstance(payload, int):
+            raise ProtocolError("count result must be an integer")
+        return payload
+    if kind == TEXT:
+        return str(payload)
+    raise ProtocolError(f"unexpected result kind {kind!r}")
+
+
 def query_text(query: Any) -> str:
     """The wire form of a query: rule-notation text.
 
@@ -398,11 +531,14 @@ def query_text(query: Any) -> str:
 
 
 __all__ = [
+    "AGGREGATE",
     "BATCH_OPS",
     "BOOLEAN",
     "BOOLEANS",
     "CANCEL",
     "CANCELLED",
+    "COUNT",
+    "COUNT_RESULT",
     "DECIDE",
     "DECIDE_BATCH",
     "ERROR",
@@ -418,7 +554,9 @@ __all__ = [
     "QUERY_OPS",
     "RELATION",
     "RELATIONS",
+    "RESULTS",
     "RESULT_KINDS",
+    "RUN_BATCH",
     "RemoteQueryError",
     "Request",
     "Response",
@@ -426,6 +564,8 @@ __all__ = [
     "STATS_RESULT",
     "TEXT",
     "decode_relation",
+    "decode_result",
     "encode_relation",
+    "encode_result",
     "query_text",
 ]

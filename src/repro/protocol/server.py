@@ -58,6 +58,7 @@ from itertools import count
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import CancelledRequestError, ServerBusyError
+from ..operations import Operation
 from ..relational.database import Database
 from ..relational.io import load_database_json
 from ..resilience.faults import FaultPlan
@@ -65,26 +66,24 @@ from ..service.service import QueryService
 from ..service.stats import ServiceStats
 from .codec import MAX_LINE_BYTES, decode, encode, error_response, request_id_of
 from .messages import (
-    BOOLEAN,
     BOOLEANS,
     CANCEL,
     CANCELLED,
-    DECIDE,
     DECIDE_BATCH,
-    EXECUTE,
     EXECUTE_BATCH,
-    EXPLAIN,
     PING,
     PONG,
     ProtocolError,
-    RELATION,
+    QUERY_OPS,
     RELATIONS,
+    RESULTS,
+    RUN_BATCH,
     Request,
     Response,
     STATS,
     STATS_RESULT,
-    TEXT,
     encode_relation,
+    encode_result,
 )
 
 
@@ -180,6 +179,20 @@ class QueryServer:
         if fault_plan is None:
             fault_plan = FaultPlan.from_env()
         self._faults = fault_plan if fault_plan else None
+        #: op → handler coroutine.  Every query op (execute / decide /
+        #: explain / count / aggregate — the wire mirror of
+        #: :data:`repro.operations.OP_KINDS`) shares ``_op_query``, so a
+        #: new engine operation reaches the wire by appearing in
+        #: ``QUERY_OPS``; only transport-level ops get bespoke handlers.
+        self._op_table = {
+            **{op: self._op_query for op in QUERY_OPS},
+            RUN_BATCH: self._op_run_batch,
+            EXECUTE_BATCH: self._op_execute_batch,
+            DECIDE_BATCH: self._op_decide_batch,
+            PING: self._op_ping,
+            STATS: self._op_stats,
+            CANCEL: self._op_cancel,
+        }
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[str, _Connection] = {}
         self._handler_tasks: "set[asyncio.Task[None]]" = set()
@@ -460,67 +473,108 @@ class QueryServer:
         return database
 
     async def _dispatch(self, request: Request, connection: _Connection) -> Response:
-        service = self._service
-        client = connection.client
-        deadline = request.deadline
-        op = request.op
-        if op == PING:
-            return Response(id=request.id, kind=PONG, result=None)
-        if op == STATS:
-            stats = await service.stats()
-            return Response(
-                id=request.id,
-                kind=STATS_RESULT,
-                result=stats_payload(stats, transport=self._transport_stats()),
-            )
-        if op == CANCEL:
-            # Cancellation is scoped to the requesting connection — one
-            # client cannot reach into another's in-flight requests.
-            self._cancel_requests += 1
-            target = None
-            if request.target is not None:
-                target = connection.inflight.get(request.target)
-            cancelled = False
-            if target is not None and not target.done():
-                cancelled = target.cancel("cancelled by client request")
-            return Response(id=request.id, kind=CANCELLED, result=bool(cancelled))
+        handler = self._op_table.get(request.op)
+        if handler is None:
+            raise ProtocolError(f"unknown op {request.op!r}")  # past validate()
+        return await handler(request, connection)
+
+    async def _op_query(self, request: Request, connection: _Connection) -> Response:
+        """One generic handler for every single-operation query op.
+
+        The wire op string is the operation kind, so building the
+        :class:`~repro.operations.Operation` here (semantic option
+        validation included — unknown options and malformed aggregate
+        modes answer as typed errors) and running it through the
+        service's generic ``run`` covers execute / decide / explain /
+        count / aggregate without per-op code.
+        """
         database = self._database(request)
-        if op == EXECUTE:
-            relation = await service.execute(
-                request.query, database, client=client, deadline=deadline
-            )
-            return Response(
-                id=request.id, kind=RELATION, result=encode_relation(relation)
-            )
-        if op == DECIDE:
-            decision = await service.decide(
-                request.query, database, client=client, deadline=deadline
-            )
-            return Response(id=request.id, kind=BOOLEAN, result=bool(decision))
-        if op == EXPLAIN:
-            rendering = await service.explain(
-                request.query, database, client=client, deadline=deadline
-            )
-            return Response(id=request.id, kind=TEXT, result=rendering)
-        if op == EXECUTE_BATCH:
-            relations = await service.execute_batch(
-                list(request.queries or ()), database, client=client, deadline=deadline
-            )
-            return Response(
-                id=request.id,
-                kind=RELATIONS,
-                result=[encode_relation(relation) for relation in relations],
-            )
-        if op == DECIDE_BATCH:
-            decisions = await service.decide_batch(
-                list(request.queries or ()), database, client=client, deadline=deadline
-            )
-            return Response(
-                id=request.id,
-                kind=BOOLEANS,
-                result=[bool(decision) for decision in decisions],
-            )
-        raise ProtocolError(f"unknown op {op!r}")  # unreachable past validate()
+        operation = Operation.make(request.op, request.query, request.options)
+        value = await self._service.run(
+            operation,
+            database,
+            client=connection.client,
+            deadline=request.deadline,
+        )
+        kind, payload = encode_result(value)
+        return Response(id=request.id, kind=kind, result=payload)
+
+    async def _op_run_batch(
+        self, request: Request, connection: _Connection
+    ) -> Response:
+        database = self._database(request)
+        operations = [
+            Operation.make(entry["op"], entry["query"], entry.get("options"))
+            for entry in request.operations or ()
+        ]
+        values = await self._service.run_batch(
+            operations,
+            database,
+            client=connection.client,
+            deadline=request.deadline,
+        )
+        members = []
+        for value in values:
+            kind, payload = encode_result(value)
+            members.append({"kind": kind, "result": payload})
+        return Response(id=request.id, kind=RESULTS, result=members)
+
+    async def _op_execute_batch(
+        self, request: Request, connection: _Connection
+    ) -> Response:
+        # Legacy homogeneous-batch op: kept wire-compatible (an untagged
+        # list of relation payloads) for clients predating run_batch.
+        database = self._database(request)
+        relations = await self._service.execute_batch(
+            list(request.queries or ()),
+            database,
+            client=connection.client,
+            deadline=request.deadline,
+        )
+        return Response(
+            id=request.id,
+            kind=RELATIONS,
+            result=[encode_relation(relation) for relation in relations],
+        )
+
+    async def _op_decide_batch(
+        self, request: Request, connection: _Connection
+    ) -> Response:
+        database = self._database(request)
+        decisions = await self._service.decide_batch(
+            list(request.queries or ()),
+            database,
+            client=connection.client,
+            deadline=request.deadline,
+        )
+        return Response(
+            id=request.id,
+            kind=BOOLEANS,
+            result=[bool(decision) for decision in decisions],
+        )
+
+    async def _op_ping(self, request: Request, connection: _Connection) -> Response:
+        return Response(id=request.id, kind=PONG, result=None)
+
+    async def _op_stats(self, request: Request, connection: _Connection) -> Response:
+        stats = await self._service.stats()
+        return Response(
+            id=request.id,
+            kind=STATS_RESULT,
+            result=stats_payload(stats, transport=self._transport_stats()),
+        )
+
+    async def _op_cancel(self, request: Request, connection: _Connection) -> Response:
+        # Cancellation is scoped to the requesting connection — one
+        # client cannot reach into another's in-flight requests.
+        self._cancel_requests += 1
+        target = None
+        if request.target is not None:
+            target = connection.inflight.get(request.target)
+        cancelled = False
+        if target is not None and not target.done():
+            cancelled = target.cancel("cancelled by client request")
+        return Response(id=request.id, kind=CANCELLED, result=bool(cancelled))
 
     def _transport_stats(self) -> Dict[str, Any]:
         """The transport-level counters for the ``stats`` payload."""

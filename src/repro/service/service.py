@@ -7,14 +7,18 @@ engine already amortizes that shape work (plan cache, warm kernel indexes,
 shard partitions), but only for callers who share one engine.
 :class:`QueryService` is the sharing layer:
 
-* an ``asyncio`` facade (``execute`` / ``decide`` / ``execute_batch`` /
-  ``decide_batch`` / ``explain`` / ``stats``) multiplexing every
-  concurrent client onto one thread-safe :class:`~repro.engine.QueryEngine`;
+* an ``asyncio`` facade built around one generic ``run`` / ``run_batch``
+  pair over :class:`~repro.operations.Operation` values — the typed
+  methods (``execute`` / ``decide`` / ``explain`` / ``count`` /
+  ``grouped_count`` / ``exists`` / ``forall`` / ``stats``) are one-line
+  wrappers — multiplexing every concurrent client onto one thread-safe
+  :class:`~repro.engine.QueryEngine`;
 * a **bounded request queue** between admission and execution — when all
   dispatchers are busy and the queue is full, new work awaits (natural
   asyncio backpressure) instead of piling up unboundedly;
 * **single-flight coalescing** — a request identical to one already in
-  flight (same kind, same query, same database) does not execute again;
+  flight (same kind, same options, same query, same database) does not
+  execute again;
   it awaits the in-flight result, which is safe to share because results
   are immutable relations;
 * **micro-batching** — same-shape requests arriving within
@@ -66,6 +70,14 @@ from ..errors import (
     RequestRejectedError,
     ServiceOverloadedError,
 )
+from ..operations import (
+    COUNT,
+    DECIDE,
+    EXECUTE,
+    EXPLAIN,
+    Operation,
+    operations_of,
+)
 from ..parallel.pool import THREADS, WorkerPool, default_worker_count
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.parser import parse_query
@@ -90,16 +102,13 @@ DEFAULT_BATCH_LIMIT = 64
 #: Most client tags the per-client stats rollup tracks (LRU eviction).
 MAX_TRACKED_CLIENTS = 64
 
-EXECUTE = "execute"
-DECIDE = "decide"
-EXPLAIN = "explain"
-
 
 class _Group:
     """One queue item: same-shape, same-client requests dispatched together."""
 
     __slots__ = (
         "kind",
+        "options",
         "database",
         "queries",
         "futures",
@@ -117,8 +126,12 @@ class _Group:
         futures: List["asyncio.Future[Any]"],
         client: str = ANONYMOUS,
         token: Optional[CancelToken] = None,
+        options: Tuple[Tuple[str, Any], ...] = (),
     ) -> None:
         self.kind = kind
+        #: Canonical option tuple shared by every member (part of the
+        #: collector shape — members with different options never mix).
+        self.options = options
         self.database = database
         self.queries = queries
         self.futures = futures
@@ -256,6 +269,88 @@ class QueryService:
     # Public API
     # ------------------------------------------------------------------
 
+    async def run(
+        self,
+        operation: Operation,
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """Run one :class:`~repro.operations.Operation` through the shared
+        engine — the generic path every typed facade wraps.
+
+        Single-flight coalescing and micro-batching key on the full
+        operation (kind *and* options), so two callers issuing the same
+        operation share one execution, while operations that differ only
+        in options never mix.  *deadline* bounds the request in seconds
+        from admission: past it the call raises
+        :class:`~repro.errors.DeadlineExceededError` and the underlying
+        execution is cooperatively cancelled (unless other waiters still
+        ride it).
+        """
+        operation.validate()
+        return await self._submit(
+            operation.kind,
+            operation.query,
+            database,
+            client,
+            deadline,
+            operation.options,
+        )
+
+    async def run_batch(
+        self,
+        operations: Sequence[Operation],
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
+    ) -> List[Any]:
+        """Run an explicit batch of operations (no window wait).
+
+        Operations sharing ``(kind, options)`` dispatch as one group
+        through the engine's N-wide batch lifting; a mixed batch splits
+        into per-``group_key`` groups submitted concurrently, and results
+        come back in input order regardless.
+        """
+        if not operations:
+            return []
+        for operation in operations:
+            operation.validate()
+        slots: Dict[Tuple[str, Tuple], List[int]] = {}
+        for index, operation in enumerate(operations):
+            slots.setdefault(operation.group_key, []).append(index)
+        if len(slots) == 1:
+            ((kind, options), _members) = next(iter(slots.items()))
+            return await self._submit_group(
+                kind,
+                [operation.query for operation in operations],
+                database,
+                client,
+                deadline,
+                options,
+            )
+        # Mixed batch: one group per (kind, options), gathered together,
+        # answers re-assembled into input order.
+        groups = [
+            self._submit_group(
+                kind,
+                [operations[index].query for index in members],
+                database,
+                client,
+                deadline,
+                options,
+            )
+            for (kind, options), members in slots.items()
+        ]
+        settled = await asyncio.gather(*groups)
+        results: List[Any] = [None] * len(operations)
+        for members, answers in zip(slots.values(), settled):
+            for index, answer in zip(members, answers):
+                results[index] = answer
+        return results
+
     async def execute(
         self,
         query: QueryLike,
@@ -272,7 +367,9 @@ class QueryService:
         waiters still ride it).  Deadline'd requests skip micro-batch
         collectors — one group, one token, one budget.
         """
-        return await self._submit(EXECUTE, query, database, client, deadline)
+        return await self.run(
+            Operation(EXECUTE, query), database, client=client, deadline=deadline
+        )
 
     async def decide(
         self,
@@ -284,7 +381,9 @@ class QueryService:
     ) -> bool:
         """Is Q(d) nonempty?  Decision requests micro-batch through the
         engine's decision-only N-wide lifting (``decide_batch``)."""
-        return await self._submit(DECIDE, query, database, client, deadline)
+        return await self.run(
+            Operation(DECIDE, query), database, client=client, deadline=deadline
+        )
 
     async def explain(
         self,
@@ -296,7 +395,67 @@ class QueryService:
     ) -> str:
         """The engine's plan rendering, without executing (coalesced but
         never batched — explaining is per-query by definition)."""
-        return await self._submit(EXPLAIN, query, database, client, deadline)
+        return await self.run(
+            Operation(EXPLAIN, query), database, client=client, deadline=deadline
+        )
+
+    async def count(
+        self,
+        query: QueryLike,
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """\\|Q(d)\\| through the engine's counting pass (single-flight,
+        micro-batched like decisions — counts share the reduction)."""
+        return await self.run(
+            Operation(COUNT, query), database, client=client, deadline=deadline
+        )
+
+    async def grouped_count(
+        self,
+        query: QueryLike,
+        database: Database,
+        group_by: Sequence[str],
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
+    ) -> Relation:
+        """Grouped answer counts over *group_by* head variables."""
+        return await self.run(
+            Operation.grouped_count(query, group_by),
+            database,
+            client=client,
+            deadline=deadline,
+        )
+
+    async def exists(
+        self,
+        query: QueryLike,
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
+    ) -> bool:
+        """Is Q(d) nonempty? — the aggregate spelling of ``decide``."""
+        return await self.run(
+            Operation.exists(query), database, client=client, deadline=deadline
+        )
+
+    async def forall(
+        self,
+        query: QueryLike,
+        database: Database,
+        *,
+        client: str = ANONYMOUS,
+        deadline: Optional[float] = None,
+    ) -> bool:
+        """Does every tuple over the head variables' candidate domains
+        satisfy the query body?  (``count == |domain|``.)"""
+        return await self.run(
+            Operation.forall(query), database, client=client, deadline=deadline
+        )
 
     async def execute_batch(
         self,
@@ -306,9 +465,17 @@ class QueryService:
         client: str = ANONYMOUS,
         deadline: Optional[float] = None,
     ) -> List[Relation]:
-        """Evaluate an explicit batch as one group (no window wait)."""
-        return await self._submit_group(
-            EXECUTE, list(queries), database, client, deadline
+        """Evaluate an explicit batch as one group (no window wait).
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``execute`` operations;
+            prefer ``run_batch(operations_of(EXECUTE, queries), db)``.
+        """
+        return await self.run_batch(
+            operations_of(EXECUTE, queries),
+            database,
+            client=client,
+            deadline=deadline,
         )
 
     async def decide_batch(
@@ -319,9 +486,17 @@ class QueryService:
         client: str = ANONYMOUS,
         deadline: Optional[float] = None,
     ) -> List[bool]:
-        """Decide an explicit batch as one group (no window wait)."""
-        return await self._submit_group(
-            DECIDE, list(queries), database, client, deadline
+        """Decide an explicit batch as one group (no window wait).
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``decide`` operations;
+            prefer ``run_batch(operations_of(DECIDE, queries), db)``.
+        """
+        return await self.run_batch(
+            operations_of(DECIDE, queries),
+            database,
+            client=client,
+            deadline=deadline,
         )
 
     async def stats(self) -> ServiceStats:
@@ -538,12 +713,13 @@ class QueryService:
         database: Database,
         client: str = ANONYMOUS,
         deadline: Optional[float] = None,
+        options: Tuple[Tuple[str, Any], ...] = (),
     ) -> Any:
         self._start_if_needed()
         assert self._loop is not None
         started = self._loop.time()
         query = self._coerce_query(query, client)
-        key = (kind, id(database), query)
+        key = (kind, options, id(database), query)
         existing = self._inflight.get(key)
         if existing is not None and existing.group is not None:
             token = existing.group.token
@@ -591,7 +767,7 @@ class QueryService:
         self._counters.submitted += 1
         self._client_stats(client).submitted += 1
         try:
-            await self._route(kind, query, database, future, client, flight)
+            await self._route(kind, query, database, future, client, flight, options)
         except asyncio.CancelledError:
             # Caller cancelled during admission: the enqueue (if reached)
             # continues service-owned and the future resolves later for
@@ -614,6 +790,7 @@ class QueryService:
         database: Database,
         client: str = ANONYMOUS,
         deadline: Optional[float] = None,
+        options: Tuple[Tuple[str, Any], ...] = (),
     ) -> List[Any]:
         if not queries:
             return []
@@ -629,7 +806,13 @@ class QueryService:
         stats = self._client_stats(client)
         stats.submitted += len(coerced)
         group = _Group(
-            kind, database, coerced, list(futures), client, CancelToken(deadline)
+            kind,
+            database,
+            coerced,
+            list(futures),
+            client,
+            CancelToken(deadline),
+            options,
         )
         group.flushed = True  # explicit batches never collect further
         self._unenqueued.add(group)
@@ -680,6 +863,7 @@ class QueryService:
         future: "asyncio.Future[Any]",
         client: str = ANONYMOUS,
         flight: Optional[_Flight] = None,
+        options: Tuple[Tuple[str, Any], ...] = (),
     ) -> None:
         # Every group carries a (deadline-free) token from birth so that
         # the dispatch closure and the teardown path always see the SAME
@@ -691,7 +875,9 @@ class QueryService:
         # cost none of the sharing the service exists to provide.
         window = self._batch_window
         if window <= 0.0 or kind == EXPLAIN:
-            group = _Group(kind, database, [query], [future], client, CancelToken())
+            group = _Group(
+                kind, database, [query], [future], client, CancelToken(), options
+            )
             group.flushed = True
             if flight is not None:
                 flight.group = group
@@ -701,7 +887,7 @@ class QueryService:
         # Collectors are client-pure (the client tag is part of the shape
         # key): a group sits in exactly one fairness lane, so a flooding
         # client's batches cannot ride a polite client's admission slot.
-        shape = (kind, client, id(database), plan_cache_key(query, database))
+        shape = (kind, options, client, id(database), plan_cache_key(query, database))
         group = self._collecting.get(shape)
         if group is not None and not group.flushed:
             group.queries.append(query)
@@ -713,7 +899,9 @@ class QueryService:
             if len(group.queries) >= self._batch_limit:
                 await self._flush(shape, group)
             return
-        group = _Group(kind, database, [query], [future], client, CancelToken())
+        group = _Group(
+            kind, database, [query], [future], client, CancelToken(), options
+        )
         if flight is not None:
             flight.group = group
         self._unenqueued.add(group)
@@ -786,6 +974,7 @@ class QueryService:
             self._counters.max_group = len(group.queries)
         engine = self._engine
         kind, queries, database = group.kind, group.queries, group.database
+        options = group.options
         token = group.token
 
         def run() -> List[Any]:
@@ -793,17 +982,14 @@ class QueryService:
                 # Pre-check before any engine work: a request abandoned
                 # or expired while queued costs nothing past this line.
                 token.check()
+            # One generic dispatch for every kind: the engine's own
+            # operation table decides what runs, so a new operation kind
+            # needs no change here.
+            members = [Operation(kind, query, options) for query in queries]
             with activate(token):
-                if kind == EXECUTE:
-                    if len(queries) == 1:
-                        return [engine.execute(queries[0], database)]
-                    return engine.execute_batch(queries, database)
-                if kind == DECIDE:
-                    if len(queries) == 1:
-                        return [engine.decide(queries[0], database)]
-                    return engine.decide_batch(queries, database)
-                assert kind == EXPLAIN
-                return [engine.explain(queries[0], database)]
+                if len(members) == 1:
+                    return [engine.run(members[0], database)]
+                return engine.run_batch(members, database)
 
         try:
             results = await asyncio.wrap_future(self._pool.submit(run))

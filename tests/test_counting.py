@@ -1,0 +1,340 @@
+"""The counting subsystem: modes, the annotated Yannakakis pass, sharded
+partial counts, grouped counts, and the aggregate facades."""
+
+import pytest
+
+from repro import Database, QueryEngine, Relation, parse_query
+from repro.engine import (
+    COUNT_BOOLEAN,
+    COUNT_COVERED,
+    COUNT_FULL,
+    COUNT_GENERAL,
+    COUNT_HARD,
+    FAST_COUNTING_MODES,
+    Planner,
+    analyze,
+    counting_mode,
+    covering_atom,
+)
+from repro.errors import QueryError
+from repro.evaluation import (
+    CountingYannakakisEvaluator,
+    NaiveEvaluator,
+    grouped_count_reference,
+    head_domain_size,
+)
+from repro.query import Atom, ConjunctiveQuery
+from repro.query.terms import Variable
+from repro.workloads import (
+    chain_database,
+    cycle_query,
+    path_query,
+    star_database,
+    star_query,
+)
+
+
+@pytest.fixture(scope="module")
+def chain() -> Database:
+    return chain_database(layers=6, width=8, p=0.5, seed=7)
+
+
+def naive_count(query, database) -> int:
+    return NaiveEvaluator().evaluate(query, database).cardinality
+
+
+def full_path_query(length: int) -> ConjunctiveQuery:
+    """A path query exporting every variable (no existential vars)."""
+    return path_query(length, head_arity=length + 1)
+
+
+def headed_cycle_query(length: int) -> ConjunctiveQuery:
+    """A cyclic query WITH head variables (so counting is count-general)."""
+    base = cycle_query(length)
+    return ConjunctiveQuery((Variable("x0"),), list(base.atoms), head_name="CYC")
+
+
+class TestCountingModes:
+    def test_boolean(self):
+        query = ConjunctiveQuery(
+            (), [Atom("E", (Variable("x"), Variable("y")))], head_name="Q"
+        )
+        assert counting_mode(query, analyze(query).structural_class) == COUNT_BOOLEAN
+
+    def test_covered(self):
+        query = path_query(3, head_arity=2)
+        assert counting_mode(query, analyze(query).structural_class) == COUNT_COVERED
+        assert covering_atom(query) == 0
+
+    def test_full(self):
+        query = full_path_query(3)
+        assert counting_mode(query, analyze(query).structural_class) == COUNT_FULL
+        assert covering_atom(query) is None
+
+    def test_hard_projection(self):
+        # Head {x0, x3} spans no single atom and x1, x2 are existential:
+        # the Chen–Mengel hard case for acyclic counting.
+        base = path_query(3)
+        variables = [Variable(f"x{i}") for i in range(4)]
+        query = ConjunctiveQuery(
+            (variables[0], variables[3]), list(base.atoms), head_name="Q"
+        )
+        assert counting_mode(query, analyze(query).structural_class) == COUNT_HARD
+
+    def test_boolean_beats_structure(self):
+        # An empty head is count-boolean even on a cyclic body: counting
+        # IS deciding there, whatever evaluation costs.
+        query = cycle_query(4)
+        assert counting_mode(query, analyze(query).structural_class) == COUNT_BOOLEAN
+
+    def test_cyclic_is_general(self):
+        query = headed_cycle_query(4)
+        assert counting_mode(query, analyze(query).structural_class) == COUNT_GENERAL
+
+    def test_plans_carry_the_mode(self, chain):
+        engine = QueryEngine()
+        with engine:
+            plan = engine.plan_for(path_query(3, head_arity=2), chain)
+            assert plan.count_mode == COUNT_COVERED
+            assert "counting : count-covered" in plan.explain()
+
+
+class TestCountingEvaluator:
+    @pytest.mark.parametrize("length", [2, 3])
+    def test_full_mode_matches_naive(self, chain, length):
+        query = full_path_query(length)
+        result = CountingYannakakisEvaluator().count(query, chain)
+        assert result.mode == COUNT_FULL
+        assert result.total == naive_count(query, chain)
+        assert sum(result.partials) == result.total
+
+    @pytest.mark.parametrize("head_arity", [1, 2])
+    def test_covered_mode_matches_naive(self, chain, head_arity):
+        query = path_query(3, head_arity=head_arity)
+        result = CountingYannakakisEvaluator().count(query, chain)
+        assert result.mode == COUNT_COVERED
+        assert result.total == naive_count(query, chain)
+
+    def test_boolean_mode(self, chain):
+        query = ConjunctiveQuery(
+            (), list(path_query(3).atoms), head_name="Q"
+        )
+        result = CountingYannakakisEvaluator().count(query, chain)
+        assert result.mode == COUNT_BOOLEAN
+        assert result.total == 1
+
+    def test_empty_result_counts_zero(self):
+        database = Database.from_tuples({"E": [(1, 2)]})
+        query = path_query(3, head_arity=2)
+        result = CountingYannakakisEvaluator().count(query, database)
+        assert result.total == 0
+
+    def test_non_fast_mode_raises(self, chain):
+        evaluator = CountingYannakakisEvaluator()
+        with pytest.raises(QueryError):
+            evaluator.count(headed_cycle_query(4), chain)
+
+    @pytest.mark.parametrize("shard_count", [2, 4])
+    @pytest.mark.parametrize("head_arity", [2, 4])
+    def test_sharded_partials_merge_exactly(self, chain, shard_count, head_arity):
+        # The per-shard partial counts must sum to the serial total: the
+        # covered mode routes whole index buckets so no key spans shards,
+        # and the full mode hash-partitions root annotations.
+        query = path_query(3, head_arity=head_arity)
+        serial = CountingYannakakisEvaluator().count(query, chain)
+        sharded = CountingYannakakisEvaluator().count(
+            query, chain, shard_count=shard_count
+        )
+        assert len(sharded.partials) == shard_count
+        assert sum(sharded.partials) == serial.total
+        assert sharded.total == serial.total
+
+    def test_star_quantified_count(self):
+        # STAR(hub) :- A1(hub,l1)..Ak(hub,lk) with the leaves existential:
+        # head covered by any one arm, so counting skips the join whose
+        # size grows with the quantified star size.
+        database = star_database(arms=3, fanout=6, seed=2)
+        query = star_query(3)
+        result = CountingYannakakisEvaluator().count(query, database)
+        assert result.mode == COUNT_COVERED
+        assert result.total == naive_count(query, database)
+
+
+class TestGroupedCounts:
+    def test_matches_reference(self, chain):
+        query = path_query(3, head_arity=2)
+        evaluator = CountingYannakakisEvaluator()
+        grouped = evaluator.grouped_count(query, chain, ("x0",))
+        answers = NaiveEvaluator().evaluate(query, chain)
+        reference = grouped_count_reference(query, answers, ("x0",))
+        assert grouped == reference
+
+    def test_full_mode_grouping(self, chain):
+        query = full_path_query(2)
+        evaluator = CountingYannakakisEvaluator()
+        grouped = evaluator.grouped_count(query, chain, ("x2",))
+        answers = NaiveEvaluator().evaluate(query, chain)
+        assert grouped == grouped_count_reference(query, answers, ("x2",))
+
+    def test_counts_sum_to_total(self, chain):
+        query = path_query(3, head_arity=2)
+        evaluator = CountingYannakakisEvaluator()
+        grouped = evaluator.grouped_count(query, chain, ("x1",))
+        total = evaluator.count(query, chain).total
+        assert sum(row[-1] for row in grouped.rows) == total
+
+    def test_unknown_group_name_rejected(self, chain):
+        with pytest.raises(QueryError):
+            CountingYannakakisEvaluator().grouped_count(
+                path_query(3, head_arity=2), chain, ("nope",)
+            )
+
+    def test_count_attribute_collision_renamed(self):
+        database = Database.from_tuples({"E": [(1, 2), (1, 3)]})
+        count_var = Variable("count")
+        other = Variable("y")
+        query = ConjunctiveQuery(
+            (count_var, other), [Atom("E", (count_var, other))], head_name="Q"
+        )
+        grouped = CountingYannakakisEvaluator().grouped_count(
+            query, database, ("count",)
+        )
+        assert grouped.attributes == ("count", "_count")
+        assert set(grouped.rows) == {(1, 2)}
+
+
+class TestEngineCountingFacade:
+    def test_count_equals_execute_cardinality(self, chain):
+        with QueryEngine() as engine:
+            for query in (
+                path_query(2),
+                path_query(3, head_arity=2),
+                full_path_query(3),
+                headed_cycle_query(4),  # count-general: falls back to evaluation
+            ):
+                assert engine.count(query, chain) == engine.execute(
+                    query, chain
+                ).cardinality
+
+    def test_count_hard_falls_back(self, chain):
+        base = path_query(3)
+        variables = [Variable(f"x{i}") for i in range(4)]
+        query = ConjunctiveQuery(
+            (variables[0], variables[3]), list(base.atoms), head_name="Q"
+        )
+        with QueryEngine() as engine:
+            assert engine.plan_for(query, chain).count_mode == COUNT_HARD
+            assert engine.count(query, chain) == naive_count(query, chain)
+
+    def test_sharded_count_matches_serial(self, chain):
+        query = path_query(3, head_arity=2)
+        with QueryEngine(
+            planner=Planner(shard_threshold_rows=1, shard_count=4)
+        ) as sharded, QueryEngine(parallel=False) as serial:
+            assert sharded.plan_for(query, chain).shard_count == 4
+            assert sharded.count(query, chain) == serial.count(query, chain)
+
+    def test_count_batch(self, chain):
+        queries = [path_query(n, head_arity=1) for n in (1, 2, 3)]
+        with QueryEngine() as engine:
+            counts = engine.count_batch(queries, chain)
+            assert counts == [engine.count(query, chain) for query in queries]
+
+    def test_exists_and_forall(self):
+        full = Database.from_tuples(
+            {"E": [(a, b) for a in range(3) for b in range(3)]}
+        )
+        query = path_query(1, head_arity=2)
+        with QueryEngine() as engine:
+            assert engine.exists(query, full) is True
+            assert engine.forall(query, full) is True
+            # Domains {0,1}×{0,1} but only 3 of the 4 pairs present.
+            sparse = Database.from_tuples({"E": [(0, 1), (1, 0), (0, 0)]})
+            assert engine.forall(query, sparse) is False
+            empty = Database({}).with_relation(
+                "E", Relation(("E.0", "E.1"))
+            )
+            assert engine.exists(query, empty) is False
+            # Empty candidate domains: vacuously true.
+            assert engine.forall(query, empty) is True
+
+    def test_grouped_count_facade(self, chain):
+        query = path_query(3, head_arity=2)
+        with QueryEngine() as engine:
+            grouped = engine.grouped_count(query, chain, ("x0",))
+            reference = grouped_count_reference(
+                query, engine.execute(query, chain), ("x0",)
+            )
+            assert grouped == reference
+
+    def test_count_records_cardinality_for_replanning(self, chain):
+        with QueryEngine() as engine:
+            query = path_query(3, head_arity=2)
+            total = engine.count(query, chain)
+            plan = engine.plan_for(query, chain)
+            assert plan.runtime.last_rows == total
+
+
+class TestHeadDomainSize:
+    def test_product_of_intersections(self):
+        database = Database.from_tuples({"E": [(1, 2), (2, 3), (3, 1)]})
+        query = path_query(1, head_arity=2)
+        # x0 ranges over first-column values ∩ nothing else; x1 likewise.
+        assert head_domain_size(query, database) == 9
+
+    def test_repeated_head_variable_counted_once(self):
+        database = Database.from_tuples({"E": [(1, 1), (2, 2)]})
+        x = Variable("x")
+        query = ConjunctiveQuery((x, x), [Atom("E", (x, x))], head_name="Q")
+        assert head_domain_size(query, database) == 2
+
+
+class TestPlannerCalibration:
+    def test_observed_unit_costs_need_samples(self, chain):
+        with QueryEngine() as engine:
+            query = path_query(3, head_arity=2)
+            engine.execute(query, chain)
+            ledger = engine._ledger
+            assert ledger.observed_unit_costs(min_samples=3) == {}
+            engine.execute(query, chain)
+            engine.execute(query, chain)
+            units = ledger.observed_unit_costs(min_samples=3)
+            assert set(units) == {"yannakakis"}
+            assert units["yannakakis"] > 0.0
+
+    def test_pass_weight_scales_with_evidence(self):
+        # Yannakakis observed 3x slower than naive per modelled row-op →
+        # the acyclic cost estimate triples relative to the static prior.
+        static = Planner()
+        fast = Planner(calibration=lambda: {"yannakakis": 3.0, "naive": 1.0})
+        assert fast._pass_weight() == pytest.approx(3.0 * static._pass_weight())
+        # Evidence for only one evaluator keeps the static prior.
+        partial = Planner(calibration=lambda: {"yannakakis": 3.0})
+        assert partial._pass_weight() == static._pass_weight()
+
+    def test_calibration_clamped(self):
+        static = Planner()
+        extreme = Planner(calibration=lambda: {"yannakakis": 1000.0, "naive": 1.0})
+        assert extreme._pass_weight() == pytest.approx(4.0 * static._pass_weight())
+        tiny = Planner(calibration=lambda: {"yannakakis": 1.0, "naive": 1000.0})
+        assert tiny._pass_weight() == pytest.approx(0.25 * static._pass_weight())
+
+    def test_engine_feeds_its_own_ledger(self, chain):
+        with QueryEngine() as engine:
+            assert engine._planner._calibration is not None
+            query = path_query(3, head_arity=2)
+            for _ in range(3):
+                engine.execute(query, chain)
+            # Re-planning with warmed calibration still picks a sound
+            # evaluator and the same answers.
+            evicted = parse_query(repr(query))
+            assert engine.execute(evicted, chain) == NaiveEvaluator().evaluate(
+                query, chain
+            )
+
+    def test_fast_counting_modes_subset(self):
+        assert set(FAST_COUNTING_MODES) <= {
+            COUNT_BOOLEAN,
+            COUNT_COVERED,
+            COUNT_FULL,
+        }

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import QueryError
-from repro.evaluation import DatalogEvaluator
+from repro.evaluation import DatalogEvaluator, NaiveEvaluator
 from repro.query import parse_program
 from repro.relational import Database
 from repro.reductions import evaluate_via_cq_oracle, naive_cq_oracle, w1_cq_oracle
@@ -108,3 +108,59 @@ class TestCQOracleRoute:
     def test_oracle_parameter_bounded_by_program(self, transitive, edges):
         _, stats = evaluate_via_cq_oracle(transitive, edges)
         assert stats.max_parameter_v <= transitive.max_rule_variables()
+
+
+class TestBatchedRuleBodies:
+    """Semi-naive rounds hand ALL rule bodies to the engine as one
+    ``execute_batch`` call — one snapshot per round, never per rule."""
+
+    class RecordingEngine:
+        """Wraps an engine, recording every batch/single evaluation."""
+
+        def __init__(self, engine):
+            self._engine = engine
+            self.batch_calls = []
+            self.single_calls = 0
+
+        def execute(self, query, database):
+            self.single_calls += 1
+            return self._engine.execute(query, database)
+
+        def execute_batch(self, queries, database):
+            self.batch_calls.append(len(queries))
+            return self._engine.execute_batch(queries, database)
+
+    def test_seminaive_routes_rounds_through_execute_batch(self, edges):
+        from repro import QueryEngine
+        from repro.query import parse_program
+
+        program = parse_program(
+            """
+            T(x, y) :- E(x, y).
+            T(x, y) :- E(x, z), T(z, y).
+            S(x) :- T(x, x).
+            S(x) :- T(x, y), E(y, x).
+            """
+        )
+        with QueryEngine(max_workers=1) as engine:
+            recording = self.RecordingEngine(engine)
+            batched = DatalogEvaluator(rule_engine=recording).fixpoint(
+                program, edges
+            )
+            reference = DatalogEvaluator(
+                rule_engine=NaiveEvaluator()
+            ).fixpoint(program, edges)
+        assert {n: r.rows for n, r in batched.items()} == {
+            n: r.rows for n, r in reference.items()
+        }
+        # First round: all 4 rule bodies in ONE call; every delta round
+        # batches its delta-instantiated bodies too.
+        assert recording.batch_calls and recording.batch_calls[0] == 4
+        assert recording.single_calls == 0
+
+    def test_engines_without_batch_entry_still_work(self, transitive, edges):
+        evaluator = DatalogEvaluator(rule_engine=NaiveEvaluator())
+        assert evaluator._evaluate_batch is None
+        semi = evaluator.evaluate(transitive, edges, method="seminaive")
+        naive = evaluator.evaluate(transitive, edges, method="naive")
+        assert semi == naive

@@ -217,3 +217,62 @@ def test_cross_process_hot_flood_coalesces(server_process, chain_db):
     # requests.  (Coalescing proper is also asserted in-process; across
     # processes, arrival jitter means we pin the aggregate effect.)
     assert work[2] < requests, work
+
+
+def test_cross_process_counting_matches_local(server_process, chain_db):
+    """Counting and aggregation over the subprocess boundary: 8 clients mix
+    count/exists/forall/grouped_count and mixed-kind ``run_batch`` frames;
+    every answer must equal the local sequential engine's."""
+    from repro.operations import Operation
+
+    host, port = server_process
+    query = path_query(3, head_arity=2)
+    sequential = QueryEngine(parallel=False)
+    want_count = sequential.count(query, chain_db)
+    want_grouped = sequential.grouped_count(query, chain_db, ("x0",))
+    want_exists = sequential.exists(query, chain_db)
+    want_forall = sequential.forall(query, chain_db)
+    want_rows = sequential.execute(query, chain_db)
+    assert want_count == want_rows.cardinality
+
+    workers = 8
+    outcomes = [None] * workers
+    errors = []
+
+    def worker(index):
+        try:
+            with QueryClient(host, port) as client:
+                outcomes[index] = (
+                    client.count(query, "chain"),
+                    client.grouped_count(query, "chain", ("x0",)),
+                    client.exists(query, "chain"),
+                    client.forall(query, "chain"),
+                    client.run_batch(
+                        [
+                            Operation.count(query),
+                            Operation.execute(query),
+                            Operation.decide(query),
+                        ],
+                        "chain",
+                    ),
+                )
+        except BaseException as exc:  # noqa: BLE001
+            errors.append((index, exc))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(READY_TIMEOUT)
+    assert errors == []
+    for outcome in outcomes:
+        assert outcome is not None
+        count, grouped, exists, forall, batch = outcome
+        assert count == want_count
+        assert grouped == want_grouped
+        assert grouped.rows == want_grouped.rows
+        assert exists is want_exists
+        assert forall is want_forall
+        assert batch[0] == want_count
+        assert batch[1] == want_rows and batch[1].rows == want_rows.rows
+        assert batch[2] is True
