@@ -40,6 +40,7 @@ from repro.benchlib import (
     time_thunk,
 )
 from repro.engine import NAIVE
+from repro.operations import EXECUTE, operations_of
 from repro.parametric.problems import CliqueInstance
 from repro.query import Atom, ConjunctiveQuery
 from repro.query.terms import Variable
@@ -233,8 +234,9 @@ def run_batch(repeats: int) -> Dict[str, Any]:
     starts = sorted({row[0] for row in database["E"].rows})[:24]
     batch = [query.decision_instance((value,)) for value in starts]
 
+    operations = operations_of(EXECUTE, batch)
     batch_seconds, results = time_thunk(
-        lambda: QueryEngine().execute_batch(batch, database), repeats=repeats
+        lambda: QueryEngine().run_batch(operations, database), repeats=repeats
     )
 
     def fresh_engines():

@@ -49,6 +49,7 @@ from repro.benchlib import (
     speedup,
     time_thunk,
 )
+from repro.operations import EXECUTE, operations_of
 from repro.parallel import WorkerPool, default_worker_count
 from repro.parallel.pool import PROCESSES, SERIAL, THREADS
 from repro.workloads import chain_database, path_query, star_database, star_query
@@ -132,14 +133,15 @@ def run_batch(repeats: int, batch_size: int = 48) -> Dict[str, Any]:
 
     sequential = QueryEngine(parallel=False)
     wide = QueryEngine()
-    reference = sequential.execute_batch(batch, database)
-    assert wide.execute_batch(batch, database) == reference
+    operations = operations_of(EXECUTE, batch)
+    reference = sequential.run_batch(operations, database)
+    assert wide.run_batch(operations, database) == reference
 
     seq_seconds, _ = time_thunk(
-        lambda: sequential.execute_batch(batch, database), repeats=repeats
+        lambda: sequential.run_batch(operations, database), repeats=repeats
     )
     wide_seconds, _ = time_thunk(
-        lambda: wide.execute_batch(batch, database), repeats=repeats
+        lambda: wide.run_batch(operations, database), repeats=repeats
     )
     return {
         "batch_size": len(batch),

@@ -10,6 +10,7 @@ from .errors import (
     CancelledRequestError,
     ConnectionLostError,
     DeadlineExceededError,
+    FleetDrainedError,
     InconsistentConstraintsError,
     NotAcyclicError,
     ParseError,
@@ -20,6 +21,7 @@ from .errors import (
     RetryExhaustedError,
     SchemaError,
     ServerBusyError,
+    WorkerUnavailableError,
 )
 from .relational import Database, Relation
 from .query import (
@@ -49,6 +51,7 @@ from .parallel import ParallelYannakakisEvaluator, ShardedRelation, WorkerPool
 from .resilience import CancelToken, FaultPlan, RetryPolicy
 from .service import QueryService, ServiceStats
 from .protocol import AsyncQueryClient, QueryClient, QueryServer
+from .fleet import FleetRouter, FleetSupervisor
 
 __version__ = "1.0.0"
 
@@ -67,6 +70,9 @@ __all__ = [
     "DatalogProgram",
     "DeadlineExceededError",
     "FaultPlan",
+    "FleetDrainedError",
+    "FleetRouter",
+    "FleetSupervisor",
     "FirstOrderEvaluator",
     "FirstOrderQuery",
     "InconsistentConstraintsError",
@@ -97,6 +103,7 @@ __all__ = [
     "ShardedRelation",
     "TreewidthEvaluator",
     "WorkerPool",
+    "WorkerUnavailableError",
     "YannakakisEvaluator",
     "parse_program",
     "parse_query",

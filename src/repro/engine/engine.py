@@ -50,6 +50,7 @@ behavior exactly: no pool, no sharded dispatch, no batch lifting.
 from __future__ import annotations
 
 import inspect
+import warnings
 from dataclasses import replace
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -523,7 +524,17 @@ class QueryEngine:
         execution.  Remaining groups execute member by member, fanned
         across the worker pool when one is configured.  Results come back
         in input order, identical to per-member execution.
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``execute`` operations.
         """
+        warnings.warn(
+            "QueryEngine.execute_batch is deprecated; use "
+            "run_batch(operations_of(EXECUTE, queries), database) — the "
+            "generic operation API it is a shim over",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.run_batch(operations_of(OP_EXECUTE, queries), database)
 
     def decide_batch(
@@ -541,7 +552,17 @@ class QueryEngine:
         surviving vectors are exactly the members whose query is
         nonempty.  Identical duplicates share one decision; everything
         else falls back to per-member ``decide``, fanned across the pool.
+
+        .. deprecated:: 1.0
+            Thin shim over :meth:`run_batch` with ``decide`` operations.
         """
+        warnings.warn(
+            "QueryEngine.decide_batch is deprecated; use "
+            "run_batch(operations_of(DECIDE, queries), database) — the "
+            "generic operation API it is a shim over",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.run_batch(operations_of(OP_DECIDE, queries), database)
 
     def count_batch(

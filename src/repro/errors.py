@@ -172,6 +172,42 @@ class RequestTimeoutError(ReproError, TimeoutError):
         self.timeout = timeout
 
 
+class WorkerUnavailableError(ReproError, ConnectionError):
+    """A fleet worker could not serve a routed request.
+
+    Raised internally by :class:`~repro.fleet.FleetRouter` when the
+    worker a request was routed to is dead, draining, or unreachable;
+    the router's failover machinery treats it as retryable and re-routes
+    the (idempotent) request to a healthy replica.  Carries the worker's
+    fleet ``worker`` id so chaos tests can assert *which* replica failed.
+
+    Subclasses :class:`ConnectionError` so it lands in the transport
+    branch of :meth:`~repro.resilience.RetryPolicy.retryable`.
+    """
+
+    def __init__(self, message: str, worker: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+
+
+class FleetDrainedError(ReproError):
+    """Every worker of the fleet is unavailable; the request cannot run.
+
+    Raised by :class:`~repro.fleet.FleetRouter` when failover exhausts
+    its retry budget without finding a live worker — the fleet-level
+    analogue of :class:`RetryExhaustedError`.  Carries the number of
+    routing ``attempts`` and the ``last_error`` that failed the final
+    one (also its ``__cause__``).
+    """
+
+    def __init__(
+        self, message: str, attempts: int = 0, last_error: BaseException | None = None
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
 class RetryExhaustedError(ReproError):
     """A client retry budget ran out without a successful attempt.
 

@@ -77,8 +77,18 @@ class DatalogEvaluator:
         #: N-wide batch entry point, when the engine has one.  The
         #: semi-naive fixpoint hands every round's rule-body queries over
         #: in ONE call, so same-shape delta rules ride the engine's batch
-        #: lifting instead of N sequential executions.
-        self._evaluate_batch = getattr(rule_engine, "execute_batch", None)
+        #: lifting instead of N sequential executions.  Prefer the generic
+        #: operation API; ``execute_batch`` is kept only as a duck-typed
+        #: fallback for injected engines that predate ``run_batch``.
+        run_batch = getattr(rule_engine, "run_batch", None)
+        if run_batch is not None:
+            from ..operations import EXECUTE, operations_of
+
+            self._evaluate_batch = lambda queries, database: run_batch(
+                operations_of(EXECUTE, queries), database
+            )
+        else:
+            self._evaluate_batch = getattr(rule_engine, "execute_batch", None)
 
     @property
     def rule_engine(self):

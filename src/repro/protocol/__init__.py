@@ -25,14 +25,18 @@ from .messages import (
     OPS,
     PROTOCOL_VERSION,
     QUERY_OPS,
+    REGISTER_DATABASE,
+    REGISTERED,
     RUN_BATCH,
     ErrorInfo,
     ProtocolError,
     RemoteQueryError,
     Request,
     Response,
+    decode_database,
     decode_relation,
     decode_result,
+    encode_database,
     encode_relation,
     encode_result,
     query_text,
@@ -51,14 +55,18 @@ __all__ = [
     "QUERY_OPS",
     "QueryClient",
     "QueryServer",
+    "REGISTERED",
+    "REGISTER_DATABASE",
     "RUN_BATCH",
     "RemoteQueryError",
     "Request",
     "Response",
     "decode",
+    "decode_database",
     "decode_relation",
     "decode_result",
     "encode",
+    "encode_database",
     "encode_relation",
     "encode_result",
     "error_info",

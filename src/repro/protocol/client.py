@@ -42,6 +42,7 @@ import asyncio
 import random
 import socket
 import time
+import warnings
 from itertools import count
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -56,14 +57,30 @@ from .messages import (
     CANCEL,
     PING,
     ProtocolError,
+    REGISTER_DATABASE,
     RUN_BATCH,
     RemoteQueryError,
     Request,
     Response,
     STATS,
     decode_result,
+    encode_database,
     query_text,
 )
+
+
+_BATCH_SHIM_WARNING = (
+    "{name} is deprecated; use run_batch(operations_of({kind}, queries), ...) "
+    "— the generic operation API it is a shim over"
+)
+
+
+def _warn_batch_shim(name: str, kind: str) -> None:
+    warnings.warn(
+        _BATCH_SHIM_WARNING.format(name=name, kind=kind),
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _raise_for(response: Response) -> Response:
@@ -376,6 +393,7 @@ class AsyncQueryClient:
         .. deprecated:: 1.0
             Thin shim over :meth:`run_batch` with ``execute`` operations.
         """
+        _warn_batch_shim("AsyncQueryClient.execute_batch", "EXECUTE")
         return await self.run_batch(
             operations_of(OP_EXECUTE, queries), database, deadline=deadline
         )
@@ -392,9 +410,23 @@ class AsyncQueryClient:
         .. deprecated:: 1.0
             Thin shim over :meth:`run_batch` with ``decide`` operations.
         """
+        _warn_batch_shim("AsyncQueryClient.decide_batch", "DECIDE")
         return await self.run_batch(
             operations_of(OP_DECIDE, queries), database, deadline=deadline
         )
+
+    async def register_database(self, name: str, database: Any) -> List[str]:
+        """Install *database* under *name* on the server, without restart.
+
+        Accepts a :class:`~repro.relational.database.Database` (encoded
+        via :func:`~.messages.encode_database`) or a pre-encoded document
+        dict.  Returns the server's list of registered relation names.
+        Idempotent — safe to retry and to replay against a respawned
+        worker (the fleet supervisor does exactly that).
+        """
+        data = database if isinstance(database, dict) else encode_database(database)
+        response = await self._call(REGISTER_DATABASE, database=name, data=data)
+        return list(response.result["relations"])
 
     async def cancel(self, target: int) -> bool:
         """Ask the server to cancel in-flight request *target*.
@@ -666,6 +698,7 @@ class QueryClient:
         .. deprecated:: 1.0
             Thin shim over :meth:`run_batch` with ``execute`` operations.
         """
+        _warn_batch_shim("QueryClient.execute_batch", "EXECUTE")
         return self.run_batch(
             operations_of(OP_EXECUTE, queries), database, deadline=deadline
         )
@@ -682,9 +715,17 @@ class QueryClient:
         .. deprecated:: 1.0
             Thin shim over :meth:`run_batch` with ``decide`` operations.
         """
+        _warn_batch_shim("QueryClient.decide_batch", "DECIDE")
         return self.run_batch(
             operations_of(OP_DECIDE, queries), database, deadline=deadline
         )
+
+    def register_database(self, name: str, database: Any) -> List[str]:
+        """Install *database* under *name* on the server (see the async
+        client's docstring; same semantics, blocking)."""
+        data = database if isinstance(database, dict) else encode_database(database)
+        response = self._call(REGISTER_DATABASE, database=name, data=data)
+        return list(response.result["relations"])
 
     def stats(self) -> Dict[str, Any]:
         return dict(self._call(STATS).result)

@@ -51,6 +51,7 @@ RUN_BATCH = "run_batch"
 STATS = "stats"
 PING = "ping"
 CANCEL = "cancel"
+REGISTER_DATABASE = "register_database"
 
 OPS = (
     EXECUTE,
@@ -64,6 +65,7 @@ OPS = (
     STATS,
     PING,
     CANCEL,
+    REGISTER_DATABASE,
 )
 
 #: Ops that carry one query and a database name (one engine operation).
@@ -83,6 +85,7 @@ TEXT = "text"
 STATS_RESULT = "stats"
 PONG = "pong"
 CANCELLED = "cancelled"
+REGISTERED = "registered"
 ERROR = "error"
 
 RESULT_KINDS = (
@@ -96,6 +99,7 @@ RESULT_KINDS = (
     STATS_RESULT,
     PONG,
     CANCELLED,
+    REGISTERED,
 )
 
 #: JSON scalar types a relation value may carry on the wire.
@@ -216,6 +220,10 @@ class Request:
     #: For ``run_batch``: one ``{"op", "query", "options"?}`` object per
     #: member operation.
     operations: Optional[Tuple[Dict[str, Any], ...]] = None
+    #: For ``register_database``: the database document —
+    #: ``{"relations": {name: {"attributes", "rows"}}, "domain"?: [...]}``
+    #: (the shape :func:`encode_database` emits).
+    data: Optional[Dict[str, Any]] = None
 
     def to_wire(self) -> Dict[str, Any]:
         self.validate()
@@ -234,6 +242,8 @@ class Request:
             payload["options"] = dict(self.options)
         if self.operations is not None:
             payload["operations"] = [dict(entry) for entry in self.operations]
+        if self.data is not None:
+            payload["data"] = dict(self.data)
         return payload
 
     def validate(self) -> None:
@@ -269,6 +279,8 @@ class Request:
             _validate_options(self.options, self.op)
         if self.operations is not None and self.op != RUN_BATCH:
             raise ProtocolError(f"{self.op} takes no 'operations'", op=self.op)
+        if self.data is not None and self.op != REGISTER_DATABASE:
+            raise ProtocolError(f"{self.op} takes no 'data'", op=self.op)
         if self.op in QUERY_OPS:
             if not isinstance(self.query, str):
                 raise ProtocolError(f"{self.op} needs a 'query' string", op=self.op)
@@ -303,6 +315,23 @@ class Request:
                 raise ProtocolError(f"{self.op} needs a 'database' name", op=self.op)
             if self.query is not None:
                 raise ProtocolError(f"{self.op} takes 'queries', not 'query'")
+        elif self.op == REGISTER_DATABASE:
+            if not isinstance(self.database, str) or not self.database:
+                raise ProtocolError(
+                    f"{self.op} needs a nonempty 'database' name", op=self.op
+                )
+            if not isinstance(self.data, dict) or not isinstance(
+                self.data.get("relations"), dict
+            ):
+                raise ProtocolError(
+                    f"{self.op} needs a 'data' object with a 'relations' "
+                    "mapping",
+                    op=self.op,
+                )
+            if self.query is not None or self.queries is not None:
+                raise ProtocolError(
+                    f"{self.op} takes 'database' and 'data' only", op=self.op
+                )
         elif self.op == CANCEL:
             if (
                 not isinstance(self.target, int)
@@ -339,6 +368,7 @@ class Request:
             "target",
             "options",
             "operations",
+            "data",
         }
         if unknown:
             raise ProtocolError(
@@ -365,6 +395,7 @@ class Request:
             target=payload.get("target"),
             options=payload.get("options"),
             operations=operations,
+            data=payload.get("data"),
         )
         request.validate()
         return request
@@ -519,6 +550,59 @@ def decode_result(kind: str, payload: Any) -> Any:
     raise ProtocolError(f"unexpected result kind {kind!r}")
 
 
+def encode_database(database: Any) -> Dict[str, Any]:
+    """A deterministic JSON document for a whole database.
+
+    The payload of the ``register_database`` op: one
+    :func:`encode_relation` payload per relation (so the same
+    byte-determinism guarantees hold) plus the declared domain when it is
+    JSON-representable.  Mirrors the on-disk document of
+    :mod:`repro.relational.io`, so a fixture file and a wire registration
+    describe the same database identically.
+    """
+    relations = {
+        name: encode_relation(database[name]) for name in sorted(database.names())
+    }
+    payload: Dict[str, Any] = {"relations": relations}
+    domain = sorted(database.domain(), key=repr)
+    if all(isinstance(value, _WIRE_SCALARS) for value in domain):
+        payload["domain"] = domain
+    return payload
+
+
+def decode_database(payload: Any) -> Any:
+    """Inverse of :func:`encode_database` (server side).
+
+    Returns a :class:`~repro.relational.database.Database`; malformed
+    documents raise :class:`ProtocolError` so the server answers a typed
+    ``bad_request`` instead of an internal error.
+    """
+    from ..relational.database import Database
+
+    if not isinstance(payload, dict):
+        raise ProtocolError("database payload must be an object")
+    relations = payload.get("relations")
+    if not isinstance(relations, dict) or not relations:
+        raise ProtocolError(
+            "database payload needs a nonempty 'relations' mapping"
+        )
+    decoded = {
+        str(name): decode_relation(relation)
+        for name, relation in relations.items()
+    }
+    domain = payload.get("domain")
+    if domain is not None:
+        if not isinstance(domain, list):
+            raise ProtocolError("database 'domain' must be a list")
+        try:
+            return Database(decoded, domain=domain)
+        except ReproError as error:
+            raise ProtocolError(
+                f"database domain is inconsistent with its rows: {error}"
+            ) from error
+    return Database(decoded)
+
+
 def query_text(query: Any) -> str:
     """The wire form of a query: rule-notation text.
 
@@ -552,6 +636,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QUERY_OPS",
+    "REGISTERED",
+    "REGISTER_DATABASE",
     "RELATION",
     "RELATIONS",
     "RESULTS",
@@ -563,8 +649,10 @@ __all__ = [
     "STATS",
     "STATS_RESULT",
     "TEXT",
+    "decode_database",
     "decode_relation",
     "decode_result",
+    "encode_database",
     "encode_relation",
     "encode_result",
     "query_text",

@@ -57,8 +57,10 @@ import sys
 from itertools import count
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
-from ..errors import CancelledRequestError, ServerBusyError
-from ..operations import Operation
+from ..errors import CancelledRequestError, ReproError, ServerBusyError
+from ..operations import DECIDE as OP_DECIDE
+from ..operations import EXECUTE as OP_EXECUTE
+from ..operations import Operation, operations_of
 from ..relational.database import Database
 from ..relational.io import load_database_json
 from ..resilience.faults import FaultPlan
@@ -75,6 +77,8 @@ from .messages import (
     PONG,
     ProtocolError,
     QUERY_OPS,
+    REGISTER_DATABASE,
+    REGISTERED,
     RELATIONS,
     RESULTS,
     RUN_BATCH,
@@ -82,6 +86,7 @@ from .messages import (
     Response,
     STATS,
     STATS_RESULT,
+    decode_database,
     encode_relation,
     encode_result,
 )
@@ -192,6 +197,7 @@ class QueryServer:
             PING: self._op_ping,
             STATS: self._op_stats,
             CANCEL: self._op_cancel,
+            REGISTER_DATABASE: self._op_register_database,
         }
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Dict[str, _Connection] = {}
@@ -524,9 +530,11 @@ class QueryServer:
     ) -> Response:
         # Legacy homogeneous-batch op: kept wire-compatible (an untagged
         # list of relation payloads) for clients predating run_batch.
+        # Served through the generic path directly — the deprecated
+        # ``execute_batch`` facade shim is for external callers only.
         database = self._database(request)
-        relations = await self._service.execute_batch(
-            list(request.queries or ()),
+        relations = await self._service.run_batch(
+            operations_of(OP_EXECUTE, request.queries or ()),
             database,
             client=connection.client,
             deadline=request.deadline,
@@ -541,8 +549,8 @@ class QueryServer:
         self, request: Request, connection: _Connection
     ) -> Response:
         database = self._database(request)
-        decisions = await self._service.decide_batch(
-            list(request.queries or ()),
+        decisions = await self._service.run_batch(
+            operations_of(OP_DECIDE, request.queries or ()),
             database,
             client=connection.client,
             deadline=request.deadline,
@@ -575,6 +583,30 @@ class QueryServer:
         if target is not None and not target.done():
             cancelled = target.cancel("cancelled by client request")
         return Response(id=request.id, kind=CANCELLED, result=bool(cancelled))
+
+    async def _op_register_database(
+        self, request: Request, connection: _Connection
+    ) -> Response:
+        """Install (or replace) a named database without a restart.
+
+        The fleet's workload-distribution op: the supervisor/router
+        broadcast one ``register_database`` frame per worker, so a new
+        tenant's data is servable fleet-wide while every process keeps
+        running.  Registration is idempotent — re-registering a name
+        replaces its database atomically (requests in flight keep the
+        object they resolved; the dict swap is loop-thread-only).
+        """
+        assert request.database is not None  # validate() guarantees it
+        database = decode_database(request.data)
+        self._databases[request.database] = database
+        return Response(
+            id=request.id,
+            kind=REGISTERED,
+            result={
+                "database": request.database,
+                "relations": sorted(database.names()),
+            },
+        )
 
     def _transport_stats(self) -> Dict[str, Any]:
         """The transport-level counters for the ``stats`` payload."""
@@ -712,7 +744,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
-async def _serve(args: argparse.Namespace) -> int:
+def _load_databases(pairs: Sequence[Tuple[str, str]]) -> Dict[str, Database]:
+    """Load every ``NAME=PATH.json`` pair, failing with a one-line error.
+
+    A missing or unparsable database file must exit nonzero with a clear
+    single-line message on stderr — never a raw traceback: the fleet
+    supervisor reads exactly that line to distinguish "this worker can
+    never start" (a config problem, breaker food) from a transient crash.
+    """
+    databases: Dict[str, Database] = {}
+    for name, path in pairs:
+        try:
+            databases[name] = load_database_json(path)
+        except (OSError, ValueError, ReproError) as exc:
+            # ValueError covers json.JSONDecodeError; ReproError covers
+            # SchemaError documents (e.g. a JSON file missing 'relations').
+            raise SystemExit(
+                f"QUERYSERVER ERROR: cannot load database {name!r} from "
+                f"{path}: {exc}"
+            ) from exc
+    return databases
+
+
+async def _serve(args: argparse.Namespace, databases: Dict[str, Database]) -> int:
     service_kwargs: Dict[str, Any] = {}
     if args.batch_window is not None:
         service_kwargs["batch_window"] = args.batch_window
@@ -729,7 +783,6 @@ async def _serve(args: argparse.Namespace) -> int:
         server_kwargs["max_connections"] = args.max_connections
     if args.idle_timeout is not None:
         server_kwargs["idle_timeout"] = args.idle_timeout
-    databases = {name: load_database_json(path) for name, path in args.database}
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -750,7 +803,12 @@ async def _serve(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_arg_parser().parse_args(list(argv) if argv is not None else None)
-    return asyncio.run(_serve(args))
+    try:
+        databases = _load_databases(args.database)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr, flush=True)
+        return 2
+    return asyncio.run(_serve(args, databases))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests

@@ -23,6 +23,15 @@ site                    effect at the owning component
                         responding
 ``server.torn_frame``   ``QueryServer`` writes half the response frame,
                         then closes the connection
+``fleet.worker_kill``   :class:`~repro.fleet.FleetSupervisor` SIGKILLs the
+                        worker it is about to health-probe — the chaos
+                        suite's mid-flood process crash
+``fleet.slow_start``    the supervisor sleeps ``delay`` seconds before
+                        spawning a worker process (stretches the
+                        window in which the fleet runs degraded)
+``fleet.ready_timeout`` a freshly spawned worker is treated as if it
+                        never printed ``QUERYSERVER READY``: killed and
+                        counted as a failed start (breaker food)
 ======================  ===============================================
 
 Plans travel two ways: passed to a constructor
@@ -47,6 +56,9 @@ FAULT_SITES = (
     "server.delay",
     "server.drop",
     "server.torn_frame",
+    "fleet.worker_kill",
+    "fleet.slow_start",
+    "fleet.ready_timeout",
 )
 
 #: Environment variable carrying a JSON fault plan into subprocesses.

@@ -58,6 +58,7 @@ see ``docs/service.md``).
 from __future__ import annotations
 
 import asyncio
+import warnings
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -471,6 +472,13 @@ class QueryService:
             Thin shim over :meth:`run_batch` with ``execute`` operations;
             prefer ``run_batch(operations_of(EXECUTE, queries), db)``.
         """
+        warnings.warn(
+            "QueryService.execute_batch is deprecated; use "
+            "run_batch(operations_of(EXECUTE, queries), ...) — the generic "
+            "operation API it is a shim over",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return await self.run_batch(
             operations_of(EXECUTE, queries),
             database,
@@ -492,6 +500,13 @@ class QueryService:
             Thin shim over :meth:`run_batch` with ``decide`` operations;
             prefer ``run_batch(operations_of(DECIDE, queries), db)``.
         """
+        warnings.warn(
+            "QueryService.decide_batch is deprecated; use "
+            "run_batch(operations_of(DECIDE, queries), ...) — the generic "
+            "operation API it is a shim over",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return await self.run_batch(
             operations_of(DECIDE, queries),
             database,

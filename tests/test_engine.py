@@ -16,6 +16,7 @@ from repro.engine import (
     shape_signature,
 )
 from repro.errors import NotAcyclicError, QueryError
+from repro.operations import EXECUTE, operations_of
 from repro.evaluation import NaiveEvaluator
 from repro.query import Atom, ConjunctiveQuery
 from repro.query.atoms import Comparison, Inequality
@@ -211,7 +212,7 @@ class TestQueryEngine:
         engine = QueryEngine(planner=planner)
         query = parse_query("Q(x) :- E(x, y), E(y, z).")
         batch = [query.decision_instance((value,)) for value in (1, 2, 3, 4)]
-        results = engine.execute_batch(batch, edge_db)
+        results = engine.run_batch(operations_of(EXECUTE, batch), edge_db)
         assert planner.calls == 1  # same shape: planned once for the batch
         reference = [
             QueryEngine().execute(member, edge_db) for member in batch
@@ -225,7 +226,7 @@ class TestQueryEngine:
             parse_query("Q() :- E(x, y), E(y, z), E(z, w), E(w, x)."),
             parse_query("Q(x) :- E(x, y)."),
         ]
-        results = engine.execute_batch(queries, edge_db)
+        results = engine.run_batch(operations_of(EXECUTE, queries), edge_db)
         assert len(results) == 3
         assert results[0] == results[2]
         naive = NaiveEvaluator()

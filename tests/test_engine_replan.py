@@ -23,6 +23,7 @@ from repro import (
 )
 from repro.engine import DEFAULT_REPLAN_LIMIT, Planner
 from repro.parallel import ParallelYannakakisEvaluator, lift_batch_group
+from repro.operations import DECIDE, operations_of
 from repro.query.atoms import Atom
 from repro.query.terms import Constant, Variable
 from repro.workloads import (
@@ -199,7 +200,7 @@ class TestDecideBatch:
         candidates = starts + [424242, -1]
         batch = [query.decision_instance((value,)) for value in candidates]
         engine = QueryEngine()
-        assert engine.decide_batch(batch, chain_db) == self._reference(
+        assert engine.run_batch(operations_of(DECIDE, batch), chain_db) == self._reference(
             batch, chain_db
         )
 
@@ -209,7 +210,7 @@ class TestDecideBatch:
         candidates = hubs + [91_000, 92_000]
         batch = [query.decision_instance((hub,)) for hub in candidates]
         engine = QueryEngine()
-        assert engine.decide_batch(batch, star_db) == self._reference(
+        assert engine.run_batch(operations_of(DECIDE, batch), star_db) == self._reference(
             batch, star_db
         )
 
@@ -218,7 +219,7 @@ class TestDecideBatch:
         start = sorted({row[0] for row in chain_db["E"].rows})[0]
         member = query.decision_instance((start,))
         engine = QueryEngine()
-        decisions = engine.decide_batch([member] * 12, chain_db)
+        decisions = engine.run_batch(operations_of(DECIDE, [member] * 12), chain_db)
         assert decisions == [True] * 12
         assert engine.stats().executions == 1
 
@@ -227,7 +228,7 @@ class TestDecideBatch:
         starts = sorted({row[0] for row in chain_db["E"].rows})[:3]
         batch = [query.decision_instance((value,)) for value in starts]
         engine = QueryEngine()  # group below batch_wide_threshold
-        assert engine.decide_batch(batch, chain_db) == self._reference(
+        assert engine.run_batch(operations_of(DECIDE, batch), chain_db) == self._reference(
             batch, chain_db
         )
 
@@ -242,7 +243,7 @@ class TestDecideBatch:
             query = path4 if i % 2 == 0 else path3
             batch.append(query.decision_instance((starts[i],)))
         engine = QueryEngine()
-        assert engine.decide_batch(batch, chain_db) == self._reference(
+        assert engine.run_batch(operations_of(DECIDE, batch), chain_db) == self._reference(
             batch, chain_db
         )
 
@@ -251,7 +252,7 @@ class TestDecideBatch:
         starts = sorted({row[0] for row in chain_db["E"].rows})[:10]
         batch = [query.decision_instance((value,)) for value in starts]
         engine = QueryEngine()
-        assert engine.decide_batch(batch, chain_db) == self._reference(
+        assert engine.run_batch(operations_of(DECIDE, batch), chain_db) == self._reference(
             batch, chain_db
         )
 
@@ -260,7 +261,7 @@ class TestDecideBatch:
         domain = sorted({row[0] for row in chain_db["E"].rows})[:10]
         batch = [query for _ in domain]  # boolean query, identical members
         engine = QueryEngine()
-        assert engine.decide_batch(batch, chain_db) == self._reference(
+        assert engine.run_batch(operations_of(DECIDE, batch), chain_db) == self._reference(
             batch, chain_db
         )
 
@@ -269,12 +270,12 @@ class TestDecideBatch:
         starts = sorted({row[0] for row in chain_db["E"].rows})[:16]
         batch = [query.decision_instance((value,)) for value in starts]
         engine = QueryEngine(parallel=False)  # no lifting path at all
-        assert engine.decide_batch(batch, chain_db) == self._reference(
+        assert engine.run_batch(operations_of(DECIDE, batch), chain_db) == self._reference(
             batch, chain_db
         )
 
     def test_empty_batch(self, chain_db):
-        assert QueryEngine().decide_batch([], chain_db) == []
+        assert QueryEngine().run_batch(operations_of(DECIDE, []), chain_db) == []
 
 
 class TestReduceBottomUp:

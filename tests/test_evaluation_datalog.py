@@ -112,7 +112,7 @@ class TestCQOracleRoute:
 
 class TestBatchedRuleBodies:
     """Semi-naive rounds hand ALL rule bodies to the engine as one
-    ``execute_batch`` call — one snapshot per round, never per rule."""
+    ``run_batch`` call — one snapshot per round, never per rule."""
 
     class RecordingEngine:
         """Wraps an engine, recording every batch/single evaluation."""
@@ -126,9 +126,9 @@ class TestBatchedRuleBodies:
             self.single_calls += 1
             return self._engine.execute(query, database)
 
-        def execute_batch(self, queries, database):
-            self.batch_calls.append(len(queries))
-            return self._engine.execute_batch(queries, database)
+        def run_batch(self, operations, database):
+            self.batch_calls.append(len(operations))
+            return self._engine.run_batch(operations, database)
 
     def test_seminaive_routes_rounds_through_execute_batch(self, edges):
         from repro import QueryEngine

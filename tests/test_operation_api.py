@@ -140,10 +140,14 @@ class TestEngineDispatch:
     def test_batch_shims_equal_run_batch(self, chain):
         queries = [path_query(n, head_arity=1) for n in (1, 2, 3)]
         with QueryEngine() as engine:
-            assert engine.execute_batch(queries, chain) == engine.run_batch(
+            with pytest.deprecated_call():
+                shim_execute = engine.execute_batch(queries, chain)
+            assert shim_execute == engine.run_batch(
                 operations_of(EXECUTE, queries), chain
             )
-            assert engine.decide_batch(queries, chain) == engine.run_batch(
+            with pytest.deprecated_call():
+                shim_decide = engine.decide_batch(queries, chain)
+            assert shim_decide == engine.run_batch(
                 operations_of(DECIDE, queries), chain
             )
             assert engine.count_batch(queries, chain) == engine.run_batch(
@@ -203,11 +207,13 @@ class TestServiceDispatch:
 
         async def main():
             async with QueryService() as service:
-                old_e = await service.execute_batch(queries, chain)
+                with pytest.deprecated_call():
+                    old_e = await service.execute_batch(queries, chain)
                 new_e = await service.run_batch(
                     operations_of(EXECUTE, queries), chain
                 )
-                old_d = await service.decide_batch(queries, chain)
+                with pytest.deprecated_call():
+                    old_d = await service.decide_batch(queries, chain)
                 new_d = await service.run_batch(
                     operations_of(DECIDE, queries), chain
                 )
@@ -303,19 +309,23 @@ class TestWireDispatch:
             async with QueryServer({"chain": chain}) as server:
                 host, port = server.address
                 async with await AsyncQueryClient.connect(host, port) as client:
-                    old_e = await client.execute_batch(queries, "chain")
+                    with pytest.deprecated_call():
+                        old_e = await client.execute_batch(queries, "chain")
                     new_e = await client.run_batch(
                         operations_of(EXECUTE, queries), "chain"
                     )
-                    old_d = await client.decide_batch(queries, "chain")
+                    with pytest.deprecated_call():
+                        old_d = await client.decide_batch(queries, "chain")
                     new_d = await client.run_batch(
                         operations_of(DECIDE, queries), "chain"
                     )
 
                     def sync_work():
                         with QueryClient(host, port) as sync_client:
+                            with pytest.deprecated_call():
+                                shim = sync_client.execute_batch(queries, "chain")
                             return (
-                                sync_client.execute_batch(queries, "chain"),
+                                shim,
                                 sync_client.run_batch(
                                     operations_of(EXECUTE, queries), "chain"
                                 ),

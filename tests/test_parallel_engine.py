@@ -12,6 +12,7 @@ import pytest
 from repro import Database, DatalogEvaluator, NaiveEvaluator, QueryEngine
 from repro.engine import Planner
 from repro.evaluation import YannakakisEvaluator
+from repro.operations import EXECUTE, operations_of
 from repro.parallel import (
     ParallelYannakakisEvaluator,
     WorkerPool,
@@ -131,28 +132,26 @@ class TestBatchLifting:
         batch = self.make_batch(big_chain, 32)
         wide = QueryEngine()
         sequential = QueryEngine(parallel=False)
-        assert wide.execute_batch(batch, big_chain) == sequential.execute_batch(
-            batch, big_chain
+        assert wide.run_batch(operations_of(EXECUTE, batch), big_chain) == sequential.run_batch(operations_of(EXECUTE, batch), big_chain
         )
 
     def test_small_groups_skip_lifting(self, big_chain):
         batch = self.make_batch(big_chain, 3)
-        assert QueryEngine(batch_wide_threshold=8).execute_batch(
-            batch, big_chain
-        ) == QueryEngine(parallel=False).execute_batch(batch, big_chain)
+        assert QueryEngine(batch_wide_threshold=8).run_batch(operations_of(EXECUTE, batch), big_chain
+        ) == QueryEngine(parallel=False).run_batch(operations_of(EXECUTE, batch), big_chain)
 
     def test_mixed_shape_batch_preserves_order(self, big_chain):
         batch = self.make_batch(big_chain, 12)
         batch.insert(0, path_query(3, head_arity=1))
         batch.append(path_query(2, head_arity=2))
-        wide = QueryEngine().execute_batch(batch, big_chain)
-        sequential = QueryEngine(parallel=False).execute_batch(batch, big_chain)
+        wide = QueryEngine().run_batch(operations_of(EXECUTE, batch), big_chain)
+        sequential = QueryEngine(parallel=False).run_batch(operations_of(EXECUTE, batch), big_chain)
         assert wide == sequential
 
     def test_identical_members_share_one_execution(self, big_chain):
         query = path_query(4, head_arity=1)
         batch = [query] * 10
-        results = QueryEngine().execute_batch(batch, big_chain)
+        results = QueryEngine().run_batch(operations_of(EXECUTE, batch), big_chain)
         assert all(result == results[0] for result in results)
         assert results[0] == QueryEngine(parallel=False).execute(query, big_chain)
 
@@ -160,9 +159,9 @@ class TestBatchLifting:
         query = path_neq_query(3, 2, seed=1)
         starts = sorted({row[0] for row in big_chain["E"].rows})[:10]
         batch = [query.decision_instance((value,)) for value in starts]
-        assert QueryEngine().execute_batch(batch, big_chain) == QueryEngine(
+        assert QueryEngine().run_batch(operations_of(EXECUTE, batch), big_chain) == QueryEngine(
             parallel=False
-        ).execute_batch(batch, big_chain)
+        ).run_batch(operations_of(EXECUTE, batch), big_chain)
 
     def test_lift_declines_on_template_mismatch(self, big_chain):
         left = path_query(3, head_arity=1).decision_instance((0,))
@@ -177,9 +176,9 @@ class TestBatchLifting:
         query = path_query(3, head_arity=2)
         rows = sorted(big_chain["E"].rows)[:12]
         batch = [query.decision_instance(row) for row in rows]
-        assert QueryEngine().execute_batch(batch, big_chain) == QueryEngine(
+        assert QueryEngine().run_batch(operations_of(EXECUTE, batch), big_chain) == QueryEngine(
             parallel=False
-        ).execute_batch(batch, big_chain)
+        ).run_batch(operations_of(EXECUTE, batch), big_chain)
 
 
 class TestObservability:
@@ -256,7 +255,7 @@ class TestBatchObservability:
         query = path_query(4, head_arity=1)
         starts = sorted({row[0] for row in big_chain["E"].rows})[:16]
         batch = [query.decision_instance((value,)) for value in starts]
-        engine.execute_batch(batch, big_chain)
+        engine.run_batch(operations_of(EXECUTE, batch), big_chain)
         member_plan = engine.plan_for(batch[0], big_chain)
         # The members were served by the lifted query's execution — their
         # own plan never ran, so it must not accumulate phantom actuals.
@@ -269,7 +268,7 @@ class TestBatchObservability:
     def test_identical_members_record_one_execution(self, big_chain):
         engine = QueryEngine()
         query = path_query(4, head_arity=1)
-        engine.execute_batch([query] * 6, big_chain)
+        engine.run_batch(operations_of(EXECUTE, [query] * 6), big_chain)
         plan = engine.plan_for(query, big_chain)
         assert plan.runtime.executions == 1
         assert engine.stats().executions == 1

@@ -20,6 +20,7 @@ from repro.protocol import (
     RemoteQueryError,
 )
 from repro.workloads import chain_database, star_database
+from repro.operations import DECIDE, EXECUTE, operations_of
 from repro.workloads.queries import path_query, star_query
 
 pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
@@ -59,8 +60,8 @@ class TestFacadeOverTheWire:
                 async with await AsyncQueryClient.connect(host, port) as client:
                     executed = await client.execute(query, "chain")
                     decided = await client.decide(star, "star")
-                    batch = await client.execute_batch(instances, "chain")
-                    decisions = await client.decide_batch(instances, "chain")
+                    batch = await client.run_batch(operations_of(EXECUTE, instances), "chain")
+                    decisions = await client.run_batch(operations_of(DECIDE, instances), "chain")
                     rendering = await client.explain(query, "chain")
                     stats = await client.stats()
                     assert await client.ping()
@@ -182,8 +183,8 @@ class TestErrorTaxonomy:
                 host, port = server.address
                 async with await AsyncQueryClient.connect(host, port) as client:
                     with pytest.raises(RemoteQueryError) as excinfo:
-                        await client.execute_batch(
-                            [query, "E(x :-"], "chain"
+                        await client.run_batch(
+                            operations_of(EXECUTE, [query, "E(x :-"]), "chain"
                         )
                     return excinfo.value.code
 

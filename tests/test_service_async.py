@@ -19,6 +19,7 @@ import pytest
 from repro import QueryEngine, QueryService, parse_query
 from repro.engine import PlanCache
 from repro.errors import SchemaError
+from repro.operations import DECIDE, EXECUTE, operations_of
 from repro.workloads import chain_database, path_query, star_database, star_query
 
 pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
@@ -290,10 +291,10 @@ class TestFacade:
 
         async def main():
             async with QueryService() as service:
-                results = await service.execute_batch(instances, chain_db)
-                decisions = await service.decide_batch(instances, chain_db)
+                results = await service.run_batch(operations_of(EXECUTE, instances), chain_db)
+                decisions = await service.run_batch(operations_of(DECIDE, instances), chain_db)
                 rendering = await service.explain(query, chain_db)
-                empty = await service.execute_batch([], chain_db)
+                empty = await service.run_batch(operations_of(EXECUTE, []), chain_db)
                 return results, decisions, rendering, empty
 
         results, decisions, rendering, empty = asyncio.run(main())

@@ -110,6 +110,7 @@ class TestTypedRejections:
 
     BAD = "Q(x) :- E(x, "
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     @pytest.mark.parametrize(
         "method, batch",
         [
