@@ -10,7 +10,11 @@ The acceptance claims of the networked protocol layer:
 * **the batching window survives the wire** — a same-shape flood
   pipelined over one connection with the server's micro-batch window
   open runs through N-wide lifted executions and beats the window-off
-  server configuration.
+  server configuration;
+* **binary relation frames shrink bulk payloads** — a connection that
+  negotiates the dictionary-encoded binary framing receives the same
+  result relations in measurably fewer bytes than the JSON lines, with
+  byte-identical decoded results.
 
 Results are byte-compared against sequential ``QueryEngine(parallel=False)``
 execution before anything is timed; server processes are spawned once per
@@ -48,7 +52,14 @@ from repro.benchlib import (
 )
 from repro.parallel import WorkerPool, default_worker_count
 from repro.parallel.pool import THREADS
-from repro.protocol import AsyncQueryClient, QueryClient
+from repro.protocol import (
+    AsyncQueryClient,
+    QueryClient,
+    Response,
+    encode,
+    encode_binary,
+    encode_relation,
+)
 from repro.relational.io import save_database_json
 from repro.workloads import chain_database
 from repro.workloads.queries import path_query
@@ -56,6 +67,7 @@ from repro.workloads.queries import path_query
 CLIENTS = 16
 PER_CLIENT = 8
 FLOOD_REQUESTS = 64
+BULK_REQUESTS = 24
 
 
 def build_workload(clients: int, per_client: int, database) -> List[List]:
@@ -266,6 +278,73 @@ def run_flood_with_window(
     }
 
 
+async def bulk_run(instances: List, host: str, port: int, binary: bool) -> List:
+    async with await AsyncQueryClient.connect(
+        host, port, binary_frames=binary
+    ) as client:
+        assert client.binary_frames == binary
+        return list(
+            await asyncio.gather(
+                *(client.execute(query, "chain") for query in instances)
+            )
+        )
+
+
+def run_binary_frames(
+    repeats: int, database, database_path: str
+) -> Dict[str, Any]:
+    """Bulk result relations over one connection: JSON lines vs the
+    negotiated binary relation framing, same server process."""
+    instances = [
+        path_query(length, head_arity=2) for length in (2, 3, 4)
+    ] * (BULK_REQUESTS // 3)
+    sequential = QueryEngine(parallel=False)
+    reference = [sequential.execute(q, database) for q in instances]
+
+    with ServerProcess(database_path, "--batch-window", "0.0") as server:
+        json_results = asyncio.run(
+            bulk_run(instances, server.host, server.port, binary=False)
+        )
+        binary_results = asyncio.run(
+            bulk_run(instances, server.host, server.port, binary=True)
+        )
+        assert json_results == reference, "JSON bulk run diverged from sequential"
+        assert binary_results == reference, "binary bulk run diverged"
+        json_seconds, _ = time_thunk(
+            lambda: asyncio.run(
+                bulk_run(instances, server.host, server.port, binary=False)
+            ),
+            repeats=repeats,
+        )
+        binary_seconds, _ = time_thunk(
+            lambda: asyncio.run(
+                bulk_run(instances, server.host, server.port, binary=True)
+            ),
+            repeats=repeats,
+        )
+
+    # Payload accounting: the exact bytes each framing puts on the wire
+    # for the result relations of this workload.
+    json_bytes = 0
+    binary_bytes = 0
+    for index, relation in enumerate(reference):
+        response = Response(
+            id=index, kind="relation", result=encode_relation(relation)
+        )
+        line = encode(response)
+        frame = encode_binary(response)
+        json_bytes += len(line)
+        binary_bytes += len(frame) if frame is not None else len(line)
+    return {
+        "requests": len(instances),
+        "json_seconds": json_seconds,
+        "binary_seconds": binary_seconds,
+        "json_payload_bytes": json_bytes,
+        "binary_payload_bytes": binary_bytes,
+        "payload_ratio": round(binary_bytes / json_bytes, 3),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -287,6 +366,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         save_database_json(database, database_path)
         concurrent = run_clients_vs_isolated(repeats, database, database_path)
         flood = run_flood_with_window(repeats, database, database_path)
+        frames = run_binary_frames(repeats, database, database_path)
 
     print_table(
         ("clients", "requests", "shared TCP s", "per-client s", "speedup"),
@@ -316,10 +396,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         ],
         title="Same-shape flood over one connection: server batch window on vs off",
     )
+    print_table(
+        ("requests", "json s", "binary s", "json bytes", "binary bytes", "ratio"),
+        [
+            (
+                frames["requests"],
+                frames["json_seconds"],
+                frames["binary_seconds"],
+                frames["json_payload_bytes"],
+                frames["binary_payload_bytes"],
+                frames["payload_ratio"],
+            )
+        ],
+        title="Bulk result relations: JSON lines vs negotiated binary frames",
+    )
 
     if not args.smoke:
         assert concurrent["shared_speedup"] >= 1.2, concurrent
         assert flood["batching_speedup"] >= 1.2, flood
+        assert frames["payload_ratio"] <= 0.75, frames
 
     output = args.json
     if output is None and not args.smoke:
@@ -330,6 +425,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeats=repeats,
         concurrent_clients=concurrent,
         flood=flood,
+        binary_frames=frames,
     )
     emit_json_report(output, payload)
     return 0

@@ -55,14 +55,14 @@ def _make_pair(n: int, seed: int = 7) -> tuple:
     """Two joinable three-column relations with ~unit join selectivity."""
     rng = random.Random(seed)
     domain = max(n, 16)
-    left = Relation(
+    left = Relation.from_rows(
         ("a", "b", "c"),
         {
             (rng.randrange(domain), rng.randrange(domain), rng.randrange(domain))
             for _ in range(n)
         },
     )
-    right = Relation(
+    right = Relation.from_rows(
         ("b", "c", "d"),
         {
             (rng.randrange(domain), rng.randrange(domain), rng.randrange(domain))

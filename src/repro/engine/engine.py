@@ -18,7 +18,7 @@ and instead say ``engine.execute(query, database)``.  Internally:
    (``repro.parallel``): co-partitioned hash shards, bucket-centric
    semijoin kernels, and a worker pool (threads by default, processes
    optionally, inline on one core);
-5. ``execute_batch`` groups same-shape queries under one plan and — for
+5. ``run_batch`` groups same-shape operations under one plan and — for
    large constant-variant groups — *lifts* the group into a single N-wide
    execution through a parameter relation, falling back to per-member
    execution fanned across the pool.
@@ -50,7 +50,6 @@ behavior exactly: no pool, no sharded dispatch, no batch lifting.
 from __future__ import annotations
 
 import inspect
-import warnings
 from dataclasses import replace
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -508,62 +507,6 @@ class QueryEngine:
         except QueryError:
             return False
         return self.decide(decided, database)
-
-    def execute_batch(
-        self,
-        queries: Sequence[ConjunctiveQuery],
-        database: Database,
-    ) -> List[Relation]:
-        """Evaluate many queries, planning once per distinct shape.
-
-        Queries are grouped by plan-cache key and each group is planned a
-        single time.  A group of ≥ ``batch_wide_threshold`` acyclic
-        constant-variants of one template is *lifted* — executed once,
-        N-wide, through a parameter relation
-        (:mod:`repro.parallel.batch`) — and identical duplicates share one
-        execution.  Remaining groups execute member by member, fanned
-        across the worker pool when one is configured.  Results come back
-        in input order, identical to per-member execution.
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``execute`` operations.
-        """
-        warnings.warn(
-            "QueryEngine.execute_batch is deprecated; use "
-            "run_batch(operations_of(EXECUTE, queries), database) — the "
-            "generic operation API it is a shim over",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.run_batch(operations_of(OP_EXECUTE, queries), database)
-
-    def decide_batch(
-        self,
-        queries: Sequence[ConjunctiveQuery],
-        database: Database,
-    ) -> List[bool]:
-        """Is Q(d) nonempty, for many queries — decision-only batch lifting.
-
-        Same grouping as ``execute_batch``, but a lifted group is decided
-        in one pass that stops at the bottom-up semijoin stage of the
-        lifted query: the join tree is rooted at the injected parameter
-        atom, and after the upward full-reducer pass every surviving
-        parameter vector participates in a global match — so the
-        surviving vectors are exactly the members whose query is
-        nonempty.  Identical duplicates share one decision; everything
-        else falls back to per-member ``decide``, fanned across the pool.
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``decide`` operations.
-        """
-        warnings.warn(
-            "QueryEngine.decide_batch is deprecated; use "
-            "run_batch(operations_of(DECIDE, queries), database) — the "
-            "generic operation API it is a shim over",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.run_batch(operations_of(OP_DECIDE, queries), database)
 
     def count_batch(
         self,

@@ -87,6 +87,24 @@ class RequestRejectedError(ReproError):
         self.detail = dict(detail)
 
 
+class InvalidOperationError(QueryError, RequestRejectedError):
+    """A generic :class:`~repro.operations.Operation` is malformed.
+
+    Raised by ``Operation.validate()`` for unknown kinds, options not
+    accepted by the kind, and malformed option values (e.g. a bad
+    aggregate mode).  Deriving from both :class:`QueryError` (the local
+    contract — ``except QueryError`` keeps working) and
+    :class:`RequestRejectedError` gives the same failure one stable wire
+    code, ``invalid_operation``, whether it is raised engine-locally or
+    surfaced through the protocol codec.
+    """
+
+    code = "invalid_operation"
+
+    def __init__(self, message: str, **detail: object) -> None:
+        RequestRejectedError.__init__(self, message, **detail)
+
+
 class ServiceOverloadedError(RequestRejectedError):
     """Admission backpressure: a client exceeded its pending-request budget.
 

@@ -20,7 +20,7 @@ large), and cyclic ones get the cost-based join order — instead of every
 stage re-running uniform backtracking.  The semi-naive fixpoint goes one
 step further: each round's delta-instantiated rule bodies all see one
 shared snapshot, so they are handed to the engine as ONE
-``execute_batch`` call and same-shape delta rules ride the N-wide batch
+``run_batch`` call and same-shape delta rules ride the N-wide batch
 lifting.  Pass ``rule_engine=`` to pin the
 legacy :class:`NaiveEvaluator` (``benchmarks/bench_datalog.py`` does, to
 isolate the fixpoint strategies and the §4 per-stage bound).  Reuse one
@@ -77,9 +77,8 @@ class DatalogEvaluator:
         #: N-wide batch entry point, when the engine has one.  The
         #: semi-naive fixpoint hands every round's rule-body queries over
         #: in ONE call, so same-shape delta rules ride the engine's batch
-        #: lifting instead of N sequential executions.  Prefer the generic
-        #: operation API; ``execute_batch`` is kept only as a duck-typed
-        #: fallback for injected engines that predate ``run_batch``.
+        #: lifting instead of N sequential executions — always through the
+        #: generic operation API (``run_batch`` over EXECUTE operations).
         run_batch = getattr(rule_engine, "run_batch", None)
         if run_batch is not None:
             from ..operations import EXECUTE, operations_of
@@ -88,7 +87,7 @@ class DatalogEvaluator:
                 operations_of(EXECUTE, queries), database
             )
         else:
-            self._evaluate_batch = getattr(rule_engine, "execute_batch", None)
+            self._evaluate_batch = None
 
     @property
     def rule_engine(self):
@@ -144,7 +143,7 @@ class DatalogEvaluator:
         for name in program.idb_names():
             arity = program.arity(name)
             schema = RelationSchema(name, arity)
-            out[name] = Relation(schema.default_attributes())
+            out[name] = Relation.from_rows(schema.default_attributes())
         return out
 
     @staticmethod
@@ -182,7 +181,7 @@ class DatalogEvaluator:
         """Evaluate one round's rule bodies, batched when the engine can.
 
         All queries see the SAME database snapshot (the fixpoint rounds
-        are constructed that way), so handing them to ``execute_batch``
+        are constructed that way), so handing them to ``run_batch``
         is semantics-preserving and lets the engine group same-shape
         members under one plan and lift them N-wide.
         """
@@ -236,7 +235,7 @@ class DatalogEvaluator:
         idb_names = program.idb_names()
         while any(not d.is_empty() for d in deltas.values()):
             next_deltas: Dict[str, Relation] = {
-                name: Relation(idbs[name].attributes) for name in idb_names
+                name: Relation.from_rows(idbs[name].attributes) for name in idb_names
             }
             snapshot = self._with_idbs(database, idbs)
             # ONE patched snapshot carrying every delta marker: each delta

@@ -110,7 +110,7 @@ class FirstOrderEvaluator:
                 return inner
             from ..relational.algebra import divide
 
-            domain_column = Relation((name,), ((value,) for value in domain))
+            domain_column = Relation.from_rows((name,), ((value,) for value in domain))
             return divide(inner, domain_column)
         raise QueryError(f"unknown formula node: {formula!r}")
 

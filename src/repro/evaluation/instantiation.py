@@ -66,7 +66,7 @@ def atom_candidate_relation(atom: Atom, relation: Relation) -> Relation:
         if any(row[a] != row[b] for a, b in equality_checks):
             continue
         rows.add(tuple(row[p] for p in out_positions))
-    return Relation(var_names, rows)
+    return Relation.from_rows(var_names, rows)
 
 
 def candidate_relations(

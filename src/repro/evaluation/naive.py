@@ -83,7 +83,7 @@ class NaiveEvaluator:
         atom_order: Optional[Sequence[int]] = None,
     ) -> Relation:
         """All satisfying instantiations, one column per query variable."""
-        return Relation(
+        return Relation.from_rows(
             tuple(v.name for v in query.variables()),
             self._search(query, database, find_all=True, atom_order=atom_order),
         )

@@ -134,7 +134,7 @@ class TreewidthEvaluator:
             for name in bag_vars:
                 if name in covered:
                     continue
-                column = Relation((name,), ((v,) for v in candidates.get(name, frozenset())))
+                column = Relation.from_rows((name,), ((v,) for v in candidates.get(name, frozenset())))
                 current = column if current is None else current.natural_join(column)
             assert current is not None
             bag_name = f"BAG_{i}"

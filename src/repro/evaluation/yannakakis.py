@@ -67,7 +67,7 @@ class YannakakisEvaluator:
         after the upward pass every surviving root tuple participates in a
         global match, so the survivors are the root-projected answers.
         *root* optionally re-roots the (possibly supplied) join tree first;
-        the N-wide ``decide_batch`` roots at the injected parameter atom
+        the N-wide batch decision roots at the injected parameter atom
         and reads each member's decision off the surviving vectors.
         Returns ``None`` when the query is globally empty.
         """
@@ -110,12 +110,12 @@ class YannakakisEvaluator:
         prepared = self._prepare(query, database, join_tree)
         head_names = tuple(v.name for v in query.head_variables())
         if prepared is None:
-            return answers_relation(query.head_terms, Relation(head_names))
+            return answers_relation(query.head_terms, Relation.from_rows(head_names))
         relations, tree = prepared
 
         relations = self.full_reduction(relations, tree)
         if relations[tree.root].is_empty():
-            return answers_relation(query.head_terms, Relation(head_names))
+            return answers_relation(query.head_terms, Relation.from_rows(head_names))
 
         # Upward join-and-project pass (paper's Algorithm 2, step 2, in the
         # plain setting): carry shared attributes plus output attributes.

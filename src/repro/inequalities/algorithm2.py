@@ -28,7 +28,7 @@ def evaluate_for_hash(
 
     relations = engine.bottom_up(h)
     if relations is None:
-        return answers_relation(query.head_terms, Relation(head_names))
+        return answers_relation(query.head_terms, Relation.from_rows(head_names))
     relations = dict(relations)
     tree = engine.tree
 

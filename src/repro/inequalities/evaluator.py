@@ -69,7 +69,7 @@ class AcyclicInequalityEvaluator:
         """Q(d) = ⋃_h Q_h(d) over the hash family."""
         engine = build_engine(query, database)
         head_names = tuple(v.name for v in query.head_variables())
-        result = answers_relation(query.head_terms, Relation(head_names))
+        result = answers_relation(query.head_terms, Relation.from_rows(head_names))
         for h in self._functions(engine):
             result = result.union(evaluate_for_hash(engine, h))
         return result

@@ -102,7 +102,7 @@ class FormulaInequalityEvaluator:
         """All head tuples of satisfying instantiations."""
         engine, phi, constants = self._prepare(query, formula, database)
         head_names = tuple(v.name for v in query.head_variables())
-        result = answers_relation(query.head_terms, Relation(head_names))
+        result = answers_relation(query.head_terms, Relation.from_rows(head_names))
         for h in self._functions(engine, phi, constants):
             relations = engine.bottom_up(h)
             if relations is None:

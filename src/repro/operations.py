@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-from .errors import QueryError
+from .errors import InvalidOperationError
 
 # Operation kinds (the facade vocabulary, shared by every layer).
 EXECUTE = "execute"
@@ -80,7 +80,9 @@ def _freeze(value: Any) -> Any:
     return value
 
 
-def canonical_options(options: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+def canonical_options(
+    options: Optional[Mapping[str, Any]],
+) -> Tuple[Tuple[str, Any], ...]:
     """The canonical (sorted, frozen) option tuple for *options*."""
     if not options:
         return ()
@@ -168,22 +170,28 @@ class Operation:
     # -- validation -----------------------------------------------------
 
     def validate(self) -> None:
-        """Reject malformed operations with a typed error."""
+        """Reject malformed operations with one typed error.
+
+        Every rejection is an :class:`~repro.errors.InvalidOperationError`
+        — a :class:`~repro.errors.QueryError` locally and the stable
+        ``invalid_operation`` code on the wire — so engine-local and
+        protocol-surfaced callers see the same failure.
+        """
         if self.kind not in OP_KINDS:
-            raise QueryError(
+            raise InvalidOperationError(
                 f"unknown operation kind {self.kind!r}; expected one of {OP_KINDS}"
             )
         allowed = _ALLOWED_OPTIONS[self.kind]
         unknown = [name for name, _ in self.options if name not in allowed]
         if unknown:
-            raise QueryError(
+            raise InvalidOperationError(
                 f"{self.kind} operation takes no option(s) {sorted(unknown)}; "
                 f"allowed: {sorted(allowed) or 'none'}"
             )
         if self.kind == AGGREGATE:
             mode = self.option("mode")
             if mode not in AGGREGATE_MODES:
-                raise QueryError(
+                raise InvalidOperationError(
                     f"aggregate needs a 'mode' option in {AGGREGATE_MODES}, "
                     f"got {mode!r}"
                 )
@@ -194,14 +202,14 @@ class Operation:
                     or not group_by
                     or not all(isinstance(name, str) for name in group_by)
                 ):
-                    raise QueryError(
+                    raise InvalidOperationError(
                         "aggregate mode 'group' needs a non-empty 'group_by' "
                         "tuple of head variable names"
                     )
                 if len(set(group_by)) != len(group_by):
-                    raise QueryError("'group_by' names must be distinct")
+                    raise InvalidOperationError("'group_by' names must be distinct")
             elif group_by is not None:
-                raise QueryError(
+                raise InvalidOperationError(
                     f"aggregate mode {mode!r} takes no 'group_by'"
                 )
 

@@ -1,6 +1,6 @@
 """N-wide execution of same-shape query batches (batch *lifting*).
 
-``QueryEngine.execute_batch`` groups queries by their binding-independent
+``QueryEngine.run_batch`` groups operations by their binding-independent
 shape.  A group of same-shape members — typically the decision instances
 ``Q[t/head]`` of one parameterized query — differs only in constant
 values.  Executing the members one by one repeats the whole evaluation N
@@ -182,7 +182,9 @@ def lift_batch_group(
         param_name = "_" + param_name
     param_atom = Atom(param_name, param_variables)
     key_rows = _member_key_rows(param_vectors, members)
-    param_relation = Relation(tuple(v.name for v in param_variables), set(key_rows))
+    param_relation = Relation.from_rows(
+        tuple(v.name for v in param_variables), set(key_rows)
+    )
 
     head_variables = tuple(
         dict.fromkeys(

@@ -145,14 +145,14 @@ class ParallelYannakakisEvaluator(YannakakisEvaluator):
         prepared = self._prepare(query, database, join_tree)
         head_names = tuple(v.name for v in query.head_variables())
         if prepared is None:
-            return answers_relation(query.head_terms, Relation(head_names))
+            return answers_relation(query.head_terms, Relation.from_rows(head_names))
         relations, tree = prepared
         tree = _reroot_for_head(tree, set(head_names))
         shards = shard_count or self._default_shard_count
 
         relations = self.full_reduction(relations, tree, shard_count=shards)
         if relations[tree.root].is_empty():
-            return answers_relation(query.head_terms, Relation(head_names))
+            return answers_relation(query.head_terms, Relation.from_rows(head_names))
 
         head_set = set(head_names)
         for level in _levels(tree):

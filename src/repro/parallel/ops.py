@@ -3,11 +3,12 @@
 These drivers are the data-parallel counterparts of the kernel operations
 the evaluators lean on.  They share one structure:
 
-1. partition both operands by the hash of their shared join-key values
-   (``Relation._partition`` — lazy, cached, shards born with the key index
-   preseeded), which *co-partitions* them: rows that can match meet in the
-   shard of the same index, so every shard pair is an independent task with
-   no cross-shard traffic;
+1. partition both operands by the pool code of their shared join-key
+   values (``Relation._partition`` — lazy, cached, shards born with the
+   key index preseeded; codes are process-global, see
+   ``relational.columns``), which *co-partitions* them: rows that can
+   match meet in the shard of the same index, so every shard pair is an
+   independent task with no cross-shard traffic;
 2. run the per-shard kernel across a :class:`~repro.parallel.pool.WorkerPool`
    (inline on one core, threads/processes otherwise);
 3. recombine — a C-level ``frozenset().union`` of shard row sets, or the
@@ -28,6 +29,7 @@ from itertools import chain
 from typing import Any, Mapping, Optional, Tuple
 
 from ..relational.attributes import positions_of
+from ..relational.columns import KEYS, VALUES, key_code_of
 from ..relational.relation import Relation
 from ..resilience.token import check_cancelled
 from .pool import WorkerPool
@@ -188,9 +190,12 @@ def parallel_select_eq(
 ) -> Relation:
     """Sharded point selection (equal to ``Relation.select_eq``).
 
-    The condition key's hash names the one shard that can contain matches;
-    only that shard is probed — partition pruning, so no pool is involved.
-    Unhashable condition values fall back to the kernel's linear scan.
+    The condition key's pool code names the one shard that can contain
+    matches (``_partition`` routes buckets by ``key_code % shard_count``);
+    only that shard is probed — partition pruning, so no worker pool is
+    involved.  A key absent from the value pool provably matches nothing:
+    partitioning interned every key the relation holds.  Unhashable
+    condition values fall back to the kernel's linear scan.
     """
     if shard_count <= 1 or not relation.rows:
         return relation.select_eq(conditions)
@@ -199,11 +204,14 @@ def parallel_select_eq(
         key: Any = next(iter(conditions.values()))
     else:
         key = tuple(conditions.values())
+    shards = relation._partition(positions, shard_count)
     try:
-        shard_index = hash(key) % shard_count
+        key_code = key_code_of(VALUES, KEYS, key, len(positions))
     except TypeError:
         return relation.select_eq(conditions)
-    shard = relation._partition(positions, shard_count)[shard_index]
+    if key_code is None:
+        return Relation._from_frozen(relation.attributes, frozenset())
+    shard = shards[key_code % shard_count]
     bucket = shard._index(positions).get(key, ())
     return Relation._from_frozen(relation.attributes, frozenset(bucket))
 

@@ -19,6 +19,12 @@ from .codec import (
     error_response,
     request_id_of,
 )
+from .frames import (
+    BINARY_FRAMES_V1,
+    SUPPORTED_FRAMES,
+    decode_binary,
+    encode_binary,
+)
 from .messages import (
     CANCEL,
     CANCELLED,
@@ -45,6 +51,7 @@ from .server import QueryServer, stats_payload
 
 __all__ = [
     "AsyncQueryClient",
+    "BINARY_FRAMES_V1",
     "CANCEL",
     "CANCELLED",
     "ErrorInfo",
@@ -61,11 +68,14 @@ __all__ = [
     "RemoteQueryError",
     "Request",
     "Response",
+    "SUPPORTED_FRAMES",
     "decode",
+    "decode_binary",
     "decode_database",
     "decode_relation",
     "decode_result",
     "encode",
+    "encode_binary",
     "encode_database",
     "encode_relation",
     "encode_result",

@@ -42,17 +42,22 @@ import asyncio
 import random
 import socket
 import time
-import warnings
 from itertools import count
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ConnectionLostError, RequestTimeoutError, RetryExhaustedError
-from ..operations import DECIDE as OP_DECIDE
-from ..operations import EXECUTE as OP_EXECUTE
-from ..operations import Operation, operations_of
+from ..operations import Operation
 from ..relational.relation import Relation
 from ..resilience.policy import RetryPolicy
 from .codec import MAX_LINE_BYTES, decode, encode
+from .frames import (
+    BINARY_FRAME,
+    SUPPORTED_FRAMES,
+    decode_binary,
+    encode_binary,
+    read_frame_async,
+    read_frame_blocking,
+)
 from .messages import (
     CANCEL,
     PING,
@@ -67,20 +72,6 @@ from .messages import (
     encode_database,
     query_text,
 )
-
-
-_BATCH_SHIM_WARNING = (
-    "{name} is deprecated; use run_batch(operations_of({kind}, queries), ...) "
-    "— the generic operation API it is a shim over"
-)
-
-
-def _warn_batch_shim(name: str, kind: str) -> None:
-    warnings.warn(
-        _BATCH_SHIM_WARNING.format(name=name, kind=kind),
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 def _raise_for(response: Response) -> Response:
@@ -129,6 +120,7 @@ class AsyncQueryClient:
         rng: Optional[random.Random] = None,
         host: Optional[str] = None,
         port: Optional[int] = None,
+        binary_frames: bool = False,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -142,6 +134,10 @@ class AsyncQueryClient:
         self._broken: Optional[BaseException] = None
         self._reconnects = 0
         self._connect_lock = asyncio.Lock()
+        #: Opt-in: negotiate the binary relation framing after connecting.
+        self._binary_requested = binary_frames
+        #: True once the server accepted the binary framing (per connection).
+        self._binary = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
@@ -152,6 +148,7 @@ class AsyncQueryClient:
         *,
         retry: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
+        binary_frames: bool = False,
     ) -> "AsyncQueryClient":
         # The protocol allows frames up to MAX_LINE_BYTES; asyncio's
         # default 64 KiB reader limit would kill the connection on the
@@ -159,7 +156,33 @@ class AsyncQueryClient:
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES
         )
-        return cls(reader, writer, retry=retry, rng=rng, host=host, port=port)
+        client = cls(
+            reader,
+            writer,
+            retry=retry,
+            rng=rng,
+            host=host,
+            port=port,
+            binary_frames=binary_frames,
+        )
+        if binary_frames:
+            await client._negotiate_frames()
+        return client
+
+    @property
+    def binary_frames(self) -> bool:
+        """Did this connection negotiate the binary relation framing?"""
+        return self._binary
+
+    async def _negotiate_frames(self) -> None:
+        """Offer our frame formats over ``ping``; adopt what the server
+        accepts.  Pre-negotiation servers answer a plain pong — the
+        client just stays on JSON lines."""
+        response = await self._request(PING, frames=SUPPORTED_FRAMES)
+        accepted = ()
+        if isinstance(response.result, dict):
+            accepted = tuple(response.result.get("frames") or ())
+        self._binary = bool(accepted)
 
     @property
     def reconnects(self) -> int:
@@ -172,10 +195,10 @@ class AsyncQueryClient:
         error: BaseException = ConnectionError("server closed the connection")
         try:
             while True:
-                line = await self._reader.readline()
+                tag, line = await read_frame_async(self._reader)
                 if not line:
                     break
-                message = decode(line)
+                message = decode_binary(line) if tag == BINARY_FRAME else decode(line)
                 if not isinstance(message, Response):
                     raise ProtocolError("server sent a request frame")
                 if message.id is None:
@@ -223,7 +246,8 @@ class AsyncQueryClient:
         request = Request(op=op, id=next(self._ids), **fields)
         future: "asyncio.Future[Response]" = asyncio.get_running_loop().create_future()
         self._pending[request.id] = future
-        self._writer.write(encode(request))
+        data = encode_binary(request) if self._binary else None
+        self._writer.write(data if data is not None else encode(request))
         await self._writer.drain()
         return _raise_for(await future)
 
@@ -255,8 +279,11 @@ class AsyncQueryClient:
             self._reader = reader
             self._writer = writer
             self._broken = None
+            self._binary = False
             self._reconnects += 1
             self._reader_task = asyncio.ensure_future(self._read_loop())
+            if self._binary_requested:
+                await self._negotiate_frames()
 
     async def _call(self, op: str, **fields: Any) -> Response:
         """One request, retried under the client's policy when it has one."""
@@ -381,40 +408,6 @@ class AsyncQueryClient:
     ) -> bool:
         return await self.run(Operation.forall(query), database, deadline=deadline)
 
-    async def execute_batch(
-        self,
-        queries: Sequence[Any],
-        database: str,
-        *,
-        deadline: Optional[float] = None,
-    ) -> List[Relation]:
-        """Evaluate a homogeneous batch.
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``execute`` operations.
-        """
-        _warn_batch_shim("AsyncQueryClient.execute_batch", "EXECUTE")
-        return await self.run_batch(
-            operations_of(OP_EXECUTE, queries), database, deadline=deadline
-        )
-
-    async def decide_batch(
-        self,
-        queries: Sequence[Any],
-        database: str,
-        *,
-        deadline: Optional[float] = None,
-    ) -> List[bool]:
-        """Decide a homogeneous batch.
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``decide`` operations.
-        """
-        _warn_batch_shim("AsyncQueryClient.decide_batch", "DECIDE")
-        return await self.run_batch(
-            operations_of(OP_DECIDE, queries), database, deadline=deadline
-        )
-
     async def register_database(self, name: str, database: Any) -> List[str]:
         """Install *database* under *name* on the server, without restart.
 
@@ -494,6 +487,7 @@ class QueryClient:
         *,
         retry: Optional[RetryPolicy] = None,
         rng: Optional[random.Random] = None,
+        binary_frames: bool = False,
     ) -> None:
         self._host = host
         self._port = port
@@ -507,6 +501,24 @@ class QueryClient:
         self._closed = False
         self._broken: Optional[BaseException] = None
         self._reconnects = 0
+        self._binary_requested = binary_frames
+        self._binary = False
+        if binary_frames:
+            self._negotiate_frames()
+
+    @property
+    def binary_frames(self) -> bool:
+        """Did this connection negotiate the binary relation framing?"""
+        return self._binary
+
+    def _negotiate_frames(self) -> None:
+        """Offer our frame formats over ``ping``; adopt what the server
+        accepts (pre-negotiation servers answer a plain pong)."""
+        response = self._request(PING, frames=SUPPORTED_FRAMES)
+        accepted = ()
+        if isinstance(response.result, dict):
+            accepted = tuple(response.result.get("frames") or ())
+        self._binary = bool(accepted)
 
     @property
     def reconnects(self) -> int:
@@ -524,16 +536,17 @@ class QueryClient:
             ) from self._broken
         request = Request(op=op, id=next(self._ids), **fields)
         try:
-            self._file.write(encode(request))
+            data = encode_binary(request) if self._binary else None
+            self._file.write(data if data is not None else encode(request))
             self._file.flush()
             stashed = self._stash.pop(request.id, None)
             if stashed is not None:
                 return _raise_for(stashed)
             while True:
-                line = self._file.readline()
+                tag, line = read_frame_blocking(self._file)
                 if not line:
                     raise ConnectionError("server closed the connection")
-                message = decode(line)
+                message = decode_binary(line) if tag == BINARY_FRAME else decode(line)
                 if not isinstance(message, Response):
                     raise ProtocolError("server sent a request frame")
                 if message.id == request.id or message.id is None:
@@ -567,7 +580,10 @@ class QueryClient:
         self._file = self._sock.makefile("rwb")
         self._stash.clear()
         self._broken = None
+        self._binary = False
         self._reconnects += 1
+        if self._binary_requested:
+            self._negotiate_frames()
 
     def _call(self, op: str, **fields: Any) -> Response:
         """One request, retried under the client's policy when it has one."""
@@ -685,40 +701,6 @@ class QueryClient:
         self, query: Any, database: str, *, deadline: Optional[float] = None
     ) -> bool:
         return self.run(Operation.forall(query), database, deadline=deadline)
-
-    def execute_batch(
-        self,
-        queries: Sequence[Any],
-        database: str,
-        *,
-        deadline: Optional[float] = None,
-    ) -> List[Relation]:
-        """Evaluate a homogeneous batch.
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``execute`` operations.
-        """
-        _warn_batch_shim("QueryClient.execute_batch", "EXECUTE")
-        return self.run_batch(
-            operations_of(OP_EXECUTE, queries), database, deadline=deadline
-        )
-
-    def decide_batch(
-        self,
-        queries: Sequence[Any],
-        database: str,
-        *,
-        deadline: Optional[float] = None,
-    ) -> List[bool]:
-        """Decide a homogeneous batch.
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``decide`` operations.
-        """
-        _warn_batch_shim("QueryClient.decide_batch", "DECIDE")
-        return self.run_batch(
-            operations_of(OP_DECIDE, queries), database, deadline=deadline
-        )
 
     def register_database(self, name: str, database: Any) -> List[str]:
         """Install *database* under *name* on the server (see the async

@@ -25,6 +25,8 @@ code                   raised by
 ``parse_error``        ``parse_query`` rejected the query text
 ``unknown_database``   the request named a database the server lacks
 ``invalid_query``      the query object is malformed (unsafe head, ...)
+``invalid_operation``  a generic operation is malformed (unknown kind,
+                       options the kind does not take, bad option values)
 ``schema_error``       the query used relations/arity the data lacks
 ``plan_error``         structural requirements failed (acyclicity, ...)
 ``backpressure``       per-client admission budget exhausted
@@ -122,6 +124,15 @@ def decode(line: Union[bytes, str]) -> Message:
             f"frame must be a JSON object, got {type(payload).__name__}",
             code="not_json",
         )
+    return decode_payload(payload)
+
+
+def decode_payload(payload: dict) -> Message:
+    """Version-check and dispatch an already-parsed message object.
+
+    Shared by the JSON line framing above and the binary relation framing
+    of :mod:`.frames`, so both paths validate identically.
+    """
     version = payload.get("v")
     if version != PROTOCOL_VERSION:
         raise ProtocolError(
@@ -209,6 +220,7 @@ __all__ = [
     "MAX_LINE_BYTES",
     "Message",
     "decode",
+    "decode_payload",
     "encode",
     "error_info",
     "error_response",

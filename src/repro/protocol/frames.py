@@ -1,0 +1,402 @@
+"""Binary relation frames: a negotiated bulk encoding for relation payloads.
+
+The line protocol of :mod:`.codec` serializes relations as JSON rows —
+readable and canonical, but every value is re-spelled once per occurrence.
+Result relations repeat a small active domain across thousands of rows, so
+the bulk of a large response line is the same few value spellings over and
+over.  A **binary relation frame** dictionary-encodes exactly that
+redundancy away while leaving everything else JSON:
+
+``MAGIC`` (1 byte, ``0x00``) · kind (1 byte, ``0x01``) · body length
+(u32, big-endian) · body.  JSON frames always start with ``{`` (0x7b), so
+the single magic byte is enough for a reader to tell the framings apart —
+both peers run the same two-way reader and a connection can interleave
+JSON and binary frames freely.
+
+The body is::
+
+    u32  header length
+    ...  header: the message's canonical JSON with every relation payload
+         ({"attributes": [...], "rows": [[...], ...]} objects) replaced by
+         a {"__relation_frame__": i} marker
+    u32  relation count
+    ...  one block per relation, in marker order:
+           u16  attribute count, then per attribute: u16 length + UTF-8 name
+           u32  pool size, then per pool entry: u32 length + the value's
+                canonical JSON text
+           u32  row count
+           u8   code width in bytes (1, 2 or 4, by pool size)
+           ...  column-major codes: attribute count × row count fixed-width
+                big-endian unsigned integers indexing the pool
+
+The pool is keyed by the value's canonical **JSON text**, not the Python
+value — ``true`` and ``1`` (or ``-0.0`` and ``0.0``) stay distinct
+entries, so decode→re-encode round-trips are byte-exact and the protocol's
+byte-comparison properties carry over unchanged.
+
+``encode_binary`` returns ``None`` whenever the binary form is not
+applicable — no relation payloads in the message, or the (pathological)
+case of a payload already containing a ``__relation_frame__`` key — and
+the caller falls back to the JSON line.  Frames are negotiated per
+connection: a client announces :data:`BINARY_FRAMES_V1` in the ``frames``
+field of a ``ping`` and the server answers with the subset it accepts;
+only after that does either side *send* binary (readers accept both
+framings unconditionally — the magic byte is unambiguous).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple
+
+from .codec import MAX_LINE_BYTES, Message, decode_payload
+from .messages import ProtocolError
+
+#: First byte of every binary frame.  JSON lines start with ``{`` (0x7b),
+#: so a leading NUL unambiguously marks the binary framing.
+MAGIC = 0x00
+
+#: Frame kind byte: a whole protocol message with extracted relations.
+KIND_MESSAGE = 0x01
+
+#: The negotiation token for this frame format (``ping``'s ``frames``).
+BINARY_FRAMES_V1 = "relation-columns-v1"
+
+#: Every frame format this build speaks.
+SUPPORTED_FRAMES = (BINARY_FRAMES_V1,)
+
+_MARKER = "__relation_frame__"
+_WIRE_SCALARS = (str, int, float, bool, type(None))
+_WIDTHS = ((0xFF, 1, "B"), (0xFFFF, 2, "H"), (0xFFFFFFFF, 4, "I"))
+
+
+def _dumps(value: Any) -> str:
+    """The canonical JSON spelling the line codec uses, per value."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), ensure_ascii=False)
+
+
+def _is_relation_payload(node: Any) -> bool:
+    """Exactly the shape :func:`~.messages.encode_relation` emits."""
+    if not isinstance(node, dict) or set(node) != {"attributes", "rows"}:
+        return False
+    attributes = node["attributes"]
+    rows = node["rows"]
+    if not isinstance(attributes, list) or not isinstance(rows, list):
+        return False
+    if not all(isinstance(name, str) for name in attributes):
+        return False
+    width = len(attributes)
+    for row in rows:
+        if not isinstance(row, list) or len(row) != width:
+            return False
+        if not all(isinstance(value, _WIRE_SCALARS) for value in row):
+            return False
+    return True
+
+
+def _extract(node: Any, relations: List[Dict[str, Any]]) -> Any:
+    """Copy *node* with relation payloads swapped for markers (post-order)."""
+    if isinstance(node, dict):
+        if _MARKER in node:
+            raise _MarkerCollision()
+        if _is_relation_payload(node):
+            relations.append(node)
+            return {_MARKER: len(relations) - 1}
+        return {key: _extract(value, relations) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_extract(item, relations) for item in node]
+    return node
+
+
+def _restore(node: Any, relations: List[Dict[str, Any]]) -> Any:
+    """Inverse of :func:`_extract` (mutating the decoded header in place)."""
+    if isinstance(node, dict):
+        if set(node) == {_MARKER}:
+            index = node[_MARKER]
+            if (
+                not isinstance(index, int)
+                or isinstance(index, bool)
+                or not 0 <= index < len(relations)
+            ):
+                raise ProtocolError(
+                    f"binary frame references relation {index!r} of "
+                    f"{len(relations)}"
+                )
+            return relations[index]
+        return {key: _restore(value, relations) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_restore(item, relations) for item in node]
+    return node
+
+
+class _MarkerCollision(Exception):
+    """A payload already contains the marker key; binary is not applicable."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_relation_block(payload: Dict[str, Any], out: List[bytes]) -> None:
+    attributes: List[str] = payload["attributes"]
+    rows: List[List[Any]] = payload["rows"]
+    out.append(struct.pack(">H", len(attributes)))
+    for name in attributes:
+        raw = name.encode("utf-8")
+        out.append(struct.pack(">H", len(raw)))
+        out.append(raw)
+    # Dictionary-encode by canonical JSON text: distinct spellings stay
+    # distinct codes, so decode→re-encode is byte-exact.  The memo keys
+    # by (type, value) so each distinct value is JSON-spelled once, not
+    # once per cell; floats key by hex() to keep -0.0 and 0.0 apart.
+    pool: Dict[str, int] = {}
+    memo: Dict[Any, int] = {}
+    columns: List[List[int]] = [[] for _ in attributes]
+    for row in rows:
+        for position, value in enumerate(row):
+            cls = value.__class__
+            memo_key = (cls, value.hex()) if cls is float else (cls, value)
+            code = memo.get(memo_key)
+            if code is None:
+                code = pool.setdefault(_dumps(value), len(pool))
+                memo[memo_key] = code
+            columns[position].append(code)
+    out.append(struct.pack(">I", len(pool)))
+    for text in pool:  # insertion order == code order
+        raw = text.encode("utf-8")
+        out.append(struct.pack(">I", len(raw)))
+        out.append(raw)
+    for bound, width, fmt in _WIDTHS:
+        if len(pool) <= bound + 1:
+            break
+    out.append(struct.pack(">IB", len(rows), width))
+    for codes in columns:
+        out.append(struct.pack(f">{len(codes)}{fmt}", *codes))
+
+
+def encode_binary(message: Message) -> Optional[bytes]:
+    """The binary frame for *message*, or ``None`` when not applicable.
+
+    ``None`` means "use the JSON line": the message carries no relation
+    payloads (the frame would only add overhead), a payload already uses
+    the marker key, or the frame would exceed :data:`~.codec.MAX_LINE_BYTES`.
+    """
+    payload = message.to_wire()
+    relations: List[Dict[str, Any]] = []
+    try:
+        header_payload = _extract(payload, relations)
+    except _MarkerCollision:
+        return None
+    if not relations:
+        return None
+    header = _dumps(header_payload).encode("utf-8")
+    parts: List[bytes] = [struct.pack(">I", len(header)), header]
+    parts.append(struct.pack(">I", len(relations)))
+    for relation in relations:
+        _encode_relation_block(relation, parts)
+    body = b"".join(parts)
+    frame = struct.pack(">BBI", MAGIC, KIND_MESSAGE, len(body)) + body
+    if len(frame) > MAX_LINE_BYTES:
+        return None
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+
+class _Cursor:
+    """Bounds-checked sequential reader over a frame body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise ProtocolError(
+                f"binary frame truncated: needed {n} bytes at offset "
+                f"{self.pos}, body is {len(self.data)}"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+    def text(self, length: int) -> str:
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"binary frame text is not UTF-8: {error}") from error
+
+
+def _decode_relation_block(cursor: _Cursor) -> Dict[str, Any]:
+    attributes = [cursor.text(cursor.u16()) for _ in range(cursor.u16())]
+    pool: List[Any] = []
+    for _ in range(cursor.u32()):
+        text = cursor.text(cursor.u32())
+        try:
+            pool.append(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise ProtocolError(
+                f"binary frame pool entry is not JSON: {error.msg}"
+            ) from error
+    nrows = cursor.u32()
+    width = cursor.u8()
+    for bound, expected_width, fmt in _WIDTHS:
+        if expected_width == width:
+            break
+    else:
+        raise ProtocolError(f"binary frame code width {width} is not 1, 2 or 4")
+    value_columns: List[List[Any]] = []
+    for _ in attributes:
+        codes = struct.unpack(f">{nrows}{fmt}", cursor.take(nrows * width))
+        if codes and max(codes) >= len(pool):
+            raise ProtocolError(
+                f"binary frame code {max(codes)} exceeds pool of {len(pool)}"
+            )
+        value_columns.append([pool[code] for code in codes])
+    if attributes:
+        rows = [list(values) for values in zip(*value_columns)]
+    else:
+        # Zero-arity relations still carry 0 or 1 (empty) rows.
+        rows = [[] for _ in range(nrows)]
+    return {"attributes": attributes, "rows": rows}
+
+
+def decode_binary(body: bytes) -> Message:
+    """Parse one binary frame *body* back into a request or response."""
+    cursor = _Cursor(body)
+    header = cursor.text(cursor.u32())
+    try:
+        payload = json.loads(header)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(
+            f"binary frame header is not JSON: {error.msg}", code="not_json"
+        ) from error
+    if not isinstance(payload, dict):
+        raise ProtocolError("binary frame header must be a JSON object")
+    relations = [_decode_relation_block(cursor) for _ in range(cursor.u32())]
+    if cursor.pos != len(body):
+        raise ProtocolError(
+            f"binary frame has {len(body) - cursor.pos} trailing byte(s)"
+        )
+    return decode_payload(_restore(payload, relations))
+
+
+def binary_request_id_of(body: bytes) -> Optional[int]:
+    """Best-effort request id from a possibly invalid binary frame body."""
+    try:
+        cursor = _Cursor(body)
+        payload = json.loads(cursor.text(cursor.u32()))
+    except Exception:  # noqa: BLE001 — best effort by contract
+        return None
+    if not isinstance(payload, dict):
+        return None
+    candidate = payload.get("id")
+    if isinstance(candidate, bool) or not isinstance(candidate, int):
+        return None
+    return candidate if candidate >= 0 else None
+
+
+# ----------------------------------------------------------------------
+# Two-way frame readers (JSON lines and binary frames on one stream)
+# ----------------------------------------------------------------------
+
+#: Tag for a JSON line frame (the payload is the raw line).
+JSON_FRAME = "json"
+#: Tag for a binary frame (the payload is the frame body).
+BINARY_FRAME = "binary"
+
+
+def _check_frame_prefix(kind: int, length: int) -> None:
+    if kind != KIND_MESSAGE:
+        raise ProtocolError(f"unknown binary frame kind {kind:#04x}")
+    if length > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"binary frame of {length} bytes exceeds the {MAX_LINE_BYTES} bound",
+            code="frame_too_large",
+            bytes=length,
+        )
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> Tuple[str, bytes]:
+    """One frame from an asyncio stream: ``(tag, payload)``.
+
+    Returns ``(JSON_FRAME, b"")`` at EOF (mirroring ``readline``); blank
+    keep-alive lines come back as ``(JSON_FRAME, b"\\n")``.
+    """
+    first = await reader.read(1)
+    if not first:
+        return JSON_FRAME, b""
+    if first[0] == MAGIC:
+        try:
+            prefix = await reader.readexactly(5)
+            kind, length = struct.unpack(">BI", prefix)
+            _check_frame_prefix(kind, length)
+            return BINARY_FRAME, await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise ConnectionError("connection closed mid binary frame") from error
+    if first == b"\n":
+        return JSON_FRAME, b"\n"
+    return JSON_FRAME, first + await reader.readline()
+
+
+def read_frame_blocking(stream: BinaryIO) -> Tuple[str, bytes]:
+    """Blocking-file twin of :func:`read_frame_async` (socket makefile)."""
+    first = stream.read(1)
+    if not first:
+        return JSON_FRAME, b""
+    if first[0] == MAGIC:
+        prefix = stream.read(5)
+        if len(prefix) < 5:
+            raise ConnectionError("connection closed mid binary frame")
+        kind, length = struct.unpack(">BI", prefix)
+        _check_frame_prefix(kind, length)
+        body = stream.read(length)
+        if len(body) < length:
+            raise ConnectionError("connection closed mid binary frame")
+        return BINARY_FRAME, body
+    if first == b"\n":
+        return JSON_FRAME, b"\n"
+    return JSON_FRAME, first + stream.readline()
+
+
+def negotiate_frames(requested: Any) -> Tuple[str, ...]:
+    """The subset of *requested* frame formats this build speaks, in our
+    preference order (the server's side of the ``ping`` negotiation)."""
+    if not isinstance(requested, (list, tuple)):
+        return ()
+    wanted = {name for name in requested if isinstance(name, str)}
+    return tuple(name for name in SUPPORTED_FRAMES if name in wanted)
+
+
+__all__ = [
+    "BINARY_FRAME",
+    "BINARY_FRAMES_V1",
+    "JSON_FRAME",
+    "KIND_MESSAGE",
+    "MAGIC",
+    "SUPPORTED_FRAMES",
+    "binary_request_id_of",
+    "decode_binary",
+    "encode_binary",
+    "negotiate_frames",
+    "read_frame_async",
+    "read_frame_blocking",
+]

@@ -224,6 +224,10 @@ class Request:
     #: ``{"relations": {name: {"attributes", "rows"}}, "domain"?: [...]}``
     #: (the shape :func:`encode_database` emits).
     data: Optional[Dict[str, Any]] = None
+    #: For ``ping``: frame formats the client can read (e.g. the binary
+    #: relation framing of :mod:`.frames`).  The server answers with the
+    #: subset it accepts and only then sends non-JSON frames.
+    frames: Optional[Tuple[str, ...]] = None
 
     def to_wire(self) -> Dict[str, Any]:
         self.validate()
@@ -244,6 +248,8 @@ class Request:
             payload["operations"] = [dict(entry) for entry in self.operations]
         if self.data is not None:
             payload["data"] = dict(self.data)
+        if self.frames is not None:
+            payload["frames"] = list(self.frames)
         return payload
 
     def validate(self) -> None:
@@ -281,6 +287,11 @@ class Request:
             raise ProtocolError(f"{self.op} takes no 'operations'", op=self.op)
         if self.data is not None and self.op != REGISTER_DATABASE:
             raise ProtocolError(f"{self.op} takes no 'data'", op=self.op)
+        if self.frames is not None:
+            if self.op != PING:
+                raise ProtocolError(f"{self.op} takes no 'frames'", op=self.op)
+            if not all(isinstance(name, str) for name in self.frames):
+                raise ProtocolError("'frames' must be a list of strings")
         if self.op in QUERY_OPS:
             if not isinstance(self.query, str):
                 raise ProtocolError(f"{self.op} needs a 'query' string", op=self.op)
@@ -369,6 +380,7 @@ class Request:
             "options",
             "operations",
             "data",
+            "frames",
         }
         if unknown:
             raise ProtocolError(
@@ -385,6 +397,11 @@ class Request:
             if not isinstance(operations, list):
                 raise ProtocolError("'operations' must be a list")
             operations = tuple(operations)
+        frames = payload.get("frames")
+        if frames is not None:
+            if not isinstance(frames, list):
+                raise ProtocolError("'frames' must be a list")
+            frames = tuple(frames)
         request = cls(
             op=payload.get("op"),
             id=payload.get("id"),
@@ -396,6 +413,7 @@ class Request:
             options=payload.get("options"),
             operations=operations,
             data=payload.get("data"),
+            frames=frames,
         )
         request.validate()
         return request
@@ -508,7 +526,7 @@ def decode_relation(payload: Any) -> Relation:
     rows = payload.get("rows")
     if not isinstance(attributes, list) or not isinstance(rows, list):
         raise ProtocolError("relation payload needs 'attributes' and 'rows' lists")
-    return Relation(tuple(attributes), (tuple(row) for row in rows))
+    return Relation.from_rows(tuple(attributes), (tuple(row) for row in rows))
 
 
 def encode_result(value: Any) -> Tuple[str, Any]:

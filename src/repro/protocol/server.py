@@ -67,6 +67,14 @@ from ..resilience.faults import FaultPlan
 from ..service.service import QueryService
 from ..service.stats import ServiceStats
 from .codec import MAX_LINE_BYTES, decode, encode, error_response, request_id_of
+from .frames import (
+    BINARY_FRAME,
+    binary_request_id_of,
+    decode_binary,
+    encode_binary,
+    negotiate_frames,
+    read_frame_async,
+)
 from .messages import (
     BOOLEANS,
     CANCEL,
@@ -95,7 +103,7 @@ from .messages import (
 class _Connection:
     """Per-connection state: writer, write lock, in-flight request tasks."""
 
-    __slots__ = ("client", "writer", "tasks", "lock", "inflight")
+    __slots__ = ("client", "writer", "tasks", "lock", "inflight", "binary")
 
     def __init__(self, client: str, writer: asyncio.StreamWriter) -> None:
         self.client = client
@@ -105,10 +113,21 @@ class _Connection:
         #: Request id → handler task, while the request is in flight.  The
         #: ``cancel`` op and disconnect teardown both cancel through here.
         self.inflight: Dict[int, "asyncio.Task[None]"] = {}
+        #: Did this client negotiate binary relation frames (via ``ping``)?
+        self.binary = False
 
     async def send(self, response: Response) -> None:
-        """Write one response line atomically (pipelined tasks interleave)."""
-        data = encode(response)
+        """Write one response frame atomically (pipelined tasks interleave).
+
+        After a client negotiates binary frames, relation-bearing
+        responses go out in the binary framing; everything else (and any
+        message the binary encoder declines) stays a JSON line.
+        """
+        data: Optional[bytes] = None
+        if self.binary:
+            data = encode_binary(response)
+        if data is None:
+            data = encode(response)
         async with self.lock:
             if self.writer.is_closing():
                 return
@@ -339,8 +358,8 @@ class QueryServer:
             try:
                 if self._idle_timeout is not None:
                     try:
-                        line = await asyncio.wait_for(
-                            reader.readline(), self._idle_timeout
+                        tag, line = await asyncio.wait_for(
+                            read_frame_async(reader), self._idle_timeout
                         )
                     except asyncio.TimeoutError:
                         # Silent too long — one typed final frame, hang up.
@@ -357,7 +376,12 @@ class QueryServer:
                         )
                         return
                 else:
-                    line = await reader.readline()
+                    tag, line = await read_frame_async(reader)
+            except ProtocolError as exc:
+                # A malformed binary frame prefix cannot be resynchronized
+                # — answer structurally, then hang up.
+                await connection.send(error_response(None, exc))
+                return
             except (ValueError, asyncio.LimitOverrunError):
                 # An overlong frame cannot be resynchronized — answer
                 # structurally, then hang up.
@@ -375,14 +399,18 @@ class QueryServer:
                 return
             if not line:
                 return  # EOF: client is done sending
-            if not line.strip():
-                continue  # blank keep-alive lines are free
+            if tag == BINARY_FRAME:
+                decode_frame, id_of = decode_binary, binary_request_id_of
+            else:
+                if not line.strip():
+                    continue  # blank keep-alive lines are free
+                decode_frame, id_of = decode, request_id_of
             try:
-                message = decode(line)
+                message = decode_frame(line)
                 if not isinstance(message, Request):
                     raise ProtocolError("expected a request, got a response frame")
             except Exception as exc:  # noqa: BLE001 — answered structurally
-                await connection.send(error_response(request_id_of(line), exc))
+                await connection.send(error_response(id_of(line), exc))
                 continue
             if self._draining:
                 await connection.send(
@@ -562,6 +590,14 @@ class QueryServer:
         )
 
     async def _op_ping(self, request: Request, connection: _Connection) -> Response:
+        if request.frames is not None:
+            # Frame negotiation: accept the intersection with what this
+            # build speaks and switch the connection's send side over.
+            accepted = negotiate_frames(request.frames)
+            connection.binary = bool(accepted)
+            return Response(
+                id=request.id, kind=PONG, result={"frames": list(accepted)}
+            )
         return Response(id=request.id, kind=PONG, result=None)
 
     async def _op_stats(self, request: Request, connection: _Connection) -> Response:

@@ -80,7 +80,7 @@ def canonical_database(query: ConjunctiveQuery):
             tuple(freeze(t) for t in atom.terms)
         )
     relations = {
-        name: Relation(RelationSchema(name, arities[name]).default_attributes(), rs)
+        name: Relation.from_rows(RelationSchema(name, arities[name]).default_attributes(), rs)
         for name, rs in rows.items()
     }
     head = tuple(freeze(t) for t in query.head_terms)

@@ -66,7 +66,7 @@ def wiring_database(circuit: Circuit) -> Database:
         for source in gate.inputs:
             rows.append((gate.gate_id, source))
     domain = [g.gate_id for g in circuit.gates()]
-    return Database({"C": Relation(("C.0", "C.1"), rows)}, domain=domain)
+    return Database({"C": Relation.from_rows(("C.0", "C.1"), rows)}, domain=domain)
 
 
 def theta(level: int, argument: Term, k: int) -> Formula:
@@ -210,7 +210,7 @@ def alternating_circuit_to_fo(
         for i, block in enumerate(instance.blocks)
         for member in block
     ]
-    database = database.with_relation("P", Relation(("P.0", "P.1"), p_rows))
+    database = database.with_relation("P", Relation.from_rows(("P.0", "P.1"), p_rows))
 
     block_vars: List[List[Variable]] = []
     flat_names: List[Variable] = []

@@ -64,8 +64,8 @@ def comparison_database(graph: Graph) -> Database:
     ]
     return Database(
         {
-            "P": Relation(("P.0", "P.1"), p_rows),
-            "R": Relation(("R.0", "R.1"), r_rows),
+            "P": Relation.from_rows(("P.0", "P.1"), p_rows),
+            "R": Relation.from_rows(("R.0", "R.1"), r_rows),
         }
     )
 

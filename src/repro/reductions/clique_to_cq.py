@@ -44,7 +44,7 @@ def clique_query(k: int) -> ConjunctiveQuery:
 def graph_database(instance: CliqueInstance) -> Database:
     """The database with the symmetric edge relation G (fixed schema)."""
     rows = list(instance.graph.directed_edges())
-    relation = Relation(("G.0", "G.1"), rows)
+    relation = Relation.from_rows(("G.0", "G.1"), rows)
     return Database({"G": relation}, domain=instance.graph.nodes)
 
 

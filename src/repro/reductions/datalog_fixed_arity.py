@@ -83,7 +83,7 @@ def evaluate_via_cq_oracle(
     idbs: Dict[str, Relation] = {}
     for name in program.idb_names():
         schema = RelationSchema(name, program.arity(name))
-        idbs[name] = Relation(schema.default_attributes())
+        idbs[name] = Relation.from_rows(schema.default_attributes())
 
     changed = True
     while changed:
@@ -107,7 +107,7 @@ def evaluate_via_cq_oracle(
                 stats.record(decided)
                 if oracle(decided, snapshot):
                     idbs[rule.head.relation] = idbs[rule.head.relation].union(
-                        Relation(idbs[rule.head.relation].attributes, [candidate])
+                        Relation.from_rows(idbs[rule.head.relation].attributes, [candidate])
                     )
                     changed = True
     return idbs[program.goal], stats

@@ -47,7 +47,7 @@ def hamiltonian_to_query_instance(
         raise ReductionError("need at least 2 nodes")
     rows = list(graph.directed_edges())
     database = Database(
-        {"E": Relation(("E.0", "E.1"), rows)}, domain=graph.nodes
+        {"E": Relation.from_rows(("E.0", "E.1"), rows)}, domain=graph.nodes
     )
     return hamiltonian_path_query(graph.num_nodes), database
 

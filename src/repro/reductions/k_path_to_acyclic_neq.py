@@ -45,9 +45,9 @@ def k_path_to_query_instance(instance: KPathInstance) -> QueryEvaluationInstance
     if not rows:
         # An edgeless database cannot be represented with an inferred-arity
         # relation; use an explicitly empty binary relation.
-        relation = Relation(("E.0", "E.1"), [])
+        relation = Relation.from_rows(("E.0", "E.1"), [])
     else:
-        relation = Relation(("E.0", "E.1"), rows)
+        relation = Relation.from_rows(("E.0", "E.1"), rows)
     database = Database({"E": relation}, domain=graph.nodes)
     return QueryEvaluationInstance(
         query=k_path_query(instance.k), database=database, candidate=()

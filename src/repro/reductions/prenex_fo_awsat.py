@@ -220,9 +220,9 @@ def awsat_to_prenex_fo(
     ]
     database = Database(
         {
-            "EQ": Relation(("EQ.0", "EQ.1"), eq_rows),
-            "NEQ": Relation(("NEQ.0", "NEQ.1"), neq_rows),
-            "BLK": Relation(("BLK.0", "BLK.1"), blk_rows),
+            "EQ": Relation.from_rows(("EQ.0", "EQ.1"), eq_rows),
+            "NEQ": Relation.from_rows(("NEQ.0", "NEQ.1"), neq_rows),
+            "BLK": Relation.from_rows(("BLK.0", "BLK.1"), blk_rows),
         },
         domain=list(range(1, n + 1)) + [i for i in range(1, len(instance.blocks) + 1)],
     )

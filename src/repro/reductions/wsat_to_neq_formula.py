@@ -121,7 +121,7 @@ def wsat_to_neq_formula(instance: WeightedFormulaInstance) -> NeqFormulaInstance
         (), [Atom("Dom", (y,)) for y in ys], head_name="Q"
     )
     database = Database(
-        {"Dom": Relation(("Dom.0",), [(c,) for c in domain])},
+        {"Dom": Relation.from_rows(("Dom.0",), [(c,) for c in domain])},
         domain=domain + [0],
     )
     return NeqFormulaInstance(query=query, formula=phi, database=database)

@@ -48,8 +48,8 @@ def eq_neq_database(n: int) -> Database:
     neq_rows = [(i, j) for i in range(1, n + 1) for j in range(1, n + 1) if i != j]
     return Database(
         {
-            "EQ": Relation(("EQ.0", "EQ.1"), eq_rows),
-            "NEQ": Relation(("NEQ.0", "NEQ.1"), neq_rows),
+            "EQ": Relation.from_rows(("EQ.0", "EQ.1"), eq_rows),
+            "NEQ": Relation.from_rows(("NEQ.0", "NEQ.1"), neq_rows),
         },
         domain=range(1, n + 1),
     )

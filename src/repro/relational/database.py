@@ -69,7 +69,7 @@ class Database:
                 )
             arity = len(rows[0])
             schema = RelationSchema(name, arity)
-            built[name] = Relation(schema.default_attributes(), rows)
+            built[name] = Relation.from_rows(schema.default_attributes(), rows)
         return cls(built, domain=domain)
 
     def with_relation(

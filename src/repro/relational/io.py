@@ -60,7 +60,7 @@ def load_database_csv(directory: PathLike) -> Database:
             except StopIteration:
                 raise SchemaError(f"{path.name}: missing header row") from None
             rows = [tuple(_parse_cell(c) for c in row) for row in reader]
-        relations[path.stem] = Relation(tuple(header), rows)
+        relations[path.stem] = Relation.from_rows(tuple(header), rows)
     if not relations:
         raise SchemaError(f"no .csv files in {root}")
     return Database(relations)
@@ -92,7 +92,7 @@ def database_from_json(text: str) -> Database:
         raise SchemaError("JSON document lacks a 'relations' key")
     relations: Dict[str, Relation] = {}
     for name, payload in document["relations"].items():
-        relations[name] = Relation(
+        relations[name] = Relation.from_rows(
             tuple(payload["attributes"]),
             (tuple(row) for row in payload["rows"]),
         )

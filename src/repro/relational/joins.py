@@ -52,8 +52,9 @@ def hash_join(left: Relation, right: Relation) -> Relation:
     extra = tuple(a for a in right.attributes if a not in left_set)
     extra_pos = positions_of(right.attributes, extra)
 
-    buckets = left._index(left_pos)
-    right_key = Relation._key_getter(right_pos)
+    # Code-keyed build and probe: pool codes are global, so left's bucket
+    # codes and right's per-row key codes name the same keys.
+    buckets = left._code_buckets(left_pos)
     if len(extra_pos) == 1:
         (ep,) = extra_pos
         suffix_of = lambda row: (row[ep],)  # noqa: E731
@@ -64,8 +65,8 @@ def hash_join(left: Relation, right: Relation) -> Relation:
 
     out: List[Row] = []
     append = out.append
-    for row in right.rows:
-        bucket = buckets.get(right_key(row))
+    for row, code in zip(right._row_order(), right._key_codes(right_pos)):
+        bucket = buckets.get(code)
         if bucket:
             suffix = suffix_of(row)
             for left_row in bucket:

@@ -12,31 +12,52 @@ databases (no duplicate tuples, no ordering).
 
 Kernel notes (see ``docs/kernel.md`` for the full contract):
 
-* the public constructor validates; the *trusted* constructor
-  :meth:`Relation._from_frozen` does not, and every algebra operation builds
-  its result through it so rows are frozen and validated exactly once;
-* each relation lazily caches hash indexes (column positions → key → rows)
-  in :meth:`Relation._index`; ``semijoin``/``natural_join``/``select_eq``
-  and the evaluators probe these instead of rebuilding key sets per call.
-  Relations are immutable, so cached indexes are never invalidated;
+* construction goes through an explicit family: :meth:`Relation.from_rows`
+  (validated), :meth:`Relation.from_columns` (validated, column-major), and
+  the *trusted* :meth:`Relation._from_frozen` fast path, which does not
+  validate and through which every algebra operation builds its result so
+  rows are frozen and validated exactly once.  The legacy positional
+  ``Relation(attributes, rows)`` form still works but warns
+  ``DeprecationWarning``;
+* the backing store is columnar: each relation lazily dictionary-encodes
+  its columns against the process-wide value pool (``relational.columns``)
+  into one code array per attribute.  Code equality is value equality
+  across all relations, so the kernel ops — semijoin/antijoin membership,
+  join bucketing, projection dedup, partition routing — run over small-int
+  code arrays instead of re-hashing row values.  Operations that filter or
+  slice rows (semijoin, projection) hand their result the selected code
+  arrays, so derived relations never pay the encoding again;
+* each relation also lazily caches value-keyed hash indexes (column
+  positions → key → rows) in :meth:`Relation._index`; ``select_eq`` and the
+  explicit index views probe these.  Relations are immutable, so cached
+  indexes and code columns are never invalidated;
 * operations that permute or rename columns without touching rows
   (``rename``, and the candidate-relation fast path) share the source
-  relation's index cache, since positional indexes only depend on rows;
+  relation's index and column caches, since positional caches only depend
+  on rows;
 * the parallel execution layer (``repro.parallel``) shards relations by
-  join-key hash through :meth:`Relation._partition`, a lazy cache exactly
+  join-key *code* through :meth:`Relation._partition`, a lazy cache exactly
   like :meth:`Relation._index`: shards are built from the cached index on
   the key positions, each shard is born with that index preseeded, and —
-  relations being immutable — a cached partition is never invalidated;
-* both lazy caches are safe to fill from concurrent threads (the shared
+  relations being immutable — a cached partition is never invalidated.
+  Routing by pool code (``key_code % count``) keeps join-compatible
+  relations co-partitioned, because codes are global to the process;
+* all lazy caches are safe to fill from concurrent threads (the shared
   engine behind ``repro.service`` does): fills race only on *cold* slots,
-  every racer builds an identical value from the immutable rows, and the
+  every racer builds an equivalent value from the immutable rows, and the
   publish goes through ``dict.setdefault`` so all callers converge on one
   canonical object (CPython's per-opcode atomicity makes the setdefault
-  itself atomic).
+  itself atomic);
+* pickling drops the columnar caches: pool codes are meaningless in
+  another process (each process grows its own pools), so a shipped
+  relation re-encodes lazily on the receiving side.  Value-keyed index
+  and partition caches travel, exactly as before.
 """
 
 from __future__ import annotations
 
+import warnings
+from array import array
 from operator import itemgetter
 from typing import (
     Any,
@@ -53,6 +74,7 @@ from typing import (
 
 from ..errors import ArityError, SchemaError
 from .attributes import check_attribute_names, positions_of
+from .columns import CODE_TYPECODE, KEYS, VALUES, select_codes
 
 Row = Tuple[Any, ...]
 
@@ -62,41 +84,43 @@ IndexBuckets = Dict[Any, Tuple[Row, ...]]
 
 _EMPTY_ROWSET: FrozenSet[Row] = frozenset()
 
+_DEPRECATED_INIT = (
+    "positional Relation(attributes, rows) construction is deprecated; use "
+    "Relation.from_rows(...) / Relation.from_columns(...) (or the trusted "
+    "Relation._from_frozen fast path for pre-validated frozensets)"
+)
+
 
 class Relation:
     """An immutable relation with named columns and set-of-tuples contents.
 
-    Parameters
-    ----------
-    attributes:
-        Ordered, pairwise-distinct column names.
-    rows:
-        Iterable of tuples, each of length ``len(attributes)``.
+    Build relations through the explicit constructor family:
+    :meth:`from_rows` (row-major, validated), :meth:`from_columns`
+    (column-major, validated), :meth:`from_dicts`, :meth:`unit`,
+    :meth:`empty`, or — for trusted pre-frozen data — :meth:`_from_frozen`.
+    The legacy positional form ``Relation(attributes, rows)`` still works
+    but emits :class:`DeprecationWarning`.
 
     Examples
     --------
-    >>> r = Relation(("a", "b"), [(1, 2), (1, 3)])
+    >>> r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3)])
     >>> r.project(("a",)).rows
     frozenset({(1,)})
     """
 
-    __slots__ = ("_attributes", "_rows", "_indexes", "_partitions")
+    __slots__ = ("_attributes", "_rows", "_indexes", "_partitions", "_columnar")
 
     def __init__(self, attributes: Sequence[str], rows: Iterable[Row] = ()) -> None:
-        self._attributes: Tuple[str, ...] = check_attribute_names(attributes)
-        arity = len(self._attributes)
-        frozen = frozenset(tuple(row) for row in rows)
-        for row in frozen:
-            if len(row) != arity:
-                raise ArityError(
-                    f"row {row!r} has arity {len(row)}, expected {arity}"
-                )
-        self._rows: FrozenSet[Row] = frozen
-        self._indexes: Dict[Tuple[int, ...], IndexBuckets] = {}
-        self._partitions: Dict[Tuple[Tuple[int, ...], int], Tuple["Relation", ...]] = {}
+        warnings.warn(_DEPRECATED_INIT, DeprecationWarning, stacklevel=2)
+        validated = Relation.from_rows(attributes, rows)
+        self._attributes = validated._attributes
+        self._rows = validated._rows
+        self._indexes = {}
+        self._partitions = {}
+        self._columnar = {}
 
     # ------------------------------------------------------------------
-    # Trusted constructor + index cache (the kernel's internal contract)
+    # Trusted constructor + lazy caches (the kernel's internal contract)
     # ------------------------------------------------------------------
 
     @classmethod
@@ -118,7 +142,18 @@ class Relation:
         self._rows = rows
         self._indexes = {}
         self._partitions = {}
+        self._columnar = {}
         return self
+
+    def __getstate__(self):
+        # The columnar caches hold process-local pool codes; they must not
+        # cross a pickle boundary (a worker process has different pools).
+        # Value-keyed index/partition caches remain valid anywhere.
+        return (self._attributes, self._rows, self._indexes, self._partitions)
+
+    def __setstate__(self, state) -> None:
+        self._attributes, self._rows, self._indexes, self._partitions = state
+        self._columnar = {}
 
     def _index(self, positions: Tuple[int, ...]) -> IndexBuckets:
         """The cached hash index on *positions* (built on first use).
@@ -160,21 +195,103 @@ class Relation:
         # so downstream identity checks and shard preseeds stay consistent.
         return self._indexes.setdefault(positions, frozen_buckets)
 
+    # -- columnar store -------------------------------------------------
+
+    def _row_order(self) -> Tuple[Row, ...]:
+        """The rows in one fixed (arbitrary) order; code arrays align to it."""
+        found = self._columnar.get("order")
+        if found is None:
+            found = self._columnar.setdefault("order", tuple(self._rows))
+        return found
+
+    def _code_column(self, position: int) -> array:
+        """Pool codes of column *position*, aligned with :meth:`_row_order`."""
+        key = ("col", position)
+        found = self._columnar.get(key)
+        if found is None:
+            order = self._row_order()
+            column = VALUES.encode_column([row[position] for row in order])
+            found = self._columnar.setdefault(key, column)
+        return found
+
+    def _key_codes(self, positions: Tuple[int, ...]) -> array:
+        """Per-row join-key codes on *positions* (value code for a single
+        position, composite KEYS code otherwise), aligned with
+        :meth:`_row_order`.  Codes are process-global: equal keys get equal
+        codes in every relation."""
+        if len(positions) == 1:
+            return self._code_column(positions[0])
+        key = ("key", positions)
+        found = self._columnar.get(key)
+        if found is None:
+            if positions:
+                columns = [self._code_column(p) for p in positions]
+                found = KEYS.encode_column(list(zip(*columns)))
+            else:
+                unit_code = KEYS.encode(())
+                found = array(CODE_TYPECODE, [unit_code]) * len(self._rows)
+            found = self._columnar.setdefault(key, found)
+        return found
+
+    def _key_code_set(self, positions: Tuple[int, ...]) -> frozenset:
+        """The distinct key codes on *positions* (semijoin build side)."""
+        key = ("keyset", positions)
+        found = self._columnar.get(key)
+        if found is None:
+            found = self._columnar.setdefault(
+                key, frozenset(self._key_codes(positions))
+            )
+        return found
+
+    def _code_buckets(self, positions: Tuple[int, ...]) -> Dict[int, Tuple[Row, ...]]:
+        """Key code → rows with that key (join build side; int-keyed twin of
+        :meth:`_index`)."""
+        cache_key = ("buckets", positions)
+        found = self._columnar.get(cache_key)
+        if found is None:
+            buckets: Dict[int, List[Row]] = {}
+            for row, code in zip(self._row_order(), self._key_codes(positions)):
+                bucket = buckets.get(code)
+                if bucket is None:
+                    buckets[code] = [row]
+                else:
+                    bucket.append(row)
+            frozen = {code: tuple(rows) for code, rows in buckets.items()}
+            found = self._columnar.setdefault(cache_key, frozen)
+        return found
+
+    def _take(self, order: Tuple[Row, ...], indices: List[int]) -> "Relation":
+        """A relation of ``order[i] for i in indices`` over the same
+        attributes, inheriting the selected code arrays so the child never
+        re-encodes what this relation already paid for.
+
+        Trusted: *indices* must be distinct positions into *order*, which
+        must be this relation's row order.
+        """
+        kept = tuple(map(order.__getitem__, indices))
+        child = Relation._from_frozen(self._attributes, frozenset(kept))
+        child._columnar["order"] = kept
+        for cache_key, column in list(self._columnar.items()):
+            if type(cache_key) is tuple and cache_key[0] in ("col", "key"):
+                child._columnar[cache_key] = select_codes(column, indices)
+        return child
+
     def _partition(
         self, positions: Tuple[int, ...], count: int
     ) -> Tuple["Relation", ...]:
         """Hash-partition into *count* shards by the key on *positions*.
 
-        Shard ``s`` holds the rows whose index key hashes to ``s`` modulo
-        *count* (the raw value for a single position, the value tuple
-        otherwise, matching :meth:`_index`).  Built from the cached index on
-        *positions* — whole buckets are routed, so every key lands in
-        exactly one shard and two relations partitioned on join-compatible
-        keys with equal *count* are co-partitioned: matching keys meet in
-        the same shard index.  Each shard is a full :class:`Relation` over
-        the same attributes, created with its index on *positions*
-        preseeded from the routed buckets (sharding never pays the index
-        build twice).  Like :meth:`_index`, the result is cached for the
+        Shard ``s`` holds the rows whose join-key *pool code* is ``s``
+        modulo *count* (the value code for a single position, the composite
+        KEYS code otherwise — see ``relational.columns``).  Built from the
+        cached index on *positions* — whole buckets are routed, so every
+        key lands in exactly one shard, and because pool codes are global
+        to the process, two relations partitioned on join-compatible keys
+        with equal *count* are co-partitioned: matching keys meet in the
+        same shard index.  Each shard is a full :class:`Relation` over the
+        same attributes, created with its index on *positions* preseeded
+        from the routed buckets (sharding never pays the index build
+        twice).  Like :meth:`_index`, the result is cached for the
         relation's lifetime and never invalidated.
         """
         if count < 1:
@@ -184,8 +301,16 @@ class Relation:
         if found is not None:
             return found
         routed: List[Dict[Any, Tuple[Row, ...]]] = [{} for _ in range(count)]
-        for key, bucket in self._index(positions).items():
-            routed[hash(key) % count][key] = bucket
+        if len(positions) == 1:
+            encode = VALUES.encode
+            for key, bucket in self._index(positions).items():
+                routed[encode(key) % count][key] = bucket
+        else:
+            value_code = VALUES.encode
+            key_code = KEYS.encode
+            for key, bucket in self._index(positions).items():
+                code = key_code(tuple(value_code(v) for v in key))
+                routed[code % count][key] = bucket
         shards = []
         for shard_buckets in routed:
             rows = frozenset(
@@ -210,13 +335,16 @@ class Relation:
         return itemgetter(*positions)
 
     def _share_indexes_with(self, other: "Relation") -> "Relation":
-        """Share *other*'s index cache (caller guarantees identical rows).
+        """Share *other*'s index + columnar caches (caller guarantees
+        identical rows).
 
         The partition cache is *not* shared: cached shards are Relations
         carrying their source's attribute names, which a rename-shaped twin
-        must not inherit.
+        must not inherit.  Positional indexes and code columns only depend
+        on rows, so both transfer.
         """
         self._indexes = other._indexes
+        self._columnar = other._columnar
         return self
 
     # ------------------------------------------------------------------
@@ -293,6 +421,53 @@ class Relation:
     # ------------------------------------------------------------------
 
     @classmethod
+    def from_rows(
+        cls, attributes: Sequence[str], rows: Iterable[Row] = ()
+    ) -> "Relation":
+        """The validated row-major constructor.
+
+        *attributes* are checked to be distinct nonempty strings; every row
+        is tupled, checked against the arity, and frozen.  This is the
+        public entry point for untrusted data — algebra results use the
+        trusted :meth:`_from_frozen` fast path instead.
+        """
+        names = check_attribute_names(attributes)
+        arity = len(names)
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != arity:
+                raise ArityError(
+                    f"row {row!r} has arity {len(row)}, expected {arity}"
+                )
+        return cls._from_frozen(names, frozen)
+
+    @classmethod
+    def from_columns(
+        cls, attributes: Sequence[str], columns: Sequence[Iterable[Any]]
+    ) -> "Relation":
+        """The validated column-major constructor: one value sequence per
+        attribute, all of equal length.
+
+        ``from_columns((), ())`` is the empty nullary relation (FALSE); the
+        nullary TRUE relation has no column-major spelling — use
+        :meth:`unit`.
+        """
+        names = check_attribute_names(attributes)
+        materialized = [tuple(column) for column in columns]
+        if len(materialized) != len(names):
+            raise SchemaError(
+                f"{len(names)} attributes but {len(materialized)} columns"
+            )
+        lengths = {len(column) for column in materialized}
+        if len(lengths) > 1:
+            raise ArityError(
+                f"columns have unequal lengths {sorted(lengths)}"
+            )
+        if not materialized:
+            return cls._from_frozen(names, _EMPTY_ROWSET)
+        return cls._from_frozen(names, frozenset(zip(*materialized)))
+
+    @classmethod
     def unit(cls) -> "Relation":
         """The nullary relation containing the empty tuple (logical TRUE)."""
         return cls._from_frozen((), frozenset([()]))
@@ -308,7 +483,7 @@ class Relation:
     ) -> "Relation":
         """Build a relation from mappings ``attribute -> value``."""
         names = tuple(attributes)
-        return cls(names, (tuple(d[a] for a in names) for d in dicts))
+        return cls.from_rows(names, (tuple(d[a] for a in names) for d in dicts))
 
     # ------------------------------------------------------------------
     # Row views
@@ -336,22 +511,53 @@ class Relation:
     def project(self, attributes: Sequence[str]) -> "Relation":
         """Projection π_attributes, preserving the requested column order.
 
-        Duplicate result rows collapse (set semantics).  Projecting onto the
-        empty attribute list yields the nullary TRUE/FALSE relation depending
-        on whether any row exists.
+        Duplicate result rows collapse (set semantics).  When the kept
+        columns' code arrays are already cached the dedupe runs over key
+        codes and value tuples are built only for the distinct rows; a
+        cold relation projects its row tuples directly instead of paying
+        to intern them.  Projecting onto the empty attribute list yields
+        the nullary TRUE/FALSE relation depending on whether any row
+        exists.
         """
         names = check_attribute_names(attributes)
         if names == self._attributes:
             return self
         positions = positions_of(self._attributes, names)
-        rows = self._rows
+        if not positions:
+            projected = frozenset([()]) if self._rows else _EMPTY_ROWSET
+            return Relation._from_frozen(names, projected)
+        columnar = self._columnar
+        if ("key", positions) in columnar or all(
+            ("col", p) in columnar for p in positions
+        ):
+            # Codes already exist (a derived relation, or the columns were
+            # warmed by a join/semijoin): dedupe by key code — per-row work
+            # is one C-level dict insert, and value tuples are built only
+            # for one representative row per code (last wins — equal codes
+            # mean value-equal projections).  Child code arrays are left
+            # to lazy re-encode: every value is already interned, so
+            # re-encoding later costs about what preseeding would here.
+            order = self._row_order()
+            codes = self._key_codes(positions)
+            representatives = dict(zip(codes, order)).values()
+            if len(positions) == 1:
+                (p,) = positions
+                projected_rows = tuple(zip(map(itemgetter(p), representatives)))
+            else:
+                projected_rows = tuple(
+                    map(itemgetter(*positions), representatives)
+                )
+            out = Relation._from_frozen(names, frozenset(projected_rows))
+            out._columnar["order"] = projected_rows
+            return out
+        # Cold relation: interning every value just to dedupe would cost
+        # more than the projection itself — let frozenset dedupe the
+        # projected tuples directly (value equality, same set semantics).
         if len(positions) == 1:
             (p,) = positions
-            projected = frozenset((row[p],) for row in rows)
-        elif not positions:
-            projected = frozenset([()]) if rows else _EMPTY_ROWSET
+            projected = frozenset(zip(map(itemgetter(p), self._rows)))
         else:
-            projected = frozenset(map(itemgetter(*positions), rows))
+            projected = frozenset(map(itemgetter(*positions), self._rows))
         return Relation._from_frozen(names, projected)
 
     def select(self, predicate: Callable[[Dict[str, Any]], bool]) -> "Relation":
@@ -416,7 +622,7 @@ class Relation:
         if len(set(new_names)) != len(new_names):
             raise SchemaError(f"rename produces duplicate attributes: {new_names}")
         out = Relation._from_frozen(check_attribute_names(new_names), self._rows)
-        # Rows are untouched, so positional indexes remain valid — share them.
+        # Rows are untouched, so positional caches remain valid — share them.
         return out._share_indexes_with(self)
 
     def extend(self, attribute: str, fn: Callable[[Dict[str, Any]], Any]) -> "Relation":
@@ -487,8 +693,9 @@ class Relation:
         non-shared attributes.  With no shared attributes this degenerates to
         the Cartesian product; with identical schemas, to intersection.
 
-        Probing uses *other*'s cached index on the shared positions, so
-        repeated joins against the same relation build its hash table once.
+        Probing uses *other*'s cached code buckets on the shared positions,
+        so repeated joins against the same relation build its hash table
+        once — and the table is keyed by small-int pool codes.
         """
         other_set = set(other._attributes)
         shared = tuple(a for a in self._attributes if a in other_set)
@@ -508,9 +715,9 @@ class Relation:
         *other_keep* must be a subset of *other*'s attributes containing all
         attributes shared with ``self``.  The projection of *other* is never
         materialized: build-side suffixes are extracted (and deduplicated)
-        straight into the hash buckets, so wide build-side intermediates
-        never exist.  This is the kernel behind the Yannakakis upward pass
-        and the Theorem 2 bottom-up merges.
+        straight into hash buckets keyed by join-key pool codes, so wide
+        build-side intermediates never exist.  This is the kernel behind
+        the Yannakakis upward pass and the Theorem 2 bottom-up merges.
         """
         self_attrs = self._attributes
         self_set = set(self_attrs)
@@ -523,9 +730,9 @@ class Relation:
         right_pos = positions_of(other._attributes, shared)
 
         if tuple(other_keep) == other._attributes:
-            # Plain natural join: probe other's cached full-row index.
+            # Plain natural join: probe other's cached code buckets.
             extra_pos = positions_of(other._attributes, extra)
-            buckets = other._index(right_pos)
+            buckets = other._code_buckets(right_pos)
             if len(extra_pos) == 1:
                 (ep,) = extra_pos
                 suffix_of = lambda row: (row[ep],)  # noqa: E731
@@ -536,7 +743,6 @@ class Relation:
         else:
             # True fusion: bucket deduplicated kept suffixes, not full rows.
             extra_pos = positions_of(other._attributes, extra)
-            right_key = Relation._key_getter(right_pos)
             if len(extra_pos) == 1:
                 (ep,) = extra_pos
                 raw_suffix = lambda row: (row[ep],)  # noqa: E731
@@ -544,28 +750,23 @@ class Relation:
                 raw_suffix = lambda row: ()  # noqa: E731
             else:
                 raw_suffix = itemgetter(*extra_pos)
-            grouped: Dict[Any, set] = {}
-            for row in other._rows:
-                grouped.setdefault(right_key(row), set()).add(raw_suffix(row))
-            buckets = {k: tuple(v) for k, v in grouped.items()}
+            grouped: Dict[int, set] = {}
+            for row, code in zip(other._row_order(), other._key_codes(right_pos)):
+                group = grouped.get(code)
+                if group is None:
+                    grouped[code] = {raw_suffix(row)}
+                else:
+                    group.add(raw_suffix(row))
+            buckets = {code: tuple(group) for code, group in grouped.items()}
             suffix_of = lambda suffix: suffix  # noqa: E731
 
         out: List[Row] = []
         append = out.append
-        if len(left_pos) == 1:
-            (lp,) = left_pos
-            for row in self._rows:
-                bucket = buckets.get(row[lp])
-                if bucket:
-                    for item in bucket:
-                        append(row + suffix_of(item))
-        else:
-            left_getter = itemgetter(*left_pos)
-            for row in self._rows:
-                bucket = buckets.get(left_getter(row))
-                if bucket:
-                    for item in bucket:
-                        append(row + suffix_of(item))
+        for row, code in zip(self._row_order(), self._key_codes(left_pos)):
+            bucket = buckets.get(code)
+            if bucket:
+                for item in bucket:
+                    append(row + suffix_of(item))
         return Relation._from_frozen(self_attrs + extra, frozenset(out))
 
     def _cartesian_product(self, other: "Relation") -> "Relation":
@@ -582,9 +783,12 @@ class Relation:
         The schema of the result equals self's schema.  With no shared
         attributes the semijoin keeps everything iff *other* is nonempty.
 
-        Membership is tested against *other*'s cached index on the shared
-        positions; when nothing is filtered, ``self`` is returned unchanged
-        so its own index caches stay live for downstream operations.
+        Membership is an int probe of *other*'s cached key-code set against
+        this relation's key-code array (codes are process-global, so equal
+        keys carry equal codes in both relations).  When nothing is
+        filtered, ``self`` is returned unchanged so its caches stay live;
+        otherwise the result inherits the selected code columns and never
+        re-encodes.
         """
         other_set = set(other._attributes)
         shared = tuple(a for a in self._attributes if a in other_set)
@@ -592,17 +796,12 @@ class Relation:
             if other._rows:
                 return self
             return Relation._from_frozen(self._attributes, _EMPTY_ROWSET)
-        right_keys = other._index(positions_of(other._attributes, shared))
-        left_pos = positions_of(self._attributes, shared)
-        if len(left_pos) == 1:
-            (lp,) = left_pos
-            kept = frozenset(row for row in self._rows if row[lp] in right_keys)
-        else:
-            getter = itemgetter(*left_pos)
-            kept = frozenset(row for row in self._rows if getter(row) in right_keys)
-        if len(kept) == len(self._rows):
+        right_keys = other._key_code_set(positions_of(other._attributes, shared))
+        codes = self._key_codes(positions_of(self._attributes, shared))
+        kept = [i for i, code in enumerate(codes) if code in right_keys]
+        if len(kept) == len(codes):
             return self
-        return Relation._from_frozen(self._attributes, kept)
+        return self._take(self._row_order(), kept)
 
     def antijoin(self, other: "Relation") -> "Relation":
         """Antijoin ``self ▷ other``: rows of self that join with no row of other."""
@@ -612,16 +811,9 @@ class Relation:
             if other._rows:
                 return Relation._from_frozen(self._attributes, _EMPTY_ROWSET)
             return self
-        right_keys = other._index(positions_of(other._attributes, shared))
-        left_pos = positions_of(self._attributes, shared)
-        if len(left_pos) == 1:
-            (lp,) = left_pos
-            kept = frozenset(row for row in self._rows if row[lp] not in right_keys)
-        else:
-            getter = itemgetter(*left_pos)
-            kept = frozenset(
-                row for row in self._rows if getter(row) not in right_keys
-            )
-        if len(kept) == len(self._rows):
+        right_keys = other._key_code_set(positions_of(other._attributes, shared))
+        codes = self._key_codes(positions_of(self._attributes, shared))
+        kept = [i for i, code in enumerate(codes) if code not in right_keys]
+        if len(kept) == len(codes):
             return self
-        return Relation._from_frozen(self._attributes, kept)
+        return self._take(self._row_order(), kept)

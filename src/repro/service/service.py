@@ -23,9 +23,8 @@ shard partitions), but only for callers who share one engine.
   are immutable relations;
 * **micro-batching** — same-shape requests arriving within
   ``batch_window`` seconds collect into one group and run through the
-  engine's N-wide batch lifting (``execute_batch`` /
-  ``decide_batch``), turning a flood of single queries into a handful of
-  lifted executions;
+  engine's N-wide batch lifting (``run_batch`` over generic operations),
+  turning a flood of single queries into a handful of lifted executions;
 * **per-client fairness** — requests tagged with a ``client`` (the
   network front-end of :mod:`repro.protocol` tags every connection) land
   in per-client lanes of a :class:`~repro.service.fairness.FairQueue`
@@ -58,7 +57,6 @@ see ``docs/service.md``).
 from __future__ import annotations
 
 import asyncio
-import warnings
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -381,7 +379,7 @@ class QueryService:
         deadline: Optional[float] = None,
     ) -> bool:
         """Is Q(d) nonempty?  Decision requests micro-batch through the
-        engine's decision-only N-wide lifting (``decide_batch``)."""
+        engine's decision-only N-wide lifting (``run_batch``)."""
         return await self.run(
             Operation(DECIDE, query), database, client=client, deadline=deadline
         )
@@ -456,62 +454,6 @@ class QueryService:
         satisfy the query body?  (``count == |domain|``.)"""
         return await self.run(
             Operation.forall(query), database, client=client, deadline=deadline
-        )
-
-    async def execute_batch(
-        self,
-        queries: Sequence[QueryLike],
-        database: Database,
-        *,
-        client: str = ANONYMOUS,
-        deadline: Optional[float] = None,
-    ) -> List[Relation]:
-        """Evaluate an explicit batch as one group (no window wait).
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``execute`` operations;
-            prefer ``run_batch(operations_of(EXECUTE, queries), db)``.
-        """
-        warnings.warn(
-            "QueryService.execute_batch is deprecated; use "
-            "run_batch(operations_of(EXECUTE, queries), ...) — the generic "
-            "operation API it is a shim over",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return await self.run_batch(
-            operations_of(EXECUTE, queries),
-            database,
-            client=client,
-            deadline=deadline,
-        )
-
-    async def decide_batch(
-        self,
-        queries: Sequence[QueryLike],
-        database: Database,
-        *,
-        client: str = ANONYMOUS,
-        deadline: Optional[float] = None,
-    ) -> List[bool]:
-        """Decide an explicit batch as one group (no window wait).
-
-        .. deprecated:: 1.0
-            Thin shim over :meth:`run_batch` with ``decide`` operations;
-            prefer ``run_batch(operations_of(DECIDE, queries), db)``.
-        """
-        warnings.warn(
-            "QueryService.decide_batch is deprecated; use "
-            "run_batch(operations_of(DECIDE, queries), ...) — the generic "
-            "operation API it is a shim over",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return await self.run_batch(
-            operations_of(DECIDE, queries),
-            database,
-            client=client,
-            deadline=deadline,
         )
 
     async def stats(self) -> ServiceStats:

@@ -24,7 +24,7 @@ def random_relation(
         tuple(rng.randrange(domain_size) for _ in range(arity))
         for _ in range(tuples)
     }
-    return Relation(schema.default_attributes(), rows)
+    return Relation.from_rows(schema.default_attributes(), rows)
 
 
 def random_database(
@@ -64,7 +64,7 @@ def chain_database(
                 if rng.random() < p:
                     rows.append((layer * width + a, (layer + 1) * width + b))
     return Database(
-        {relation: Relation((f"{relation}.0", f"{relation}.1"), rows)},
+        {relation: Relation.from_rows((f"{relation}.0", f"{relation}.1"), rows)},
         domain=range(layers * width),
     )
 
@@ -85,5 +85,5 @@ def star_database(
             for leaf in rng.sample(range(1000, 1000 + fanout * 4), k=max(1, fanout // 2)):
                 rows.append((hub, leaf + arm * 10_000))
         name = f"A{arm}"
-        relations[name] = Relation((f"{name}.0", f"{name}.1"), rows)
+        relations[name] = Relation.from_rows((f"{name}.0", f"{name}.1"), rows)
     return Database(relations)

@@ -33,7 +33,7 @@ def employees_projects_database(
         (f"e{rng.randrange(employees)}", f"p{rng.randrange(projects)}")
         for _ in range(assignments)
     }
-    return Database({"EP": Relation(("EP.0", "EP.1"), rows)})
+    return Database({"EP": Relation.from_rows(("EP.0", "EP.1"), rows)})
 
 
 def students_courses_query() -> ConjunctiveQuery:
@@ -55,9 +55,9 @@ def students_courses_database(
     }
     return Database(
         {
-            "SD": Relation(("SD.0", "SD.1"), sd_rows),
-            "SC": Relation(("SC.0", "SC.1"), sc_rows),
-            "CD": Relation(("CD.0", "CD.1"), cd_rows),
+            "SD": Relation.from_rows(("SD.0", "SD.1"), sd_rows),
+            "SC": Relation.from_rows(("SC.0", "SC.1"), sc_rows),
+            "CD": Relation.from_rows(("CD.0", "CD.1"), cd_rows),
         }
     )
 
@@ -76,8 +76,8 @@ def salary_database(employees: int = 20, seed: int = 0) -> Database:
     es_rows = [(f"e{i}", rng.randrange(40_000, 160_000)) for i in range(employees)]
     return Database(
         {
-            "EM": Relation(("EM.0", "EM.1"), em_rows),
-            "ES": Relation(("ES.0", "ES.1"), es_rows),
+            "EM": Relation.from_rows(("EM.0", "EM.1"), em_rows),
+            "ES": Relation.from_rows(("ES.0", "ES.1"), es_rows),
         }
     )
 

@@ -1,0 +1,237 @@
+"""Property tests for the columnar relation store and constructor family.
+
+Three contract groups:
+
+* **Construction** — ``from_rows`` / ``from_columns`` agree, round-trip
+  through ``to_columns``-style access, validate strictly, and the
+  deprecated positional ``Relation(attrs, rows)`` still works (with a
+  ``DeprecationWarning``) and builds the identical value.
+* **Kernel equivalence** — every code-array kernel (semijoin, antijoin,
+  natural join, project, select_eq, partition) returns exactly what a
+  straightforward frozenset/dict reference implementation computes,
+  including mixed-type domains where Python equality crosses types
+  (``1 == True == 1.0``).
+* **Process hygiene** — pickling drops the process-local ``_columnar``
+  cache but preserves the relation and its value-keyed caches.
+"""
+
+import pickle
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Relation
+from repro.errors import ArityError, SchemaError
+from repro.relational.columns import KEYS, VALUES, key_code_of
+
+# A small mixed-type domain where cross-type equality bites: 1 == True
+# == 1.0 and 0 == False collapse under Python (and frozenset) equality,
+# so the dictionary encoding must collapse them identically.
+mixed_values = st.sampled_from([0, 1, 2, True, False, 1.0, "a", "b", None, ""])
+
+attr_pool = ("u", "v", "w", "x")
+
+
+@st.composite
+def relations(draw, min_arity=1, max_arity=3, attributes=None):
+    if attributes is None:
+        arity = draw(st.integers(min_value=min_arity, max_value=max_arity))
+        attributes = draw(
+            st.permutations(attr_pool).map(lambda p: tuple(p[:arity]))
+        )
+    row = st.tuples(*([mixed_values] * len(attributes)))
+    rows = draw(st.lists(row, max_size=20))
+    return Relation.from_rows(attributes, rows)
+
+
+def ref_semijoin(left, right):
+    shared = tuple(a for a in left.attributes if a in set(right.attributes))
+    lpos = tuple(left.attributes.index(a) for a in shared)
+    rpos = tuple(right.attributes.index(a) for a in shared)
+    if not shared:
+        kept = left.rows if right.rows else frozenset()
+    else:
+        right_keys = {tuple(row[p] for p in rpos) for row in right.rows}
+        kept = frozenset(
+            row for row in left.rows if tuple(row[p] for p in lpos) in right_keys
+        )
+    return Relation.from_rows(left.attributes, kept)
+
+
+def ref_join(left, right):
+    shared = tuple(a for a in left.attributes if a in set(right.attributes))
+    extra = tuple(a for a in right.attributes if a not in set(left.attributes))
+    epos = tuple(right.attributes.index(a) for a in extra)
+    lpos = tuple(left.attributes.index(a) for a in shared)
+    rpos = tuple(right.attributes.index(a) for a in shared)
+    out = set()
+    for lrow in left.rows:
+        for rrow in right.rows:
+            if all(lrow[i] == rrow[j] for i, j in zip(lpos, rpos)):
+                out.add(lrow + tuple(rrow[p] for p in epos))
+    return Relation.from_rows(left.attributes + extra, out)
+
+
+class TestConstructors:
+    @settings(max_examples=150, deadline=None)
+    @given(relations())
+    def test_from_columns_equals_from_rows(self, relation):
+        order = list(relation.rows)
+        columns = [
+            [row[p] for row in order] for p in range(len(relation.attributes))
+        ]
+        rebuilt = Relation.from_columns(relation.attributes, columns)
+        assert rebuilt == relation
+
+    @settings(max_examples=100, deadline=None)
+    @given(relations())
+    def test_positional_constructor_deprecated_but_equal(self, relation):
+        with pytest.deprecated_call():
+            legacy = Relation(relation.attributes, relation.rows)
+        assert legacy == relation
+
+    def test_from_rows_validates(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows(("a", "a"), [])
+        with pytest.raises(SchemaError):
+            Relation.from_rows(("",), [])
+        with pytest.raises(ArityError):
+            Relation.from_rows(("a", "b"), [(1,)])
+
+    def test_from_columns_validates(self):
+        with pytest.raises(SchemaError):
+            Relation.from_columns(("a", "b"), [[1, 2]])  # column count
+        with pytest.raises(ArityError):
+            Relation.from_columns(("a", "b"), [[1, 2], [3]])  # ragged
+        empty = Relation.from_columns(("a", "b"), [[], []])
+        assert empty.is_empty() and empty.attributes == ("a", "b")
+
+    def test_from_frozen_preserves_identity(self):
+        rows = frozenset({(1, 2), (3, 4)})
+        relation = Relation._from_frozen(("a", "b"), rows)
+        assert relation.rows is rows
+
+
+class TestValuePool:
+    def test_cross_type_equality_shares_codes(self):
+        # Value-equality interning: the pool must agree with frozenset
+        # semantics, where 1, True and 1.0 are the same element.
+        assert VALUES.encode(1) == VALUES.encode(True) == VALUES.encode(1.0)
+        assert VALUES.encode(0) == VALUES.encode(False)
+        assert VALUES.encode(1) != VALUES.encode(2)
+        assert VALUES.encode("1") != VALUES.encode(1)
+
+    def test_key_code_of_width_one_and_many(self):
+        VALUES.encode("seen-key")
+        assert key_code_of(VALUES, KEYS, "seen-key", 1) == VALUES.encode("seen-key")
+        # A composite key resolves only once some relation interned it
+        # (partitioning interns every key the relation holds).
+        composite = (VALUES.encode("seen-key"), VALUES.encode("seen-key"))
+        assert key_code_of(VALUES, KEYS, ("seen-key", "seen-key"), 2) in (
+            None,
+            KEYS.code_of(composite),
+        )
+        interned = KEYS.encode(composite)
+        assert key_code_of(VALUES, KEYS, ("seen-key", "seen-key"), 2) == interned
+
+    def test_key_code_of_unseen_value_is_none(self):
+        assert key_code_of(VALUES, KEYS, object(), 1) is None
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(st.data())
+    def test_semijoin_and_antijoin(self, data):
+        left = data.draw(relations())
+        right = data.draw(relations())
+        expected = ref_semijoin(left, right)
+        assert left.semijoin(right) == expected
+        assert left.antijoin(right) == Relation.from_rows(
+            left.attributes, left.rows - expected.rows
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_natural_join(self, data):
+        left = data.draw(relations(max_arity=2))
+        right = data.draw(relations(max_arity=2))
+        assert left.natural_join(right) == ref_join(left, right)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_project(self, data):
+        relation = data.draw(relations())
+        keep = data.draw(
+            st.lists(st.sampled_from(relation.attributes), unique=True)
+        )
+        positions = tuple(relation.attributes.index(a) for a in keep)
+        expected = Relation.from_rows(
+            tuple(keep), {tuple(row[p] for p in positions) for row in relation.rows}
+        )
+        assert relation.project(keep) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data())
+    def test_select_eq(self, data):
+        relation = data.draw(relations())
+        value = data.draw(mixed_values)
+        attribute = data.draw(st.sampled_from(relation.attributes))
+        position = relation.attributes.index(attribute)
+        expected = Relation.from_rows(
+            relation.attributes,
+            {row for row in relation.rows if row[position] == value},
+        )
+        assert relation.select_eq({attribute: value}) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.data(), st.integers(min_value=1, max_value=5))
+    def test_partition_is_a_partition_routed_by_code(self, data, count):
+        relation = data.draw(relations())
+        positions = (0,)
+        shards = relation._partition(positions, count)
+        assert len(shards) == count
+        assert frozenset().union(*(s.rows for s in shards)) == relation.rows
+        assert sum(s.cardinality for s in shards) == relation.cardinality
+        for index, shard in enumerate(shards):
+            for row in shard.rows:
+                assert VALUES.encode(row[0]) % count == index
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_derived_relations_chain(self, data):
+        # Exercise cache preseeding: results of kernel ops feed more ops.
+        a = data.draw(relations(attributes=("x", "y")))
+        b = data.draw(relations(attributes=("y", "w")))
+        reduced = a.semijoin(b)
+        assert reduced == ref_semijoin(a, b)
+        joined = reduced.natural_join(b)
+        assert joined == ref_join(reduced, b)
+        assert joined.project(("x", "w")) == ref_join(reduced, b).project(("x", "w"))
+
+
+class TestProcessHygiene:
+    def test_pickle_drops_columnar_cache(self):
+        relation = Relation.from_rows(("a", "b"), [(1, 2), (3, 4), (1, 4)])
+        relation.semijoin(Relation.from_rows(("a",), [(1,)]))  # warm caches
+        assert relation._columnar
+        clone = pickle.loads(pickle.dumps(relation))
+        assert clone == relation
+        assert clone._columnar == {}
+
+    def test_rows_are_selected_not_decoded(self):
+        # 1 and True share a pool code; the kernel must still return the
+        # relation's own row objects, not re-decoded lookalikes.
+        relation = Relation.from_rows(("a",), [(True,)])
+        probe = Relation.from_rows(("a",), [(1,)])
+        result = relation.semijoin(probe)
+        (row,) = result.rows
+        assert row[0] is True
+
+    def test_no_deprecation_warning_from_factories(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Relation.from_rows(("a",), [(1,)])
+            Relation.from_columns(("a",), [[1]])
+            Relation.from_dicts(("a",), [{"a": 1}])

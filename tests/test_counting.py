@@ -252,7 +252,7 @@ class TestEngineCountingFacade:
             sparse = Database.from_tuples({"E": [(0, 1), (1, 0), (0, 0)]})
             assert engine.forall(query, sparse) is False
             empty = Database({}).with_relation(
-                "E", Relation(("E.0", "E.1"))
+                "E", Relation.from_rows(("E.0", "E.1"))
             )
             assert engine.exists(query, empty) is False
             # Empty candidate domains: vacuously true.

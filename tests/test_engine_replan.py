@@ -42,8 +42,8 @@ def drifting_workload():
     share no join values, so the result is empty while the uniformity
     assumption predicts |E| matches."""
     n = 64
-    E = Relation(("a", "b"), [(i, i + 1000) for i in range(n)])
-    F = Relation(("c", "d"), [(i + 5000, i + 9000) for i in range(n)])
+    E = Relation.from_rows(("a", "b"), [(i, i + 1000) for i in range(n)])
+    F = Relation.from_rows(("c", "d"), [(i + 5000, i + 9000) for i in range(n)])
     database = Database({"E": E, "F": F})
     x, y, z = Variable("x"), Variable("y"), Variable("z")
     query = ConjunctiveQuery((x, z), [Atom("E", (x, y)), Atom("F", (y, z))])
@@ -106,7 +106,7 @@ class TestAdaptiveReplanning:
         plan cache into a per-request planner."""
         hub_rows = [("hub", i) for i in range(200)]
         database = Database(
-            {"E": Relation(("a", "b"), hub_rows + [("leaf", -1)])}
+            {"E": Relation.from_rows(("a", "b"), hub_rows + [("leaf", -1)])}
         )
         y = Variable("y")
 
@@ -356,7 +356,7 @@ class TestReduceBottomUp:
     def test_globally_empty_returns_none(self):
         empty_db = Database(
             {
-                "E": Relation(
+                "E": Relation.from_rows(
                     ("E.0", "E.1"), [(0, 1), (1, 2)]
                 )
             }

@@ -21,19 +21,19 @@ from repro.relational.schema import DatabaseSchema
 
 class TestAtomCandidateRelation:
     def test_constants_filter(self):
-        rel = Relation(("a", "b"), [(1, 2), (3, 2)])
+        rel = Relation.from_rows(("a", "b"), [(1, 2), (3, 2)])
         atom = Atom.of("R", "x", 2)
         s = atom_candidate_relation(atom, rel)
         assert s.attributes == ("x",)
         assert s.rows == frozenset({(1,), (3,)})
 
     def test_repeated_variable_filter(self):
-        rel = Relation(("a", "b"), [(1, 1), (1, 2)])
+        rel = Relation.from_rows(("a", "b"), [(1, 1), (1, 2)])
         s = atom_candidate_relation(Atom.of("R", "x", "x"), rel)
         assert s.rows == frozenset({(1,)})
 
     def test_variable_free_atom(self):
-        rel = Relation(("a",), [(1,)])
+        rel = Relation.from_rows(("a",), [(1,)])
         assert atom_candidate_relation(Atom.of("R", 1), rel).cardinality == 1
         assert atom_candidate_relation(Atom.of("R", 2), rel).is_empty()
 
@@ -41,7 +41,7 @@ class TestAtomCandidateRelation:
         from repro.errors import SchemaError
 
         with pytest.raises(SchemaError):
-            atom_candidate_relation(Atom.of("R", "x"), Relation(("a", "b"), []))
+            atom_candidate_relation(Atom.of("R", "x"), Relation.from_rows(("a", "b"), []))
 
 
 class TestNaiveEvaluator:

@@ -26,6 +26,7 @@ from repro.operations import (
     operations_of,
 )
 from repro.protocol import AsyncQueryClient, QueryClient, QueryServer
+from repro.protocol.messages import query_text
 from repro.service import QueryService
 from repro.workloads import chain_database, path_query
 
@@ -137,19 +138,15 @@ class TestEngineDispatch:
             results = engine.run_batch(operations, chain)
             assert len(set(results)) == 1
 
-    def test_batch_shims_equal_run_batch(self, chain):
+    def test_legacy_batch_shims_removed(self, chain):
+        # The PR 8 deprecation cycle is complete: the engine exposes ONLY
+        # the generic operation API for batches.
         queries = [path_query(n, head_arity=1) for n in (1, 2, 3)]
         with QueryEngine() as engine:
-            with pytest.deprecated_call():
-                shim_execute = engine.execute_batch(queries, chain)
-            assert shim_execute == engine.run_batch(
-                operations_of(EXECUTE, queries), chain
-            )
-            with pytest.deprecated_call():
-                shim_decide = engine.decide_batch(queries, chain)
-            assert shim_decide == engine.run_batch(
-                operations_of(DECIDE, queries), chain
-            )
+            assert not hasattr(engine, "execute_batch")
+            assert not hasattr(engine, "decide_batch")
+            executed = engine.run_batch(operations_of(EXECUTE, queries), chain)
+            assert executed == [engine.execute(q, chain) for q in queries]
             assert engine.count_batch(queries, chain) == engine.run_batch(
                 operations_of(COUNT, queries), chain
             )
@@ -202,26 +199,25 @@ class TestServiceDispatch:
         assert count == executed.cardinality
         assert decided is True and exists is True
 
-    def test_deprecated_batch_shims_identical(self, chain):
+    def test_legacy_batch_shims_removed(self, chain):
         queries = [path_query(n, head_arity=1) for n in (1, 2, 3)]
 
         async def main():
             async with QueryService() as service:
-                with pytest.deprecated_call():
-                    old_e = await service.execute_batch(queries, chain)
+                assert not hasattr(service, "execute_batch")
+                assert not hasattr(service, "decide_batch")
                 new_e = await service.run_batch(
                     operations_of(EXECUTE, queries), chain
                 )
-                with pytest.deprecated_call():
-                    old_d = await service.decide_batch(queries, chain)
                 new_d = await service.run_batch(
                     operations_of(DECIDE, queries), chain
                 )
-            return old_e, new_e, old_d, new_d
+            return new_e, new_d
 
-        old_e, new_e, old_d, new_d = run(main())
-        assert old_e == new_e
-        assert old_d == new_d
+        new_e, new_d = run(main())
+        with QueryEngine() as engine:
+            assert new_e == [engine.execute(q, chain) for q in queries]
+            assert new_d == [engine.decide(q, chain) for q in queries]
 
     def test_single_flight_keys_include_options(self, chain):
         # decide(Q) and exists(Q) return the same boolean but are distinct
@@ -302,44 +298,47 @@ class TestWireDispatch:
             assert grouped == engine.grouped_count(query, chain, ("x0",))
         assert exists is True and forall is False
 
-    def test_client_batch_shims_route_through_run_batch(self, chain):
+    def test_client_batch_shims_removed_wire_ops_stay(self, chain):
+        # The client-side shims are gone, but the ``execute_batch`` /
+        # ``decide_batch`` WIRE ops remain as server-side compatibility
+        # shims for old clients: a raw wire call still answers.
         queries = [path_query(n, head_arity=1) for n in (1, 2)]
 
         async def main():
             async with QueryServer({"chain": chain}) as server:
                 host, port = server.address
                 async with await AsyncQueryClient.connect(host, port) as client:
-                    with pytest.deprecated_call():
-                        old_e = await client.execute_batch(queries, "chain")
+                    assert not hasattr(client, "execute_batch")
+                    assert not hasattr(client, "decide_batch")
                     new_e = await client.run_batch(
                         operations_of(EXECUTE, queries), "chain"
                     )
-                    with pytest.deprecated_call():
-                        old_d = await client.decide_batch(queries, "chain")
-                    new_d = await client.run_batch(
-                        operations_of(DECIDE, queries), "chain"
+                    wire_e = await client._call(
+                        "execute_batch",
+                        queries=[query_text(q) for q in queries],
+                        database="chain",
                     )
 
                     def sync_work():
                         with QueryClient(host, port) as sync_client:
-                            with pytest.deprecated_call():
-                                shim = sync_client.execute_batch(queries, "chain")
+                            assert not hasattr(sync_client, "execute_batch")
+                            assert not hasattr(sync_client, "decide_batch")
                             return (
-                                shim,
                                 sync_client.run_batch(
                                     operations_of(EXECUTE, queries), "chain"
                                 ),
                                 sync_client.count(queries[0], "chain"),
                             )
 
-                    sync_old, sync_new, sync_count = await asyncio.to_thread(
-                        sync_work
-                    )
-            return old_e, new_e, old_d, new_d, sync_old, sync_new, sync_count
+                    sync_new, sync_count = await asyncio.to_thread(sync_work)
+            return new_e, wire_e, sync_new, sync_count
 
-        old_e, new_e, old_d, new_d, sync_old, sync_new, sync_count = run(main())
-        assert old_e == new_e == sync_old == sync_new
-        assert old_d == new_d
+        new_e, wire_e, sync_new, sync_count = run(main())
+        assert new_e == sync_new
+        wire_rows = [
+            {tuple(row) for row in payload["rows"]} for payload in wire_e.result
+        ]
+        assert [set(r.rows) for r in new_e] == wire_rows
         with QueryEngine() as engine:
             assert sync_count == engine.count(queries[0], chain)
 
@@ -350,13 +349,16 @@ class TestWireDispatch:
             async with QueryServer({"chain": chain}) as server:
                 host, port = server.address
                 async with await AsyncQueryClient.connect(host, port) as client:
-                    with pytest.raises(RemoteQueryError):
+                    with pytest.raises(RemoteQueryError) as excinfo:
                         await client._call(
                             "aggregate",
                             query="Q(x) :- E(x, y).",
                             database="chain",
                             options={"mode": "median"},
                         )
+                    # Malformed options map to the unified typed error's
+                    # stable wire code, not a generic invalid_query.
+                    assert excinfo.value.code == "invalid_operation"
                     # The connection survives the rejected operation.
                     assert await client.ping()
 

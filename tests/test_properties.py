@@ -28,11 +28,11 @@ rows1 = st.frozensets(st.tuples(values), max_size=6)
 
 
 def rel_ab(rows):
-    return Relation(("a", "b"), rows)
+    return Relation.from_rows(("a", "b"), rows)
 
 
 def rel_bc(rows):
-    return Relation(("b", "c"), rows)
+    return Relation.from_rows(("b", "c"), rows)
 
 
 class TestRelationLaws:
@@ -64,7 +64,7 @@ class TestRelationLaws:
     def test_join_associative(self, r1, r2, r3):
         a = rel_ab(r1)
         b = rel_bc(r2)
-        c = Relation(("c", "d"), r3)
+        c = Relation.from_rows(("c", "d"), r3)
         assert a.natural_join(b).natural_join(c) == a.natural_join(
             b.natural_join(c)
         )

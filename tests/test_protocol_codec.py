@@ -104,7 +104,7 @@ def relation_payloads(draw):
     )
     row = st.tuples(*([scalars] * arity))
     rows = draw(st.lists(row, max_size=20))
-    return encode_relation(Relation(tuple(attributes), rows))
+    return encode_relation(Relation.from_rows(tuple(attributes), rows))
 
 
 @st.composite
@@ -179,13 +179,13 @@ class TestRoundTrips:
         assert encode_relation(relation) == payload
 
     def test_empty_relation_round_trips(self):
-        relation = Relation(("a", "b"))
+        relation = Relation.from_rows(("a", "b"))
         payload = encode_relation(relation)
         assert payload == {"attributes": ["a", "b"], "rows": []}
         assert decode_relation(payload) == relation
 
     def test_unicode_constants_survive(self):
-        relation = Relation(("name",), [("héllo wörld",), ("改行\nあり",), ("'q'",)])
+        relation = Relation.from_rows(("name",), [("héllo wörld",), ("改行\nあり",), ("'q'",)])
         assert decode_relation(encode_relation(relation)) == relation
 
     def test_query_text_round_trips_through_parser(self):
@@ -230,7 +230,7 @@ class TestRejects:
         assert excinfo.value.code == code
 
     def test_unrepresentable_relation_value_rejected(self):
-        relation = Relation(("x",), [(object(),)])
+        relation = Relation.from_rows(("x",), [(object(),)])
         with pytest.raises(ProtocolError) as excinfo:
             encode_relation(relation)
         assert excinfo.value.code == "unrepresentable"

@@ -38,17 +38,17 @@ def reference_natural_join(left: Relation, right: Relation) -> Relation:
         for rrow in right.rows:
             if all(lrow[lp] == rrow[rp] for lp, rp in zip(left_pos, right_pos)):
                 rows.append(lrow + tuple(rrow[p] for p in extra_pos))
-    return Relation(tuple(left.attributes) + tuple(extra), rows)
+    return Relation.from_rows(tuple(left.attributes) + tuple(extra), rows)
 
 
 def reference_semijoin(left: Relation, right: Relation) -> Relation:
     shared = [a for a in left.attributes if a in set(right.attributes)]
     if not shared:
-        return left if right.rows else Relation(left.attributes)
+        return left if right.rows else Relation.from_rows(left.attributes)
     left_pos = [left.attributes.index(a) for a in shared]
     right_pos = [right.attributes.index(a) for a in shared]
     right_keys = {tuple(r[p] for p in right_pos) for r in right.rows}
-    return Relation(
+    return Relation.from_rows(
         left.attributes,
         (
             row
@@ -72,7 +72,7 @@ def random_relation(rng: random.Random, attributes, n_rows: int) -> Relation:
         tuple(rng.choice(_VALUE_POOLS)(rng) for _ in attributes)
         for _ in range(n_rows)
     }
-    return Relation(tuple(attributes), rows)
+    return Relation.from_rows(tuple(attributes), rows)
 
 
 SCHEMAS = [
@@ -122,26 +122,26 @@ def test_hash_join_smaller_build_side(seed):
 
 def test_sort_merge_join_cross_type_numeric_equality():
     """True == 1 == 1.0 must join under sort-merge exactly as under hash."""
-    left = Relation(("a", "d"), [((1,), True), ((2,), 7)])
-    right = Relation(("b", "e", "d"), [((1,), "1", 1), ((3,), "x", 7.0)])
+    left = Relation.from_rows(("a", "d"), [((1,), True), ((2,), 7)])
+    right = Relation.from_rows(("b", "e", "d"), [((1,), "1", 1), ((3,), "x", 7.0)])
     assert sort_merge_join(left, right) == hash_join(left, right)
     assert len(sort_merge_join(left, right)) == 2
 
 
 def test_select_eq_unhashable_condition_value():
     """An unhashable condition value falls back to a scan, not a TypeError."""
-    r = Relation(("a", "b"), [(1, 2), (3, 4)])
+    r = Relation.from_rows(("a", "b"), [(1, 2), (3, 4)])
     assert r.select_eq({"a": [1]}).is_empty()
 
 
 def test_hash_index_wrong_arity_key_misses():
-    r = Relation(("a", "b"), [(1, 2), (1, 3)])
+    r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3)])
     index = HashIndex(r, (0,))
     assert index.lookup((1, 2)) == []  # wrong-length key: no match, no raise
 
 
 def test_column_reads_without_building_an_index():
-    r = Relation(("a", "b"), [(1, 2), (1, 3), (2, 4)])
+    r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3), (2, 4)])
     assert r.column("a") == frozenset({1, 2})
     assert r._indexes == {}  # distinct-values read must not pin an index
 
@@ -165,56 +165,58 @@ class TestTrustedConstructor:
     def test_from_frozen_skips_validation_but_matches_public(self):
         rows = frozenset({(1, 2), (3, 4)})
         trusted = Relation._from_frozen(("a", "b"), rows)
-        public = Relation(("a", "b"), rows)
+        public = Relation.from_rows(("a", "b"), rows)
         assert trusted == public
         assert trusted.rows is rows  # no re-freezing
 
     def test_algebra_results_are_normal_relations(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 3), (2, 3)])
-        s = Relation(("b", "c"), [(2, "x"), (3, "y")])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3), (2, 3)])
+        s = Relation.from_rows(("b", "c"), [(2, "x"), (3, "y")])
         out = r.natural_join(s).project(("a", "c")).select_eq({"a": 1})
         assert isinstance(out, Relation)
-        assert out == Relation(("a", "c"), [(1, "x"), (1, "y")])
+        assert out == Relation.from_rows(("a", "c"), [(1, "x"), (1, "y")])
 
 
 class TestIndexCache:
     def test_index_is_built_once_and_reused(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3), (2, 4)])
         first = r._index((0,))
         second = r._index((0,))
         assert first is second
 
     def test_semijoin_reuses_cache_across_repeated_calls(self):
-        left = Relation(("a", "b"), [(1, 2), (5, 6)])
-        right = Relation(("b", "c"), [(2, 7), (9, 9)])
-        assert right._indexes == {}
+        left = Relation.from_rows(("a", "b"), [(1, 2), (5, 6)])
+        right = Relation.from_rows(("b", "c"), [(2, 7), (9, 9)])
+        assert right._columnar == {}
         first = left.semijoin(right)
-        cached = dict(right._indexes)
-        assert cached  # the semijoin populated right's cache
+        cached = dict(right._columnar)
+        assert ("keyset", (0,)) in cached  # semijoin built right's key codes
         second = left.semijoin(right)
-        # Never invalidated (relations are immutable): same bucket objects.
-        for positions, buckets in right._indexes.items():
-            assert cached[positions] is buckets
+        # Never invalidated (relations are immutable): same cached objects.
+        for cache_key, value in cached.items():
+            assert right._columnar[cache_key] is value
         assert first == second
 
-    def test_natural_join_shares_semijoin_index(self):
-        left = Relation(("a", "b"), [(1, 2), (5, 2)])
-        right = Relation(("b", "c"), [(2, 7), (3, 8)])
+    def test_natural_join_shares_semijoin_key_codes(self):
+        left = Relation.from_rows(("a", "b"), [(1, 2), (5, 2)])
+        right = Relation.from_rows(("b", "c"), [(2, 7), (3, 8)])
         left.semijoin(right)
-        before = set(right._indexes)
+        key_codes = right._columnar[("col", 0)]
         left.natural_join(right)
-        # The join probes the same (positions → buckets) entry the semijoin
-        # built; no new index is constructed for the shared column.
-        assert set(right._indexes) == before
+        # The join's code buckets are grouped from the very key-code array
+        # the semijoin built; the column is never re-encoded.
+        assert right._columnar[("col", 0)] is key_codes
+        assert ("buckets", (0,)) in right._columnar
 
     def test_rename_shares_index_cache(self):
-        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (3, 4)])
         r._index((1,))
         renamed = r.rename({"a": "x"})
         assert renamed._indexes is r._indexes
+        assert renamed._columnar is r._columnar
 
     def test_hash_index_and_pool_share_relation_cache(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 3)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3)])
         pool = IndexPool()
         via_pool = pool.index(r, (0,))
         direct = HashIndex(r, (0,))
@@ -223,10 +225,10 @@ class TestIndexCache:
         assert direct.lookup((9,)) == []
 
     def test_select_eq_uses_index(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 3), (2, 4)])
-        assert r.select_eq({"a": 1}) == Relation(("a", "b"), [(1, 2), (1, 3)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        assert r.select_eq({"a": 1}) == Relation.from_rows(("a", "b"), [(1, 2), (1, 3)])
         assert (0,) in r._indexes
-        assert r.select_eq({"a": 1, "b": 3}) == Relation(("a", "b"), [(1, 3)])
+        assert r.select_eq({"a": 1, "b": 3}) == Relation.from_rows(("a", "b"), [(1, 3)])
 
 
 class TestYannakakisFusedPass:

@@ -22,8 +22,8 @@ from repro.relational import (
 
 class TestJoinAlgorithms:
     def setup_method(self):
-        self.left = Relation(("a", "b"), [(1, 2), (2, 3), (5, 2)])
-        self.right = Relation(("b", "c"), [(2, 10), (3, 11), (2, 12)])
+        self.left = Relation.from_rows(("a", "b"), [(1, 2), (2, 3), (5, 2)])
+        self.right = Relation.from_rows(("b", "c"), [(2, 10), (3, 11), (2, 12)])
 
     def test_hash_and_sort_merge_agree(self):
         assert hash_join(self.left, self.right) == sort_merge_join(
@@ -37,13 +37,13 @@ class TestJoinAlgorithms:
         )
 
     def test_sort_merge_heterogeneous_values(self):
-        left = Relation(("a", "b"), [("x", 1), (2, 2)])
-        right = Relation(("b", "c"), [(1, "u"), (2, "v")])
+        left = Relation.from_rows(("a", "b"), [("x", 1), (2, 2)])
+        right = Relation.from_rows(("b", "c"), [(1, "u"), (2, "v")])
         assert sort_merge_join(left, right) == hash_join(left, right)
 
     def test_sort_merge_cartesian_fallback(self):
-        left = Relation(("a",), [(1,)])
-        right = Relation(("c",), [(2,), (3,)])
+        left = Relation.from_rows(("a",), [(1,)])
+        right = Relation.from_rows(("c",), [(2,), (3,)])
         assert sort_merge_join(left, right).cardinality == 2
 
     def test_registry(self):
@@ -58,20 +58,20 @@ class TestMultiwayHelpers:
         assert join_all([]) == Relation.unit()
 
     def test_join_all_chains(self):
-        r1 = Relation(("a", "b"), [(1, 2)])
-        r2 = Relation(("b", "c"), [(2, 3)])
-        r3 = Relation(("c", "d"), [(3, 4)])
+        r1 = Relation.from_rows(("a", "b"), [(1, 2)])
+        r2 = Relation.from_rows(("b", "c"), [(2, 3)])
+        r3 = Relation.from_rows(("c", "d"), [(3, 4)])
         assert join_all([r1, r2, r3]).rows == frozenset({(1, 2, 3, 4)})
 
     def test_project_join_matches_join_then_project(self):
-        r1 = Relation(("a", "b"), [(1, 2), (2, 2)])
-        r2 = Relation(("b", "c"), [(2, 3), (2, 4)])
+        r1 = Relation.from_rows(("a", "b"), [(1, 2), (2, 2)])
+        r2 = Relation.from_rows(("b", "c"), [(2, 3), (2, 4)])
         direct = join_all([r1, r2]).project(("a", "c"))
         early = project_join([r1, r2], ("a", "c"))
         assert direct == early
 
     def test_union_all(self):
-        pieces = [Relation(("a",), [(i,)]) for i in range(3)]
+        pieces = [Relation.from_rows(("a",), [(i,)]) for i in range(3)]
         assert union_all(pieces).cardinality == 3
         with pytest.raises(SchemaError):
             union_all([])
@@ -80,29 +80,29 @@ class TestMultiwayHelpers:
 class TestDivision:
     def test_textbook_division(self):
         # Students who take ALL required courses.
-        takes = Relation(
+        takes = Relation.from_rows(
             ("student", "course"),
             [("sam", "db"), ("sam", "os"), ("eve", "db")],
         )
-        required = Relation(("course",), [("db",), ("os",)])
+        required = Relation.from_rows(("course",), [("db",), ("os",)])
         assert divide(takes, required).rows == frozenset({("sam",)})
 
     def test_division_by_empty_keeps_all(self):
-        takes = Relation(("s", "c"), [("a", 1)])
-        assert divide(takes, Relation(("c",), [])).rows == frozenset({("a",)})
+        takes = Relation.from_rows(("s", "c"), [("a", 1)])
+        assert divide(takes, Relation.from_rows(("c",), [])).rows == frozenset({("a",)})
 
     def test_division_nullary_quotient(self):
-        dividend = Relation(("c",), [(1,), (2,)])
-        assert divide(dividend, Relation(("c",), [(1,)])).cardinality == 1
-        assert divide(dividend, Relation(("c",), [(3,)])).is_empty()
+        dividend = Relation.from_rows(("c",), [(1,), (2,)])
+        assert divide(dividend, Relation.from_rows(("c",), [(1,)])).cardinality == 1
+        assert divide(dividend, Relation.from_rows(("c",), [(3,)])).is_empty()
 
     def test_division_attribute_check(self):
         with pytest.raises(SchemaError):
-            divide(Relation(("a",), []), Relation(("z",), []))
+            divide(Relation.from_rows(("a",), []), Relation.from_rows(("z",), []))
 
     def test_division_times_divisor_contained(self):
-        dividend = Relation(("a", "b"), [(1, 1), (1, 2), (2, 1)])
-        divisor = Relation(("b",), [(1,), (2,)])
+        dividend = Relation.from_rows(("a", "b"), [(1, 1), (1, 2), (2, 1)])
+        divisor = Relation.from_rows(("b",), [(1,), (2,)])
         quotient = divide(dividend, divisor)
         rebuilt = quotient.natural_join(divisor)
         assert rebuilt.rows <= dividend.project(rebuilt.attributes).rows
@@ -110,19 +110,19 @@ class TestDivision:
 
 class TestIndexes:
     def test_hash_index_lookup(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 3), (2, 4)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3), (2, 4)])
         index = HashIndex(r, (0,))
         assert sorted(index.lookup((1,))) == [(1, 2), (1, 3)]
         assert index.lookup((9,)) == []
         assert len(index) == 2
 
     def test_index_on_no_positions(self):
-        r = Relation(("a",), [(1,), (2,)])
+        r = Relation.from_rows(("a",), [(1,), (2,)])
         index = HashIndex(r, ())
         assert sorted(index.lookup(())) == [(1,), (2,)]
 
     def test_index_pool_caches(self):
-        r = Relation(("a", "b"), [(1, 2)])
+        r = Relation.from_rows(("a", "b"), [(1, 2)])
         pool = IndexPool()
         first = pool.index(r, (0,))
         second = pool.index(r, (0,))
@@ -173,7 +173,7 @@ class TestDatabase:
 
     def test_with_relation(self):
         db = Database.from_tuples({"E": [(1, 2)]})
-        db2 = db.with_relation("F", Relation(("F.0",), [(7,)]))
+        db2 = db.with_relation("F", Relation.from_rows(("F.0",), [(7,)]))
         assert "F" in db2
         assert "F" not in db
 
@@ -184,13 +184,13 @@ class TestDatabase:
     def test_declared_domain_must_cover(self):
         with pytest.raises(SchemaError):
             Database(
-                {"E": Relation(("a", "b"), [(1, 5)])},
+                {"E": Relation.from_rows(("a", "b"), [(1, 5)])},
                 domain=[1, 2],
             )
 
     def test_declared_domain_used(self):
         db = Database(
-            {"E": Relation(("a", "b"), [(1, 2)])},
+            {"E": Relation.from_rows(("a", "b"), [(1, 2)])},
             domain=[1, 2, 3],
         )
         assert db.domain() == frozenset({1, 2, 3})

@@ -8,20 +8,20 @@ from repro.relational import Relation
 
 class TestConstruction:
     def test_rows_become_frozenset(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 2), (3, 4)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 2), (3, 4)])
         assert r.cardinality == 2
 
     def test_arity_mismatch_rejected(self):
         with pytest.raises(ArityError):
-            Relation(("a", "b"), [(1, 2, 3)])
+            Relation.from_rows(("a", "b"), [(1, 2, 3)])
 
     def test_duplicate_attributes_rejected(self):
         with pytest.raises(SchemaError):
-            Relation(("a", "a"), [])
+            Relation.from_rows(("a", "a"), [])
 
     def test_empty_attribute_name_rejected(self):
         with pytest.raises(SchemaError):
-            Relation(("a", ""), [])
+            Relation.from_rows(("a", ""), [])
 
     def test_unit_and_empty(self):
         assert Relation.unit().cardinality == 1
@@ -36,138 +36,138 @@ class TestConstruction:
 
 class TestEquality:
     def test_column_order_insensitive(self):
-        left = Relation(("a", "b"), [(1, 2)])
-        right = Relation(("b", "a"), [(2, 1)])
+        left = Relation.from_rows(("a", "b"), [(1, 2)])
+        right = Relation.from_rows(("b", "a"), [(2, 1)])
         assert left == right
         assert hash(left) == hash(right)
 
     def test_different_schema_not_equal(self):
-        assert Relation(("a",), [(1,)]) != Relation(("b",), [(1,)])
+        assert Relation.from_rows(("a",), [(1,)]) != Relation.from_rows(("b",), [(1,)])
 
     def test_different_rows_not_equal(self):
-        assert Relation(("a",), [(1,)]) != Relation(("a",), [(2,)])
+        assert Relation.from_rows(("a",), [(1,)]) != Relation.from_rows(("a",), [(2,)])
 
 
 class TestUnaryOps:
     def test_project_collapses_duplicates(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 3)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3)])
         assert r.project(("a",)).rows == frozenset({(1,)})
 
     def test_project_reorders(self):
-        r = Relation(("a", "b"), [(1, 2)])
+        r = Relation.from_rows(("a", "b"), [(1, 2)])
         assert r.project(("b", "a")).rows == frozenset({(2, 1)})
 
     def test_project_missing_attribute(self):
         with pytest.raises(SchemaError):
-            Relation(("a",), [(1,)]).project(("z",))
+            Relation.from_rows(("a",), [(1,)]).project(("z",))
 
     def test_project_to_nullary(self):
-        nonempty = Relation(("a",), [(1,)])
+        nonempty = Relation.from_rows(("a",), [(1,)])
         assert nonempty.project(()).cardinality == 1
-        assert Relation(("a",), []).project(()).is_empty()
+        assert Relation.from_rows(("a",), []).project(()).is_empty()
 
     def test_select_predicate(self):
-        r = Relation(("a", "b"), [(1, 2), (3, 4)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (3, 4)])
         assert r.select(lambda row: row["a"] > 1).rows == frozenset({(3, 4)})
 
     def test_select_eq(self):
-        r = Relation(("a", "b"), [(1, 2), (1, 3), (2, 3)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (1, 3), (2, 3)])
         assert r.select_eq({"a": 1}).cardinality == 2
         assert r.select_eq({"a": 1, "b": 3}).cardinality == 1
 
     def test_select_attr_eq_and_neq(self):
-        r = Relation(("a", "b"), [(1, 1), (1, 2)])
+        r = Relation.from_rows(("a", "b"), [(1, 1), (1, 2)])
         assert r.select_attr_eq("a", "b").rows == frozenset({(1, 1)})
         assert r.select_attr_neq("a", "b").rows == frozenset({(1, 2)})
 
     def test_rename(self):
-        r = Relation(("a", "b"), [(1, 2)])
+        r = Relation.from_rows(("a", "b"), [(1, 2)])
         renamed = r.rename({"a": "x"})
         assert renamed.attributes == ("x", "b")
         assert (1, 2) in renamed
 
     def test_rename_collision_rejected(self):
         with pytest.raises(SchemaError):
-            Relation(("a", "b"), []).rename({"a": "b"})
+            Relation.from_rows(("a", "b"), []).rename({"a": "b"})
 
     def test_extend(self):
-        r = Relation(("a",), [(1,), (2,)])
+        r = Relation.from_rows(("a",), [(1,), (2,)])
         extended = r.extend("double", lambda row: row["a"] * 2)
         assert extended.attributes == ("a", "double")
         assert (2, 4) in extended
 
     def test_extend_existing_attribute_rejected(self):
         with pytest.raises(SchemaError):
-            Relation(("a",), []).extend("a", lambda row: 0)
+            Relation.from_rows(("a",), []).extend("a", lambda row: 0)
 
     def test_column_and_active_values(self):
-        r = Relation(("a", "b"), [(1, 2), (3, 2)])
+        r = Relation.from_rows(("a", "b"), [(1, 2), (3, 2)])
         assert r.column("b") == frozenset({2})
         assert r.active_values() == frozenset({1, 2, 3})
 
 
 class TestBinaryOps:
     def test_union_difference_intersection(self):
-        left = Relation(("a",), [(1,), (2,)])
-        right = Relation(("a",), [(2,), (3,)])
+        left = Relation.from_rows(("a",), [(1,), (2,)])
+        right = Relation.from_rows(("a",), [(2,), (3,)])
         assert left.union(right).cardinality == 3
         assert left.difference(right).rows == frozenset({(1,)})
         assert left.intersection(right).rows == frozenset({(2,)})
 
     def test_union_aligns_column_order(self):
-        left = Relation(("a", "b"), [(1, 2)])
-        right = Relation(("b", "a"), [(4, 3)])
+        left = Relation.from_rows(("a", "b"), [(1, 2)])
+        right = Relation.from_rows(("b", "a"), [(4, 3)])
         merged = left.union(right)
         assert merged.attributes == ("a", "b")
         assert (3, 4) in merged
 
     def test_union_incompatible_schema(self):
         with pytest.raises(SchemaError):
-            Relation(("a",), []).union(Relation(("b",), []))
+            Relation.from_rows(("a",), []).union(Relation.from_rows(("b",), []))
 
     def test_natural_join_basic(self):
-        left = Relation(("a", "b"), [(1, 2), (2, 3)])
-        right = Relation(("b", "c"), [(2, 9), (2, 8)])
+        left = Relation.from_rows(("a", "b"), [(1, 2), (2, 3)])
+        right = Relation.from_rows(("b", "c"), [(2, 9), (2, 8)])
         joined = left.natural_join(right)
         assert joined.attributes == ("a", "b", "c")
         assert joined.rows == frozenset({(1, 2, 9), (1, 2, 8)})
 
     def test_join_no_shared_is_product(self):
-        left = Relation(("a",), [(1,), (2,)])
-        right = Relation(("b",), [(9,)])
+        left = Relation.from_rows(("a",), [(1,), (2,)])
+        right = Relation.from_rows(("b",), [(9,)])
         assert left.natural_join(right).cardinality == 2
 
     def test_join_same_schema_is_intersection(self):
-        left = Relation(("a",), [(1,), (2,)])
-        right = Relation(("a",), [(2,), (3,)])
+        left = Relation.from_rows(("a",), [(1,), (2,)])
+        right = Relation.from_rows(("a",), [(2,), (3,)])
         assert left.natural_join(right) == left.intersection(right)
 
     def test_join_with_unit(self):
-        r = Relation(("a",), [(1,)])
+        r = Relation.from_rows(("a",), [(1,)])
         assert Relation.unit().natural_join(r) == r
         assert r.natural_join(Relation.unit()) == r
 
     def test_join_with_nullary_false(self):
-        r = Relation(("a",), [(1,)])
+        r = Relation.from_rows(("a",), [(1,)])
         assert r.natural_join(Relation.empty()).is_empty()
 
     def test_semijoin(self):
-        left = Relation(("a", "b"), [(1, 2), (2, 5)])
-        right = Relation(("b",), [(2,)])
+        left = Relation.from_rows(("a", "b"), [(1, 2), (2, 5)])
+        right = Relation.from_rows(("b",), [(2,)])
         assert left.semijoin(right).rows == frozenset({(1, 2)})
 
     def test_semijoin_no_shared(self):
-        left = Relation(("a",), [(1,)])
-        assert left.semijoin(Relation(("c",), [(7,)])) == left
-        assert left.semijoin(Relation(("c",), [])).is_empty()
+        left = Relation.from_rows(("a",), [(1,)])
+        assert left.semijoin(Relation.from_rows(("c",), [(7,)])) == left
+        assert left.semijoin(Relation.from_rows(("c",), [])).is_empty()
 
     def test_antijoin(self):
-        left = Relation(("a", "b"), [(1, 2), (2, 5)])
-        right = Relation(("b",), [(2,)])
+        left = Relation.from_rows(("a", "b"), [(1, 2), (2, 5)])
+        right = Relation.from_rows(("b",), [(2,)])
         assert left.antijoin(right).rows == frozenset({(2, 5)})
 
     def test_contains_and_iteration(self):
-        r = Relation(("a",), [(1,), (2,)])
+        r = Relation.from_rows(("a",), [(1,), (2,)])
         assert (1,) in r
         assert sorted(r) == [(1,), (2,)]
         assert len(r) == 2

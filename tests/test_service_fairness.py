@@ -14,6 +14,7 @@ import pytest
 
 from repro import QueryEngine, QueryService
 from repro.errors import ParseError, RequestRejectedError, ServiceOverloadedError
+from repro.operations import operations_of
 from repro.service import ClientStats, FairQueue
 from repro.workloads import chain_database
 from repro.workloads.queries import path_query
@@ -110,24 +111,27 @@ class TestTypedRejections:
 
     BAD = "Q(x) :- E(x, "
 
-    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     @pytest.mark.parametrize(
-        "method, batch",
+        "method, batch_kind",
         [
-            ("execute", False),
-            ("decide", False),
-            ("explain", False),
-            ("execute_batch", True),
-            ("decide_batch", True),
+            ("execute", None),
+            ("decide", None),
+            ("explain", None),
+            ("run_batch", "execute"),
+            ("run_batch", "decide"),
         ],
     )
     def test_malformed_text_is_typed_on_every_facade_method(
-        self, chain_db, method, batch
+        self, chain_db, method, batch_kind
     ):
         async def main():
             async with QueryService() as service:
                 call = getattr(service, method)
-                argument = [self.BAD] if batch else self.BAD
+                argument = (
+                    operations_of(batch_kind, [self.BAD])
+                    if batch_kind
+                    else self.BAD
+                )
                 with pytest.raises(RequestRejectedError) as excinfo:
                     await call(argument, chain_db)
                 error = excinfo.value
