@@ -1,0 +1,222 @@
+"""SQLBACK — native engine vs sqlite3 pushdown on join/count workloads.
+
+What the pushdown PR buys and what it costs: tables are loaded once per
+``Database`` (amortized across every query against it), then each channel
+is a straight SQL round-trip.  The native engine keeps its columnar
+indexes and adaptive planning; sqlite brings a mature join machine.  The
+arbiter section runs the integrated ``QueryEngine(backend=...)`` loop and
+reports which arm the per-shape latency race settled on — the decision the
+engine makes unsupervised in production.
+
+No row asserts a winner: the point of the adaptive dispatch is that either
+side may win per shape and size, and the committed baseline pins the
+*costs* (load, per-call latency) against regression, not the ranking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sql_backend.py
+    PYTHONPATH=src python benchmarks/bench_sql_backend.py --smoke  # CI
+
+``--smoke`` shrinks the workloads and skips the sanity assertions;
+``--json PATH`` writes the machine-readable report
+(``BENCH_sql_backend.json`` by default in full mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro import QueryEngine, SqliteBackend
+from repro.benchlib import (
+    add_json_argument,
+    emit_json_report,
+    json_report_payload,
+    print_table,
+    speedup,
+    time_thunk,
+)
+from repro.workloads import chain_database, path_query, star_database, star_query
+
+
+def load_section(smoke: bool, repeats: int) -> Dict[str, Any]:
+    """One-time table build: the cost every later pushdown amortizes."""
+    layers, width = (4, 8) if smoke else (6, 24)
+    database = chain_database(layers=layers, width=width, p=0.6, seed=11)
+
+    def load_fresh():
+        with SqliteBackend() as backend:
+            backend.load(database)
+            return backend.loaded_databases
+
+    seconds, loaded = time_thunk(load_fresh, repeats=repeats)
+    assert loaded == 1
+    return {
+        "rows": database.size(),
+        "load_seconds": seconds,
+    }
+
+
+def channel_rows(smoke: bool, repeats: int) -> List[Dict[str, Any]]:
+    """execute/decide/count head-to-head, warm caches on both sides."""
+    layers, width = (4, 8) if smoke else (6, 20)
+    # Star stays modest on purpose: SELECT DISTINCT hub enumerates the
+    # full leaf cross-product (fanout/2)^arms per hub before deduping,
+    # while the native side semijoins it away — the asymmetry the arbiter
+    # exists to detect, but a benchmark must terminate on both arms.
+    arms, fanout = (4, 6) if smoke else (4, 12)
+    cases = [
+        ("path3_execute", path_query(3, head_arity=1),
+         chain_database(layers=layers, width=width, p=0.5, seed=7)),
+        ("star_count", star_query(arms), star_database(arms, fanout, seed=3)),
+    ]
+    records: List[Dict[str, Any]] = []
+    engine = QueryEngine(max_workers=1)
+    backend = SqliteBackend()
+    for name, query, database in cases:
+        native_result = engine.execute(query, database)  # warm plan cache
+        pushed_result = backend.execute(query, database)  # warm tables
+        assert native_result == pushed_result
+        native: Dict[str, float] = {}
+        pushed: Dict[str, float] = {}
+        native["execute"], _ = time_thunk(
+            lambda: engine.execute(query, database), repeats=repeats
+        )
+        pushed["execute"], _ = time_thunk(
+            lambda: backend.execute(query, database), repeats=repeats
+        )
+        native["decide"], _ = time_thunk(
+            lambda: engine.decide(query, database), repeats=repeats
+        )
+        pushed["decide"], _ = time_thunk(
+            lambda: backend.decide(query, database), repeats=repeats
+        )
+        native["count"], native_count = time_thunk(
+            lambda: engine.count(query, database), repeats=repeats
+        )
+        pushed["count"], pushed_count = time_thunk(
+            lambda: backend.count(query, database), repeats=repeats
+        )
+        assert native_count == pushed_count
+        for channel in ("execute", "decide", "count"):
+            records.append(
+                {
+                    "name": f"{name}:{channel}",
+                    "answers": native_result.cardinality,
+                    "native_seconds": native[channel],
+                    "backend_seconds": pushed[channel],
+                    "backend_speedup": round(
+                        speedup(native[channel], pushed[channel]), 2
+                    ),
+                }
+            )
+    backend.close()
+    engine.close()
+    return records
+
+
+def arbiter_section(smoke: bool) -> Dict[str, Any]:
+    """The integrated loop: let the engine race the arms and settle."""
+    layers, width = (4, 8) if smoke else (5, 16)
+    database = chain_database(layers=layers, width=width, p=0.5, seed=19)
+    query = path_query(3, head_arity=1)
+    calls = 12 if smoke else 48
+    backend = SqliteBackend()
+    with QueryEngine(max_workers=1, backend=backend) as engine:
+        reference = engine.execute(query, database)
+        loop_seconds, _ = time_thunk(
+            lambda: [
+                (engine.execute(query, database), engine.count(query, database))
+                for _ in range(calls)
+            ],
+            repeats=1,
+        )
+        stats = engine.pushdown_stats()
+        settled = {
+            f"{channel}": {
+                "calls": info["calls"],
+                "native_samples": info["native_samples"],
+                "backend_samples": info["backend_samples"],
+            }
+            for (_, channel), info in stats.items()
+        }
+        assert engine.execute(query, database) == reference
+    backend.close()
+    return {
+        "calls_per_channel": calls,
+        "loop_seconds": loop_seconds,
+        "channels": settled,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink workloads and skip the default JSON write — the CI "
+        "configuration (timings stay best-of-3 for the regression gate)",
+    )
+    add_json_argument(parser)
+    args = parser.parse_args(argv)
+    repeats = 3
+
+    load = load_section(args.smoke, repeats)
+    channels = channel_rows(args.smoke, repeats)
+    arbiter = arbiter_section(args.smoke)
+
+    print_table(
+        ("workload:channel", "answers", "native s", "sqlite s", "sqlite speedup"),
+        [
+            (
+                r["name"],
+                r["answers"],
+                r["native_seconds"],
+                r["backend_seconds"],
+                r["backend_speedup"],
+            )
+            for r in channels
+        ],
+        title=f"Native vs sqlite3 pushdown (best of {repeats}, warm)",
+    )
+    print_table(
+        ("rows", "load s"),
+        [(load["rows"], load["load_seconds"])],
+        title="One-time table load (fresh backend per repeat)",
+    )
+    print_table(
+        ("channel", "calls", "native samples", "backend samples"),
+        [
+            (name, c["calls"], c["native_samples"], c["backend_samples"])
+            for name, c in sorted(arbiter["channels"].items())
+        ],
+        title="Arbiter race through QueryEngine(backend=...)",
+    )
+
+    if not args.smoke:
+        # Sanity, not ranking: every channel answered, and the arbiter
+        # explored both arms before settling.
+        for record in channels:
+            assert record["native_seconds"] > 0 and record["backend_seconds"] > 0
+        for info in arbiter["channels"].values():
+            assert info["native_samples"] > 0
+            assert info["backend_samples"] > 0
+
+    output = args.json
+    if output is None and not args.smoke:
+        output = "BENCH_sql_backend.json"
+    payload = json_report_payload(
+        "sql_backend",
+        smoke=args.smoke,
+        repeats=repeats,
+        load=load,
+        channels=channels,
+        arbiter=arbiter,
+    )
+    emit_json_report(output, payload)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

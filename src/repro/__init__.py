@@ -7,6 +7,8 @@ README.md for a tour and DESIGN.md for the paper-to-module map.
 
 from .errors import (
     ArityError,
+    BackendError,
+    BackendUnavailableError,
     CancelledRequestError,
     ConnectionLostError,
     DeadlineExceededError,
@@ -21,6 +23,7 @@ from .errors import (
     RetryExhaustedError,
     SchemaError,
     ServerBusyError,
+    SqlCompilationError,
     WorkerUnavailableError,
 )
 from .relational import Database, Relation
@@ -46,6 +49,7 @@ from .evaluation import (
     YannakakisEvaluator,
 )
 from .engine import QueryEngine, QueryPlan
+from .backends import DuckDbBackend, SqlBackend, SqliteBackend
 from .operations import Operation
 from .parallel import ParallelYannakakisEvaluator, ShardedRelation, WorkerPool
 from .resilience import CancelToken, FaultPlan, RetryPolicy
@@ -59,6 +63,8 @@ __all__ = [
     "ArityError",
     "AsyncQueryClient",
     "Atom",
+    "BackendError",
+    "BackendUnavailableError",
     "CancelToken",
     "CancelledRequestError",
     "Comparison",
@@ -69,6 +75,7 @@ __all__ = [
     "DatalogEvaluator",
     "DatalogProgram",
     "DeadlineExceededError",
+    "DuckDbBackend",
     "FaultPlan",
     "FleetDrainedError",
     "FleetRouter",
@@ -101,6 +108,9 @@ __all__ = [
     "Rule",
     "SchemaError",
     "ShardedRelation",
+    "SqlBackend",
+    "SqlCompilationError",
+    "SqliteBackend",
     "TreewidthEvaluator",
     "WorkerPool",
     "WorkerUnavailableError",

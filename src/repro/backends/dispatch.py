@@ -1,0 +1,185 @@
+"""Native-vs-pushdown arbitration from observed latencies.
+
+The planner's cost model prices the *native* evaluators; it has no prior
+for an external SQL engine, and none would survive contact — which side
+wins depends on data shape, database size, and how warm SQLite's own
+planner is.  So the engine measures instead of modeling:
+:class:`PushdownArbiter` keeps one latency reservoir pair per
+``(plan-cache key, channel)`` — channel ∈ execute/decide/count — and
+
+1. *explores*: the first call of a shape runs native, the second runs the
+   backend, so both arms get a measurement without any cold-start bias
+   toward either;
+2. *exploits*: with both arms measured, each call takes the lower median;
+3. *re-probes*: every :data:`PROBE_STRIDE`-th call runs the current loser
+   anyway, so a drifting workload (data growth, warmed caches) can flip
+   the decision back.
+
+Shapes outside the pushdown fragment — and shapes whose pushdown ever
+raises :class:`~repro.errors.BackendError` — are marked unsupported and
+never probed again.  Backend latencies live *only* here: they never feed
+the engine's shape ledger or plan runtimes, so the planner's
+observed-unit-cost calibration stays a pure native signal.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from statistics import median
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import SqlCompilationError
+from ..query.conjunctive import ConjunctiveQuery
+from .base import SqlBackend
+
+#: Dispatch decisions (also the arm names in stats snapshots).
+NATIVE = "native"
+BACKEND = "backend"
+
+#: Every PROBE_STRIDE-th call of a settled shape re-measures the loser.
+PROBE_STRIDE = 16
+
+#: Latency samples kept per (shape, channel, arm).
+RESERVOIR = 64
+
+
+class _Arm:
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: deque = deque(maxlen=RESERVOIR)
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def median(self) -> Optional[float]:
+        if not self.samples:
+            return None
+        return median(self.samples)
+
+
+class _Channel:
+    __slots__ = ("native", "backend", "calls")
+
+    def __init__(self) -> None:
+        self.native = _Arm()
+        self.backend = _Arm()
+        self.calls = 0
+
+
+class PushdownArbiter:
+    """Per-shape, per-channel native-vs-backend choice (thread-safe)."""
+
+    def __init__(self, backend: SqlBackend, probe_stride: int = PROBE_STRIDE) -> None:
+        self._backend = backend
+        self._probe_stride = max(2, probe_stride)
+        self._lock = threading.Lock()
+        self._channels: Dict[Tuple[Any, str], _Channel] = {}
+        #: plan key -> False once compilation failed or pushdown errored.
+        self._supported: Dict[Any, bool] = {}
+        self._reasons: Dict[Any, str] = {}
+
+    @property
+    def backend(self) -> SqlBackend:
+        return self._backend
+
+    # -- eligibility ----------------------------------------------------
+
+    def supports(self, key: Any, query: ConjunctiveQuery) -> bool:
+        """Is the shape pushdown-eligible?  (Compile-checked once per key.)"""
+        with self._lock:
+            known = self._supported.get(key)
+        if known is not None:
+            return known
+        try:
+            self._backend.sql_for(query)
+        except SqlCompilationError as exc:
+            with self._lock:
+                self._supported[key] = False
+                self._reasons[key] = str(exc)
+            return False
+        with self._lock:
+            self._supported.setdefault(key, True)
+            return self._supported[key]
+
+    def mark_failed(self, key: Any, reason: str) -> None:
+        """Pushdown errored at runtime: never choose the backend again."""
+        with self._lock:
+            self._supported[key] = False
+            self._reasons[key] = reason
+
+    # -- choice + measurement -------------------------------------------
+
+    def choose(self, key: Any, channel: str) -> str:
+        """Which arm should serve this call?  (Counts the call.)"""
+        with self._lock:
+            entry = self._channels.setdefault((key, channel), _Channel())
+            entry.calls += 1
+            if not entry.native.count:
+                return NATIVE
+            if not entry.backend.count:
+                return BACKEND
+            native = entry.native.median()
+            backend = entry.backend.median()
+            winner = BACKEND if backend < native else NATIVE
+            if entry.calls % self._probe_stride == 0:
+                return NATIVE if winner == BACKEND else BACKEND
+            return winner
+
+    def record(self, key: Any, channel: str, arm: str, seconds: float) -> None:
+        with self._lock:
+            entry = self._channels.setdefault((key, channel), _Channel())
+            (entry.native if arm == NATIVE else entry.backend).record(seconds)
+
+    # -- rendering ------------------------------------------------------
+
+    def snapshot(self) -> Dict[Tuple[Any, str], Dict[str, Any]]:
+        """Per (shape, channel) medians/sample counts, for ``stats``."""
+        out: Dict[Tuple[Any, str], Dict[str, Any]] = {}
+        with self._lock:
+            for (key, channel), entry in self._channels.items():
+                out[(key, channel)] = {
+                    "calls": entry.calls,
+                    "native_median": entry.native.median(),
+                    "native_samples": entry.native.count,
+                    "backend_median": entry.backend.median(),
+                    "backend_samples": entry.backend.count,
+                    "supported": self._supported.get(key, True),
+                }
+        return out
+
+    def describe(self, key: Any, query: ConjunctiveQuery) -> str:
+        """The ``explain`` pushdown section for one shape."""
+        if not self.supports(key, query):
+            with self._lock:
+                reason = self._reasons.get(key, "outside the pushdown fragment")
+            return f"  pushdown : {self._backend.name} ineligible — {reason}"
+        lines = [f"  pushdown : {self._backend.name} eligible"]
+        with self._lock:
+            for channel in ("execute", "decide", "count"):
+                entry = self._channels.get((key, channel))
+                if entry is None or not entry.calls:
+                    continue
+                lines.append(
+                    f"    {channel:<7}: calls={entry.calls} "
+                    f"native={_fmt(entry.native)} backend={_fmt(entry.backend)}"
+                )
+        compiled = self._backend.sql_for(query)
+        sql = compiled.select_sql or compiled.exists_sql
+        lines.append(f"  sql      : {sql}")
+        return "\n".join(lines)
+
+
+def _fmt(arm: _Arm) -> str:
+    value = arm.median()
+    if value is None:
+        return "unmeasured"
+    return f"{value * 1e3:.3f}ms/{arm.count}"
+
+
+__all__ = ["BACKEND", "NATIVE", "PROBE_STRIDE", "PushdownArbiter"]

@@ -1,0 +1,52 @@
+"""The optional DuckDB pushdown adapter, gated on the driver's presence.
+
+DuckDB is not a repo dependency; this module imports it lazily and
+:class:`DuckDbBackend` raises a typed
+:class:`~repro.errors.BackendUnavailableError` at construction when the
+driver is missing, so importing :mod:`repro.backends` never fails and
+callers can probe :func:`duckdb_available` before wiring it in.  The
+adapter itself is the same :class:`~.dbapi.DbApiBackend` machinery as
+SQLite — DuckDB's DBAPI accepts the identical ``?``-parameterized
+statements, BIGINT code columns included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from ..errors import BackendUnavailableError
+from .dbapi import DbApiBackend
+
+try:  # pragma: no cover - exercised only where duckdb is installed
+    import duckdb as _duckdb
+except ImportError:  # pragma: no cover
+    _duckdb = None
+
+
+def duckdb_available() -> bool:
+    """Is the DuckDB driver importable in this process?"""
+    return _duckdb is not None
+
+
+class DuckDbBackend(DbApiBackend):
+    """SQL pushdown through DuckDB (optional dependency)."""
+
+    name = "duckdb"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        if _duckdb is None:
+            raise BackendUnavailableError(
+                "duckdb is not installed; use SqliteBackend or install the "
+                "duckdb driver"
+            )
+        super().__init__()
+        self._path = path
+
+    def _connect(self) -> Any:
+        return _duckdb.connect(self._path)
+
+    def _driver_errors(self) -> Tuple[type, ...]:
+        return (_duckdb.Error,)
+
+
+__all__ = ["DuckDbBackend", "duckdb_available"]

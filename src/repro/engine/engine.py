@@ -54,7 +54,9 @@ from dataclasses import replace
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import QueryError
+from ..backends.base import SqlBackend
+from ..backends.dispatch import BACKEND, NATIVE, PushdownArbiter
+from ..errors import BackendError, QueryError
 from ..evaluation.bounded_variable import parameter_v_transform
 from ..evaluation.counting import (
     CountingYannakakisEvaluator,
@@ -152,6 +154,17 @@ class QueryEngine:
         Estimate-vs-actual cardinality ratio at which the cached plan is
         invalidated and the shape re-planned with observed statistics
         (``None`` disables adaptive re-planning).
+    backend:
+        Optional SQL pushdown backend
+        (e.g. :class:`~repro.backends.SqliteBackend`).  When wired, the
+        engine arbitrates native-vs-pushdown per shape and operation
+        channel from observed latencies (explore both arms once, then
+        take the lower median, re-probing the loser periodically — see
+        :class:`~repro.backends.dispatch.PushdownArbiter`); ``explain``
+        shows the decision and the generated SQL.  Backend latencies
+        never feed the shape ledger or plan runtimes, so planner
+        calibration stays a pure native signal.  The backend's lifecycle
+        belongs to the caller (``close()`` does not close it).
     """
 
     def __init__(
@@ -164,6 +177,7 @@ class QueryEngine:
         pool_mode: str = THREADS,
         batch_wide_threshold: int = DEFAULT_BATCH_WIDE_THRESHOLD,
         replan_drift_threshold: Optional[float] = DEFAULT_REPLAN_DRIFT,
+        backend: Optional[SqlBackend] = None,
     ) -> None:
         self._cache = PlanCache(plan_cache_size)
         self._ledger = ShapeLedger()
@@ -195,6 +209,8 @@ class QueryEngine:
         else:
             self._pool = None
             self._parallel_yannakakis = None
+        self._backend = backend
+        self._arbiter = PushdownArbiter(backend) if backend is not None else None
         self._counting = CountingYannakakisEvaluator(reducer=self._yannakakis)
         self._parallel_counting = (
             CountingYannakakisEvaluator(reducer=self._parallel_yannakakis)
@@ -276,7 +292,13 @@ class QueryEngine:
         for (kind, options, plan_key), positions in groups.items():
             members = [operations[position] for position in positions]
             first = members[0]
-            if (
+            if len(members) == 1:
+                # Singleton groups gain nothing from the batch machinery;
+                # ``run`` keeps them on the adaptive path (including SQL
+                # pushdown arbitration, which the lifted batch paths
+                # deliberately bypass — lifting is the native strength).
+                group_results = [self.run(first, database)]
+            elif (
                 kind in (OP_EXECUTE, OP_DECIDE)
                 and first.option("evaluator") is None
             ):
@@ -319,11 +341,14 @@ class QueryEngine:
         if forced is not None:
             return self._dispatch(forced, None, query, database, decide=False)
         plan, _, key = self._plan_entry(query, database)
+        served, pushed = self._maybe_pushdown(OP_EXECUTE, query, key, database)
+        if served:
+            return pushed
         start = perf_counter()
         result = self._dispatch(plan.evaluator, plan, query, database, decide=False)
-        self._record(
-            key, plan, perf_counter() - start, result.cardinality, query, database
-        )
+        elapsed = perf_counter() - start
+        self._note_native(key, OP_EXECUTE, elapsed)
+        self._record(key, plan, elapsed, result.cardinality, query, database)
         return result
 
     def _op_decide(self, operation: Operation, database: Database) -> bool:
@@ -332,30 +357,83 @@ class QueryEngine:
         if forced is not None:
             return self._dispatch(forced, None, query, database, decide=True)
         plan, _, key = self._plan_entry(query, database)
+        served, pushed = self._maybe_pushdown(OP_DECIDE, query, key, database)
+        if served:
+            return pushed
         start = perf_counter()
         result = self._dispatch(plan.evaluator, plan, query, database, decide=True)
-        self._record(key, plan, perf_counter() - start, None, query, database)
+        elapsed = perf_counter() - start
+        self._note_native(key, OP_DECIDE, elapsed)
+        self._record(key, plan, elapsed, None, query, database)
         return result
 
     def _op_explain(self, operation: Operation, database: Database) -> str:
-        plan, status, _ = self._plan_entry(operation.query, database)
+        plan, status, key = self._plan_entry(operation.query, database)
         stats = self._cache.stats
         footer = (
             f"  cache    : {status} "
             f"(hits={stats.hits}, misses={stats.misses}, "
             f"evictions={stats.evictions}, size={stats.size}/{stats.capacity})"
         )
-        return plan.explain(cache_status=status) + "\n" + footer
+        rendering = plan.explain(cache_status=status) + "\n" + footer
+        if self._arbiter is not None:
+            rendering += "\n" + self._arbiter.describe(key, operation.query)
+        return rendering
 
     def _op_count(self, operation: Operation, database: Database) -> int:
         query = operation.query
         plan, _, key = self._plan_entry(query, database)
+        served, pushed = self._maybe_pushdown(OP_COUNT, query, key, database)
+        if served:
+            return pushed
         start = perf_counter()
         total = self._count_with_plan(plan, query, database)
+        elapsed = perf_counter() - start
+        self._note_native(key, OP_COUNT, elapsed)
         # count *is* |Q(d)|, so it feeds estimate-vs-actual drift exactly
         # like an execute's cardinality does.
-        self._record(key, plan, perf_counter() - start, total, query, database)
+        self._record(key, plan, elapsed, total, query, database)
         return total
+
+    # ------------------------------------------------------------------
+    # SQL pushdown (the backend side of dispatch)
+    # ------------------------------------------------------------------
+
+    def _maybe_pushdown(
+        self, channel: str, query: ConjunctiveQuery, key: Tuple, database: Database
+    ) -> Tuple[bool, Any]:
+        """(served, result) — whether the SQL backend answered this call.
+
+        The arbiter picks the arm per (shape, channel) from observed
+        latencies; a :class:`~repro.errors.BackendError` mid-pushdown
+        marks the shape backend-unservable and falls back to native
+        transparently.  Pushdown-served calls feed only the arbiter's
+        reservoirs — never the shape ledger or the plan's runtime — so
+        planner calibration stays a pure native signal.
+        """
+        arbiter = self._arbiter
+        if arbiter is None or not arbiter.supports(key, query):
+            return False, None
+        if arbiter.choose(key, channel) != BACKEND:
+            return False, None
+        backend = self._backend
+        start = perf_counter()
+        try:
+            if channel == OP_EXECUTE:
+                result: Any = backend.execute(query, database)
+            elif channel == OP_DECIDE:
+                result = backend.decide(query, database)
+            else:
+                result = backend.count(query, database)
+        except BackendError as exc:
+            arbiter.mark_failed(key, str(exc))
+            return False, None
+        arbiter.record(key, channel, BACKEND, perf_counter() - start)
+        return True, result
+
+    def _note_native(self, key: Tuple, channel: str, seconds: float) -> None:
+        if self._arbiter is not None:
+            self._arbiter.record(key, channel, NATIVE, seconds)
 
     def _op_aggregate(self, operation: Operation, database: Database) -> Any:
         mode = operation.option("mode")
@@ -764,6 +842,22 @@ class QueryEngine:
     def stats(self) -> EngineStats:
         """Cache counters plus the per-shape execution ledger."""
         return EngineStats(cache=self._cache.stats, shapes=self._ledger.snapshot())
+
+    @property
+    def backend(self) -> Optional[SqlBackend]:
+        """The wired SQL pushdown backend (``None`` for native-only)."""
+        return self._backend
+
+    def pushdown_stats(self) -> Dict[Tuple, Dict[str, Any]]:
+        """Per-(shape, channel) native/backend latency observations.
+
+        Empty without a wired backend.  Keys are ``(plan-cache key,
+        channel)`` pairs; values carry call counts, per-arm medians and
+        sample counts, and whether the shape is still pushdown-eligible.
+        """
+        if self._arbiter is None:
+            return {}
+        return self._arbiter.snapshot()
 
     @property
     def cache_stats(self) -> CacheStats:

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import QueryError
+from ..operations import EXECUTE, operations_of
 from ..query.atoms import Atom
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.datalog import DatalogProgram, Rule
@@ -74,20 +75,25 @@ class DatalogEvaluator:
         self._evaluate_body = getattr(
             rule_engine, "execute", None
         ) or rule_engine.evaluate
-        #: N-wide batch entry point, when the engine has one.  The
-        #: semi-naive fixpoint hands every round's rule-body queries over
-        #: in ONE call, so same-shape delta rules ride the engine's batch
-        #: lifting instead of N sequential executions — always through the
-        #: generic operation API (``run_batch`` over EXECUTE operations).
+        # The N-wide batch entry point is *required*: the semi-naive
+        # fixpoint hands every round's rule-body queries over in ONE call,
+        # so same-shape delta rules ride the engine's batch lifting —
+        # always through the generic operation API (``run_batch`` over
+        # EXECUTE operations).  Feature-detecting it with a silent
+        # sequential fallback (the pre-operation-API legacy) would mask a
+        # misconfigured rule engine; both supported engines
+        # (:class:`~repro.engine.QueryEngine`, :class:`NaiveEvaluator`)
+        # provide it, so anything without one is a wiring error.
         run_batch = getattr(rule_engine, "run_batch", None)
-        if run_batch is not None:
-            from ..operations import EXECUTE, operations_of
-
-            self._evaluate_batch = lambda queries, database: run_batch(
-                operations_of(EXECUTE, queries), database
+        if run_batch is None:
+            raise QueryError(
+                f"rule_engine {type(rule_engine).__name__} has no run_batch; "
+                "the fixpoint requires the generic operation API "
+                "(QueryEngine and NaiveEvaluator both provide it)"
             )
-        else:
-            self._evaluate_batch = None
+        self._evaluate_batch = lambda queries, database: run_batch(
+            operations_of(EXECUTE, queries), database
+        )
 
     @property
     def rule_engine(self):
@@ -178,14 +184,14 @@ class DatalogEvaluator:
     def _evaluate_bodies(
         self, queries: Sequence[ConjunctiveQuery], database: Database
     ) -> List[Relation]:
-        """Evaluate one round's rule bodies, batched when the engine can.
+        """Evaluate one round's rule bodies, batched past one query.
 
         All queries see the SAME database snapshot (the fixpoint rounds
         are constructed that way), so handing them to ``run_batch``
         is semantics-preserving and lets the engine group same-shape
         members under one plan and lift them N-wide.
         """
-        if len(queries) > 1 and self._evaluate_batch is not None:
+        if len(queries) > 1:
             return list(self._evaluate_batch(list(queries), database))
         return [self._evaluate_body(query, database) for query in queries]
 

@@ -19,6 +19,7 @@ from ..errors import QueryError, SchemaError
 from ..query.atoms import Atom
 from ..query.terms import Constant, Term, Variable
 from ..relational.attributes import check_attribute_names
+from ..relational.columns import values_equal
 from ..relational.database import Database
 from ..relational.relation import Relation
 
@@ -61,9 +62,9 @@ def atom_candidate_relation(atom: Atom, relation: Relation) -> Relation:
 
     rows = set()
     for row in relation.rows:
-        if any(row[p] != value for p, value in constant_checks):
+        if any(not values_equal(row[p], value) for p, value in constant_checks):
             continue
-        if any(row[a] != row[b] for a, b in equality_checks):
+        if any(not values_equal(row[a], row[b]) for a, b in equality_checks):
             continue
         rows.add(tuple(row[p] for p in out_positions))
     return Relation.from_rows(var_names, rows)
@@ -83,13 +84,13 @@ def matches_atom(atom: Atom, valuation: Mapping[Variable, Any], row: Tuple) -> b
     local: Dict[Variable, Any] = dict(valuation)
     for term, value in zip(atom.terms, row):
         if isinstance(term, Constant):
-            if term.value != value:
+            if not values_equal(term.value, value):
                 return False
         else:
             bound = local.get(term, _UNSET)
             if bound is _UNSET:
                 local[term] = value
-            elif bound != value:
+            elif not values_equal(bound, value):
                 return False
     return True
 

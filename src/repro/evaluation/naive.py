@@ -22,10 +22,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import QueryError
+from ..errors import InvalidOperationError, QueryError
+from ..operations import DECIDE, EXECUTE, Operation
 from ..query.atoms import Atom, Comparison, Inequality
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.terms import Constant, Variable
+from ..relational.columns import values_equal
 from ..relational.database import Database
 from ..relational.index import IndexPool
 from ..relational.relation import Relation
@@ -98,6 +100,33 @@ class NaiveEvaluator:
         for _ in self._search(query, database, find_all=False, atom_order=atom_order):
             return True
         return False
+
+    def run(self, operation: Operation, database: Database) -> Any:
+        """The generic operation entry point (``execute``/``decide`` only).
+
+        The naive engine has no planner, explainer, or counting pass, so
+        the remaining kinds raise a typed
+        :class:`~repro.errors.InvalidOperationError` instead of silently
+        approximating them.  A forced ``evaluator`` option is ignored —
+        this engine *is* the naive evaluator.
+        """
+        if operation.kind == EXECUTE:
+            return self.evaluate(operation.query, database)
+        if operation.kind == DECIDE:
+            return self.decide(operation.query, database)
+        raise InvalidOperationError(
+            f"NaiveEvaluator cannot run {operation.kind!r} operations; "
+            "only execute/decide"
+        )
+
+    def run_batch(
+        self, operations: Sequence[Operation], database: Database
+    ) -> List[Any]:
+        """Sequential member-by-member batch (no lifting machinery here);
+        exists so the naive engine satisfies the generic operation API
+        that :class:`~repro.evaluation.datalog_eval.DatalogEvaluator`
+        requires of its rule engines."""
+        return [self.run(operation, database) for operation in operations]
 
     def contains(
         self, query: ConjunctiveQuery, database: Database, candidate: Sequence[Any]
@@ -212,7 +241,7 @@ class NaiveEvaluator:
                 if equalities:
                     ok = True
                     for a, b in equalities:
-                        if row[a] != row[b]:
+                        if not values_equal(row[a], row[b]):
                             ok = False
                             break
                     if not ok:
@@ -337,7 +366,7 @@ def _make_check(constraint, slot_of: Dict[Variable, int]):
 
     if isinstance(constraint, Inequality):
         def check(valuation, _l=left, _r=right):
-            return _l(valuation) != _r(valuation)
+            return not values_equal(_l(valuation), _r(valuation))
         return check
     if isinstance(constraint, Comparison):
         strict = constraint.strict

@@ -19,6 +19,7 @@ from ..errors import QueryError
 from ..query.atoms import Inequality
 from ..query.conjunctive import ConjunctiveQuery
 from ..query.terms import Variable
+from ..relational.columns import values_equal
 from ..relational.database import Database
 from ..relational.relation import Relation
 from ..evaluation.instantiation import atom_candidate_relation
@@ -105,12 +106,16 @@ def selected_candidate_relation(
             if left.name in names:
                 value = right.value  # type: ignore[union-attr]
                 result = result.select(
-                    lambda row, _n=left.name, _v=value: row[_n] != _v
+                    lambda row, _n=left.name, _v=value: not values_equal(
+                        row[_n], _v
+                    )
                 )
         elif isinstance(right, Variable):
             if right.name in names:
                 value = left.value  # type: ignore[union-attr]
                 result = result.select(
-                    lambda row, _n=right.name, _v=value: row[_n] != _v
+                    lambda row, _n=right.name, _v=value: not values_equal(
+                        row[_n], _v
+                    )
                 )
     return result

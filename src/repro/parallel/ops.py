@@ -204,13 +204,17 @@ def parallel_select_eq(
         key: Any = next(iter(conditions.values()))
     else:
         key = tuple(conditions.values())
-    shards = relation._partition(positions, shard_count)
+    # Resolve the probe's pool code *before* partitioning: an unhashable
+    # probe (TypeError) routes to the kernel's linear-scan fallback and a
+    # never-interned probe (None) proves emptiness — neither should pay
+    # for building the shards it will not probe.
     try:
         key_code = key_code_of(VALUES, KEYS, key, len(positions))
     except TypeError:
         return relation.select_eq(conditions)
     if key_code is None:
         return Relation._from_frozen(relation.attributes, frozenset())
+    shards = relation._partition(positions, shard_count)
     shard = shards[key_code % shard_count]
     bucket = shard._index(positions).get(key, ())
     return Relation._from_frozen(relation.attributes, frozenset(bucket))

@@ -140,6 +140,20 @@ def iter_values(pool: ValuePool, codes: Iterable[int]) -> Iterable[Any]:
     return (values[c] for c in codes)
 
 
+def values_equal(left: Any, right: Any) -> bool:
+    """Value equality as the pool (and dict/frozenset) defines it.
+
+    Identity first, then ``==`` — the containment test Python's hash
+    tables use, and therefore exactly when two interned values share a
+    code.  Every linear-scan comparison in the kernel and the evaluators
+    must use this instead of bare ``==``/``!=``: the two differ only on
+    non-reflexive values (NaN compares ``!=`` to itself, but a dict key —
+    and a pool code — matches itself by identity), and bare ``==`` there
+    silently drops rows the code-based fast paths keep.
+    """
+    return left is right or left == right
+
+
 #: The process-wide pool of raw row values.
 VALUES = ValuePool()
 

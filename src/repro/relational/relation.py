@@ -74,7 +74,7 @@ from typing import (
 
 from ..errors import ArityError, SchemaError
 from .attributes import check_attribute_names, positions_of
-from .columns import CODE_TYPECODE, KEYS, VALUES, select_codes
+from .columns import CODE_TYPECODE, KEYS, VALUES, select_codes, values_equal
 
 Row = Tuple[Any, ...]
 
@@ -590,7 +590,7 @@ class Relation:
             bucket = tuple(
                 row
                 for row in self._rows
-                if all(row[p] == v for p, v in zip(positions, values))
+                if all(values_equal(row[p], v) for p, v in zip(positions, values))
             )
         return Relation._from_frozen(self._attributes, frozenset(bucket))
 
@@ -599,7 +599,7 @@ class Relation:
         (lp, rp) = positions_of(self._attributes, (left, right))
         return Relation._from_frozen(
             self._attributes,
-            frozenset(row for row in self._rows if row[lp] == row[rp]),
+            frozenset(row for row in self._rows if values_equal(row[lp], row[rp])),
         )
 
     def select_attr_neq(self, left: str, right: str) -> "Relation":
@@ -607,7 +607,9 @@ class Relation:
         (lp, rp) = positions_of(self._attributes, (left, right))
         return Relation._from_frozen(
             self._attributes,
-            frozenset(row for row in self._rows if row[lp] != row[rp]),
+            frozenset(
+                row for row in self._rows if not values_equal(row[lp], row[rp])
+            ),
         )
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":

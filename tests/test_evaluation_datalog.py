@@ -158,9 +158,21 @@ class TestBatchedRuleBodies:
         assert recording.batch_calls and recording.batch_calls[0] == 4
         assert recording.single_calls == 0
 
-    def test_engines_without_batch_entry_still_work(self, transitive, edges):
+    def test_naive_evaluator_satisfies_the_batch_interface(self, transitive, edges):
         evaluator = DatalogEvaluator(rule_engine=NaiveEvaluator())
-        assert evaluator._evaluate_batch is None
+        assert evaluator._evaluate_batch is not None
         semi = evaluator.evaluate(transitive, edges, method="seminaive")
         naive = evaluator.evaluate(transitive, edges, method="naive")
         assert semi == naive
+
+    def test_engines_without_run_batch_are_rejected_loudly(self, edges):
+        """Regression: a rule engine missing ``run_batch`` used to degrade
+        silently to sequential per-rule evaluation (the pre-operation-API
+        legacy fallback); it must be a typed construction-time error."""
+
+        class ExecuteOnlyEngine:
+            def execute(self, query, database):  # pragma: no cover - never run
+                raise AssertionError("construction should already have failed")
+
+        with pytest.raises(QueryError, match="run_batch"):
+            DatalogEvaluator(rule_engine=ExecuteOnlyEngine())

@@ -143,7 +143,7 @@ class TestFirstOrderEvaluation:
 
     def test_declared_domain_affects_negation(self, fo_eval):
         db = Database(
-            {"Red": __import__("repro").Relation(("a",), [(1,)])},
+            {"Red": __import__("repro").Relation.from_rows(("a",), [(1,)])},
             domain=[1, 2, 3],
         )
         q = FirstOrderQuery(("x",), not_(atom("Red", "x")))

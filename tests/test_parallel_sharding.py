@@ -140,6 +140,47 @@ class TestDrivers:
             relation.select_eq({"y": value})
         )
 
+    def test_parallel_select_eq_unhashable_probe_routes_to_fallback(self):
+        """Regression (ISSUE 10): an unhashable probe key must take the
+        kernel's linear-scan fallback — ``key_code_of`` probes a dict with
+        the key, which raises ``TypeError`` for unhashables — instead of
+        crashing or silently returning empty."""
+        relation = rel(("x", "y"), {(i, i % 4) for i in range(24)})
+        for count in (2, 4, 7):
+            result = parallel_select_eq(relation, {"y": [1, 2]}, count)
+            assert result == relation.select_eq({"y": [1, 2]})
+            assert result.rows == frozenset()
+
+    def test_parallel_select_eq_unhashable_but_equal_probe(self):
+        """An unhashable probe that compares ``==`` to stored values must
+        select exactly the rows the kernel's linear scan selects."""
+
+        class EqTo:
+            """Equal to one target value, but unhashable."""
+
+            __hash__ = None
+
+            def __init__(self, target):
+                self.target = target
+
+            def __eq__(self, other):
+                return other == self.target
+
+        relation = rel(("x", "y"), {(i, i % 4) for i in range(24)})
+        probe = EqTo(3)
+        expected = relation.select_eq({"y": probe})
+        assert expected.rows == frozenset(
+            (i, i % 4) for i in range(24) if i % 4 == 3
+        )
+        for count in (1, 2, 4, 7):
+            assert parallel_select_eq(relation, {"y": probe}, count) == expected
+        # Multi-position conditions hit the composite-key path.
+        multi = {"x": 7, "y": EqTo(3)}
+        expected_multi = relation.select_eq(multi)
+        assert expected_multi.rows == frozenset({(7, 3)})
+        for count in (2, 5):
+            assert parallel_select_eq(relation, multi, count) == expected_multi
+
     @SETTINGS
     @given(rows2, rows2)
     def test_bucket_semijoin_matches_kernel(self, left_rows, right_rows):
